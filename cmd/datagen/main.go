@@ -1,0 +1,103 @@
+// Command datagen emits the synthetic corpora of the paper's evaluation
+// as XML, ready to feed into cmd/dogmatix.
+//
+// Usage:
+//
+//	datagen -corpus freedb -n 500 > cds.xml
+//	datagen -corpus freedb -n 500 -dirty -dup 1.0 > dataset1.xml
+//	datagen -corpus imdb   -n 500 > imdb.xml
+//	datagen -corpus filmdienst -n 500 > filmdienst.xml
+//	datagen -corpus freedb -n 500 -mapping > mapping.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/datagen"
+	"repro/internal/dirty"
+	"repro/internal/xmltree"
+)
+
+func main() {
+	var (
+		corpus  = flag.String("corpus", "freedb", "freedb | imdb | filmdienst")
+		n       = flag.Int("n", 500, "number of objects")
+		seed    = flag.Int64("seed", 2005, "generator seed")
+		mkDirty = flag.Bool("dirty", false, "apply the dirty-data generator (freedb only)")
+		dupPct  = flag.Float64("dup", 1.0, "duplicate percentage for -dirty")
+		typoPct = flag.Float64("typo", 0.20, "typo percentage for -dirty")
+		missPct = flag.Float64("missing", 0.10, "missing-data percentage for -dirty")
+		synPct  = flag.Float64("synonym", 0.08, "synonym percentage for -dirty")
+		reissue = flag.Float64("reissue", 0, "reissue rate (freedb only)")
+		mapping = flag.Bool("mapping", false, "emit the mapping file instead of XML")
+	)
+	flag.Parse()
+	if err := run(*corpus, *n, *seed, *mkDirty, *dupPct, *typoPct, *missPct,
+		*synPct, *reissue, *mapping); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(corpus string, n int, seed int64, mkDirty bool,
+	dupPct, typoPct, missPct, synPct, reissue float64, mapping bool) error {
+	if mapping {
+		return emitMapping(corpus)
+	}
+	var doc *xmltree.Document
+	switch corpus {
+	case "freedb":
+		cds := datagen.FreeDBWith(n, seed, datagen.FreeDBParams{ReissueRate: reissue})
+		doc = datagen.FreeDBToXML(cds)
+		if mkDirty {
+			gen, err := dirty.New(dirty.Params{
+				DuplicatePct: dupPct, TypoPct: typoPct,
+				MissingPct: missPct, SynonymPct: synPct,
+			}, seed+1, datagen.FreeDBSynonyms())
+			if err != nil {
+				return err
+			}
+			if _, err := gen.DirtyDocument(doc, "/freedb/disc"); err != nil {
+				return err
+			}
+		}
+	case "imdb":
+		doc = datagen.IMDBToXML(datagen.Movies(n, seed))
+	case "filmdienst":
+		doc = datagen.FilmDienstToXML(datagen.Movies(n, seed))
+	default:
+		return fmt.Errorf("unknown corpus %q (want freedb, imdb, filmdienst)", corpus)
+	}
+	if mkDirty && corpus != "freedb" {
+		return fmt.Errorf("-dirty only applies to the freedb corpus")
+	}
+	return doc.WriteXML(os.Stdout)
+}
+
+func emitMapping(corpus string) error {
+	var paths map[string][]string
+	switch corpus {
+	case "freedb":
+		paths = datagen.FreeDBMappingPaths()
+	case "imdb", "filmdienst", "dataset2":
+		paths = datagen.Dataset2MappingPaths()
+	default:
+		return fmt.Errorf("no mapping for corpus %q", corpus)
+	}
+	types := make([]string, 0, len(paths))
+	for t := range paths {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Print(t)
+		for _, p := range paths[t] {
+			fmt.Print(" ", p)
+		}
+		fmt.Println()
+	}
+	return nil
+}

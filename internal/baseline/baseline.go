@@ -1,0 +1,218 @@
+// Package baseline implements the comparison methods Section 7 of the
+// paper positions DogmatiX against, adapted to operate on the same object
+// descriptions so that head-to-head evaluation is apples to apples:
+//
+//   - SortedNeighborhood: the merge/purge method of Hernández & Stolfo
+//     [7]: sort objects by a key derived from their description, then
+//     compare only objects within a sliding window.
+//   - Containment: a DELPHI-style asymmetric containment measure
+//     (Ananthakrishna et al. [1]): how much of one object's description
+//     is contained in the other's, weighted by softIDF. Unlike DogmatiX's
+//     measure it ignores the contained object's differences.
+//   - NaiveAllPairs: normalized edit distance over the concatenated,
+//     token-sorted description text of every pair — the "flatten and
+//     fuzzy-match" strawman.
+//
+// All detectors return candidate index pairs classified as duplicates.
+package baseline
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/od"
+	"repro/internal/strdist"
+)
+
+// PairDetector is a duplicate detector over a finalized OD store.
+type PairDetector interface {
+	Name() string
+	Detect(store *od.Store) [][2]int32
+}
+
+// ----- Sorted neighborhood -----
+
+// SortedNeighborhood implements the merge/purge window scan. The sorting
+// key is the token-sorted, lowercased concatenation of description
+// values; window-adjacent objects classify as duplicates when the
+// normalized edit distance of their keys is below Theta.
+type SortedNeighborhood struct {
+	Window int     // window size w (>= 2)
+	Theta  float64 // key distance threshold
+}
+
+// Name implements PairDetector.
+func (s SortedNeighborhood) Name() string { return "sorted-neighborhood" }
+
+// Detect implements PairDetector.
+func (s SortedNeighborhood) Detect(store *od.Store) [][2]int32 {
+	w := s.Window
+	if w < 2 {
+		w = 2
+	}
+	theta := s.Theta
+	if theta == 0 {
+		theta = 0.25
+	}
+	type keyed struct {
+		id  int32
+		key string
+	}
+	keys := make([]keyed, store.Size())
+	for i, o := range store.ODs {
+		keys[i] = keyed{id: int32(i), key: descriptionKey(o)}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key < keys[j].key
+		}
+		return keys[i].id < keys[j].id
+	})
+	var out [][2]int32
+	for i := range keys {
+		for j := i + 1; j < len(keys) && j < i+w; j++ {
+			if strdist.NormalizedBelow(keys[i].key, keys[j].key, theta) {
+				a, b := keys[i].id, keys[j].id
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, [2]int32{a, b})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+func descriptionKey(o *od.OD) string {
+	var parts []string
+	for _, t := range o.NonEmptyTuples() {
+		parts = append(parts, t.Value)
+	}
+	return strdist.SortedTokens(strings.Join(parts, " "))
+}
+
+// ----- DELPHI-style containment -----
+
+// Containment classifies a pair as duplicates when either object's
+// description is sufficiently contained in the other's:
+//
+//	cont(A→B) = Σ idf(t) over A's tuples similar to some B tuple of the
+//	            same type / Σ idf(t) over all of A's tuples
+//
+// The measure is asymmetric by construction; Detect uses
+// max(cont(A→B), cont(B→A)) > ThetaCand, which exhibits exactly the
+// containment bias the paper criticizes (a sparse object inside a rich
+// one always reaches 1).
+type Containment struct {
+	ThetaTuple float64
+	ThetaCand  float64
+}
+
+// Name implements PairDetector.
+func (c Containment) Name() string { return "delphi-containment" }
+
+// Detect implements PairDetector.
+func (c Containment) Detect(store *od.Store) [][2]int32 {
+	thetaT := c.ThetaTuple
+	if thetaT == 0 {
+		thetaT = 0.15
+	}
+	thetaC := c.ThetaCand
+	if thetaC == 0 {
+		thetaC = 0.55
+	}
+	n := store.Size()
+	var out [][2]int32
+	for i := int32(0); i < int32(n); i++ {
+		for _, j := range store.Neighbors(i) {
+			if j <= i {
+				continue
+			}
+			ab := c.contained(store, store.ODs[i], store.ODs[j], thetaT)
+			ba := c.contained(store, store.ODs[j], store.ODs[i], thetaT)
+			if ab > thetaC || ba > thetaC {
+				out = append(out, [2]int32{i, j})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}
+
+// Score returns max(cont(A→B), cont(B→A)) for diagnostics and benches.
+func (c Containment) Score(store *od.Store, a, b *od.OD) float64 {
+	thetaT := c.ThetaTuple
+	if thetaT == 0 {
+		thetaT = 0.15
+	}
+	ab := c.contained(store, a, b, thetaT)
+	ba := c.contained(store, b, a, thetaT)
+	if ab > ba {
+		return ab
+	}
+	return ba
+}
+
+func (c Containment) contained(store *od.Store, a, b *od.OD, thetaT float64) float64 {
+	var matched, total float64
+	for _, ta := range a.NonEmptyTuples() {
+		idf := store.SoftIDFSingle(ta)
+		total += idf
+		for _, tb := range b.NonEmptyTuples() {
+			if ta.Type != tb.Type {
+				continue
+			}
+			if strdist.NormalizedBelow(ta.Value, tb.Value, thetaT) {
+				matched += idf
+				break
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return matched / total
+}
+
+// ----- Naive all-pairs edit distance -----
+
+// NaiveAllPairs flattens each description to token-sorted text and
+// classifies pairs by normalized edit distance below Theta. Quadratic and
+// structure-blind; the strawman DogmatiX's OD model improves on.
+type NaiveAllPairs struct {
+	Theta float64
+}
+
+// Name implements PairDetector.
+func (nv NaiveAllPairs) Name() string { return "naive-ned" }
+
+// Detect implements PairDetector.
+func (nv NaiveAllPairs) Detect(store *od.Store) [][2]int32 {
+	theta := nv.Theta
+	if theta == 0 {
+		theta = 0.25
+	}
+	keys := make([]string, store.Size())
+	for i, o := range store.ODs {
+		keys[i] = descriptionKey(o)
+	}
+	var out [][2]int32
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if strdist.NormalizedBelow(keys[i], keys[j], theta) {
+				out = append(out, [2]int32{int32(i), int32(j)})
+			}
+		}
+	}
+	return out
+}
+
+func sortPairs(pairs [][2]int32) {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+}

@@ -1,0 +1,143 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/od"
+)
+
+// corpus builds a store with two obvious duplicate pairs and fillers.
+func corpus(t *testing.T) (*od.Store, [][2]int32) {
+	t.Helper()
+	s := od.NewStore()
+	add := func(title, artist, year string) {
+		s.Add(&od.OD{Object: fmt.Sprintf("o%d", s.Size()), Tuples: []od.Tuple{
+			{Value: title, Name: "/d/t", Type: "TITLE"},
+			{Value: artist, Name: "/d/a", Type: "ARTIST"},
+			{Value: year, Name: "/d/y", Type: "YEAR"},
+		}})
+	}
+	add("midnight river", "Ella Fitzgerald", "1959")  // 0
+	add("midnight rivers", "Ella Fitzgerald", "1959") // 1 dup of 0
+	add("golden shadow", "Miles Davis", "1971")       // 2
+	add("golden shadow", "Miles Davis", "1971")       // 3 dup of 2
+	add("crimson tide", "Nina Simone", "1964")        // 4
+	add("velvet dawn", "Chet Baker", "1955")          // 5
+	add("hollow crown", "Sarah Vaughan", "1982")      // 6
+	add("distant echo", "John Coltrane", "1963")      // 7
+	s.Finalize(0.15)
+	return s, [][2]int32{{0, 1}, {2, 3}}
+}
+
+func hasPair(pairs [][2]int32, want [2]int32) bool {
+	for _, p := range pairs {
+		if p == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSortedNeighborhoodFindsDuplicates(t *testing.T) {
+	s, gold := corpus(t)
+	snm := SortedNeighborhood{Window: 3, Theta: 0.25}
+	got := snm.Detect(s)
+	for _, g := range gold {
+		if !hasPair(got, g) {
+			t.Errorf("SNM missed gold pair %v; got %v", g, got)
+		}
+	}
+	if len(got) > len(gold)+2 {
+		t.Errorf("SNM produced excessive pairs: %v", got)
+	}
+	if snm.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestSortedNeighborhoodWindowLimits(t *testing.T) {
+	s, _ := corpus(t)
+	// window 2 compares only adjacent keys; wider windows can only add.
+	narrow := SortedNeighborhood{Window: 2, Theta: 0.25}.Detect(s)
+	wide := SortedNeighborhood{Window: 6, Theta: 0.25}.Detect(s)
+	if len(wide) < len(narrow) {
+		t.Errorf("wider window lost pairs: %d vs %d", len(wide), len(narrow))
+	}
+}
+
+func TestContainmentFindsDuplicatesAndExhibitsBias(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "full", Tuples: []od.Tuple{
+		{Value: "midnight river", Type: "TITLE"},
+		{Value: "Ella Fitzgerald", Type: "ARTIST"},
+		{Value: "1959", Type: "YEAR"},
+		{Value: "extra info here", Type: "EXTRA"},
+	}})
+	// sparse object whose only tuple matches the full one: containment
+	// bias classifies them as duplicates even though they differ wildly.
+	s.Add(&od.OD{Object: "sparse", Tuples: []od.Tuple{
+		{Value: "1959", Type: "YEAR"},
+	}})
+	for i := 0; i < 8; i++ {
+		s.Add(&od.OD{Object: fmt.Sprintf("f%d", i), Tuples: []od.Tuple{
+			{Value: fmt.Sprintf("unique title %c%c", 'A'+i, 'Q'+i), Type: "TITLE"},
+			{Value: fmt.Sprintf("%d", 1900+i*7), Type: "YEAR"},
+		}})
+	}
+	s.Finalize(0.15)
+	c := Containment{ThetaTuple: 0.15, ThetaCand: 0.55}
+	got := c.Detect(s)
+	if !hasPair(got, [2]int32{0, 1}) {
+		t.Errorf("containment should pair sparse-in-full (the bias), got %v", got)
+	}
+	if sc := c.Score(s, s.ODs[0], s.ODs[1]); sc != 1 {
+		t.Errorf("containment score = %v, want 1 (sparse fully contained)", sc)
+	}
+}
+
+func TestNaiveAllPairs(t *testing.T) {
+	s, gold := corpus(t)
+	naive := NaiveAllPairs{Theta: 0.2}
+	got := naive.Detect(s)
+	for _, g := range gold {
+		if !hasPair(got, g) {
+			t.Errorf("naive missed gold pair %v; got %v", g, got)
+		}
+	}
+}
+
+func TestDetectorsAreDeterministic(t *testing.T) {
+	s, _ := corpus(t)
+	for _, d := range []PairDetector{
+		SortedNeighborhood{Window: 4, Theta: 0.3},
+		Containment{},
+		NaiveAllPairs{},
+	} {
+		a := d.Detect(s)
+		b := d.Detect(s)
+		if len(a) != len(b) {
+			t.Errorf("%s not deterministic", d.Name())
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s pair %d differs", d.Name(), i)
+			}
+		}
+	}
+}
+
+func TestContainmentEmptyOD(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "empty"})
+	s.Add(&od.OD{Object: "x", Tuples: []od.Tuple{{Value: "v", Type: "T"}}})
+	s.Finalize(0.15)
+	c := Containment{}
+	if got := c.Detect(s); len(got) != 0 {
+		t.Errorf("empty OD paired: %v", got)
+	}
+	if sc := c.Score(s, s.ODs[0], s.ODs[1]); sc != 0 {
+		t.Errorf("empty score = %v", sc)
+	}
+}

@@ -1,0 +1,53 @@
+package baseline
+
+import (
+	"repro/internal/od"
+	"repro/internal/treedist"
+)
+
+// TreeEdit classifies candidate pairs by normalized tree edit distance
+// over the candidate elements themselves (Zhang-Shasha, unit costs) — the
+// approximate-XML-join approach of Guha et al. [6] that the paper's
+// Sec. 5 outlook contrasts with the OD-based measure. It needs the
+// original nodes (od.OD.Node), so it only applies to stores produced by
+// the core pipeline.
+type TreeEdit struct {
+	// Theta is the normalized distance threshold; pairs strictly below
+	// classify as duplicates. Default 0.2.
+	Theta float64
+}
+
+// Name implements PairDetector.
+func (te TreeEdit) Name() string { return "tree-edit-distance" }
+
+// Detect implements PairDetector. Pairs are restricted to store
+// neighbors (objects sharing at least one similar tuple value), keeping
+// the O(n²) tree-edit computations to plausible candidates, then verified
+// with the full Zhang-Shasha distance.
+func (te TreeEdit) Detect(store *od.Store) [][2]int32 {
+	theta := te.Theta
+	if theta == 0 {
+		theta = 0.2
+	}
+	var out [][2]int32
+	for i := int32(0); i < int32(store.Size()); i++ {
+		a := store.ODs[i]
+		if a.Node == nil {
+			continue
+		}
+		for _, j := range store.Neighbors(i) {
+			if j <= i {
+				continue
+			}
+			b := store.ODs[j]
+			if b.Node == nil {
+				continue
+			}
+			if treedist.Normalized(a.Node, b.Node) < theta {
+				out = append(out, [2]int32{i, j})
+			}
+		}
+	}
+	sortPairs(out)
+	return out
+}

@@ -1,0 +1,60 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/od"
+	"repro/internal/xmltree"
+)
+
+func nodeFor(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Root
+}
+
+func TestTreeEditDetect(t *testing.T) {
+	s := od.NewStore()
+	add := func(xml string, vals ...string) {
+		o := &od.OD{Node: nodeFor(t, xml)}
+		for _, v := range vals {
+			o.Tuples = append(o.Tuples, od.Tuple{Value: v, Name: "/d/v", Type: "V"})
+		}
+		s.Add(o)
+	}
+	// near-identical subtrees sharing a blocking value
+	add(`<d><v>alpha</v><x>1</x><y>2</y></d>`, "alpha")
+	add(`<d><v>alpha</v><x>1</x><y>3</y></d>`, "alpha")
+	// shares the blocking value but structurally very different
+	add(`<d><v>alpha</v><a/><b/><c/><e/><f/><g/><h/><i/></d>`, "alpha")
+	// unrelated
+	add(`<d><v>omega</v><x>9</x></d>`, "omega")
+	s.Finalize(0.15)
+
+	te := TreeEdit{Theta: 0.2}
+	got := te.Detect(s)
+	if !hasPair(got, [2]int32{0, 1}) {
+		t.Errorf("tree edit missed near-identical pair: %v", got)
+	}
+	for _, p := range got {
+		if p == ([2]int32{0, 2}) || p == ([2]int32{1, 2}) {
+			t.Errorf("tree edit paired structurally different trees: %v", got)
+		}
+	}
+	if te.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestTreeEditSkipsNodelessODs(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
+	s.Add(&od.OD{Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
+	s.Finalize(0.15)
+	if got := (TreeEdit{}).Detect(s); len(got) != 0 {
+		t.Errorf("nodeless store produced pairs: %v", got)
+	}
+}

@@ -1,0 +1,407 @@
+// Package core implements the paper's object-identification framework
+// (Section 2) and its XML specialization, the DogmatiX algorithm
+// (Section 3). The pipeline runs the six steps of the duplicate-detection
+// component:
+//
+//	Step 1  candidate query formulation & execution
+//	Step 2  description query formulation & execution (heuristic σ)
+//	Step 3  OD generation (flattening to (value, name) tuples)
+//	Step 4  comparison reduction (object filter f, Sec. 5.2, plus
+//	        lossless shared-value blocking)
+//	Step 5  pairwise comparisons (classifier of Def. 6 over sim, Sec. 5.1)
+//	Step 6  duplicate clustering (transitive closure)
+//
+// Candidate definition (which real-world type to deduplicate, mapping M)
+// and duplicate definition (heuristic, thresholds) are provided offline
+// via Mapping and Config; Detect performs the online phase.
+package core
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/heuristics"
+	"repro/internal/od"
+	"repro/internal/sim"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+	"repro/internal/xsd"
+)
+
+// Source couples one XML document with its schema. Schema may be nil, in
+// which case Detect infers it from the document (xsd.Infer).
+type Source struct {
+	Name   string
+	Doc    *xmltree.Document
+	Schema *xsd.Schema
+}
+
+// Config is the duplicate definition: how descriptions are selected and
+// when two candidates classify as duplicates.
+type Config struct {
+	// Heuristic selects each candidate's description from the schema
+	// (Section 4). Required.
+	Heuristic heuristics.Heuristic
+	// ThetaTuple is the OD-tuple similarity threshold θtuple (Eq. 4).
+	// Defaults to 0.15, the paper's experimental setting.
+	ThetaTuple float64
+	// ThetaCand is the duplicate classification threshold θcand (Def. 6).
+	// Defaults to 0.55.
+	ThetaCand float64
+	// ThetaPossible enables the framework's third class C2 ("possible
+	// duplicates", Sec. 2.2): pairs with ThetaPossible < sim <= ThetaCand
+	// are reported separately for expert review. 0 disables the class.
+	ThetaPossible float64
+	// UseFilter enables Step 4's object filter (Sec. 5.2).
+	UseFilter bool
+	// DisableBlocking turns off the lossless shared-value blocking in
+	// Step 5 and compares all surviving pairs. Mostly for ablation.
+	DisableBlocking bool
+	// KeepFilterValues records f(ODi) for every candidate in the result,
+	// needed by the Fig. 8 experiment and diagnostics.
+	KeepFilterValues bool
+	// FilterOnly stops the pipeline after Step 4 (no pairwise
+	// comparisons, no clustering). Used by filter-effectiveness
+	// experiments.
+	FilterOnly bool
+	// Workers bounds the goroutines used for Steps 4 and 5. 0 means
+	// GOMAXPROCS; 1 forces the serial path. Results are deterministic
+	// regardless of the worker count.
+	Workers int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Heuristic == nil {
+		return c, fmt.Errorf("core: config needs a heuristic")
+	}
+	if c.ThetaTuple == 0 {
+		c.ThetaTuple = 0.15
+	}
+	if c.ThetaCand == 0 {
+		c.ThetaCand = 0.55
+	}
+	if c.ThetaTuple < 0 || c.ThetaTuple > 1 {
+		return c, fmt.Errorf("core: θtuple %v out of [0,1]", c.ThetaTuple)
+	}
+	if c.ThetaCand < 0 || c.ThetaCand > 1 {
+		return c, fmt.Errorf("core: θcand %v out of [0,1]", c.ThetaCand)
+	}
+	if c.ThetaPossible < 0 || c.ThetaPossible >= 1 {
+		return c, fmt.Errorf("core: θpossible %v out of [0,1)", c.ThetaPossible)
+	}
+	if c.ThetaPossible > c.ThetaCand {
+		return c, fmt.Errorf("core: θpossible %v above θcand %v", c.ThetaPossible, c.ThetaCand)
+	}
+	return c, nil
+}
+
+// Candidate is one duplicate candidate (a member of ΩT).
+type Candidate struct {
+	Node     *xmltree.Node
+	Source   int    // index into the sources passed to Detect
+	Path     string // positionally qualified XPath within its document
+	SchemaEl *xsd.Element
+}
+
+// Pair is a detected duplicate pair with its similarity score.
+type Pair struct {
+	I, J  int32
+	Score float64
+}
+
+// Stats summarizes one detection run.
+type Stats struct {
+	Candidates    int
+	Pruned        int   // objects removed by the filter
+	Compared      int64 // pairwise comparisons executed
+	PairsDetected int   // pairs with sim > θcand
+	Elapsed       time.Duration
+}
+
+// Result is the outcome of Detect.
+type Result struct {
+	Type       string
+	Candidates []Candidate
+	Store      *od.Store
+	// FilterValues holds f(ODi) per candidate when KeepFilterValues is
+	// set (index-aligned with Candidates; NaN otherwise).
+	FilterValues []float64
+	Pruned       []int32
+	Pairs        []Pair
+	// PossiblePairs holds class C2 (θpossible < sim <= θcand) when
+	// Config.ThetaPossible is set; they do not join clusters.
+	PossiblePairs []Pair
+	Clusters      [][]int32
+	Stats         Stats
+}
+
+// Detector runs DogmatiX for one mapping and configuration.
+type Detector struct {
+	mapping *Mapping
+	cfg     Config
+}
+
+// NewDetector validates the configuration and returns a detector.
+func NewDetector(mapping *Mapping, cfg Config) (*Detector, error) {
+	if mapping == nil {
+		return nil, fmt.Errorf("core: nil mapping")
+	}
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{mapping: mapping, cfg: c}, nil
+}
+
+// Detect performs duplicate detection for the candidates of the given
+// real-world type across all sources.
+func (d *Detector) Detect(typeName string, sources ...Source) (*Result, error) {
+	start := time.Now()
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("core: no sources")
+	}
+	candPaths := d.mapping.Paths(typeName)
+	if len(candPaths) == 0 {
+		return nil, fmt.Errorf("core: type %q has no candidate paths in the mapping", typeName)
+	}
+
+	// Infer missing schemas.
+	for i := range sources {
+		if sources[i].Doc == nil {
+			return nil, fmt.Errorf("core: source %d has no document", i)
+		}
+		if sources[i].Schema == nil {
+			s, err := xsd.Infer(sources[i].Doc)
+			if err != nil {
+				return nil, fmt.Errorf("core: source %d: %w", i, err)
+			}
+			sources[i].Schema = s
+		}
+	}
+
+	// Step 1: candidate query formulation & execution.
+	res := &Result{Type: typeName}
+	type anchorKey struct {
+		source int
+		path   string
+	}
+	descQueries := map[anchorKey][]*xpath.Path{}
+	for si, src := range sources {
+		for _, cp := range candPaths {
+			el := src.Schema.ElementAt(cp)
+			if el == nil {
+				continue // this source does not declare the path
+			}
+			q, err := xpath.Parse(cp)
+			if err != nil {
+				return nil, fmt.Errorf("core: candidate path %s: %w", cp, err)
+			}
+			// Step 2 (formulation): compile the description query σ once
+			// per (source, anchor).
+			key := anchorKey{si, cp}
+			if _, done := descQueries[key]; !done {
+				var paths []*xpath.Path
+				for _, sel := range d.cfg.Heuristic.Select(el) {
+					rel := heuristics.RelPath(el, sel)
+					rp, err := xpath.Parse(rel)
+					if err != nil {
+						return nil, fmt.Errorf("core: description path %s: %w", rel, err)
+					}
+					paths = append(paths, rp)
+				}
+				descQueries[key] = paths
+			}
+			for _, node := range q.Eval(src.Doc.Root) {
+				res.Candidates = append(res.Candidates, Candidate{
+					Node:     node,
+					Source:   si,
+					Path:     node.Path(),
+					SchemaEl: el,
+				})
+			}
+		}
+	}
+	if len(res.Candidates) == 0 {
+		return nil, fmt.Errorf("core: no candidates found for type %q", typeName)
+	}
+
+	// Steps 2 (execution) + 3: description queries and OD generation.
+	store := od.NewStore()
+	for _, cand := range res.Candidates {
+		queries := descQueries[anchorKey{cand.Source, cand.SchemaEl.Path}]
+		o := &od.OD{Object: cand.Path, Source: cand.Source, Node: cand.Node}
+		for _, n := range xpath.EvalAll(queries, cand.Node) {
+			name := n.SchemaPath()
+			value := n.Text
+			if value == "" && d.mapping.IsComposite(name) {
+				value = n.TextContent()
+			}
+			o.Tuples = append(o.Tuples, od.Tuple{
+				Value: value,
+				Name:  name,
+				Type:  d.mapping.TypeOf(name),
+			})
+		}
+		store.Add(o)
+	}
+	store.Finalize(d.cfg.ThetaTuple)
+	res.Store = store
+
+	// Step 4: comparison reduction via the object filter.
+	n := store.Size()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	if d.cfg.KeepFilterValues {
+		res.FilterValues = make([]float64, n)
+	}
+	if d.cfg.UseFilter || d.cfg.KeepFilterValues {
+		filterValues := make([]float64, n)
+		d.parallelRange(n, func(i int) {
+			filterValues[i] = sim.Filter(store, store.ODs[i])
+		})
+		for i := 0; i < n; i++ {
+			if d.cfg.KeepFilterValues {
+				res.FilterValues[i] = filterValues[i]
+			}
+			if d.cfg.UseFilter && filterValues[i] <= d.cfg.ThetaCand {
+				alive[i] = false
+				res.Pruned = append(res.Pruned, int32(i))
+			}
+		}
+	}
+
+	if d.cfg.FilterOnly {
+		res.Stats.Candidates = n
+		res.Stats.Pruned = len(res.Pruned)
+		res.Stats.Elapsed = time.Since(start)
+		return res, nil
+	}
+
+	// Step 5: pairwise comparisons with the Def. 6 classifier (and the
+	// optional C2 class of possible duplicates). Work is partitioned by
+	// the first index; per-worker results merge into (I, J)-sorted
+	// output, so the result is identical for any worker count.
+	type shard struct {
+		pairs    []Pair
+		possible []Pair
+		compared int64
+	}
+	shards := make([]shard, n)
+	d.parallelRange(n, func(idx int) {
+		i := int32(idx)
+		if !alive[i] {
+			return
+		}
+		sh := &shards[idx]
+		compare := func(j int32) {
+			sh.compared++
+			r := sim.Similarity(store, store.ODs[i], store.ODs[j], d.cfg.ThetaTuple)
+			switch {
+			case sim.Classify(r.Score, d.cfg.ThetaCand):
+				sh.pairs = append(sh.pairs, Pair{I: i, J: j, Score: r.Score})
+			case d.cfg.ThetaPossible > 0 && r.Score > d.cfg.ThetaPossible:
+				sh.possible = append(sh.possible, Pair{I: i, J: j, Score: r.Score})
+			}
+		}
+		if d.cfg.DisableBlocking {
+			for j := i + 1; j < int32(n); j++ {
+				if alive[j] {
+					compare(j)
+				}
+			}
+		} else {
+			// Lossless blocking: sim > 0 needs at least one similar
+			// tuple pair, so only neighbors sharing a similar value can
+			// classify as duplicates.
+			for _, j := range store.Neighbors(i) {
+				if j > i && alive[j] {
+					compare(j)
+				}
+			}
+		}
+	})
+	for idx := range shards {
+		res.Pairs = append(res.Pairs, shards[idx].pairs...)
+		res.PossiblePairs = append(res.PossiblePairs, shards[idx].possible...)
+		res.Stats.Compared += shards[idx].compared
+	}
+
+	// Step 6: duplicate clustering via transitive closure.
+	pairIDs := make([][2]int32, len(res.Pairs))
+	for i, p := range res.Pairs {
+		pairIDs[i] = [2]int32{p.I, p.J}
+	}
+	res.Clusters = cluster.FromPairs(n, pairIDs)
+
+	res.Stats.Candidates = n
+	res.Stats.Pruned = len(res.Pruned)
+	res.Stats.PairsDetected = len(res.Pairs)
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// parallelRange runs fn(i) for i in [0, n) across the configured number
+// of workers. Shards are contiguous so per-index state stays cache
+// friendly; fn must only write state owned by its index.
+func (d *Detector) parallelRange(n int, fn func(i int)) {
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	var next int64 = 0
+	const chunk = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(atomic.AddInt64(&next, chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// WriteXML renders the duplicate clusters in the Fig. 3 dupcluster format.
+func (r *Result) WriteXML(w io.Writer) error {
+	return cluster.WriteXML(w, r.Clusters, func(i int32) string {
+		return r.Candidates[i].Path
+	})
+}
+
+// PairSet returns the detected pairs as a set of index pairs, convenient
+// for evaluation against gold standards.
+func (r *Result) PairSet() [][2]int32 {
+	out := make([][2]int32, len(r.Pairs))
+	for i, p := range r.Pairs {
+		out[i] = [2]int32{p.I, p.J}
+	}
+	return out
+}

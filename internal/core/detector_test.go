@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/heuristics"
+	"repro/internal/xmltree"
+)
+
+func TestCompositeTupleGeneration(t *testing.T) {
+	doc, err := xmltree.ParseString(`<db>
+	  <rec><person><first>Keanu</first><last>Reeves</last></person></rec>
+	  <rec><person><first>Keanu</first><last>Reeves</last></person></rec>
+	  <rec><person><first>Mel</first><last>Gibson</last></person></rec>
+	</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping().
+		MustAdd("REC", "/db/rec").
+		MustAdd("PERSON", "/db/rec/person").
+		MustMarkComposite("/db/rec/person")
+	det, err := NewDetector(m, Config{Heuristic: heuristics.RDistantDescendants(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect("REC", Source{Doc: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Store.ODs[0]
+	if len(o.Tuples) != 1 {
+		t.Fatalf("tuples = %v", o.Tuples)
+	}
+	if o.Tuples[0].Value != "Keanu Reeves" {
+		t.Errorf("composite value = %q, want \"Keanu Reeves\"", o.Tuples[0].Value)
+	}
+	// the two Keanu records pair up via the composite value
+	if len(res.Pairs) != 1 || res.Pairs[0].I != 0 || res.Pairs[0].J != 1 {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestNonCompositeComplexElementStaysEmpty(t *testing.T) {
+	doc, err := xmltree.ParseString(`<db>
+	  <rec><box><x>one</x></box><id>a1</id></rec>
+	  <rec><box><x>one</x></box><id>zz</id></rec>
+	</db>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMapping().MustAdd("REC", "/db/rec")
+	det, err := NewDetector(m, Config{Heuristic: heuristics.RDistantDescendants(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.Detect("REC", Source{Doc: doc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range res.Store.ODs[0].Tuples {
+		if tp.Name == "/db/rec/box" && tp.Value != "" {
+			t.Errorf("unmarked complex element got value %q", tp.Value)
+		}
+	}
+	// boxes are empty-valued, ids differ: no duplicates
+	if len(res.Pairs) != 0 {
+		t.Errorf("pairs = %v", res.Pairs)
+	}
+}
+
+func TestFilterOnlyStopsBeforeComparisons(t *testing.T) {
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55,
+		UseFilter: true, FilterOnly: true, KeepFilterValues: true})
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Compared != 0 {
+		t.Errorf("compared = %d, want 0", res.Stats.Compared)
+	}
+	if len(res.Pairs) != 0 || res.Clusters != nil {
+		t.Errorf("pairs/clusters produced in filter-only mode: %v %v", res.Pairs, res.Clusters)
+	}
+	if len(res.FilterValues) != 3 {
+		t.Errorf("filter values = %v", res.FilterValues)
+	}
+	for _, f := range res.FilterValues {
+		if math.IsNaN(f) || f < 0 || f > 1 {
+			t.Errorf("filter value %v out of range", f)
+		}
+	}
+}
+
+func TestDetectIsDeterministic(t *testing.T) {
+	run := func() string {
+		d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55})
+		res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.WriteXML(&sb); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Pairs {
+			sb.WriteString(res.Candidates[p.I].Path)
+			sb.WriteString(res.Candidates[p.J].Path)
+		}
+		return sb.String()
+	}
+	if run() != run() {
+		t.Error("detection not deterministic")
+	}
+}
+
+func TestCandidatePathsMissingFromAllSources(t *testing.T) {
+	m := NewMapping().MustAdd("GHOST", "/nowhere/at/all")
+	det, err := NewDetector(m, Config{Heuristic: heuristics.RDistantDescendants(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := det.Detect("GHOST", Source{Doc: parseMovies(t)}); err == nil {
+		t.Error("expected error for type with no candidates")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55, DisableBlocking: true})
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Candidates != 3 {
+		t.Errorf("candidates = %d", res.Stats.Candidates)
+	}
+	if res.Stats.Compared != 3 { // C(3,2)
+		t.Errorf("compared = %d, want 3", res.Stats.Compared)
+	}
+	if res.Stats.PairsDetected != len(res.Pairs) {
+		t.Errorf("pair count mismatch: %d vs %d", res.Stats.PairsDetected, len(res.Pairs))
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	if got := res.PairSet(); len(got) != len(res.Pairs) {
+		t.Errorf("PairSet = %v", got)
+	}
+}
+
+func TestPossibleDuplicatesClass(t *testing.T) {
+	// With θpossible set, borderline pairs land in C2 instead of
+	// disappearing. Movie 3 shares its (zero-IDF) year band with nothing
+	// and stays out of both classes; a looser θpossible of 0.1 catches
+	// any pair with some shared signal.
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.99, ThetaPossible: 0.5})
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At θcand 0.99 the movie1/movie2 pair (sim 1.0) is still C1.
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	// Lower θcand below the pair's score and it must move classes.
+	d2 := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55, ThetaPossible: 0.2})
+	res2, err := d2.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res2.PossiblePairs {
+		if p.Score <= 0.2 || p.Score > 0.55 {
+			t.Errorf("possible pair score %v outside (θpossible, θcand]", p.Score)
+		}
+	}
+	// C2 members never join clusters.
+	for _, cluster := range res2.Clusters {
+		for _, p := range res2.PossiblePairs {
+			for _, m := range cluster {
+				if m == p.I && containsMember(cluster, p.J) {
+					t.Errorf("possible pair %v leaked into cluster %v", p, cluster)
+				}
+			}
+		}
+	}
+}
+
+func containsMember(cluster []int32, id int32) bool {
+	for _, m := range cluster {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestThetaPossibleValidation(t *testing.T) {
+	if _, err := NewDetector(NewMapping(), Config{Heuristic: descHeuristic{}, ThetaPossible: 0.9, ThetaCand: 0.5}); err == nil {
+		t.Error("θpossible above θcand accepted")
+	}
+	if _, err := NewDetector(NewMapping(), Config{Heuristic: descHeuristic{}, ThetaPossible: -0.1}); err == nil {
+		t.Error("negative θpossible accepted")
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	// The parallel Steps 4/5 must give identical results for any worker
+	// count, on a corpus large enough to exercise the sharding.
+	doc := xmltree.NewNode("moviedoc")
+	for i := 0; i < 60; i++ {
+		m := xmltree.NewNode("movie")
+		m.AppendChild(xmltree.NewTextNode("title", fmt.Sprintf("film number %d%d", i, i*7%10)))
+		m.AppendChild(xmltree.NewTextNode("year", fmt.Sprintf("%d", 1950+i%40)))
+		a := xmltree.NewNode("actor")
+		a.AppendChild(xmltree.NewTextNode("name", fmt.Sprintf("Person %d", i%17)))
+		a.AppendChild(xmltree.NewTextNode("role", "Self"))
+		m.AppendChild(a)
+		doc.AppendChild(m.Clone()) // each movie twice: guaranteed pairs
+		doc.AppendChild(m)
+	}
+	document := &xmltree.Document{Root: doc}
+
+	run := func(workers int) string {
+		d := exampleDetector(t, Config{
+			ThetaTuple: 0.30, ThetaCand: 0.55,
+			UseFilter: true, KeepFilterValues: true, Workers: workers,
+		})
+		res, err := d.Detect("MOVIE", Source{Doc: document})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, p := range res.Pairs {
+			fmt.Fprintf(&sb, "%d-%d:%.6f;", p.I, p.J, p.Score)
+		}
+		fmt.Fprintf(&sb, "|pruned=%v|compared=%d", res.Pruned, res.Stats.Compared)
+		for _, f := range res.FilterValues {
+			fmt.Fprintf(&sb, "%.9f,", f)
+		}
+		return sb.String()
+	}
+	serial := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); got != serial {
+			t.Errorf("workers=%d diverged from serial", w)
+		}
+	}
+}
+
+func TestScoresAboveThresholdOnly(t *testing.T) {
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55})
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Pairs {
+		if p.Score <= 0.55 {
+			t.Errorf("pair %v with score %v at or below θcand", p, p.Score)
+		}
+	}
+}

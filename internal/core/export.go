@@ -1,0 +1,110 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// jsonResult is the stable JSON shape of a detection result.
+type jsonResult struct {
+	Type       string        `json:"type"`
+	Candidates int           `json:"candidates"`
+	Pruned     []int32       `json:"pruned,omitempty"`
+	Pairs      []jsonPair    `json:"pairs"`
+	Possible   []jsonPair    `json:"possiblePairs,omitempty"`
+	Clusters   []jsonCluster `json:"clusters"`
+	Stats      jsonStats     `json:"stats"`
+}
+
+type jsonPair struct {
+	A     string  `json:"a"`
+	B     string  `json:"b"`
+	Score float64 `json:"score"`
+}
+
+type jsonCluster struct {
+	OID     int      `json:"oid"`
+	Members []string `json:"members"`
+}
+
+type jsonStats struct {
+	Candidates    int   `json:"candidates"`
+	Pruned        int   `json:"pruned"`
+	Compared      int64 `json:"compared"`
+	PairsDetected int   `json:"pairsDetected"`
+	ElapsedMillis int64 `json:"elapsedMillis"`
+}
+
+// WriteJSON renders the result as indented JSON: pairs and clusters by
+// candidate XPath, plus run statistics. Suitable for downstream tooling
+// that does not speak the Fig. 3 XML.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := jsonResult{
+		Type:       r.Type,
+		Candidates: len(r.Candidates),
+		Pruned:     r.Pruned,
+		Pairs:      make([]jsonPair, 0, len(r.Pairs)),
+		Stats: jsonStats{
+			Candidates:    r.Stats.Candidates,
+			Pruned:        r.Stats.Pruned,
+			Compared:      r.Stats.Compared,
+			PairsDetected: r.Stats.PairsDetected,
+			ElapsedMillis: r.Stats.Elapsed.Milliseconds(),
+		},
+	}
+	for _, p := range r.Pairs {
+		out.Pairs = append(out.Pairs, jsonPair{
+			A: r.Candidates[p.I].Path, B: r.Candidates[p.J].Path, Score: p.Score,
+		})
+	}
+	for _, p := range r.PossiblePairs {
+		out.Possible = append(out.Possible, jsonPair{
+			A: r.Candidates[p.I].Path, B: r.Candidates[p.J].Path, Score: p.Score,
+		})
+	}
+	for i, members := range r.Clusters {
+		c := jsonCluster{OID: i + 1}
+		for _, m := range members {
+			c.Members = append(c.Members, r.Candidates[m].Path)
+		}
+		out.Clusters = append(out.Clusters, c)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WritePairsCSV renders detected pairs as CSV with the header
+// a,b,score,class — class is "duplicate" or "possible".
+func (r *Result) WritePairsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"a", "b", "score", "class"}); err != nil {
+		return err
+	}
+	write := func(p Pair, class string) error {
+		return cw.Write([]string{
+			r.Candidates[p.I].Path,
+			r.Candidates[p.J].Path,
+			strconv.FormatFloat(p.Score, 'f', 6, 64),
+			class,
+		})
+	}
+	for _, p := range r.Pairs {
+		if err := write(p, "duplicate"); err != nil {
+			return err
+		}
+	}
+	for _, p := range r.PossiblePairs {
+		if err := write(p, "possible"); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("core: csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exampleResult(t *testing.T) *Result {
+	t.Helper()
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55, ThetaPossible: 0.1})
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteJSON(t *testing.T) {
+	res := exampleResult(t)
+	var sb strings.Builder
+	if err := res.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Type  string `json:"type"`
+		Pairs []struct {
+			A, B  string
+			Score float64
+		}
+		Clusters []struct {
+			OID     int
+			Members []string
+		}
+		Stats struct {
+			Candidates    int
+			PairsDetected int
+		}
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if decoded.Type != "MOVIE" {
+		t.Errorf("type = %q", decoded.Type)
+	}
+	if len(decoded.Pairs) != 1 || decoded.Pairs[0].A != "/moviedoc/movie[1]" {
+		t.Errorf("pairs = %+v", decoded.Pairs)
+	}
+	if decoded.Stats.Candidates != 3 || decoded.Stats.PairsDetected != 1 {
+		t.Errorf("stats = %+v", decoded.Stats)
+	}
+	if len(decoded.Clusters) != 1 || decoded.Clusters[0].OID != 1 || len(decoded.Clusters[0].Members) != 2 {
+		t.Errorf("clusters = %+v", decoded.Clusters)
+	}
+}
+
+func TestWritePairsCSV(t *testing.T) {
+	res := exampleResult(t)
+	var sb strings.Builder
+	if err := res.WritePairsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, sb.String())
+	}
+	if len(records) < 2 {
+		t.Fatalf("records = %v", records)
+	}
+	header := strings.Join(records[0], ",")
+	if header != "a,b,score,class" {
+		t.Errorf("header = %q", header)
+	}
+	if records[1][3] != "duplicate" {
+		t.Errorf("first class = %q", records[1][3])
+	}
+	// possible pairs, if any, are labeled
+	for _, rec := range records[1:] {
+		if rec[3] != "duplicate" && rec[3] != "possible" {
+			t.Errorf("class = %q", rec[3])
+		}
+	}
+}

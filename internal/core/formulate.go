@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/heuristics"
+	"repro/internal/xquery"
+	"repro/internal/xsd"
+)
+
+// FormulatedQueries holds the executable query text the paper's query
+// formulation component (Sec. 3.3) produces for one candidate schema
+// element: the Step 1 candidate query QC and the Step 2 description
+// query QD.
+type FormulatedQueries struct {
+	CandidatePath string
+	Candidate     string   // QC
+	Description   string   // QD
+	Sigma         []string // the σ selection behind QD
+}
+
+// Formulate renders the candidate and description queries the detector
+// would execute for the given real-world type against a schema. It is
+// the introspection counterpart of Detect: the returned XQuery text
+// parses and runs with the xquery package and selects exactly the
+// elements the pipeline flattens into ODs.
+func (d *Detector) Formulate(typeName string, schema *xsd.Schema) ([]FormulatedQueries, error) {
+	candPaths := d.mapping.Paths(typeName)
+	if len(candPaths) == 0 {
+		return nil, fmt.Errorf("core: type %q has no candidate paths in the mapping", typeName)
+	}
+	var out []FormulatedQueries
+	for _, cp := range candPaths {
+		el := schema.ElementAt(cp)
+		if el == nil {
+			continue
+		}
+		var sigma []string
+		for _, sel := range d.cfg.Heuristic.Select(el) {
+			sigma = append(sigma, heuristics.RelPath(el, sel))
+		}
+		out = append(out, FormulatedQueries{
+			CandidatePath: cp,
+			Candidate:     xquery.FormulateCandidate(cp),
+			Description:   xquery.FormulateDescription(cp, sigma),
+			Sigma:         sigma,
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: no candidate path of type %q exists in the schema", typeName)
+	}
+	return out, nil
+}

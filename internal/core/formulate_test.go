@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/xquery"
+	"repro/internal/xsd"
+)
+
+// TestFormulatedQueriesMatchPipeline verifies the Sec. 3.3 contract: the
+// formulated XQuery text executes to exactly the elements the pipeline
+// flattens into OD tuples.
+func TestFormulatedQueriesMatchPipeline(t *testing.T) {
+	doc := parseMovies(t)
+	schema, err := xsd.Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := exampleDetector(t, Config{ThetaTuple: 0.55, ThetaCand: 0.55})
+
+	qs, err := d.Formulate("MOVIE", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 {
+		t.Fatalf("formulated %d query sets", len(qs))
+	}
+	fq := qs[0]
+
+	// The candidate query selects the three movies.
+	cq, err := xquery.Parse(fq.Candidate)
+	if err != nil {
+		t.Fatalf("candidate query %q does not parse: %v", fq.Candidate, err)
+	}
+	if got := cq.Eval(doc); len(got) != 3 {
+		t.Errorf("candidate query found %d, want 3", len(got))
+	}
+
+	// The description query produces one description per movie whose
+	// projected values equal the pipeline's OD tuple values.
+	dq, err := xquery.Parse(fq.Description)
+	if err != nil {
+		t.Fatalf("description query %q does not parse: %v", fq.Description, err)
+	}
+	descs := dq.Eval(doc)
+	if len(descs) != 3 {
+		t.Fatalf("descriptions = %d", len(descs))
+	}
+	res, err := d.Detect("MOVIE", Source{Doc: parseMovies(t), Schema: schema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Store.ODs {
+		var fromQuery, fromPipeline []string
+		for _, c := range descs[i].Children {
+			fromQuery = append(fromQuery, c.Text)
+		}
+		for _, tp := range o.Tuples {
+			fromPipeline = append(fromPipeline, tp.Value)
+		}
+		sort.Strings(fromQuery)
+		sort.Strings(fromPipeline)
+		if strings.Join(fromQuery, "|") != strings.Join(fromPipeline, "|") {
+			t.Errorf("movie %d: query values %v != pipeline values %v",
+				i+1, fromQuery, fromPipeline)
+		}
+	}
+}
+
+func TestFormulateErrors(t *testing.T) {
+	doc := parseMovies(t)
+	schema, err := xsd.Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := exampleDetector(t, Config{})
+	if _, err := d.Formulate("NOPE", schema); err == nil {
+		t.Error("unknown type accepted")
+	}
+	other, err := xsd.ParseString(`<xs:schema xmlns:xs="x"><xs:element name="unrelated" type="xs:string"/></xs:schema>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Formulate("MOVIE", other); err == nil {
+		t.Error("schema without the candidate path accepted")
+	}
+}

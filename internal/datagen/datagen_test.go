@@ -1,0 +1,304 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/strdist"
+	"repro/internal/xsd"
+)
+
+func TestFreeDBDeterministic(t *testing.T) {
+	a := FreeDB(50, 42)
+	b := FreeDB(50, 42)
+	for i := range a {
+		if a[i].DID != b[i].DID || a[i].Title != b[i].Title || len(a[i].Tracks) != len(b[i].Tracks) {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	c := FreeDB(50, 43)
+	same := 0
+	for i := range a {
+		if a[i].Title == c[i].Title {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestFreeDBDiscIDsHaveOneEditTwins(t *testing.T) {
+	// The paper: "most IDs do not differ by more than one character",
+	// causing false similarity at k=1. A substantial share of ids must
+	// have at least one 1-edit twin, without the twin relation exploding
+	// into whole blocks.
+	cds := FreeDB(200, 1)
+	pairs := 0
+	for i := 0; i < len(cds); i++ {
+		for j := i + 1; j < len(cds); j++ {
+			if strdist.Levenshtein(cds[i].DID, cds[j].DID) <= 1 {
+				pairs++
+			}
+		}
+	}
+	if pairs < 40 {
+		t.Errorf("only %d one-edit did pairs in 200 CDs, want >= 40", pairs)
+	}
+	if pairs > 600 {
+		t.Errorf("%d one-edit did pairs in 200 CDs, want moderate fan-out", pairs)
+	}
+	// All ids are 8 lowercase hex chars and unique.
+	seen := map[string]bool{}
+	for _, cd := range cds {
+		if len(cd.DID) != 8 {
+			t.Errorf("did %q not 8 chars", cd.DID)
+		}
+		if seen[cd.DID] {
+			t.Errorf("duplicate did %q", cd.DID)
+		}
+		seen[cd.DID] = true
+	}
+}
+
+func TestFreeDBDummyTrackRate(t *testing.T) {
+	cds := FreeDB(1000, 7)
+	dummies := 0
+	for _, cd := range cds {
+		if cd.Dummy {
+			dummies++
+			if !strings.HasPrefix(cd.Tracks[0], "Track ") {
+				t.Errorf("dummy cd has real first track %q", cd.Tracks[0])
+			}
+		}
+	}
+	// ~20% with generous tolerance
+	if dummies < 150 || dummies > 260 {
+		t.Errorf("dummy CDs = %d/1000, want ≈200", dummies)
+	}
+}
+
+func TestFreeDBFieldProfiles(t *testing.T) {
+	cds := FreeDB(1000, 3)
+	genres := map[string]bool{}
+	years := map[int]bool{}
+	titles := map[string]bool{}
+	withExtra := 0
+	for _, cd := range cds {
+		if cd.Genre != "" {
+			genres[cd.Genre] = true
+		}
+		years[cd.Year] = true
+		titles[cd.Title] = true
+		if cd.CDExtra != "" {
+			withExtra++
+		}
+		if len(cd.Tracks) < 6 || len(cd.Tracks) > 14 {
+			t.Errorf("track count %d out of range", len(cd.Tracks))
+		}
+	}
+	if len(genres) > 11 {
+		t.Errorf("genres = %d, want <= 11 (FreeDB categories)", len(genres))
+	}
+	if len(titles) != 1000 {
+		t.Errorf("titles not unique: %d distinct", len(titles))
+	}
+	if withExtra < 200 || withExtra > 400 {
+		t.Errorf("cdextra present on %d/1000, want ≈300", withExtra)
+	}
+	if len(years) < 20 {
+		t.Errorf("years too concentrated: %d distinct", len(years))
+	}
+}
+
+func TestFreeDBToXMLMatchesTable5Schema(t *testing.T) {
+	cds := FreeDB(30, 5)
+	doc := FreeDBToXML(cds)
+	if doc.Root.Name != "freedb" {
+		t.Fatalf("root = %s", doc.Root.Name)
+	}
+	if got := len(doc.Root.ChildrenNamed("disc")); got != 30 {
+		t.Fatalf("discs = %d", got)
+	}
+	schema, err := xsd.Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{
+		"/freedb/disc/did", "/freedb/disc/artist", "/freedb/disc/title",
+		"/freedb/disc/genre", "/freedb/disc/year", "/freedb/disc/tracks",
+		"/freedb/disc/tracks/title",
+	} {
+		if schema.ElementAt(path) == nil {
+			t.Errorf("schema missing %s", path)
+		}
+	}
+	// year infers as date, did as key, tracks as complex (Table 5 flags)
+	if got := schema.ElementAt("/freedb/disc/year").Type; got != xsd.DTDate {
+		t.Errorf("year type = %v", got)
+	}
+	if !schema.ElementAt("/freedb/disc/did").IsKey {
+		t.Error("did should infer as key")
+	}
+	if schema.ElementAt("/freedb/disc/tracks").HasText() {
+		t.Error("tracks should have no text")
+	}
+	if schema.ElementAt("/freedb/disc/tracks/title").Singleton() {
+		t.Error("tracks/title should not be singleton")
+	}
+}
+
+func TestMoviesDeterministicAndDistinct(t *testing.T) {
+	a := Movies(100, 11)
+	b := Movies(100, 11)
+	for i := range a {
+		if a[i].Title != b[i].Title || a[i].PremiereDE != b[i].PremiereDE {
+			t.Fatalf("movie generation not deterministic at %d", i)
+		}
+	}
+	titles := map[string]bool{}
+	for _, m := range a {
+		if titles[m.Title] {
+			t.Errorf("duplicate title %q", m.Title)
+		}
+		titles[m.Title] = true
+	}
+}
+
+func TestMoviesErrorModel(t *testing.T) {
+	ms := Movies(1000, 13)
+	kept, aka, skew, sameDate := 0, 0, 0, 0
+	for _, m := range ms {
+		if m.GermanTitle == m.Title {
+			kept++
+		}
+		if m.AkaTitle != "" {
+			if m.AkaTitle != m.Title {
+				t.Errorf("aka-title %q != original %q", m.AkaTitle, m.Title)
+			}
+			aka++
+		}
+		if m.YearDE != m.Year {
+			skew++
+		}
+		if len(m.ReleaseISO) != 10 || m.ReleaseISO[4] != '-' {
+			t.Errorf("bad ISO date %q", m.ReleaseISO)
+		}
+		if m.PremiereDE != "" {
+			if len(m.PremiereDE) != 10 || m.PremiereDE[2] != '.' {
+				t.Errorf("bad German date %q", m.PremiereDE)
+			}
+			iso := m.ReleaseISO
+			de := m.PremiereDE
+			if de[6:10] == iso[0:4] && de[3:5] == iso[5:7] && de[0:2] == iso[8:10] {
+				sameDate++
+			}
+		}
+		if len(m.Genres) != len(m.GenresDE) {
+			t.Error("genre lists out of sync")
+		}
+		if len(m.People) < 2 {
+			t.Errorf("movie with %d people", len(m.People))
+		}
+	}
+	check := func(name string, got, lo, hi int) {
+		if got < lo || got > hi {
+			t.Errorf("%s = %d/1000, want in [%d,%d]", name, got, lo, hi)
+		}
+	}
+	check("kept titles", kept, 380, 520)
+	check("aka titles", aka, 580, 720)
+	check("year skew", skew, 60, 150)
+	check("same premiere date", sameDate, 330, 470)
+}
+
+func TestDataset2XMLMatchesTable6Schemas(t *testing.T) {
+	ms := Movies(40, 17)
+	imdb := IMDBToXML(ms)
+	fd := FilmDienstToXML(ms)
+	si, err := xsd.Infer(imdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := xsd.Infer(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{
+		"/imdb/movie/year", "/imdb/movie/title", "/imdb/movie/genre",
+		"/imdb/movie/release-date/date", "/imdb/movie/people/actors/actor/name",
+	} {
+		if si.ElementAt(p) == nil {
+			t.Errorf("imdb schema missing %s", p)
+		}
+	}
+	for _, p := range []string{
+		"/filmdienst/movie/year", "/filmdienst/movie/movie-title/title",
+		"/filmdienst/movie/aka-title/title", "/filmdienst/movie/genres/genre",
+		"/filmdienst/movie/premiere", "/filmdienst/movie/people/person/firstname",
+		"/filmdienst/movie/people/person/lastname",
+	} {
+		if sf.ElementAt(p) == nil {
+			t.Errorf("filmdienst schema missing %s", p)
+		}
+	}
+	// Table 6 depth profile: title is depth 1 at IMDB but depth 2 at FD,
+	// which is why titles only become comparable at r = 2.
+	if d := si.ElementAt("/imdb/movie/title").Depth() - si.ElementAt("/imdb/movie").Depth(); d != 1 {
+		t.Errorf("imdb title rel depth = %d", d)
+	}
+	if d := sf.ElementAt("/filmdienst/movie/movie-title/title").Depth() - sf.ElementAt("/filmdienst/movie").Depth(); d != 2 {
+		t.Errorf("fd title rel depth = %d", d)
+	}
+	// aka-title must be optional
+	if sf.ElementAt("/filmdienst/movie/aka-title").Mandatory() {
+		t.Error("aka-title should be optional")
+	}
+}
+
+func TestMappingPathsCoverSchemas(t *testing.T) {
+	ms := Movies(25, 19)
+	si, _ := xsd.Infer(IMDBToXML(ms))
+	sf, _ := xsd.Infer(FilmDienstToXML(ms))
+	for typ, paths := range Dataset2MappingPaths() {
+		for _, p := range paths {
+			inIMDB := si.ElementAt(p) != nil
+			inFD := sf.ElementAt(p) != nil
+			if !inIMDB && !inFD {
+				t.Errorf("mapping %s path %s matches neither schema", typ, p)
+			}
+		}
+	}
+	cds := FreeDB(25, 19)
+	sc, _ := xsd.Infer(FreeDBToXML(cds))
+	for typ, paths := range FreeDBMappingPaths() {
+		for _, p := range paths {
+			if sc.ElementAt(p) == nil && typ != "CDEXTRA" && typ != "GENRE" {
+				t.Errorf("freedb mapping %s path %s missing from schema", typ, p)
+			}
+		}
+	}
+}
+
+func TestFreeDBSynonymsApplyToGeneratedValues(t *testing.T) {
+	syn := FreeDBSynonyms()
+	if len(syn) == 0 {
+		t.Fatal("no synonyms")
+	}
+	if syn["rock"] != "rock & roll" {
+		t.Errorf("rock synonym = %q", syn["rock"])
+	}
+	// every synonym key is a generatable value
+	genSet := map[string]bool{}
+	for _, g := range freedbGenres {
+		genSet[g] = true
+	}
+	for _, e := range cdExtraPhrases {
+		genSet[e] = true
+	}
+	for k := range syn {
+		if !genSet[k] {
+			t.Errorf("synonym key %q is never generated", k)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Person is a movie participant.
+type Person struct {
+	First, Last string
+	Role        string // actor | actress | producer
+}
+
+// Movie is one movie entity rendered into both Dataset 2 sources.
+type Movie struct {
+	Title       string // original (English) title
+	GermanTitle string // FilmDienst main title (may equal Title)
+	AkaTitle    string // FilmDienst aka-title (often the original title)
+	Year        int
+	YearDE      int // FilmDienst year (occasionally off by one)
+	Genres      []string
+	GenresDE    []string
+	ReleaseISO  string // IMDB release-date/date, yyyy-mm-dd
+	PremiereDE  string // FilmDienst premiere, dd.mm.yyyy
+	People      []Person
+	// PeopleDE is the FilmDienst person list: a subset of People plus the
+	// director, whom IMDB's actor/producer lists do not carry. Real
+	// integration scenarios rarely agree on participant lists.
+	PeopleDE []Person
+}
+
+// MovieParams tunes the Dataset 2 generator. Zero values select defaults.
+type MovieParams struct {
+	// KeepTitleRate is the fraction of movies whose German distribution
+	// kept the original title (no translation).
+	KeepTitleRate float64
+	// AkaRate is the fraction of movies whose FilmDienst entry carries an
+	// aka-title holding the original title.
+	AkaRate float64
+	// YearSkewRate is the fraction of movies whose FilmDienst year is off
+	// by one (different counting of premiere years).
+	YearSkewRate float64
+	// SamePremiereRate is the fraction of movies whose German premiere
+	// date equals the US release (format still differs).
+	SamePremiereRate float64
+}
+
+func (p MovieParams) withDefaults() MovieParams {
+	if p.KeepTitleRate == 0 {
+		p.KeepTitleRate = 0.45
+	}
+	if p.AkaRate == 0 {
+		p.AkaRate = 0.65
+	}
+	if p.YearSkewRate == 0 {
+		p.YearSkewRate = 0.10
+	}
+	if p.SamePremiereRate == 0 {
+		p.SamePremiereRate = 0.40
+	}
+	return p
+}
+
+// Movies generates n movie entities with default parameters.
+func Movies(n int, seed int64) []Movie {
+	return MoviesWith(n, seed, MovieParams{})
+}
+
+// MoviesWith generates n movie entities.
+func MoviesWith(n int, seed int64, params MovieParams) []Movie {
+	p := params.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	used := map[string]bool{}
+	movies := make([]Movie, n)
+	for i := range movies {
+		var title string
+		for {
+			title = moviePhrase(rng, 2+rng.Intn(2))
+			if !used[title] {
+				used[title] = true
+				break
+			}
+		}
+		m := Movie{
+			Title: title,
+			Year:  1965 + rng.Intn(40),
+		}
+		m.YearDE = m.Year
+		if rng.Float64() < p.YearSkewRate {
+			m.YearDE = m.Year + 1
+		}
+		if rng.Float64() < p.KeepTitleRate {
+			m.GermanTitle = title
+		} else {
+			m.GermanTitle = germanize(title)
+		}
+		if rng.Float64() < p.AkaRate {
+			m.AkaTitle = title
+		}
+		if rng.Float64() < 0.90 { // genres optional (Table 6: not ME)
+			ng := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			for g := 0; g < ng; g++ {
+				gi := rng.Intn(len(movieGenres))
+				if seen[gi] {
+					continue
+				}
+				seen[gi] = true
+				m.Genres = append(m.Genres, movieGenres[gi].EN)
+				m.GenresDE = append(m.GenresDE, movieGenres[gi].DE)
+			}
+		}
+		day := 1 + rng.Intn(28)
+		month := 1 + rng.Intn(12)
+		m.ReleaseISO = fmt.Sprintf("%04d-%02d-%02d", m.Year, month, day)
+		switch { // premiere optional (Table 6: not ME)
+		case rng.Float64() >= 0.90:
+			m.PremiereDE = ""
+		case rng.Float64() < p.SamePremiereRate:
+			m.PremiereDE = fmt.Sprintf("%02d.%02d.%04d", day, month, m.Year)
+		default:
+			d2 := 1 + rng.Intn(28)
+			mo2 := 1 + rng.Intn(12)
+			m.PremiereDE = fmt.Sprintf("%02d.%02d.%04d", d2, mo2, m.YearDE)
+		}
+		np := 2 + rng.Intn(4)
+		for q := 0; q < np; q++ {
+			role := "actor"
+			switch q % 3 {
+			case 1:
+				role = "actress"
+			case 2:
+				role = "producer"
+			}
+			m.People = append(m.People, Person{
+				First: firstNames[rng.Intn(len(firstNames))],
+				Last:  lastNames[rng.Intn(len(lastNames))],
+				Role:  role,
+			})
+		}
+		for _, p := range m.People {
+			if rng.Float64() < 0.70 {
+				m.PeopleDE = append(m.PeopleDE, p)
+			}
+		}
+		m.PeopleDE = append(m.PeopleDE, Person{
+			First: firstNames[rng.Intn(len(firstNames))],
+			Last:  lastNames[rng.Intn(len(lastNames))],
+			Role:  "director",
+		})
+		movies[i] = m
+	}
+	return movies
+}
+
+func moviePhrase(rng *rand.Rand, words int) string {
+	parts := make([]string, words)
+	for i := range parts {
+		parts[i] = movieTitleWords[rng.Intn(len(movieTitleWords))]
+	}
+	return strings.Join(parts, " ")
+}
+
+func germanize(title string) string {
+	words := strings.Fields(title)
+	for i, w := range words {
+		if de, ok := germanTitleWords[w]; ok {
+			words[i] = de
+		}
+	}
+	out := strings.Join(words, " ")
+	if out == title {
+		// Ensure a visible translation even when no word has a table
+		// entry, as German distributors retitle freely.
+		out = "die " + out
+	}
+	return out
+}
+
+// IMDBToXML renders movies under the IMDB-side schema of Table 6:
+//
+//	imdb/movie/{year, title, genre*, release-date/date,
+//	            people/{actors/actor/name, actresses/actress/name,
+//	                    producers/producer/name}}
+func IMDBToXML(movies []Movie) *xmltree.Document {
+	root := xmltree.NewNode("imdb")
+	for _, m := range movies {
+		mv := xmltree.NewNode("movie")
+		mv.AppendChild(xmltree.NewTextNode("year", fmt.Sprintf("%d", m.Year)))
+		mv.AppendChild(xmltree.NewTextNode("title", m.Title))
+		for _, g := range m.Genres {
+			mv.AppendChild(xmltree.NewTextNode("genre", g))
+		}
+		rd := xmltree.NewNode("release-date")
+		rd.AppendChild(xmltree.NewTextNode("date", m.ReleaseISO))
+		mv.AppendChild(rd)
+		people := xmltree.NewNode("people")
+		actors := xmltree.NewNode("actors")
+		actresses := xmltree.NewNode("actresses")
+		producers := xmltree.NewNode("producers")
+		for _, p := range m.People {
+			name := p.First + " " + p.Last
+			switch p.Role {
+			case "actor":
+				a := xmltree.NewNode("actor")
+				a.AppendChild(xmltree.NewTextNode("name", name))
+				actors.AppendChild(a)
+			case "actress":
+				a := xmltree.NewNode("actress")
+				a.AppendChild(xmltree.NewTextNode("name", name))
+				actresses.AppendChild(a)
+			default:
+				a := xmltree.NewNode("producer")
+				a.AppendChild(xmltree.NewTextNode("name", name))
+				producers.AppendChild(a)
+			}
+		}
+		for _, grp := range []*xmltree.Node{actors, actresses, producers} {
+			if len(grp.Children) > 0 {
+				people.AppendChild(grp)
+			}
+		}
+		mv.AppendChild(people)
+		root.AppendChild(mv)
+	}
+	return &xmltree.Document{Root: root}
+}
+
+// FilmDienstToXML renders movies under the FilmDienst-side schema of
+// Table 6:
+//
+//	filmdienst/movie/{year, movie-title/title, aka-title/title?,
+//	                  genres/genre*, premiere,
+//	                  people/person/{firstname, lastname}}
+func FilmDienstToXML(movies []Movie) *xmltree.Document {
+	root := xmltree.NewNode("filmdienst")
+	for _, m := range movies {
+		mv := xmltree.NewNode("movie")
+		mv.AppendChild(xmltree.NewTextNode("year", fmt.Sprintf("%d", m.YearDE)))
+		mt := xmltree.NewNode("movie-title")
+		mt.AppendChild(xmltree.NewTextNode("title", m.GermanTitle))
+		mv.AppendChild(mt)
+		if m.AkaTitle != "" {
+			aka := xmltree.NewNode("aka-title")
+			aka.AppendChild(xmltree.NewTextNode("title", m.AkaTitle))
+			mv.AppendChild(aka)
+		}
+		if len(m.GenresDE) > 0 {
+			genres := xmltree.NewNode("genres")
+			for _, g := range m.GenresDE {
+				genres.AppendChild(xmltree.NewTextNode("genre", g))
+			}
+			mv.AppendChild(genres)
+		}
+		if m.PremiereDE != "" {
+			mv.AppendChild(xmltree.NewTextNode("premiere", m.PremiereDE))
+		}
+		people := xmltree.NewNode("people")
+		for _, p := range m.PeopleDE {
+			pe := xmltree.NewNode("person")
+			pe.AppendChild(xmltree.NewTextNode("firstname", p.First))
+			pe.AppendChild(xmltree.NewTextNode("lastname", p.Last))
+			people.AppendChild(pe)
+		}
+		mv.AppendChild(people)
+		root.AppendChild(mv)
+	}
+	return &xmltree.Document{Root: root}
+}
+
+// Dataset2MappingPaths aligns the two Table 6 schemas to shared
+// real-world types. The candidate type is "MOVIE". The FilmDienst person
+// element is compared as a composite — its firstname + lastname children
+// concatenate into one value, mirroring the "firstname + lastname" entry
+// of Table 6 (mark it with Dataset2CompositePaths).
+func Dataset2MappingPaths() map[string][]string {
+	return map[string][]string{
+		"MOVIE": {"/imdb/movie", "/filmdienst/movie"},
+		"YEAR":  {"/imdb/movie/year", "/filmdienst/movie/year"},
+		"TITLE": {
+			"/imdb/movie/title",
+			"/filmdienst/movie/movie-title/title",
+			"/filmdienst/movie/aka-title/title",
+		},
+		"GENRE": {"/imdb/movie/genre", "/filmdienst/movie/genres/genre"},
+		"RELEASE": {
+			"/imdb/movie/release-date/date",
+			"/filmdienst/movie/premiere",
+		},
+		"PERSON": {
+			"/imdb/movie/people/actors/actor/name",
+			"/imdb/movie/people/actresses/actress/name",
+			"/imdb/movie/people/producers/producer/name",
+			"/filmdienst/movie/people/person",
+		},
+	}
+}
+
+// Dataset2CompositePaths lists the mapped paths whose OD value is
+// composed from child text (Table 6's "firstname + lastname").
+func Dataset2CompositePaths() []string {
+	return []string{"/filmdienst/movie/people/person"}
+}

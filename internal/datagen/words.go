@@ -1,0 +1,112 @@
+package datagen
+
+// Vocabulary tables for the synthetic corpora. The lists are sized so that
+// artist/title values carry high inverse document frequency while genre,
+// year and cdextra stay low-IDF, matching the identifying-power profile
+// the paper reports for the FreeDB data (Sec. 6.2).
+
+// freedbGenres are the 11 FreeDB categories, the paper's low-IDF genre
+// vocabulary.
+var freedbGenres = []string{
+	"blues", "classical", "country", "data", "folk",
+	"jazz", "misc", "newage", "reggae", "rock", "soul",
+}
+
+// genreSynonyms feed the dirty generator's synonym replacement.
+var genreSynonyms = map[string]string{
+	"rock":      "rock & roll",
+	"classical": "classic",
+	"newage":    "new age",
+	"misc":      "miscellaneous",
+	"soul":      "rhythm & blues",
+	"country":   "country & western",
+}
+
+// cdExtraPhrases is a deliberately tiny vocabulary (low IDF).
+var cdExtraPhrases = []string{
+	"bonus disc", "remastered", "limited edition", "live recording",
+	"digipak", "promo copy", "club edition", "enhanced cd",
+	"box set disc", "import", "special edition", "anniversary issue",
+}
+
+var cdExtraSynonyms = map[string]string{
+	"remastered":      "digitally remastered",
+	"limited edition": "ltd. edition",
+	"live recording":  "recorded live",
+	"promo copy":      "promotional copy",
+	"import":          "imported",
+}
+
+// firstNames and lastNames compose artist and person names.
+var firstNames = []string{
+	"Aretha", "Billie", "Chet", "Dizzy", "Ella", "Frank", "Gloria",
+	"Howlin", "Isaac", "Janis", "Kurt", "Leonard", "Miles", "Nina",
+	"Otis", "Patsy", "Quincy", "Robert", "Sarah", "Thelonious",
+	"Ulrich", "Violeta", "Wanda", "Xavier", "Yoko", "Zoot",
+	"Albert", "Bessie", "Cab", "Dinah", "Etta", "Fats", "Grant",
+	"Hank", "Irma", "John", "Koko", "Lena", "Mahalia", "Nat",
+}
+
+var lastNames = []string{
+	"Armstrong", "Baker", "Coltrane", "Davis", "Ellington", "Fitzgerald",
+	"Gillespie", "Holiday", "Ibrahim", "Jackson", "King", "Lewis",
+	"Mingus", "Newton", "Orbison", "Parker", "Quebec", "Reinhardt",
+	"Simone", "Turner", "Underwood", "Vaughan", "Waters", "Xenakis",
+	"Young", "Zawinul", "Adderley", "Basie", "Calloway", "Domino",
+	"Evans", "Franklin", "Getz", "Hawkins", "Iglesias", "Jarrett",
+	"Krall", "Laine", "Monk", "Norvo",
+}
+
+// titleWords compose CD and track titles (high IDF combinations).
+var titleWords = []string{
+	"midnight", "river", "golden", "shadow", "electric", "velvet",
+	"broken", "summer", "winter", "neon", "crystal", "wild",
+	"silent", "burning", "frozen", "scarlet", "hollow", "rising",
+	"fading", "distant", "crimson", "silver", "lonely", "restless",
+	"saffron", "indigo", "thunder", "paper", "glass", "iron",
+	"hidden", "sacred", "twisted", "gentle", "savage", "amber",
+	"echoes", "whispers", "dreams", "horizons", "rhythms", "shadows",
+	"mirrors", "embers", "tides", "voltage", "avenues", "delta",
+}
+
+// movieTitleWords compose English movie titles.
+var movieTitleWords = []string{
+	"matrix", "signs", "empire", "return", "dark", "city", "lost",
+	"highway", "eternal", "sunshine", "blade", "runner", "seven",
+	"fight", "club", "memento", "heat", "alien", "predator",
+	"gladiator", "braveheart", "titanic", "avatar", "inception",
+	"interstellar", "arrival", "departed", "prestige", "island",
+	"beach", "mountain", "garden", "station", "hotel", "palace",
+	"kingdom", "castle", "bridge", "tunnel", "harbor", "lighthouse",
+}
+
+// germanTitleWords translate movie title words for the FilmDienst
+// rendering; untranslated words pass through unchanged.
+var germanTitleWords = map[string]string{
+	"dark": "dunkel", "city": "stadt", "lost": "verloren",
+	"highway": "autobahn", "eternal": "ewig", "sunshine": "sonnenschein",
+	"seven": "sieben", "fight": "kampf", "club": "klub",
+	"island": "insel", "beach": "strand", "mountain": "berg",
+	"garden": "garten", "station": "bahnhof", "hotel": "hotel",
+	"kingdom": "königreich", "castle": "schloss", "bridge": "brücke",
+	"tunnel": "tunnel", "harbor": "hafen", "lighthouse": "leuchtturm",
+	"return": "rückkehr", "empire": "imperium", "signs": "zeichen",
+}
+
+// movieGenres pairs English and German genre names; several are cognates
+// that match exactly across sources, the rest are synonyms that contradict
+// without a thesaurus, as the paper observes for Dataset 2.
+var movieGenres = []struct{ EN, DE string }{
+	{"drama", "drama"},
+	{"thriller", "thriller"},
+	{"horror", "horror"},
+	{"western", "western"},
+	{"fantasy", "fantasy"},
+	{"musical", "musical"},
+	{"comedy", "komödie"},
+	{"crime", "krimi"},
+	{"romance", "liebesfilm"},
+	{"war", "kriegsfilm"},
+	{"science fiction", "sciencefiction"},
+	{"documentary", "dokumentarfilm"},
+}

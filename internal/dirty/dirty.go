@@ -1,0 +1,204 @@
+// Package dirty reimplements the "XML Dirty Data Generator" the paper used
+// to derive Dataset 1 (Sec. 6.1): given an XML document and a candidate
+// path, it duplicates a configurable percentage of the candidate elements
+// and corrupts the copies with typographical errors, missing data, and
+// synonym (contradictory) replacements.
+//
+// Typos are 1-3 character edits, so a share of corrupted values leaves the
+// θtuple = 0.15 similarity window — the paper relies on that to explain
+// the sub-100% recall of short descriptions.
+package dirty
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Params are the four knobs of the generator, each a probability in
+// [0,1]. They mirror the paper's parameter list: percentage of duplicates,
+// of typographical errors, of missing data, and of synonymous (but
+// contradictory) data. Dataset 1 used 100%, 20%, 10% and 8%.
+type Params struct {
+	DuplicatePct float64 // fraction of candidates that receive a duplicate
+	TypoPct      float64 // per-value probability of a typographical error
+	MissingPct   float64 // per-element probability of being dropped
+	SynonymPct   float64 // per-value probability of synonym replacement
+}
+
+// Dataset1Params are the paper's settings for Dataset 1.
+func Dataset1Params() Params {
+	return Params{DuplicatePct: 1.0, TypoPct: 0.20, MissingPct: 0.10, SynonymPct: 0.08}
+}
+
+func (p Params) validate() error {
+	for _, v := range []struct {
+		name string
+		val  float64
+	}{
+		{"DuplicatePct", p.DuplicatePct},
+		{"TypoPct", p.TypoPct},
+		{"MissingPct", p.MissingPct},
+		{"SynonymPct", p.SynonymPct},
+	} {
+		if v.val < 0 || v.val > 1 {
+			return fmt.Errorf("dirty: %s = %v out of [0,1]", v.name, v.val)
+		}
+	}
+	return nil
+}
+
+// Generator corrupts documents deterministically in its seed.
+type Generator struct {
+	params   Params
+	rng      *rand.Rand
+	synonyms map[string]string
+}
+
+// New creates a generator. synonyms maps exact values to replacements and
+// may be nil.
+func New(params Params, seed int64, synonyms map[string]string) (*Generator, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{
+		params:   params,
+		rng:      rand.New(rand.NewSource(seed)),
+		synonyms: synonyms,
+	}, nil
+}
+
+// Result reports what DirtyDocument produced.
+type Result struct {
+	// Duplicated[i] holds the candidate index (in document order of the
+	// *output* document) of the duplicate created from original i; -1 if
+	// original i was not duplicated. Originals keep their indexes because
+	// duplicates are appended after all originals.
+	Duplicated []int
+	// GoldPairs lists (original, duplicate) candidate index pairs.
+	GoldPairs [][2]int32
+	// Typos, Dropped, Synonyms count applied corruptions.
+	Typos, Dropped, Synonyms int
+}
+
+// DirtyDocument duplicates and corrupts candidates selected by
+// candidatePath (an absolute XPath like /freedb/disc) in place: corrupted
+// copies are appended to the candidates' parent after all originals.
+func (g *Generator) DirtyDocument(doc *xmltree.Document, candidatePath string) (*Result, error) {
+	q, err := xpath.Parse(candidatePath)
+	if err != nil {
+		return nil, fmt.Errorf("dirty: %w", err)
+	}
+	candidates := q.Eval(doc.Root)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("dirty: no candidates at %s", candidatePath)
+	}
+	res := &Result{Duplicated: make([]int, len(candidates))}
+	for i := range res.Duplicated {
+		res.Duplicated[i] = -1
+	}
+
+	// Choose exactly round(n * DuplicatePct) candidates, spread evenly
+	// but shuffled, so Fig. 8's "50% duplicates = 250 duplicate pairs +
+	// 250 singletons" arithmetic holds.
+	n := len(candidates)
+	count := int(float64(n)*g.params.DuplicatePct + 0.5)
+	perm := g.rng.Perm(n)[:count]
+
+	next := n
+	for _, idx := range perm {
+		orig := candidates[idx]
+		dup := orig.Clone()
+		g.corrupt(dup, res)
+		orig.Parent.AppendChild(dup)
+		res.Duplicated[idx] = next
+		res.GoldPairs = append(res.GoldPairs, [2]int32{int32(idx), int32(next)})
+		next++
+	}
+	return res, nil
+}
+
+// corrupt applies missing-data, synonym and typo errors to the subtree.
+func (g *Generator) corrupt(node *xmltree.Node, res *Result) {
+	// Missing data: drop optional-looking children (never the first child,
+	// so the duplicate keeps at least its leading identifier).
+	var droppable []*xmltree.Node
+	node.Walk(func(m *xmltree.Node) bool {
+		for i, c := range m.Children {
+			if i == 0 && m == node {
+				continue
+			}
+			droppable = append(droppable, c)
+		}
+		return true
+	})
+	for _, c := range droppable {
+		if c.Parent == nil {
+			continue // an ancestor was already dropped
+		}
+		if g.rng.Float64() < g.params.MissingPct {
+			if parent := c.Parent; parent != nil {
+				parent.RemoveChild(c)
+				res.Dropped++
+			}
+		}
+	}
+
+	// Synonyms, then typos, on the surviving text values.
+	node.Walk(func(m *xmltree.Node) bool {
+		if m.Text == "" {
+			return true
+		}
+		if g.synonyms != nil {
+			if alt, ok := g.synonyms[m.Text]; ok && g.rng.Float64() < g.params.SynonymPct {
+				m.Text = alt
+				res.Synonyms++
+				return true // synonym replaces; no typo on top
+			}
+		}
+		if g.rng.Float64() < g.params.TypoPct {
+			m.Text = g.typo(m.Text)
+			res.Typos++
+		}
+		return true
+	})
+}
+
+const typoLetters = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+// typo applies 1-3 random character edits (substitution, insertion,
+// deletion), never producing an empty string. Severity is skewed like
+// human typos: 60% single-edit, 30% two edits, 10% three edits — enough
+// multi-edit errors that short values (disc-ids) sometimes leave the
+// θtuple window, as the paper observes at k=1, without routinely
+// destroying long values.
+func (g *Generator) typo(s string) string {
+	r := []rune(s)
+	edits := 1
+	switch roll := g.rng.Float64(); {
+	case roll >= 0.90:
+		edits = 3
+	case roll >= 0.60:
+		edits = 2
+	}
+	for e := 0; e < edits; e++ {
+		if len(r) == 0 {
+			r = append(r, rune(typoLetters[g.rng.Intn(len(typoLetters))]))
+			continue
+		}
+		pos := g.rng.Intn(len(r))
+		switch g.rng.Intn(3) {
+		case 0: // substitution
+			r[pos] = rune(typoLetters[g.rng.Intn(len(typoLetters))])
+		case 1: // insertion
+			r = append(r[:pos], append([]rune{rune(typoLetters[g.rng.Intn(len(typoLetters))])}, r[pos:]...)...)
+		default: // deletion
+			if len(r) > 1 {
+				r = append(r[:pos], r[pos+1:]...)
+			}
+		}
+	}
+	return string(r)
+}

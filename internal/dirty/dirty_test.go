@@ -1,0 +1,181 @@
+package dirty
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/strdist"
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+func freedbDoc(t *testing.T, n int) *xmltree.Document {
+	t.Helper()
+	return datagen.FreeDBToXML(datagen.FreeDB(n, 42))
+}
+
+func TestDuplicateCountArithmetic(t *testing.T) {
+	// Fig. 8: "at 50% duplicates, we have generated 250 duplicates, so we
+	// have 250 duplicate pairs and 250 singletons".
+	for _, pct := range []float64{0, 0.1, 0.5, 0.9, 1.0} {
+		doc := freedbDoc(t, 100)
+		g, err := New(Params{DuplicatePct: pct, TypoPct: 0.2, MissingPct: 0.1, SynonymPct: 0.08}, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := g.DirtyDocument(doc, "/freedb/disc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(100*pct + 0.5)
+		if len(res.GoldPairs) != want {
+			t.Errorf("pct=%v: gold pairs = %d, want %d", pct, len(res.GoldPairs), want)
+		}
+		discs := doc.Root.ChildrenNamed("disc")
+		if len(discs) != 100+want {
+			t.Errorf("pct=%v: discs = %d, want %d", pct, len(discs), 100+want)
+		}
+	}
+}
+
+func TestGoldPairIndexesMatchDocumentOrder(t *testing.T) {
+	doc := freedbDoc(t, 20)
+	g, _ := New(Params{DuplicatePct: 1}, 2, nil)
+	res, err := g.DirtyDocument(doc, "/freedb/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// candidates re-evaluated in document order must line up with the
+	// indexes in GoldPairs
+	candidates := xpath.MustParse("/freedb/disc").Eval(doc.Root)
+	if len(candidates) != 40 {
+		t.Fatalf("candidates = %d", len(candidates))
+	}
+	for _, p := range res.GoldPairs {
+		orig, dup := candidates[p[0]], candidates[p[1]]
+		// with no corruption params except duplication, the duplicate's
+		// did must equal the original's
+		if orig.Child("did").Text != dup.Child("did").Text {
+			t.Errorf("pair %v: did %q vs %q", p, orig.Child("did").Text, dup.Child("did").Text)
+		}
+	}
+	for i, dupIdx := range res.Duplicated {
+		if dupIdx < 0 {
+			t.Errorf("original %d not duplicated at 100%%", i)
+		}
+	}
+}
+
+func TestNoCorruptionWithZeroRates(t *testing.T) {
+	doc := freedbDoc(t, 15)
+	orig := doc.Root.Clone()
+	g, _ := New(Params{DuplicatePct: 1}, 3, nil)
+	res, err := g.DirtyDocument(doc, "/freedb/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Typos != 0 || res.Dropped != 0 || res.Synonyms != 0 {
+		t.Errorf("corruptions applied with zero rates: %+v", res)
+	}
+	// every duplicate must equal its original
+	discs := doc.Root.ChildrenNamed("disc")
+	for _, p := range res.GoldPairs {
+		if discs[p[0]].String() != discs[p[1]].String() {
+			t.Errorf("pair %v differs without corruption", p)
+		}
+	}
+	// originals untouched
+	for i, d := range orig.ChildrenNamed("disc") {
+		if d.String() != discs[i].String() {
+			t.Errorf("original %d modified", i)
+		}
+	}
+}
+
+func TestCorruptionRates(t *testing.T) {
+	doc := freedbDoc(t, 300)
+	g, _ := New(Dataset1Params(), 4, datagen.FreeDBSynonyms())
+	res, err := g.DirtyDocument(doc, "/freedb/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Typos == 0 {
+		t.Error("no typos at 20%")
+	}
+	if res.Dropped == 0 {
+		t.Error("nothing dropped at 10%")
+	}
+	if res.Synonyms == 0 {
+		t.Error("no synonyms at 8% with a synonym table")
+	}
+	// Typo magnitude: duplicates' values differ from originals by 1-3
+	// edits when typo'd; sanity check on dids.
+	discs := doc.Root.ChildrenNamed("disc")
+	typod, clean := 0, 0
+	for _, p := range res.GoldPairs {
+		a := discs[p[0]].Child("did").Text
+		bNode := discs[p[1]].Child("did")
+		if bNode == nil {
+			continue // dropped
+		}
+		d := strdist.Levenshtein(a, bNode.Text)
+		switch {
+		case d == 0:
+			clean++
+		case d >= 1 && d <= 3:
+			typod++
+		default:
+			t.Errorf("did corrupted by %d edits: %q vs %q", d, a, bNode.Text)
+		}
+	}
+	if typod == 0 || clean == 0 {
+		t.Errorf("typo mix degenerate: typod=%d clean=%d", typod, clean)
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	d1 := freedbDoc(t, 50)
+	d2 := freedbDoc(t, 50)
+	g1, _ := New(Dataset1Params(), 99, datagen.FreeDBSynonyms())
+	g2, _ := New(Dataset1Params(), 99, datagen.FreeDBSynonyms())
+	r1, err := g1.DirtyDocument(d1, "/freedb/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := g2.DirtyDocument(d2, "/freedb/disc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.String() != d2.String() {
+		t.Error("same seed produced different documents")
+	}
+	if len(r1.GoldPairs) != len(r2.GoldPairs) {
+		t.Error("same seed produced different gold")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Params{DuplicatePct: 1.5}, 0, nil); err == nil {
+		t.Error("bad DuplicatePct accepted")
+	}
+	if _, err := New(Params{TypoPct: -0.1}, 0, nil); err == nil {
+		t.Error("bad TypoPct accepted")
+	}
+	g, _ := New(Params{}, 0, nil)
+	doc := freedbDoc(t, 5)
+	if _, err := g.DirtyDocument(doc, "/nonexistent/path"); err == nil {
+		t.Error("bad candidate path accepted")
+	}
+	if _, err := g.DirtyDocument(doc, "not a path ["); err == nil {
+		t.Error("unparseable path accepted")
+	}
+}
+
+func TestTypoNeverEmptiesValue(t *testing.T) {
+	g, _ := New(Params{}, 5, nil)
+	for i := 0; i < 200; i++ {
+		if got := g.typo("a"); got == "" {
+			t.Fatal("typo produced empty string")
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package experiments reproduces the evaluation of Section 6: the three
+// datasets of Sec. 6.1, the similarity-effectiveness sweeps of Figures 5,
+// 6 and 7, the object-filter sweep of Figure 8, and the element-selection
+// Tables 4-6. Each driver returns the numeric series the paper plots and
+// can render them as aligned text tables (render.go).
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dirty"
+	"repro/internal/evalmetrics"
+	"repro/internal/xmltree"
+	"repro/internal/xsd"
+)
+
+// MappingFromPaths builds a core.Mapping from a type -> paths table.
+func MappingFromPaths(paths map[string][]string) *core.Mapping {
+	m := core.NewMapping()
+	for typ, ps := range paths {
+		m.MustAdd(typ, ps...)
+	}
+	return m
+}
+
+// Dataset1 is the Fig. 5 workload: n clean CDs plus artificial duplicates
+// from the dirty generator (paper settings: 100% duplicates, 20% typos,
+// 10% missing, 8% synonyms).
+type Dataset1 struct {
+	Doc       *xmltree.Document
+	Schema    *xsd.Schema
+	Mapping   *core.Mapping
+	Gold      evalmetrics.PairSet
+	Originals int
+}
+
+// BuildDataset1 generates the corpus. Pass dirty.Dataset1Params() for the
+// paper's configuration.
+func BuildDataset1(n int, seed int64, params dirty.Params) (*Dataset1, error) {
+	cds := datagen.FreeDB(n, seed)
+	doc := datagen.FreeDBToXML(cds)
+	// The schema describes the clean data model (the paper's XSD); infer
+	// it before corruption, or missing-data errors would make every
+	// element look optional and neuter the cme condition.
+	schema, err := xsd.Infer(doc)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := dirty.New(params, seed+1, datagen.FreeDBSynonyms())
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.DirtyDocument(doc, "/freedb/disc")
+	if err != nil {
+		return nil, err
+	}
+	gold := evalmetrics.PairSet{}
+	for _, p := range res.GoldPairs {
+		gold.Add(p[0], p[1])
+	}
+	return &Dataset1{
+		Doc:       doc,
+		Schema:    schema,
+		Mapping:   MappingFromPaths(datagen.FreeDBMappingPaths()),
+		Gold:      gold,
+		Originals: n,
+	}, nil
+}
+
+// Dataset2 is the Fig. 6 workload: the same n movies rendered under the
+// IMDB and FilmDienst schemas of Table 6. The gold standard pairs movie i
+// of the IMDB source with movie i of the FilmDienst source, whose
+// candidate index is n+i.
+type Dataset2 struct {
+	IMDB, FilmDienst *xmltree.Document
+	SchemaIMDB       *xsd.Schema
+	SchemaFD         *xsd.Schema
+	Mapping          *core.Mapping
+	Gold             evalmetrics.PairSet
+	N                int
+}
+
+// BuildDataset2 generates the two-source corpus.
+func BuildDataset2(n int, seed int64) (*Dataset2, error) {
+	movies := datagen.Movies(n, seed)
+	imdb := datagen.IMDBToXML(movies)
+	fd := datagen.FilmDienstToXML(movies)
+	si, err := xsd.Infer(imdb)
+	if err != nil {
+		return nil, err
+	}
+	sf, err := xsd.Infer(fd)
+	if err != nil {
+		return nil, err
+	}
+	gold := evalmetrics.PairSet{}
+	for i := 0; i < n; i++ {
+		gold.Add(int32(i), int32(n+i))
+	}
+	mapping := MappingFromPaths(datagen.Dataset2MappingPaths())
+	mapping.MustMarkComposite(datagen.Dataset2CompositePaths()...)
+	return &Dataset2{
+		IMDB: imdb, FilmDienst: fd,
+		SchemaIMDB: si, SchemaFD: sf,
+		Mapping: mapping,
+		Gold:    gold,
+		N:       n,
+	}, nil
+}
+
+// Dataset3 is the Fig. 7 workload: a large CD corpus containing a small
+// share of naturally-occurring duplicates (the paper used 10,000 raw
+// FreeDB discs; we inject ~3% duplicates, a tenth of them exact).
+type Dataset3 struct {
+	Doc     *xmltree.Document
+	Schema  *xsd.Schema
+	Mapping *core.Mapping
+	Gold    evalmetrics.PairSet
+}
+
+// BuildDataset3 generates roughly total discs: total/(1+rate) originals
+// plus injected duplicates.
+func BuildDataset3(total int, seed int64) (*Dataset3, error) {
+	const rate = 0.03
+	n := int(float64(total) / (1 + rate))
+	cds := datagen.FreeDBWith(n, seed, datagen.FreeDBParams{ReissueRate: 0.02})
+	doc := datagen.FreeDBToXML(cds)
+	schema, err := xsd.Infer(doc)
+	if err != nil {
+		return nil, err
+	}
+	// Mild corruption so that a share of the duplicates stays exact.
+	gen, err := dirty.New(dirty.Params{
+		DuplicatePct: rate,
+		TypoPct:      0.10,
+		MissingPct:   0.05,
+		SynonymPct:   0.05,
+	}, seed+1, datagen.FreeDBSynonyms())
+	if err != nil {
+		return nil, err
+	}
+	res, err := gen.DirtyDocument(doc, "/freedb/disc")
+	if err != nil {
+		return nil, err
+	}
+	gold := evalmetrics.PairSet{}
+	for _, p := range res.GoldPairs {
+		gold.Add(p[0], p[1])
+	}
+	return &Dataset3{
+		Doc:     doc,
+		Schema:  schema,
+		Mapping: MappingFromPaths(datagen.FreeDBMappingPaths()),
+		Gold:    gold,
+	}, nil
+}
+
+// checkRange validates a sweep dimension.
+func checkRange(name string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("experiments: %s = %d out of [%d,%d]", name, v, lo, hi)
+	}
+	return nil
+}

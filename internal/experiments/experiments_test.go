@@ -1,0 +1,367 @@
+package experiments
+
+// Shape tests: small-scale versions of the Section 6 experiments must
+// reproduce the qualitative claims of the paper. Absolute numbers differ
+// from the paper (synthetic corpora, smaller n) — the shapes must not.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dirty"
+)
+
+const (
+	testN    = 120
+	testSeed = 2005
+)
+
+func cellMap(cells []Cell) map[[2]int]Cell {
+	out := map[[2]int]Cell{}
+	for _, c := range cells {
+		out[[2]int{c.Exp, c.X}] = c
+	}
+	return out
+}
+
+func TestFig5Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 sweep is expensive")
+	}
+	cells, err := Fig5(testN, testSeed, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cellMap(cells)
+	if len(m) != 64 {
+		t.Fatalf("cells = %d, want 64", len(m))
+	}
+
+	// Claim 1 (Sec. 6.2): for the exp1/2/3/5 group, recall and precision
+	// rise from k=1 to k=3 and stay stable through k=7.
+	for _, exp := range []int{1, 2, 3, 5} {
+		k1, k3, k7 := m[[2]int{exp, 1}].PR, m[[2]int{exp, 3}].PR, m[[2]int{exp, 7}].PR
+		if k3.Precision <= k1.Precision {
+			t.Errorf("exp%d: precision did not rise k1->k3: %v -> %v", exp, k1.Precision, k3.Precision)
+		}
+		if k3.Recall <= k1.Recall {
+			t.Errorf("exp%d: recall did not rise k1->k3: %v -> %v", exp, k1.Recall, k3.Recall)
+		}
+		if diff := k7.Precision - k3.Precision; diff < -0.08 || diff > 0.08 {
+			t.Errorf("exp%d: precision not stable k3..k7: %v vs %v", exp, k3.Precision, k7.Precision)
+		}
+	}
+
+	// Claim 2: at k=1 (disc-id only) precision is low — the near-twin
+	// ids are falsely recognized as similar — while recall is high.
+	k1 := m[[2]int{1, 1}].PR
+	if k1.Precision > 0.70 {
+		t.Errorf("k=1 precision = %v, want the low disc-id regime", k1.Precision)
+	}
+	if k1.Recall < 0.70 {
+		t.Errorf("k=1 recall = %v, want high", k1.Recall)
+	}
+
+	// Claim 3: at k=8 (track titles) recall reaches its maximum but
+	// precision drastically drops for exp1 (dummy "Track N" titles).
+	k7, k8 := m[[2]int{1, 7}].PR, m[[2]int{1, 8}].PR
+	if k8.Recall < k7.Recall {
+		t.Errorf("k=8 recall %v below k=7 %v", k8.Recall, k7.Recall)
+	}
+	if k8.Precision > k7.Precision-0.25 {
+		t.Errorf("k=8 precision %v did not drastically drop from %v", k8.Precision, k7.Precision)
+	}
+
+	// Claim 4: exp8 (did only at every k) is constant.
+	base := m[[2]int{8, 1}].PR
+	for k := 2; k <= 8; k++ {
+		pr := m[[2]int{8, k}].PR
+		if pr.Recall != base.Recall || pr.Precision != base.Precision {
+			t.Errorf("exp8 not constant at k=%d: %+v vs %+v", k, pr, base)
+		}
+	}
+
+	// Claim 5: exp7 changes when year enters at k=5 (the paper reports a
+	// drop in recall there), and is constant afterwards.
+	r4, r5, r8 := m[[2]int{7, 4}].PR, m[[2]int{7, 5}].PR, m[[2]int{7, 8}].PR
+	if r5.Recall >= r4.Recall {
+		t.Errorf("exp7 recall should drop when year joins at k=5: %v -> %v", r4.Recall, r5.Recall)
+	}
+	if r5 != r8 {
+		t.Errorf("exp7 should be constant k5..k8: %+v vs %+v", r5, r8)
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig6 sweep is expensive")
+	}
+	cells, err := Fig6(testN, testSeed, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cellMap(cells)
+	if len(m) != 32 {
+		t.Fatalf("cells = %d, want 32", len(m))
+	}
+
+	// Claim 1: r=1 (year only) gives high recall but very low precision
+	// for exp1 — every same-year movie pair matches.
+	r1 := m[[2]int{1, 1}].PR
+	if r1.Precision > 0.40 {
+		t.Errorf("exp1 r=1 precision = %v, want low (year-only)", r1.Precision)
+	}
+	if r1.Recall < 0.60 {
+		t.Errorf("exp1 r=1 recall = %v, want high", r1.Recall)
+	}
+
+	// Claim 2: effectiveness peaks at a middle radius: F1 at r=2 beats
+	// r=1 for every experiment that selects anything at r=2.
+	for exp := 1; exp <= 8; exp++ {
+		f1r1 := m[[2]int{exp, 1}].PR.F1()
+		f1r2 := m[[2]int{exp, 2}].PR.F1()
+		if f1r2 < f1r1 {
+			t.Errorf("exp%d: F1 fell from r=1 %.3f to r=2 %.3f", exp, f1r1, f1r2)
+		}
+	}
+
+	// Claim 3: the string-type condition (csdt) removes the
+	// date-format noise of Dataset 2: exp2 beats exp1 in precision at
+	// r=2 (the paper's motivation for conditions).
+	if m[[2]int{2, 2}].PR.Precision < m[[2]int{1, 2}].PR.Precision {
+		t.Errorf("exp2 r=2 precision %v below exp1 %v",
+			m[[2]int{2, 2}].PR.Precision, m[[2]int{1, 2}].PR.Precision)
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 sweep is expensive")
+	}
+	points, err := Fig7(1200, testSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Precision rises (weakly) monotonically with θcand and reaches 100%
+	// by θ = 0.85, as in the paper.
+	for i := 1; i < len(points); i++ {
+		if points[i].Precision < points[i-1].Precision-1e-9 {
+			t.Errorf("precision not monotone at θ=%.2f: %v -> %v",
+				points[i].Theta, points[i-1].Precision, points[i].Precision)
+		}
+	}
+	for _, p := range points {
+		if p.Theta >= 0.849 && p.Precision < 1 {
+			t.Errorf("precision at θ=%.2f is %v, want 100%%", p.Theta, p.Precision)
+		}
+	}
+	if points[0].Precision > 0.9 {
+		t.Errorf("precision at θ=0.55 is %v; the reissue band should keep it below 90%%", points[0].Precision)
+	}
+	if points[0].Pairs == 0 {
+		t.Error("no pairs detected at θ=0.55")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 sweep is expensive")
+	}
+	// Fig. 8 is cheap enough to run at the paper's scale of 500 CDs; the
+	// 90% point has few singletons left, so small corpora are noisy.
+	points, err := Fig8(500, testSeed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 10 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's claim: recall and precision above ~70% at every
+	// duplicate percentage. Our corpus holds that band through 80%
+	// duplicates; at the 90% extreme (only 50 singletons remain)
+	// precision dips to ~58% — recorded as a deviation in
+	// EXPERIMENTS.md.
+	for _, p := range points {
+		lo := 0.69
+		if p.DuplicatePct > 0.85 {
+			lo = 0.55
+		}
+		if p.PR.Recall < lo {
+			t.Errorf("filter recall %v at dup%%=%v below band %v", p.PR.Recall, p.DuplicatePct, lo)
+		}
+		if p.PR.Precision < lo {
+			t.Errorf("filter precision %v at dup%%=%v below band %v", p.PR.Precision, p.DuplicatePct, lo)
+		}
+	}
+}
+
+func TestTab4(t *testing.T) {
+	rows := Tab4()
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Name != "h" || rows[7].Name != "h[csdt ∧ cse ∧ cme]" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestTab5MatchesPaper(t *testing.T) {
+	rows, err := Tab5(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		r, k  int
+		path  string
+		flags string
+	}{
+		{1, 1, "disc/did", "string, ME, SE"},
+		{1, 2, "disc/artist", "string, ME, not SE"},
+		{1, 3, "disc/title", "string, ME, not SE"},
+		{1, 4, "disc/genre", "string, not ME, SE"},
+		{1, 5, "disc/year", "date, ME, SE"},
+		{1, 6, "disc/cdextra", "string, not ME, not SE"},
+		{1, 7, "disc/tracks", "complex, ME, SE"},
+		{2, 8, "disc/tracks/title", "string, ME, not SE"},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %d, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i, w := range want {
+		got := rows[i]
+		if got.R != w.r || got.K != w.k || got.Path != w.path || got.Flags != w.flags {
+			t.Errorf("row %d = %+v, want %+v", i, got, w)
+		}
+	}
+}
+
+func TestTab6MatchesPaper(t *testing.T) {
+	rows, err := Tab6(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[string]Tab6Row{}
+	for _, r := range rows {
+		byType[r.Type] = r
+	}
+	// Radii per Table 6: year at 1; title, genre, release at 2; nothing
+	// new at 3; persons at 4.
+	wantR := map[string]int{"YEAR": 1, "TITLE": 2, "GENRE": 2, "RELEASE": 2, "PERSON": 4}
+	for typ, r := range wantR {
+		row, ok := byType[typ]
+		if !ok {
+			t.Errorf("type %s missing from Tab6", typ)
+			continue
+		}
+		if row.R != r {
+			t.Errorf("type %s at r=%d, want %d", typ, row.R, r)
+		}
+	}
+	for _, r := range rows {
+		if r.R == 3 {
+			t.Errorf("unexpected type at r=3: %+v (Table 6 has none)", r)
+		}
+	}
+	// The FilmDienst person renders as a composite, like the paper's
+	// "firstname + lastname".
+	person := byType["PERSON"]
+	found := false
+	for _, el := range person.FD {
+		if strings.Contains(el, "firstname + lastname") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PERSON FD rendering = %v, want firstname + lastname", person.FD)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	var sb strings.Builder
+	cells := []Cell{{Exp: 1, X: 1}, {Exp: 2, X: 2}}
+	if err := RenderCells(&sb, "T", "k", cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "T — recall") || !strings.Contains(sb.String(), "exp2") {
+		t.Errorf("RenderCells output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := RenderFig7(&sb, []Fig7Point{{Theta: 0.55, Pairs: 10, TruePairs: 5, Precision: 0.5}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.55") {
+		t.Errorf("RenderFig7 output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := RenderFig8(&sb, []Fig8Point{{DuplicatePct: 0.5, Pruned: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "50%") {
+		t.Errorf("RenderFig8 output:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := RenderTab4(&sb, Tab4()); err != nil {
+		t.Fatal(err)
+	}
+	rows5, err := Tab5(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTab5(&sb, rows5); err != nil {
+		t.Fatal(err)
+	}
+	rows6, err := Tab6(testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RenderTab6(&sb, rows6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Table 6") {
+		t.Error("missing Table 6 header")
+	}
+}
+
+func TestDatasetBuilders(t *testing.T) {
+	d1, err := BuildDataset1(40, 7, dirty.Dataset1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Gold.Len() != 40 {
+		t.Errorf("dataset1 gold = %d, want 40 (100%% duplicates)", d1.Gold.Len())
+	}
+	d2, err := BuildDataset2(25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Gold.Len() != 25 {
+		t.Errorf("dataset2 gold = %d", d2.Gold.Len())
+	}
+	d3, err := BuildDataset3(300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3.Gold.Len() == 0 {
+		t.Error("dataset3 has no injected duplicates")
+	}
+	// builders are deterministic
+	d1b, err := BuildDataset1(40, 7, dirty.Dataset1Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Doc.String() != d1b.Doc.String() {
+		t.Error("dataset1 not deterministic")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Fig5(10, 1, 9); err == nil {
+		t.Error("maxK=9 accepted")
+	}
+	if _, err := Fig6(10, 1, 0); err == nil {
+		t.Error("maxR=0 accepted")
+	}
+}

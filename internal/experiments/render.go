@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderCells prints an effectiveness sweep (Fig. 5 / Fig. 6) as two
+// aligned tables — recall then precision — with one row per experiment and
+// one column per sweep position, mirroring the paper's two plot panels.
+func RenderCells(w io.Writer, title, xLabel string, cells []Cell) error {
+	xs := map[int]bool{}
+	exps := map[int]bool{}
+	type key struct{ exp, x int }
+	byKey := map[key]Cell{}
+	for _, c := range cells {
+		xs[c.X] = true
+		exps[c.Exp] = true
+		byKey[key{c.Exp, c.X}] = c
+	}
+	xList := sortedKeys(xs)
+	expList := sortedKeys(exps)
+
+	render := func(metric string, pick func(Cell) float64) error {
+		if _, err := fmt.Fprintf(w, "%s — %s\n", title, metric); err != nil {
+			return err
+		}
+		header := []string{fmt.Sprintf("%-6s", xLabel)}
+		for _, x := range xList {
+			header = append(header, fmt.Sprintf("%6d", x))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(header, " ")); err != nil {
+			return err
+		}
+		for _, exp := range expList {
+			row := []string{fmt.Sprintf("exp%-3d", exp)}
+			for _, x := range xList {
+				c, ok := byKey[key{exp, x}]
+				if !ok {
+					row = append(row, "     -")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%5.1f%%", pick(c)*100))
+			}
+			if _, err := fmt.Fprintln(w, strings.Join(row, " ")); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := render("recall", func(c Cell) float64 { return c.PR.Recall }); err != nil {
+		return err
+	}
+	return render("precision", func(c Cell) float64 { return c.PR.Precision })
+}
+
+// RenderFig7 prints the Fig. 7 threshold sweep.
+func RenderFig7(w io.Writer, points []Fig7Point) error {
+	if _, err := fmt.Fprintln(w, "Figure 7 — precision on Dataset 3 (exp1, k=6)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "theta   pairs  true  precision"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%.2f   %5d %5d     %5.1f%%\n",
+			p.Theta, p.Pairs, p.TruePairs, p.Precision*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderFig8 prints the Fig. 8 filter sweep.
+func RenderFig8(w io.Writer, points []Fig8Point) error {
+	if _, err := fmt.Fprintln(w, "Figure 8 — object filter effectiveness (exp1, k=6)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "dup%   pruned  recall  precision"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if _, err := fmt.Fprintf(w, "%3.0f%%   %6d  %5.1f%%     %5.1f%%\n",
+			p.DuplicatePct*100, p.Pruned, p.PR.Recall*100, p.PR.Precision*100); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderTab4 prints the Table 4 experiment definitions.
+func RenderTab4(w io.Writer, rows []Tab4Row) error {
+	if _, err := fmt.Fprintln(w, "Table 4 — combinations of conditions"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "exp%d  %s\n", r.Exp, r.Name); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderTab5 prints the Table 5 element listing.
+func RenderTab5(w io.Writer, rows []Tab5Row) error {
+	if _, err := fmt.Fprintln(w, "Table 5 — elements in Dataset 1 (k-closest order)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "r  k  element (type, ME, SE)"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d  %d  %s (%s)\n", r.R, r.K, r.Path, r.Flags); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// RenderTab6 prints the Table 6 comparable-element listing.
+func RenderTab6(w io.Writer, rows []Tab6Row) error {
+	if _, err := fmt.Fprintln(w, "Table 6 — comparable elements in Dataset 2 by radius"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "r=%d %s\n  IMDB:       %s\n  FILMDIENST: %s\n",
+			r.R, r.Type, strings.Join(r.IMDB, "; "), strings.Join(r.FD, "; ")); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

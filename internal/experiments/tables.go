@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/heuristics"
+)
+
+// Tab4Row is one experiment definition of Table 4.
+type Tab4Row struct {
+	Exp  int
+	Name string
+}
+
+// Tab4 regenerates Table 4: the eight condition combinations.
+func Tab4() []Tab4Row {
+	rows := make([]Tab4Row, heuristics.ExperimentCount)
+	for i := range rows {
+		rows[i] = Tab4Row{Exp: i + 1, Name: heuristics.ExperimentName(i + 1)}
+	}
+	return rows
+}
+
+// Tab5Row is one row of Table 5: the element that enters the description
+// at position k of the k-closest heuristic, with its depth r and the
+// (type, ME, SE) flags.
+type Tab5Row struct {
+	R, K  int
+	Path  string // relative to the disc anchor, e.g. disc/tracks/title
+	Flags string // e.g. "string, ME, not SE"
+}
+
+// Tab5 regenerates Table 5 from a generated Dataset 1 schema: it lists,
+// for increasing k, which schema elements join the OD and their flags.
+func Tab5(seed int64) ([]Tab5Row, error) {
+	ds, err := BuildDataset1(50, seed, dataset1ParamsWithDupPct(0))
+	if err != nil {
+		return nil, err
+	}
+	anchor := ds.Schema.ElementAt("/freedb/disc")
+	if anchor == nil {
+		return nil, fmt.Errorf("experiments: no disc element in schema")
+	}
+	sel := heuristics.KClosestDescendants(64).Select(anchor)
+	rows := make([]Tab5Row, len(sel))
+	for i, e := range sel {
+		rel := heuristics.RelPath(anchor, e)
+		rows[i] = Tab5Row{
+			R:     e.Depth() - anchor.Depth(),
+			K:     i + 1,
+			Path:  "disc/" + strings.TrimPrefix(rel, "./"),
+			Flags: e.FlagString(),
+		}
+	}
+	return rows, nil
+}
+
+// Tab6Row is one row of Table 6: a real-world type that becomes
+// comparable between the two Dataset 2 sources at radius R, with the
+// contributing elements and flags on both sides.
+type Tab6Row struct {
+	R    int
+	Type string
+	IMDB []string // "movie/title (string, ME, SE)" style
+	FD   []string
+}
+
+// Tab6 regenerates Table 6 from the two generated Dataset 2 schemas: for
+// each mapped real-world type it determines the smallest radius r at
+// which the r-distant descendants heuristic makes the type comparable
+// across both sources (i.e. selects at least one of its elements on each
+// side), and lists the contributing elements with their flags.
+func Tab6(seed int64) ([]Tab6Row, error) {
+	ds, err := BuildDataset2(60, seed)
+	if err != nil {
+		return nil, err
+	}
+	ai := ds.SchemaIMDB.ElementAt("/imdb/movie")
+	af := ds.SchemaFD.ElementAt("/filmdienst/movie")
+	if ai == nil || af == nil {
+		return nil, fmt.Errorf("experiments: candidate elements missing from schemas")
+	}
+	var rows []Tab6Row
+	for _, typ := range ds.Mapping.Types() {
+		if typ == "MOVIE" {
+			continue
+		}
+		paths := ds.Mapping.Paths(typ)
+		var imdbEls, fdEls []string
+		minIMDB, minFD := 0, 0
+		for _, p := range paths {
+			if e := ds.SchemaIMDB.ElementAt(p); e != nil {
+				imdbEls = append(imdbEls, fmt.Sprintf("%s (%s)",
+					strings.TrimPrefix(p, "/imdb/"), e.FlagString()))
+				rel := e.Depth() - ai.Depth()
+				if minIMDB == 0 || rel < minIMDB {
+					minIMDB = rel
+				}
+			}
+			if e := ds.SchemaFD.ElementAt(p); e != nil {
+				label := strings.TrimPrefix(p, "/filmdienst/")
+				if ds.Mapping.IsComposite(p) && len(e.Children) > 0 {
+					// Render composites the way Table 6 does:
+					// "person/firstname + lastname".
+					var kids []string
+					for _, c := range e.Children {
+						kids = append(kids, c.Name)
+					}
+					label += "/" + strings.Join(kids, " + ")
+				}
+				fdEls = append(fdEls, fmt.Sprintf("%s (%s)", label, e.FlagString()))
+				rel := e.Depth() - af.Depth()
+				if ds.Mapping.IsComposite(p) {
+					// A composite only carries a value once its children
+					// are inside the radius.
+					rel++
+				}
+				if minFD == 0 || rel < minFD {
+					minFD = rel
+				}
+			}
+		}
+		if len(imdbEls) == 0 || len(fdEls) == 0 {
+			continue // not comparable across sources at any radius
+		}
+		r := minIMDB
+		if minFD > r {
+			r = minFD
+		}
+		sort.Strings(imdbEls)
+		sort.Strings(fdEls)
+		rows = append(rows, Tab6Row{R: r, Type: typ, IMDB: imdbEls, FD: fdEls})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].R != rows[j].R {
+			return rows[i].R < rows[j].R
+		}
+		return rows[i].Type < rows[j].Type
+	})
+	return rows, nil
+}

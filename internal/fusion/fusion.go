@@ -1,0 +1,131 @@
+// Package fusion turns duplicate clusters into single representative
+// elements — the "data fusion" consumer the paper names as the
+// destination of identified duplicates (Sec. 2.3), built around the prime
+// representative idea of Monge & Elkan [12] that the authors planned to
+// adopt.
+//
+// Fusion is per schema path: the representative keeps, for every child
+// path, the union of the cluster's distinct values; where the schema (or
+// the observed data) says a path is single-valued, conflicts resolve by
+// majority vote, ties by the longest (most informative) value.
+package fusion
+
+import (
+	"sort"
+
+	"repro/internal/xmltree"
+)
+
+// Fuse merges the duplicate elements of one cluster into a fresh element.
+// All members must share their root element name; members is non-empty.
+// singleton reports whether a child schema path is single-valued — pass
+// nil to derive it from the observed data (a path is treated as
+// single-valued when no member repeats it).
+func Fuse(members []*xmltree.Node, singleton func(schemaPath string) bool) *xmltree.Node {
+	if len(members) == 0 {
+		return nil
+	}
+	if singleton == nil {
+		singleton = observedSingleton(members)
+	}
+	return fuse(members, singleton)
+}
+
+func fuse(members []*xmltree.Node, singleton func(string) bool) *xmltree.Node {
+	out := xmltree.NewNode(members[0].Name)
+	out.Text = electText(members)
+
+	// Group children across members by name, preserving first-seen order.
+	type group struct {
+		name    string
+		byValue map[string][]*xmltree.Node // distinct serialized -> instances
+		order   []string
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, m := range members {
+		for _, c := range m.Children {
+			g, ok := groups[c.Name]
+			if !ok {
+				g = &group{name: c.Name, byValue: map[string][]*xmltree.Node{}}
+				groups[c.Name] = g
+				order = append(order, c.Name)
+			}
+			key := c.String()
+			if _, seen := g.byValue[key]; !seen {
+				g.order = append(g.order, key)
+			}
+			g.byValue[key] = append(g.byValue[key], c)
+		}
+	}
+
+	for _, name := range order {
+		g := groups[name]
+		path := members[0].SchemaPath() + "/" + name
+		if singleton(path) {
+			// Majority vote across members; ties prefer the longest
+			// serialization (the prime-representative rule).
+			best := ""
+			bestCount := -1
+			for _, key := range g.order {
+				count := len(g.byValue[key])
+				if count > bestCount || (count == bestCount && len(key) > len(best)) {
+					best = key
+					bestCount = count
+				}
+			}
+			// Recursively fuse the winning instances so nested conflicts
+			// resolve too.
+			out.AppendChild(fuse(g.byValue[best], singleton))
+			continue
+		}
+		// Multi-valued: union of distinct values, stable order.
+		for _, key := range g.order {
+			out.AppendChild(g.byValue[key][0].Clone())
+		}
+	}
+	return out
+}
+
+// electText picks the majority text among members, ties by longest.
+func electText(members []*xmltree.Node) string {
+	counts := map[string]int{}
+	for _, m := range members {
+		if m.Text != "" {
+			counts[m.Text]++
+		}
+	}
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic before vote comparison
+	best := ""
+	bestCount := 0
+	for _, k := range keys {
+		c := counts[k]
+		if c > bestCount || (c == bestCount && len(k) > len(best)) {
+			best = k
+			bestCount = c
+		}
+	}
+	return best
+}
+
+// observedSingleton derives single-valuedness from the members: a child
+// name is single-valued if no member holds it more than once.
+func observedSingleton(members []*xmltree.Node) func(string) bool {
+	multi := map[string]bool{}
+	for _, m := range members {
+		counts := map[string]int{}
+		for _, c := range m.Children {
+			counts[c.Name]++
+		}
+		for name, n := range counts {
+			if n > 1 {
+				multi[m.SchemaPath()+"/"+name] = true
+			}
+		}
+	}
+	return func(path string) bool { return !multi[path] }
+}

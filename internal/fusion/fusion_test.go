@@ -1,0 +1,114 @@
+package fusion
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+func node(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	doc, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc.Root
+}
+
+func TestFuseMajorityVoteOnSingletons(t *testing.T) {
+	a := node(t, `<disc><did>abc</did><title>The Matrix</title></disc>`)
+	b := node(t, `<disc><did>abc</did><title>Matrix</title></disc>`)
+	c := node(t, `<disc><did>abX</did><title>The Matrix</title></disc>`)
+	got := Fuse([]*xmltree.Node{a, b, c}, nil)
+	if got.Child("did").Text != "abc" {
+		t.Errorf("did = %q, want majority abc", got.Child("did").Text)
+	}
+	if got.Child("title").Text != "The Matrix" {
+		t.Errorf("title = %q, want majority The Matrix", got.Child("title").Text)
+	}
+}
+
+func TestFuseTieBreaksLongest(t *testing.T) {
+	a := node(t, `<disc><title>Matrix</title></disc>`)
+	b := node(t, `<disc><title>The Matrix</title></disc>`)
+	got := Fuse([]*xmltree.Node{a, b}, nil)
+	if got.Child("title").Text != "The Matrix" {
+		t.Errorf("title = %q, want the longer value on tie", got.Child("title").Text)
+	}
+}
+
+func TestFuseUnionOfMultiValued(t *testing.T) {
+	a := node(t, `<movie><actor>Keanu Reeves</actor><actor>L. Fishburne</actor></movie>`)
+	b := node(t, `<movie><actor>Keanu Reeves</actor><actor>C.-A. Moss</actor></movie>`)
+	got := Fuse([]*xmltree.Node{a, b}, nil)
+	actors := got.ChildrenNamed("actor")
+	if len(actors) != 3 {
+		t.Fatalf("actors = %d, want union of 3: %s", len(actors), got)
+	}
+	var names []string
+	for _, n := range actors {
+		names = append(names, n.Text)
+	}
+	joined := strings.Join(names, "|")
+	for _, want := range []string{"Keanu Reeves", "L. Fishburne", "C.-A. Moss"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %q", want, joined)
+		}
+	}
+}
+
+func TestFuseFillsMissingData(t *testing.T) {
+	// one duplicate lost its year; the fused representative restores it
+	a := node(t, `<disc><did>x1</did><year>1999</year></disc>`)
+	b := node(t, `<disc><did>x1</did></disc>`)
+	got := Fuse([]*xmltree.Node{a, b}, nil)
+	if y := got.Child("year"); y == nil || y.Text != "1999" {
+		t.Errorf("year not restored: %s", got)
+	}
+}
+
+func TestFuseNestedConflicts(t *testing.T) {
+	a := node(t, `<movie><info><rating>PG</rating></info></movie>`)
+	b := node(t, `<movie><info><rating>PG-13</rating></info></movie>`)
+	c := node(t, `<movie><info><rating>PG-13</rating></info></movie>`)
+	got := Fuse([]*xmltree.Node{a, b, c}, nil)
+	if r := got.Child("info").Child("rating"); r == nil || r.Text != "PG-13" {
+		t.Errorf("nested vote = %s", got)
+	}
+}
+
+func TestFuseExplicitSingletonHint(t *testing.T) {
+	// schema says actor is single-valued: the majority instance wins
+	// instead of the union.
+	a := node(t, `<movie><actor>Keanu</actor></movie>`)
+	b := node(t, `<movie><actor>Keanu</actor></movie>`)
+	c := node(t, `<movie><actor>Mel</actor></movie>`)
+	got := Fuse([]*xmltree.Node{a, b, c}, func(path string) bool { return true })
+	actors := got.ChildrenNamed("actor")
+	if len(actors) != 1 || actors[0].Text != "Keanu" {
+		t.Errorf("actors = %s", got)
+	}
+}
+
+func TestFuseEdgeCases(t *testing.T) {
+	if Fuse(nil, nil) != nil {
+		t.Error("empty cluster should fuse to nil")
+	}
+	solo := node(t, `<disc><did>a</did></disc>`)
+	got := Fuse([]*xmltree.Node{solo}, nil)
+	if got.String() != solo.String() {
+		t.Errorf("singleton fusion changed the element:\n%s\nvs\n%s", got, solo)
+	}
+}
+
+func TestFuseDeterministic(t *testing.T) {
+	a := node(t, `<d><t>x</t><t>y</t></d>`)
+	b := node(t, `<d><t>y</t><t>z</t></d>`)
+	first := Fuse([]*xmltree.Node{a, b}, nil).String()
+	for i := 0; i < 5; i++ {
+		if got := Fuse([]*xmltree.Node{a, b}, nil).String(); got != first {
+			t.Fatalf("fusion not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package heuristics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec builds a heuristic from a compact textual specification, used
+// by the CLI and examples:
+//
+//	kd:6                 k-closest descendants, k = 6
+//	rd:2                 r-distant descendants, r = 2
+//	ra:1                 r-distant ancestors, r = 1
+//	rd:1+ra:1            OR-combination of two heuristics
+//	kd:6[csdt,cme]       heuristic refined by conditions (ANDed)
+//	exp5:kd:6            Table 4 experiment 5 over the base heuristic
+//
+// Conditions: ccm (content model), csdt (string data type), cme
+// (mandatory), cse (singleton).
+func ParseSpec(spec string) (Heuristic, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("heuristics: empty spec")
+	}
+	parts := strings.Split(spec, "+")
+	var combined Heuristic
+	for _, part := range parts {
+		h, err := parseOne(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if combined == nil {
+			combined = h
+		} else {
+			combined = Or(combined, h)
+		}
+	}
+	return combined, nil
+}
+
+func parseOne(part string) (Heuristic, error) {
+	// exp prefix?
+	if strings.HasPrefix(part, "exp") {
+		rest := part[3:]
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("heuristics: spec %q: expN needs a base heuristic, e.g. exp5:kd:6", part)
+		}
+		n, err := strconv.Atoi(rest[:colon])
+		if err != nil {
+			return nil, fmt.Errorf("heuristics: spec %q: bad experiment number", part)
+		}
+		base, err := parseOne(rest[colon+1:])
+		if err != nil {
+			return nil, err
+		}
+		return Experiment(n, base)
+	}
+
+	// conditions suffix?
+	var conds []Condition
+	if open := strings.IndexByte(part, '['); open >= 0 {
+		if !strings.HasSuffix(part, "]") {
+			return nil, fmt.Errorf("heuristics: spec %q: unterminated condition list", part)
+		}
+		list := part[open+1 : len(part)-1]
+		part = part[:open]
+		for _, name := range strings.Split(list, ",") {
+			c, err := parseCondition(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			conds = append(conds, c)
+		}
+	}
+
+	fields := strings.Split(part, ":")
+	if len(fields) != 2 {
+		return nil, fmt.Errorf("heuristics: spec %q: want kind:N", part)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("heuristics: spec %q: bad parameter %q", part, fields[1])
+	}
+	var h Heuristic
+	switch fields[0] {
+	case "kd":
+		h = KClosestDescendants(n)
+	case "rd":
+		h = RDistantDescendants(n)
+	case "ra":
+		h = RDistantAncestors(n)
+	default:
+		return nil, fmt.Errorf("heuristics: spec %q: unknown kind %q (want kd, rd, ra)", part, fields[0])
+	}
+	for _, c := range conds {
+		h = Filtered(h, c)
+	}
+	return h, nil
+}
+
+func parseCondition(name string) (Condition, error) {
+	switch name {
+	case "ccm":
+		return ContentModel(), nil
+	case "csdt":
+		return StringDataType(), nil
+	case "cme":
+		return Mandatory(), nil
+	case "cse":
+		return Singleton(), nil
+	default:
+		return nil, fmt.Errorf("heuristics: unknown condition %q (want ccm, csdt, cme, cse)", name)
+	}
+}

@@ -1,0 +1,96 @@
+package heuristics
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xsd"
+)
+
+func specAnchor(t *testing.T) *xsd.Element {
+	t.Helper()
+	s, err := xsd.ParseString(cdXSD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.ElementAt("/freedb/disc")
+}
+
+func TestParseSpecBasics(t *testing.T) {
+	disc := specAnchor(t)
+	cases := []struct {
+		spec string
+		want []string
+	}{
+		{"kd:3", []string{"./did", "./artist", "./title"}},
+		{"rd:1", []string{"./did", "./artist", "./title", "./genre", "./year", "./cdextra", "./tracks"}},
+		{"kd:3[csdt]", []string{"./did", "./artist", "./title"}},
+		{"kd:7[cse,cme]", []string{"./did", "./year", "./tracks"}},
+		{"exp8:kd:8", []string{"./did"}},
+		{"kd:1+kd:3", []string{"./did", "./artist", "./title"}},
+	}
+	for _, tc := range cases {
+		h, err := ParseSpec(tc.spec)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", tc.spec, err)
+			continue
+		}
+		got := paths(disc, h.Select(disc))
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("spec %q selected %v, want %v", tc.spec, got, tc.want)
+		}
+	}
+}
+
+func TestParseSpecAncestors(t *testing.T) {
+	s, _ := xsd.ParseString(cdXSD)
+	title := s.ElementAt("/freedb/disc/tracks/title")
+	h, err := ParseSpec("ra:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := paths(title, h.Select(title))
+	if !reflect.DeepEqual(got, []string{"..", "../.."}) {
+		t.Errorf("ra:2 = %v", got)
+	}
+	// combined descendant + ancestor selection, the paper's
+	// hra[cma] ∨h hrd[...] style. disc has minOccurs=0, so its parent
+	// fails cme (disc is not mandatory to freedb) and only the
+	// descendant half contributes.
+	h2, err := ParseSpec("ra:1[cme]+rd:1[csdt,ccm]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := s.ElementAt("/freedb/disc")
+	got2 := paths(disc, h2.Select(disc))
+	want2 := []string{"./did", "./artist", "./title", "./genre", "./cdextra"}
+	if !reflect.DeepEqual(got2, want2) {
+		t.Errorf("combined spec = %v, want %v", got2, want2)
+	}
+	// from tracks/title the ancestor chain is fully mandatory, so the
+	// ancestor half does contribute.
+	got3 := paths(title, h2.Select(title))
+	if len(got3) == 0 || got3[0] != ".." {
+		t.Errorf("combined spec from tracks/title = %v", got3)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"zz:3",
+		"kd",
+		"kd:0",
+		"kd:x",
+		"kd:3[nope]",
+		"kd:3[csdt",
+		"exp9:kd:3",
+		"expX:kd:3",
+		"exp5",
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+// Package sim implements DogmatiX's domain-independent similarity measure
+// (Section 5 of the paper) and the object filter used for comparison
+// reduction (Section 5.2).
+//
+// For a pair of object descriptions the measure proceeds per comparable
+// real-world type (condition 1 of Sec. 5): OD tuple pairs with normalized
+// edit distance strictly below θtuple are greedily matched one-to-one in
+// ascending distance order into the similar set ODT≈ (Eq. 4); leftover
+// comparable tuples are greedily matched one-to-one in *descending*
+// distance order into the contradictory set ODT≠ (Eq. 7, the cities
+// example); everything unmatched is non-specified and has no effect
+// (condition 4). The final score is
+//
+//	sim = setSoftIDF(ODT≈) / (setSoftIDF(ODT≠) + setSoftIDF(ODT≈))
+//
+// with softIDF from Definition 8, supplied by the od.Store.
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/od"
+	"repro/internal/strdist"
+)
+
+// MatchedPair is one matched tuple pair together with its distance and
+// softIDF contribution.
+type MatchedPair struct {
+	A, B od.Tuple
+	Dist float64
+	IDF  float64
+}
+
+// Result is the full breakdown of one pairwise comparison.
+type Result struct {
+	Similar       []MatchedPair // ODT≈
+	Contradictory []MatchedPair // ODT≠
+	SimilarIDF    float64       // setSoftIDF(ODT≈)
+	ContraIDF     float64       // setSoftIDF(ODT≠)
+	Score         float64       // Eq. 8; 0 when both sums are zero
+}
+
+// Similarity computes sim(a, b) per Section 5.1. Tuples with empty values
+// are ignored entirely (they carry no data; see Condition 1). The measure
+// is symmetric: arguments are ordered canonically before matching, so
+// sim(a,b) == sim(b,a) bit for bit.
+func Similarity(store *od.Store, a, b *od.OD, thetaTuple float64) Result {
+	if b.ID < a.ID || (b.ID == a.ID && b.Object < a.Object) {
+		a, b = b, a
+	}
+	type group struct {
+		as, bs []od.Tuple
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, t := range a.NonEmptyTuples() {
+		g, ok := groups[t.Type]
+		if !ok {
+			g = &group{}
+			groups[t.Type] = g
+			order = append(order, t.Type)
+		}
+		g.as = append(g.as, t)
+	}
+	for _, t := range b.NonEmptyTuples() {
+		g, ok := groups[t.Type]
+		if !ok {
+			g = &group{}
+			groups[t.Type] = g
+			order = append(order, t.Type)
+		}
+		g.bs = append(g.bs, t)
+	}
+	sort.Strings(order) // deterministic across runs
+
+	var res Result
+	for _, typ := range order {
+		g := groups[typ]
+		if len(g.as) == 0 || len(g.bs) == 0 {
+			continue // present on one side only: non-specified data
+		}
+		matchGroup(store, g.as, g.bs, thetaTuple, &res)
+	}
+	for _, m := range res.Similar {
+		res.SimilarIDF += m.IDF
+	}
+	for _, m := range res.Contradictory {
+		res.ContraIDF += m.IDF
+	}
+	if res.SimilarIDF+res.ContraIDF > 0 {
+		res.Score = res.SimilarIDF / (res.SimilarIDF + res.ContraIDF)
+	}
+	return res
+}
+
+// pairDist is a scored candidate pairing inside one comparable group.
+type pairDist struct {
+	i, j int
+	dist float64
+}
+
+func matchGroup(store *od.Store, as, bs []od.Tuple, thetaTuple float64, res *Result) {
+	// Full distance matrix; groups are small (element multiplicities).
+	pairs := make([]pairDist, 0, len(as)*len(bs))
+	for i, ta := range as {
+		for j, tb := range bs {
+			pairs = append(pairs, pairDist{i, j, strdist.Normalized(ta.Value, tb.Value)})
+		}
+	}
+
+	usedA := make([]bool, len(as))
+	usedB := make([]bool, len(bs))
+
+	// Similar matching: ascending distance, 1:1.
+	simPairs := filterPairs(pairs, func(p pairDist) bool { return p.dist < thetaTuple })
+	sortPairs(simPairs, as, bs, true)
+	for _, p := range simPairs {
+		if usedA[p.i] || usedB[p.j] {
+			continue
+		}
+		usedA[p.i] = true
+		usedB[p.j] = true
+		res.Similar = append(res.Similar, MatchedPair{
+			A: as[p.i], B: bs[p.j], Dist: p.dist,
+			IDF: store.SoftIDF(as[p.i], bs[p.j]),
+		})
+	}
+
+	// Contradictory matching: descending distance over the leftovers, 1:1,
+	// bounded by min leftover cardinality (the cities example).
+	conPairs := filterPairs(pairs, func(p pairDist) bool {
+		return !usedA[p.i] && !usedB[p.j]
+	})
+	sortPairs(conPairs, as, bs, false)
+	for _, p := range conPairs {
+		if usedA[p.i] || usedB[p.j] {
+			continue
+		}
+		usedA[p.i] = true
+		usedB[p.j] = true
+		res.Contradictory = append(res.Contradictory, MatchedPair{
+			A: as[p.i], B: bs[p.j], Dist: p.dist,
+			IDF: store.SoftIDF(as[p.i], bs[p.j]),
+		})
+	}
+}
+
+func filterPairs(pairs []pairDist, keep func(pairDist) bool) []pairDist {
+	out := make([]pairDist, 0, len(pairs))
+	for _, p := range pairs {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPairs(pairs []pairDist, as, bs []od.Tuple, ascending bool) {
+	sort.Slice(pairs, func(x, y int) bool {
+		px, py := pairs[x], pairs[y]
+		if px.dist != py.dist {
+			if ascending {
+				return px.dist < py.dist
+			}
+			return px.dist > py.dist
+		}
+		ax, ay := as[px.i], as[py.i]
+		if ax.Value != ay.Value {
+			return ax.Value < ay.Value
+		}
+		bx, by := bs[px.j], bs[py.j]
+		if bx.Value != by.Value {
+			return bx.Value < by.Value
+		}
+		if px.i != py.i {
+			return px.i < py.i
+		}
+		return px.j < py.j
+	})
+}
+
+// Classify implements the XML duplicate classifier of Definition 6:
+// duplicates iff sim > θcand.
+func Classify(score, thetaCand float64) bool {
+	return score > thetaCand
+}
+
+// Filter computes the object filter f(ODi) of Section 5.2 from the store
+// indexes, without touching any other OD pairwise: a tuple is *shared* when
+// some other object holds an exact or θtuple-similar value of the same
+// type (its contribution is the maximum softIDF over such matches, keeping
+// f an upper bound of each pairwise numerator term), and *unique*
+// otherwise (contribution softIDF of the tuple alone, which upper-bounds
+// every contradictory-pair softIDF the tuple can generate).
+//
+//	f = setSoftIDF(shared) / (setSoftIDF(unique) + setSoftIDF(shared))
+//
+// Objects with f(ODi) <= θcand cannot reach sim > θcand against any
+// partner that shares the paper's uniform-structure assumptions, and are
+// pruned wholesale in Step 4. Note the unique-side term makes this filter
+// slightly more aggressive than the paper's Sunique intersection when data
+// is missing entirely (see FilterExact and DESIGN.md).
+func Filter(store *od.Store, o *od.OD) float64 {
+	var sharedIDF, uniqueIDF float64
+	for _, t := range o.NonEmptyTuples() {
+		best := -1.0
+		for _, m := range store.SimilarValues(t) {
+			othered := false
+			for _, obj := range m.Objects {
+				if obj != o.ID {
+					othered = true
+					break
+				}
+			}
+			if !othered {
+				continue
+			}
+			idf := store.SoftIDF(t, od.Tuple{Value: m.Value, Type: t.Type})
+			if idf > best {
+				best = idf
+			}
+		}
+		if best >= 0 {
+			sharedIDF += best
+		} else {
+			uniqueIDF += store.SoftIDFSingle(t)
+		}
+	}
+	if sharedIDF+uniqueIDF == 0 {
+		return 0
+	}
+	return sharedIDF / (sharedIDF + uniqueIDF)
+}
+
+// FilterExact computes f(ODi) literally as Equation 9 defines it, by
+// evaluating ODT≈ and ODT≠ against every other object: Sshared collects,
+// per tuple of ODi, the maximal similar-pair softIDF observed against any
+// partner; Sunique collects the tuples that are contradictory to *every*
+// other object (the intersection), each contributing its minimal observed
+// contradictory-pair softIDF. This keeps f(ODi) >= sim(ODi, ODj) for all
+// j (proof sketch in the package tests). Cost is one sim() per partner, so
+// it exists for validation and small data; the pipeline uses Filter.
+func FilterExact(store *od.Store, o *od.OD, thetaTuple float64) float64 {
+	n := store.Size()
+	if n <= 1 {
+		return 0
+	}
+	sharedMax := map[string]float64{} // tuple key -> max similar idf
+	uniqueMin := map[string]float64{} // tuple key -> min contradictory idf
+	alwaysCon := map[string]bool{}    // tuple key -> contradictory vs every j so far
+	keys := map[string]int{}          // tuple key -> count (for init)
+	keyOf := func(t od.Tuple, idx int) string {
+		// index disambiguates duplicate tuples within the OD
+		return t.Type + "\x00" + t.Value + "\x00" + t.Name + "\x00" + itoa(idx)
+	}
+	tuples := o.NonEmptyTuples()
+	for idx, t := range tuples {
+		k := keyOf(t, idx)
+		keys[k] = idx
+		alwaysCon[k] = true
+	}
+	for j := 0; j < n; j++ {
+		other := store.ODs[j]
+		if other.ID == o.ID {
+			continue
+		}
+		res := Similarity(store, o, other, thetaTuple)
+		// Similarity orders its arguments canonically by ID, so o's tuples
+		// sit on the A side iff o has the lower ID.
+		oTuple := func(m MatchedPair) od.Tuple {
+			if o.ID < other.ID {
+				return m.A
+			}
+			return m.B
+		}
+		inSimilar := map[string]bool{}
+		inContra := map[string]float64{}
+		for _, m := range res.Similar {
+			k := findKey(tuples, oTuple(m), inSimilar, nil)
+			if k != "" {
+				inSimilar[k] = true
+				if m.IDF > sharedMax[k] {
+					sharedMax[k] = m.IDF
+				}
+			}
+		}
+		for _, m := range res.Contradictory {
+			k := findKey(tuples, oTuple(m), inSimilar, inContra)
+			if k != "" {
+				inContra[k] = m.IDF
+			}
+		}
+		for k := range keys {
+			if inSimilar[k] {
+				alwaysCon[k] = false
+				continue
+			}
+			idf, contra := inContra[k]
+			if !contra {
+				alwaysCon[k] = false // non-specified vs this partner
+				continue
+			}
+			if cur, ok := uniqueMin[k]; !ok || idf < cur {
+				uniqueMin[k] = idf
+			}
+		}
+	}
+	var sharedIDF, uniqueIDF float64
+	for _, v := range sharedMax {
+		sharedIDF += v
+	}
+	for k, stillCon := range alwaysCon {
+		if stillCon {
+			uniqueIDF += uniqueMin[k]
+		}
+	}
+	if sharedIDF+uniqueIDF == 0 {
+		return 0
+	}
+	return sharedIDF / (sharedIDF + uniqueIDF)
+}
+
+// findKey locates the positional key of tuple t within tuples, skipping
+// keys already claimed in the provided sets, so duplicate tuple values map
+// to distinct slots.
+func findKey(tuples []od.Tuple, t od.Tuple, claimed map[string]bool, claimedIDF map[string]float64) string {
+	for idx, cand := range tuples {
+		if cand.Type != t.Type || cand.Value != t.Value || cand.Name != t.Name {
+			continue
+		}
+		k := cand.Type + "\x00" + cand.Value + "\x00" + cand.Name + "\x00" + itoa(idx)
+		if claimed != nil && claimed[k] {
+			continue
+		}
+		if claimedIDF != nil {
+			if _, ok := claimedIDF[k]; ok {
+				continue
+			}
+		}
+		return k
+	}
+	return ""
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,399 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/od"
+)
+
+// paperStore builds the Table 2 ODs.
+func paperStore() *od.Store {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "/moviedoc/movie[1]", Tuples: []od.Tuple{
+		{Value: "The Matrix", Name: "/moviedoc/movie/title", Type: "TITLE"},
+		{Value: "1999", Name: "/moviedoc/movie/year", Type: "YEAR"},
+		{Value: "Keanu Reeves", Name: "/moviedoc/movie/actor/name", Type: "ACTORNAME"},
+		{Value: "L. Fishburne", Name: "/moviedoc/movie/actor/name", Type: "ACTORNAME"},
+	}})
+	s.Add(&od.OD{Object: "/moviedoc/movie[2]", Tuples: []od.Tuple{
+		{Value: "Matrix", Name: "/moviedoc/movie/title", Type: "TITLE"},
+		{Value: "1999", Name: "/moviedoc/movie/year", Type: "YEAR"},
+		{Value: "Keanu Reeves", Name: "/moviedoc/movie/actor/name", Type: "ACTORNAME"},
+	}})
+	s.Add(&od.OD{Object: "/moviedoc/movie[3]", Tuples: []od.Tuple{
+		{Value: "Signs", Name: "/moviedoc/movie/title", Type: "TITLE"},
+		{Value: "2002", Name: "/moviedoc/movie/year", Type: "YEAR"},
+		{Value: "Mel Gibson", Name: "/moviedoc/movie/actor/name", Type: "ACTORNAME"},
+	}})
+	s.Finalize(0.55)
+	return s
+}
+
+func TestPaperExampleDuplicates(t *testing.T) {
+	s := paperStore()
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.55)
+	// title (0.4), year (0), actor KR (0) all similar; L. Fishburne is
+	// non-specified (movie 2 has no leftover actor) -> no contradictions.
+	if len(res.Similar) != 3 {
+		t.Errorf("similar pairs = %d, want 3: %v", len(res.Similar), res.Similar)
+	}
+	if len(res.Contradictory) != 0 {
+		t.Errorf("contradictory = %v, want none", res.Contradictory)
+	}
+	if res.Score != 1 {
+		t.Errorf("sim(movie1,movie2) = %v, want 1", res.Score)
+	}
+	if !Classify(res.Score, 0.55) {
+		t.Error("movies 1 and 2 should classify as duplicates")
+	}
+}
+
+func TestPaperExampleNonDuplicates(t *testing.T) {
+	s := paperStore()
+	for _, pair := range [][2]int{{0, 2}, {1, 2}} {
+		res := Similarity(s, s.ODs[pair[0]], s.ODs[pair[1]], 0.55)
+		// The 1999/2002 year pair is within theta 0.55 (ned 0.5) but its
+		// softIDF is ln(3/3)=0, so it cannot push the score up.
+		if res.Score >= 0.55 {
+			t.Errorf("sim(movie%d,movie%d) = %v, want < 0.55", pair[0]+1, pair[1]+1, res.Score)
+		}
+		if Classify(res.Score, 0.55) {
+			t.Errorf("movies %d and %d misclassified as duplicates", pair[0]+1, pair[1]+1)
+		}
+	}
+}
+
+// citiesStore reproduces the Sec. 5.1 cities example.
+func citiesStore() *od.Store {
+	s := od.NewStore()
+	add := func(obj string, cities ...string) {
+		o := &od.OD{Object: obj}
+		for _, c := range cities {
+			o.Tuples = append(o.Tuples, od.Tuple{Value: c, Name: "/countries/country/city", Type: "CITY"})
+		}
+		s.Add(o)
+	}
+	add("/countries/country[1]", "New York", "Los Angeles", "Miami")
+	add("/countries/country[2]", "Miami", "Boston")
+	s.Finalize(0.15)
+	return s
+}
+
+func TestCitiesContradictoryMatching(t *testing.T) {
+	s := citiesStore()
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	if len(res.Similar) != 1 || res.Similar[0].A.Value != "Miami" {
+		t.Fatalf("similar = %v, want Miami pair", res.Similar)
+	}
+	// Exactly one contradictory pair (lists are not exhaustive), and it is
+	// (New York, Boston) because 7/8 > 8/11.
+	if len(res.Contradictory) != 1 {
+		t.Fatalf("contradictory = %v, want exactly 1 pair", res.Contradictory)
+	}
+	con := res.Contradictory[0]
+	if con.A.Value != "New York" || con.B.Value != "Boston" {
+		t.Errorf("contradictory pair = (%s,%s), want (New York,Boston)", con.A.Value, con.B.Value)
+	}
+	if math.Abs(con.Dist-7.0/8) > 1e-9 {
+		t.Errorf("contradictory dist = %v, want 0.875", con.Dist)
+	}
+}
+
+func TestEmptyValuesAreInert(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
+		{Value: "x", Type: "T"},
+		{Value: "", Type: "EMPTY"},
+	}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{
+		{Value: "x", Type: "T"},
+		{Value: "", Type: "EMPTY"},
+	}})
+	s.Finalize(0.15)
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	for _, m := range append(res.Similar, res.Contradictory...) {
+		if m.A.Type == "EMPTY" || m.B.Type == "EMPTY" {
+			t.Errorf("empty tuple matched: %v", m)
+		}
+	}
+}
+
+func TestIncomparableTypesNeverMatch(t *testing.T) {
+	// Sec. 5 condition 1: review and sold-number cannot contribute.
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
+		{Value: "The Matrix", Type: "TITLE"},
+		{Value: "great!", Type: "REVIEW"},
+	}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{
+		{Value: "Matrix", Type: "TITLE"},
+		{Value: "500", Type: "SOLD"},
+	}})
+	addFiller(s, 10)
+	s.Finalize(0.55)
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.55)
+	if len(res.Similar) != 1 {
+		t.Fatalf("similar = %v", res.Similar)
+	}
+	if len(res.Contradictory) != 0 {
+		t.Errorf("incomparable data counted as contradictory: %v", res.Contradictory)
+	}
+	if res.Score != 1 {
+		t.Errorf("score = %v, want 1 (only titles comparable)", res.Score)
+	}
+}
+
+func TestMissingDataDoesNotPenalize(t *testing.T) {
+	// Condition 4: one movie missing actors must not reduce similarity.
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
+		{Value: "Same Title", Type: "TITLE"},
+		{Value: "Actor One", Type: "ACTOR"},
+		{Value: "Actor Two", Type: "ACTOR"},
+	}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{
+		{Value: "Same Title", Type: "TITLE"},
+	}})
+	addFiller(s, 10)
+	s.Finalize(0.15)
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	if res.Score != 1 {
+		t.Errorf("score with missing actors = %v, want 1", res.Score)
+	}
+}
+
+// addFiller pads a store with unrelated objects so softIDF values behave
+// like on a realistically sized corpus (with only 2 objects, any tuple
+// shared by both has softIDF ln(2/2) = 0).
+func addFiller(s *od.Store, n int) {
+	for i := 0; i < n; i++ {
+		s.Add(&od.OD{Object: fmt.Sprintf("filler-%d", i), Tuples: []od.Tuple{
+			{Value: fmt.Sprintf("filler title %d", i), Type: "TITLE"},
+			{Value: fmt.Sprintf("filler person %c", 'A'+i), Type: "ACTOR"},
+		}})
+	}
+}
+
+func TestContradictoryDataReduces(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
+		{Value: "Same Title", Type: "TITLE"},
+		{Value: "Actor One", Type: "ACTOR"},
+	}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{
+		{Value: "Same Title", Type: "TITLE"},
+		{Value: "Entirely Different Person", Type: "ACTOR"},
+	}})
+	addFiller(s, 10)
+	s.Finalize(0.15)
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	if len(res.Contradictory) != 1 {
+		t.Fatalf("contradictory = %v", res.Contradictory)
+	}
+	if res.Score >= 1 || res.Score <= 0 {
+		t.Errorf("score = %v, want in (0,1)", res.Score)
+	}
+}
+
+func TestScoreZeroWhenNothingShared(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{{Value: "aaaa", Type: "T"}}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{{Value: "zzzz", Type: "T"}}})
+	s.Finalize(0.15)
+	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	if len(res.Similar) != 0 || res.Score != 0 {
+		t.Errorf("score = %v similar=%v, want 0", res.Score, res.Similar)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(0.55, 0.55) {
+		t.Error("threshold is strict: sim must exceed θcand")
+	}
+	if !Classify(0.56, 0.55) {
+		t.Error("0.56 should classify as duplicate")
+	}
+}
+
+func TestFilterSharedVsUnique(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
+		{Value: "shared value", Type: "T"},
+		{Value: "unique to a", Type: "T"},
+	}})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{
+		{Value: "shared value", Type: "T"},
+	}})
+	s.Add(&od.OD{Object: "c", Tuples: []od.Tuple{
+		{Value: "nothing alike here", Type: "T"},
+	}})
+	s.Finalize(0.15)
+	fa := Filter(s, s.ODs[0])
+	if fa <= 0 || fa >= 1 {
+		t.Errorf("f(a) = %v, want in (0,1)", fa)
+	}
+	fc := Filter(s, s.ODs[2])
+	if fc != 0 {
+		t.Errorf("f(c) = %v, want 0 (all tuples unique)", fc)
+	}
+	fb := Filter(s, s.ODs[1])
+	if fb != 1 {
+		t.Errorf("f(b) = %v, want 1 (all tuples shared)", fb)
+	}
+}
+
+func TestFilterEmptyOD(t *testing.T) {
+	s := od.NewStore()
+	s.Add(&od.OD{Object: "a"})
+	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
+	s.Finalize(0.15)
+	if got := Filter(s, s.ODs[0]); got != 0 {
+		t.Errorf("f(empty) = %v", got)
+	}
+}
+
+func TestFilterExactKeepsDuplicatesOnPaperExample(t *testing.T) {
+	s := paperStore()
+	theta := 0.55
+	// movies 1/2 are duplicates; the exact Eq. 9 filter must keep both and
+	// upper-bound their pairwise score.
+	f1 := FilterExact(s, s.ODs[0], theta)
+	f2 := FilterExact(s, s.ODs[1], theta)
+	res := Similarity(s, s.ODs[0], s.ODs[1], theta)
+	if f1 < res.Score-1e-9 || f2 < res.Score-1e-9 {
+		t.Errorf("f below sim: f1=%v f2=%v sim=%v", f1, f2, res.Score)
+	}
+	if f1 <= theta || f2 <= theta {
+		t.Errorf("exact filter would prune a real duplicate: f1=%v f2=%v", f1, f2)
+	}
+}
+
+func TestFilterIsMoreAggressiveThanExact(t *testing.T) {
+	// The indexed approximation treats "unique anywhere" tuples as always
+	// contradictory, so it never exceeds the exact filter on uniform data
+	// and prunes at least as much.
+	s := paperStore()
+	theta := 0.55
+	for i := 0; i < s.Size(); i++ {
+		fIdx := Filter(s, s.ODs[i])
+		fEx := FilterExact(s, s.ODs[i], theta)
+		if fIdx > fEx+1e-9 {
+			t.Errorf("object %d: indexed filter %v above exact %v", i, fIdx, fEx)
+		}
+	}
+}
+
+// Property: sim is symmetric and in [0,1].
+func TestQuickSimilaritySymmetricAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := randomStore(rng, 8)
+		i := rng.Intn(s.Size())
+		j := rng.Intn(s.Size())
+		ra := Similarity(s, s.ODs[i], s.ODs[j], 0.3)
+		rb := Similarity(s, s.ODs[j], s.ODs[i], 0.3)
+		if ra.Score != rb.Score {
+			return false
+		}
+		return ra.Score >= 0 && ra.Score <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: similar matching is 1:1 — no tuple occurs in two matched pairs.
+func TestQuickMatchingOneToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, _ := randomStore(rng, 6)
+		i, j := rng.Intn(s.Size()), rng.Intn(s.Size())
+		if i == j {
+			return true
+		}
+		res := Similarity(s, s.ODs[i], s.ODs[j], 0.3)
+		seenA := map[string]bool{}
+		seenB := map[string]bool{}
+		for _, m := range append(append([]MatchedPair{}, res.Similar...), res.Contradictory...) {
+			ka := fmt.Sprintf("%s|%s|%s", m.A.Type, m.A.Name, m.A.Value)
+			kb := fmt.Sprintf("%s|%s|%s", m.B.Type, m.B.Name, m.B.Value)
+			// duplicate values can legitimately repeat; count multiplicity
+			for n := 0; ; n++ {
+				k := fmt.Sprintf("%s#%d", ka, n)
+				if !seenA[k] {
+					seenA[k] = true
+					break
+				}
+				if n > len(s.ODs[i].Tuples) {
+					return false
+				}
+			}
+			for n := 0; ; n++ {
+				k := fmt.Sprintf("%s#%d", kb, n)
+				if !seenB[k] {
+					seenB[k] = true
+					break
+				}
+				if n > len(s.ODs[j].Tuples) {
+					return false
+				}
+			}
+		}
+		// multiplicity check: matched pairs cannot exceed min(|A|,|B|) per type
+		return len(res.Similar)+len(res.Contradictory) <= len(s.ODs[i].Tuples)+len(s.ODs[j].Tuples)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FilterExact upper-bounds sim against every partner.
+func TestQuickFilterExactUpperBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, theta := randomStore(rng, 7)
+		for i := 0; i < s.Size(); i++ {
+			fi := FilterExact(s, s.ODs[i], theta)
+			for j := 0; j < s.Size(); j++ {
+				if i == j {
+					continue
+				}
+				res := Similarity(s, s.ODs[i], s.ODs[j], theta)
+				if res.Score > fi+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomStore builds a small random corpus over a handful of types with
+// value collisions and near-misses, so matching logic gets exercised.
+func randomStore(rng *rand.Rand, n int) (*od.Store, float64) {
+	words := []string{"alpha", "alphb", "beta", "betta", "gamma", "gamna", "delta", "omega"}
+	types := []string{"T1", "T2", "T3"}
+	s := od.NewStore()
+	for i := 0; i < n; i++ {
+		o := &od.OD{Object: fmt.Sprintf("/r/o[%d]", i+1)}
+		k := rng.Intn(4) + 1
+		for t := 0; t < k; t++ {
+			o.Tuples = append(o.Tuples, od.Tuple{
+				Value: words[rng.Intn(len(words))],
+				Name:  "/r/o/v",
+				Type:  types[rng.Intn(len(types))],
+			})
+		}
+		s.Add(o)
+	}
+	theta := 0.3
+	s.Finalize(theta)
+	return s, theta
+}

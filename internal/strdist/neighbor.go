@@ -1,0 +1,88 @@
+package strdist
+
+// NeighborIndex answers "which of the indexed strings are within d edits of
+// this query?" for a small, fixed edit budget d (0, 1 or 2). It hashes the
+// deletion neighborhood of each string: every variant obtained by deleting
+// up to d runes. Two strings within edit distance d always share at least
+// one common deletion variant (the FastSS observation), so variant-bucket
+// collisions are a complete candidate set; candidates are then verified
+// with the banded edit distance.
+//
+// For budgets above 2 the neighborhood explodes combinatorially, so callers
+// should fall back to a scan with NormalizedBelow (the experiments package
+// does this for long track titles).
+type NeighborIndex struct {
+	maxEdits int
+	buckets  map[string][]int32
+	values   []string
+}
+
+// NewNeighborIndex builds an index over values with the given edit budget.
+// maxEdits is clamped to [0,2].
+func NewNeighborIndex(values []string, maxEdits int) *NeighborIndex {
+	if maxEdits < 0 {
+		maxEdits = 0
+	}
+	if maxEdits > 2 {
+		maxEdits = 2
+	}
+	idx := &NeighborIndex{
+		maxEdits: maxEdits,
+		buckets:  make(map[string][]int32, len(values)*2),
+		values:   values,
+	}
+	for i, v := range values {
+		for _, variant := range deletionVariants(v, maxEdits) {
+			idx.buckets[variant] = append(idx.buckets[variant], int32(i))
+		}
+	}
+	return idx
+}
+
+// MaxEdits returns the edit budget the index was built with.
+func (idx *NeighborIndex) MaxEdits() int { return idx.maxEdits }
+
+// Lookup returns the indices (into the constructor's values slice) of all
+// strings whose edit distance to q is <= maxEdits, excluding exact self
+// positions listed in skip (pass -1 for none). Results are deduplicated and
+// verified.
+func (idx *NeighborIndex) Lookup(q string, skip int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, variant := range deletionVariants(q, idx.maxEdits) {
+		for _, cand := range idx.buckets[variant] {
+			if cand == skip || seen[cand] {
+				continue
+			}
+			seen[cand] = true
+			if _, ok := LevenshteinBounded(q, idx.values[cand], idx.maxEdits); ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+// deletionVariants returns s plus every string obtainable from s by
+// deleting up to maxEdits runes (ordered, deduplicated).
+func deletionVariants(s string, maxEdits int) []string {
+	seen := map[string]bool{s: true}
+	out := []string{s}
+	frontier := []string{s}
+	for e := 0; e < maxEdits; e++ {
+		var next []string
+		for _, f := range frontier {
+			r := []rune(f)
+			for i := range r {
+				v := string(r[:i]) + string(r[i+1:])
+				if !seen[v] {
+					seen[v] = true
+					out = append(out, v)
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return out
+}

@@ -1,0 +1,379 @@
+// Package strdist implements the string distance machinery DogmatiX builds
+// on: Levenshtein edit distance with a banded, early-terminating variant,
+// the normalized edit distance "ned" of Definition 7, and the cheap lower
+// bounds (length difference and bag distance) that Weis & Naumann introduced
+// in their 2004 workshop paper [18] to avoid full edit distance
+// computations. It also ships a deletion-neighborhood index for fast
+// "within d edits" candidate lookup, and a handful of classic similarity
+// measures (Jaro, Jaro-Winkler, q-grams, token cosine) used by the baseline
+// comparators.
+//
+// All functions operate on runes, not bytes, so non-ASCII data (the
+// FilmDienst German corpus) is measured correctly.
+package strdist
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Levenshtein returns the edit distance (insertions, deletions,
+// substitutions, unit cost) between a and b.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levRunes(ra, rb)
+}
+
+func levRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// LevenshteinBounded returns the edit distance between a and b if it is
+// <= maxDist, and (maxDist+1, false) otherwise. It uses a diagonal band of
+// width 2*maxDist+1 and early termination, so the cost is O(maxDist *
+// min(len)) rather than O(len(a)*len(b)).
+func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
+	if maxDist < 0 {
+		return 0, false
+	}
+	ra, rb := []rune(a), []rune(b)
+	if abs(len(ra)-len(rb)) > maxDist {
+		return maxDist + 1, false
+	}
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	// prev/cur are full-width rows but only the band is computed.
+	const inf = 1 << 29
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		if j <= maxDist {
+			prev[j] = j
+		} else {
+			prev[j] = inf
+		}
+	}
+	for i := 1; i <= len(ra); i++ {
+		lo := max2(1, i-maxDist)
+		hi := min2(len(rb), i+maxDist)
+		if lo > 1 {
+			cur[lo-1] = inf
+		}
+		if i <= maxDist {
+			cur[0] = i
+		} else {
+			cur[0] = inf
+		}
+		rowMin := cur[0]
+		for j := lo; j <= hi; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			v := prev[j-1] + cost
+			if prev[j]+1 < v {
+				v = prev[j] + 1
+			}
+			if cur[j-1]+1 < v {
+				v = cur[j-1] + 1
+			}
+			cur[j] = v
+			if v < rowMin {
+				rowMin = v
+			}
+		}
+		if hi < len(rb) {
+			cur[hi+1] = inf
+		}
+		if rowMin > maxDist {
+			return maxDist + 1, false
+		}
+		prev, cur = cur, prev
+	}
+	d := prev[len(rb)]
+	if d > maxDist {
+		return maxDist + 1, false
+	}
+	return d, true
+}
+
+// Normalized returns the edit distance between a and b normalized by the
+// length (in runes) of the longer string, as in Definition 7 of the paper.
+// Two empty strings have distance 0.
+func Normalized(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := max2(la, lb)
+	if m == 0 {
+		return 0
+	}
+	return float64(Levenshtein(a, b)) / float64(m)
+}
+
+// NormalizedBelow reports whether ned(a,b) < theta, computing at most the
+// bounded edit distance implied by theta. It applies the length-difference
+// and bag-distance lower bounds first, so most non-matches never reach the
+// DP. This is the comparison-reduction trick of [18].
+func NormalizedBelow(a, b string, theta float64) bool {
+	la, lb := len([]rune(a)), len([]rune(b))
+	m := max2(la, lb)
+	if m == 0 {
+		return 0 < theta // ned = 0
+	}
+	// strict inequality: lev < theta*m  =>  lev <= ceil(theta*m)-1
+	maxDist := strictBudget(theta, m)
+	if maxDist < 0 {
+		return false
+	}
+	if abs(la-lb) > maxDist {
+		return false
+	}
+	if BagDistance(a, b) > maxDist {
+		return false
+	}
+	_, ok := LevenshteinBounded(a, b, maxDist)
+	return ok
+}
+
+// strictBudget returns the largest integer d with d < theta*m, i.e. the
+// maximum edit distance still strictly below the threshold.
+func strictBudget(theta float64, m int) int {
+	lim := theta * float64(m)
+	d := int(lim)
+	if float64(d) >= lim {
+		d--
+	}
+	return d
+}
+
+// MaxEditsBelow exposes the strict edit budget used by NormalizedBelow for
+// strings of maximum rune length m: the largest d with d/m < theta.
+func MaxEditsBelow(theta float64, m int) int {
+	if m <= 0 {
+		return 0
+	}
+	d := strictBudget(theta, m)
+	if d < 0 {
+		return -1
+	}
+	return d
+}
+
+// LengthLowerBound returns |len(a)-len(b)|, a lower bound on Levenshtein.
+func LengthLowerBound(a, b string) int {
+	return abs(len([]rune(a)) - len([]rune(b)))
+}
+
+// BagDistance returns the bag (multiset) distance between a and b:
+// max(|bag(a)-bag(b)|, |bag(b)-bag(a)|). It is a lower bound on the
+// Levenshtein distance and costs O(len(a)+len(b)).
+func BagDistance(a, b string) int {
+	counts := map[rune]int{}
+	for _, r := range a {
+		counts[r]++
+	}
+	for _, r := range b {
+		counts[r]--
+	}
+	pos, neg := 0, 0
+	for _, c := range counts {
+		if c > 0 {
+			pos += c
+		} else {
+			neg -= c
+		}
+	}
+	return max2(pos, neg)
+}
+
+// Jaro returns the Jaro similarity in [0,1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := max2(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, la)
+	matchB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := max2(0, i-window)
+		hi := min2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler returns the Jaro-Winkler similarity with the standard prefix
+// scale 0.1 and max prefix length 4.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	ra, rb := []rune(a), []rune(b)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// QGramJaccard returns the Jaccard similarity of the q-gram sets of a and
+// b. Strings shorter than q are padded with '#'.
+func QGramJaccard(a, b string, q int) float64 {
+	ga, gb := qgrams(a, q), qgrams(b, q)
+	if len(ga) == 0 && len(gb) == 0 {
+		return 1
+	}
+	inter := 0
+	for g := range ga {
+		if gb[g] {
+			inter++
+		}
+	}
+	union := len(ga) + len(gb) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+func qgrams(s string, q int) map[string]bool {
+	if q <= 0 {
+		q = 2
+	}
+	r := []rune(s)
+	for len(r) < q && len(r) > 0 {
+		r = append(r, '#')
+	}
+	out := map[string]bool{}
+	for i := 0; i+q <= len(r); i++ {
+		out[string(r[i:i+q])] = true
+	}
+	return out
+}
+
+// TokenCosine returns the cosine similarity of the whitespace token
+// frequency vectors of a and b, lowercased.
+func TokenCosine(a, b string) float64 {
+	ta, tb := tokenCounts(a), tokenCounts(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	var dot, na, nb float64
+	for tok, ca := range ta {
+		na += float64(ca * ca)
+		if cb, ok := tb[tok]; ok {
+			dot += float64(ca * cb)
+		}
+	}
+	for _, cb := range tb {
+		nb += float64(cb * cb)
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+func tokenCounts(s string) map[string]int {
+	out := map[string]int{}
+	for _, tok := range strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}) {
+		out[tok]++
+	}
+	return out
+}
+
+// SortedTokens returns the lowercased tokens of s in sorted order joined by
+// spaces. Used by the sorted-neighborhood baseline to build sorting keys.
+func SortedTokens(s string) string {
+	toks := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	sort.Strings(toks)
+	return strings.Join(toks, " ")
+}
+
+func min3(a, b, c int) int { return min2(min2(a, b), c) }
+
+func min2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

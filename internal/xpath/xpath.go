@@ -1,0 +1,408 @@
+// Package xpath implements the XPath subset DogmatiX needs for its three
+// query kinds: candidate queries (absolute paths selecting the objects to
+// compare), description queries (relative paths σ selecting description
+// elements), and the positionally qualified paths written into the Fig. 3
+// dupcluster output.
+//
+// Supported grammar:
+//
+//	path       := '$doc'? ('/' | '//')? step (('/' | '//') step)* | '.'
+//	step       := '.' | '..' | name | '*' , each followed by predicates
+//	predicate  := '[' number ']' | '[' name '=' quoted ']'
+//
+// Axes: child (default), descendant-or-self ('//'), parent ('..'),
+// self ('.'). The '$doc' variable prefix from the paper's mapping notation
+// is accepted and ignored.
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// Axis identifies the navigation axis of a step.
+type Axis int
+
+const (
+	AxisChild Axis = iota
+	AxisDescendantOrSelf
+	AxisParent
+	AxisSelf
+)
+
+// PredKind distinguishes the two supported predicate forms.
+type PredKind int
+
+const (
+	PredPosition PredKind = iota // [3]
+	PredChildEq                  // [name='value']
+)
+
+// Predicate filters the node set produced by a step.
+type Predicate struct {
+	Kind  PredKind
+	Pos   int    // for PredPosition (1-based)
+	Child string // for PredChildEq
+	Value string // for PredChildEq
+}
+
+// Step is one location step.
+type Step struct {
+	Axis  Axis
+	Name  string // element name, or "*"; ignored for parent/self axes
+	Preds []Predicate
+}
+
+// Path is a parsed location path.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+	raw      string
+}
+
+// Parse parses an XPath expression in the supported subset.
+func Parse(expr string) (*Path, error) {
+	raw := expr
+	expr = strings.TrimSpace(expr)
+	expr = strings.TrimPrefix(expr, "$doc")
+	if expr == "" {
+		return nil, fmt.Errorf("xpath: empty expression")
+	}
+	p := &Path{raw: raw}
+	i := 0
+	if strings.HasPrefix(expr, "//") {
+		p.Absolute = true
+		i = 2
+		// the descendant step is encoded on the first step below
+		rest, err := parseSteps(expr[i:], true)
+		if err != nil {
+			return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+		}
+		p.Steps = rest
+		return p, nil
+	}
+	if strings.HasPrefix(expr, "/") {
+		p.Absolute = true
+		i = 1
+	}
+	steps, err := parseSteps(expr[i:], false)
+	if err != nil {
+		return nil, fmt.Errorf("xpath: %q: %w", raw, err)
+	}
+	p.Steps = steps
+	if p.Absolute && len(p.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: %q: absolute path needs at least one step", raw)
+	}
+	return p, nil
+}
+
+// MustParse parses expr and panics on error. For fixtures and tests.
+func MustParse(expr string) *Path {
+	p, err := Parse(expr)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseSteps(s string, firstDescendant bool) ([]Step, error) {
+	var steps []Step
+	descendant := firstDescendant
+	for len(s) > 0 {
+		// split off one step token up to the next unbracketed '/'
+		depth := 0
+		end := len(s)
+		for j := 0; j < len(s); j++ {
+			switch s[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			case '/':
+				if depth == 0 {
+					end = j
+					goto found
+				}
+			}
+		}
+	found:
+		tok := s[:end]
+		step, err := parseStep(tok, descendant)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, step)
+		descendant = false
+		if end == len(s) {
+			break
+		}
+		s = s[end+1:]
+		if strings.HasPrefix(s, "/") {
+			descendant = true
+			s = s[1:]
+			if s == "" {
+				return nil, fmt.Errorf("trailing //")
+			}
+		} else if s == "" {
+			return nil, fmt.Errorf("trailing /")
+		}
+	}
+	return steps, nil
+}
+
+func parseStep(tok string, descendant bool) (Step, error) {
+	st := Step{Axis: AxisChild}
+	if descendant {
+		st.Axis = AxisDescendantOrSelf
+	}
+	// predicates
+	name := tok
+	for {
+		open := strings.IndexByte(name, '[')
+		if open < 0 {
+			break
+		}
+		if !strings.HasSuffix(name, "]") {
+			return Step{}, fmt.Errorf("unterminated predicate in %q", tok)
+		}
+		// find matching first predicate
+		closeIdx := strings.IndexByte(name[open:], ']') + open
+		predSrc := name[open+1 : closeIdx]
+		pred, err := parsePredicate(predSrc)
+		if err != nil {
+			return Step{}, err
+		}
+		st.Preds = append(st.Preds, pred)
+		name = name[:open] + name[closeIdx+1:]
+	}
+	switch name {
+	case "":
+		return Step{}, fmt.Errorf("empty step in %q", tok)
+	case ".":
+		if descendant {
+			st.Axis = AxisDescendantOrSelf
+			st.Name = "*"
+			return st, nil
+		}
+		st.Axis = AxisSelf
+	case "..":
+		st.Axis = AxisParent
+	default:
+		st.Name = name
+	}
+	return st, nil
+}
+
+func parsePredicate(src string) (Predicate, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return Predicate{}, fmt.Errorf("empty predicate")
+	}
+	if n, err := strconv.Atoi(src); err == nil {
+		if n < 1 {
+			return Predicate{}, fmt.Errorf("position predicate must be >= 1, got %d", n)
+		}
+		return Predicate{Kind: PredPosition, Pos: n}, nil
+	}
+	eq := strings.IndexByte(src, '=')
+	if eq < 0 {
+		return Predicate{}, fmt.Errorf("unsupported predicate %q", src)
+	}
+	child := strings.TrimSpace(src[:eq])
+	val := strings.TrimSpace(src[eq+1:])
+	if len(val) < 2 || (val[0] != '\'' && val[0] != '"') || val[len(val)-1] != val[0] {
+		return Predicate{}, fmt.Errorf("predicate value must be quoted in %q", src)
+	}
+	return Predicate{Kind: PredChildEq, Child: child, Value: val[1 : len(val)-1]}, nil
+}
+
+// String renders the path in canonical form.
+func (p *Path) String() string {
+	var sb strings.Builder
+	if p.Absolute {
+		sb.WriteByte('/')
+	}
+	for i, st := range p.Steps {
+		if i > 0 {
+			sb.WriteByte('/')
+		}
+		if st.Axis == AxisDescendantOrSelf {
+			if i > 0 {
+				sb.WriteByte('/')
+			} else if p.Absolute {
+				sb.WriteByte('/')
+			}
+		}
+		switch st.Axis {
+		case AxisParent:
+			sb.WriteString("..")
+		case AxisSelf:
+			sb.WriteByte('.')
+		default:
+			sb.WriteString(st.Name)
+		}
+		for _, pr := range st.Preds {
+			switch pr.Kind {
+			case PredPosition:
+				fmt.Fprintf(&sb, "[%d]", pr.Pos)
+			case PredChildEq:
+				fmt.Fprintf(&sb, "[%s='%s']", pr.Child, pr.Value)
+			}
+		}
+	}
+	s := sb.String()
+	if !p.Absolute && len(p.Steps) > 0 && p.Steps[0].Axis == AxisSelf && len(p.Steps) == 1 {
+		return "."
+	}
+	return s
+}
+
+// Eval evaluates the path. Absolute paths are evaluated against the
+// document root of ctx; relative paths against ctx itself. The result is
+// in document order without duplicates.
+func (p *Path) Eval(ctx *xmltree.Node) []*xmltree.Node {
+	if ctx == nil {
+		return nil
+	}
+	var current []*xmltree.Node
+	if p.Absolute {
+		root := ctx.Root()
+		// Virtual document node: the first child-axis step matches the root
+		// element by name.
+		first := p.Steps[0]
+		switch first.Axis {
+		case AxisChild:
+			if nameMatches(first.Name, root.Name) && predsMatch(first.Preds, root, 1) {
+				current = []*xmltree.Node{root}
+			}
+		case AxisDescendantOrSelf:
+			for _, n := range collectSelfAndDescendants(root) {
+				if nameMatches(first.Name, n.Name) {
+					current = append(current, n)
+				}
+			}
+			current = filterPreds(current, first.Preds)
+		default:
+			return nil
+		}
+		return evalSteps(current, p.Steps[1:])
+	}
+	current = []*xmltree.Node{ctx}
+	return evalSteps(current, p.Steps)
+}
+
+func evalSteps(current []*xmltree.Node, steps []Step) []*xmltree.Node {
+	for _, st := range steps {
+		var next []*xmltree.Node
+		seen := map[*xmltree.Node]bool{}
+		add := func(n *xmltree.Node) {
+			if !seen[n] {
+				seen[n] = true
+				next = append(next, n)
+			}
+		}
+		for _, ctx := range current {
+			switch st.Axis {
+			case AxisChild:
+				var local []*xmltree.Node
+				for _, c := range ctx.Children {
+					if nameMatches(st.Name, c.Name) {
+						local = append(local, c)
+					}
+				}
+				for _, n := range filterPreds(local, st.Preds) {
+					add(n)
+				}
+			case AxisDescendantOrSelf:
+				var local []*xmltree.Node
+				for _, n := range collectSelfAndDescendants(ctx) {
+					if nameMatches(st.Name, n.Name) {
+						local = append(local, n)
+					}
+				}
+				for _, n := range filterPreds(local, st.Preds) {
+					add(n)
+				}
+			case AxisParent:
+				if ctx.Parent != nil {
+					add(ctx.Parent)
+				}
+			case AxisSelf:
+				if predsMatch(st.Preds, ctx, 1) {
+					add(ctx)
+				}
+			}
+		}
+		current = next
+		if len(current) == 0 {
+			return nil
+		}
+	}
+	return current
+}
+
+func collectSelfAndDescendants(n *xmltree.Node) []*xmltree.Node {
+	out := []*xmltree.Node{n}
+	out = append(out, n.Descendants()...)
+	return out
+}
+
+func nameMatches(pattern, name string) bool {
+	return pattern == "*" || pattern == name
+}
+
+func filterPreds(nodes []*xmltree.Node, preds []Predicate) []*xmltree.Node {
+	for _, pr := range preds {
+		var kept []*xmltree.Node
+		for i, n := range nodes {
+			if predMatches(pr, n, i+1) {
+				kept = append(kept, n)
+			}
+		}
+		nodes = kept
+	}
+	return nodes
+}
+
+func predsMatch(preds []Predicate, n *xmltree.Node, pos int) bool {
+	for _, pr := range preds {
+		if !predMatches(pr, n, pos) {
+			return false
+		}
+	}
+	return true
+}
+
+func predMatches(pr Predicate, n *xmltree.Node, pos int) bool {
+	switch pr.Kind {
+	case PredPosition:
+		return pos == pr.Pos
+	case PredChildEq:
+		for _, c := range n.Children {
+			if c.Name == pr.Child && c.Text == pr.Value {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// EvalAll evaluates several paths against the same context and returns the
+// union of results in first-seen order.
+func EvalAll(paths []*Path, ctx *xmltree.Node) []*xmltree.Node {
+	var out []*xmltree.Node
+	seen := map[*xmltree.Node]bool{}
+	for _, p := range paths {
+		for _, n := range p.Eval(ctx) {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}

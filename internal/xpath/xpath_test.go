@@ -1,0 +1,244 @@
+package xpath
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+const doc = `<moviedoc>
+  <movie>
+    <title>The Matrix</title>
+    <year>1999</year>
+    <actor><name>Keanu Reeves</name><role>Neo</role></actor>
+    <actor><name>L. Fishburne</name><role>Morpheus</role></actor>
+  </movie>
+  <movie>
+    <title>Matrix</title>
+    <year>1999</year>
+    <actor><name>Keanu Reeves</name><role>The One</role></actor>
+  </movie>
+  <extra><title>not a movie title</title></extra>
+</moviedoc>`
+
+func ctx(t *testing.T) *xmltree.Node {
+	t.Helper()
+	d, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Root
+}
+
+func texts(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text
+	}
+	return out
+}
+
+func names(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestAbsoluteChildPath(t *testing.T) {
+	root := ctx(t)
+	got := MustParse("/moviedoc/movie/title").Eval(root)
+	if want := []string{"The Matrix", "Matrix"}; !reflect.DeepEqual(texts(got), want) {
+		t.Errorf("titles = %v, want %v", texts(got), want)
+	}
+}
+
+func TestDollarDocPrefix(t *testing.T) {
+	root := ctx(t)
+	got := MustParse("$doc/moviedoc/movie").Eval(root)
+	if len(got) != 2 {
+		t.Errorf("movies = %d, want 2", len(got))
+	}
+}
+
+func TestRelativePath(t *testing.T) {
+	root := ctx(t)
+	movie := root.ChildrenNamed("movie")[0]
+	got := MustParse("./actor/name").Eval(movie)
+	if want := []string{"Keanu Reeves", "L. Fishburne"}; !reflect.DeepEqual(texts(got), want) {
+		t.Errorf("names = %v, want %v", texts(got), want)
+	}
+	// without the leading ./ as well
+	got2 := MustParse("actor/name").Eval(movie)
+	if !reflect.DeepEqual(texts(got2), texts(got)) {
+		t.Errorf("actor/name = %v", texts(got2))
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	root := ctx(t)
+	movie := root.ChildrenNamed("movie")[1]
+	got := MustParse(".").Eval(movie)
+	if len(got) != 1 || got[0] != movie {
+		t.Errorf("self = %v", names(got))
+	}
+}
+
+func TestParentPath(t *testing.T) {
+	root := ctx(t)
+	name := root.ChildrenNamed("movie")[0].ChildrenNamed("actor")[0].Child("name")
+	got := MustParse("..").Eval(name)
+	if len(got) != 1 || got[0].Name != "actor" {
+		t.Errorf("parent = %v", names(got))
+	}
+	got = MustParse("../..").Eval(name)
+	if len(got) != 1 || got[0].Name != "movie" {
+		t.Errorf("grandparent = %v", names(got))
+	}
+	got = MustParse("../../title").Eval(name)
+	if len(got) != 1 || got[0].Text != "The Matrix" {
+		t.Errorf("../../title = %v", texts(got))
+	}
+}
+
+func TestDescendantPath(t *testing.T) {
+	root := ctx(t)
+	got := MustParse("//title").Eval(root)
+	want := []string{"The Matrix", "Matrix", "not a movie title"}
+	if !reflect.DeepEqual(texts(got), want) {
+		t.Errorf("//title = %v, want %v", texts(got), want)
+	}
+	got = MustParse("/moviedoc/movie//name").Eval(root)
+	if len(got) != 3 {
+		t.Errorf("movie//name = %v", texts(got))
+	}
+}
+
+func TestWildcard(t *testing.T) {
+	root := ctx(t)
+	movie := root.ChildrenNamed("movie")[0]
+	got := MustParse("./*").Eval(movie)
+	if want := []string{"title", "year", "actor", "actor"}; !reflect.DeepEqual(names(got), want) {
+		t.Errorf("* = %v", names(got))
+	}
+}
+
+func TestPositionPredicate(t *testing.T) {
+	root := ctx(t)
+	got := MustParse("/moviedoc/movie[2]/actor[1]/name").Eval(root)
+	if len(got) != 1 || got[0].Text != "Keanu Reeves" {
+		t.Errorf("positional = %v", texts(got))
+	}
+	got = MustParse("/moviedoc/movie[1]/actor[2]/role").Eval(root)
+	if len(got) != 1 || got[0].Text != "Morpheus" {
+		t.Errorf("positional = %v", texts(got))
+	}
+	if got := MustParse("/moviedoc/movie[9]").Eval(root); len(got) != 0 {
+		t.Errorf("out of range position matched %v", names(got))
+	}
+}
+
+func TestChildEqualityPredicate(t *testing.T) {
+	root := ctx(t)
+	got := MustParse(`/moviedoc/movie[title='Matrix']/actor/role`).Eval(root)
+	if len(got) != 1 || got[0].Text != "The One" {
+		t.Errorf("filtered = %v", texts(got))
+	}
+	got = MustParse(`/moviedoc/movie[title="Signs"]`).Eval(root)
+	if len(got) != 0 {
+		t.Errorf("no-match filter returned %v", len(got))
+	}
+}
+
+func TestRootMismatch(t *testing.T) {
+	root := ctx(t)
+	if got := MustParse("/wrongroot/movie").Eval(root); len(got) != 0 {
+		t.Errorf("wrong root matched %d nodes", len(got))
+	}
+}
+
+func TestEvalFromDescendantUsesDocumentRoot(t *testing.T) {
+	root := ctx(t)
+	inner := root.ChildrenNamed("movie")[0].Child("title")
+	got := MustParse("/moviedoc/movie").Eval(inner)
+	if len(got) != 2 {
+		t.Errorf("absolute from inner node = %d, want 2", len(got))
+	}
+}
+
+func TestRoundTripString(t *testing.T) {
+	exprs := []string{
+		"/moviedoc/movie/title",
+		"/moviedoc/movie[2]/actor[1]/name",
+		"./actor/name",
+		"//title",
+		"..",
+		"../..",
+		".",
+		"/a/*/c",
+		"/a/b[x='1']",
+	}
+	for _, e := range exprs {
+		p := MustParse(e)
+		p2, err := Parse(p.String())
+		if err != nil {
+			t.Errorf("re-parse of %q -> %q failed: %v", e, p.String(), err)
+			continue
+		}
+		if p2.String() != p.String() {
+			t.Errorf("round trip %q -> %q -> %q", e, p.String(), p2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"/",
+		"a//",
+		"a/",
+		"a[",
+		"a[]",
+		"a[0]",
+		"a[x=unquoted]",
+		"a[?]",
+	}
+	for _, e := range bad {
+		if _, err := Parse(e); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", e)
+		}
+	}
+}
+
+func TestEvalAllDeduplicates(t *testing.T) {
+	root := ctx(t)
+	movie := root.ChildrenNamed("movie")[0]
+	paths := []*Path{MustParse("./title"), MustParse("./*"), MustParse("./year")}
+	got := EvalAll(paths, movie)
+	if len(got) != 4 { // title, year, actor, actor
+		t.Errorf("EvalAll = %v", names(got))
+	}
+}
+
+func TestNodePathResolvesBack(t *testing.T) {
+	// xmltree.Node.Path() output must be evaluatable by this engine and
+	// resolve to exactly the original node.
+	root := ctx(t)
+	var all []*xmltree.Node
+	root.Walk(func(n *xmltree.Node) bool { all = append(all, n); return true })
+	for _, n := range all {
+		p := MustParse(n.Path())
+		got := p.Eval(root)
+		if len(got) != 1 || got[0] != n {
+			t.Errorf("Path %q resolved to %d nodes", n.Path(), len(got))
+		}
+	}
+}
+
+func TestEvalNilContext(t *testing.T) {
+	if got := MustParse("/a").Eval(nil); got != nil {
+		t.Errorf("nil ctx = %v", got)
+	}
+}

@@ -1,0 +1,307 @@
+// Package xquery implements the query-formulation component of Section
+// 3.3: DogmatiX expresses its candidate and description queries as
+// XQuery, and this package both *formulates* those queries from a
+// candidate path plus a description selection σ, and *executes* a FLWOR
+// subset over xmltree documents, so the formulated text is runnable, not
+// just documentation.
+//
+// Supported grammar (whitespace-insensitive):
+//
+//	query   := "for" "$"var "in" path ("where" cond)? "return" expr
+//	cond    := relpath "=" quoted | "contains(" relpath "," quoted ")"
+//	expr    := element | relpath
+//	element := "<" name ">" "{" relpath ("," relpath)* "}" "</" name ">"
+//
+// where path is an absolute XPath (optionally $doc-prefixed) and relpath
+// is relative to the bound variable, written "$var/a/b" or "$var".
+package xquery
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xmltree"
+	"repro/internal/xpath"
+)
+
+// Query is a parsed FLWOR query.
+type Query struct {
+	Var     string // variable name without '$'
+	In      *xpath.Path
+	Where   *Condition // nil when absent
+	Return  Return
+	rawText string
+}
+
+// Condition is a where-clause predicate on the bound variable.
+type Condition struct {
+	Path     *xpath.Path // relative to the variable
+	Value    string
+	Contains bool // contains(...) instead of equality
+}
+
+// Return is the return clause: either a constructed element wrapping
+// projected paths, or a single projected path.
+type Return struct {
+	Element string // element constructor name; empty for a bare path
+	Paths   []*xpath.Path
+}
+
+// String returns the query text.
+func (q *Query) String() string { return q.rawText }
+
+// Parse parses a query in the supported FLWOR subset.
+func Parse(text string) (*Query, error) {
+	q := &Query{rawText: strings.TrimSpace(text)}
+	s := q.rawText
+
+	word := func(w string) error {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, w) {
+			return fmt.Errorf("xquery: expected %q at %q", w, truncate(s))
+		}
+		s = s[len(w):]
+		return nil
+	}
+
+	if err := word("for"); err != nil {
+		return nil, err
+	}
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return nil, fmt.Errorf("xquery: expected variable at %q", truncate(s))
+	}
+	end := strings.IndexAny(s, " \t\n")
+	if end < 0 {
+		return nil, fmt.Errorf("xquery: unexpected end after variable")
+	}
+	q.Var = s[1:end]
+	s = s[end:]
+
+	if err := word("in"); err != nil {
+		return nil, err
+	}
+	s = strings.TrimSpace(s)
+	pathEnd := strings.Index(s, " ")
+	if pathEnd < 0 {
+		return nil, fmt.Errorf("xquery: query ends after 'in' path")
+	}
+	inPath, err := xpath.Parse(s[:pathEnd])
+	if err != nil {
+		return nil, err
+	}
+	q.In = inPath
+	s = s[pathEnd:]
+
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "where") {
+		s = strings.TrimSpace(s[len("where"):])
+		cond, rest, err := parseCondition(s, q.Var)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = cond
+		s = rest
+	}
+
+	if err := word("return"); err != nil {
+		return nil, err
+	}
+	s = strings.TrimSpace(s)
+	ret, rest, err := parseReturn(s, q.Var)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return nil, fmt.Errorf("xquery: trailing input %q", truncate(rest))
+	}
+	q.Return = ret
+	return q, nil
+}
+
+func parseCondition(s, varName string) (*Condition, string, error) {
+	if strings.HasPrefix(s, "contains(") {
+		body := s[len("contains("):]
+		closeIdx := strings.IndexByte(body, ')')
+		if closeIdx < 0 {
+			return nil, "", fmt.Errorf("xquery: unterminated contains(")
+		}
+		inner := body[:closeIdx]
+		rest := body[closeIdx+1:]
+		parts := strings.SplitN(inner, ",", 2)
+		if len(parts) != 2 {
+			return nil, "", fmt.Errorf("xquery: contains needs two arguments")
+		}
+		p, err := varPath(strings.TrimSpace(parts[0]), varName)
+		if err != nil {
+			return nil, "", err
+		}
+		val, err := unquote(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, "", err
+		}
+		return &Condition{Path: p, Value: val, Contains: true}, rest, nil
+	}
+	eq := strings.IndexByte(s, '=')
+	if eq < 0 {
+		return nil, "", fmt.Errorf("xquery: unsupported where clause at %q", truncate(s))
+	}
+	p, err := varPath(strings.TrimSpace(s[:eq]), varName)
+	if err != nil {
+		return nil, "", err
+	}
+	rest := strings.TrimSpace(s[eq+1:])
+	if rest == "" || (rest[0] != '\'' && rest[0] != '"') {
+		return nil, "", fmt.Errorf("xquery: where value must be quoted")
+	}
+	quote := rest[0]
+	closeIdx := strings.IndexByte(rest[1:], quote)
+	if closeIdx < 0 {
+		return nil, "", fmt.Errorf("xquery: unterminated string literal")
+	}
+	val := rest[1 : 1+closeIdx]
+	return &Condition{Path: p, Value: val}, rest[closeIdx+2:], nil
+}
+
+func parseReturn(s, varName string) (Return, string, error) {
+	if strings.HasPrefix(s, "<") {
+		gt := strings.IndexByte(s, '>')
+		if gt < 0 {
+			return Return{}, "", fmt.Errorf("xquery: unterminated element constructor")
+		}
+		name := strings.TrimSpace(s[1:gt])
+		rest := strings.TrimSpace(s[gt+1:])
+		if !strings.HasPrefix(rest, "{") {
+			return Return{}, "", fmt.Errorf("xquery: element constructor needs { projections }")
+		}
+		closeIdx := strings.IndexByte(rest, '}')
+		if closeIdx < 0 {
+			return Return{}, "", fmt.Errorf("xquery: unterminated projection block")
+		}
+		var paths []*xpath.Path
+		for _, part := range strings.Split(rest[1:closeIdx], ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			p, err := varPath(part, varName)
+			if err != nil {
+				return Return{}, "", err
+			}
+			paths = append(paths, p)
+		}
+		rest = strings.TrimSpace(rest[closeIdx+1:])
+		closing := "</" + name + ">"
+		if !strings.HasPrefix(rest, closing) {
+			return Return{}, "", fmt.Errorf("xquery: expected %s", closing)
+		}
+		return Return{Element: name, Paths: paths}, rest[len(closing):], nil
+	}
+	// bare path return
+	end := strings.IndexAny(s, " \t\n")
+	tok := s
+	rest := ""
+	if end >= 0 {
+		tok, rest = s[:end], s[end:]
+	}
+	p, err := varPath(tok, varName)
+	if err != nil {
+		return Return{}, "", err
+	}
+	return Return{Paths: []*xpath.Path{p}}, rest, nil
+}
+
+// varPath parses "$v/a/b" (or "$v") into a relative xpath.
+func varPath(s, varName string) (*xpath.Path, error) {
+	prefix := "$" + varName
+	if !strings.HasPrefix(s, prefix) {
+		return nil, fmt.Errorf("xquery: path %q must start with $%s", s, varName)
+	}
+	rel := strings.TrimPrefix(s, prefix)
+	if rel == "" {
+		return xpath.Parse(".")
+	}
+	if !strings.HasPrefix(rel, "/") {
+		return nil, fmt.Errorf("xquery: malformed variable path %q", s)
+	}
+	return xpath.Parse("." + rel)
+}
+
+func unquote(s string) (string, error) {
+	if len(s) < 2 || (s[0] != '\'' && s[0] != '"') || s[len(s)-1] != s[0] {
+		return "", fmt.Errorf("xquery: expected quoted string, got %q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+func truncate(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 24 {
+		return s[:24] + "..."
+	}
+	return s
+}
+
+// Eval runs the query against a document. For each binding of the for
+// variable it evaluates the optional where clause and materializes the
+// return clause; constructed elements clone the projected nodes.
+func (q *Query) Eval(doc *xmltree.Document) []*xmltree.Node {
+	var out []*xmltree.Node
+	for _, binding := range q.In.Eval(doc.Root) {
+		if q.Where != nil && !q.Where.matches(binding) {
+			continue
+		}
+		if q.Return.Element == "" {
+			out = append(out, q.Return.Paths[0].Eval(binding)...)
+			continue
+		}
+		wrapper := xmltree.NewNode(q.Return.Element)
+		for _, n := range xpath.EvalAll(q.Return.Paths, binding) {
+			wrapper.AppendChild(n.Clone())
+		}
+		out = append(out, wrapper)
+	}
+	return out
+}
+
+func (c *Condition) matches(binding *xmltree.Node) bool {
+	for _, n := range c.Path.Eval(binding) {
+		if c.Contains {
+			if strings.Contains(n.Text, c.Value) {
+				return true
+			}
+		} else if n.Text == c.Value {
+			return true
+		}
+	}
+	return false
+}
+
+// FormulateCandidate renders the Step 1 candidate query QC for a
+// candidate schema path (Sec. 3.4).
+func FormulateCandidate(candidatePath string) string {
+	return fmt.Sprintf("for $c in $doc%s return $c", strings.TrimPrefix(candidatePath, "$doc"))
+}
+
+// FormulateDescription renders the Step 2 description query QD: a FLWOR
+// query projecting the selection σ (relative XPaths) of each candidate
+// into a <description> element, exactly the shape Sec. 3.3's composition
+// tool produces.
+func FormulateDescription(candidatePath string, sigma []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "for $c in $doc%s return <description> { ",
+		strings.TrimPrefix(candidatePath, "$doc"))
+	for i, rel := range sigma {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		rel = strings.TrimPrefix(rel, "./")
+		if rel == "." {
+			sb.WriteString("$c")
+			continue
+		}
+		fmt.Fprintf(&sb, "$c/%s", rel)
+	}
+	sb.WriteString(" } </description>")
+	return sb.String()
+}

@@ -1,0 +1,169 @@
+package xquery
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+const doc = `<moviedoc>
+  <movie>
+    <title>The Matrix</title>
+    <year>1999</year>
+    <actor><name>Keanu Reeves</name></actor>
+    <actor><name>L. Fishburne</name></actor>
+  </movie>
+  <movie>
+    <title>Signs</title>
+    <year>2002</year>
+    <actor><name>Mel Gibson</name></actor>
+  </movie>
+</moviedoc>`
+
+func parseDoc(t *testing.T) *xmltree.Document {
+	t.Helper()
+	d, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func mustParse(t *testing.T, text string) *Query {
+	t.Helper()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	return q
+}
+
+func TestCandidateQuery(t *testing.T) {
+	q := mustParse(t, "for $c in $doc/moviedoc/movie return $c")
+	got := q.Eval(parseDoc(t))
+	if len(got) != 2 || got[0].Name != "movie" {
+		t.Fatalf("eval = %d nodes", len(got))
+	}
+}
+
+func TestDescriptionQuery(t *testing.T) {
+	q := mustParse(t,
+		"for $m in $doc/moviedoc/movie return <description> { $m/title, $m/year, $m/actor/name } </description>")
+	got := q.Eval(parseDoc(t))
+	if len(got) != 2 {
+		t.Fatalf("descriptions = %d", len(got))
+	}
+	first := got[0]
+	if first.Name != "description" {
+		t.Errorf("wrapper = %s", first.Name)
+	}
+	if n := len(first.Children); n != 4 { // title, year, 2 names
+		t.Errorf("projected children = %d, want 4: %s", n, first)
+	}
+	if first.Child("title").Text != "The Matrix" {
+		t.Errorf("title = %q", first.Child("title").Text)
+	}
+	// projections are clones: mutating them must not touch the document
+	first.Child("title").Text = "MUTATED"
+	if parseDoc(t).Root.Children[0].Child("title").Text == "MUTATED" {
+		t.Error("projection aliased the source document")
+	}
+}
+
+func TestWhereEquality(t *testing.T) {
+	q := mustParse(t,
+		`for $m in $doc/moviedoc/movie where $m/year = '1999' return $m/title`)
+	got := q.Eval(parseDoc(t))
+	if len(got) != 1 || got[0].Text != "The Matrix" {
+		t.Fatalf("filtered = %v", texts(got))
+	}
+}
+
+func TestWhereContains(t *testing.T) {
+	q := mustParse(t,
+		`for $m in $doc/moviedoc/movie where contains($m/actor/name, 'Gibson') return $m/title`)
+	got := q.Eval(parseDoc(t))
+	if len(got) != 1 || got[0].Text != "Signs" {
+		t.Fatalf("filtered = %v", texts(got))
+	}
+}
+
+func TestSelfProjection(t *testing.T) {
+	q := mustParse(t,
+		"for $m in $doc/moviedoc/movie return <wrap> { $m } </wrap>")
+	got := q.Eval(parseDoc(t))
+	if len(got) != 2 || got[0].Child("movie") == nil {
+		t.Fatalf("self projection = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"return $c",
+		"for c in /a return $c",
+		"for $c in /a",
+		"for $c in /a return $x/b",
+		"for $c in /a where $c/b return $c",
+		"for $c in /a where $c/b = unquoted return $c",
+		"for $c in /a return <d> { $c/b }",
+		"for $c in /a return <d> { $c/b } </e>",
+		"for $c in /a return $c trailing",
+		"for $c in /a where contains($c/b) return $c",
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestFormulateCandidate(t *testing.T) {
+	got := FormulateCandidate("$doc/moviedoc/movie")
+	want := "for $c in $doc/moviedoc/movie return $c"
+	if got != want {
+		t.Errorf("FormulateCandidate = %q", got)
+	}
+	// formulated text must parse and run
+	q := mustParse(t, got)
+	if n := len(q.Eval(parseDoc(t))); n != 2 {
+		t.Errorf("formulated candidate query found %d", n)
+	}
+}
+
+func TestFormulateDescriptionRoundTrip(t *testing.T) {
+	sigma := []string{"./title", "./year", "./actor/name"}
+	text := FormulateDescription("/moviedoc/movie", sigma)
+	if !strings.Contains(text, "<description>") {
+		t.Fatalf("formulated = %q", text)
+	}
+	q := mustParse(t, text)
+	got := q.Eval(parseDoc(t))
+	if len(got) != 2 {
+		t.Fatalf("descriptions = %d", len(got))
+	}
+	if got[1].Child("name").Text != "Mel Gibson" {
+		t.Errorf("second description = %s", got[1])
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	text := "for $m in $doc/moviedoc/movie return <d> { $m/title } </d>"
+	q := mustParse(t, text)
+	if q.String() != text {
+		t.Errorf("String = %q", q.String())
+	}
+	q2 := mustParse(t, q.String())
+	if len(q2.Eval(parseDoc(t))) != 2 {
+		t.Error("re-parsed query behaves differently")
+	}
+}
+
+func texts(nodes []*xmltree.Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Text
+	}
+	return out
+}

@@ -1,0 +1,639 @@
+// Package xsd implements the XML Schema subset DogmatiX relies on. The
+// paper's description-selection heuristics (Section 4) read four properties
+// off the schema: the tree structure (for r-distant / k-closest selection),
+// the content model (Condition 1), the data type (Condition 2), and the
+// cardinality/optionality of parent-child relations (Conditions 3 and 4).
+//
+// The package parses XSD documents covering xs:element, inline and named
+// xs:complexType (sequence/choice/all, mixed), xs:simpleType, minOccurs,
+// maxOccurs, nillable and ID/key typing. It can also infer a schema from
+// instance documents (Infer), which is how the experiments derive schema
+// facts for generated corpora without shipping hand-written XSDs.
+package xsd
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/xmltree"
+)
+
+// DataType is the coarse data type classification Condition 2 needs.
+type DataType int
+
+const (
+	DTUnknown DataType = iota
+	DTString
+	DTDate
+	DTNumeric
+	DTBoolean
+	DTComplex // element has no simple value at all
+)
+
+func (d DataType) String() string {
+	switch d {
+	case DTString:
+		return "string"
+	case DTDate:
+		return "date"
+	case DTNumeric:
+		return "numeric"
+	case DTBoolean:
+		return "boolean"
+	case DTComplex:
+		return "complex"
+	default:
+		return "unknown"
+	}
+}
+
+// ContentModel mirrors the XML Schema content models of Condition 1.
+type ContentModel int
+
+const (
+	CMEmpty ContentModel = iota
+	CMSimple
+	CMComplex
+	CMMixed
+)
+
+func (c ContentModel) String() string {
+	switch c {
+	case CMSimple:
+		return "simple"
+	case CMComplex:
+		return "complex"
+	case CMMixed:
+		return "mixed"
+	default:
+		return "empty"
+	}
+}
+
+// Unbounded is the MaxOccurs value for maxOccurs="unbounded".
+const Unbounded = -1
+
+// Element is one element declaration in the schema tree.
+type Element struct {
+	Name     string
+	Path     string // absolute schema path, e.g. /moviedoc/movie/title
+	Parent   *Element
+	Children []*Element
+
+	Type     DataType
+	TypeName string // raw XSD type name, e.g. xs:string
+	Content  ContentModel
+
+	MinOccurs int
+	MaxOccurs int // Unbounded (-1) for maxOccurs="unbounded"
+	Nillable  bool
+	IsKey     bool // xs:ID typed or flagged as key
+}
+
+// Depth returns the number of ancestors (the root element has depth 0).
+func (e *Element) Depth() int {
+	d := 0
+	for p := e.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Mandatory reports whether e is mandatory to its parent in the sense of
+// Condition 3: minOccurs >= 1 and not nillable, or declared as a key/ID.
+func (e *Element) Mandatory() bool {
+	if e.IsKey {
+		return true
+	}
+	return e.MinOccurs >= 1 && !e.Nillable
+}
+
+// Singleton reports whether e is in a 1:1 relation with its parent in the
+// sense of Condition 4: maxOccurs == 1.
+func (e *Element) Singleton() bool {
+	return e.MaxOccurs == 1
+}
+
+// HasText reports whether the content model admits a text node (simple or
+// mixed), which is what Condition 1 selects for.
+func (e *Element) HasText() bool {
+	return e.Content == CMSimple || e.Content == CMMixed
+}
+
+// Child returns the child declaration with the given name, or nil.
+func (e *Element) Child(name string) *Element {
+	for _, c := range e.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Walk visits e and all declarations below it in document order.
+func (e *Element) Walk(fn func(*Element) bool) {
+	if !fn(e) {
+		return
+	}
+	for _, c := range e.Children {
+		c.Walk(fn)
+	}
+}
+
+// FlagString renders the (type, ME, SE) triple the paper prints in
+// Tables 5 and 6, e.g. "string, ME, not SE".
+func (e *Element) FlagString() string {
+	t := e.Type.String()
+	if e.Content == CMComplex || e.Content == CMEmpty {
+		t = "complex"
+	}
+	me := "ME"
+	if !e.Mandatory() {
+		me = "not ME"
+	}
+	se := "SE"
+	if !e.Singleton() {
+		se = "not SE"
+	}
+	return fmt.Sprintf("%s, %s, %s", t, me, se)
+}
+
+// Schema is a parsed or inferred schema with a single root element.
+type Schema struct {
+	Root   *Element
+	byPath map[string]*Element
+}
+
+// ElementAt returns the declaration at the given absolute schema path, or
+// nil if the schema does not declare it.
+func (s *Schema) ElementAt(path string) *Element {
+	return s.byPath[path]
+}
+
+// Elements returns all declarations in document order.
+func (s *Schema) Elements() []*Element {
+	var out []*Element
+	s.Root.Walk(func(e *Element) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+// index (re)builds the path lookup table and path strings.
+func (s *Schema) index() {
+	s.byPath = map[string]*Element{}
+	var walk func(e *Element, prefix string)
+	walk = func(e *Element, prefix string) {
+		e.Path = prefix + "/" + e.Name
+		s.byPath[e.Path] = e
+		for _, c := range e.Children {
+			c.Parent = e
+			walk(c, e.Path)
+		}
+	}
+	walk(s.Root, "")
+}
+
+// Parse reads an XSD document and builds the schema tree rooted at the
+// first top-level element declaration.
+func Parse(r io.Reader) (*Schema, error) {
+	doc, err := xmltree.Parse(r)
+	if err != nil {
+		return nil, fmt.Errorf("xsd: %w", err)
+	}
+	if doc.Root.Name != "schema" {
+		return nil, fmt.Errorf("xsd: root element is %q, want schema", doc.Root.Name)
+	}
+	p := &parser{
+		namedComplex: map[string]*xmltree.Node{},
+		namedSimple:  map[string]*xmltree.Node{},
+	}
+	var rootDecl *xmltree.Node
+	for _, c := range doc.Root.Children {
+		switch c.Name {
+		case "element":
+			if rootDecl == nil {
+				rootDecl = c
+			}
+		case "complexType":
+			if name, ok := c.Attr("name"); ok {
+				p.namedComplex[name] = c
+			}
+		case "simpleType":
+			if name, ok := c.Attr("name"); ok {
+				p.namedSimple[name] = c
+			}
+		}
+	}
+	if rootDecl == nil {
+		return nil, fmt.Errorf("xsd: no top-level element declaration")
+	}
+	root, err := p.element(rootDecl, 0)
+	if err != nil {
+		return nil, err
+	}
+	s := &Schema{Root: root}
+	s.index()
+	return s, nil
+}
+
+// ParseString is a convenience wrapper around Parse.
+func ParseString(s string) (*Schema, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	namedComplex map[string]*xmltree.Node
+	namedSimple  map[string]*xmltree.Node
+	depth        int
+}
+
+func (p *parser) element(decl *xmltree.Node, depth int) (*Element, error) {
+	if depth > 64 {
+		return nil, fmt.Errorf("xsd: schema nesting too deep (recursive type?)")
+	}
+	name, ok := decl.Attr("name")
+	if !ok {
+		if ref, isRef := decl.Attr("ref"); isRef {
+			return nil, fmt.Errorf("xsd: element ref=%q not supported; declare inline", ref)
+		}
+		return nil, fmt.Errorf("xsd: element declaration without name")
+	}
+	e := &Element{
+		Name:      name,
+		MinOccurs: 1,
+		MaxOccurs: 1,
+		Type:      DTUnknown,
+	}
+	if v, ok := decl.Attr("minOccurs"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("xsd: element %s: bad minOccurs %q", name, v)
+		}
+		e.MinOccurs = n
+	}
+	if v, ok := decl.Attr("maxOccurs"); ok {
+		if v == "unbounded" {
+			e.MaxOccurs = Unbounded
+		} else {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("xsd: element %s: bad maxOccurs %q", name, v)
+			}
+			e.MaxOccurs = n
+		}
+	}
+	if v, ok := decl.Attr("nillable"); ok {
+		e.Nillable = v == "true" || v == "1"
+	}
+	if v, ok := decl.Attr("key"); ok { // dogmatix extension shortcut
+		e.IsKey = v == "true" || v == "1"
+	}
+
+	// Resolve the type: explicit type attribute, inline complexType, or
+	// inline simpleType. Default (none of those) is xs:string-like simple
+	// content, matching common schema authoring for leaf elements.
+	if tn, ok := decl.Attr("type"); ok {
+		e.TypeName = tn
+		if bt, isBuiltin := builtinType(tn); isBuiltin {
+			e.Type = bt
+			e.Content = CMSimple
+			if localName(tn) == "ID" {
+				e.IsKey = true
+			}
+		} else if ct, found := p.namedComplex[localName(tn)]; found {
+			if err := p.complexType(e, ct, depth); err != nil {
+				return nil, err
+			}
+		} else if st, found := p.namedSimple[localName(tn)]; found {
+			e.Type = simpleTypeBase(st)
+			e.Content = CMSimple
+		} else {
+			return nil, fmt.Errorf("xsd: element %s: unknown type %q", name, tn)
+		}
+	} else if ct := decl.Child("complexType"); ct != nil {
+		if err := p.complexType(e, ct, depth); err != nil {
+			return nil, err
+		}
+	} else if st := decl.Child("simpleType"); st != nil {
+		e.Type = simpleTypeBase(st)
+		e.Content = CMSimple
+	} else {
+		e.Type = DTString
+		e.Content = CMSimple
+	}
+	return e, nil
+}
+
+func (p *parser) complexType(e *Element, ct *xmltree.Node, depth int) error {
+	mixed := false
+	if v, ok := ct.Attr("mixed"); ok {
+		mixed = v == "true" || v == "1"
+	}
+	var collect func(n *xmltree.Node, optional bool) error
+	collect = func(n *xmltree.Node, optional bool) error {
+		for _, c := range n.Children {
+			switch c.Name {
+			case "element":
+				child, err := p.element(c, depth+1)
+				if err != nil {
+					return err
+				}
+				if optional {
+					child.MinOccurs = 0
+				}
+				e.Children = append(e.Children, child)
+			case "sequence", "all":
+				if err := collect(c, optional); err != nil {
+					return err
+				}
+			case "choice":
+				// Members of a choice are individually optional.
+				if err := collect(c, true); err != nil {
+					return err
+				}
+			case "any":
+				// xs:any admits arbitrary content; nothing to declare.
+			}
+		}
+		return nil
+	}
+	if err := collect(ct, false); err != nil {
+		return err
+	}
+	switch {
+	case len(e.Children) == 0 && mixed:
+		e.Content = CMMixed
+		e.Type = DTString
+	case len(e.Children) == 0:
+		e.Content = CMEmpty
+		e.Type = DTComplex
+	case mixed:
+		e.Content = CMMixed
+		e.Type = DTString
+	default:
+		e.Content = CMComplex
+		e.Type = DTComplex
+	}
+	return nil
+}
+
+func localName(qname string) string {
+	if i := strings.LastIndexByte(qname, ':'); i >= 0 {
+		return qname[i+1:]
+	}
+	return qname
+}
+
+func builtinType(qname string) (DataType, bool) {
+	switch localName(qname) {
+	case "string", "normalizedString", "token", "ID", "IDREF", "NMTOKEN", "anyURI", "Name", "NCName":
+		return DTString, true
+	case "date", "gYear", "gYearMonth", "dateTime", "time", "duration":
+		return DTDate, true
+	case "int", "integer", "long", "short", "byte", "decimal", "float", "double",
+		"positiveInteger", "nonNegativeInteger", "negativeInteger", "unsignedInt", "unsignedLong":
+		return DTNumeric, true
+	case "boolean":
+		return DTBoolean, true
+	default:
+		return DTUnknown, false
+	}
+}
+
+func simpleTypeBase(st *xmltree.Node) DataType {
+	if r := st.Child("restriction"); r != nil {
+		if base, ok := r.Attr("base"); ok {
+			if dt, isBuiltin := builtinType(base); isBuiltin {
+				return dt
+			}
+		}
+	}
+	return DTString
+}
+
+var (
+	yearRE    = regexp.MustCompile(`^\d{4}$`)
+	isoDateRE = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+	deDateRE  = regexp.MustCompile(`^\d{1,2}\.\d{1,2}\.\d{4}$`)
+	numberRE  = regexp.MustCompile(`^-?\d+([.,]\d+)?$`)
+)
+
+// InferValueType classifies a text value the way Infer does: four-digit
+// years and common date formats are DTDate, plain numbers are DTNumeric,
+// everything else DTString.
+func InferValueType(v string) DataType {
+	switch {
+	case v == "":
+		return DTUnknown
+	case yearRE.MatchString(v):
+		n, _ := strconv.Atoi(v)
+		if n >= 1000 && n <= 2999 {
+			return DTDate
+		}
+		return DTNumeric
+	case isoDateRE.MatchString(v), deDateRE.MatchString(v):
+		return DTDate
+	case numberRE.MatchString(v):
+		return DTNumeric
+	case v == "true" || v == "false":
+		return DTBoolean
+	default:
+		return DTString
+	}
+}
+
+// Infer derives a schema from instance documents. All documents must share
+// the same root element name. Inferred facts: the element tree, per-element
+// minOccurs (0 if any parent instance lacks the child), maxOccurs (>1 or
+// Unbounded if any parent holds several), content model (from observed text
+// and children), and the data type (from observed values; mixed evidence
+// degrades to string). Elements named "*id" or "*did" whose values are
+// unique across instances are flagged as keys, mirroring the ID/key clause
+// of Condition 3.
+func Infer(docs ...*xmltree.Document) (*Schema, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("xsd: Infer needs at least one document")
+	}
+	rootName := docs[0].Root.Name
+	for _, d := range docs[1:] {
+		if d.Root.Name != rootName {
+			return nil, fmt.Errorf("xsd: documents have different roots %q vs %q", rootName, d.Root.Name)
+		}
+	}
+	type stats struct {
+		elem        *Element
+		hasText     bool
+		hasChild    bool
+		parents     int // parent instances observed
+		occurrences int
+		present     int // parent instances containing >=1
+		maxPer      int
+		posSum      float64 // sum of first-occurrence sibling indexes
+		posCount    int
+		values      map[string]int
+		valueCount  int
+		typeVotes   map[DataType]int
+	}
+	byPath := map[string]*stats{}
+	order := []string{}
+
+	getStats := func(path string) *stats {
+		st, ok := byPath[path]
+		if !ok {
+			st = &stats{values: map[string]int{}, typeVotes: map[DataType]int{}}
+			byPath[path] = st
+			order = append(order, path)
+		}
+		return st
+	}
+
+	var walk func(n *xmltree.Node)
+	walk = func(n *xmltree.Node) {
+		path := n.SchemaPath()
+		st := getStats(path)
+		st.occurrences++
+		if n.Text != "" {
+			st.hasText = true
+			st.values[n.Text]++
+			st.valueCount++
+			st.typeVotes[InferValueType(n.Text)]++
+		}
+		if len(n.Children) > 0 {
+			st.hasChild = true
+		}
+		// account children per child-name
+		counts := map[string]int{}
+		firstPos := map[string]int{}
+		for idx, c := range n.Children {
+			if counts[c.Name] == 0 {
+				firstPos[c.Name] = idx
+			}
+			counts[c.Name]++
+		}
+		for name, cnt := range counts {
+			cst := getStats(path + "/" + name)
+			cst.present++
+			if cnt > cst.maxPer {
+				cst.maxPer = cnt
+			}
+			cst.posSum += float64(firstPos[name])
+			cst.posCount++
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, d := range docs {
+		walk(d.Root)
+	}
+
+	// Fix parent totals: the number of instances of the parent path.
+	for path, st := range byPath {
+		idx := strings.LastIndexByte(path, '/')
+		if idx <= 0 {
+			continue
+		}
+		parentPath := path[:idx]
+		if pst, ok := byPath[parentPath]; ok {
+			st.parents = pst.occurrences
+		}
+	}
+
+	// Build elements.
+	for _, path := range order {
+		st := byPath[path]
+		name := path[strings.LastIndexByte(path, '/')+1:]
+		e := &Element{Name: name, MinOccurs: 1, MaxOccurs: 1}
+		if st.parents > st.present {
+			e.MinOccurs = 0
+		}
+		if st.maxPer > 1 {
+			e.MaxOccurs = Unbounded
+		}
+		switch {
+		case st.hasText && st.hasChild:
+			e.Content = CMMixed
+		case st.hasChild:
+			e.Content = CMComplex
+			e.Type = DTComplex
+		case st.hasText:
+			e.Content = CMSimple
+		default:
+			// No text observed anywhere: could be empty or optional simple.
+			e.Content = CMSimple
+		}
+		if e.Content != CMComplex {
+			e.Type = dominantType(st.typeVotes)
+		}
+		lower := strings.ToLower(name)
+		if (strings.HasSuffix(lower, "id") || lower == "key") &&
+			st.valueCount > 1 && len(st.values) == st.valueCount {
+			e.IsKey = true
+		}
+		st.elem = e
+	}
+
+	// Link the tree, ordering each element's children by their average
+	// first-occurrence position among siblings so optional elements land
+	// where instances place them (e.g. cdextra before tracks even when
+	// the first disc lacks a cdextra).
+	var root *Element
+	avgPos := func(path string) float64 {
+		st := byPath[path]
+		if st.posCount == 0 {
+			return 0
+		}
+		return st.posSum / float64(st.posCount)
+	}
+	childPaths := map[string][]string{}
+	for _, path := range order {
+		st := byPath[path]
+		idx := strings.LastIndexByte(path, '/')
+		if idx == 0 {
+			root = st.elem
+			continue
+		}
+		childPaths[path[:idx]] = append(childPaths[path[:idx]], path)
+	}
+	for parentPath, kids := range childPaths {
+		sort.SliceStable(kids, func(i, j int) bool {
+			return avgPos(kids[i]) < avgPos(kids[j])
+		})
+		parent := byPath[parentPath]
+		for _, kid := range kids {
+			parent.elem.Children = append(parent.elem.Children, byPath[kid].elem)
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xsd: inference found no root")
+	}
+	s := &Schema{Root: root}
+	s.index()
+	return s, nil
+}
+
+func dominantType(votes map[DataType]int) DataType {
+	if len(votes) == 0 {
+		return DTString
+	}
+	// Unanimous non-string verdicts win; any disagreement means string.
+	var only DataType
+	kinds := 0
+	for dt, n := range votes {
+		if n == 0 {
+			continue
+		}
+		kinds++
+		only = dt
+	}
+	if kinds == 1 {
+		return only
+	}
+	return DTString
+}

@@ -1,0 +1,377 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmltree"
+)
+
+// cdXSD mirrors the Dataset 1 schema of Table 5: disc with did (string,
+// ME, SE), artist (string, ME, not SE), title (string, ME, not SE), genre
+// (string, not ME, SE), year (date, ME, SE), cdextra (string, not ME, not
+// SE), tracks (complex, ME, SE) and tracks/title (string, ME, not SE).
+const cdXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="freedb">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="disc" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="did" type="xs:ID"/>
+              <xs:element name="artist" type="xs:string" maxOccurs="unbounded"/>
+              <xs:element name="title" type="xs:string" maxOccurs="unbounded"/>
+              <xs:element name="genre" type="xs:string" minOccurs="0"/>
+              <xs:element name="year" type="xs:gYear"/>
+              <xs:element name="cdextra" type="xs:string" minOccurs="0" maxOccurs="unbounded"/>
+              <xs:element name="tracks">
+                <xs:complexType>
+                  <xs:sequence>
+                    <xs:element name="title" type="xs:string" maxOccurs="unbounded"/>
+                  </xs:sequence>
+                </xs:complexType>
+              </xs:element>
+            </xs:sequence>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+func mustParseXSD(t *testing.T, s string) *Schema {
+	t.Helper()
+	schema, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return schema
+}
+
+func TestParseCDSchemaStructure(t *testing.T) {
+	s := mustParseXSD(t, cdXSD)
+	if s.Root.Name != "freedb" {
+		t.Fatalf("root = %q", s.Root.Name)
+	}
+	disc := s.ElementAt("/freedb/disc")
+	if disc == nil {
+		t.Fatal("no /freedb/disc")
+	}
+	if len(disc.Children) != 7 {
+		t.Fatalf("disc children = %d, want 7", len(disc.Children))
+	}
+	if got := s.ElementAt("/freedb/disc/tracks/title"); got == nil {
+		t.Fatal("no /freedb/disc/tracks/title")
+	}
+	if d := disc.Depth(); d != 1 {
+		t.Errorf("disc depth = %d", d)
+	}
+	if d := s.ElementAt("/freedb/disc/tracks/title").Depth(); d != 3 {
+		t.Errorf("tracks/title depth = %d", d)
+	}
+}
+
+func TestParseCDSchemaFlags(t *testing.T) {
+	s := mustParseXSD(t, cdXSD)
+	cases := []struct {
+		path string
+		typ  DataType
+		me   bool
+		se   bool
+		text bool
+	}{
+		{"/freedb/disc/did", DTString, true, true, true},
+		{"/freedb/disc/artist", DTString, true, false, true},
+		{"/freedb/disc/title", DTString, true, false, true},
+		{"/freedb/disc/genre", DTString, false, true, true},
+		{"/freedb/disc/year", DTDate, true, true, true},
+		{"/freedb/disc/cdextra", DTString, false, false, true},
+		{"/freedb/disc/tracks", DTComplex, true, true, false},
+		{"/freedb/disc/tracks/title", DTString, true, false, true},
+	}
+	for _, tc := range cases {
+		e := s.ElementAt(tc.path)
+		if e == nil {
+			t.Errorf("missing %s", tc.path)
+			continue
+		}
+		if e.Type != tc.typ {
+			t.Errorf("%s type = %v, want %v", tc.path, e.Type, tc.typ)
+		}
+		if e.Mandatory() != tc.me {
+			t.Errorf("%s mandatory = %v, want %v", tc.path, e.Mandatory(), tc.me)
+		}
+		if e.Singleton() != tc.se {
+			t.Errorf("%s singleton = %v, want %v", tc.path, e.Singleton(), tc.se)
+		}
+		if e.HasText() != tc.text {
+			t.Errorf("%s hasText = %v, want %v", tc.path, e.HasText(), tc.text)
+		}
+	}
+	// did is an ID so it counts as a key per Condition 3.
+	if !s.ElementAt("/freedb/disc/did").IsKey {
+		t.Error("did should be a key")
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	s := mustParseXSD(t, cdXSD)
+	cases := map[string]string{
+		"/freedb/disc/did":          "string, ME, SE",
+		"/freedb/disc/artist":       "string, ME, not SE",
+		"/freedb/disc/genre":        "string, not ME, SE",
+		"/freedb/disc/year":         "date, ME, SE",
+		"/freedb/disc/cdextra":      "string, not ME, not SE",
+		"/freedb/disc/tracks":       "complex, ME, SE",
+		"/freedb/disc/tracks/title": "string, ME, not SE",
+	}
+	for path, want := range cases {
+		if got := s.ElementAt(path).FlagString(); got != want {
+			t.Errorf("FlagString(%s) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestParseChoiceMembersOptional(t *testing.T) {
+	s := mustParseXSD(t, `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="r">
+	    <xs:complexType>
+	      <xs:choice>
+	        <xs:element name="a" type="xs:string"/>
+	        <xs:element name="b" type="xs:string"/>
+	      </xs:choice>
+	    </xs:complexType>
+	  </xs:element>
+	</xs:schema>`)
+	if s.ElementAt("/r/a").Mandatory() || s.ElementAt("/r/b").Mandatory() {
+		t.Error("choice members should not be mandatory")
+	}
+}
+
+func TestParseNamedTypes(t *testing.T) {
+	s := mustParseXSD(t, `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:complexType name="PersonType">
+	    <xs:sequence>
+	      <xs:element name="name" type="xs:string"/>
+	    </xs:sequence>
+	  </xs:complexType>
+	  <xs:simpleType name="YearType">
+	    <xs:restriction base="xs:gYear"/>
+	  </xs:simpleType>
+	  <xs:element name="r">
+	    <xs:complexType>
+	      <xs:sequence>
+	        <xs:element name="person" type="PersonType"/>
+	        <xs:element name="year" type="YearType"/>
+	      </xs:sequence>
+	    </xs:complexType>
+	  </xs:element>
+	</xs:schema>`)
+	if got := s.ElementAt("/r/person/name"); got == nil || got.Type != DTString {
+		t.Errorf("named complex type not resolved: %+v", got)
+	}
+	if got := s.ElementAt("/r/year"); got == nil || got.Type != DTDate {
+		t.Errorf("named simple type not resolved: %+v", got)
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	s := mustParseXSD(t, `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:element name="r">
+	    <xs:complexType mixed="true">
+	      <xs:sequence>
+	        <xs:element name="em" type="xs:string"/>
+	      </xs:sequence>
+	    </xs:complexType>
+	  </xs:element>
+	</xs:schema>`)
+	if s.Root.Content != CMMixed {
+		t.Errorf("content = %v, want mixed", s.Root.Content)
+	}
+	if !s.Root.HasText() {
+		t.Error("mixed content should admit text")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not schema", `<foo/>`},
+		{"no elements", `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>`},
+		{"unknown type", `<xs:schema xmlns:xs="x"><xs:element name="a" type="NoSuch"/></xs:schema>`},
+		{"bad minOccurs", `<xs:schema xmlns:xs="x"><xs:element name="a" type="xs:string" minOccurs="-1"/></xs:schema>`},
+		{"bad maxOccurs", `<xs:schema xmlns:xs="x"><xs:element name="a" type="xs:string" maxOccurs="zero"/></xs:schema>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseString(tc.in); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestBuiltinTypes(t *testing.T) {
+	cases := map[string]DataType{
+		"xs:string": DTString, "xs:ID": DTString, "xs:token": DTString,
+		"xs:date": DTDate, "xs:gYear": DTDate, "xs:dateTime": DTDate,
+		"xs:int": DTNumeric, "xs:decimal": DTNumeric,
+		"xs:boolean": DTBoolean,
+	}
+	for name, want := range cases {
+		got, ok := builtinType(name)
+		if !ok || got != want {
+			t.Errorf("builtinType(%s) = %v,%v want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := builtinType("MyType"); ok {
+		t.Error("MyType should not be builtin")
+	}
+}
+
+func TestInferValueType(t *testing.T) {
+	cases := map[string]DataType{
+		"1999":       DTDate,
+		"2002":       DTDate,
+		"0042":       DTNumeric,
+		"1999-10-13": DTDate,
+		"13.10.1999": DTDate,
+		"42":         DTNumeric,
+		"-3.5":       DTNumeric,
+		"true":       DTBoolean,
+		"The Matrix": DTString,
+		"":           DTUnknown,
+	}
+	for in, want := range cases {
+		if got := InferValueType(in); got != want {
+			t.Errorf("InferValueType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+const cdInstance = `<freedb>
+  <disc><did>a1</did><artist>X</artist><title>T1</title><genre>rock</genre><year>1999</year>
+    <tracks><title>s1</title><title>s2</title></tracks></disc>
+  <disc><did>a2</did><artist>Y</artist><title>T2</title><year>2001</year>
+    <tracks><title>s3</title></tracks></disc>
+</freedb>`
+
+func TestInferFromInstance(t *testing.T) {
+	doc, err := xmltree.ParseString(cdInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disc := s.ElementAt("/freedb/disc")
+	if disc == nil {
+		t.Fatal("no disc inferred")
+	}
+	if disc.Singleton() {
+		t.Error("disc should not be singleton (two instances)")
+	}
+	genre := s.ElementAt("/freedb/disc/genre")
+	if genre == nil || genre.Mandatory() {
+		t.Errorf("genre should be optional, got %+v", genre)
+	}
+	year := s.ElementAt("/freedb/disc/year")
+	if year == nil || year.Type != DTDate {
+		t.Errorf("year should infer as date, got %+v", year)
+	}
+	did := s.ElementAt("/freedb/disc/did")
+	if did == nil || !did.IsKey {
+		t.Errorf("did should infer as key, got %+v", did)
+	}
+	tracks := s.ElementAt("/freedb/disc/tracks")
+	if tracks == nil || tracks.Content != CMComplex || tracks.HasText() {
+		t.Errorf("tracks should be complex, got %+v", tracks)
+	}
+	tt := s.ElementAt("/freedb/disc/tracks/title")
+	if tt == nil || tt.Singleton() {
+		t.Errorf("tracks/title should not be singleton, got %+v", tt)
+	}
+	artist := s.ElementAt("/freedb/disc/artist")
+	if artist == nil || !artist.Mandatory() || !artist.Singleton() {
+		t.Errorf("artist flags wrong: %+v", artist)
+	}
+}
+
+func TestInferMultipleDocs(t *testing.T) {
+	d1, _ := xmltree.ParseString(`<r><m><title>A</title></m></r>`)
+	d2, _ := xmltree.ParseString(`<r><m><title>B</title><aka>C</aka></m></r>`)
+	s, err := Infer(d1, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aka := s.ElementAt("/r/m/aka")
+	if aka == nil || aka.Mandatory() {
+		t.Errorf("aka should be optional, got %+v", aka)
+	}
+	title := s.ElementAt("/r/m/title")
+	if title == nil || !title.Mandatory() {
+		t.Errorf("title should be mandatory, got %+v", title)
+	}
+}
+
+func TestInferRejectsMismatchedRoots(t *testing.T) {
+	d1, _ := xmltree.ParseString(`<a/>`)
+	d2, _ := xmltree.ParseString(`<b/>`)
+	if _, err := Infer(d1, d2); err == nil {
+		t.Error("want error for mismatched roots")
+	}
+	if _, err := Infer(); err == nil {
+		t.Error("want error for no documents")
+	}
+}
+
+func TestInferMixedTypeDegradesToString(t *testing.T) {
+	doc, _ := xmltree.ParseString(`<r><v>1999</v><v>hello</v></r>`)
+	s, err := Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ElementAt("/r/v").Type; got != DTString {
+		t.Errorf("mixed evidence type = %v, want string", got)
+	}
+}
+
+// Inference is idempotent with respect to the facts it extracts: inferring
+// from a doc, then from the same doc again, yields identical schemas.
+func TestInferDeterministic(t *testing.T) {
+	doc, _ := xmltree.ParseString(cdInstance)
+	s1, err := Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Infer(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, e2 := s1.Elements(), s2.Elements()
+	if len(e1) != len(e2) {
+		t.Fatalf("element counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i].Path != e2[i].Path || e1[i].FlagString() != e2[i].FlagString() {
+			t.Errorf("element %d differs: %s %s vs %s %s",
+				i, e1[i].Path, e1[i].FlagString(), e2[i].Path, e2[i].FlagString())
+		}
+	}
+}
+
+func TestElementsDocOrder(t *testing.T) {
+	s := mustParseXSD(t, cdXSD)
+	var paths []string
+	for _, e := range s.Elements() {
+		paths = append(paths, e.Path)
+	}
+	want := "/freedb /freedb/disc /freedb/disc/did /freedb/disc/artist /freedb/disc/title /freedb/disc/genre /freedb/disc/year /freedb/disc/cdextra /freedb/disc/tracks /freedb/disc/tracks/title"
+	if got := strings.Join(paths, " "); got != want {
+		t.Errorf("order = %s", got)
+	}
+}
