@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet fmt-check bench
+
+all: build test vet fmt-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -16,6 +16,7 @@ import (
 	"repro/internal/dirty"
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
+	"repro/internal/od"
 	"repro/internal/sim"
 	"repro/internal/strdist"
 )
@@ -137,6 +138,18 @@ func BenchmarkDetect(b *testing.B) {
 	}
 }
 
+// BenchmarkDetectSharded is BenchmarkDetect backed by the sharded OD
+// store (8 shards) instead of the single-map MemStore.
+func BenchmarkDetectSharded(b *testing.B) {
+	ds := benchDataset1(b, 150)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchDetect(b, ds, core.Config{
+			NewStore: func() od.Store { return od.NewShardedStore(8) },
+		})
+	}
+}
+
 // BenchmarkDetectWithFilter measures the Step 4 object filter's effect on
 // end-to-end cost (compare against BenchmarkDetect).
 func BenchmarkDetectWithFilter(b *testing.B) {
@@ -165,7 +178,7 @@ func BenchmarkSimilarityPair(b *testing.B) {
 	store := res.Store
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.Similarity(store, store.ODs[0], store.ODs[1], experiments.ThetaTuple)
+		sim.Similarity(store, store.ODs()[0], store.ODs()[1], experiments.ThetaTuple)
 	}
 }
 
@@ -175,7 +188,7 @@ func BenchmarkObjectFilter(b *testing.B) {
 	store := res.Store
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim.Filter(store, store.ODs[i%store.Size()])
+		sim.Filter(store, store.ODs()[i%store.Size()])
 	}
 }
 

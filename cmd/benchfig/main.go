@@ -7,35 +7,44 @@
 //	benchfig -fig fig5 -n 200         # Figure 5 with 200 CDs
 //	benchfig -fig fig7 -n 10000       # Figure 7 at paper scale
 //	benchfig -fig tab5                # Table 5
+//	benchfig -fig stages -shards 8    # per-stage timings, both store backends
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
-// 10,000 discs.
+// 10,000 discs. The stages artifact (not from the paper) profiles the
+// staged detection pipeline on Dataset 1, once on the single-map MemStore
+// and once on the sharded store, and prints each stage's wall time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/core"
+	"repro/internal/dirty"
 	"repro/internal/experiments"
+	"repro/internal/heuristics"
+	"repro/internal/od"
 )
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 all")
-		n    = flag.Int("n", 0, "corpus size (0 = paper scale)")
-		seed = flag.Int64("seed", 2005, "generator seed")
+		fig    = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages all")
+		n      = flag.Int("n", 0, "corpus size (0 = paper scale)")
+		seed   = flag.Int64("seed", 2005, "generator seed")
+		shards = flag.Int("shards", 8, "shard count for the stages artifact's sharded run")
 	)
 	flag.Parse()
-	if err := run(*fig, *n, *seed); err != nil {
+	if err := run(*fig, *n, *seed, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n int, seed int64) error {
+func run(fig string, n int, seed int64, shards int) error {
 	w := os.Stdout
 	want := func(name string) bool { return fig == "all" || fig == name }
 	ran := false
@@ -128,9 +137,59 @@ func run(fig string, n int, seed int64) error {
 			return err
 		}
 	}
+	if want("stages") {
+		if err := timed("stages", func() error {
+			return runStages(w, orDefault(n, 2000), seed, shards)
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q (want one of: %s)", fig,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "all"}, " "))
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "all"}, " "))
+	}
+	return nil
+}
+
+// runStages profiles the staged pipeline end to end on Dataset 1, once per
+// store backend, and prints each stage's item count and wall time.
+func runStages(w io.Writer, n int, seed int64, shards int) error {
+	ds, err := experiments.BuildDataset1(n, seed, dirty.Dataset1Params())
+	if err != nil {
+		return err
+	}
+	h, err := heuristics.Experiment(1, heuristics.KClosestDescendants(6))
+	if err != nil {
+		return err
+	}
+	backends := []struct {
+		name     string
+		newStore func() od.Store
+	}{
+		{"memstore", nil},
+		{fmt.Sprintf("sharded-%d", shards), func() od.Store { return od.NewShardedStore(shards) }},
+	}
+	for _, be := range backends {
+		det, err := core.NewDetector(ds.Mapping, core.Config{
+			Heuristic:  h,
+			ThetaTuple: experiments.ThetaTuple,
+			ThetaCand:  experiments.ThetaCand,
+			UseFilter:  true,
+			NewStore:   be.newStore,
+		})
+		if err != nil {
+			return err
+		}
+		res, err := det.Detect("DISC", core.Source{Doc: ds.Doc, Schema: ds.Schema})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s (%d discs, %d pairs, total %v)\n",
+			be.name, res.Stats.Candidates, res.Stats.PairsDetected,
+			res.Stats.Elapsed.Round(time.Millisecond))
+		for _, st := range res.Stages {
+			fmt.Fprintf(w, "  %-10s items=%-9d %v\n", st.Name, st.Items, st.Elapsed.Round(10*time.Microsecond))
+		}
 	}
 	return nil
 }

@@ -5,7 +5,8 @@
 //
 //	dogmatix -map mapping.txt -type MOVIE [-schema doc.xsd] \
 //	         [-heuristic kd:6] [-ttuple 0.15] [-tcand 0.55] \
-//	         [-filter] [-pairs] doc1.xml [doc2.xml ...]
+//	         [-filter] [-pairs] [-stages] [-shards 8] [-workers 4] \
+//	         doc1.xml [doc2.xml ...]
 //
 // The mapping file associates real-world types with schema XPaths, one
 // type per line:
@@ -14,8 +15,11 @@
 //	TITLE  $doc/moviedoc/movie/title
 //
 // Without -schema, each document's schema is inferred from its instances.
-// The result is the Fig. 3 dupcluster XML on stdout; -pairs additionally
-// lists every detected pair with its similarity on stderr.
+// -shards N backs the run with the sharded OD store (N index shards,
+// parallel Finalize); the default is the single-map in-memory store and
+// both produce identical output. The result is the Fig. 3 dupcluster XML
+// on stdout; -pairs additionally lists every detected pair with its
+// similarity on stderr, and -stages prints per-stage timings.
 package main
 
 import (
@@ -25,41 +29,59 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/heuristics"
+	"repro/internal/od"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
 )
 
 func main() {
 	var (
-		mapFile   = flag.String("map", "", "mapping file (required)")
-		typeName  = flag.String("type", "", "real-world type to deduplicate (required)")
-		xsdFile   = flag.String("schema", "", "XSD schema file (default: infer per document)")
-		heuristic = flag.String("heuristic", "kd:6", "description heuristic spec (see internal/heuristics.ParseSpec)")
-		ttuple    = flag.Float64("ttuple", 0.15, "OD tuple similarity threshold θtuple")
-		tcand     = flag.Float64("tcand", 0.55, "duplicate classification threshold θcand")
-		useFilter = flag.Bool("filter", false, "enable the Step 4 object filter")
-		showPairs = flag.Bool("pairs", false, "list detected pairs with scores on stderr")
-		stats     = flag.Bool("stats", false, "print run statistics on stderr")
-		format    = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
+		mapFile    = flag.String("map", "", "mapping file (required)")
+		typeName   = flag.String("type", "", "real-world type to deduplicate (required)")
+		xsdFile    = flag.String("schema", "", "XSD schema file (default: infer per document)")
+		heuristic  = flag.String("heuristic", "kd:6", "description heuristic spec (see internal/heuristics.ParseSpec)")
+		ttuple     = flag.Float64("ttuple", 0.15, "OD tuple similarity threshold θtuple")
+		tcand      = flag.Float64("tcand", 0.55, "duplicate classification threshold θcand")
+		useFilter  = flag.Bool("filter", false, "enable the Step 4 object filter")
+		showPairs  = flag.Bool("pairs", false, "list detected pairs with scores on stderr")
+		stats      = flag.Bool("stats", false, "print run statistics on stderr")
+		showStages = flag.Bool("stages", false, "print per-stage timings on stderr")
+		shards     = flag.Int("shards", 0, "back the run with a sharded OD store of N shards (0 = single-map store)")
+		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
+		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 	)
 	flag.Parse()
-	if err := run(*mapFile, *typeName, *xsdFile, *heuristic, *ttuple, *tcand,
-		*useFilter, *showPairs, *stats, *format, flag.Args()); err != nil {
+	opts := options{
+		mapFile: *mapFile, typeName: *typeName, xsdFile: *xsdFile,
+		heuristic: *heuristic, ttuple: *ttuple, tcand: *tcand,
+		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
+		showStages: *showStages, shards: *shards, workers: *workers,
+		format: *format,
+	}
+	if err := run(opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dogmatix:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mapFile, typeName, xsdFile, heuristicSpec string, ttuple, tcand float64,
-	useFilter, showPairs, stats bool, format string, docs []string) error {
-	if mapFile == "" || typeName == "" {
+type options struct {
+	mapFile, typeName, xsdFile, heuristic string
+	ttuple, tcand                         float64
+	useFilter, showPairs, stats           bool
+	showStages                            bool
+	shards, workers                       int
+	format                                string
+}
+
+func run(opts options, docs []string) error {
+	if opts.mapFile == "" || opts.typeName == "" {
 		return fmt.Errorf("-map and -type are required")
 	}
 	if len(docs) == 0 {
 		return fmt.Errorf("no input documents")
 	}
 
-	mf, err := os.Open(mapFile)
+	mf, err := os.Open(opts.mapFile)
 	if err != nil {
 		return err
 	}
@@ -69,14 +91,14 @@ func run(mapFile, typeName, xsdFile, heuristicSpec string, ttuple, tcand float64
 		return err
 	}
 
-	h, err := heuristics.ParseSpec(heuristicSpec)
+	h, err := heuristics.ParseSpec(opts.heuristic)
 	if err != nil {
 		return err
 	}
 
 	var schema *xsd.Schema
-	if xsdFile != "" {
-		sf, err := os.Open(xsdFile)
+	if opts.xsdFile != "" {
+		sf, err := os.Open(opts.xsdFile)
 		if err != nil {
 			return err
 		}
@@ -101,33 +123,48 @@ func run(mapFile, typeName, xsdFile, heuristicSpec string, ttuple, tcand float64
 		sources = append(sources, core.Source{Name: path, Doc: doc, Schema: schema})
 	}
 
-	det, err := core.NewDetector(mapping, core.Config{
+	cfg := core.Config{
 		Heuristic:  h,
-		ThetaTuple: ttuple,
-		ThetaCand:  tcand,
-		UseFilter:  useFilter,
-	})
+		ThetaTuple: opts.ttuple,
+		ThetaCand:  opts.tcand,
+		UseFilter:  opts.useFilter,
+		Workers:    opts.workers,
+	}
+	if opts.shards > 0 {
+		cfg.NewStore = func() od.Store {
+			st := od.NewShardedStore(opts.shards)
+			st.Workers = opts.workers // -workers 1 keeps Finalize serial too
+			return st
+		}
+	}
+	det, err := core.NewDetector(mapping, cfg)
 	if err != nil {
 		return err
 	}
-	res, err := det.Detect(typeName, sources...)
+	res, err := det.Detect(opts.typeName, sources...)
 	if err != nil {
 		return err
 	}
 
-	if showPairs {
+	if opts.showPairs {
 		for _, p := range res.Pairs {
 			fmt.Fprintf(os.Stderr, "pair %s <-> %s sim=%.3f\n",
 				res.Candidates[p.I].Path, res.Candidates[p.J].Path, p.Score)
 		}
 	}
-	if stats {
+	if opts.showStages {
+		for _, st := range res.Stages {
+			fmt.Fprintf(os.Stderr, "stage %-10s items=%-8d elapsed=%v\n",
+				st.Name, st.Items, st.Elapsed)
+		}
+	}
+	if opts.stats {
 		fmt.Fprintf(os.Stderr,
 			"candidates=%d pruned=%d compared=%d pairs=%d clusters=%d elapsed=%v\n",
 			res.Stats.Candidates, res.Stats.Pruned, res.Stats.Compared,
 			res.Stats.PairsDetected, len(res.Clusters), res.Stats.Elapsed)
 	}
-	switch format {
+	switch opts.format {
 	case "xml":
 		return res.WriteXML(os.Stdout)
 	case "json":
@@ -135,6 +172,6 @@ func run(mapFile, typeName, xsdFile, heuristicSpec string, ttuple, tcand float64
 	case "csv":
 		return res.WritePairsCSV(os.Stdout)
 	default:
-		return fmt.Errorf("unknown -format %q (want xml, json, csv)", format)
+		return fmt.Errorf("unknown -format %q (want xml, json, csv)", opts.format)
 	}
 }

@@ -20,7 +20,6 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dirty"
 	"repro/internal/heuristics"
-	"repro/internal/sim"
 	"repro/internal/xsd"
 )
 
@@ -56,10 +55,11 @@ func main() {
 		mapping.MustAdd(typ, paths...)
 	}
 	det, err := core.NewDetector(mapping, core.Config{
-		Heuristic:  heuristics.KClosestDescendants(6),
-		ThetaTuple: 0.15,
-		ThetaCand:  0.55,
-		FilterOnly: true,
+		Heuristic:        heuristics.KClosestDescendants(6),
+		ThetaTuple:       0.15,
+		ThetaCand:        0.55,
+		FilterOnly:       true,
+		KeepFilterValues: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,10 +69,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fs := make([]float64, res.Store.Size())
-	for i, o := range res.Store.ODs {
-		fs[i] = sim.Filter(res.Store, o)
-	}
+	fs := res.FilterValues
 
 	sorted := append([]float64(nil), fs...)
 	sort.Float64s(sorted)

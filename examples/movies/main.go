@@ -7,13 +7,17 @@
 // The example sweeps the r-distant heuristic to show how description
 // breadth trades recall against precision on heterogeneous data.
 //
-//	go run ./examples/movies [-n 150]
+// With -stages, each pipeline stage reports live as it completes (the
+// Observer hook of the staged detection pipeline).
+//
+//	go run ./examples/movies [-n 150] [-stages]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
@@ -24,6 +28,7 @@ import (
 func main() {
 	n := flag.Int("n", 150, "movies per source")
 	seed := flag.Int64("seed", 7, "generator seed")
+	stages := flag.Bool("stages", false, "report pipeline stages live on stderr")
 	flag.Parse()
 
 	movies := datagen.Movies(*n, *seed)
@@ -47,11 +52,19 @@ func main() {
 	fmt.Printf("%d movies in each source; gold standard pairs source ranks 1:1\n\n", *n)
 	fmt.Println("radius  pairs  cross  recall  precision")
 	for r := 1; r <= 4; r++ {
-		det, err := core.NewDetector(mapping, core.Config{
+		cfg := core.Config{
 			Heuristic:  heuristics.RDistantDescendants(r),
 			ThetaTuple: 0.15,
 			ThetaCand:  0.55,
-		})
+		}
+		if *stages {
+			radius := r
+			cfg.Observer = core.ObserverFunc(func(st core.StageStats) {
+				fmt.Fprintf(os.Stderr, "r=%d stage %-10s items=%-7d %v\n",
+					radius, st.Name, st.Items, st.Elapsed)
+			})
+		}
+		det, err := core.NewDetector(mapping, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

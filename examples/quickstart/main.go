@@ -75,7 +75,7 @@ func main() {
 	}
 
 	fmt.Printf("candidates: %d\n", res.Stats.Candidates)
-	for _, o := range res.Store.ODs {
+	for _, o := range res.Store.ODs() {
 		fmt.Printf("OD of %s:\n", o.Object)
 		for _, t := range o.Tuples {
 			fmt.Printf("  %s\n", t)
@@ -89,5 +89,10 @@ func main() {
 	fmt.Println()
 	if err := res.WriteXML(os.Stdout); err != nil {
 		log.Fatal(err)
+	}
+
+	fmt.Println("\npipeline stages:")
+	for _, st := range res.Stages {
+		fmt.Printf("  %-10s items=%-4d %v\n", st.Name, st.Items, st.Elapsed)
 	}
 }

@@ -27,7 +27,7 @@ import (
 // PairDetector is a duplicate detector over a finalized OD store.
 type PairDetector interface {
 	Name() string
-	Detect(store *od.Store) [][2]int32
+	Detect(store od.Store) [][2]int32
 }
 
 // ----- Sorted neighborhood -----
@@ -45,7 +45,7 @@ type SortedNeighborhood struct {
 func (s SortedNeighborhood) Name() string { return "sorted-neighborhood" }
 
 // Detect implements PairDetector.
-func (s SortedNeighborhood) Detect(store *od.Store) [][2]int32 {
+func (s SortedNeighborhood) Detect(store od.Store) [][2]int32 {
 	w := s.Window
 	if w < 2 {
 		w = 2
@@ -59,7 +59,7 @@ func (s SortedNeighborhood) Detect(store *od.Store) [][2]int32 {
 		key string
 	}
 	keys := make([]keyed, store.Size())
-	for i, o := range store.ODs {
+	for i, o := range store.ODs() {
 		keys[i] = keyed{id: int32(i), key: descriptionKey(o)}
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -113,7 +113,7 @@ type Containment struct {
 func (c Containment) Name() string { return "delphi-containment" }
 
 // Detect implements PairDetector.
-func (c Containment) Detect(store *od.Store) [][2]int32 {
+func (c Containment) Detect(store od.Store) [][2]int32 {
 	thetaT := c.ThetaTuple
 	if thetaT == 0 {
 		thetaT = 0.15
@@ -123,14 +123,15 @@ func (c Containment) Detect(store *od.Store) [][2]int32 {
 		thetaC = 0.55
 	}
 	n := store.Size()
+	ods := store.ODs()
 	var out [][2]int32
 	for i := int32(0); i < int32(n); i++ {
 		for _, j := range store.Neighbors(i) {
 			if j <= i {
 				continue
 			}
-			ab := c.contained(store, store.ODs[i], store.ODs[j], thetaT)
-			ba := c.contained(store, store.ODs[j], store.ODs[i], thetaT)
+			ab := c.contained(store, ods[i], ods[j], thetaT)
+			ba := c.contained(store, ods[j], ods[i], thetaT)
 			if ab > thetaC || ba > thetaC {
 				out = append(out, [2]int32{i, j})
 			}
@@ -141,7 +142,7 @@ func (c Containment) Detect(store *od.Store) [][2]int32 {
 }
 
 // Score returns max(cont(A→B), cont(B→A)) for diagnostics and benches.
-func (c Containment) Score(store *od.Store, a, b *od.OD) float64 {
+func (c Containment) Score(store od.Store, a, b *od.OD) float64 {
 	thetaT := c.ThetaTuple
 	if thetaT == 0 {
 		thetaT = 0.15
@@ -154,7 +155,7 @@ func (c Containment) Score(store *od.Store, a, b *od.OD) float64 {
 	return ba
 }
 
-func (c Containment) contained(store *od.Store, a, b *od.OD, thetaT float64) float64 {
+func (c Containment) contained(store od.Store, a, b *od.OD, thetaT float64) float64 {
 	var matched, total float64
 	for _, ta := range a.NonEmptyTuples() {
 		idf := store.SoftIDFSingle(ta)
@@ -188,13 +189,13 @@ type NaiveAllPairs struct {
 func (nv NaiveAllPairs) Name() string { return "naive-ned" }
 
 // Detect implements PairDetector.
-func (nv NaiveAllPairs) Detect(store *od.Store) [][2]int32 {
+func (nv NaiveAllPairs) Detect(store od.Store) [][2]int32 {
 	theta := nv.Theta
 	if theta == 0 {
 		theta = 0.25
 	}
 	keys := make([]string, store.Size())
-	for i, o := range store.ODs {
+	for i, o := range store.ODs() {
 		keys[i] = descriptionKey(o)
 	}
 	var out [][2]int32

@@ -8,9 +8,9 @@ import (
 )
 
 // corpus builds a store with two obvious duplicate pairs and fillers.
-func corpus(t *testing.T) (*od.Store, [][2]int32) {
+func corpus(t *testing.T) (od.Store, [][2]int32) {
 	t.Helper()
-	s := od.NewStore()
+	s := od.NewMemStore()
 	add := func(title, artist, year string) {
 		s.Add(&od.OD{Object: fmt.Sprintf("o%d", s.Size()), Tuples: []od.Tuple{
 			{Value: title, Name: "/d/t", Type: "TITLE"},
@@ -67,7 +67,7 @@ func TestSortedNeighborhoodWindowLimits(t *testing.T) {
 }
 
 func TestContainmentFindsDuplicatesAndExhibitsBias(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "full", Tuples: []od.Tuple{
 		{Value: "midnight river", Type: "TITLE"},
 		{Value: "Ella Fitzgerald", Type: "ARTIST"},
@@ -91,7 +91,7 @@ func TestContainmentFindsDuplicatesAndExhibitsBias(t *testing.T) {
 	if !hasPair(got, [2]int32{0, 1}) {
 		t.Errorf("containment should pair sparse-in-full (the bias), got %v", got)
 	}
-	if sc := c.Score(s, s.ODs[0], s.ODs[1]); sc != 1 {
+	if sc := c.Score(s, s.ODs()[0], s.ODs()[1]); sc != 1 {
 		t.Errorf("containment score = %v, want 1 (sparse fully contained)", sc)
 	}
 }
@@ -129,7 +129,7 @@ func TestDetectorsAreDeterministic(t *testing.T) {
 }
 
 func TestContainmentEmptyOD(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "empty"})
 	s.Add(&od.OD{Object: "x", Tuples: []od.Tuple{{Value: "v", Type: "T"}}})
 	s.Finalize(0.15)
@@ -137,7 +137,7 @@ func TestContainmentEmptyOD(t *testing.T) {
 	if got := c.Detect(s); len(got) != 0 {
 		t.Errorf("empty OD paired: %v", got)
 	}
-	if sc := c.Score(s, s.ODs[0], s.ODs[1]); sc != 0 {
+	if sc := c.Score(s, s.ODs()[0], s.ODs()[1]); sc != 0 {
 		t.Errorf("empty score = %v", sc)
 	}
 }

@@ -24,14 +24,15 @@ func (te TreeEdit) Name() string { return "tree-edit-distance" }
 // neighbors (objects sharing at least one similar tuple value), keeping
 // the O(n²) tree-edit computations to plausible candidates, then verified
 // with the full Zhang-Shasha distance.
-func (te TreeEdit) Detect(store *od.Store) [][2]int32 {
+func (te TreeEdit) Detect(store od.Store) [][2]int32 {
 	theta := te.Theta
 	if theta == 0 {
 		theta = 0.2
 	}
 	var out [][2]int32
+	ods := store.ODs()
 	for i := int32(0); i < int32(store.Size()); i++ {
-		a := store.ODs[i]
+		a := ods[i]
 		if a.Node == nil {
 			continue
 		}
@@ -39,7 +40,7 @@ func (te TreeEdit) Detect(store *od.Store) [][2]int32 {
 			if j <= i {
 				continue
 			}
-			b := store.ODs[j]
+			b := ods[j]
 			if b.Node == nil {
 				continue
 			}

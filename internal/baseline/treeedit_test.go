@@ -17,7 +17,7 @@ func nodeFor(t *testing.T, s string) *xmltree.Node {
 }
 
 func TestTreeEditDetect(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	add := func(xml string, vals ...string) {
 		o := &od.OD{Node: nodeFor(t, xml)}
 		for _, v := range vals {
@@ -50,7 +50,7 @@ func TestTreeEditDetect(t *testing.T) {
 }
 
 func TestTreeEditSkipsNodelessODs(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
 	s.Add(&od.OD{Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
 	s.Finalize(0.15)

@@ -89,9 +89,17 @@ func (u *UnionFind) Clusters(minSize int) [][]int32 {
 // FromPairs builds the transitive closure of the given duplicate pairs
 // over n objects and returns the clusters with two or more members.
 func FromPairs(n int, pairs [][2]int32) [][]int32 {
+	return FromPairsFunc(n, len(pairs), func(i int) (int32, int32) {
+		return pairs[i][0], pairs[i][1]
+	})
+}
+
+// FromPairsFunc is FromPairs over count pairs produced by at(i), sparing
+// callers that already hold pairs in another shape the intermediate copy.
+func FromPairsFunc(n, count int, at func(i int) (int32, int32)) [][]int32 {
 	uf := NewUnionFind(n)
-	for _, p := range pairs {
-		uf.Union(p[0], p[1])
+	for i := 0; i < count; i++ {
+		uf.Union(at(i))
 	}
 	return uf.Clusters(2)
 }

@@ -1,0 +1,57 @@
+// Package conc provides the one work-stealing scaffold the pipeline
+// stages and store index builds share: contiguous ranges of [0, n)
+// claimed by worker goroutines through an atomic cursor. Ranges never
+// overlap, so callers are data-race free as long as fn only writes state
+// owned by its range.
+package conc
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Ranges runs fn over contiguous chunks covering [0, n). workers <= 0
+// selects GOMAXPROCS and 1 forces the serial path; chunk <= 0 selects
+// n/(4·workers) (minimum 1). The final [lo, hi) chunk is clipped to n.
+func Ranges(workers, n, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if chunk <= 0 {
+		chunk = n / (4 * workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

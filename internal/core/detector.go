@@ -1,15 +1,20 @@
 // Package core implements the paper's object-identification framework
 // (Section 2) and its XML specialization, the DogmatiX algorithm
-// (Section 3). The pipeline runs the six steps of the duplicate-detection
-// component:
+// (Section 3). Detect drives an explicit staged pipeline covering the six
+// steps of the duplicate-detection component:
 //
-//	Step 1  candidate query formulation & execution
-//	Step 2  description query formulation & execution (heuristic σ)
-//	Step 3  OD generation (flattening to (value, name) tuples)
-//	Step 4  comparison reduction (object filter f, Sec. 5.2, plus
-//	        lossless shared-value blocking)
-//	Step 5  pairwise comparisons (classifier of Def. 6 over sim, Sec. 5.1)
-//	Step 6  duplicate clustering (transitive closure)
+//	infer       schema preparation (inference where none is provided)
+//	candidates  Step 1  candidate query formulation & execution
+//	describe    Steps 2+3  description queries (heuristic σ) & OD generation
+//	reduce      Step 4  comparison reduction (object filter f, Sec. 5.2)
+//	compare     Step 5  pairwise comparisons (classifier of Def. 6, Sec. 5.1,
+//	            over lossless shared-value blocking)
+//	cluster     Step 6  duplicate clustering (transitive closure)
+//
+// Each stage is a named, independently timed unit (see StageStats and
+// Observer in pipeline.go); the storage backend behind Steps 3–5 and the
+// Step 4/5 strategies are pluggable through Config.NewStore,
+// Config.Comparator and Config.Filter.
 //
 // Candidate definition (which real-world type to deduplicate, mapping M)
 // and duplicate definition (heuristic, thresholds) are provided offline
@@ -19,9 +24,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -29,7 +31,6 @@ import (
 	"repro/internal/od"
 	"repro/internal/sim"
 	"repro/internal/xmltree"
-	"repro/internal/xpath"
 	"repro/internal/xsd"
 )
 
@@ -73,6 +74,22 @@ type Config struct {
 	// GOMAXPROCS; 1 forces the serial path. Results are deterministic
 	// regardless of the worker count.
 	Workers int
+	// NewStore constructs the OD store backing Steps 3–5. nil uses
+	// od.NewMemStore; pass e.g. func() od.Store { return
+	// od.NewShardedStore(8) } to parallelize index construction.
+	NewStore func() od.Store
+	// Comparator overrides the Step 5 scoring/classification strategy.
+	// nil uses the paper's sim.Classifier built from the θ values above.
+	// Caution: shared-value blocking and the Step 4 filter bound are
+	// lossless only for the paper's measure; a comparator that scores
+	// pairs without θtuple-similar values needs DisableBlocking (and no
+	// UseFilter, or a matching Filter) — see sim.Comparator.
+	Comparator sim.Comparator
+	// Filter overrides the Step 4 object-filter strategy. nil uses the
+	// indexed sim.IndexFilter (Sec. 5.2).
+	Filter sim.ObjectFilter
+	// Observer, when non-nil, receives stage start/done events.
+	Observer Observer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -127,7 +144,7 @@ type Stats struct {
 type Result struct {
 	Type       string
 	Candidates []Candidate
-	Store      *od.Store
+	Store      od.Store
 	// FilterValues holds f(ODi) per candidate when KeepFilterValues is
 	// set (index-aligned with Candidates; NaN otherwise).
 	FilterValues []float64
@@ -137,7 +154,10 @@ type Result struct {
 	// Config.ThetaPossible is set; they do not join clusters.
 	PossiblePairs []Pair
 	Clusters      [][]int32
-	Stats         Stats
+	// Stages records per-stage timings and item counts, in execution
+	// order.
+	Stages []StageStats
+	Stats  Stats
 }
 
 // Detector runs DogmatiX for one mapping and configuration.
@@ -159,234 +179,52 @@ func NewDetector(mapping *Mapping, cfg Config) (*Detector, error) {
 }
 
 // Detect performs duplicate detection for the candidates of the given
-// real-world type across all sources.
+// real-world type across all sources. It is a thin composition of the
+// named pipeline stages returned by stages(); all per-step logic lives in
+// pipeline.go.
 func (d *Detector) Detect(typeName string, sources ...Source) (*Result, error) {
 	start := time.Now()
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("core: no sources")
 	}
-	candPaths := d.mapping.Paths(typeName)
-	if len(candPaths) == 0 {
+	// Cheap precondition before the pipeline spends time inferring
+	// schemas: an unmapped type can never yield candidates.
+	if len(d.mapping.Paths(typeName)) == 0 {
 		return nil, fmt.Errorf("core: type %q has no candidate paths in the mapping", typeName)
 	}
-
-	// Infer missing schemas.
-	for i := range sources {
-		if sources[i].Doc == nil {
-			return nil, fmt.Errorf("core: source %d has no document", i)
-		}
-		if sources[i].Schema == nil {
-			s, err := xsd.Infer(sources[i].Doc)
-			if err != nil {
-				return nil, fmt.Errorf("core: source %d: %w", i, err)
-			}
-			sources[i].Schema = s
-		}
+	p := &pipelineRun{
+		d:          d,
+		typeName:   typeName,
+		sources:    sources,
+		res:        &Result{Type: typeName},
+		comparator: d.comparator(),
+		filter:     d.objectFilter(),
 	}
-
-	// Step 1: candidate query formulation & execution.
-	res := &Result{Type: typeName}
-	type anchorKey struct {
-		source int
-		path   string
+	if err := p.run(d.stages()); err != nil {
+		return nil, err
 	}
-	descQueries := map[anchorKey][]*xpath.Path{}
-	for si, src := range sources {
-		for _, cp := range candPaths {
-			el := src.Schema.ElementAt(cp)
-			if el == nil {
-				continue // this source does not declare the path
-			}
-			q, err := xpath.Parse(cp)
-			if err != nil {
-				return nil, fmt.Errorf("core: candidate path %s: %w", cp, err)
-			}
-			// Step 2 (formulation): compile the description query σ once
-			// per (source, anchor).
-			key := anchorKey{si, cp}
-			if _, done := descQueries[key]; !done {
-				var paths []*xpath.Path
-				for _, sel := range d.cfg.Heuristic.Select(el) {
-					rel := heuristics.RelPath(el, sel)
-					rp, err := xpath.Parse(rel)
-					if err != nil {
-						return nil, fmt.Errorf("core: description path %s: %w", rel, err)
-					}
-					paths = append(paths, rp)
-				}
-				descQueries[key] = paths
-			}
-			for _, node := range q.Eval(src.Doc.Root) {
-				res.Candidates = append(res.Candidates, Candidate{
-					Node:     node,
-					Source:   si,
-					Path:     node.Path(),
-					SchemaEl: el,
-				})
-			}
-		}
-	}
-	if len(res.Candidates) == 0 {
-		return nil, fmt.Errorf("core: no candidates found for type %q", typeName)
-	}
-
-	// Steps 2 (execution) + 3: description queries and OD generation.
-	store := od.NewStore()
-	for _, cand := range res.Candidates {
-		queries := descQueries[anchorKey{cand.Source, cand.SchemaEl.Path}]
-		o := &od.OD{Object: cand.Path, Source: cand.Source, Node: cand.Node}
-		for _, n := range xpath.EvalAll(queries, cand.Node) {
-			name := n.SchemaPath()
-			value := n.Text
-			if value == "" && d.mapping.IsComposite(name) {
-				value = n.TextContent()
-			}
-			o.Tuples = append(o.Tuples, od.Tuple{
-				Value: value,
-				Name:  name,
-				Type:  d.mapping.TypeOf(name),
-			})
-		}
-		store.Add(o)
-	}
-	store.Finalize(d.cfg.ThetaTuple)
-	res.Store = store
-
-	// Step 4: comparison reduction via the object filter.
-	n := store.Size()
-	alive := make([]bool, n)
-	for i := range alive {
-		alive[i] = true
-	}
-	if d.cfg.KeepFilterValues {
-		res.FilterValues = make([]float64, n)
-	}
-	if d.cfg.UseFilter || d.cfg.KeepFilterValues {
-		filterValues := make([]float64, n)
-		d.parallelRange(n, func(i int) {
-			filterValues[i] = sim.Filter(store, store.ODs[i])
-		})
-		for i := 0; i < n; i++ {
-			if d.cfg.KeepFilterValues {
-				res.FilterValues[i] = filterValues[i]
-			}
-			if d.cfg.UseFilter && filterValues[i] <= d.cfg.ThetaCand {
-				alive[i] = false
-				res.Pruned = append(res.Pruned, int32(i))
-			}
-		}
-	}
-
-	if d.cfg.FilterOnly {
-		res.Stats.Candidates = n
-		res.Stats.Pruned = len(res.Pruned)
-		res.Stats.Elapsed = time.Since(start)
-		return res, nil
-	}
-
-	// Step 5: pairwise comparisons with the Def. 6 classifier (and the
-	// optional C2 class of possible duplicates). Work is partitioned by
-	// the first index; per-worker results merge into (I, J)-sorted
-	// output, so the result is identical for any worker count.
-	type shard struct {
-		pairs    []Pair
-		possible []Pair
-		compared int64
-	}
-	shards := make([]shard, n)
-	d.parallelRange(n, func(idx int) {
-		i := int32(idx)
-		if !alive[i] {
-			return
-		}
-		sh := &shards[idx]
-		compare := func(j int32) {
-			sh.compared++
-			r := sim.Similarity(store, store.ODs[i], store.ODs[j], d.cfg.ThetaTuple)
-			switch {
-			case sim.Classify(r.Score, d.cfg.ThetaCand):
-				sh.pairs = append(sh.pairs, Pair{I: i, J: j, Score: r.Score})
-			case d.cfg.ThetaPossible > 0 && r.Score > d.cfg.ThetaPossible:
-				sh.possible = append(sh.possible, Pair{I: i, J: j, Score: r.Score})
-			}
-		}
-		if d.cfg.DisableBlocking {
-			for j := i + 1; j < int32(n); j++ {
-				if alive[j] {
-					compare(j)
-				}
-			}
-		} else {
-			// Lossless blocking: sim > 0 needs at least one similar
-			// tuple pair, so only neighbors sharing a similar value can
-			// classify as duplicates.
-			for _, j := range store.Neighbors(i) {
-				if j > i && alive[j] {
-					compare(j)
-				}
-			}
-		}
-	})
-	for idx := range shards {
-		res.Pairs = append(res.Pairs, shards[idx].pairs...)
-		res.PossiblePairs = append(res.PossiblePairs, shards[idx].possible...)
-		res.Stats.Compared += shards[idx].compared
-	}
-
-	// Step 6: duplicate clustering via transitive closure.
-	pairIDs := make([][2]int32, len(res.Pairs))
-	for i, p := range res.Pairs {
-		pairIDs[i] = [2]int32{p.I, p.J}
-	}
-	res.Clusters = cluster.FromPairs(n, pairIDs)
-
-	res.Stats.Candidates = n
-	res.Stats.Pruned = len(res.Pruned)
-	res.Stats.PairsDetected = len(res.Pairs)
-	res.Stats.Elapsed = time.Since(start)
-	return res, nil
+	p.res.Stats.Elapsed = time.Since(start)
+	return p.res, nil
 }
 
-// parallelRange runs fn(i) for i in [0, n) across the configured number
-// of workers. Shards are contiguous so per-index state stays cache
-// friendly; fn must only write state owned by its index.
-func (d *Detector) parallelRange(n int, fn func(i int)) {
-	workers := d.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// comparator resolves the Step 5 strategy.
+func (d *Detector) comparator() sim.Comparator {
+	if d.cfg.Comparator != nil {
+		return d.cfg.Comparator
 	}
-	if workers > n {
-		workers = n
+	return sim.Classifier{
+		ThetaTuple:    d.cfg.ThetaTuple,
+		ThetaCand:     d.cfg.ThetaCand,
+		ThetaPossible: d.cfg.ThetaPossible,
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
+}
+
+// objectFilter resolves the Step 4 strategy.
+func (d *Detector) objectFilter() sim.ObjectFilter {
+	if d.cfg.Filter != nil {
+		return d.cfg.Filter
 	}
-	var wg sync.WaitGroup
-	var next int64 = 0
-	const chunk = 16
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				start := int(atomic.AddInt64(&next, chunk)) - chunk
-				if start >= n {
-					return
-				}
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	return sim.IndexFilter{}
 }
 
 // WriteXML renders the duplicate clusters in the Fig. 3 dupcluster format.
@@ -404,4 +242,15 @@ func (r *Result) PairSet() [][2]int32 {
 		out[i] = [2]int32{p.I, p.J}
 	}
 	return out
+}
+
+// StageByName returns the recorded stats of one stage, or false when the
+// stage did not run.
+func (r *Result) StageByName(name string) (StageStats, bool) {
+	for _, st := range r.Stages {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return StageStats{}, false
 }

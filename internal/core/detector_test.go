@@ -31,7 +31,7 @@ func TestCompositeTupleGeneration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	o := res.Store.ODs[0]
+	o := res.Store.ODs()[0]
 	if len(o.Tuples) != 1 {
 		t.Fatalf("tuples = %v", o.Tuples)
 	}
@@ -61,7 +61,7 @@ func TestNonCompositeComplexElementStaysEmpty(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, tp := range res.Store.ODs[0].Tuples {
+	for _, tp := range res.Store.ODs()[0].Tuples {
 		if tp.Name == "/db/rec/box" && tp.Value != "" {
 			t.Errorf("unmarked complex element got value %q", tp.Value)
 		}

@@ -105,7 +105,7 @@ func TestPaperExampleODGeneration(t *testing.T) {
 		{"(2002, /moviedoc/movie/year)", "(Mel Gibson, /moviedoc/movie/actor/name)",
 			"(Signs, /moviedoc/movie/title)"},
 	}
-	for i, o := range res.Store.ODs {
+	for i, o := range res.Store.ODs() {
 		var got []string
 		for _, tp := range o.Tuples {
 			got = append(got, tp.String())

@@ -16,7 +16,14 @@ type jsonResult struct {
 	Pairs      []jsonPair    `json:"pairs"`
 	Possible   []jsonPair    `json:"possiblePairs,omitempty"`
 	Clusters   []jsonCluster `json:"clusters"`
+	Stages     []jsonStage   `json:"stages,omitempty"`
 	Stats      jsonStats     `json:"stats"`
+}
+
+type jsonStage struct {
+	Name          string `json:"name"`
+	Items         int    `json:"items"`
+	ElapsedMicros int64  `json:"elapsedMicros"`
 }
 
 type jsonPair struct {
@@ -54,6 +61,11 @@ func (r *Result) WriteJSON(w io.Writer) error {
 			PairsDetected: r.Stats.PairsDetected,
 			ElapsedMillis: r.Stats.Elapsed.Milliseconds(),
 		},
+	}
+	for _, st := range r.Stages {
+		out.Stages = append(out.Stages, jsonStage{
+			Name: st.Name, Items: st.Items, ElapsedMicros: st.Elapsed.Microseconds(),
+		})
 	}
 	for _, p := range r.Pairs {
 		out.Pairs = append(out.Pairs, jsonPair{

@@ -52,7 +52,7 @@ func TestFormulatedQueriesMatchPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i, o := range res.Store.ODs {
+	for i, o := range res.Store.ODs() {
 		var fromQuery, fromPipeline []string
 		for _, c := range descs[i].Children {
 			fromQuery = append(fromQuery, c.Text)

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/conc"
+	"repro/internal/heuristics"
+	"repro/internal/od"
+	"repro/internal/sim"
+	"repro/internal/xpath"
+	"repro/internal/xsd"
+)
+
+// Stage names, in pipeline order. Each maps onto the paper's six online
+// steps: infer prepares the schemas the queries are formulated against,
+// candidates is Step 1 (plus the Step 2 formulation), describe is Steps
+// 2–3 (description execution and OD generation), reduce is Step 4,
+// compare is Step 5 and clusterStage is Step 6.
+const (
+	StageInfer      = "infer"
+	StageCandidates = "candidates"
+	StageDescribe   = "describe"
+	StageReduce     = "reduce"
+	StageCompare    = "compare"
+	StageCluster    = "cluster"
+)
+
+// StageStats reports one executed pipeline stage.
+type StageStats struct {
+	Name    string
+	Items   int // stage-specific unit: sources, candidates, tuples, pruned, comparisons, clusters
+	Elapsed time.Duration
+}
+
+// Observer receives stage lifecycle events while Detect runs, for
+// progress reporting and instrumentation. Implementations must be cheap;
+// they run on the pipeline's critical path.
+type Observer interface {
+	StageStart(name string)
+	StageDone(stats StageStats)
+}
+
+// ObserverFunc adapts a completion callback to Observer.
+type ObserverFunc func(StageStats)
+
+// StageStart implements Observer.
+func (f ObserverFunc) StageStart(string) {}
+
+// StageDone implements Observer.
+func (f ObserverFunc) StageDone(st StageStats) { f(st) }
+
+// pipelineStage is one named, independently executable unit of Detect.
+// run returns the stage's item count for StageStats.
+type pipelineStage struct {
+	name string
+	run  func(*pipelineRun) (items int, err error)
+}
+
+// pipelineRun carries the state threaded through the stages of one Detect
+// call.
+type pipelineRun struct {
+	d        *Detector
+	typeName string
+	sources  []Source
+	res      *Result
+
+	store       od.Store
+	comparator  sim.Comparator
+	filter      sim.ObjectFilter
+	descQueries map[anchorKey][]*xpath.Path
+	alive       []bool
+}
+
+// anchorKey identifies one (source, candidate path) anchor whose
+// description query is compiled once.
+type anchorKey struct {
+	source int
+	path   string
+}
+
+// stages returns the pipeline for the current configuration: the full six
+// steps, or a truncated chain when FilterOnly stops after Step 4.
+func (d *Detector) stages() []pipelineStage {
+	out := []pipelineStage{
+		{StageInfer, (*pipelineRun).inferSchemas},
+		{StageCandidates, (*pipelineRun).findCandidates},
+		{StageDescribe, (*pipelineRun).describe},
+		{StageReduce, (*pipelineRun).reduce},
+	}
+	if !d.cfg.FilterOnly {
+		out = append(out,
+			pipelineStage{StageCompare, (*pipelineRun).compare},
+			pipelineStage{StageCluster, (*pipelineRun).clusterPairs},
+		)
+	}
+	return out
+}
+
+// run drives the stages in order, timing each one, recording StageStats on
+// the result and notifying the configured observer.
+func (p *pipelineRun) run(stages []pipelineStage) error {
+	obs := p.d.cfg.Observer
+	for _, st := range stages {
+		if obs != nil {
+			obs.StageStart(st.name)
+		}
+		begin := time.Now()
+		items, err := st.run(p)
+		stats := StageStats{Name: st.name, Items: items, Elapsed: time.Since(begin)}
+		p.res.Stages = append(p.res.Stages, stats)
+		if obs != nil {
+			obs.StageDone(stats)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inferSchemas validates the sources and infers schemas where none was
+// provided.
+func (p *pipelineRun) inferSchemas() (int, error) {
+	for i := range p.sources {
+		if p.sources[i].Doc == nil {
+			return 0, fmt.Errorf("core: source %d has no document", i)
+		}
+		if p.sources[i].Schema == nil {
+			s, err := xsd.Infer(p.sources[i].Doc)
+			if err != nil {
+				return 0, fmt.Errorf("core: source %d: %w", i, err)
+			}
+			p.sources[i].Schema = s
+		}
+	}
+	return len(p.sources), nil
+}
+
+// findCandidates is Step 1, candidate query formulation & execution, plus
+// the Step 2 formulation: the description query σ compiles once per
+// (source, anchor).
+func (p *pipelineRun) findCandidates() (int, error) {
+	candPaths := p.d.mapping.Paths(p.typeName)
+	if len(candPaths) == 0 {
+		return 0, fmt.Errorf("core: type %q has no candidate paths in the mapping", p.typeName)
+	}
+	p.descQueries = map[anchorKey][]*xpath.Path{}
+	for si, src := range p.sources {
+		for _, cp := range candPaths {
+			el := src.Schema.ElementAt(cp)
+			if el == nil {
+				continue // this source does not declare the path
+			}
+			q, err := xpath.Parse(cp)
+			if err != nil {
+				return 0, fmt.Errorf("core: candidate path %s: %w", cp, err)
+			}
+			key := anchorKey{si, cp}
+			if _, done := p.descQueries[key]; !done {
+				var paths []*xpath.Path
+				for _, sel := range p.d.cfg.Heuristic.Select(el) {
+					rel := heuristics.RelPath(el, sel)
+					rp, err := xpath.Parse(rel)
+					if err != nil {
+						return 0, fmt.Errorf("core: description path %s: %w", rel, err)
+					}
+					paths = append(paths, rp)
+				}
+				p.descQueries[key] = paths
+			}
+			for _, node := range q.Eval(src.Doc.Root) {
+				p.res.Candidates = append(p.res.Candidates, Candidate{
+					Node:     node,
+					Source:   si,
+					Path:     node.Path(),
+					SchemaEl: el,
+				})
+			}
+		}
+	}
+	if len(p.res.Candidates) == 0 {
+		return 0, fmt.Errorf("core: no candidates found for type %q", p.typeName)
+	}
+	return len(p.res.Candidates), nil
+}
+
+// describe is Steps 2 (execution) + 3: description queries run against
+// each candidate and the results flatten into ODs in the configured store.
+func (p *pipelineRun) describe() (int, error) {
+	p.store = p.d.newStore()
+	tuples := 0
+	for _, cand := range p.res.Candidates {
+		queries := p.descQueries[anchorKey{cand.Source, cand.SchemaEl.Path}]
+		o := &od.OD{Object: cand.Path, Source: cand.Source, Node: cand.Node}
+		for _, n := range xpath.EvalAll(queries, cand.Node) {
+			name := n.SchemaPath()
+			value := n.Text
+			if value == "" && p.d.mapping.IsComposite(name) {
+				value = n.TextContent()
+			}
+			o.Tuples = append(o.Tuples, od.Tuple{
+				Value: value,
+				Name:  name,
+				Type:  p.d.mapping.TypeOf(name),
+			})
+		}
+		tuples += len(o.Tuples)
+		p.store.Add(o)
+	}
+	p.store.Finalize(p.d.cfg.ThetaTuple)
+	p.res.Store = p.store
+	return tuples, nil
+}
+
+// reduce is Step 4, comparison reduction via the object filter.
+func (p *pipelineRun) reduce() (int, error) {
+	cfg := p.d.cfg
+	n := p.store.Size()
+	p.alive = make([]bool, n)
+	for i := range p.alive {
+		p.alive[i] = true
+	}
+	if cfg.KeepFilterValues {
+		p.res.FilterValues = make([]float64, n)
+	}
+	if cfg.UseFilter || cfg.KeepFilterValues {
+		ods := p.store.ODs()
+		filterValues := make([]float64, n)
+		p.d.parallelRange(n, func(i int) {
+			filterValues[i] = p.filter.Bound(p.store, ods[i])
+		})
+		for i := 0; i < n; i++ {
+			if cfg.KeepFilterValues {
+				p.res.FilterValues[i] = filterValues[i]
+			}
+			if cfg.UseFilter && filterValues[i] <= cfg.ThetaCand {
+				p.alive[i] = false
+				p.res.Pruned = append(p.res.Pruned, int32(i))
+			}
+		}
+	}
+	p.res.Stats.Candidates = n
+	p.res.Stats.Pruned = len(p.res.Pruned)
+	return len(p.res.Pruned), nil
+}
+
+// compareBatchSize is the candidate range one Step 5 work item covers.
+// Batches are claimed by workers through an atomic cursor (work stealing),
+// so a batch of expensive objects does not stall the rest of the pool, and
+// per-batch outputs merge in batch order for deterministic results.
+const compareBatchSize = 32
+
+// compare is Step 5: pairwise comparisons under the configured Comparator
+// over the lossless shared-value blocking (or all surviving pairs when
+// blocking is disabled).
+func (p *pipelineRun) compare() (int, error) {
+	cfg := p.d.cfg
+	n := p.store.Size()
+	ods := p.store.ODs()
+
+	type batchOut struct {
+		pairs    []Pair
+		possible []Pair
+		compared int64
+	}
+	numBatches := (n + compareBatchSize - 1) / compareBatchSize
+	outs := make([]batchOut, numBatches)
+
+	runBatch := func(b int) {
+		out := &outs[b]
+		lo, hi := b*compareBatchSize, (b+1)*compareBatchSize
+		if hi > n {
+			hi = n
+		}
+		compare := func(i, j int32) {
+			out.compared++
+			score := p.comparator.Compare(p.store, ods[i], ods[j])
+			switch p.comparator.Classify(score) {
+			case sim.ClassDuplicate:
+				out.pairs = append(out.pairs, Pair{I: i, J: j, Score: score})
+			case sim.ClassPossible:
+				out.possible = append(out.possible, Pair{I: i, J: j, Score: score})
+			}
+		}
+		for idx := lo; idx < hi; idx++ {
+			i := int32(idx)
+			if !p.alive[i] {
+				continue
+			}
+			if cfg.DisableBlocking {
+				for j := i + 1; j < int32(n); j++ {
+					if p.alive[j] {
+						compare(i, j)
+					}
+				}
+			} else {
+				for _, j := range p.store.Neighbors(i) {
+					if j > i && p.alive[j] {
+						compare(i, j)
+					}
+				}
+			}
+		}
+	}
+
+	conc.Ranges(cfg.Workers, numBatches, 1, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			runBatch(b)
+		}
+	})
+
+	for b := range outs {
+		p.res.Pairs = append(p.res.Pairs, outs[b].pairs...)
+		p.res.PossiblePairs = append(p.res.PossiblePairs, outs[b].possible...)
+		p.res.Stats.Compared += outs[b].compared
+	}
+	p.res.Stats.PairsDetected = len(p.res.Pairs)
+	return int(p.res.Stats.Compared), nil
+}
+
+// clusterPairs is Step 6, duplicate clustering via transitive closure.
+func (p *pipelineRun) clusterPairs() (int, error) {
+	p.res.Clusters = cluster.FromPairsFunc(p.store.Size(), len(p.res.Pairs),
+		func(i int) (int32, int32) { return p.res.Pairs[i].I, p.res.Pairs[i].J })
+	return len(p.res.Clusters), nil
+}
+
+// newStore builds the configured Store backend (MemStore by default).
+func (d *Detector) newStore() od.Store {
+	if d.cfg.NewStore != nil {
+		return d.cfg.NewStore()
+	}
+	return od.NewMemStore()
+}
+
+// parallelRange runs fn(i) for i in [0, n) across the configured number
+// of workers. Chunks are contiguous so per-index state stays cache
+// friendly; fn must only write state owned by its index.
+func (d *Detector) parallelRange(n int, fn func(i int)) {
+	conc.Ranges(d.cfg.Workers, n, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}

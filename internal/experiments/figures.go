@@ -236,7 +236,7 @@ func Fig8(n int, seed int64, pcts []float64) ([]Fig8Point, error) {
 			return nil, err
 		}
 		var pruned []int32
-		for _, o := range res.Store.ODs {
+		for _, o := range res.Store.ODs() {
 			if sim.Filter(res.Store, o) <= ThetaCand {
 				pruned = append(pruned, o.ID)
 			}

@@ -1,0 +1,65 @@
+package od
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// runFinalizeBench measures Finalize alone: stores are populated off the
+// clock, then timed while building their indexes.
+func runFinalizeBench(b *testing.B, base []*OD, mk func() Store) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := mk()
+		for _, o := range base {
+			cp := *o
+			s.Add(&cp)
+		}
+		b.StartTimer()
+		s.Finalize(0.15)
+	}
+}
+
+// BenchmarkFinalize compares index construction across store backends.
+// Run with -cpu=1,2,4,8 to see ShardedStore.Finalize scale with
+// GOMAXPROCS while MemStore stays serial.
+func BenchmarkFinalize(b *testing.B) {
+	base := cdODs(3000, 2005)
+	b.Run("memstore", func(b *testing.B) {
+		runFinalizeBench(b, base, func() Store { return NewMemStore() })
+	})
+	for _, shards := range []int{4, 16} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			runFinalizeBench(b, base, func() Store { return NewShardedStore(shards) })
+		})
+	}
+}
+
+// BenchmarkNeighborQueries measures concurrent blocking-set queries (the
+// Step 5 access pattern) against both backends.
+func BenchmarkNeighborQueries(b *testing.B) {
+	base := cdODs(1500, 2005)
+	bench := func(b *testing.B, s Store) {
+		for _, o := range base {
+			cp := *o
+			s.Add(&cp)
+		}
+		s.Finalize(0.15)
+		n := int32(s.Size())
+		var cursor int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				id := int32(atomic.AddInt64(&cursor, 1)) % n
+				s.Neighbors(id)
+			}
+		})
+	}
+	b.Run("memstore", func(b *testing.B) { bench(b, NewMemStore()) })
+	b.Run(fmt.Sprintf("sharded-%d", 2*runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		bench(b, NewShardedStore(2*runtime.GOMAXPROCS(0)))
+	})
+}

@@ -1,0 +1,174 @@
+package od
+
+import "sync"
+
+// MemStore is the single-map in-memory Store: one occurrence index and one
+// typeIndex per real-world type, built serially in Finalize. It is the
+// reference implementation every other backend must agree with.
+type MemStore struct {
+	ods []*OD
+
+	theta     float64
+	finalized bool
+
+	occ      map[string][]int32 // occKey -> sorted unique object ids
+	types    map[string]*typeIndex
+	cacheMu  sync.RWMutex
+	simCache map[string][]ValueMatch
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		occ:      map[string][]int32{},
+		types:    map[string]*typeIndex{},
+		simCache: map[string][]ValueMatch{},
+	}
+}
+
+// Add implements Store.
+func (s *MemStore) Add(o *OD) *OD {
+	if s.finalized {
+		panic("od: Add after Finalize")
+	}
+	o.ID = int32(len(s.ods))
+	s.ods = append(s.ods, o)
+	return o
+}
+
+// Size implements Store.
+func (s *MemStore) Size() int { return len(s.ods) }
+
+// Theta implements Store.
+func (s *MemStore) Theta() float64 { return s.theta }
+
+// ODs implements Store.
+func (s *MemStore) ODs() []*OD { return s.ods }
+
+// Finalize implements Store. It must be called exactly once, after all
+// Adds.
+func (s *MemStore) Finalize(theta float64) {
+	if s.finalized {
+		panic("od: Finalize called twice")
+	}
+	s.finalized = true
+	s.theta = theta
+
+	for _, o := range s.ods {
+		seen := map[string]bool{}
+		for _, t := range o.Tuples {
+			if t.Value == "" {
+				continue
+			}
+			k := t.occKey()
+			if seen[k] {
+				continue // an object counts once per tuple key
+			}
+			seen[k] = true
+			s.occ[k] = append(s.occ[k], o.ID)
+		}
+	}
+
+	// Distinct values per type.
+	valueObjs := map[string]map[string][]int32{}
+	for key, ids := range s.occ {
+		typ, val := splitOccKey(key)
+		m, ok := valueObjs[typ]
+		if !ok {
+			m = map[string][]int32{}
+			valueObjs[typ] = m
+		}
+		m[val] = ids
+	}
+	for typ, m := range valueObjs {
+		maxLen := 0
+		for v := range m {
+			if l := len([]rune(v)); l > maxLen {
+				maxLen = l
+			}
+		}
+		s.types[typ] = buildTypeIndex(m, theta, maxLen)
+	}
+}
+
+// ObjectsWithExact implements Store.
+func (s *MemStore) ObjectsWithExact(t Tuple) []int32 {
+	s.mustBeFinal()
+	return s.occ[t.occKey()]
+}
+
+// SimilarValues implements Store.
+func (s *MemStore) SimilarValues(t Tuple) []ValueMatch {
+	s.mustBeFinal()
+	if t.Value == "" {
+		return nil
+	}
+	ti, ok := s.types[t.Type]
+	if !ok {
+		return nil
+	}
+	cacheKey := t.occKey()
+	s.cacheMu.RLock()
+	cached, ok := s.simCache[cacheKey]
+	s.cacheMu.RUnlock()
+	if ok {
+		return cached
+	}
+	var out []ValueMatch
+	ti.collect(t.Value, s.theta, func(idx int32) {
+		out = append(out, ti.match(t.Value, idx))
+	})
+	sortMatches(out)
+	s.cacheMu.Lock()
+	s.simCache[cacheKey] = out
+	s.cacheMu.Unlock()
+	return out
+}
+
+// SoftIDF implements Store: log(|ΩT| / |O_odti ∪ O_odtj|), natural log.
+// The tuples must carry the same type; if either tuple never occurs the
+// union counts it as one phantom occurrence so the value stays finite.
+func (s *MemStore) SoftIDF(a, b Tuple) float64 {
+	s.mustBeFinal()
+	oa := s.occ[a.occKey()]
+	if a.occKey() == b.occKey() {
+		return softIDF(s.Size(), len(oa))
+	}
+	return softIDF(s.Size(), unionSizeSorted(oa, s.occ[b.occKey()]))
+}
+
+// SoftIDFSingle implements Store.
+func (s *MemStore) SoftIDFSingle(t Tuple) float64 {
+	return s.SoftIDF(t, t)
+}
+
+// Neighbors implements Store.
+func (s *MemStore) Neighbors(id int32) []int32 {
+	s.mustBeFinal()
+	return neighborsOf(s, id)
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() []TypeStats {
+	s.mustBeFinal()
+	var out []TypeStats
+	for typ, ti := range s.types {
+		out = append(out, TypeStats{
+			Type:           typ,
+			DistinctValues: len(ti.values),
+			MaxLen:         ti.maxLen,
+			EditBudget:     ti.budget,
+			Indexed:        ti.neighbor != nil,
+		})
+	}
+	sortTypeStats(out)
+	return out
+}
+
+func (s *MemStore) mustBeFinal() {
+	if !s.finalized {
+		panic("od: store not finalized")
+	}
+}

@@ -1,6 +1,6 @@
 // Package od implements object descriptions (ODs), the flat
 // value/name-pair representation Definition 3 of the paper assigns to every
-// duplicate candidate, together with the store and indexes the similarity
+// duplicate candidate, together with the stores and indexes the similarity
 // measure and the object filter are computed from:
 //
 //   - an occurrence (inverted) index from (real-world type, value) to the
@@ -10,16 +10,18 @@
 //     this type are within θtuple normalized edit distance?", powering both
 //     the object filter (Section 5.2) and the lossless candidate-pair
 //     blocking used in Step 5.
+//
+// Store is the backend-agnostic interface the pipeline programs against;
+// MemStore is the single-map reference implementation and ShardedStore
+// partitions the indexes across N lock-striped shards so Finalize and
+// neighbor queries parallelize. Both return bit-identical results.
 package od
 
 import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
-	"sync"
 
-	"repro/internal/strdist"
 	"repro/internal/xmltree"
 )
 
@@ -64,20 +66,6 @@ func (o *OD) NonEmptyTuples() []Tuple {
 	return out
 }
 
-// Store holds all ODs of a candidate set ΩT plus the indexes built over
-// them. Populate with Add, then call Finalize(θtuple) before querying.
-type Store struct {
-	ODs []*OD
-
-	theta     float64
-	finalized bool
-
-	occ      map[string][]int32 // occKey -> sorted unique object ids
-	types    map[string]*typeIndex
-	cacheMu  sync.RWMutex
-	simCache map[string][]ValueMatch
-}
-
 // ValueMatch is one distinct value similar to a queried value.
 type ValueMatch struct {
 	Value   string
@@ -85,207 +73,70 @@ type ValueMatch struct {
 	Dist    float64 // normalized edit distance to the query
 }
 
-type typeIndex struct {
-	values   []string
-	objects  [][]int32
-	byValue  map[string]int32
-	maxLen   int
-	budget   int // strict edit budget for the type's longest value
-	neighbor *strdist.NeighborIndex
-	byLen    map[int][]int32
+// TypeStats describes one indexed real-world type, for diagnostics.
+type TypeStats struct {
+	Type           string
+	DistinctValues int
+	MaxLen         int
+	EditBudget     int
+	Indexed        bool // true when the deletion-neighborhood index is used
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{
-		occ:      map[string][]int32{},
-		types:    map[string]*typeIndex{},
-		simCache: map[string][]ValueMatch{},
-	}
+// Store is the backend-agnostic interface over a candidate set ΩT and the
+// indexes built from it. Populate with Add, then call Finalize(θtuple)
+// exactly once before issuing any query. Implementations must answer every
+// query deterministically — the detection pipeline's output for a given
+// input must not depend on the backend chosen.
+type Store interface {
+	// Add appends an OD, assigning its ID. Must precede Finalize.
+	Add(o *OD) *OD
+	// Finalize builds the occurrence and similarity indexes for θtuple.
+	Finalize(theta float64)
+	// Size returns |ΩT|, the number of objects.
+	Size() int
+	// Theta returns the tuple threshold the indexes were built for.
+	Theta() float64
+	// ODs returns all object descriptions, indexed by ID.
+	ODs() []*OD
+	// ObjectsWithExact returns the sorted ids of objects containing a
+	// tuple with exactly this (type, value), or nil.
+	ObjectsWithExact(t Tuple) []int32
+	// SimilarValues returns every distinct value of t.Type whose
+	// normalized edit distance to t.Value is strictly below θtuple —
+	// including the exact value itself if present — ordered by ascending
+	// distance, then lexicographically.
+	SimilarValues(t Tuple) []ValueMatch
+	// SoftIDF implements Definition 8 for a pair of similar tuples.
+	SoftIDF(a, b Tuple) float64
+	// SoftIDFSingle is softIDF of a tuple paired with itself.
+	SoftIDFSingle(t Tuple) float64
+	// Neighbors returns the ids of all objects (excluding self) sharing at
+	// least one exact-or-similar non-empty tuple value of a common type
+	// with object id — the lossless blocking set for Step 5.
+	Neighbors(id int32) []int32
+	// Stats returns per-type index statistics sorted by type name.
+	Stats() []TypeStats
 }
 
-// Add appends an OD, assigning its ID. Must be called before Finalize.
-func (s *Store) Add(o *OD) *OD {
-	if s.finalized {
-		panic("od: Add after Finalize")
-	}
-	o.ID = int32(len(s.ODs))
-	s.ODs = append(s.ODs, o)
-	return o
-}
+// NewStore returns the default in-memory store.
+//
+// Deprecated: use NewMemStore (or NewShardedStore) directly. NewStore
+// keeps constructor calls from the pre-interface API compiling; code that
+// accessed the former ODs field or named the *Store type must migrate to
+// the ODs() method and the Store interface.
+func NewStore() *MemStore { return NewMemStore() }
 
-// Size returns |ΩT|, the number of objects.
-func (s *Store) Size() int { return len(s.ODs) }
-
-// Theta returns the tuple similarity threshold the indexes were built for.
-func (s *Store) Theta() float64 { return s.theta }
-
-// Finalize builds the occurrence and similarity indexes for the given
-// θtuple. It must be called exactly once, after all Adds.
-func (s *Store) Finalize(theta float64) {
-	if s.finalized {
-		panic("od: Finalize called twice")
-	}
-	s.finalized = true
-	s.theta = theta
-
-	for _, o := range s.ODs {
-		seen := map[string]bool{}
-		for _, t := range o.Tuples {
-			if t.Value == "" {
-				continue
-			}
-			k := t.occKey()
-			if seen[k] {
-				continue // an object counts once per tuple key
-			}
-			seen[k] = true
-			s.occ[k] = append(s.occ[k], o.ID)
-		}
-	}
-
-	// Distinct values per type.
-	valueObjs := map[string]map[string][]int32{}
-	for key, ids := range s.occ {
-		sep := strings.IndexByte(key, 0)
-		typ, val := key[:sep], key[sep+1:]
-		m, ok := valueObjs[typ]
-		if !ok {
-			m = map[string][]int32{}
-			valueObjs[typ] = m
-		}
-		m[val] = ids
-	}
-	for typ, m := range valueObjs {
-		ti := &typeIndex{byValue: map[string]int32{}, byLen: map[int][]int32{}}
-		vals := make([]string, 0, len(m))
-		for v := range m {
-			vals = append(vals, v)
-		}
-		sort.Strings(vals) // deterministic ordering
-		for _, v := range vals {
-			id := int32(len(ti.values))
-			ti.values = append(ti.values, v)
-			ti.objects = append(ti.objects, m[v])
-			ti.byValue[v] = id
-			l := len([]rune(v))
-			ti.byLen[l] = append(ti.byLen[l], id)
-			if l > ti.maxLen {
-				ti.maxLen = l
-			}
-		}
-		ti.budget = strdist.MaxEditsBelow(theta, ti.maxLen)
-		if ti.budget >= 0 && ti.budget <= 2 {
-			ti.neighbor = strdist.NewNeighborIndex(ti.values, ti.budget)
-		}
-		s.types[typ] = ti
-	}
-}
-
-// ObjectsWithExact returns the sorted ids of objects containing a tuple
-// with exactly this (type, value), or nil.
-func (s *Store) ObjectsWithExact(t Tuple) []int32 {
-	s.mustBeFinal()
-	return s.occ[t.occKey()]
-}
-
-// SimilarValues returns every distinct value of t.Type whose normalized
-// edit distance to t.Value is strictly below θtuple — including the exact
-// value itself if present. Results are ordered by ascending distance, then
-// lexicographically.
-func (s *Store) SimilarValues(t Tuple) []ValueMatch {
-	s.mustBeFinal()
-	if t.Value == "" {
-		return nil
-	}
-	ti, ok := s.types[t.Type]
-	if !ok {
-		return nil
-	}
-	cacheKey := t.occKey()
-	s.cacheMu.RLock()
-	cached, ok := s.simCache[cacheKey]
-	s.cacheMu.RUnlock()
-	if ok {
-		return cached
-	}
-	var out []ValueMatch
-	add := func(idx int32) {
-		v := ti.values[idx]
-		if !strdist.NormalizedBelow(t.Value, v, s.theta) {
-			return
-		}
-		out = append(out, ValueMatch{
-			Value:   v,
-			Objects: ti.objects[idx],
-			Dist:    strdist.Normalized(t.Value, v),
-		})
-	}
-	if ti.neighbor != nil {
-		// Complete: budget covers the largest value of the type.
-		if exact, ok := ti.byValue[t.Value]; ok {
-			add(exact)
-		}
-		for _, idx := range ti.neighbor.Lookup(t.Value, -1) {
-			if ti.values[idx] == t.Value {
-				continue
-			}
-			add(idx)
-		}
-	} else {
-		// Scan within the feasible length window.
-		qLen := len([]rune(t.Value))
-		for l, ids := range ti.byLen {
-			m := qLen
-			if l > m {
-				m = l
-			}
-			budget := strdist.MaxEditsBelow(s.theta, m)
-			if budget < 0 || abs(qLen-l) > budget {
-				continue
-			}
-			for _, idx := range ids {
-				add(idx)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].Value < out[j].Value
-	})
-	s.cacheMu.Lock()
-	s.simCache[cacheKey] = out
-	s.cacheMu.Unlock()
-	return out
-}
-
-// SoftIDF implements Definition 8 for a pair of similar tuples:
-// log(|ΩT| / |O_odti ∪ O_odtj|), natural log. The tuples must carry the
-// same type; if either tuple never occurs the union counts it as one
-// phantom occurrence so the value stays finite.
-func (s *Store) SoftIDF(a, b Tuple) float64 {
-	s.mustBeFinal()
-	union := s.unionSize(a, b)
+// softIDF computes log(|ΩT| / union) with the phantom-occurrence guard of
+// Definition 8, shared by every Store implementation.
+func softIDF(size, union int) float64 {
 	if union == 0 {
 		union = 1
 	}
-	return math.Log(float64(s.Size()) / float64(union))
+	return math.Log(float64(size) / float64(union))
 }
 
-// SoftIDFSingle is softIDF of a tuple paired with itself:
-// log(|ΩT| / |O_odt|).
-func (s *Store) SoftIDFSingle(t Tuple) float64 {
-	return s.SoftIDF(t, t)
-}
-
-func (s *Store) unionSize(a, b Tuple) int {
-	oa := s.occ[a.occKey()]
-	if a.occKey() == b.occKey() {
-		return len(oa)
-	}
-	ob := s.occ[b.occKey()]
+// unionSizeSorted returns |a ∪ b| for two sorted id slices.
+func unionSizeSorted(oa, ob []int32) int {
 	i, j, n := 0, 0, 0
 	for i < len(oa) && j < len(ob) {
 		switch {
@@ -303,13 +154,11 @@ func (s *Store) unionSize(a, b Tuple) int {
 	return n
 }
 
-// Neighbors returns the ids of all objects (excluding self) that share at
-// least one exact-or-similar non-empty tuple value of a common type with
-// object id. This is the lossless blocking set for Step 5: any object pair
-// with sim > 0 shares at least one similar tuple pair.
-func (s *Store) Neighbors(id int32) []int32 {
-	s.mustBeFinal()
-	o := s.ODs[id]
+// neighborsOf is the blocking-set computation shared by the stores: any
+// object pair with sim > 0 shares at least one similar tuple pair, so the
+// union of SimilarValues object sets over o's tuples is lossless.
+func neighborsOf(s Store, id int32) []int32 {
+	o := s.ODs()[id]
 	seen := map[int32]bool{}
 	var out []int32
 	for _, t := range o.NonEmptyTuples() {
@@ -327,41 +176,33 @@ func (s *Store) Neighbors(id int32) []int32 {
 	return out
 }
 
-// TypeStats describes one indexed real-world type, for diagnostics.
-type TypeStats struct {
-	Type           string
-	DistinctValues int
-	MaxLen         int
-	EditBudget     int
-	Indexed        bool // true when the deletion-neighborhood index is used
+// sortMatches orders SimilarValues results canonically: ascending distance,
+// then lexicographic value. Values are distinct, so the order is total.
+func sortMatches(out []ValueMatch) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Value < out[j].Value
+	})
 }
 
-// Stats returns per-type index statistics sorted by type name.
-func (s *Store) Stats() []TypeStats {
-	s.mustBeFinal()
-	var out []TypeStats
-	for typ, ti := range s.types {
-		out = append(out, TypeStats{
-			Type:           typ,
-			DistinctValues: len(ti.values),
-			MaxLen:         ti.maxLen,
-			EditBudget:     ti.budget,
-			Indexed:        ti.neighbor != nil,
-		})
-	}
+// sortInt32s sorts ids ascending.
+func sortInt32s(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// sortTypeStats orders diagnostics rows by type name.
+func sortTypeStats(out []TypeStats) {
 	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
-	return out
 }
 
-func (s *Store) mustBeFinal() {
-	if !s.finalized {
-		panic("od: store not finalized")
+// splitOccKey splits an occurrence key back into (type, value).
+func splitOccKey(key string) (string, string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i], key[i+1:]
+		}
 	}
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
+	return key, ""
 }

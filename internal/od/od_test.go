@@ -12,9 +12,9 @@ import (
 
 // buildStore assembles a small store with the paper's three movies
 // (Table 2).
-func buildStore(t *testing.T) *Store {
+func buildStore(t *testing.T) *MemStore {
 	t.Helper()
-	s := NewStore()
+	s := NewMemStore()
 	s.Add(&OD{Object: "/moviedoc/movie[1]", Tuples: []Tuple{
 		{Value: "The Matrix", Name: "/moviedoc/movie/title", Type: "TITLE"},
 		{Value: "1999", Name: "/moviedoc/movie/year", Type: "YEAR"},
@@ -40,7 +40,7 @@ func TestStoreBasics(t *testing.T) {
 	if s.Size() != 3 {
 		t.Fatalf("size = %d", s.Size())
 	}
-	if s.ODs[0].ID != 0 || s.ODs[2].ID != 2 {
+	if s.ODs()[0].ID != 0 || s.ODs()[2].ID != 2 {
 		t.Error("ids not assigned sequentially")
 	}
 	if s.Theta() != 0.55 {
@@ -67,7 +67,7 @@ func TestObjectsWithExact(t *testing.T) {
 }
 
 func TestObjectCountsOncePerKey(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	s.Add(&OD{Tuples: []Tuple{
 		{Value: "x", Type: "T"},
 		{Value: "x", Type: "T"}, // duplicate tuple in one object
@@ -167,7 +167,7 @@ func TestNonEmptyTuples(t *testing.T) {
 }
 
 func TestStatsAndIndexChoice(t *testing.T) {
-	s := NewStore()
+	s := NewMemStore()
 	// short values -> small budget -> neighbor index
 	for _, v := range []string{"0001", "0002", "0003"} {
 		s.Add(&OD{Tuples: []Tuple{{Value: v, Type: "ID"}}})
@@ -209,7 +209,7 @@ func TestPanicsOnMisuse(t *testing.T) {
 		}()
 		fn()
 	}
-	s := NewStore()
+	s := NewMemStore()
 	s.Add(&OD{})
 	assertPanics("query before finalize", func() { s.ObjectsWithExact(Tuple{}) })
 	s.Finalize(0.15)
@@ -224,7 +224,7 @@ func TestQuickSimilarValuesComplete(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		thetas := []float64{0.15, 0.3, 0.55}
 		theta := thetas[int(thetaPick)%len(thetas)]
-		s := NewStore()
+		s := NewMemStore()
 		var values []string
 		for i := 0; i < 25; i++ {
 			v := randValue(rng)
@@ -255,7 +255,7 @@ func TestQuickSimilarValuesComplete(t *testing.T) {
 func TestQuickSoftIDFNonNegative(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		s := NewStore()
+		s := NewMemStore()
 		var tuples []Tuple
 		for i := 0; i < 20; i++ {
 			tp := Tuple{Value: randValue(rng), Type: "T"}

@@ -1,0 +1,155 @@
+package od
+
+import (
+	"fmt"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// cdODs flattens generated FreeDB CDs into object descriptions, the same
+// shape the pipeline's describe stage produces for Dataset 1.
+func cdODs(n int, seed int64) []*OD {
+	cds := datagen.FreeDB(n, seed)
+	out := make([]*OD, 0, len(cds))
+	for i, cd := range cds {
+		o := &OD{Object: fmt.Sprintf("/freedb/disc[%d]", i+1)}
+		add := func(value, name, typ string) {
+			o.Tuples = append(o.Tuples, Tuple{Value: value, Name: name, Type: typ})
+		}
+		add(cd.DID, "/freedb/disc/did", "DID")
+		add(cd.Artist, "/freedb/disc/artist", "ARTIST")
+		add(cd.Title, "/freedb/disc/dtitle", "DTITLE")
+		add(cd.Genre, "/freedb/disc/genre", "GENRE")
+		add(strconv.Itoa(cd.Year), "/freedb/disc/year", "YEAR")
+		for _, tr := range cd.Tracks {
+			add(tr, "/freedb/disc/tracks/title", "TRACK")
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// movieODs flattens generated Dataset 2 movies likewise.
+func movieODs(n int, seed int64) []*OD {
+	movies := datagen.Movies(n, seed)
+	out := make([]*OD, 0, len(movies))
+	for i, m := range movies {
+		o := &OD{Object: fmt.Sprintf("/movies/movie[%d]", i+1)}
+		add := func(value, name, typ string) {
+			o.Tuples = append(o.Tuples, Tuple{Value: value, Name: name, Type: typ})
+		}
+		add(m.Title, "/movies/movie/title", "TITLE")
+		add(m.GermanTitle, "/movies/movie/german", "TITLE")
+		add(strconv.Itoa(m.Year), "/movies/movie/year", "YEAR")
+		for _, g := range m.Genres {
+			add(g, "/movies/movie/genre", "GENRE")
+		}
+		for _, p := range m.People {
+			add(p.First+" "+p.Last, "/movies/movie/person", "PERSON")
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// buildBoth populates a MemStore and a ShardedStore with copies of the
+// same ODs and finalizes both at theta.
+func buildBoth(t *testing.T, ods []*OD, shards int, theta float64) (*MemStore, *ShardedStore) {
+	t.Helper()
+	mem := NewMemStore()
+	sh := NewShardedStore(shards)
+	for _, o := range ods {
+		cp1, cp2 := *o, *o
+		mem.Add(&cp1)
+		sh.Add(&cp2)
+	}
+	mem.Finalize(theta)
+	sh.Finalize(theta)
+	return mem, sh
+}
+
+// TestShardedStoreParity asserts that ShardedStore answers every Store
+// query bit-identically to MemStore on the generated movie and CD
+// datasets, for 1, 4 and 16 shards.
+func TestShardedStoreParity(t *testing.T) {
+	datasets := []struct {
+		name  string
+		ods   []*OD
+		theta float64
+	}{
+		{"cds", cdODs(120, 2005), 0.15},
+		{"cds-coarse", cdODs(80, 7), 0.55},
+		{"movies", movieODs(120, 11), 0.15},
+	}
+	for _, ds := range datasets {
+		for _, shards := range []int{1, 4, 16} {
+			t.Run(fmt.Sprintf("%s/shards=%d", ds.name, shards), func(t *testing.T) {
+				mem, sh := buildBoth(t, ds.ods, shards, ds.theta)
+
+				if mem.Size() != sh.Size() || mem.Theta() != sh.Theta() {
+					t.Fatalf("size/theta diverge: %d/%v vs %d/%v",
+						mem.Size(), mem.Theta(), sh.Size(), sh.Theta())
+				}
+				if !reflect.DeepEqual(mem.Stats(), sh.Stats()) {
+					t.Errorf("Stats diverge:\nmem:     %+v\nsharded: %+v", mem.Stats(), sh.Stats())
+				}
+				for id := int32(0); id < int32(mem.Size()); id++ {
+					nm, ns := mem.Neighbors(id), sh.Neighbors(id)
+					if !equalIDs(nm, ns) {
+						t.Fatalf("Neighbors(%d) diverge: %v vs %v", id, nm, ns)
+					}
+				}
+				for _, o := range mem.ODs() {
+					for _, tup := range o.NonEmptyTuples() {
+						em, es := mem.ObjectsWithExact(tup), sh.ObjectsWithExact(tup)
+						if !equalIDs(em, es) {
+							t.Fatalf("ObjectsWithExact(%v) diverge: %v vs %v", tup, em, es)
+						}
+						vm, vs := mem.SimilarValues(tup), sh.SimilarValues(tup)
+						if !equalMatches(vm, vs) {
+							t.Fatalf("SimilarValues(%v) diverge:\nmem:     %v\nsharded: %v", tup, vm, vs)
+						}
+						if gm, gs := mem.SoftIDFSingle(tup), sh.SoftIDFSingle(tup); gm != gs {
+							t.Fatalf("SoftIDFSingle(%v) diverge: %v vs %v", tup, gm, gs)
+						}
+						// softIDF across every similar partner value, the
+						// pairs the similarity measure actually requests.
+						for _, m := range vm {
+							other := Tuple{Value: m.Value, Type: tup.Type}
+							if gm, gs := mem.SoftIDF(tup, other), sh.SoftIDF(tup, other); gm != gs {
+								t.Fatalf("SoftIDF(%v, %v) diverge: %v vs %v", tup, other, gm, gs)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func equalIDs(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalMatches(a, b []ValueMatch) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value || a[i].Dist != b[i].Dist || !equalIDs(a[i].Objects, b[i].Objects) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,301 @@
+package od
+
+import (
+	"sync"
+
+	"repro/internal/conc"
+)
+
+// ShardedStore partitions the occurrence and distinct-value indexes across
+// N shards keyed by a hash of (type, value). Each shard carries its own
+// lock and similarity cache, so index construction fans out across
+// GOMAXPROCS workers and concurrent neighbor queries do not contend on a
+// single cache mutex. Query results are bit-identical to MemStore's: the
+// shards partition *values*, every similar-value query fans out to all
+// shards, and the merged matches are sorted into the same canonical order.
+type ShardedStore struct {
+	ods []*OD
+
+	// Workers bounds the goroutines Finalize fans out; 0 means GOMAXPROCS
+	// and 1 forces a fully serial build. Set it before calling Finalize.
+	Workers int
+
+	theta     float64
+	finalized bool
+	nShards   int
+	shards    []storeShard
+}
+
+type storeShard struct {
+	mu      sync.Mutex // guards pending during the parallel Finalize scan
+	pending []occEntry
+
+	occ      map[string][]int32 // occKey -> sorted unique object ids
+	types    map[string]*typeIndex
+	cacheMu  sync.RWMutex
+	simCache map[string][]ValueMatch
+}
+
+type occEntry struct {
+	key string
+	id  int32
+}
+
+var _ Store = (*ShardedStore)(nil)
+
+// NewShardedStore returns an empty store with the given shard count.
+// Counts below 1 are clamped to 1 (which behaves like a lock-striped
+// MemStore); a power of two near GOMAXPROCS is a good default.
+func NewShardedStore(shards int) *ShardedStore {
+	if shards < 1 {
+		shards = 1
+	}
+	return &ShardedStore{
+		nShards: shards,
+		shards:  make([]storeShard, shards),
+	}
+}
+
+// ShardCount returns the number of index shards.
+func (s *ShardedStore) ShardCount() int { return s.nShards }
+
+// Add implements Store.
+func (s *ShardedStore) Add(o *OD) *OD {
+	if s.finalized {
+		panic("od: Add after Finalize")
+	}
+	o.ID = int32(len(s.ods))
+	s.ods = append(s.ods, o)
+	return o
+}
+
+// Size implements Store.
+func (s *ShardedStore) Size() int { return len(s.ods) }
+
+// Theta implements Store.
+func (s *ShardedStore) Theta() float64 { return s.theta }
+
+// ODs implements Store.
+func (s *ShardedStore) ODs() []*OD { return s.ods }
+
+// shardOf maps an occurrence key to its owning shard (FNV-1a).
+func (s *ShardedStore) shardOf(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(s.nShards))
+}
+
+// Finalize implements Store. The build runs in four parallel phases:
+// (1) scan the ODs and route (key, id) entries to their shards under the
+// per-shard locks, (2) per shard, assemble and sort the occurrence lists,
+// (3) gather each type's global maximum value length (the edit budgets
+// must not depend on how values were sharded), and (4) per shard, build
+// the distinct-value indexes.
+func (s *ShardedStore) Finalize(theta float64) {
+	if s.finalized {
+		panic("od: Finalize called twice")
+	}
+	s.finalized = true
+	s.theta = theta
+
+	// Phase 1: parallel OD scan with per-worker buffers, flushed to the
+	// owning shard under its lock.
+	conc.Ranges(s.Workers, len(s.ods), 0, func(lo, hi int) {
+		buf := make([][]occEntry, s.nShards)
+		for i := lo; i < hi; i++ {
+			o := s.ods[i]
+			seen := map[string]bool{}
+			for _, t := range o.Tuples {
+				if t.Value == "" {
+					continue
+				}
+				k := t.occKey()
+				if seen[k] {
+					continue // an object counts once per tuple key
+				}
+				seen[k] = true
+				sh := s.shardOf(k)
+				buf[sh] = append(buf[sh], occEntry{key: k, id: o.ID})
+			}
+		}
+		for sh := range buf {
+			if len(buf[sh]) == 0 {
+				continue
+			}
+			s.shards[sh].mu.Lock()
+			s.shards[sh].pending = append(s.shards[sh].pending, buf[sh]...)
+			s.shards[sh].mu.Unlock()
+		}
+	})
+
+	// Phase 2: per shard, group pending entries into occurrence lists and
+	// sort them (ids are unique per key, so sorting yields the canonical
+	// order no matter how workers interleaved).
+	conc.Ranges(s.Workers, s.nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := &s.shards[i]
+			sh.occ = make(map[string][]int32, len(sh.pending))
+			for _, e := range sh.pending {
+				sh.occ[e.key] = append(sh.occ[e.key], e.id)
+			}
+			sh.pending = nil
+			for _, ids := range sh.occ {
+				sortInt32s(ids)
+			}
+			sh.simCache = map[string][]ValueMatch{}
+		}
+	})
+
+	// Phase 3: global per-type maximum value length.
+	localMax := make([]map[string]int, s.nShards)
+	conc.Ranges(s.Workers, s.nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := map[string]int{}
+			for key := range s.shards[i].occ {
+				typ, val := splitOccKey(key)
+				if l := len([]rune(val)); l > m[typ] {
+					m[typ] = l
+				}
+			}
+			localMax[i] = m
+		}
+	})
+	globalMax := map[string]int{}
+	for _, m := range localMax {
+		for typ, l := range m {
+			if l > globalMax[typ] {
+				globalMax[typ] = l
+			}
+		}
+	}
+
+	// Phase 4: per shard, build the distinct-value indexes with the
+	// global edit budgets.
+	conc.Ranges(s.Workers, s.nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := &s.shards[i]
+			valueObjs := map[string]map[string][]int32{}
+			for key, ids := range sh.occ {
+				typ, val := splitOccKey(key)
+				m, ok := valueObjs[typ]
+				if !ok {
+					m = map[string][]int32{}
+					valueObjs[typ] = m
+				}
+				m[val] = ids
+			}
+			sh.types = make(map[string]*typeIndex, len(valueObjs))
+			for typ, m := range valueObjs {
+				sh.types[typ] = buildTypeIndex(m, theta, globalMax[typ])
+			}
+		}
+	})
+}
+
+// ObjectsWithExact implements Store.
+func (s *ShardedStore) ObjectsWithExact(t Tuple) []int32 {
+	s.mustBeFinal()
+	k := t.occKey()
+	return s.shards[s.shardOf(k)].occ[k]
+}
+
+// SimilarValues implements Store. The query fans out to every shard's
+// slice of the type's values; the merged result is cached in the shard
+// owning the query key, so concurrent queries for different values mostly
+// touch different cache locks.
+func (s *ShardedStore) SimilarValues(t Tuple) []ValueMatch {
+	s.mustBeFinal()
+	if t.Value == "" {
+		return nil
+	}
+	cacheKey := t.occKey()
+	owner := &s.shards[s.shardOf(cacheKey)]
+	owner.cacheMu.RLock()
+	cached, ok := owner.simCache[cacheKey]
+	owner.cacheMu.RUnlock()
+	if ok {
+		return cached
+	}
+	var out []ValueMatch
+	for i := range s.shards {
+		ti, ok := s.shards[i].types[t.Type]
+		if !ok {
+			continue
+		}
+		ti.collect(t.Value, s.theta, func(idx int32) {
+			out = append(out, ti.match(t.Value, idx))
+		})
+	}
+	sortMatches(out)
+	owner.cacheMu.Lock()
+	owner.simCache[cacheKey] = out
+	owner.cacheMu.Unlock()
+	return out
+}
+
+// SoftIDF implements Store.
+func (s *ShardedStore) SoftIDF(a, b Tuple) float64 {
+	s.mustBeFinal()
+	ka := a.occKey()
+	oa := s.shards[s.shardOf(ka)].occ[ka]
+	kb := b.occKey()
+	if ka == kb {
+		return softIDF(s.Size(), len(oa))
+	}
+	return softIDF(s.Size(), unionSizeSorted(oa, s.shards[s.shardOf(kb)].occ[kb]))
+}
+
+// SoftIDFSingle implements Store.
+func (s *ShardedStore) SoftIDFSingle(t Tuple) float64 {
+	return s.SoftIDF(t, t)
+}
+
+// Neighbors implements Store.
+func (s *ShardedStore) Neighbors(id int32) []int32 {
+	s.mustBeFinal()
+	return neighborsOf(s, id)
+}
+
+// Stats implements Store. Per-type rows are merged across shards so the
+// output matches MemStore's: distinct values sum, lengths take the
+// maximum, and the edit budget is shard-independent by construction.
+func (s *ShardedStore) Stats() []TypeStats {
+	s.mustBeFinal()
+	byType := map[string]*TypeStats{}
+	for i := range s.shards {
+		for typ, ti := range s.shards[i].types {
+			st, ok := byType[typ]
+			if !ok {
+				st = &TypeStats{
+					Type:       typ,
+					EditBudget: ti.budget,
+					Indexed:    ti.neighbor != nil,
+				}
+				byType[typ] = st
+			}
+			st.DistinctValues += len(ti.values)
+			if ti.maxLen > st.MaxLen {
+				st.MaxLen = ti.maxLen
+			}
+		}
+	}
+	out := make([]TypeStats, 0, len(byType))
+	for _, st := range byType {
+		out = append(out, *st)
+	}
+	sortTypeStats(out)
+	return out
+}
+
+func (s *ShardedStore) mustBeFinal() {
+	if !s.finalized {
+		panic("od: store not finalized")
+	}
+}

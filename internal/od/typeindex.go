@@ -1,0 +1,99 @@
+package od
+
+import (
+	"sort"
+
+	"repro/internal/strdist"
+)
+
+// typeIndex answers similar-value queries for the distinct values of one
+// real-world type (or, in a ShardedStore, for the slice of them one shard
+// owns). It is built once during Finalize and read-only afterwards.
+type typeIndex struct {
+	values   []string
+	objects  [][]int32
+	byValue  map[string]int32
+	maxLen   int // longest value indexed here (shard-local)
+	budget   int // strict edit budget for the type's longest value overall
+	neighbor *strdist.NeighborIndex
+	byLen    map[int][]int32
+}
+
+// buildTypeIndex indexes the value -> sorted-object-ids table of one type.
+// budgetLen is the rune length the edit budget derives from and must be the
+// type's maximum value length across the *whole* store: a shard that used
+// its local maximum could under-size the deletion-neighborhood budget and
+// miss matches for queries longer than any value it owns.
+func buildTypeIndex(m map[string][]int32, theta float64, budgetLen int) *typeIndex {
+	ti := &typeIndex{byValue: map[string]int32{}, byLen: map[int][]int32{}}
+	vals := make([]string, 0, len(m))
+	for v := range m {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals) // deterministic ordering
+	for _, v := range vals {
+		id := int32(len(ti.values))
+		ti.values = append(ti.values, v)
+		ti.objects = append(ti.objects, m[v])
+		ti.byValue[v] = id
+		l := len([]rune(v))
+		ti.byLen[l] = append(ti.byLen[l], id)
+		if l > ti.maxLen {
+			ti.maxLen = l
+		}
+	}
+	ti.budget = strdist.MaxEditsBelow(theta, budgetLen)
+	if ti.budget >= 0 && ti.budget <= 2 {
+		ti.neighbor = strdist.NewNeighborIndex(ti.values, ti.budget)
+	}
+	return ti
+}
+
+// collect calls add(idx) for every indexed value whose normalized edit
+// distance to q is strictly below theta. add re-verifies the threshold, so
+// either lookup path (deletion-neighborhood index or length-windowed scan)
+// yields the same result set.
+func (ti *typeIndex) collect(q string, theta float64, add func(idx int32)) {
+	check := func(idx int32) {
+		if strdist.NormalizedBelow(q, ti.values[idx], theta) {
+			add(idx)
+		}
+	}
+	if ti.neighbor != nil {
+		// Complete: budget covers the largest value of the type.
+		if exact, ok := ti.byValue[q]; ok {
+			check(exact)
+		}
+		for _, idx := range ti.neighbor.Lookup(q, -1) {
+			if ti.values[idx] == q {
+				continue
+			}
+			check(idx)
+		}
+		return
+	}
+	// Scan within the feasible length window.
+	qLen := len([]rune(q))
+	for l, ids := range ti.byLen {
+		m := qLen
+		if l > m {
+			m = l
+		}
+		budget := strdist.MaxEditsBelow(theta, m)
+		if budget < 0 || strdist.Abs(qLen-l) > budget {
+			continue
+		}
+		for _, idx := range ids {
+			check(idx)
+		}
+	}
+}
+
+// match converts an index hit into the ValueMatch the Store API returns.
+func (ti *typeIndex) match(q string, idx int32) ValueMatch {
+	return ValueMatch{
+		Value:   ti.values[idx],
+		Objects: ti.objects[idx],
+		Dist:    strdist.Normalized(q, ti.values[idx]),
+	}
+}

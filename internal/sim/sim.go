@@ -18,6 +18,7 @@ package sim
 
 import (
 	"sort"
+	"strconv"
 
 	"repro/internal/od"
 	"repro/internal/strdist"
@@ -44,7 +45,7 @@ type Result struct {
 // are ignored entirely (they carry no data; see Condition 1). The measure
 // is symmetric: arguments are ordered canonically before matching, so
 // sim(a,b) == sim(b,a) bit for bit.
-func Similarity(store *od.Store, a, b *od.OD, thetaTuple float64) Result {
+func Similarity(store od.Store, a, b *od.OD, thetaTuple float64) Result {
 	if b.ID < a.ID || (b.ID == a.ID && b.Object < a.Object) {
 		a, b = b, a
 	}
@@ -99,7 +100,7 @@ type pairDist struct {
 	dist float64
 }
 
-func matchGroup(store *od.Store, as, bs []od.Tuple, thetaTuple float64, res *Result) {
+func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Result) {
 	// Full distance matrix; groups are small (element multiplicities).
 	pairs := make([]pairDist, 0, len(as)*len(bs))
 	for i, ta := range as {
@@ -200,7 +201,7 @@ func Classify(score, thetaCand float64) bool {
 // pruned wholesale in Step 4. Note the unique-side term makes this filter
 // slightly more aggressive than the paper's Sunique intersection when data
 // is missing entirely (see FilterExact and DESIGN.md).
-func Filter(store *od.Store, o *od.OD) float64 {
+func Filter(store od.Store, o *od.OD) float64 {
 	var sharedIDF, uniqueIDF float64
 	for _, t := range o.NonEmptyTuples() {
 		best := -1.0
@@ -240,7 +241,7 @@ func Filter(store *od.Store, o *od.OD) float64 {
 // contradictory-pair softIDF. This keeps f(ODi) >= sim(ODi, ODj) for all
 // j (proof sketch in the package tests). Cost is one sim() per partner, so
 // it exists for validation and small data; the pipeline uses Filter.
-func FilterExact(store *od.Store, o *od.OD, thetaTuple float64) float64 {
+func FilterExact(store od.Store, o *od.OD, thetaTuple float64) float64 {
 	n := store.Size()
 	if n <= 1 {
 		return 0
@@ -251,7 +252,7 @@ func FilterExact(store *od.Store, o *od.OD, thetaTuple float64) float64 {
 	keys := map[string]int{}          // tuple key -> count (for init)
 	keyOf := func(t od.Tuple, idx int) string {
 		// index disambiguates duplicate tuples within the OD
-		return t.Type + "\x00" + t.Value + "\x00" + t.Name + "\x00" + itoa(idx)
+		return t.Type + "\x00" + t.Value + "\x00" + t.Name + "\x00" + strconv.Itoa(idx)
 	}
 	tuples := o.NonEmptyTuples()
 	for idx, t := range tuples {
@@ -260,7 +261,7 @@ func FilterExact(store *od.Store, o *od.OD, thetaTuple float64) float64 {
 		alwaysCon[k] = true
 	}
 	for j := 0; j < n; j++ {
-		other := store.ODs[j]
+		other := store.ODs()[j]
 		if other.ID == o.ID {
 			continue
 		}
@@ -328,7 +329,7 @@ func findKey(tuples []od.Tuple, t od.Tuple, claimed map[string]bool, claimedIDF 
 		if cand.Type != t.Type || cand.Value != t.Value || cand.Name != t.Name {
 			continue
 		}
-		k := cand.Type + "\x00" + cand.Value + "\x00" + cand.Name + "\x00" + itoa(idx)
+		k := cand.Type + "\x00" + cand.Value + "\x00" + cand.Name + "\x00" + strconv.Itoa(idx)
 		if claimed != nil && claimed[k] {
 			continue
 		}
@@ -340,18 +341,4 @@ func findKey(tuples []od.Tuple, t od.Tuple, claimed map[string]bool, claimedIDF 
 		return k
 	}
 	return ""
-}
-
-func itoa(i int) string {
-	if i == 0 {
-		return "0"
-	}
-	var b [8]byte
-	p := len(b)
-	for i > 0 {
-		p--
-		b[p] = byte('0' + i%10)
-		i /= 10
-	}
-	return string(b[p:])
 }

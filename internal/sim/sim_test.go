@@ -11,8 +11,8 @@ import (
 )
 
 // paperStore builds the Table 2 ODs.
-func paperStore() *od.Store {
-	s := od.NewStore()
+func paperStore() od.Store {
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "/moviedoc/movie[1]", Tuples: []od.Tuple{
 		{Value: "The Matrix", Name: "/moviedoc/movie/title", Type: "TITLE"},
 		{Value: "1999", Name: "/moviedoc/movie/year", Type: "YEAR"},
@@ -35,7 +35,7 @@ func paperStore() *od.Store {
 
 func TestPaperExampleDuplicates(t *testing.T) {
 	s := paperStore()
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.55)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.55)
 	// title (0.4), year (0), actor KR (0) all similar; L. Fishburne is
 	// non-specified (movie 2 has no leftover actor) -> no contradictions.
 	if len(res.Similar) != 3 {
@@ -55,7 +55,7 @@ func TestPaperExampleDuplicates(t *testing.T) {
 func TestPaperExampleNonDuplicates(t *testing.T) {
 	s := paperStore()
 	for _, pair := range [][2]int{{0, 2}, {1, 2}} {
-		res := Similarity(s, s.ODs[pair[0]], s.ODs[pair[1]], 0.55)
+		res := Similarity(s, s.ODs()[pair[0]], s.ODs()[pair[1]], 0.55)
 		// The 1999/2002 year pair is within theta 0.55 (ned 0.5) but its
 		// softIDF is ln(3/3)=0, so it cannot push the score up.
 		if res.Score >= 0.55 {
@@ -68,8 +68,8 @@ func TestPaperExampleNonDuplicates(t *testing.T) {
 }
 
 // citiesStore reproduces the Sec. 5.1 cities example.
-func citiesStore() *od.Store {
-	s := od.NewStore()
+func citiesStore() od.Store {
+	s := od.NewMemStore()
 	add := func(obj string, cities ...string) {
 		o := &od.OD{Object: obj}
 		for _, c := range cities {
@@ -85,7 +85,7 @@ func citiesStore() *od.Store {
 
 func TestCitiesContradictoryMatching(t *testing.T) {
 	s := citiesStore()
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.15)
 	if len(res.Similar) != 1 || res.Similar[0].A.Value != "Miami" {
 		t.Fatalf("similar = %v, want Miami pair", res.Similar)
 	}
@@ -104,7 +104,7 @@ func TestCitiesContradictoryMatching(t *testing.T) {
 }
 
 func TestEmptyValuesAreInert(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
 		{Value: "x", Type: "T"},
 		{Value: "", Type: "EMPTY"},
@@ -114,7 +114,7 @@ func TestEmptyValuesAreInert(t *testing.T) {
 		{Value: "", Type: "EMPTY"},
 	}})
 	s.Finalize(0.15)
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.15)
 	for _, m := range append(res.Similar, res.Contradictory...) {
 		if m.A.Type == "EMPTY" || m.B.Type == "EMPTY" {
 			t.Errorf("empty tuple matched: %v", m)
@@ -124,7 +124,7 @@ func TestEmptyValuesAreInert(t *testing.T) {
 
 func TestIncomparableTypesNeverMatch(t *testing.T) {
 	// Sec. 5 condition 1: review and sold-number cannot contribute.
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
 		{Value: "The Matrix", Type: "TITLE"},
 		{Value: "great!", Type: "REVIEW"},
@@ -135,7 +135,7 @@ func TestIncomparableTypesNeverMatch(t *testing.T) {
 	}})
 	addFiller(s, 10)
 	s.Finalize(0.55)
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.55)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.55)
 	if len(res.Similar) != 1 {
 		t.Fatalf("similar = %v", res.Similar)
 	}
@@ -149,7 +149,7 @@ func TestIncomparableTypesNeverMatch(t *testing.T) {
 
 func TestMissingDataDoesNotPenalize(t *testing.T) {
 	// Condition 4: one movie missing actors must not reduce similarity.
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
 		{Value: "Same Title", Type: "TITLE"},
 		{Value: "Actor One", Type: "ACTOR"},
@@ -160,7 +160,7 @@ func TestMissingDataDoesNotPenalize(t *testing.T) {
 	}})
 	addFiller(s, 10)
 	s.Finalize(0.15)
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.15)
 	if res.Score != 1 {
 		t.Errorf("score with missing actors = %v, want 1", res.Score)
 	}
@@ -169,7 +169,7 @@ func TestMissingDataDoesNotPenalize(t *testing.T) {
 // addFiller pads a store with unrelated objects so softIDF values behave
 // like on a realistically sized corpus (with only 2 objects, any tuple
 // shared by both has softIDF ln(2/2) = 0).
-func addFiller(s *od.Store, n int) {
+func addFiller(s od.Store, n int) {
 	for i := 0; i < n; i++ {
 		s.Add(&od.OD{Object: fmt.Sprintf("filler-%d", i), Tuples: []od.Tuple{
 			{Value: fmt.Sprintf("filler title %d", i), Type: "TITLE"},
@@ -179,7 +179,7 @@ func addFiller(s *od.Store, n int) {
 }
 
 func TestContradictoryDataReduces(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
 		{Value: "Same Title", Type: "TITLE"},
 		{Value: "Actor One", Type: "ACTOR"},
@@ -190,7 +190,7 @@ func TestContradictoryDataReduces(t *testing.T) {
 	}})
 	addFiller(s, 10)
 	s.Finalize(0.15)
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.15)
 	if len(res.Contradictory) != 1 {
 		t.Fatalf("contradictory = %v", res.Contradictory)
 	}
@@ -200,11 +200,11 @@ func TestContradictoryDataReduces(t *testing.T) {
 }
 
 func TestScoreZeroWhenNothingShared(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{{Value: "aaaa", Type: "T"}}})
 	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{{Value: "zzzz", Type: "T"}}})
 	s.Finalize(0.15)
-	res := Similarity(s, s.ODs[0], s.ODs[1], 0.15)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], 0.15)
 	if len(res.Similar) != 0 || res.Score != 0 {
 		t.Errorf("score = %v similar=%v, want 0", res.Score, res.Similar)
 	}
@@ -220,7 +220,7 @@ func TestClassify(t *testing.T) {
 }
 
 func TestFilterSharedVsUnique(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a", Tuples: []od.Tuple{
 		{Value: "shared value", Type: "T"},
 		{Value: "unique to a", Type: "T"},
@@ -232,26 +232,26 @@ func TestFilterSharedVsUnique(t *testing.T) {
 		{Value: "nothing alike here", Type: "T"},
 	}})
 	s.Finalize(0.15)
-	fa := Filter(s, s.ODs[0])
+	fa := Filter(s, s.ODs()[0])
 	if fa <= 0 || fa >= 1 {
 		t.Errorf("f(a) = %v, want in (0,1)", fa)
 	}
-	fc := Filter(s, s.ODs[2])
+	fc := Filter(s, s.ODs()[2])
 	if fc != 0 {
 		t.Errorf("f(c) = %v, want 0 (all tuples unique)", fc)
 	}
-	fb := Filter(s, s.ODs[1])
+	fb := Filter(s, s.ODs()[1])
 	if fb != 1 {
 		t.Errorf("f(b) = %v, want 1 (all tuples shared)", fb)
 	}
 }
 
 func TestFilterEmptyOD(t *testing.T) {
-	s := od.NewStore()
+	s := od.NewMemStore()
 	s.Add(&od.OD{Object: "a"})
 	s.Add(&od.OD{Object: "b", Tuples: []od.Tuple{{Value: "x", Type: "T"}}})
 	s.Finalize(0.15)
-	if got := Filter(s, s.ODs[0]); got != 0 {
+	if got := Filter(s, s.ODs()[0]); got != 0 {
 		t.Errorf("f(empty) = %v", got)
 	}
 }
@@ -261,9 +261,9 @@ func TestFilterExactKeepsDuplicatesOnPaperExample(t *testing.T) {
 	theta := 0.55
 	// movies 1/2 are duplicates; the exact Eq. 9 filter must keep both and
 	// upper-bound their pairwise score.
-	f1 := FilterExact(s, s.ODs[0], theta)
-	f2 := FilterExact(s, s.ODs[1], theta)
-	res := Similarity(s, s.ODs[0], s.ODs[1], theta)
+	f1 := FilterExact(s, s.ODs()[0], theta)
+	f2 := FilterExact(s, s.ODs()[1], theta)
+	res := Similarity(s, s.ODs()[0], s.ODs()[1], theta)
 	if f1 < res.Score-1e-9 || f2 < res.Score-1e-9 {
 		t.Errorf("f below sim: f1=%v f2=%v sim=%v", f1, f2, res.Score)
 	}
@@ -279,8 +279,8 @@ func TestFilterIsMoreAggressiveThanExact(t *testing.T) {
 	s := paperStore()
 	theta := 0.55
 	for i := 0; i < s.Size(); i++ {
-		fIdx := Filter(s, s.ODs[i])
-		fEx := FilterExact(s, s.ODs[i], theta)
+		fIdx := Filter(s, s.ODs()[i])
+		fEx := FilterExact(s, s.ODs()[i], theta)
 		if fIdx > fEx+1e-9 {
 			t.Errorf("object %d: indexed filter %v above exact %v", i, fIdx, fEx)
 		}
@@ -294,8 +294,8 @@ func TestQuickSimilaritySymmetricAndBounded(t *testing.T) {
 		s, _ := randomStore(rng, 8)
 		i := rng.Intn(s.Size())
 		j := rng.Intn(s.Size())
-		ra := Similarity(s, s.ODs[i], s.ODs[j], 0.3)
-		rb := Similarity(s, s.ODs[j], s.ODs[i], 0.3)
+		ra := Similarity(s, s.ODs()[i], s.ODs()[j], 0.3)
+		rb := Similarity(s, s.ODs()[j], s.ODs()[i], 0.3)
 		if ra.Score != rb.Score {
 			return false
 		}
@@ -315,7 +315,7 @@ func TestQuickMatchingOneToOne(t *testing.T) {
 		if i == j {
 			return true
 		}
-		res := Similarity(s, s.ODs[i], s.ODs[j], 0.3)
+		res := Similarity(s, s.ODs()[i], s.ODs()[j], 0.3)
 		seenA := map[string]bool{}
 		seenB := map[string]bool{}
 		for _, m := range append(append([]MatchedPair{}, res.Similar...), res.Contradictory...) {
@@ -328,7 +328,7 @@ func TestQuickMatchingOneToOne(t *testing.T) {
 					seenA[k] = true
 					break
 				}
-				if n > len(s.ODs[i].Tuples) {
+				if n > len(s.ODs()[i].Tuples) {
 					return false
 				}
 			}
@@ -338,13 +338,13 @@ func TestQuickMatchingOneToOne(t *testing.T) {
 					seenB[k] = true
 					break
 				}
-				if n > len(s.ODs[j].Tuples) {
+				if n > len(s.ODs()[j].Tuples) {
 					return false
 				}
 			}
 		}
 		// multiplicity check: matched pairs cannot exceed min(|A|,|B|) per type
-		return len(res.Similar)+len(res.Contradictory) <= len(s.ODs[i].Tuples)+len(s.ODs[j].Tuples)
+		return len(res.Similar)+len(res.Contradictory) <= len(s.ODs()[i].Tuples)+len(s.ODs()[j].Tuples)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
@@ -357,12 +357,12 @@ func TestQuickFilterExactUpperBound(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		s, theta := randomStore(rng, 7)
 		for i := 0; i < s.Size(); i++ {
-			fi := FilterExact(s, s.ODs[i], theta)
+			fi := FilterExact(s, s.ODs()[i], theta)
 			for j := 0; j < s.Size(); j++ {
 				if i == j {
 					continue
 				}
-				res := Similarity(s, s.ODs[i], s.ODs[j], theta)
+				res := Similarity(s, s.ODs()[i], s.ODs()[j], theta)
 				if res.Score > fi+1e-9 {
 					return false
 				}
@@ -377,10 +377,10 @@ func TestQuickFilterExactUpperBound(t *testing.T) {
 
 // randomStore builds a small random corpus over a handful of types with
 // value collisions and near-misses, so matching logic gets exercised.
-func randomStore(rng *rand.Rand, n int) (*od.Store, float64) {
+func randomStore(rng *rand.Rand, n int) (od.Store, float64) {
 	words := []string{"alpha", "alphb", "beta", "betta", "gamma", "gamna", "delta", "omega"}
 	types := []string{"T1", "T2", "T3"}
-	s := od.NewStore()
+	s := od.NewMemStore()
 	for i := 0; i < n; i++ {
 		o := &od.OD{Object: fmt.Sprintf("/r/o[%d]", i+1)}
 		k := rng.Intn(4) + 1

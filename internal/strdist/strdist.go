@@ -64,7 +64,7 @@ func LevenshteinBounded(a, b string, maxDist int) (int, bool) {
 		return 0, false
 	}
 	ra, rb := []rune(a), []rune(b)
-	if abs(len(ra)-len(rb)) > maxDist {
+	if Abs(len(ra)-len(rb)) > maxDist {
 		return maxDist + 1, false
 	}
 	if len(ra) < len(rb) {
@@ -152,7 +152,7 @@ func NormalizedBelow(a, b string, theta float64) bool {
 	if maxDist < 0 {
 		return false
 	}
-	if abs(la-lb) > maxDist {
+	if Abs(la-lb) > maxDist {
 		return false
 	}
 	if BagDistance(a, b) > maxDist {
@@ -188,7 +188,7 @@ func MaxEditsBelow(theta float64, m int) int {
 
 // LengthLowerBound returns |len(a)-len(b)|, a lower bound on Levenshtein.
 func LengthLowerBound(a, b string) int {
-	return abs(len([]rune(a)) - len([]rune(b)))
+	return Abs(len([]rune(a)) - len([]rune(b)))
 }
 
 // BagDistance returns the bag (multiset) distance between a and b:
@@ -371,7 +371,9 @@ func max2(a, b int) int {
 	return b
 }
 
-func abs(x int) int {
+// Abs returns |x|. Exported because length-window pruning around edit
+// budgets needs it in the index packages as well.
+func Abs(x int) int {
 	if x < 0 {
 		return -x
 	}
