@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt-check bench
+.PHONY: all build test test-race vet fmt-check bench
 
 all: build test vet fmt-check
 
@@ -9,6 +9,12 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass. The hot spots are the lock-striped sharded store,
+# the work-stealing compare stage and the worker pool underneath them,
+# but the whole tree runs in ~2 minutes, so check everything.
+test-race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...

@@ -11,15 +11,23 @@
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
-// staged detection pipeline on Dataset 1, once on the single-map MemStore
-// and once on the sharded store, and prints each stage's wall time.
+// staged detection pipeline on Dataset 1 — on the single-map MemStore, on
+// the sharded store, and on the MemStore fed by the streaming ingestion
+// layer — and prints each stage's item count, wall time, live heap after
+// the stage (post-GC runtime.MemStats) and bytes allocated during it.
+// The live-heap column is where the streaming run's memory win shows:
+// the materialized runs hold the whole document tree through every
+// stage, the streamed run only ever holds one anchor subtree plus the
+// flat ODs.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -28,6 +36,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/od"
+	"repro/internal/xmltree"
 )
 
 func main() {
@@ -151,8 +160,40 @@ func run(fig string, n int, seed int64, shards int) error {
 	return nil
 }
 
-// runStages profiles the staged pipeline end to end on Dataset 1, once per
-// store backend, and prints each stage's item count and wall time.
+// memSampler is a pipeline Observer recording per-stage memory facts:
+// the live heap right after the stage (post-GC) and the bytes allocated
+// while it ran. The GC per stage boundary is profiling overhead the
+// elapsed column never sees — the runner starts its stage clock after
+// StageStart returns and stops it before StageDone fires.
+type memSampler struct {
+	start     runtime.MemStats
+	liveAfter map[string]uint64
+	allocated map[string]uint64
+}
+
+func newMemSampler() *memSampler {
+	return &memSampler{liveAfter: map[string]uint64{}, allocated: map[string]uint64{}}
+}
+
+func (m *memSampler) StageStart(string) {
+	runtime.GC()
+	runtime.ReadMemStats(&m.start)
+}
+
+func (m *memSampler) StageDone(st core.StageStats) {
+	runtime.GC()
+	var end runtime.MemStats
+	runtime.ReadMemStats(&end)
+	m.liveAfter[st.Name] = end.HeapAlloc
+	m.allocated[st.Name] = end.TotalAlloc - m.start.TotalAlloc
+}
+
+func mb(b uint64) float64 { return float64(b) / (1 << 20) }
+
+// runStages profiles the staged pipeline end to end on Dataset 1, once
+// per backend — both materialized-document runs and a streamed run over
+// the serialized corpus — and prints each stage's item count, wall time
+// and memory profile.
 func runStages(w io.Writer, n int, seed int64, shards int) error {
 	ds, err := experiments.BuildDataset1(n, seed, dirty.Dataset1Params())
 	if err != nil {
@@ -162,25 +203,56 @@ func runStages(w io.Writer, n int, seed int64, shards int) error {
 	if err != nil {
 		return err
 	}
+	mapping, schema := ds.Mapping, ds.Schema
+	var buf bytes.Buffer
+	if err := ds.Doc.WriteXML(&buf); err != nil {
+		return err
+	}
+	corpus := buf.Bytes()
+	// Drop the builder's tree: each backend ingests the serialized corpus
+	// itself, so the live-heap columns attribute the document to the run
+	// that actually holds it.
+	ds = nil
+
 	backends := []struct {
 		name     string
 		newStore func() od.Store
+		stream   bool
 	}{
-		{"memstore", nil},
-		{fmt.Sprintf("sharded-%d", shards), func() od.Store { return od.NewShardedStore(shards) }},
+		{"memstore", nil, false},
+		{fmt.Sprintf("sharded-%d", shards), func() od.Store { return od.NewShardedStore(shards) }, false},
+		{"memstore-stream", nil, true},
 	}
 	for _, be := range backends {
-		det, err := core.NewDetector(ds.Mapping, core.Config{
+		sampler := newMemSampler()
+		det, err := core.NewDetector(mapping, core.Config{
 			Heuristic:  h,
 			ThetaTuple: experiments.ThetaTuple,
 			ThetaCand:  experiments.ThetaCand,
 			UseFilter:  true,
 			NewStore:   be.newStore,
+			Observer:   sampler,
 		})
 		if err != nil {
 			return err
 		}
-		res, err := det.Detect("DISC", core.Source{Doc: ds.Doc, Schema: ds.Schema})
+		var input core.SourceInput
+		if be.stream {
+			input = &core.StreamSource{
+				Name:   "freedb",
+				Schema: schema,
+				Open: func() (io.ReadCloser, error) {
+					return io.NopCloser(bytes.NewReader(corpus)), nil
+				},
+			}
+		} else {
+			doc, err := xmltree.Parse(bytes.NewReader(corpus))
+			if err != nil {
+				return err
+			}
+			input = core.DocSource{Name: "freedb", Doc: doc, Schema: schema}
+		}
+		res, err := det.DetectInputs("DISC", input)
 		if err != nil {
 			return err
 		}
@@ -188,8 +260,11 @@ func runStages(w io.Writer, n int, seed int64, shards int) error {
 			be.name, res.Stats.Candidates, res.Stats.PairsDetected,
 			res.Stats.Elapsed.Round(time.Millisecond))
 		for _, st := range res.Stages {
-			fmt.Fprintf(w, "  %-10s items=%-9d %v\n", st.Name, st.Items, st.Elapsed.Round(10*time.Microsecond))
+			fmt.Fprintf(w, "  %-10s items=%-9d %-12v live-heap=%6.1fMB allocs=%6.1fMB\n",
+				st.Name, st.Items, st.Elapsed.Round(10*time.Microsecond),
+				mb(sampler.liveAfter[st.Name]), mb(sampler.allocated[st.Name]))
 		}
+		runtime.GC() // drop this backend's result before the next run
 	}
 	return nil
 }

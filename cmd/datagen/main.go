@@ -8,11 +8,18 @@
 //	datagen -corpus imdb   -n 500 > imdb.xml
 //	datagen -corpus filmdienst -n 500 > filmdienst.xml
 //	datagen -corpus freedb -n 500 -mapping > mapping.txt
+//	datagen -corpus freedb -n 1000000 -out big.xml   # stream-scale corpora
+//
+// -out writes the artifact to a file instead of stdout, the convenient
+// form for producing large corpora that dogmatix -stream then ingests
+// with bounded memory.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -33,19 +40,30 @@ func main() {
 		synPct  = flag.Float64("synonym", 0.08, "synonym percentage for -dirty")
 		reissue = flag.Float64("reissue", 0, "reissue rate (freedb only)")
 		mapping = flag.Bool("mapping", false, "emit the mapping file instead of XML")
+		outFile = flag.String("out", "", "write to this file instead of stdout")
 	)
 	flag.Parse()
 	if err := run(*corpus, *n, *seed, *mkDirty, *dupPct, *typoPct, *missPct,
-		*synPct, *reissue, *mapping); err != nil {
+		*synPct, *reissue, *mapping, *outFile); err != nil {
 		fmt.Fprintln(os.Stderr, "datagen:", err)
 		os.Exit(1)
 	}
 }
 
+// run validates and generates the artifact fully before touching the
+// -out destination, so a bad invocation never truncates an existing
+// corpus file.
 func run(corpus string, n int, seed int64, mkDirty bool,
-	dupPct, typoPct, missPct, synPct, reissue float64, mapping bool) error {
+	dupPct, typoPct, missPct, synPct, reissue float64, mapping bool, outFile string) error {
 	if mapping {
-		return emitMapping(corpus)
+		paths, err := mappingPaths(corpus)
+		if err != nil {
+			return err
+		}
+		return write(outFile, func(w io.Writer) error { return emitMapping(w, paths) })
+	}
+	if mkDirty && corpus != "freedb" {
+		return fmt.Errorf("-dirty only applies to the freedb corpus")
 	}
 	var doc *xmltree.Document
 	switch corpus {
@@ -71,33 +89,55 @@ func run(corpus string, n int, seed int64, mkDirty bool,
 	default:
 		return fmt.Errorf("unknown corpus %q (want freedb, imdb, filmdienst)", corpus)
 	}
-	if mkDirty && corpus != "freedb" {
-		return fmt.Errorf("-dirty only applies to the freedb corpus")
-	}
-	return doc.WriteXML(os.Stdout)
+	return write(outFile, doc.WriteXML)
 }
 
-func emitMapping(corpus string) error {
-	var paths map[string][]string
+// write renders through emit into the -out file (buffered) or stdout.
+// The file is opened only once generation has succeeded, and is closed
+// on every path.
+func write(path string, emit func(io.Writer) error) error {
+	if path == "" {
+		return emit(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := emit(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func mappingPaths(corpus string) (map[string][]string, error) {
 	switch corpus {
 	case "freedb":
-		paths = datagen.FreeDBMappingPaths()
+		return datagen.FreeDBMappingPaths(), nil
 	case "imdb", "filmdienst", "dataset2":
-		paths = datagen.Dataset2MappingPaths()
+		return datagen.Dataset2MappingPaths(), nil
 	default:
-		return fmt.Errorf("no mapping for corpus %q", corpus)
+		return nil, fmt.Errorf("no mapping for corpus %q", corpus)
 	}
+}
+
+func emitMapping(w io.Writer, paths map[string][]string) error {
 	types := make([]string, 0, len(paths))
 	for t := range paths {
 		types = append(types, t)
 	}
 	sort.Strings(types)
 	for _, t := range types {
-		fmt.Print(t)
+		fmt.Fprint(w, t)
 		for _, p := range paths[t] {
-			fmt.Print(" ", p)
+			fmt.Fprint(w, " ", p)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 	return nil
 }

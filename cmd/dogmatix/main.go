@@ -6,7 +6,7 @@
 //	dogmatix -map mapping.txt -type MOVIE [-schema doc.xsd] \
 //	         [-heuristic kd:6] [-ttuple 0.15] [-tcand 0.55] \
 //	         [-filter] [-pairs] [-stages] [-shards 8] [-workers 4] \
-//	         doc1.xml [doc2.xml ...]
+//	         [-stream] doc1.xml [doc2.xml ...]
 //
 // The mapping file associates real-world types with schema XPaths, one
 // type per line:
@@ -17,9 +17,14 @@
 // Without -schema, each document's schema is inferred from its instances.
 // -shards N backs the run with the sharded OD store (N index shards,
 // parallel Finalize); the default is the single-map in-memory store and
-// both produce identical output. The result is the Fig. 3 dupcluster XML
-// on stdout; -pairs additionally lists every detected pair with its
-// similarity on stderr, and -stages prints per-stage timings.
+// both produce identical output. -stream ingests each document through
+// the pull parser instead of materializing it: peak memory is bounded by
+// the largest candidate subtree, not document size, so corpora larger
+// than RAM flow through (the output is bit-identical either way; without
+// -schema the file is read twice, once for streaming schema inference and
+// once for ingestion). The result is the Fig. 3 dupcluster XML on stdout;
+// -pairs additionally lists every detected pair with its similarity on
+// stderr, and -stages prints per-stage timings.
 package main
 
 import (
@@ -49,6 +54,7 @@ func main() {
 		shards     = flag.Int("shards", 0, "back the run with a sharded OD store of N shards (0 = single-map store)")
 		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
+		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
 	)
 	flag.Parse()
 	opts := options{
@@ -56,7 +62,7 @@ func main() {
 		heuristic: *heuristic, ttuple: *ttuple, tcand: *tcand,
 		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
 		showStages: *showStages, shards: *shards, workers: *workers,
-		format: *format,
+		format: *format, stream: *stream,
 	}
 	if err := run(opts, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "dogmatix:", err)
@@ -68,7 +74,7 @@ type options struct {
 	mapFile, typeName, xsdFile, heuristic string
 	ttuple, tcand                         float64
 	useFilter, showPairs, stats           bool
-	showStages                            bool
+	showStages, stream                    bool
 	shards, workers                       int
 	format                                string
 }
@@ -109,8 +115,12 @@ func run(opts options, docs []string) error {
 		}
 	}
 
-	var sources []core.Source
+	var inputs []core.SourceInput
 	for _, path := range docs {
+		if opts.stream {
+			inputs = append(inputs, core.FileSource(path, schema))
+			continue
+		}
 		f, err := os.Open(path)
 		if err != nil {
 			return err
@@ -120,7 +130,7 @@ func run(opts options, docs []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		sources = append(sources, core.Source{Name: path, Doc: doc, Schema: schema})
+		inputs = append(inputs, core.Source{Name: path, Doc: doc, Schema: schema})
 	}
 
 	cfg := core.Config{
@@ -141,7 +151,7 @@ func run(opts options, docs []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := det.Detect(opts.typeName, sources...)
+	res, err := det.DetectInputs(opts.typeName, inputs...)
 	if err != nil {
 		return err
 	}

@@ -10,7 +10,11 @@ import (
 // approximate-XML-join approach of Guha et al. [6] that the paper's
 // Sec. 5 outlook contrasts with the OD-based measure. It needs the
 // original nodes (od.OD.Node), so it only applies to stores produced by
-// the core pipeline.
+// the core pipeline from materialized sources (DocSource): streaming
+// ingestion discards each subtree after flattening and leaves Node nil,
+// which this baseline cannot score — Detect skips such objects, so a
+// fully streamed store yields no pairs. Run baselines on DocSource
+// stores.
 type TreeEdit struct {
 	// Theta is the normalized distance threshold; pairs strictly below
 	// classify as duplicates. Default 0.2.

@@ -4,17 +4,21 @@
 // steps of the duplicate-detection component:
 //
 //	infer       schema preparation (inference where none is provided)
-//	candidates  Step 1  candidate query formulation & execution
-//	describe    Steps 2+3  description queries (heuristic σ) & OD generation
+//	candidates  Steps 1–3  ingestion: candidate queries find anchors, each
+//	            anchor's description (heuristic σ) flattens into an OD on
+//	            arrival, ODs reach the store in batches
+//	describe    Step 3  the store seals its occurrence/similarity indexes
 //	reduce      Step 4  comparison reduction (object filter f, Sec. 5.2)
 //	compare     Step 5  pairwise comparisons (classifier of Def. 6, Sec. 5.1,
 //	            over lossless shared-value blocking)
 //	cluster     Step 6  duplicate clustering (transitive closure)
 //
 // Each stage is a named, independently timed unit (see StageStats and
-// Observer in pipeline.go); the storage backend behind Steps 3–5 and the
-// Step 4/5 strategies are pluggable through Config.NewStore,
-// Config.Comparator and Config.Filter.
+// Observer in pipeline.go). Where the XML comes from is pluggable through
+// the SourceInput seam (DocSource for in-memory trees, StreamSource for
+// pull-parsed corpora larger than RAM — both bit-identical); the storage
+// backend behind Steps 3–5 and the Step 4/5 strategies are pluggable
+// through Config.NewStore, Config.Comparator and Config.Filter.
 //
 // Candidate definition (which real-world type to deduplicate, mapping M)
 // and duplicate definition (heuristic, thresholds) are provided offline
@@ -24,22 +28,188 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/heuristics"
 	"repro/internal/od"
 	"repro/internal/sim"
+	"repro/internal/xmlstream"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
 )
 
-// Source couples one XML document with its schema. Schema may be nil, in
-// which case Detect infers it from the document (xsd.Infer).
-type Source struct {
+// SourceInput is the ingestion seam between the pipeline and where XML
+// comes from. Two implementations exist: DocSource feeds a materialized
+// in-memory document, StreamSource feeds a pull parser so corpora larger
+// than RAM flow through the pipeline without ever materializing a full
+// tree. Both produce bit-identical Results for the same document. The
+// method set is unexported on purpose — the candidate/describe stages
+// rely on ordering and lifetime guarantees that only these two
+// implementations provide.
+type SourceInput interface {
+	SourceName() string
+	// check validates the source before any stage touches it.
+	check() error
+	// declaredSchema returns the schema provided with the source, or nil.
+	declaredSchema() *xsd.Schema
+	// inferSchema derives a schema when none was declared.
+	inferSchema() (*xsd.Schema, error)
+	// streaming reports the ingest contract: false means anchors arrive
+	// in candidate-path-major order with stable in-tree nodes; true means
+	// they arrive in document order, positional paths resolve only after
+	// the pass (the emit callback's deferred func), and each subtree is
+	// transient — dropped as soon as the callback returns.
+	streaming() bool
+	// ingest drives one pass over the source, emitting every candidate
+	// anchor matching the compiled paths.
+	ingest(paths []ingestPath, emit emitFunc) error
+}
+
+// DocSource couples one parsed XML document with its schema. Schema may
+// be nil, in which case Detect infers it from the document (xsd.Infer).
+type DocSource struct {
 	Name   string
 	Doc    *xmltree.Document
 	Schema *xsd.Schema
+}
+
+// Source is the historical name of DocSource; existing callers keep
+// working unchanged.
+type Source = DocSource
+
+// SourceName implements SourceInput.
+func (s DocSource) SourceName() string { return s.Name }
+
+func (s DocSource) check() error {
+	if s.Doc == nil {
+		return fmt.Errorf("has no document")
+	}
+	return nil
+}
+
+func (s DocSource) declaredSchema() *xsd.Schema { return s.Schema }
+
+func (s DocSource) inferSchema() (*xsd.Schema, error) { return xsd.Infer(s.Doc) }
+
+func (s DocSource) streaming() bool { return false }
+
+func (s DocSource) ingest(paths []ingestPath, emit emitFunc) error {
+	for pi := range paths {
+		for _, node := range paths[pi].query.Eval(s.Doc.Root) {
+			if err := emit(pi, node, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StreamSource feeds the pipeline from a pull parser (internal/xmlstream)
+// instead of a materialized document: candidate anchors are recognized
+// against the compiled Step 1 paths while tokens stream by, only each
+// anchor's bounded subtree is materialized, and it is discarded again the
+// moment its object description has been flattened. Peak ingestion memory
+// is therefore bounded by the largest anchor subtree, not document size.
+//
+// Open must return a fresh reader over the document each time it is
+// called. The pipeline opens the stream once per pass: once for schema
+// inference when Schema is nil (xsd.InferReader), and once for ingestion.
+// With a Schema provided, ingestion is a single pass.
+//
+// Restrictions versus DocSource: the configured heuristic must select
+// descendant descriptions only (ancestor or unrelated selections would
+// reach outside the anchor subtree), and Result/OD Node pointers are nil
+// since no tree survives ingestion.
+type StreamSource struct {
+	Name   string
+	Open   func() (io.ReadCloser, error)
+	Schema *xsd.Schema
+}
+
+// FileSource returns a StreamSource reading the XML document at path.
+// schema may be nil to infer it in a separate streaming pass.
+func FileSource(path string, schema *xsd.Schema) *StreamSource {
+	return &StreamSource{
+		Name:   path,
+		Schema: schema,
+		Open:   func() (io.ReadCloser, error) { return os.Open(path) },
+	}
+}
+
+// ReaderSource returns a StreamSource over a one-shot reader, so the
+// schema must be non-nil: with a nil schema the pipeline's inference
+// pass consumes the reader and ingestion then fails with a clear
+// "reader already consumed" error. For schema-less streaming use
+// FileSource or a custom reopenable Open.
+func ReaderSource(name string, r io.Reader, schema *xsd.Schema) *StreamSource {
+	used := false
+	return &StreamSource{
+		Name:   name,
+		Schema: schema,
+		Open: func() (io.ReadCloser, error) {
+			if used {
+				return nil, fmt.Errorf("reader already consumed; provide a reopenable Open or a Schema")
+			}
+			used = true
+			return io.NopCloser(r), nil
+		},
+	}
+}
+
+// SourceName implements SourceInput.
+func (s *StreamSource) SourceName() string { return s.Name }
+
+func (s *StreamSource) check() error {
+	if s.Open == nil {
+		return fmt.Errorf("has no Open function")
+	}
+	return nil
+}
+
+func (s *StreamSource) declaredSchema() *xsd.Schema { return s.Schema }
+
+func (s *StreamSource) inferSchema() (*xsd.Schema, error) {
+	rc, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	schema, err := xsd.InferReader(rc)
+	if cerr := rc.Close(); err == nil {
+		err = cerr
+	}
+	return schema, err
+}
+
+func (s *StreamSource) streaming() bool { return true }
+
+func (s *StreamSource) ingest(paths []ingestPath, emit emitFunc) error {
+	targets := make([]string, len(paths))
+	for i := range paths {
+		targets[i] = paths[i].schemaPath
+	}
+	rc, err := s.Open()
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	sc, err := xmlstream.NewScanner(rc, targets)
+	if err != nil {
+		return err
+	}
+	for {
+		a, err := sc.Next()
+		if err != nil {
+			return err
+		}
+		if a == nil {
+			return nil
+		}
+		if err := emit(a.Target, a.Node, a.Path); err != nil {
+			return err
+		}
+	}
 }
 
 // Config is the duplicate definition: how descriptions are selected and
@@ -117,7 +287,9 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// Candidate is one duplicate candidate (a member of ΩT).
+// Candidate is one duplicate candidate (a member of ΩT). Node is nil for
+// candidates ingested from a StreamSource — their subtree was transient
+// and has already been flattened into the object description.
 type Candidate struct {
 	Node     *xmltree.Node
 	Source   int    // index into the sources passed to Detect
@@ -179,12 +351,23 @@ func NewDetector(mapping *Mapping, cfg Config) (*Detector, error) {
 }
 
 // Detect performs duplicate detection for the candidates of the given
-// real-world type across all sources. It is a thin composition of the
-// named pipeline stages returned by stages(); all per-step logic lives in
-// pipeline.go.
+// real-world type across all in-memory sources. It is shorthand for
+// DetectInputs over DocSources.
 func (d *Detector) Detect(typeName string, sources ...Source) (*Result, error) {
+	inputs := make([]SourceInput, len(sources))
+	for i := range sources {
+		inputs[i] = sources[i]
+	}
+	return d.DetectInputs(typeName, inputs...)
+}
+
+// DetectInputs performs duplicate detection for the candidates of the
+// given real-world type across all sources, in-memory and streaming alike.
+// It is a thin composition of the named pipeline stages returned by
+// stages(); all per-step logic lives in pipeline.go.
+func (d *Detector) DetectInputs(typeName string, inputs ...SourceInput) (*Result, error) {
 	start := time.Now()
-	if len(sources) == 0 {
+	if len(inputs) == 0 {
 		return nil, fmt.Errorf("core: no sources")
 	}
 	// Cheap precondition before the pipeline spends time inferring
@@ -195,7 +378,7 @@ func (d *Detector) Detect(typeName string, sources ...Source) (*Result, error) {
 	p := &pipelineRun{
 		d:          d,
 		typeName:   typeName,
-		sources:    sources,
+		inputs:     inputs,
 		res:        &Result{Type: typeName},
 		comparator: d.comparator(),
 		filter:     d.objectFilter(),

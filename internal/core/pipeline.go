@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -9,15 +10,20 @@ import (
 	"repro/internal/heuristics"
 	"repro/internal/od"
 	"repro/internal/sim"
+	"repro/internal/xmltree"
 	"repro/internal/xpath"
 	"repro/internal/xsd"
 )
 
 // Stage names, in pipeline order. Each maps onto the paper's six online
-// steps: infer prepares the schemas the queries are formulated against,
-// candidates is Step 1 (plus the Step 2 formulation), describe is Steps
-// 2–3 (description execution and OD generation), reduce is Step 4,
-// compare is Step 5 and clusterStage is Step 6.
+// steps: infer prepares the schemas the queries are formulated against;
+// candidates is the ingestion stage — Step 1 (candidate query
+// formulation & execution) fused with Steps 2–3 (description execution
+// and OD generation), consuming one anchor subtree at a time so
+// streaming sources can discard each subtree as soon as it is flattened;
+// describe finishes Step 3 by building the store indexes over the
+// ingested ODs; reduce is Step 4, compare is Step 5 and cluster is
+// Step 6.
 const (
 	StageInfer      = "infer"
 	StageCandidates = "candidates"
@@ -63,22 +69,34 @@ type pipelineStage struct {
 type pipelineRun struct {
 	d        *Detector
 	typeName string
-	sources  []Source
+	inputs   []SourceInput
 	res      *Result
 
-	store       od.Store
-	comparator  sim.Comparator
-	filter      sim.ObjectFilter
-	descQueries map[anchorKey][]*xpath.Path
-	alive       []bool
+	schemas    []*xsd.Schema // resolved per source by the infer stage
+	store      od.Store
+	comparator sim.Comparator
+	filter     sim.ObjectFilter
+	tupleCount int // OD tuples flattened during ingestion
+	alive      []bool
 }
 
-// anchorKey identifies one (source, candidate path) anchor whose
-// description query is compiled once.
-type anchorKey struct {
-	source int
-	path   string
+// ingestPath is one compiled (candidate path, description query) unit a
+// source's ingest pass matches anchors against: the plain absolute schema
+// path, the schema declaration behind it, the compiled Step 1 candidate
+// query, and the compiled Step 2 description queries σ.
+type ingestPath struct {
+	schemaPath string
+	el         *xsd.Element
+	query      *xpath.Path
+	desc       []*xpath.Path
 }
+
+// emitFunc receives one candidate anchor during a source's ingest pass.
+// pathIdx indexes the ingestPath slice. deferredPath is nil when the
+// node's positional path can be read off the tree immediately (doc
+// sources); for streaming sources it resolves the path once the pass has
+// completed — sibling totals are not final earlier.
+type emitFunc func(pathIdx int, node *xmltree.Node, deferredPath func() string) error
 
 // stages returns the pipeline for the current configuration: the full six
 // steps, or a truncated chain when FilterOnly stops after Step 4.
@@ -120,65 +138,55 @@ func (p *pipelineRun) run(stages []pipelineStage) error {
 	return nil
 }
 
-// inferSchemas validates the sources and infers schemas where none was
-// provided.
+// inferSchemas validates the sources and resolves a schema per source,
+// inferring one where none was provided (xsd.Infer for documents,
+// xsd.InferReader as a streaming pass for stream sources).
 func (p *pipelineRun) inferSchemas() (int, error) {
-	for i := range p.sources {
-		if p.sources[i].Doc == nil {
-			return 0, fmt.Errorf("core: source %d has no document", i)
+	p.schemas = make([]*xsd.Schema, len(p.inputs))
+	for i, src := range p.inputs {
+		if err := src.check(); err != nil {
+			return 0, fmt.Errorf("core: source %d %v", i, err)
 		}
-		if p.sources[i].Schema == nil {
-			s, err := xsd.Infer(p.sources[i].Doc)
-			if err != nil {
-				return 0, fmt.Errorf("core: source %d: %w", i, err)
-			}
-			p.sources[i].Schema = s
+		if s := src.declaredSchema(); s != nil {
+			p.schemas[i] = s
+			continue
 		}
+		s, err := src.inferSchema()
+		if err != nil {
+			return 0, fmt.Errorf("core: source %d: %w", i, err)
+		}
+		p.schemas[i] = s
 	}
-	return len(p.sources), nil
+	return len(p.inputs), nil
 }
 
-// findCandidates is Step 1, candidate query formulation & execution, plus
-// the Step 2 formulation: the description query σ compiles once per
-// (source, anchor).
+// findCandidates is the ingestion stage: Step 1 (candidate query
+// formulation & execution) fused with Steps 2–3 (description execution
+// and OD generation). Each source runs one ingest pass that emits
+// candidate anchors one at a time; every anchor is flattened into an OD
+// the moment it arrives and added to the store in batches, so a
+// streaming source's subtrees never accumulate. The fusion is what lets
+// corpora larger than RAM flow through: by the time the pass moves on,
+// all that survives of an anchor is its flat OD.
 func (p *pipelineRun) findCandidates() (int, error) {
 	candPaths := p.d.mapping.Paths(p.typeName)
 	if len(candPaths) == 0 {
 		return 0, fmt.Errorf("core: type %q has no candidate paths in the mapping", p.typeName)
 	}
-	p.descQueries = map[anchorKey][]*xpath.Path{}
-	for si, src := range p.sources {
-		for _, cp := range candPaths {
-			el := src.Schema.ElementAt(cp)
-			if el == nil {
-				continue // this source does not declare the path
-			}
-			q, err := xpath.Parse(cp)
-			if err != nil {
-				return 0, fmt.Errorf("core: candidate path %s: %w", cp, err)
-			}
-			key := anchorKey{si, cp}
-			if _, done := p.descQueries[key]; !done {
-				var paths []*xpath.Path
-				for _, sel := range p.d.cfg.Heuristic.Select(el) {
-					rel := heuristics.RelPath(el, sel)
-					rp, err := xpath.Parse(rel)
-					if err != nil {
-						return 0, fmt.Errorf("core: description path %s: %w", rel, err)
-					}
-					paths = append(paths, rp)
-				}
-				p.descQueries[key] = paths
-			}
-			for _, node := range q.Eval(src.Doc.Root) {
-				p.res.Candidates = append(p.res.Candidates, Candidate{
-					Node:     node,
-					Source:   si,
-					Path:     node.Path(),
-					SchemaEl: el,
-				})
-			}
+	p.store = p.d.newStore()
+	for si, src := range p.inputs {
+		active, err := p.compilePaths(candPaths, si, src.streaming())
+		if err != nil {
+			return 0, err
 		}
+		if len(active) == 0 {
+			continue // this source declares none of the candidate paths
+		}
+		sink := newIngestSink(p, si, active, src.streaming())
+		if err := src.ingest(active, sink.emit); err != nil {
+			return 0, fmt.Errorf("core: source %d: %w", si, err)
+		}
+		sink.finish()
 	}
 	if len(p.res.Candidates) == 0 {
 		return 0, fmt.Errorf("core: no candidates found for type %q", p.typeName)
@@ -186,32 +194,68 @@ func (p *pipelineRun) findCandidates() (int, error) {
 	return len(p.res.Candidates), nil
 }
 
-// describe is Steps 2 (execution) + 3: description queries run against
-// each candidate and the results flatten into ODs in the configured store.
-func (p *pipelineRun) describe() (int, error) {
-	p.store = p.d.newStore()
-	tuples := 0
-	for _, cand := range p.res.Candidates {
-		queries := p.descQueries[anchorKey{cand.Source, cand.SchemaEl.Path}]
-		o := &od.OD{Object: cand.Path, Source: cand.Source, Node: cand.Node}
-		for _, n := range xpath.EvalAll(queries, cand.Node) {
-			name := n.SchemaPath()
-			value := n.Text
-			if value == "" && p.d.mapping.IsComposite(name) {
-				value = n.TextContent()
-			}
-			o.Tuples = append(o.Tuples, od.Tuple{
-				Value: value,
-				Name:  name,
-				Type:  p.d.mapping.TypeOf(name),
-			})
+// compilePaths resolves the candidate paths a source declares and
+// compiles, per anchor, the candidate query and the description queries σ
+// the configured heuristic selects. Streaming sources only ever hold the
+// anchor subtree, so σ must select inside it: ancestor ("../..") and
+// unrelated (absolute) selections are rejected for them.
+func (p *pipelineRun) compilePaths(candPaths []string, si int, streaming bool) ([]ingestPath, error) {
+	var active []ingestPath
+	schema := p.schemas[si]
+	for _, cp := range candPaths {
+		el := schema.ElementAt(cp)
+		if el == nil {
+			continue // this source does not declare the path
 		}
-		tuples += len(o.Tuples)
-		p.store.Add(o)
+		q, err := xpath.Parse(cp)
+		if err != nil {
+			return nil, fmt.Errorf("core: candidate path %s: %w", cp, err)
+		}
+		var desc []*xpath.Path
+		for _, sel := range p.d.cfg.Heuristic.Select(el) {
+			rel := heuristics.RelPath(el, sel)
+			if streaming && rel != "." && !strings.HasPrefix(rel, "./") {
+				return nil, fmt.Errorf(
+					"core: source %d: description path %s selects outside the candidate subtree; streaming ingestion supports descendant selections only — use a DocSource with this heuristic", si, rel)
+			}
+			rp, err := xpath.Parse(rel)
+			if err != nil {
+				return nil, fmt.Errorf("core: description path %s: %w", rel, err)
+			}
+			desc = append(desc, rp)
+		}
+		active = append(active, ingestPath{schemaPath: cp, el: el, query: q, desc: desc})
 	}
+	return active, nil
+}
+
+// flatten runs the anchor's description queries and produces its OD —
+// Steps 2+3 for one candidate. The OD's Object path is filled in by the
+// sink (immediately for doc sources, after the pass for streams).
+func (p *pipelineRun) flatten(ap *ingestPath, node *xmltree.Node, si int) *od.OD {
+	o := &od.OD{Source: si, Node: node}
+	for _, n := range xpath.EvalAll(ap.desc, node) {
+		name := n.SchemaPath()
+		value := n.Text
+		if value == "" && p.d.mapping.IsComposite(name) {
+			value = n.TextContent()
+		}
+		o.Tuples = append(o.Tuples, od.Tuple{
+			Value: value,
+			Name:  name,
+			Type:  p.d.mapping.TypeOf(name),
+		})
+	}
+	return o
+}
+
+// describe finishes Step 3: the ODs ingested by findCandidates are sealed
+// into the store's occurrence and similarity indexes. Its item count is
+// the number of OD tuples generated during ingestion.
+func (p *pipelineRun) describe() (int, error) {
 	p.store.Finalize(p.d.cfg.ThetaTuple)
 	p.res.Store = p.store
-	return tuples, nil
+	return p.tupleCount, nil
 }
 
 // reduce is Step 4, comparison reduction via the object filter.

@@ -44,13 +44,19 @@ func (t Tuple) occKey() string {
 	return t.Type + "\x00" + t.Value
 }
 
-// OD is the description of one duplicate candidate.
+// OD is the description of one duplicate candidate. Node is a
+// convenience pointer back at the candidate element; it is nil when the
+// OD was flattened from a transient subtree (streaming ingestion) or
+// built without a tree (tests). No store index or similarity computation
+// reads it, but consumers that re-examine the original element — e.g.
+// the tree-edit baseline — require it and only work with materialized
+// sources.
 type OD struct {
 	ID     int32  // index in the store
 	Object string // positionally qualified XPath of the candidate element
 	Source int    // which input document the candidate came from
 	Tuples []Tuple
-	Node   *xmltree.Node // the candidate element itself (may be nil in tests)
+	Node   *xmltree.Node
 }
 
 // NonEmptyTuples returns the tuples carrying actual data. Tuples with empty
@@ -88,7 +94,11 @@ type TypeStats struct {
 // query deterministically — the detection pipeline's output for a given
 // input must not depend on the backend chosen.
 type Store interface {
-	// Add appends an OD, assigning its ID. Must precede Finalize.
+	// Add appends an OD, assigning its ID. Must precede Finalize. The
+	// OD's Tuples are final at Add time, but Object may still be empty
+	// and filled in by the caller any time before Finalize: streaming
+	// ingestion resolves positional paths only once its pass completes.
+	// Backends must therefore not snapshot Object before Finalize.
 	Add(o *OD) *OD
 	// Finalize builds the occurrence and similarity indexes for θtuple.
 	Finalize(theta float64)

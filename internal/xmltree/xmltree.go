@@ -43,6 +43,22 @@ type Document struct {
 	Root *Node
 }
 
+// FromStartElement builds a detached Node from an encoding/xml start
+// token, applying the model's attribute policy: namespace declarations
+// (xmlns and xmlns:*) are dropped, all other attributes keep their local
+// name. Parse and the streaming scanner (internal/xmlstream) share this
+// conversion so both produce identical nodes for the same token stream.
+func FromStartElement(t xml.StartElement) *Node {
+	n := &Node{Name: t.Name.Local}
+	for _, a := range t.Attr {
+		if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+			continue
+		}
+		n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
+	}
+	return n
+}
+
 // Parse reads an XML document from r and builds its tree.
 func Parse(r io.Reader) (*Document, error) {
 	dec := xml.NewDecoder(r)
@@ -58,13 +74,7 @@ func Parse(r io.Reader) (*Document, error) {
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
-			n := &Node{Name: t.Name.Local}
-			for _, a := range t.Attr {
-				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
-					continue
-				}
-				n.Attrs = append(n.Attrs, Attr{Name: a.Name.Local, Value: a.Value})
-			}
+			n := FromStartElement(t)
 			if len(stack) == 0 {
 				if root != nil {
 					return nil, fmt.Errorf("xmltree: parse: multiple root elements")

@@ -380,3 +380,65 @@ func nodeNames(nodes []*Node) []string {
 	}
 	return out
 }
+
+// TestParseDropsCommentsAndPIs pins the document model's normalization:
+// comments, processing instructions and the XML declaration leave no
+// trace in the tree — neither as nodes nor as text. The streaming scanner
+// (internal/xmlstream) is asserted token-for-token against this behavior.
+func TestParseDropsCommentsAndPIs(t *testing.T) {
+	doc, err := ParseString(`<?xml version="1.0"?>
+<!-- top comment -->
+<a>
+  <?target data?>
+  <b>x<!-- inline -->y</b>
+  <!-- between -->
+  <c/>
+</a>
+<!-- trailing comment -->`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeNames(doc.Root.Children); !reflect.DeepEqual(got, []string{"b", "c"}) {
+		t.Fatalf("children = %v, want [b c]", got)
+	}
+	// Character data around an inline comment concatenates: the comment
+	// itself contributes nothing.
+	if got := doc.Root.Child("b").Text; got != "xy" {
+		t.Errorf("b text = %q, want %q", got, "xy")
+	}
+	if got := doc.Root.Text; got != "" {
+		t.Errorf("root text = %q, want empty (PIs and comments drop)", got)
+	}
+}
+
+// TestParseMergesCDATA pins CDATA handling: section boundaries vanish and
+// their raw content merges into the surrounding character data before the
+// trim at element close.
+func TestParseMergesCDATA(t *testing.T) {
+	doc, err := ParseString(`<a><b>one <![CDATA[<two> & three]]> four</b><c><![CDATA[  only  ]]></c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root.Child("b").Text; got != "one <two> & three four" {
+		t.Errorf("b text = %q", got)
+	}
+	// Leading/trailing whitespace trims even when it came from CDATA.
+	if got := doc.Root.Child("c").Text; got != "only" {
+		t.Errorf("c text = %q, want %q", got, "only")
+	}
+}
+
+// TestFromStartElement pins the shared element-conversion policy: local
+// names win, xmlns declarations drop, other attributes keep local names.
+func TestFromStartElement(t *testing.T) {
+	doc, err := ParseString(`<a xmlns="http://d" xmlns:p="http://p" p:id="1" name="n"/>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Root.Attrs) != 2 {
+		t.Fatalf("attrs = %+v, want id and name only", doc.Root.Attrs)
+	}
+	if v, ok := doc.Root.Attr("id"); !ok || v != "1" {
+		t.Errorf("id attr = %q, %v", v, ok)
+	}
+}

@@ -12,6 +12,7 @@
 package xsd
 
 import (
+	"encoding/xml"
 	"fmt"
 	"io"
 	"regexp"
@@ -448,6 +449,141 @@ func InferValueType(v string) DataType {
 	}
 }
 
+// inferStats accumulates the per-schema-path evidence inference builds a
+// schema from. One instance exists per distinct schema path.
+type inferStats struct {
+	elem        *Element
+	hasText     bool
+	hasChild    bool
+	parents     int // parent instances observed
+	occurrences int
+	present     int // parent instances containing >=1
+	maxPer      int
+	posSum      float64 // sum of first-occurrence sibling indexes
+	posCount    int
+	values      map[string]int
+	valueCount  int
+	typeVotes   map[DataType]int
+}
+
+// inferFrame is one open element while evidence is collected. Text is the
+// raw concatenated character data (trimmed at close, matching
+// xmltree.Parse), counts/firstPos the per-child-name occurrence
+// bookkeeping and childIdx the running index over all children.
+type inferFrame struct {
+	path     string
+	text     strings.Builder
+	counts   map[string]int
+	firstPos map[string]int
+	childIdx int
+}
+
+// inferBuilder is the event-driven core of schema inference. Both Infer
+// (fed from a materialized tree walk) and InferReader (fed from
+// encoding/xml token events) drive the same builder, so the streaming
+// variant is guaranteed to derive the identical schema.
+type inferBuilder struct {
+	byPath   map[string]*inferStats
+	order    []string
+	stack    []*inferFrame
+	rootName string
+}
+
+func newInferBuilder() *inferBuilder {
+	return &inferBuilder{byPath: map[string]*inferStats{}}
+}
+
+func (b *inferBuilder) stats(path string) *inferStats {
+	st, ok := b.byPath[path]
+	if !ok {
+		st = &inferStats{values: map[string]int{}, typeVotes: map[DataType]int{}}
+		b.byPath[path] = st
+		b.order = append(b.order, path)
+	}
+	return st
+}
+
+// open records the start of an element. Roots of successive documents must
+// share one name, mirroring the multi-document contract of Infer.
+func (b *inferBuilder) open(name string) error {
+	var path string
+	if len(b.stack) == 0 {
+		if b.rootName == "" {
+			b.rootName = name
+		} else if b.rootName != name {
+			return fmt.Errorf("xsd: documents have different roots %q vs %q", b.rootName, name)
+		}
+		path = "/" + name
+	} else {
+		parent := b.stack[len(b.stack)-1]
+		if _, seen := parent.counts[name]; !seen {
+			parent.firstPos[name] = parent.childIdx
+		}
+		parent.counts[name]++
+		parent.childIdx++
+		path = parent.path + "/" + name
+	}
+	b.stats(path).occurrences++
+	b.stack = append(b.stack, &inferFrame{
+		path:     path,
+		counts:   map[string]int{},
+		firstPos: map[string]int{},
+	})
+	return nil
+}
+
+// text appends raw character data to the open element.
+func (b *inferBuilder) text(s string) {
+	if len(b.stack) > 0 {
+		b.stack[len(b.stack)-1].text.WriteString(s)
+	}
+}
+
+// close records the end of the open element, folding its text and
+// per-child-name occurrence evidence into the path stats.
+func (b *inferBuilder) close() {
+	f := b.stack[len(b.stack)-1]
+	b.stack = b.stack[:len(b.stack)-1]
+	st := b.byPath[f.path]
+	if txt := strings.TrimSpace(f.text.String()); txt != "" {
+		st.hasText = true
+		st.values[txt]++
+		st.valueCount++
+		st.typeVotes[InferValueType(txt)]++
+	}
+	if f.childIdx > 0 {
+		st.hasChild = true
+	}
+	for name, cnt := range f.counts {
+		cst := b.byPath[f.path+"/"+name]
+		cst.present++
+		if cnt > cst.maxPer {
+			cst.maxPer = cnt
+		}
+		cst.posSum += float64(f.firstPos[name])
+		cst.posCount++
+	}
+}
+
+// walkDoc feeds one materialized document through the event interface.
+func (b *inferBuilder) walkDoc(d *xmltree.Document) error {
+	var walk func(n *xmltree.Node) error
+	walk = func(n *xmltree.Node) error {
+		if err := b.open(n.Name); err != nil {
+			return err
+		}
+		b.text(n.Text)
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		b.close()
+		return nil
+	}
+	return walk(d.Root)
+}
+
 // Infer derives a schema from instance documents. All documents must share
 // the same root element name. Inferred facts: the element tree, per-element
 // minOccurs (0 if any parent instance lacks the child), maxOccurs (>1 or
@@ -460,78 +596,67 @@ func Infer(docs ...*xmltree.Document) (*Schema, error) {
 	if len(docs) == 0 {
 		return nil, fmt.Errorf("xsd: Infer needs at least one document")
 	}
-	rootName := docs[0].Root.Name
-	for _, d := range docs[1:] {
-		if d.Root.Name != rootName {
-			return nil, fmt.Errorf("xsd: documents have different roots %q vs %q", rootName, d.Root.Name)
-		}
-	}
-	type stats struct {
-		elem        *Element
-		hasText     bool
-		hasChild    bool
-		parents     int // parent instances observed
-		occurrences int
-		present     int // parent instances containing >=1
-		maxPer      int
-		posSum      float64 // sum of first-occurrence sibling indexes
-		posCount    int
-		values      map[string]int
-		valueCount  int
-		typeVotes   map[DataType]int
-	}
-	byPath := map[string]*stats{}
-	order := []string{}
-
-	getStats := func(path string) *stats {
-		st, ok := byPath[path]
-		if !ok {
-			st = &stats{values: map[string]int{}, typeVotes: map[DataType]int{}}
-			byPath[path] = st
-			order = append(order, path)
-		}
-		return st
-	}
-
-	var walk func(n *xmltree.Node)
-	walk = func(n *xmltree.Node) {
-		path := n.SchemaPath()
-		st := getStats(path)
-		st.occurrences++
-		if n.Text != "" {
-			st.hasText = true
-			st.values[n.Text]++
-			st.valueCount++
-			st.typeVotes[InferValueType(n.Text)]++
-		}
-		if len(n.Children) > 0 {
-			st.hasChild = true
-		}
-		// account children per child-name
-		counts := map[string]int{}
-		firstPos := map[string]int{}
-		for idx, c := range n.Children {
-			if counts[c.Name] == 0 {
-				firstPos[c.Name] = idx
-			}
-			counts[c.Name]++
-		}
-		for name, cnt := range counts {
-			cst := getStats(path + "/" + name)
-			cst.present++
-			if cnt > cst.maxPer {
-				cst.maxPer = cnt
-			}
-			cst.posSum += float64(firstPos[name])
-			cst.posCount++
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
+	b := newInferBuilder()
 	for _, d := range docs {
-		walk(d.Root)
+		if err := b.walkDoc(d); err != nil {
+			return nil, err
+		}
 	}
+	return b.build()
+}
+
+// InferReader is the single-pass streaming variant of Infer: it derives
+// the schema of one document directly from encoding/xml token events,
+// never materializing the tree, so inference memory is bounded by element
+// depth plus the distinct-path/value statistics — not document size. It
+// accepts exactly the token streams xmltree.Parse accepts (comments,
+// processing instructions and directives are skipped; CDATA merges into
+// character data) and derives the same schema Infer derives from the
+// parsed tree.
+func InferReader(r io.Reader) (*Schema, error) {
+	b := newInferBuilder()
+	dec := xml.NewDecoder(r)
+	sawRoot := false
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xsd: infer: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(b.stack) == 0 {
+				if sawRoot {
+					return nil, fmt.Errorf("xsd: infer: multiple root elements")
+				}
+				sawRoot = true
+			}
+			if err := b.open(t.Name.Local); err != nil {
+				return nil, err
+			}
+		case xml.EndElement:
+			if len(b.stack) == 0 {
+				return nil, fmt.Errorf("xsd: infer: unbalanced end element %s", t.Name.Local)
+			}
+			b.close()
+		case xml.CharData:
+			b.text(string(t))
+		}
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("xsd: infer: empty document")
+	}
+	if len(b.stack) != 0 {
+		return nil, fmt.Errorf("xsd: infer: unclosed element")
+	}
+	return b.build()
+}
+
+// build turns the accumulated evidence into a Schema.
+func (b *inferBuilder) build() (*Schema, error) {
+	byPath, order := b.byPath, b.order
 
 	// Fix parent totals: the number of instances of the parent path.
 	for path, st := range byPath {

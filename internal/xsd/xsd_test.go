@@ -1,6 +1,7 @@
 package xsd
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -373,5 +374,73 @@ func TestElementsDocOrder(t *testing.T) {
 	want := "/freedb /freedb/disc /freedb/disc/did /freedb/disc/artist /freedb/disc/title /freedb/disc/genre /freedb/disc/year /freedb/disc/cdextra /freedb/disc/tracks /freedb/disc/tracks/title"
 	if got := strings.Join(paths, " "); got != want {
 		t.Errorf("order = %s", got)
+	}
+}
+
+// TestInferReaderMatchesInfer is the streaming-inference contract: for
+// any document, InferReader over the serialized bytes must derive exactly
+// the schema Infer derives from the parsed tree — structure, content
+// models, data types, cardinalities and key flags alike.
+func TestInferReaderMatchesInfer(t *testing.T) {
+	const doc = `<freedb>
+  <disc><did>d1</did><artist>Orb</artist><title>Blue</title>
+    <tracks><track>one</track><track>two</track></tracks></disc>
+  <disc><did>d2</did><artist>Orb</artist><year>1998</year>
+    <tracks><track>uno</track></tracks></disc>
+</freedb>`
+	parsed, err := xmltree.ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Infer(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := InferReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := schemaFacts(got), schemaFacts(want); g != w {
+		t.Errorf("streaming inference diverges\n got: %s\nwant: %s", g, w)
+	}
+	// And again over a serialize → reparse round trip, the way streaming
+	// corpora on disk are produced.
+	var buf strings.Builder
+	if err := parsed.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := InferReader(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g, w := schemaFacts(got2), schemaFacts(want); g != w {
+		t.Errorf("round-tripped streaming inference diverges\n got: %s\nwant: %s", g, w)
+	}
+}
+
+// schemaFacts flattens every inferred fact of a schema into one
+// comparable string.
+func schemaFacts(s *Schema) string {
+	var sb strings.Builder
+	s.Root.Walk(func(e *Element) bool {
+		fmt.Fprintf(&sb, "%s type=%s content=%s min=%d max=%d key=%v\n",
+			e.Path, e.Type, e.Content, e.MinOccurs, e.MaxOccurs, e.IsKey)
+		return true
+	})
+	return sb.String()
+}
+
+func TestInferReaderErrors(t *testing.T) {
+	for _, tc := range []struct{ name, doc, wantErr string }{
+		{"empty", "", "empty document"},
+		{"multiple roots", "<a/><a/>", "multiple root"},
+		{"malformed", "<a><b></a>", "syntax error"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := InferReader(strings.NewReader(tc.doc))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
 	}
 }
