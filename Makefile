@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race vet fmt-check bench
+.PHONY: all build test test-race test-disk vet fmt-check bench fuzz clean
 
 all: build test vet fmt-check
 
@@ -25,5 +25,24 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+# Persistence-layer gate: the store parity suites, the doc-vs-stream
+# equivalence suite, the warm-start suite and the odcodec round-trip
+# tests, under the race detector. DiskStore segment dirs live in each
+# test's t.TempDir. CI runs this as its own job.
+test-disk:
+	$(GO) test -race -run 'Disk|Snapshot|WarmStart|Parity|Equivalence|RoundTrip|Corrupt|Truncat' \
+		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
+
+# Brief fuzz shake of the odcodec round-trip and manifest decoding.
+fuzz:
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzOpenManifest -fuzztime 20s ./internal/od/odcodec/
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Remove generated artifacts: benchfig's disk-store segments and any
+# stray dupcluster/figure output written into the working tree.
+clean:
+	rm -rf benchfig-store
+	rm -f benchfig-*.txt dupclusters*.xml

@@ -11,14 +11,18 @@
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
-// staged detection pipeline on Dataset 1 — on the single-map MemStore, on
-// the sharded store, and on the MemStore fed by the streaming ingestion
-// layer — and prints each stage's item count, wall time, live heap after
-// the stage (post-GC runtime.MemStats) and bytes allocated during it.
-// The live-heap column is where the streaming run's memory win shows:
-// the materialized runs hold the whole document tree through every
-// stage, the streamed run only ever holds one anchor subtree plus the
-// flat ODs.
+// staged detection pipeline on Dataset 1 — on the single-map MemStore,
+// on the sharded store, on the MemStore fed by the streaming ingestion
+// layer, and on the disk-backed store (segment files under -store-dir)
+// — and prints each stage's item count, wall time, live heap after the
+// stage (post-GC runtime.MemStats) and bytes allocated during it. Each
+// backend row ends with the heap retained while the finished result and
+// its store are still live: the in-memory backends retain the full
+// value indexes and grow with corpus size, the disk backend retains
+// only its directory and caches. The disk row additionally reports
+// open-vs-rebuild timing — how long reopening the persisted indexes
+// takes versus the infer+candidates+describe build they replace, the
+// warm-start win.
 package main
 
 import (
@@ -41,19 +45,20 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages all")
-		n      = flag.Int("n", 0, "corpus size (0 = paper scale)")
-		seed   = flag.Int64("seed", 2005, "generator seed")
-		shards = flag.Int("shards", 8, "shard count for the stages artifact's sharded run")
+		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages all")
+		n        = flag.Int("n", 0, "corpus size (0 = paper scale)")
+		seed     = flag.Int64("seed", 2005, "generator seed")
+		shards   = flag.Int("shards", 8, "shard count for the stages artifact's sharded run")
+		storeDir = flag.String("store-dir", "benchfig-store", "segment directory for the stages artifact's disk run (make clean removes it)")
 	)
 	flag.Parse()
-	if err := run(*fig, *n, *seed, *shards); err != nil {
+	if err := run(*fig, *n, *seed, *shards, *storeDir); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n int, seed int64, shards int) error {
+func run(fig string, n int, seed int64, shards int, storeDir string) error {
 	w := os.Stdout
 	want := func(name string) bool { return fig == "all" || fig == name }
 	ran := false
@@ -148,7 +153,7 @@ func run(fig string, n int, seed int64, shards int) error {
 	}
 	if want("stages") {
 		if err := timed("stages", func() error {
-			return runStages(w, orDefault(n, 2000), seed, shards)
+			return runStages(w, orDefault(n, 2000), seed, shards, storeDir)
 		}); err != nil {
 			return err
 		}
@@ -191,10 +196,12 @@ func (m *memSampler) StageDone(st core.StageStats) {
 func mb(b uint64) float64 { return float64(b) / (1 << 20) }
 
 // runStages profiles the staged pipeline end to end on Dataset 1, once
-// per backend — both materialized-document runs and a streamed run over
-// the serialized corpus — and prints each stage's item count, wall time
-// and memory profile.
-func runStages(w io.Writer, n int, seed int64, shards int) error {
+// per backend — materialized-document runs on all three stores and a
+// streamed run over the serialized corpus — and prints each stage's
+// item count, wall time and memory profile, the heap retained per
+// backend after the run, and the disk backend's open-vs-rebuild
+// timings.
+func runStages(w io.Writer, n int, seed int64, shards int, storeDir string) error {
 	ds, err := experiments.BuildDataset1(n, seed, dirty.Dataset1Params())
 	if err != nil {
 		return err
@@ -222,6 +229,10 @@ func runStages(w io.Writer, n int, seed int64, shards int) error {
 		{"memstore", nil, false},
 		{fmt.Sprintf("sharded-%d", shards), func() od.Store { return od.NewShardedStore(shards) }, false},
 		{"memstore-stream", nil, true},
+		// The disk row ingests streaming too: stream + disk store is
+		// the corpora-larger-than-RAM deployment shape, and it keeps
+		// the document tree out of the retained-heap number.
+		{"disk-stream", func() od.Store { return od.NewDiskStore(storeDir) }, true},
 	}
 	for _, be := range backends {
 		sampler := newMemSampler()
@@ -264,6 +275,33 @@ func runStages(w io.Writer, n int, seed int64, shards int) error {
 				st.Name, st.Items, st.Elapsed.Round(10*time.Microsecond),
 				mb(sampler.liveAfter[st.Name]), mb(sampler.allocated[st.Name]))
 		}
+		// Retained heap with the finished result and its store still
+		// live — the memory a server would hold onto between queries.
+		// The in-memory backends retain the full value indexes here;
+		// the disk backend only its directory and caches.
+		input = nil
+		runtime.GC()
+		var retained runtime.MemStats
+		runtime.ReadMemStats(&retained)
+		fmt.Fprintf(w, "  retained-heap=%6.1fMB (result + store live)\n", mb(retained.HeapAlloc))
+		if be.name == "disk-stream" {
+			var rebuild time.Duration
+			for _, name := range []string{core.StageInfer, core.StageCandidates, core.StageDescribe} {
+				if st, ok := res.StageByName(name); ok {
+					rebuild += st.Elapsed
+				}
+			}
+			begin := time.Now()
+			ds, err := od.OpenDiskStore(storeDir)
+			if err != nil {
+				return err
+			}
+			open := time.Since(begin)
+			ds.Close()
+			fmt.Fprintf(w, "  open=%v vs rebuild=%v (infer+candidates+describe)\n",
+				open.Round(10*time.Microsecond), rebuild.Round(10*time.Microsecond))
+		}
+		res = nil
 		runtime.GC() // drop this backend's result before the next run
 	}
 	return nil

@@ -5,7 +5,9 @@
 //
 //	dogmatix -map mapping.txt -type MOVIE [-schema doc.xsd] \
 //	         [-heuristic kd:6] [-ttuple 0.15] [-tcand 0.55] \
-//	         [-filter] [-pairs] [-stages] [-shards 8] [-workers 4] \
+//	         [-filter] [-pairs] [-stages] [-workers 4] \
+//	         [-store mem|sharded|disk] [-shards 8] \
+//	         [-store-dir DIR] [-reuse-index] \
 //	         [-stream] doc1.xml [doc2.xml ...]
 //
 // The mapping file associates real-world types with schema XPaths, one
@@ -15,21 +17,35 @@
 //	TITLE  $doc/moviedoc/movie/title
 //
 // Without -schema, each document's schema is inferred from its instances.
-// -shards N backs the run with the sharded OD store (N index shards,
-// parallel Finalize); the default is the single-map in-memory store and
-// both produce identical output. -stream ingests each document through
-// the pull parser instead of materializing it: peak memory is bounded by
-// the largest candidate subtree, not document size, so corpora larger
-// than RAM flow through (the output is bit-identical either way; without
-// -schema the file is read twice, once for streaming schema inference and
-// once for ingestion). The result is the Fig. 3 dupcluster XML on stdout;
-// -pairs additionally lists every detected pair with its similarity on
-// stderr, and -stages prints per-stage timings.
+//
+// Storage backends (-store): mem is the single-map in-memory store;
+// sharded partitions the indexes across -shards lock-striped shards
+// (parallel Finalize); disk builds the indexes into odcodec segment
+// files under -store-dir and serves queries from them, so the run's
+// retained memory stays bounded by its caches and the indexes survive
+// the process. All three produce identical output. The default resolves
+// to sharded when -shards is set and mem otherwise.
+//
+// -reuse-index enables index persistence across runs: the fresh run
+// saves the finalized indexes (stamped with a corpus fingerprint) into
+// -store-dir, and any later run whose inputs, mapping, heuristic and
+// θtuple match warm-starts from them — skipping schema inference,
+// ingestion and index construction. -stages shows the warmstart stage
+// when it hits.
+//
+// -stream ingests each document through the pull parser instead of
+// materializing it: peak memory is bounded by the largest candidate
+// subtree, not document size (the output is bit-identical either way;
+// without -schema the file is read twice). The result is the Fig. 3
+// dupcluster XML on stdout; -pairs additionally lists every detected
+// pair with its similarity on stderr, and -stages prints per-stage
+// timings.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -51,8 +67,11 @@ func main() {
 		showPairs  = flag.Bool("pairs", false, "list detected pairs with scores on stderr")
 		stats      = flag.Bool("stats", false, "print run statistics on stderr")
 		showStages = flag.Bool("stages", false, "print per-stage timings on stderr")
-		shards     = flag.Int("shards", 0, "back the run with a sharded OD store of N shards (0 = single-map store)")
+		store      = flag.String("store", "", "OD store backend: mem | sharded | disk (default: sharded when -shards is set, else mem)")
+		shards     = flag.Int("shards", 0, "index shard count for the sharded store")
 		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
+		storeDir   = flag.String("store-dir", "", "directory for disk-store segments / index snapshots")
+		reuseIndex = flag.Bool("reuse-index", false, "warm-start from a matching index snapshot in -store-dir (and save one after a fresh build)")
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
 	)
@@ -61,10 +80,11 @@ func main() {
 		mapFile: *mapFile, typeName: *typeName, xsdFile: *xsdFile,
 		heuristic: *heuristic, ttuple: *ttuple, tcand: *tcand,
 		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
-		showStages: *showStages, shards: *shards, workers: *workers,
+		showStages: *showStages, store: *store, shards: *shards,
+		workers: *workers, storeDir: *storeDir, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
 	}
-	if err := run(opts, flag.Args()); err != nil {
+	if err := run(opts, flag.Args(), os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dogmatix:", err)
 		os.Exit(1)
 	}
@@ -74,17 +94,93 @@ type options struct {
 	mapFile, typeName, xsdFile, heuristic string
 	ttuple, tcand                         float64
 	useFilter, showPairs, stats           bool
-	showStages, stream                    bool
+	showStages, stream, reuseIndex        bool
 	shards, workers                       int
+	store, storeDir                       string
 	format                                string
 }
 
-func run(opts options, docs []string) error {
-	if opts.mapFile == "" || opts.typeName == "" {
+// Store backend names accepted by -store.
+const (
+	storeMem     = "mem"
+	storeSharded = "sharded"
+	storeDisk    = "disk"
+)
+
+// validate checks every flag combination up front — before any file is
+// opened or any pipeline stage runs — so misconfigurations surface as
+// one-line errors instead of failures deep inside the run. It also
+// resolves the defaults: an empty -store becomes sharded when -shards
+// is set (the pre--store CLI behavior) and mem otherwise, and -store
+// sharded without -shards gets 8 shards.
+func (o *options) validate(docs []string) error {
+	if o.mapFile == "" || o.typeName == "" {
 		return fmt.Errorf("-map and -type are required")
 	}
 	if len(docs) == 0 {
 		return fmt.Errorf("no input documents")
+	}
+	if o.workers < 0 {
+		return fmt.Errorf("-workers %d is negative", o.workers)
+	}
+	if o.shards < 0 {
+		return fmt.Errorf("-shards %d is negative", o.shards)
+	}
+	switch o.format {
+	case "xml", "json", "csv":
+	default:
+		return fmt.Errorf("unknown -format %q (want xml, json, csv)", o.format)
+	}
+	if o.store == "" {
+		if o.shards > 0 {
+			o.store = storeSharded
+		} else {
+			o.store = storeMem
+		}
+	}
+	switch o.store {
+	case storeMem, storeDisk:
+		if o.shards > 0 {
+			return fmt.Errorf("-shards only applies to -store sharded, not %q", o.store)
+		}
+	case storeSharded:
+		if o.shards == 0 {
+			o.shards = 8
+		}
+	default:
+		return fmt.Errorf("unknown -store %q (want %s, %s or %s)", o.store, storeMem, storeSharded, storeDisk)
+	}
+	if o.store == storeDisk && o.storeDir == "" {
+		return fmt.Errorf("-store disk needs -store-dir")
+	}
+	if o.reuseIndex && o.storeDir == "" {
+		return fmt.Errorf("-reuse-index needs -store-dir")
+	}
+	if o.storeDir != "" && o.store != storeDisk && !o.reuseIndex {
+		return fmt.Errorf("-store-dir is set but neither -store disk nor -reuse-index uses it")
+	}
+	return nil
+}
+
+// newStore resolves the validated options into a store factory for
+// core.Config; nil means the default MemStore.
+func (o *options) newStore() func() od.Store {
+	switch o.store {
+	case storeSharded:
+		return func() od.Store {
+			st := od.NewShardedStore(o.shards)
+			st.Workers = o.workers // -workers 1 keeps Finalize serial too
+			return st
+		}
+	case storeDisk:
+		return func() od.Store { return od.NewDiskStore(o.storeDir) }
+	}
+	return nil
+}
+
+func run(opts options, docs []string, stdout, stderr io.Writer) error {
+	if err := opts.validate(docs); err != nil {
+		return err
 	}
 
 	mf, err := os.Open(opts.mapFile)
@@ -139,13 +235,10 @@ func run(opts options, docs []string) error {
 		ThetaCand:  opts.tcand,
 		UseFilter:  opts.useFilter,
 		Workers:    opts.workers,
+		NewStore:   opts.newStore(),
 	}
-	if opts.shards > 0 {
-		cfg.NewStore = func() od.Store {
-			st := od.NewShardedStore(opts.shards)
-			st.Workers = opts.workers // -workers 1 keeps Finalize serial too
-			return st
-		}
+	if opts.reuseIndex {
+		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true}
 	}
 	det, err := core.NewDetector(mapping, cfg)
 	if err != nil {
@@ -158,29 +251,29 @@ func run(opts options, docs []string) error {
 
 	if opts.showPairs {
 		for _, p := range res.Pairs {
-			fmt.Fprintf(os.Stderr, "pair %s <-> %s sim=%.3f\n",
+			fmt.Fprintf(stderr, "pair %s <-> %s sim=%.3f\n",
 				res.Candidates[p.I].Path, res.Candidates[p.J].Path, p.Score)
 		}
 	}
 	if opts.showStages {
 		for _, st := range res.Stages {
-			fmt.Fprintf(os.Stderr, "stage %-10s items=%-8d elapsed=%v\n",
+			fmt.Fprintf(stderr, "stage %-10s items=%-8d elapsed=%v\n",
 				st.Name, st.Items, st.Elapsed)
 		}
 	}
 	if opts.stats {
-		fmt.Fprintf(os.Stderr,
-			"candidates=%d pruned=%d compared=%d pairs=%d clusters=%d elapsed=%v\n",
+		fmt.Fprintf(stderr,
+			"candidates=%d pruned=%d compared=%d pairs=%d clusters=%d warm-start=%v elapsed=%v\n",
 			res.Stats.Candidates, res.Stats.Pruned, res.Stats.Compared,
-			res.Stats.PairsDetected, len(res.Clusters), res.Stats.Elapsed)
+			res.Stats.PairsDetected, len(res.Clusters), res.WarmStart, res.Stats.Elapsed)
 	}
 	switch opts.format {
 	case "xml":
-		return res.WriteXML(os.Stdout)
+		return res.WriteXML(stdout)
 	case "json":
-		return res.WriteJSON(os.Stdout)
+		return res.WriteJSON(stdout)
 	case "csv":
-		return res.WritePairsCSV(os.Stdout)
+		return res.WritePairsCSV(stdout)
 	default:
 		return fmt.Errorf("unknown -format %q (want xml, json, csv)", opts.format)
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestValidateFlagCombinations pins the upfront CLI validation: every
+// bad combination fails with a one-line error before any file opens,
+// and the legacy defaults resolve as documented.
+func TestValidateFlagCombinations(t *testing.T) {
+	base := options{mapFile: "m.txt", typeName: "T", format: "xml"}
+	docs := []string{"a.xml"}
+
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		docs    []string
+		wantErr string
+	}{
+		{"missing-map", func(o *options) { o.mapFile = "" }, docs, "-map and -type"},
+		{"missing-type", func(o *options) { o.typeName = "" }, docs, "-map and -type"},
+		{"no-docs", func(o *options) {}, nil, "no input documents"},
+		{"negative-workers", func(o *options) { o.workers = -1 }, docs, "-workers"},
+		{"negative-shards", func(o *options) { o.shards = -4 }, docs, "-shards"},
+		{"bad-format", func(o *options) { o.format = "yaml" }, docs, "-format"},
+		{"bad-store", func(o *options) { o.store = "redis" }, docs, "unknown -store"},
+		{"mem-with-shards", func(o *options) { o.store = "mem"; o.shards = 8 }, docs, "-shards only applies"},
+		{"disk-with-shards", func(o *options) { o.store = "disk"; o.storeDir = "d"; o.shards = 8 }, docs, "-shards only applies"},
+		{"disk-without-dir", func(o *options) { o.store = "disk" }, docs, "-store disk needs -store-dir"},
+		{"reuse-without-dir", func(o *options) { o.reuseIndex = true }, docs, "-reuse-index needs -store-dir"},
+		{"dir-without-user", func(o *options) { o.storeDir = "d" }, docs, "-store-dir is set but"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mutate(&o)
+			err := o.validate(tc.docs)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	t.Run("defaults-resolve", func(t *testing.T) {
+		o := base
+		if err := o.validate(docs); err != nil || o.store != storeMem {
+			t.Fatalf("empty -store resolved to %q (%v), want mem", o.store, err)
+		}
+		o = base
+		o.shards = 4
+		if err := o.validate(docs); err != nil || o.store != storeSharded || o.shards != 4 {
+			t.Fatalf("-shards 4 resolved to %q/%d (%v), want sharded/4", o.store, o.shards, err)
+		}
+		o = base
+		o.store = storeSharded
+		if err := o.validate(docs); err != nil || o.shards != 8 {
+			t.Fatalf("-store sharded resolved to %d shards (%v), want 8", o.shards, err)
+		}
+		o = base
+		o.store = storeDisk
+		o.storeDir = "d"
+		if err := o.validate(docs); err != nil {
+			t.Fatalf("valid disk config rejected: %v", err)
+		}
+	})
+}
+
+// TestRunDiskStoreAndReuse drives the CLI end to end twice against a
+// tiny corpus: the first run builds on the disk backend and saves a
+// stamped snapshot, the second warm-starts from it; both emit the same
+// dupcluster XML.
+func TestRunDiskStoreAndReuse(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "db.xml")
+	mapPath := filepath.Join(dir, "map.txt")
+	storeDir := filepath.Join(dir, "store")
+	const doc = `<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Gamma Delta</name><id>3</id></rec>
+</db>`
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mapPath, []byte("REC /db/rec\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := options{
+		mapFile: mapPath, typeName: "REC", heuristic: "rd:1",
+		ttuple: 0.30, tcand: 0.55, format: "xml",
+		store: storeDisk, storeDir: storeDir, reuseIndex: true,
+		stats: true,
+	}
+
+	var out1, err1 bytes.Buffer
+	if err := run(opts, []string{docPath}, &out1, &err1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(err1.String(), "warm-start=false") {
+		t.Fatalf("first run stats: %s", err1.String())
+	}
+	if !strings.Contains(out1.String(), "dupcluster") {
+		t.Fatalf("no cluster output: %s", out1.String())
+	}
+
+	var out2, err2 bytes.Buffer
+	if err := run(opts, []string{docPath}, &out2, &err2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(err2.String(), "warm-start=true") {
+		t.Fatalf("second run did not warm-start: %s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatalf("warm output diverges:\n first: %s\nsecond: %s", out1.String(), out2.String())
+	}
+}

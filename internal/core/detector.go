@@ -13,6 +13,11 @@
 //	            over lossless shared-value blocking)
 //	cluster     Step 6  duplicate clustering (transitive closure)
 //
+// With Config.Snapshot set, two more stages join the chain: warmstart
+// (replaces infer/candidates/describe when a persisted index snapshot
+// matches the corpus fingerprint) and snapshot (persists the finalized
+// indexes after a fresh build). See SnapshotOptions.
+//
 // Each stage is a named, independently timed unit (see StageStats and
 // Observer in pipeline.go). Where the XML comes from is pluggable through
 // the SourceInput seam (DocSource for in-memory trees, StreamSource for
@@ -246,8 +251,16 @@ type Config struct {
 	Workers int
 	// NewStore constructs the OD store backing Steps 3–5. nil uses
 	// od.NewMemStore; pass e.g. func() od.Store { return
-	// od.NewShardedStore(8) } to parallelize index construction.
+	// od.NewShardedStore(8) } to parallelize index construction, or
+	// od.NewDiskStore(dir) to serve the indexes from segment files.
+	// Ignored when a warm start adopts a persisted store.
 	NewStore func() od.Store
+	// Snapshot, when non-nil, enables index persistence: Save writes the
+	// finalized indexes (and, with the default filter, the Step 4
+	// bounds) to Snapshot.Dir after a fresh build; Reuse warm-starts
+	// from a snapshot whose corpus fingerprint matches, skipping
+	// infer/candidates/describe entirely. See SnapshotOptions.
+	Snapshot *SnapshotOptions
 	// Comparator overrides the Step 5 scoring/classification strategy.
 	// nil uses the paper's sim.Classifier built from the θ values above.
 	// Caution: shared-value blocking and the Step 4 filter bound are
@@ -283,6 +296,14 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.ThetaPossible > c.ThetaCand {
 		return c, fmt.Errorf("core: θpossible %v above θcand %v", c.ThetaPossible, c.ThetaCand)
+	}
+	if c.Snapshot != nil {
+		if c.Snapshot.Dir == "" {
+			return c, fmt.Errorf("core: snapshot options need a directory")
+		}
+		if !c.Snapshot.Reuse && !c.Snapshot.Save {
+			return c, fmt.Errorf("core: snapshot options enable neither Reuse nor Save")
+		}
 	}
 	return c, nil
 }
@@ -330,6 +351,11 @@ type Result struct {
 	// order.
 	Stages []StageStats
 	Stats  Stats
+	// WarmStart reports that the run adopted a persisted index snapshot
+	// instead of building one (Config.Snapshot.Reuse hit). Warm-started
+	// Candidates carry nil Node and SchemaEl pointers: no tree or
+	// schema survives a restart, matching the streaming contract.
+	WarmStart bool
 }
 
 // Detector runs DogmatiX for one mapping and configuration.
@@ -383,7 +409,12 @@ func (d *Detector) DetectInputs(typeName string, inputs ...SourceInput) (*Result
 		comparator: d.comparator(),
 		filter:     d.objectFilter(),
 	}
-	if err := p.run(d.stages()); err != nil {
+	if d.cfg.Snapshot != nil && d.cfg.Snapshot.Reuse {
+		if err := p.runOne(pipelineStage{StageWarmStart, (*pipelineRun).warmStart}); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.run(d.stages(p.warm)); err != nil {
 		return nil, err
 	}
 	p.res.Stats.Elapsed = time.Since(start)

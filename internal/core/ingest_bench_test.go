@@ -3,12 +3,15 @@ package core_test
 import (
 	"bytes"
 	"io"
+	"path/filepath"
 	"runtime"
+	"strconv"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/heuristics"
+	"repro/internal/od"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
 )
@@ -95,6 +98,36 @@ func BenchmarkIngest(b *testing.B) {
 				},
 			}
 			return det.DetectInputs("DISC", src)
+		})
+	})
+	// Stream ingestion into the disk-backed store: the retained-MB
+	// column is what the persistence layer buys — the value indexes
+	// live in segment files, so the Result retains only candidates,
+	// filter output and the store's fixed-capacity caches, while both
+	// in-memory rows grow with corpus size.
+	b.Run("streamed-disk", func(b *testing.B) {
+		dir := b.TempDir()
+		n := 0
+		detDisk, err := core.NewDetector(mapping, core.Config{
+			Heuristic:  heuristics.KClosestDescendants(6),
+			FilterOnly: true,
+			NewStore: func() od.Store {
+				n++
+				return od.NewDiskStore(filepath.Join(dir, strconv.Itoa(n)))
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		measure(b, func() (*core.Result, error) {
+			src := &core.StreamSource{
+				Name:   "freedb",
+				Schema: schema,
+				Open: func() (io.ReadCloser, error) {
+					return io.NopCloser(bytes.NewReader(data)), nil
+				},
+			}
+			return detDisk.DetectInputs("DISC", src)
 		})
 	})
 }

@@ -31,6 +31,17 @@ const (
 	StageReduce     = "reduce"
 	StageCompare    = "compare"
 	StageCluster    = "cluster"
+
+	// StageWarmStart replaces infer/candidates/describe when
+	// Config.Snapshot.Reuse finds a matching persisted index: it opens
+	// the snapshot, verifies the corpus fingerprint and adopts the
+	// stored candidates and indexes. Zero items reported means the
+	// snapshot missed and the fresh chain ran instead.
+	StageWarmStart = "warmstart"
+	// StageSnapshot runs after reduce on fresh builds with
+	// Config.Snapshot.Save: it stamps the finalized store with the
+	// corpus fingerprint and persists it for future warm starts.
+	StageSnapshot = "snapshot"
 )
 
 // StageStats reports one executed pipeline stage.
@@ -78,6 +89,11 @@ type pipelineRun struct {
 	filter     sim.ObjectFilter
 	tupleCount int // OD tuples flattened during ingestion
 	alive      []bool
+
+	fp              string    // corpus fingerprint, computed at most once
+	warm            bool      // the warmstart stage adopted a snapshot
+	persistedFilter []float64 // filter bounds restored from the snapshot
+	filterValues    []float64 // filter bounds in effect after reduce
 }
 
 // ingestPath is one compiled (candidate path, description query) unit a
@@ -98,14 +114,23 @@ type ingestPath struct {
 // completed — sibling totals are not final earlier.
 type emitFunc func(pathIdx int, node *xmltree.Node, deferredPath func() string) error
 
-// stages returns the pipeline for the current configuration: the full six
-// steps, or a truncated chain when FilterOnly stops after Step 4.
-func (d *Detector) stages() []pipelineStage {
-	out := []pipelineStage{
-		{StageInfer, (*pipelineRun).inferSchemas},
-		{StageCandidates, (*pipelineRun).findCandidates},
-		{StageDescribe, (*pipelineRun).describe},
-		{StageReduce, (*pipelineRun).reduce},
+// stages returns the pipeline for the current configuration. A fresh
+// build runs the full six steps (plus the snapshot stage when one is
+// being saved); a warm start already holds finalized indexes and
+// candidates, so only reduce/compare/cluster remain. FilterOnly
+// truncates either chain after Step 4.
+func (d *Detector) stages(warm bool) []pipelineStage {
+	var out []pipelineStage
+	if !warm {
+		out = append(out,
+			pipelineStage{StageInfer, (*pipelineRun).inferSchemas},
+			pipelineStage{StageCandidates, (*pipelineRun).findCandidates},
+			pipelineStage{StageDescribe, (*pipelineRun).describe},
+		)
+	}
+	out = append(out, pipelineStage{StageReduce, (*pipelineRun).reduce})
+	if !warm && d.cfg.Snapshot != nil && d.cfg.Snapshot.Save {
+		out = append(out, pipelineStage{StageSnapshot, (*pipelineRun).snapshot})
 	}
 	if !d.cfg.FilterOnly {
 		out = append(out,
@@ -119,23 +144,29 @@ func (d *Detector) stages() []pipelineStage {
 // run drives the stages in order, timing each one, recording StageStats on
 // the result and notifying the configured observer.
 func (p *pipelineRun) run(stages []pipelineStage) error {
-	obs := p.d.cfg.Observer
 	for _, st := range stages {
-		if obs != nil {
-			obs.StageStart(st.name)
-		}
-		begin := time.Now()
-		items, err := st.run(p)
-		stats := StageStats{Name: st.name, Items: items, Elapsed: time.Since(begin)}
-		p.res.Stages = append(p.res.Stages, stats)
-		if obs != nil {
-			obs.StageDone(stats)
-		}
-		if err != nil {
+		if err := p.runOne(st); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// runOne executes a single stage with timing, stats and observer
+// notifications.
+func (p *pipelineRun) runOne(st pipelineStage) error {
+	obs := p.d.cfg.Observer
+	if obs != nil {
+		obs.StageStart(st.name)
+	}
+	begin := time.Now()
+	items, err := st.run(p)
+	stats := StageStats{Name: st.name, Items: items, Elapsed: time.Since(begin)}
+	p.res.Stages = append(p.res.Stages, stats)
+	if obs != nil {
+		obs.StageDone(stats)
+	}
+	return err
 }
 
 // inferSchemas validates the sources and resolves a schema per source,
@@ -258,7 +289,11 @@ func (p *pipelineRun) describe() (int, error) {
 	return p.tupleCount, nil
 }
 
-// reduce is Step 4, comparison reduction via the object filter.
+// reduce is Step 4, comparison reduction via the object filter. On a
+// warm start whose snapshot persisted the default filter's bounds, the
+// recomputation is skipped and the persisted values are classified
+// against the (possibly changed) θcand directly — f(ODi) depends only
+// on the indexes and θtuple, both fingerprinted, never on θcand.
 func (p *pipelineRun) reduce() (int, error) {
 	cfg := p.d.cfg
 	n := p.store.Size()
@@ -270,11 +305,17 @@ func (p *pipelineRun) reduce() (int, error) {
 		p.res.FilterValues = make([]float64, n)
 	}
 	if cfg.UseFilter || cfg.KeepFilterValues {
-		ods := p.store.ODs()
-		filterValues := make([]float64, n)
-		p.d.parallelRange(n, func(i int) {
-			filterValues[i] = p.filter.Bound(p.store, ods[i])
-		})
+		var filterValues []float64
+		_, isDefault := p.filter.(sim.IndexFilter)
+		if p.warm && isDefault && len(p.persistedFilter) == n {
+			filterValues = p.persistedFilter
+		} else {
+			filterValues = make([]float64, n)
+			p.d.parallelRange(n, func(i int) {
+				filterValues[i] = p.filter.Bound(p.store, p.store.OD(int32(i)))
+			})
+		}
+		p.filterValues = filterValues
 		for i := 0; i < n; i++ {
 			if cfg.KeepFilterValues {
 				p.res.FilterValues[i] = filterValues[i]
@@ -302,7 +343,6 @@ const compareBatchSize = 32
 func (p *pipelineRun) compare() (int, error) {
 	cfg := p.d.cfg
 	n := p.store.Size()
-	ods := p.store.ODs()
 
 	type batchOut struct {
 		pairs    []Pair
@@ -318,31 +358,34 @@ func (p *pipelineRun) compare() (int, error) {
 		if hi > n {
 			hi = n
 		}
-		compare := func(i, j int32) {
-			out.compared++
-			score := p.comparator.Compare(p.store, ods[i], ods[j])
-			switch p.comparator.Classify(score) {
-			case sim.ClassDuplicate:
-				out.pairs = append(out.pairs, Pair{I: i, J: j, Score: score})
-			case sim.ClassPossible:
-				out.possible = append(out.possible, Pair{I: i, J: j, Score: score})
-			}
-		}
 		for idx := lo; idx < hi; idx++ {
 			i := int32(idx)
 			if !p.alive[i] {
 				continue
 			}
+			// Resolve the left-hand OD once per candidate, not once per
+			// pair — on a disk store OD() goes through a cache lookup.
+			oi := p.store.OD(i)
+			compare := func(j int32) {
+				out.compared++
+				score := p.comparator.Compare(p.store, oi, p.store.OD(j))
+				switch p.comparator.Classify(score) {
+				case sim.ClassDuplicate:
+					out.pairs = append(out.pairs, Pair{I: i, J: j, Score: score})
+				case sim.ClassPossible:
+					out.possible = append(out.possible, Pair{I: i, J: j, Score: score})
+				}
+			}
 			if cfg.DisableBlocking {
 				for j := i + 1; j < int32(n); j++ {
 					if p.alive[j] {
-						compare(i, j)
+						compare(j)
 					}
 				}
 			} else {
 				for _, j := range p.store.Neighbors(i) {
 					if j > i && p.alive[j] {
-						compare(i, j)
+						compare(j)
 					}
 				}
 			}

@@ -130,6 +130,21 @@ func TestDetectStoreParity(t *testing.T) {
 					t.Errorf("shards=%d store stats diverge", shards)
 				}
 			}
+			res := run(func() od.Store { return od.NewDiskStore(t.TempDir()) })
+			if got := detectFingerprint(res); got != want {
+				t.Errorf("disk store diverges from MemStore\n got: %s\nwant: %s", got, want)
+			}
+			// Stats parity modulo the Indexed flag: whether a backend
+			// builds a deletion neighborhood is strategy, not output.
+			norm := func(sts []od.TypeStats) []od.TypeStats {
+				for i := range sts {
+					sts[i].Indexed = false
+				}
+				return sts
+			}
+			if !reflect.DeepEqual(norm(res.Store.Stats()), norm(ref.Store.Stats())) {
+				t.Errorf("disk store stats diverge")
+			}
 		})
 	}
 }

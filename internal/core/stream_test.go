@@ -153,17 +153,24 @@ func TestStreamDocEquivalence(t *testing.T) {
 
 	backends := []struct {
 		name     string
-		newStore func() od.Store
+		newStore func(t *testing.T) func() od.Store
 	}{
-		{"memstore", nil},
-		{"sharded-4", func() od.Store { return od.NewShardedStore(4) }},
+		{"memstore", func(t *testing.T) func() od.Store { return nil }},
+		{"sharded-4", func(t *testing.T) func() od.Store {
+			return func() od.Store { return od.NewShardedStore(4) }
+		}},
+		// Each Detect call gets a fresh segment directory, so the doc
+		// and stream runs never share on-disk state.
+		{"disk", func(t *testing.T) func() od.Store {
+			return func() od.Store { return od.NewDiskStore(t.TempDir()) }
+		}},
 	}
 
 	for _, tc := range cases {
 		for _, be := range backends {
 			t.Run(tc.name+"/"+be.name, func(t *testing.T) {
 				cfg := tc.cfg
-				cfg.NewStore = be.newStore
+				cfg.NewStore = be.newStore(t)
 				det, err := core.NewDetector(tc.mapping, cfg)
 				if err != nil {
 					t.Fatal(err)

@@ -1,0 +1,351 @@
+package od
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/od/odcodec"
+	"repro/internal/strdist"
+)
+
+// DiskStore is the disk-resident Store backend: Finalize runs the same
+// shared index builder as the in-memory backends, then streams the
+// object descriptions and per-type value tables into odcodec segment
+// files and serves every query from those files. After Finalize (or
+// OpenDiskStore) the retained heap is bounded by the index directory
+// and the fixed-capacity caches — not by corpus size — and the segment
+// directory survives process restarts.
+//
+// Queries are answered with the same canonical results as MemStore:
+// similar-value scans re-verify θtuple with the exact same normalized
+// edit-distance checks, posting lists are stored sorted, and merged
+// outputs use the shared canonical orderings. The internal/od and
+// internal/core parity suites pin this bit-for-bit.
+//
+// Trade-off versus the in-memory backends: every uncached similar-value
+// query scans the type's value segment from disk (no deletion-
+// neighborhood index), so a cold DiskStore is the slowest backend per
+// query; and Finalize still materializes the tables while building, so
+// the build peak matches MemStore's — it is the post-build footprint
+// and the OpenDiskStore path that are bounded. Pick this backend when
+// indexes must outlive the process (warm starts), when the *retained*
+// indexes of a long-lived server must not scale with corpus size, or
+// as the serialization substrate for shipping indexes between
+// processes.
+type DiskStore struct {
+	dir string
+
+	// Build phase.
+	ods       []*OD
+	finalized bool
+
+	// Query phase.
+	r       *odcodec.Reader
+	theta   float64
+	size    int
+	stats   []TypeStats
+	budgets map[string]int
+
+	odCache  *shardedLRU[int32, *OD]
+	occCache *shardedLRU[string, []int32]
+	simCache *shardedLRU[string, []ValueMatch]
+
+	allMu  sync.Mutex
+	allODs []*OD // materialized by ODs() on demand
+}
+
+// Cache capacities. Entries are recomputable, so these only bound the
+// retained heap and the disk-read amplification; they are generous
+// enough that the hot working set of the compare stage (the values of
+// the objects in flight) stays resident.
+const (
+	diskODCacheSize  = 8192
+	diskOccCacheSize = 16384
+	diskSimCacheSize = 16384
+)
+
+var _ Store = (*DiskStore)(nil)
+
+// NewDiskStore returns an empty disk store that will write its segment
+// files into dir at Finalize, replacing any previous snapshot there.
+func NewDiskStore(dir string) *DiskStore {
+	return &DiskStore{dir: dir}
+}
+
+// OpenDiskStore opens the snapshot previously written to dir and
+// returns a store that starts life finalized: Add and Finalize panic,
+// every query serves from the segment files. The snapshot is fully
+// checksum-verified before the first query; corrupt or missing
+// snapshots are rejected (odcodec.ErrNoSnapshot, *odcodec.CorruptError).
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	r, err := odcodec.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &DiskStore{dir: dir, finalized: true}
+	s.serveFrom(r)
+	return s, nil
+}
+
+// Dir returns the snapshot directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+// Fingerprint returns the corpus fingerprint stamped on the snapshot,
+// or "" for a store finalized in-process and not yet stamped.
+func (s *DiskStore) Fingerprint() string {
+	s.mustBeFinal()
+	return s.r.Meta().Fingerprint
+}
+
+// PersistedFilterValues returns the Step 4 filter bounds persisted with
+// the snapshot, or nil. Index-aligned with OD ids.
+func (s *DiskStore) PersistedFilterValues() []float64 {
+	s.mustBeFinal()
+	return s.r.Meta().FilterValues
+}
+
+// Add implements Store.
+func (s *DiskStore) Add(o *OD) *OD {
+	if s.finalized {
+		panic("od: Add after Finalize")
+	}
+	o.ID = int32(len(s.ods))
+	s.ods = append(s.ods, o)
+	return o
+}
+
+// Size implements Store.
+func (s *DiskStore) Size() int {
+	if s.finalized {
+		return s.size
+	}
+	return len(s.ods)
+}
+
+// Theta implements Store.
+func (s *DiskStore) Theta() float64 { return s.theta }
+
+// Finalize implements Store: it builds the indexes with the shared
+// builder, writes the snapshot, drops the in-memory OD set and switches
+// to serving from disk. The Store interface allows no error return, so
+// an I/O failure while persisting panics with the underlying error —
+// a half-written snapshot is never committed (the manifest is written
+// last) and never served.
+func (s *DiskStore) Finalize(theta float64) {
+	if s.finalized {
+		panic("od: Finalize called twice")
+	}
+	s.finalized = true
+
+	occ := buildOccurrence(s.ods)
+	valueObjs := groupValuesByType(occ)
+	maxLens := maxValueLens(valueObjs)
+
+	w, err := odcodec.NewWriter(s.dir)
+	if err != nil {
+		panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+	}
+	defer w.Abort()
+	if err := writeODs(w, s.ods); err != nil {
+		panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+	}
+	types := make([]string, 0, len(valueObjs))
+	for typ := range valueObjs {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		m := valueObjs[typ]
+		if err := w.BeginType(typ, maxLens[typ], editBudget(theta, maxLens[typ])); err != nil {
+			panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+		}
+		values := make([]string, 0, len(m))
+		for v := range m {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		for _, v := range values {
+			if err := w.AddValue(v, m[v]); err != nil {
+				panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+			}
+		}
+	}
+	if err := w.Commit(odcodec.Meta{Theta: theta}); err != nil {
+		panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+	}
+
+	s.ods = nil // from here on the segment files are the store
+	r, err := odcodec.Open(s.dir)
+	if err != nil {
+		panic(fmt.Sprintf("od: DiskStore finalize: reopen own snapshot: %v", err))
+	}
+	s.serveFrom(r)
+}
+
+// serveFrom installs the reader and derives the query-phase state.
+func (s *DiskStore) serveFrom(r *odcodec.Reader) {
+	s.r = r
+	meta := r.Meta()
+	s.theta = meta.Theta
+	s.size = meta.NumODs
+	s.budgets = map[string]int{}
+	s.stats = nil
+	for _, tm := range r.Types() {
+		s.budgets[tm.Name] = tm.Budget
+		s.stats = append(s.stats, TypeStats{
+			Type:           tm.Name,
+			DistinctValues: tm.NumValues,
+			MaxLen:         tm.MaxLen,
+			EditBudget:     tm.Budget,
+			Indexed:        false, // scans, never a deletion neighborhood
+		})
+	}
+	s.odCache = newShardedLRU[int32, *OD](diskODCacheSize, hashID)
+	s.occCache = newShardedLRU[string, []int32](diskOccCacheSize, hashKey)
+	s.simCache = newShardedLRU[string, []ValueMatch](diskSimCacheSize, hashKey)
+}
+
+// Close releases the segment file handles. Queries after Close fail;
+// the store object is done. Callers that obtained the store through
+// the pipeline generally leak the handles to process exit instead,
+// like any other Store they would drop.
+func (s *DiskStore) Close() error {
+	if s.r == nil {
+		return nil
+	}
+	return s.r.Close()
+}
+
+// OD implements Store, decoding the record from disk through a
+// fixed-capacity cache.
+func (s *DiskStore) OD(id int32) *OD {
+	s.mustBeFinal()
+	if o, ok := s.odCache.get(id); ok {
+		return o
+	}
+	obj, src, tuples, err := s.r.OD(id)
+	if err != nil {
+		panic(fmt.Sprintf("od: DiskStore: %v", err))
+	}
+	o := &OD{ID: id, Object: obj, Source: int(src), Tuples: make([]Tuple, len(tuples))}
+	for i, t := range tuples {
+		o.Tuples[i] = Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
+	}
+	s.odCache.put(id, o)
+	return o
+}
+
+// ODs implements Store. For a disk store this materializes every OD in
+// memory on first call and keeps the slice — the escape hatch for
+// consumers that genuinely need the whole set (the tree-edit baseline,
+// diagnostics). The pipeline itself only uses OD(id).
+func (s *DiskStore) ODs() []*OD {
+	s.mustBeFinal()
+	s.allMu.Lock()
+	defer s.allMu.Unlock()
+	if s.allODs == nil {
+		s.allODs = make([]*OD, s.size)
+		for id := int32(0); id < int32(s.size); id++ {
+			s.allODs[id] = s.OD(id)
+		}
+	}
+	return s.allODs
+}
+
+// ObjectsWithExact implements Store.
+func (s *DiskStore) ObjectsWithExact(t Tuple) []int32 {
+	s.mustBeFinal()
+	key := t.occKey()
+	if ids, ok := s.occCache.get(key); ok {
+		return ids
+	}
+	ids, ok, err := s.r.LookupValue(t.Type, t.Value)
+	if err != nil {
+		panic(fmt.Sprintf("od: DiskStore: %v", err))
+	}
+	if !ok {
+		ids = nil
+	}
+	s.occCache.put(key, ids)
+	return ids
+}
+
+// SimilarValues implements Store: a sequential scan of the type's value
+// segment with the same length-window pruning and θtuple re-check as
+// the in-memory scan path, so the result set and order are identical.
+func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
+	s.mustBeFinal()
+	if t.Value == "" {
+		return nil
+	}
+	if _, ok := s.budgets[t.Type]; !ok {
+		return nil
+	}
+	cacheKey := t.occKey()
+	if m, ok := s.simCache.get(cacheKey); ok {
+		return m
+	}
+	q := t.Value
+	qLen := len([]rune(q))
+	var out []ValueMatch
+	err := s.r.ScanType(t.Type, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+		m := qLen
+		if runeLen > m {
+			m = runeLen
+		}
+		budget := strdist.MaxEditsBelow(s.theta, m)
+		if budget < 0 || strdist.Abs(qLen-runeLen) > budget {
+			return false, nil
+		}
+		if !strdist.NormalizedBelow(q, v, s.theta) {
+			return false, nil
+		}
+		ids, err := postings()
+		if err != nil {
+			return true, err
+		}
+		out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
+		return false, nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("od: DiskStore: %v", err))
+	}
+	sortMatches(out)
+	s.simCache.put(cacheKey, out)
+	return out
+}
+
+// SoftIDF implements Store.
+func (s *DiskStore) SoftIDF(a, b Tuple) float64 {
+	s.mustBeFinal()
+	oa := s.ObjectsWithExact(a)
+	if a.occKey() == b.occKey() {
+		return softIDF(s.size, len(oa))
+	}
+	return softIDF(s.size, unionSizeSorted(oa, s.ObjectsWithExact(b)))
+}
+
+// SoftIDFSingle implements Store.
+func (s *DiskStore) SoftIDFSingle(t Tuple) float64 {
+	return s.SoftIDF(t, t)
+}
+
+// Neighbors implements Store.
+func (s *DiskStore) Neighbors(id int32) []int32 {
+	s.mustBeFinal()
+	return neighborsOf(s, id)
+}
+
+// Stats implements Store. Indexed is always false for the disk backend:
+// it scans value segments instead of building deletion neighborhoods.
+func (s *DiskStore) Stats() []TypeStats {
+	s.mustBeFinal()
+	return append([]TypeStats(nil), s.stats...)
+}
+
+func (s *DiskStore) mustBeFinal() {
+	if !s.finalized || s.r == nil {
+		panic("od: store not finalized")
+	}
+}

@@ -1,0 +1,137 @@
+package od
+
+import "sync"
+
+// lruCache is a small mutex-guarded LRU used by DiskStore to keep its
+// retained heap bounded: decoded ODs, posting lists and similar-value
+// results are cached up to a fixed capacity and evicted least-recently
+// used. Correctness never depends on the cache — every entry is
+// recomputable from the segment files — so eviction policy only affects
+// speed.
+type lruCache[K comparable, V any] struct {
+	mu  sync.Mutex
+	cap int
+	m   map[K]*lruEntry[K, V]
+	// Intrusive doubly-linked list, head = most recent. Avoids
+	// container/list's interface boxing on this hot path.
+	head, tail *lruEntry[K, V]
+}
+
+type lruEntry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *lruEntry[K, V]
+}
+
+func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
+	return &lruCache[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V], capacity)}
+}
+
+func (c *lruCache[K, V]) get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
+func (c *lruCache[K, V]) put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[k]; ok {
+		e.val = v
+		c.moveToFront(e)
+		return
+	}
+	e := &lruEntry[K, V]{key: k, val: v}
+	c.m[k] = e
+	c.pushFront(e)
+	if len(c.m) > c.cap {
+		evict := c.tail
+		c.unlink(evict)
+		delete(c.m, evict.key)
+	}
+}
+
+func (c *lruCache[K, V]) pushFront(e *lruEntry[K, V]) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *lruCache[K, V]) unlink(e *lruEntry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+func (c *lruCache[K, V]) moveToFront(e *lruEntry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// lruShardCount spreads a shardedLRU's lock across this many
+// independent lruCaches (power of two for mask routing).
+const lruShardCount = 16
+
+// shardedLRU partitions an LRU by key hash so the parallel reduce and
+// compare stages don't serialize on a single cache mutex: every get
+// mutates recency under a lock, which made one global cache the
+// contention point of DiskStore's hot paths.
+type shardedLRU[K comparable, V any] struct {
+	shards [lruShardCount]*lruCache[K, V]
+	hash   func(K) uint32
+}
+
+func newShardedLRU[K comparable, V any](capacity int, hash func(K) uint32) *shardedLRU[K, V] {
+	per := capacity / lruShardCount
+	if per < 64 {
+		per = 64
+	}
+	s := &shardedLRU[K, V]{hash: hash}
+	for i := range s.shards {
+		s.shards[i] = newLRU[K, V](per)
+	}
+	return s
+}
+
+func (s *shardedLRU[K, V]) get(k K) (V, bool) {
+	return s.shards[s.hash(k)&(lruShardCount-1)].get(k)
+}
+
+func (s *shardedLRU[K, V]) put(k K, v V) {
+	s.shards[s.hash(k)&(lruShardCount-1)].put(k, v)
+}
+
+// hashID routes int32 OD ids (Fibonacci hashing so sequential ids
+// spread across shards).
+func hashID(id int32) uint32 { return uint32(id) * 2654435761 }
+
+// hashKey routes string occurrence keys (FNV-1a).
+func hashKey(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -44,11 +44,15 @@ func (s *MemStore) Size() int { return len(s.ods) }
 // Theta implements Store.
 func (s *MemStore) Theta() float64 { return s.theta }
 
+// OD implements Store.
+func (s *MemStore) OD(id int32) *OD { return s.ods[id] }
+
 // ODs implements Store.
 func (s *MemStore) ODs() []*OD { return s.ods }
 
 // Finalize implements Store. It must be called exactly once, after all
-// Adds.
+// Adds. The build runs the shared index builder serially: occurrence
+// postings, per-type value tables, similarity indexes.
 func (s *MemStore) Finalize(theta float64) {
 	if s.finalized {
 		panic("od: Finalize called twice")
@@ -56,41 +60,9 @@ func (s *MemStore) Finalize(theta float64) {
 	s.finalized = true
 	s.theta = theta
 
-	for _, o := range s.ods {
-		seen := map[string]bool{}
-		for _, t := range o.Tuples {
-			if t.Value == "" {
-				continue
-			}
-			k := t.occKey()
-			if seen[k] {
-				continue // an object counts once per tuple key
-			}
-			seen[k] = true
-			s.occ[k] = append(s.occ[k], o.ID)
-		}
-	}
-
-	// Distinct values per type.
-	valueObjs := map[string]map[string][]int32{}
-	for key, ids := range s.occ {
-		typ, val := splitOccKey(key)
-		m, ok := valueObjs[typ]
-		if !ok {
-			m = map[string][]int32{}
-			valueObjs[typ] = m
-		}
-		m[val] = ids
-	}
-	for typ, m := range valueObjs {
-		maxLen := 0
-		for v := range m {
-			if l := len([]rune(v)); l > maxLen {
-				maxLen = l
-			}
-		}
-		s.types[typ] = buildTypeIndex(m, theta, maxLen)
-	}
+	s.occ = buildOccurrence(s.ods)
+	valueObjs := groupValuesByType(s.occ)
+	s.types = buildTypeIndexes(valueObjs, theta, maxValueLens(valueObjs))
 }
 
 // ObjectsWithExact implements Store.

@@ -11,10 +11,16 @@
 //     the object filter (Section 5.2) and the lossless candidate-pair
 //     blocking used in Step 5.
 //
-// Store is the backend-agnostic interface the pipeline programs against;
-// MemStore is the single-map reference implementation and ShardedStore
+// Store is the backend-agnostic interface the pipeline programs against.
+// Three backends ship with the repo and return bit-identical results:
+// MemStore is the single-map reference implementation, ShardedStore
 // partitions the indexes across N lock-striped shards so Finalize and
-// neighbor queries parallelize. Both return bit-identical results.
+// neighbor queries parallelize, and DiskStore serves the same queries
+// from odcodec segment files on disk so indexes survive restarts
+// (OpenDiskStore) and retained memory stays bounded by its caches rather
+// than corpus size. The index *construction* logic all three share lives
+// in builder.go; Save snapshots any finalized backend into the DiskStore
+// segment format.
 package od
 
 import (
@@ -89,16 +95,32 @@ type TypeStats struct {
 }
 
 // Store is the backend-agnostic interface over a candidate set ΩT and the
-// indexes built from it. Populate with Add, then call Finalize(θtuple)
-// exactly once before issuing any query. Implementations must answer every
-// query deterministically — the detection pipeline's output for a given
-// input must not depend on the backend chosen.
+// indexes built from it.
+//
+// Every backend honors the same two-phase lifecycle contract:
+//
+//  1. Build phase. Populate with Add. Each Add assigns the OD the next
+//     sequential ID (insertion order). The OD's Tuples are final at Add
+//     time, but Object may still be empty and filled in by the caller any
+//     time before Finalize: streaming ingestion resolves positional paths
+//     only once its pass completes, so backends must not snapshot Object
+//     (persist it, hash it, copy it) before Finalize.
+//  2. Query phase. Call Finalize(θtuple) exactly once; it seals the store
+//     and builds the occurrence and similarity indexes. Afterwards the
+//     store is immutable: Add panics, every query method is safe for
+//     concurrent use, and queries before Finalize panic.
+//
+// Implementations must answer every query deterministically and in the
+// canonical orders documented per method — the detection pipeline's
+// output for a given input must not depend on the backend chosen. The
+// parity suites (internal/od and internal/core) hold every backend to
+// bit-identical results against MemStore, the reference implementation.
+//
+// A store restored from disk (OpenDiskStore) starts life directly in the
+// query phase; Add and Finalize panic on it.
 type Store interface {
-	// Add appends an OD, assigning its ID. Must precede Finalize. The
-	// OD's Tuples are final at Add time, but Object may still be empty
-	// and filled in by the caller any time before Finalize: streaming
-	// ingestion resolves positional paths only once its pass completes.
-	// Backends must therefore not snapshot Object before Finalize.
+	// Add appends an OD, assigning its ID. Must precede Finalize; see the
+	// lifecycle contract above for the Object mutability window.
 	Add(o *OD) *OD
 	// Finalize builds the occurrence and similarity indexes for θtuple.
 	Finalize(theta float64)
@@ -106,7 +128,13 @@ type Store interface {
 	Size() int
 	// Theta returns the tuple threshold the indexes were built for.
 	Theta() float64
-	// ODs returns all object descriptions, indexed by ID.
+	// OD returns the object description with the given ID. For disk-backed
+	// stores this may decode the OD from its segment on demand; callers on
+	// hot paths should not assume it is a free slice lookup.
+	OD(id int32) *OD
+	// ODs returns all object descriptions, indexed by ID. Disk-backed
+	// stores materialize the full set in memory on first call — prefer
+	// OD(id) unless the whole slice is genuinely needed.
 	ODs() []*OD
 	// ObjectsWithExact returns the sorted ids of objects containing a
 	// tuple with exactly this (type, value), or nil.
@@ -127,14 +155,6 @@ type Store interface {
 	// Stats returns per-type index statistics sorted by type name.
 	Stats() []TypeStats
 }
-
-// NewStore returns the default in-memory store.
-//
-// Deprecated: use NewMemStore (or NewShardedStore) directly. NewStore
-// keeps constructor calls from the pre-interface API compiling; code that
-// accessed the former ODs field or named the *Store type must migrate to
-// the ODs() method and the Store interface.
-func NewStore() *MemStore { return NewMemStore() }
 
 // softIDF computes log(|ΩT| / union) with the phantom-occurrence guard of
 // Definition 8, shared by every Store implementation.
@@ -168,7 +188,7 @@ func unionSizeSorted(oa, ob []int32) int {
 // object pair with sim > 0 shares at least one similar tuple pair, so the
 // union of SimilarValues object sets over o's tuples is lossless.
 func neighborsOf(s Store, id int32) []int32 {
-	o := s.ODs()[id]
+	o := s.OD(id)
 	seen := map[int32]bool{}
 	var out []int32
 	for _, t := range o.NonEmptyTuples() {

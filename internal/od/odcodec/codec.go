@@ -1,0 +1,319 @@
+// Package odcodec is the versioned binary on-disk format for finalized
+// OD stores: object descriptions plus the per-type value indexes built
+// from them, laid out so a store round-trips through disk (Writer) and
+// serves queries straight from the segment files (Reader) without ever
+// materializing the full index in memory.
+//
+// A snapshot is a directory of four segment files:
+//
+//	manifest.odx  meta record: fingerprint, θtuple, OD count, optional
+//	              persisted filter values, and the size + CRC of every
+//	              data segment. Written last — its presence commits the
+//	              snapshot, so a crashed writer leaves no valid snapshot.
+//	strings.odx   deduplicated string table. Every tuple value, name,
+//	              type and object path is stored once; tuples reference
+//	              strings by payload offset.
+//	ods.odx       one record per OD (string-table refs + varints) with a
+//	              fixed-width offset table for random access by ID.
+//	index.odx     per-type segments: the type's distinct values in
+//	              ascending order, each with its rune length and a
+//	              delta-varint posting list of object IDs, followed by a
+//	              directory with per-type stats and a sparse value index
+//	              for point lookups.
+//
+// Every file is framed identically: an 8-byte header (magic, format
+// version, segment kind) and an 8-byte footer (CRC-32 over header and
+// payload, trailing magic). Open verifies the framing and checksums of
+// all four files before answering any query; torn, truncated or
+// bit-flipped snapshots are rejected with a *CorruptError rather than
+// decoded into garbage.
+package odcodec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the on-disk format version. Readers reject any other
+// version: the format is allowed to change incompatibly between
+// versions because snapshots are rebuildable caches, not archives.
+const Version = 1
+
+// Segment kinds, one per file.
+const (
+	kindManifest = 1
+	kindStrings  = 2
+	kindODs      = 3
+	kindIndex    = 4
+)
+
+// Segment file names within a snapshot directory.
+const (
+	ManifestFile = "manifest.odx"
+	StringsFile  = "strings.odx"
+	ODsFile      = "ods.odx"
+	IndexFile    = "index.odx"
+)
+
+const (
+	headerSize = 8
+	footerSize = 8
+	// sparseEvery is the sparse-index stride of the per-type value
+	// directory: one directory entry per this many values bounds a point
+	// lookup's scan to at most sparseEvery entries.
+	sparseEvery = 64
+	// maxStringLen caps any decoded length field, so a corrupt varint
+	// cannot trigger a giant allocation before the CRC check would have
+	// caught it.
+	maxStringLen = 1 << 28
+	maxCount     = 1 << 28
+)
+
+var (
+	magic    = [4]byte{'O', 'D', 'G', 'X'}
+	magicEnd = [4]byte{'X', 'G', 'D', 'O'}
+)
+
+// ErrNoSnapshot is returned by Open when the directory holds no
+// committed snapshot (no manifest).
+var ErrNoSnapshot = errors.New("odcodec: no snapshot in directory")
+
+// CorruptError reports a snapshot that exists but fails validation:
+// bad magic, unsupported version, checksum mismatch, truncation, or an
+// impossible field while decoding.
+type CorruptError struct {
+	File   string
+	Reason string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("odcodec: %s: corrupt snapshot: %s", e.File, e.Reason)
+}
+
+func corrupt(file, format string, args ...any) error {
+	return &CorruptError{File: file, Reason: fmt.Sprintf(format, args...)}
+}
+
+// IsCorrupt reports whether err signals a corrupt (vs missing) snapshot.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// Tuple is the codec's view of one OD tuple.
+type Tuple struct {
+	Value string
+	Name  string
+	Type  string
+}
+
+// Meta is the manifest record of a snapshot.
+type Meta struct {
+	// Fingerprint identifies the corpus + configuration the indexes were
+	// built from; the codec treats it as an opaque string. Empty means
+	// the snapshot carries no provenance and can never warm-start.
+	Fingerprint string
+	// Theta is the θtuple the similarity tables were built for.
+	Theta float64
+	// NumODs is the object count.
+	NumODs int
+	// FilterValues optionally persists the Step 4 object-filter bound
+	// per OD (index-aligned), so a warm start can skip recomputing the
+	// reduce stage. Nil when not persisted.
+	FilterValues []float64
+}
+
+// TypeMeta describes one per-type index segment.
+type TypeMeta struct {
+	Name      string
+	MaxLen    int // longest value in runes
+	Budget    int // strict edit budget derived from MaxLen (may be -1)
+	NumValues int
+}
+
+// segmentStamp binds a data segment into the manifest: expected file
+// size and CRC, so a manifest can only commit the exact files the
+// writer produced.
+type segmentStamp struct {
+	size int64
+	crc  uint32
+}
+
+var crcTable = crc32.IEEETable
+
+// ---- shared low-level encoding helpers ----
+
+func appendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendFloat64(b []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+}
+
+// byteReader tracks a position while decoding from an in-memory slice.
+type byteReader struct {
+	buf  []byte
+	pos  int
+	file string // for error attribution
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, corrupt(r.file, "bad varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) count(cap int) (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(cap) {
+		return 0, corrupt(r.file, "count %d exceeds limit %d", v, cap)
+	}
+	return int(v), nil
+}
+
+func (r *byteReader) str() (string, error) {
+	n, err := r.count(maxStringLen)
+	if err != nil {
+		return "", err
+	}
+	if r.pos+n > len(r.buf) {
+		return "", corrupt(r.file, "string of %d bytes overruns payload", n)
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s, nil
+}
+
+func (r *byteReader) float64() (float64, error) {
+	if r.pos+8 > len(r.buf) {
+		return 0, corrupt(r.file, "float64 overruns payload")
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.pos:]))
+	r.pos += 8
+	return v, nil
+}
+
+// decodePostings expands a delta-varint posting list (first ID, then
+// ascending gaps) back into absolute IDs.
+func decodePostings(r *byteReader, n int) ([]int32, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int32, n)
+	var prev uint64
+	for i := 0; i < n; i++ {
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			prev = d
+		} else {
+			prev += d
+		}
+		if prev > math.MaxInt32 {
+			return nil, corrupt(r.file, "posting id %d overflows int32", prev)
+		}
+		out[i] = int32(prev)
+	}
+	return out, nil
+}
+
+// appendPostings encodes sorted IDs as delta varints.
+func appendPostings(b []byte, ids []int32) []byte {
+	for i, id := range ids {
+		if i == 0 {
+			b = appendUvarint(b, uint64(uint32(id)))
+		} else {
+			b = appendUvarint(b, uint64(uint32(id-ids[i-1])))
+		}
+	}
+	return b
+}
+
+// budgetToWire biases an edit budget (>= -1) into a uvarint.
+func budgetToWire(budget int) uint64 { return uint64(budget + 1) }
+
+func budgetFromWire(v uint64) int { return int(v) - 1 }
+
+// verifyFraming checks a segment file's header and trailing magic and
+// returns the payload size. The CRC itself is verified separately
+// (streamed for data segments, in-memory for the manifest).
+func verifyFraming(file string, size int64, header []byte, kind byte) (int64, error) {
+	if size < headerSize+footerSize {
+		return 0, corrupt(file, "file too short (%d bytes)", size)
+	}
+	if [4]byte(header[:4]) != magic {
+		return 0, corrupt(file, "bad magic %q", header[:4])
+	}
+	if header[4] != Version {
+		return 0, corrupt(file, "unsupported format version %d (want %d)", header[4], Version)
+	}
+	if header[5] != kind {
+		return 0, corrupt(file, "segment kind %d, want %d", header[5], kind)
+	}
+	return size - headerSize - footerSize, nil
+}
+
+func newHeader(kind byte) []byte {
+	h := make([]byte, headerSize)
+	copy(h, magic[:])
+	h[4] = Version
+	h[5] = kind
+	return h
+}
+
+func newFooter(crc uint32) []byte {
+	f := make([]byte, footerSize)
+	binary.LittleEndian.PutUint32(f, crc)
+	copy(f[4:], magicEnd[:])
+	return f
+}
+
+func checkFooter(file string, footer []byte, wantCRC uint32) error {
+	if [4]byte(footer[4:8]) != magicEnd {
+		return corrupt(file, "bad trailing magic %q (truncated?)", footer[4:8])
+	}
+	if got := binary.LittleEndian.Uint32(footer); got != wantCRC {
+		return corrupt(file, "checksum mismatch: stored %08x, computed %08x", got, wantCRC)
+	}
+	return nil
+}
+
+// readFramedFile loads an entire segment file, verifies framing and CRC,
+// and returns the payload. Used for the small manifest; data segments
+// are verified streaming and then served by offset.
+func readFramedFile(path, name string, kind byte, r io.ReaderAt, size int64) ([]byte, error) {
+	if size < headerSize+footerSize {
+		return nil, corrupt(name, "file too short (%d bytes)", size)
+	}
+	buf := make([]byte, size)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("odcodec: read %s: %w", path, err)
+	}
+	payloadLen, err := verifyFraming(name, size, buf[:headerSize], kind)
+	if err != nil {
+		return nil, err
+	}
+	crc := crc32.Checksum(buf[:headerSize+payloadLen], crcTable)
+	if err := checkFooter(name, buf[headerSize+payloadLen:], crc); err != nil {
+		return nil, err
+	}
+	return buf[headerSize : headerSize+payloadLen], nil
+}

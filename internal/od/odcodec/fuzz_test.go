@@ -1,0 +1,259 @@
+package odcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// fuzzODs derives a deterministic OD set from raw fuzz bytes: a handful
+// of objects whose tuple values/names/types are short strings cut from
+// the input. The derivation only shapes the data — every byte sequence
+// yields a valid Writer input, so the fuzzer explores the codec, not
+// the derivation.
+func fuzzODs(data []byte) []sampleOD {
+	next := func(n int) string {
+		if len(data) == 0 {
+			return ""
+		}
+		if n > len(data) {
+			n = len(data)
+		}
+		s := string(data[:n])
+		data = data[n:]
+		return s
+	}
+	nextByte := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int(b)
+	}
+	nODs := nextByte()%6 + 1
+	out := make([]sampleOD, nODs)
+	for i := range out {
+		out[i].object = fmt.Sprintf("/doc/item[%d]%s", i+1, next(nextByte()%5))
+		out[i].source = int32(nextByte() % 3)
+		nTuples := nextByte() % 5
+		for j := 0; j < nTuples; j++ {
+			out[i].tuples = append(out[i].tuples, Tuple{
+				Value: next(nextByte() % 9),
+				Name:  "/doc/item/" + next(nextByte()%4+1),
+				Type:  "T" + next(nextByte()%3),
+			})
+		}
+	}
+	return out
+}
+
+// FuzzRoundTrip asserts the invariant the warm-start path depends on:
+// whatever OD set is written, the snapshot decodes bit-identically —
+// every OD record, every per-type value table, every posting list.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 1, 2, 'a', 'b', 'c', 0xff, 0x00, 'x'})
+	f.Add([]byte("DogmatiX tracks down duplicates in XML \x00\x01\x02 values"))
+	f.Add([]byte{250, 250, 250, 250, 250, 250, 250, 250, 250, 250})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ods := fuzzODs(data)
+
+		// Build the per-type value tables the way a store's Finalize
+		// would: object counted once per (type, value), ids ascending.
+		tables := map[string]map[string][]int32{}
+		for id, o := range ods {
+			seen := map[[2]string]bool{}
+			for _, tp := range o.tuples {
+				if tp.Value == "" {
+					continue
+				}
+				k := [2]string{tp.Type, tp.Value}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if tables[tp.Type] == nil {
+					tables[tp.Type] = map[string][]int32{}
+				}
+				tables[tp.Type][tp.Value] = append(tables[tp.Type][tp.Value], int32(id))
+			}
+		}
+
+		dir := t.TempDir()
+		w, err := NewWriter(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Abort()
+		for _, o := range ods {
+			if err := w.AddOD(o.object, o.source, o.tuples); err != nil {
+				t.Fatal(err)
+			}
+		}
+		types := make([]string, 0, len(tables))
+		for typ := range tables {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			if err := w.BeginType(typ, 7, 1); err != nil {
+				t.Fatal(err)
+			}
+			values := make([]string, 0, len(tables[typ]))
+			for v := range tables[typ] {
+				values = append(values, v)
+			}
+			sort.Strings(values)
+			for _, v := range values {
+				if err := w.AddValue(v, tables[typ][v]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.Commit(Meta{Fingerprint: "fuzz", Theta: 0.15}); err != nil {
+			t.Fatal(err)
+		}
+
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		if r.NumODs() != len(ods) {
+			t.Fatalf("NumODs = %d, want %d", r.NumODs(), len(ods))
+		}
+		for id, want := range ods {
+			obj, src, tuples, err := r.OD(int32(id))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if obj != want.object || src != want.source {
+				t.Fatalf("OD(%d) header %q/%d, want %q/%d", id, obj, src, want.object, want.source)
+			}
+			if len(tuples) != len(want.tuples) {
+				t.Fatalf("OD(%d) has %d tuples, want %d", id, len(tuples), len(want.tuples))
+			}
+			for j := range tuples {
+				if tuples[j] != want.tuples[j] {
+					t.Fatalf("OD(%d) tuple %d = %+v, want %+v", id, j, tuples[j], want.tuples[j])
+				}
+			}
+		}
+		for typ, vals := range tables {
+			for v, ids := range vals {
+				got, ok, err := r.LookupValue(typ, v)
+				if err != nil || !ok || !reflect.DeepEqual(got, ids) {
+					t.Fatalf("LookupValue(%q, %q) = %v/%v/%v, want %v", typ, v, got, ok, err, ids)
+				}
+			}
+			var scanned []string
+			err := r.ScanType(typ, func(v string, rl int, postings func() ([]int32, error)) (bool, error) {
+				scanned = append(scanned, v)
+				if got, err := postings(); err != nil || !reflect.DeepEqual(got, vals[v]) {
+					t.Fatalf("scan postings(%q,%q) = %v/%v, want %v", typ, v, got, err, vals[v])
+				}
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scanned) != len(vals) || !sort.StringsAreSorted(scanned) {
+				t.Fatalf("scan of %q yielded %v, want the %d values sorted", typ, scanned, len(vals))
+			}
+		}
+	})
+}
+
+// fuzzTemplate lazily builds one pristine snapshot whose data segments
+// the manifest fuzzer reuses across executions.
+var fuzzTemplate struct {
+	once sync.Once
+	dir  string
+	err  error
+}
+
+func fuzzTemplateDir() (string, error) {
+	fuzzTemplate.once.Do(func() {
+		dir, err := os.MkdirTemp("", "odcodec-fuzz-")
+		if err != nil {
+			fuzzTemplate.err = err
+			return
+		}
+		w, err := NewWriter(dir)
+		if err != nil {
+			fuzzTemplate.err = err
+			return
+		}
+		for _, o := range sampleODs() {
+			if err := w.AddOD(o.object, o.source, o.tuples); err != nil {
+				fuzzTemplate.err = err
+				return
+			}
+		}
+		if err := w.BeginType("ARTIST", 12, 2); err != nil {
+			fuzzTemplate.err = err
+			return
+		}
+		if err := w.AddValue("Led Zeppelin", []int32{0, 2}); err != nil {
+			fuzzTemplate.err = err
+			return
+		}
+		fuzzTemplate.err = w.Commit(Meta{Fingerprint: "tmpl", Theta: 0.15})
+		fuzzTemplate.dir = dir
+	})
+	return fuzzTemplate.dir, fuzzTemplate.err
+}
+
+// FuzzOpenManifest feeds arbitrary bytes as the manifest of an
+// otherwise intact snapshot: Open must reject cleanly (no panic, no
+// silent garbage) or — when the fuzzer reproduces a byte-exact valid
+// manifest — yield a reader whose records still decode.
+func FuzzOpenManifest(f *testing.F) {
+	tmpl, err := fuzzTemplateDir()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(tmpl, ManifestFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...))
+	short := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(short[len(short)-8:], 0) // break CRC
+	f.Add(short)
+	f.Fuzz(func(t *testing.T, manifest []byte) {
+		dir := t.TempDir()
+		for _, name := range []string{StringsFile, ODsFile, IndexFile} {
+			if err := os.Link(filepath.Join(tmpl, name), filepath.Join(dir, name)); err != nil {
+				data, err := os.ReadFile(filepath.Join(tmpl, name))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := os.WriteFile(filepath.Join(dir, ManifestFile), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(dir)
+		if err != nil {
+			return // rejected cleanly
+		}
+		defer r.Close()
+		for id := 0; id < r.NumODs(); id++ {
+			if _, _, _, err := r.OD(int32(id)); err != nil {
+				t.Fatalf("accepted manifest but OD(%d) fails: %v", id, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,535 @@
+package odcodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Reader serves a committed snapshot directly from its segment files.
+// All methods are safe for concurrent use: every read is a positioned
+// ReadAt, no seek state is shared. The reader keeps only the manifest,
+// the index directory and the sparse value index in memory — posting
+// lists, value tables and OD records stay on disk until queried.
+type Reader struct {
+	dir  string
+	meta Meta
+
+	strings *segReader
+	ods     *segReader
+	index   *segReader
+
+	odTableOff int64 // payload offset of the OD offset table
+
+	typeList []TypeMeta
+	typeDirs map[string]*typeDir
+}
+
+// typeDir is one type's in-memory directory entry.
+type typeDir struct {
+	meta   TypeMeta
+	segOff int64
+	segLen int64
+	sparse []sparseRef
+}
+
+// segReader is one verified segment file.
+type segReader struct {
+	name       string
+	f          *os.File
+	payloadLen int64
+}
+
+// Open validates and opens the snapshot in dir. It returns ErrNoSnapshot
+// when no manifest exists and a *CorruptError when any segment fails
+// framing, size or checksum verification — a snapshot is either fully
+// intact or rejected.
+func Open(dir string) (*Reader, error) {
+	meta, stamps, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{dir: dir, meta: meta, typeDirs: map[string]*typeDir{}}
+	files := []struct {
+		name string
+		kind byte
+		dst  **segReader
+	}{
+		{StringsFile, kindStrings, &r.strings},
+		{ODsFile, kindODs, &r.ods},
+		{IndexFile, kindIndex, &r.index},
+	}
+	for i, fl := range files {
+		sr, err := openSegment(filepath.Join(dir, fl.name), fl.name, fl.kind, stamps[i])
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		*fl.dst = sr
+	}
+	if err := r.loadODTable(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	if err := r.loadIndexDir(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Close releases the segment file handles.
+func (r *Reader) Close() error {
+	var first error
+	for _, sr := range []*segReader{r.strings, r.ods, r.index} {
+		if sr == nil || sr.f == nil {
+			continue
+		}
+		if err := sr.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		sr.f = nil
+	}
+	return first
+}
+
+// Meta returns the manifest record.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// NumODs returns the object count.
+func (r *Reader) NumODs() int { return r.meta.NumODs }
+
+// Types lists the per-type index segments in ascending name order.
+func (r *Reader) Types() []TypeMeta { return r.typeList }
+
+// OD decodes the object description with the given ID from disk.
+func (r *Reader) OD(id int32) (object string, source int32, tuples []Tuple, err error) {
+	if id < 0 || int(id) >= r.meta.NumODs {
+		return "", 0, nil, fmt.Errorf("odcodec: OD id %d out of range [0,%d)", id, r.meta.NumODs)
+	}
+	// The record spans [off[id], off[id+1]); the table itself bounds the
+	// final record.
+	var span [16]byte
+	end := r.odTableOff
+	if int(id) == r.meta.NumODs-1 {
+		if err := r.ods.readAt(span[:8], r.odTableOff+8*int64(id)); err != nil {
+			return "", 0, nil, err
+		}
+	} else {
+		if err := r.ods.readAt(span[:16], r.odTableOff+8*int64(id)); err != nil {
+			return "", 0, nil, err
+		}
+		end = int64(binary.LittleEndian.Uint64(span[8:]))
+	}
+	start := int64(binary.LittleEndian.Uint64(span[:8]))
+	if start < 0 || end < start || end > r.odTableOff {
+		return "", 0, nil, corrupt(ODsFile, "record %d spans [%d,%d) outside payload", id, start, end)
+	}
+	buf := make([]byte, end-start)
+	if err := r.ods.readAt(buf, start); err != nil {
+		return "", 0, nil, err
+	}
+	br := &byteReader{buf: buf, file: ODsFile}
+	objRef, err := br.uvarint()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	src, err := br.uvarint()
+	if err != nil {
+		return "", 0, nil, err
+	}
+	n, err := br.count(maxCount)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	object, err = r.stringAt(objRef)
+	if err != nil {
+		return "", 0, nil, err
+	}
+	tuples = make([]Tuple, n)
+	for i := 0; i < n; i++ {
+		var refs [3]uint64
+		for j := range refs {
+			if refs[j], err = br.uvarint(); err != nil {
+				return "", 0, nil, err
+			}
+		}
+		if tuples[i].Value, err = r.stringAt(refs[0]); err != nil {
+			return "", 0, nil, err
+		}
+		if tuples[i].Name, err = r.stringAt(refs[1]); err != nil {
+			return "", 0, nil, err
+		}
+		if tuples[i].Type, err = r.stringAt(refs[2]); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	return object, int32(src), tuples, nil
+}
+
+// LookupValue returns the posting list of one exact (type, value) pair,
+// or ok=false when the type or value is not indexed. Cost is a binary
+// search over the sparse directory plus a bounded scan of one block.
+func (r *Reader) LookupValue(typ, value string) (objects []int32, ok bool, err error) {
+	td := r.typeDirs[typ]
+	if td == nil || len(td.sparse) == 0 {
+		return nil, false, nil
+	}
+	// Last sparse entry with value <= query.
+	i := sort.Search(len(td.sparse), func(i int) bool { return td.sparse[i].value > value }) - 1
+	if i < 0 {
+		return nil, false, nil
+	}
+	startOff := td.segOff + int64(td.sparse[i].off)
+	endOff := td.segOff + td.segLen
+	if i+1 < len(td.sparse) {
+		endOff = td.segOff + int64(td.sparse[i+1].off)
+	}
+	err = r.scanRange(td, startOff, endOff, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+		if v > value {
+			return true, nil
+		}
+		if v == value {
+			objects, err = postings()
+			ok = err == nil
+			return true, err
+		}
+		return false, nil
+	})
+	return objects, ok, err
+}
+
+// ScanType streams every (value, posting list) of one type in ascending
+// value order. fn receives the value, its rune length, and a postings
+// function that decodes the posting list — valid only until fn returns.
+// fn returns stop=true to end the scan early.
+func (r *Reader) ScanType(typ string, fn func(value string, runeLen int, postings func() ([]int32, error)) (stop bool, err error)) error {
+	td := r.typeDirs[typ]
+	if td == nil {
+		return nil
+	}
+	return r.scanRange(td, td.segOff, td.segOff+td.segLen, fn)
+}
+
+// scanRange decodes value entries in [startOff, endOff) of the index
+// payload sequentially.
+func (r *Reader) scanRange(td *typeDir, startOff, endOff int64, fn func(string, int, func() ([]int32, error)) (bool, error)) error {
+	sec := io.NewSectionReader(r.index.f, headerSize+startOff, endOff-startOff)
+	br := bufio.NewReaderSize(sec, 1<<16)
+	var scratch []byte
+	for {
+		vlen, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return corrupt(IndexFile, "type %q: bad value length: %v", td.meta.Name, err)
+		}
+		if vlen > maxStringLen {
+			return corrupt(IndexFile, "type %q: value length %d exceeds limit", td.meta.Name, vlen)
+		}
+		if cap(scratch) < int(vlen) {
+			scratch = make([]byte, vlen)
+		}
+		vb := scratch[:vlen]
+		if _, err := io.ReadFull(br, vb); err != nil {
+			return corrupt(IndexFile, "type %q: truncated value: %v", td.meta.Name, err)
+		}
+		value := string(vb)
+		rl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return corrupt(IndexFile, "type %q: bad rune length: %v", td.meta.Name, err)
+		}
+		nObjs, err := binary.ReadUvarint(br)
+		if err != nil || nObjs > maxCount {
+			return corrupt(IndexFile, "type %q value %q: bad posting count", td.meta.Name, value)
+		}
+		pLen, err := binary.ReadUvarint(br)
+		if err != nil || pLen > maxStringLen {
+			return corrupt(IndexFile, "type %q value %q: bad posting length", td.meta.Name, value)
+		}
+		if cap(scratch) < int(pLen) {
+			scratch = make([]byte, pLen)
+		}
+		pb := scratch[:pLen]
+		if _, err := io.ReadFull(br, pb); err != nil {
+			return corrupt(IndexFile, "type %q value %q: truncated postings: %v", td.meta.Name, value, err)
+		}
+		postings := func() ([]int32, error) {
+			pr := &byteReader{buf: pb, file: IndexFile}
+			return decodePostings(pr, int(nObjs))
+		}
+		stop, err := fn(value, int(rl), postings)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+}
+
+// stringAt reads one string-table entry by payload offset.
+func (r *Reader) stringAt(ref uint64) (string, error) {
+	if int64(ref) >= r.strings.payloadLen {
+		return "", corrupt(StringsFile, "string ref %d beyond payload %d", ref, r.strings.payloadLen)
+	}
+	var head [binary.MaxVarintLen64]byte
+	hb := head[:]
+	if rem := r.strings.payloadLen - int64(ref); rem < int64(len(hb)) {
+		hb = hb[:rem]
+	}
+	if err := r.strings.readAt(hb, int64(ref)); err != nil {
+		return "", err
+	}
+	n, sz := binary.Uvarint(hb)
+	if sz <= 0 || n > maxStringLen {
+		return "", corrupt(StringsFile, "bad string length at ref %d", ref)
+	}
+	if int64(ref)+int64(sz)+int64(n) > r.strings.payloadLen {
+		return "", corrupt(StringsFile, "string at ref %d overruns payload", ref)
+	}
+	buf := make([]byte, n)
+	if err := r.strings.readAt(buf, int64(ref)+int64(sz)); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// loadODTable locates the OD offset table from the trailing 8 bytes of
+// the ods payload and validates its geometry against the OD count.
+func (r *Reader) loadODTable() error {
+	if r.ods.payloadLen < 8 {
+		return corrupt(ODsFile, "payload too short for table offset")
+	}
+	var tail [8]byte
+	if err := r.ods.readAt(tail[:], r.ods.payloadLen-8); err != nil {
+		return err
+	}
+	r.odTableOff = int64(binary.LittleEndian.Uint64(tail[:]))
+	want := r.odTableOff + 8*int64(r.meta.NumODs) + 8
+	if r.odTableOff < 0 || want != r.ods.payloadLen {
+		return corrupt(ODsFile, "offset table at %d inconsistent with %d ODs in %d payload bytes",
+			r.odTableOff, r.meta.NumODs, r.ods.payloadLen)
+	}
+	return nil
+}
+
+// loadIndexDir reads the per-type directory into memory.
+func (r *Reader) loadIndexDir() error {
+	if r.index.payloadLen < 8 {
+		return corrupt(IndexFile, "payload too short for directory offset")
+	}
+	var tail [8]byte
+	if err := r.index.readAt(tail[:], r.index.payloadLen-8); err != nil {
+		return err
+	}
+	dirOff := int64(binary.LittleEndian.Uint64(tail[:]))
+	if dirOff < 0 || dirOff > r.index.payloadLen-8 {
+		return corrupt(IndexFile, "directory offset %d outside payload", dirOff)
+	}
+	buf := make([]byte, r.index.payloadLen-8-dirOff)
+	if err := r.index.readAt(buf, dirOff); err != nil {
+		return err
+	}
+	br := &byteReader{buf: buf, file: IndexFile}
+	nTypes, err := br.count(maxCount)
+	if err != nil {
+		return err
+	}
+	prev := ""
+	for i := 0; i < nTypes; i++ {
+		td := &typeDir{}
+		if td.meta.Name, err = br.str(); err != nil {
+			return err
+		}
+		if i > 0 && td.meta.Name <= prev {
+			return corrupt(IndexFile, "type directory not in ascending order at %q", td.meta.Name)
+		}
+		prev = td.meta.Name
+		fields := make([]uint64, 5)
+		for j := range fields {
+			if fields[j], err = br.uvarint(); err != nil {
+				return err
+			}
+		}
+		td.meta.MaxLen = int(fields[0])
+		td.meta.Budget = budgetFromWire(fields[1])
+		td.meta.NumValues = int(fields[2])
+		td.segOff, td.segLen = int64(fields[3]), int64(fields[4])
+		if td.segOff < 0 || td.segLen < 0 || td.segOff+td.segLen > dirOff {
+			return corrupt(IndexFile, "type %q segment [%d,+%d) outside data area", td.meta.Name, td.segOff, td.segLen)
+		}
+		nSparse, err := br.count(maxCount)
+		if err != nil {
+			return err
+		}
+		td.sparse = make([]sparseRef, nSparse)
+		for j := 0; j < nSparse; j++ {
+			if td.sparse[j].value, err = br.str(); err != nil {
+				return err
+			}
+			off, err := br.uvarint()
+			if err != nil {
+				return err
+			}
+			if int64(off) > td.segLen {
+				return corrupt(IndexFile, "type %q sparse entry beyond segment", td.meta.Name)
+			}
+			td.sparse[j].off = off
+		}
+		r.typeDirs[td.meta.Name] = td
+		r.typeList = append(r.typeList, td.meta)
+	}
+	if br.pos != len(br.buf) {
+		return corrupt(IndexFile, "%d trailing bytes after type directory", len(br.buf)-br.pos)
+	}
+	return nil
+}
+
+// readAt reads exactly len(b) payload bytes starting at payload offset
+// off.
+func (s *segReader) readAt(b []byte, off int64) error {
+	if _, err := s.f.ReadAt(b, headerSize+off); err != nil {
+		return corrupt(s.name, "read %d bytes at %d: %v", len(b), off, err)
+	}
+	return nil
+}
+
+// openSegment opens and fully verifies one data segment: the file size
+// and CRC must match the manifest's stamp and the framing must be
+// intact.
+func openSegment(path, name string, kind byte, stamp segmentStamp) (*segReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, corrupt(name, "segment missing")
+		}
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	if st.Size() != stamp.size {
+		f.Close()
+		return nil, corrupt(name, "size %d, manifest expects %d", st.Size(), stamp.size)
+	}
+	header := make([]byte, headerSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		f.Close()
+		return nil, corrupt(name, "short header: %v", err)
+	}
+	payloadLen, err := verifyFraming(name, st.Size(), header, kind)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Stream the CRC over header + payload, then check the footer and
+	// the manifest stamp.
+	crc := uint32(0)
+	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, headerSize+payloadLen), 1<<16)
+	chunk := make([]byte, 1<<16)
+	for {
+		n, err := br.Read(chunk)
+		crc = crc32.Update(crc, crcTable, chunk[:n])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("odcodec: read %s: %w", path, err)
+		}
+	}
+	footer := make([]byte, footerSize)
+	if _, err := f.ReadAt(footer, headerSize+payloadLen); err != nil {
+		f.Close()
+		return nil, corrupt(name, "short footer: %v", err)
+	}
+	if err := checkFooter(name, footer, crc); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc != stamp.crc {
+		f.Close()
+		return nil, corrupt(name, "checksum %08x does not match manifest stamp %08x", crc, stamp.crc)
+	}
+	return &segReader{name: name, f: f, payloadLen: payloadLen}, nil
+}
+
+// readManifest loads and verifies the manifest of a snapshot directory.
+func readManifest(dir string) (Meta, [3]segmentStamp, error) {
+	var meta Meta
+	var stamps [3]segmentStamp
+	path := filepath.Join(dir, ManifestFile)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return meta, stamps, ErrNoSnapshot
+		}
+		return meta, stamps, fmt.Errorf("odcodec: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return meta, stamps, fmt.Errorf("odcodec: %w", err)
+	}
+	if st.Size() > 1<<30 {
+		return meta, stamps, corrupt(ManifestFile, "implausible manifest size %d", st.Size())
+	}
+	payload, err := readFramedFile(path, ManifestFile, kindManifest, f, st.Size())
+	if err != nil {
+		return meta, stamps, err
+	}
+	br := &byteReader{buf: payload, file: ManifestFile}
+	if meta.Fingerprint, err = br.str(); err != nil {
+		return meta, stamps, err
+	}
+	if meta.Theta, err = br.float64(); err != nil {
+		return meta, stamps, err
+	}
+	n, err := br.count(maxCount)
+	if err != nil {
+		return meta, stamps, err
+	}
+	meta.NumODs = n
+	fv, err := br.count(maxCount)
+	if err != nil {
+		return meta, stamps, err
+	}
+	if fv > 0 {
+		if fv-1 != meta.NumODs {
+			return meta, stamps, corrupt(ManifestFile, "%d filter values for %d ODs", fv-1, meta.NumODs)
+		}
+		meta.FilterValues = make([]float64, fv-1)
+		for i := range meta.FilterValues {
+			if meta.FilterValues[i], err = br.float64(); err != nil {
+				return meta, stamps, err
+			}
+		}
+	}
+	for i := range stamps {
+		sz, err := br.uvarint()
+		if err != nil {
+			return meta, stamps, err
+		}
+		if br.pos+4 > len(br.buf) {
+			return meta, stamps, corrupt(ManifestFile, "truncated segment stamp")
+		}
+		stamps[i] = segmentStamp{
+			size: int64(sz),
+			crc:  binary.LittleEndian.Uint32(br.buf[br.pos:]),
+		}
+		br.pos += 4
+	}
+	if br.pos != len(br.buf) {
+		return meta, stamps, corrupt(ManifestFile, "%d trailing bytes", len(br.buf)-br.pos)
+	}
+	return meta, stamps, nil
+}

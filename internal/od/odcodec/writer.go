@@ -1,0 +1,416 @@
+package odcodec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Writer streams a finalized store into a snapshot directory. Usage:
+//
+//	w, _ := NewWriter(dir)
+//	for each OD in ID order:        w.AddOD(object, source, tuples)
+//	for each type (ascending name): w.BeginType(name, maxLen, budget)
+//	    for each value (ascending): w.AddValue(value, objects)
+//	w.Commit(meta)                  // or w.Abort() on failure
+//
+// Data is written through to temporary files as it arrives, so the
+// writer's memory stays bounded by the string-dedup table and the OD
+// offset table. Commit seals the segment footers, renames the files
+// into place and writes the manifest last; until the manifest exists
+// the directory does not contain a snapshot, so a crash mid-write can
+// never be mistaken for a valid one.
+type Writer struct {
+	dir     string
+	err     error // sticky: first failure poisons the writer
+	done    bool
+	strSeg  *segWriter
+	odSeg   *segWriter
+	idxSeg  *segWriter
+	strOffs map[string]uint64
+
+	odOffsets []uint64
+
+	types     []dirEntry
+	lastValue string // previous AddValue, for order enforcement
+	scratch   []byte
+}
+
+// dirEntry accumulates one type's directory record while its segment is
+// written.
+type dirEntry struct {
+	meta   TypeMeta
+	segOff uint64
+	segLen uint64
+	sparse []sparseRef
+}
+
+type sparseRef struct {
+	value string
+	off   uint64 // entry offset relative to the type's segment start
+}
+
+// NewWriter starts a snapshot in dir, creating the directory if needed.
+func NewWriter(dir string) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	w := &Writer{dir: dir, strOffs: map[string]uint64{}}
+	var err error
+	if w.strSeg, err = newSegWriter(filepath.Join(dir, StringsFile), kindStrings); err != nil {
+		return nil, err
+	}
+	if w.odSeg, err = newSegWriter(filepath.Join(dir, ODsFile), kindODs); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	if w.idxSeg, err = newSegWriter(filepath.Join(dir, IndexFile), kindIndex); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return w, nil
+}
+
+// intern writes s to the string table once and returns its reference.
+func (w *Writer) intern(s string) uint64 {
+	if off, ok := w.strOffs[s]; ok {
+		return off
+	}
+	off := w.strSeg.n
+	w.strOffs[s] = off
+	w.scratch = appendString(w.scratch[:0], s)
+	w.setErr(w.strSeg.write(w.scratch))
+	return off
+}
+
+// AddOD appends one object description; the record's position in the
+// sequence of AddOD calls is its ID.
+func (w *Writer) AddOD(object string, source int32, tuples []Tuple) error {
+	if w.err != nil {
+		return w.err
+	}
+	if source < 0 {
+		return w.fail(fmt.Errorf("odcodec: negative source %d", source))
+	}
+	refs := make([]uint64, 0, 1+3*len(tuples))
+	refs = append(refs, w.intern(object))
+	for _, t := range tuples {
+		refs = append(refs, w.intern(t.Value), w.intern(t.Name), w.intern(t.Type))
+	}
+	if w.err != nil {
+		return w.err
+	}
+	b := appendUvarint(w.scratch[:0], refs[0])
+	b = appendUvarint(b, uint64(uint32(source)))
+	b = appendUvarint(b, uint64(len(tuples)))
+	for _, r := range refs[1:] {
+		b = appendUvarint(b, r)
+	}
+	w.odOffsets = append(w.odOffsets, w.odSeg.n)
+	w.scratch = b
+	return w.fail(w.odSeg.write(b))
+}
+
+// BeginType opens the index segment of one real-world type. Types must
+// arrive in ascending name order, after all AddOD calls.
+func (w *Writer) BeginType(name string, maxLen, budget int) error {
+	if w.err != nil {
+		return w.err
+	}
+	if budget < -1 {
+		return w.fail(fmt.Errorf("odcodec: type %q: edit budget %d below -1", name, budget))
+	}
+	if n := len(w.types); n > 0 && name <= w.types[n-1].meta.Name {
+		return w.fail(fmt.Errorf("odcodec: type %q not in ascending order after %q", name, w.types[n-1].meta.Name))
+	}
+	w.closeType()
+	w.types = append(w.types, dirEntry{
+		meta:   TypeMeta{Name: name, MaxLen: maxLen, Budget: budget},
+		segOff: w.idxSeg.n,
+	})
+	return nil
+}
+
+// AddValue appends one distinct value of the current type with its
+// sorted posting list. Values must arrive in ascending order.
+func (w *Writer) AddValue(value string, objects []int32) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(w.types) == 0 {
+		return w.fail(fmt.Errorf("odcodec: AddValue before BeginType"))
+	}
+	cur := &w.types[len(w.types)-1]
+	if cur.meta.NumValues > 0 && value <= w.lastValue {
+		return w.fail(fmt.Errorf("odcodec: type %q: value %q not in ascending order", cur.meta.Name, value))
+	}
+	w.lastValue = value
+	for i := 1; i < len(objects); i++ {
+		if objects[i] <= objects[i-1] {
+			return w.fail(fmt.Errorf("odcodec: type %q value %q: posting list not strictly ascending", cur.meta.Name, value))
+		}
+	}
+	if cur.meta.NumValues%sparseEvery == 0 {
+		cur.sparse = append(cur.sparse, sparseRef{value: value, off: w.idxSeg.n - cur.segOff})
+	}
+	cur.meta.NumValues++
+
+	postings := appendPostings(nil, objects)
+	b := appendString(w.scratch[:0], value)
+	b = appendUvarint(b, uint64(runeLen(value)))
+	b = appendUvarint(b, uint64(len(objects)))
+	b = appendUvarint(b, uint64(len(postings)))
+	b = append(b, postings...)
+	w.scratch = b
+	return w.fail(w.idxSeg.write(b))
+}
+
+// closeType seals the current type's segment length.
+func (w *Writer) closeType() {
+	if n := len(w.types); n > 0 {
+		w.types[n-1].segLen = w.idxSeg.n - w.types[n-1].segOff
+		w.lastValue = ""
+	}
+}
+
+// Commit writes the index directory, the OD offset table, the segment
+// footers and finally the manifest, then renames everything into place.
+// meta.NumODs is derived from the AddOD calls and may be left zero.
+func (w *Writer) Commit(meta Meta) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		return fmt.Errorf("odcodec: Commit called twice")
+	}
+	meta.NumODs = len(w.odOffsets)
+	if meta.FilterValues != nil && len(meta.FilterValues) != meta.NumODs {
+		return w.fail(fmt.Errorf("odcodec: %d filter values for %d ODs", len(meta.FilterValues), meta.NumODs))
+	}
+	w.closeType()
+
+	// Index directory + trailing directory offset.
+	dirOff := w.idxSeg.n
+	b := appendUvarint(w.scratch[:0], uint64(len(w.types)))
+	for _, t := range w.types {
+		b = appendString(b, t.meta.Name)
+		b = appendUvarint(b, uint64(t.meta.MaxLen))
+		b = appendUvarint(b, budgetToWire(t.meta.Budget))
+		b = appendUvarint(b, uint64(t.meta.NumValues))
+		b = appendUvarint(b, t.segOff)
+		b = appendUvarint(b, t.segLen)
+		b = appendUvarint(b, uint64(len(t.sparse)))
+		for _, s := range t.sparse {
+			b = appendString(b, s.value)
+			b = appendUvarint(b, s.off)
+		}
+	}
+	b = binary.LittleEndian.AppendUint64(b, dirOff)
+	if err := w.fail(w.idxSeg.write(b)); err != nil {
+		return err
+	}
+
+	// OD offset table + trailing table offset.
+	tableOff := w.odSeg.n
+	b = w.scratch[:0]
+	for _, off := range w.odOffsets {
+		b = binary.LittleEndian.AppendUint64(b, off)
+	}
+	b = binary.LittleEndian.AppendUint64(b, tableOff)
+	if err := w.fail(w.odSeg.write(b)); err != nil {
+		return err
+	}
+
+	var stamps [3]segmentStamp
+	for i, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+		st, err := seg.finish()
+		if err != nil {
+			return w.fail(err)
+		}
+		stamps[i] = st
+	}
+	// Retract any previous snapshot before touching its segments: from
+	// here until the new manifest lands, the directory reads as "no
+	// snapshot" (ErrNoSnapshot), never as a corrupt mix of old manifest
+	// and new segments. A crash mid-commit therefore loses the old
+	// snapshot — unavoidable when rebuilding in place — but never
+	// leaves an invalid one.
+	if err := os.Remove(filepath.Join(w.dir, ManifestFile)); err != nil && !os.IsNotExist(err) {
+		return w.fail(fmt.Errorf("odcodec: %w", err))
+	}
+	for _, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+		if err := os.Rename(seg.path+tmpSuffix, seg.path); err != nil {
+			return w.fail(fmt.Errorf("odcodec: %w", err))
+		}
+	}
+	if err := writeManifest(w.dir, meta, stamps); err != nil {
+		return w.fail(err)
+	}
+	w.done = true
+	return nil
+}
+
+// Abort discards the partially written snapshot. Safe to call after
+// Commit (no-op) or after an error.
+func (w *Writer) Abort() {
+	for _, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+		if seg == nil {
+			continue
+		}
+		seg.close()
+		if !w.done {
+			os.Remove(seg.path + tmpSuffix)
+		}
+	}
+}
+
+func (w *Writer) setErr(err error) {
+	if w.err == nil && err != nil {
+		w.err = err
+	}
+}
+
+func (w *Writer) fail(err error) error {
+	w.setErr(err)
+	return w.err
+}
+
+// runeLen is len([]rune(s)) without the intermediate slice.
+func runeLen(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+const tmpSuffix = ".tmp"
+
+// segWriter writes one framed segment file: header first, payload
+// through a buffered writer with a running CRC, footer on finish.
+type segWriter struct {
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	crc  uint32
+	n    uint64 // payload bytes written
+}
+
+func newSegWriter(path string, kind byte) (*segWriter, error) {
+	f, err := os.Create(path + tmpSuffix)
+	if err != nil {
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	w := &segWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
+	h := newHeader(kind)
+	w.crc = crc32.Update(0, crcTable, h)
+	if _, err := w.bw.Write(h); err != nil {
+		w.close()
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	return w, nil
+}
+
+func (w *segWriter) write(b []byte) error {
+	w.crc = crc32.Update(w.crc, crcTable, b)
+	w.n += uint64(len(b))
+	if _, err := w.bw.Write(b); err != nil {
+		return fmt.Errorf("odcodec: write %s: %w", w.path, err)
+	}
+	return nil
+}
+
+// finish writes the footer, flushes, syncs and closes the file,
+// returning its committed stamp. The sync orders segment durability
+// before the manifest rename that commits them.
+func (w *segWriter) finish() (segmentStamp, error) {
+	if _, err := w.bw.Write(newFooter(w.crc)); err != nil {
+		return segmentStamp{}, fmt.Errorf("odcodec: write %s: %w", w.path, err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return segmentStamp{}, fmt.Errorf("odcodec: flush %s: %w", w.path, err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return segmentStamp{}, fmt.Errorf("odcodec: sync %s: %w", w.path, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return segmentStamp{}, fmt.Errorf("odcodec: close %s: %w", w.path, err)
+	}
+	w.f = nil
+	return segmentStamp{size: int64(headerSize + w.n + footerSize), crc: w.crc}, nil
+}
+
+func (w *segWriter) close() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+}
+
+// writeManifest encodes and atomically installs the manifest, the
+// commit point of a snapshot.
+func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
+	b := appendString(nil, meta.Fingerprint)
+	b = appendFloat64(b, meta.Theta)
+	b = appendUvarint(b, uint64(meta.NumODs))
+	if meta.FilterValues == nil {
+		b = appendUvarint(b, 0)
+	} else {
+		b = appendUvarint(b, uint64(len(meta.FilterValues))+1)
+		for _, v := range meta.FilterValues {
+			b = appendFloat64(b, v)
+		}
+	}
+	for _, st := range stamps {
+		b = appendUvarint(b, uint64(st.size))
+		b = binary.LittleEndian.AppendUint32(b, st.crc)
+	}
+
+	h := newHeader(kindManifest)
+	crc := crc32.Update(0, crcTable, h)
+	crc = crc32.Update(crc, crcTable, b)
+	out := append(h, b...)
+	out = append(out, newFooter(crc)...)
+
+	path := filepath.Join(dir, ManifestFile)
+	f, err := os.Create(path + tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := os.Rename(path+tmpSuffix, path); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	return nil
+}
+
+// UpdateMeta rewrites an existing snapshot's manifest with a new
+// fingerprint and optional filter values, keeping θ, the OD count and
+// the segment stamps from disk. This is how a snapshot written during
+// Finalize (before the corpus fingerprint is known) is stamped with
+// provenance afterwards without rewriting the data segments.
+func UpdateMeta(dir, fingerprint string, filterValues []float64) error {
+	meta, stamps, err := readManifest(dir)
+	if err != nil {
+		return err
+	}
+	if filterValues != nil && len(filterValues) != meta.NumODs {
+		return fmt.Errorf("odcodec: %d filter values for %d ODs", len(filterValues), meta.NumODs)
+	}
+	meta.Fingerprint = fingerprint
+	meta.FilterValues = filterValues
+	return writeManifest(dir, meta, stamps)
+}

@@ -75,6 +75,9 @@ func (s *ShardedStore) Size() int { return len(s.ods) }
 // Theta implements Store.
 func (s *ShardedStore) Theta() float64 { return s.theta }
 
+// OD implements Store.
+func (s *ShardedStore) OD(id int32) *OD { return s.ods[id] }
+
 // ODs implements Store.
 func (s *ShardedStore) ODs() []*OD { return s.ods }
 
@@ -105,25 +108,17 @@ func (s *ShardedStore) Finalize(theta float64) {
 	s.finalized = true
 	s.theta = theta
 
-	// Phase 1: parallel OD scan with per-worker buffers, flushed to the
-	// owning shard under its lock.
+	// Phase 1: parallel OD scan (the shared builder's per-OD tuple walk)
+	// with per-worker buffers, flushed to the owning shard under its lock.
 	conc.Ranges(s.Workers, len(s.ods), 0, func(lo, hi int) {
 		buf := make([][]occEntry, s.nShards)
+		seen := map[string]bool{}
 		for i := lo; i < hi; i++ {
 			o := s.ods[i]
-			seen := map[string]bool{}
-			for _, t := range o.Tuples {
-				if t.Value == "" {
-					continue
-				}
-				k := t.occKey()
-				if seen[k] {
-					continue // an object counts once per tuple key
-				}
-				seen[k] = true
+			scanODTuples(o, seen, func(k string) {
 				sh := s.shardOf(k)
 				buf[sh] = append(buf[sh], occEntry{key: k, id: o.ID})
-			}
+			})
 		}
 		for sh := range buf {
 			if len(buf[sh]) == 0 {
@@ -176,25 +171,12 @@ func (s *ShardedStore) Finalize(theta float64) {
 		}
 	}
 
-	// Phase 4: per shard, build the distinct-value indexes with the
-	// global edit budgets.
+	// Phase 4: per shard, build the distinct-value indexes over the
+	// shard's slice of the value tables, sized by the global edit budgets.
 	conc.Ranges(s.Workers, s.nShards, 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			sh := &s.shards[i]
-			valueObjs := map[string]map[string][]int32{}
-			for key, ids := range sh.occ {
-				typ, val := splitOccKey(key)
-				m, ok := valueObjs[typ]
-				if !ok {
-					m = map[string][]int32{}
-					valueObjs[typ] = m
-				}
-				m[val] = ids
-			}
-			sh.types = make(map[string]*typeIndex, len(valueObjs))
-			for typ, m := range valueObjs {
-				sh.types[typ] = buildTypeIndex(m, theta, globalMax[typ])
-			}
+			sh.types = buildTypeIndexes(groupValuesByType(sh.occ), theta, globalMax)
 		}
 	})
 }

@@ -1,0 +1,187 @@
+package od
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/od/odcodec"
+)
+
+// SnapshotMeta is the provenance a snapshot is stamped with when saved.
+type SnapshotMeta struct {
+	// Fingerprint identifies the corpus + detection configuration the
+	// indexes were built from (internal/core computes it); warm starts
+	// require an exact match.
+	Fingerprint string
+	// FilterValues optionally persists the Step 4 object-filter bounds
+	// per OD so a warm start can skip recomputing them. May be nil.
+	FilterValues []float64
+}
+
+// Save persists a finalized store into dir in the DiskStore segment
+// format, so a later OpenDiskStore (or the pipeline's warm-start path)
+// restores it without rebuilding any index. Every backend can be saved:
+// a DiskStore that already lives in dir only has its manifest re-stamped
+// with the meta; MemStore, ShardedStore and foreign-directory DiskStores
+// are exported table by table. The snapshot commits atomically — its
+// manifest is written last.
+func Save(dir string, s Store, meta SnapshotMeta) error {
+	if meta.FilterValues != nil && len(meta.FilterValues) != s.Size() {
+		return fmt.Errorf("od: save: %d filter values for %d ODs", len(meta.FilterValues), s.Size())
+	}
+	if ds, ok := s.(*DiskStore); ok && sameDir(ds.dir, dir) {
+		ds.mustBeFinal()
+		return odcodec.UpdateMeta(dir, meta.Fingerprint, meta.FilterValues)
+	}
+	exp, ok := s.(interface {
+		exportSnapshot(w *odcodec.Writer) error
+	})
+	if !ok {
+		return fmt.Errorf("od: save: backend %T cannot be snapshotted", s)
+	}
+	w, err := odcodec.NewWriter(dir)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	if err := exp.exportSnapshot(w); err != nil {
+		return err
+	}
+	return w.Commit(odcodec.Meta{
+		Fingerprint:  meta.Fingerprint,
+		Theta:        s.Theta(),
+		FilterValues: meta.FilterValues,
+	})
+}
+
+func sameDir(a, b string) bool {
+	if a == b {
+		return true
+	}
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	return err1 == nil && err2 == nil && aa == bb
+}
+
+// writeODs streams the OD records in ID order.
+func writeODs(w *odcodec.Writer, ods []*OD) error {
+	tuples := make([]odcodec.Tuple, 0, 16)
+	for _, o := range ods {
+		tuples = tuples[:0]
+		for _, t := range o.Tuples {
+			tuples = append(tuples, odcodec.Tuple{Value: t.Value, Name: t.Name, Type: t.Type})
+		}
+		if err := w.AddOD(o.Object, int32(o.Source), tuples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportSnapshot writes the MemStore's tables: the typeIndex already
+// holds each type's values sorted with aligned posting lists.
+func (s *MemStore) exportSnapshot(w *odcodec.Writer) error {
+	s.mustBeFinal()
+	if err := writeODs(w, s.ods); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(s.types))
+	for typ := range s.types {
+		names = append(names, typ)
+	}
+	sort.Strings(names)
+	for _, typ := range names {
+		ti := s.types[typ]
+		if err := w.BeginType(typ, ti.maxLen, ti.budget); err != nil {
+			return err
+		}
+		for i, v := range ti.values {
+			if err := w.AddValue(v, ti.objects[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportSnapshot merges the ShardedStore's per-shard value tables into
+// the canonical single-table layout: values partition across shards, so
+// concatenating and sorting each type's shard slices reproduces exactly
+// the table MemStore would have built.
+func (s *ShardedStore) exportSnapshot(w *odcodec.Writer) error {
+	s.mustBeFinal()
+	if err := writeODs(w, s.ods); err != nil {
+		return err
+	}
+	type valueRow struct {
+		value   string
+		objects []int32
+	}
+	merged := map[string][]valueRow{}
+	maxLen := map[string]int{}
+	budget := map[string]int{}
+	for i := range s.shards {
+		for typ, ti := range s.shards[i].types {
+			rows := merged[typ]
+			for j, v := range ti.values {
+				rows = append(rows, valueRow{value: v, objects: ti.objects[j]})
+			}
+			merged[typ] = rows
+			if ti.maxLen > maxLen[typ] {
+				maxLen[typ] = ti.maxLen
+			}
+			budget[typ] = ti.budget // global by construction, same in every shard
+		}
+	}
+	names := make([]string, 0, len(merged))
+	for typ := range merged {
+		names = append(names, typ)
+	}
+	sort.Strings(names)
+	for _, typ := range names {
+		rows := merged[typ]
+		sort.Slice(rows, func(i, j int) bool { return rows[i].value < rows[j].value })
+		if err := w.BeginType(typ, maxLen[typ], budget[typ]); err != nil {
+			return err
+		}
+		for _, row := range rows {
+			if err := w.AddValue(row.value, row.objects); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// exportSnapshot re-exports a disk store into another directory by
+// streaming its own segments — used when the snapshot target differs
+// from the store's directory.
+func (s *DiskStore) exportSnapshot(w *odcodec.Writer) error {
+	s.mustBeFinal()
+	for id := int32(0); id < int32(s.size); id++ {
+		obj, src, tuples, err := s.r.OD(id)
+		if err != nil {
+			return err
+		}
+		if err := w.AddOD(obj, src, tuples); err != nil {
+			return err
+		}
+	}
+	for _, tm := range s.r.Types() {
+		if err := w.BeginType(tm.Name, tm.MaxLen, tm.Budget); err != nil {
+			return err
+		}
+		err := s.r.ScanType(tm.Name, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+			ids, err := postings()
+			if err != nil {
+				return true, err
+			}
+			return false, w.AddValue(v, ids)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -260,8 +260,12 @@ func FilterExact(store od.Store, o *od.OD, thetaTuple float64) float64 {
 		keys[k] = idx
 		alwaysCon[k] = true
 	}
+	// FilterExact inherently visits every OD, so the materialized slice
+	// beats per-id fetches: on a disk store, ODs() memoizes the full set
+	// once instead of thrashing the fixed-size OD cache n times.
+	ods := store.ODs()
 	for j := 0; j < n; j++ {
-		other := store.ODs()[j]
+		other := ods[j]
 		if other.ID == o.ID {
 			continue
 		}
