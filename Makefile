@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk vet fmt-check bench fuzz clean
+.PHONY: all build test test-race test-disk vet fmt-check docs-check bench fuzz clean
 
-all: build test vet fmt-check
+all: build test vet fmt-check docs-check
 
 build:
 	$(GO) build ./...
@@ -25,18 +25,29 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Persistence-layer gate: the store parity suites, the doc-vs-stream
-# equivalence suite, the warm-start suite and the odcodec round-trip
-# tests, under the race detector. DiskStore segment dirs live in each
-# test's t.TempDir. CI runs this as its own job.
+# Persistence-layer gate: the store parity suites (including the
+# mutable add/remove parity and compaction tests), the doc-vs-stream and
+# incremental-update equivalence suites, the warm-start suite, and the
+# odcodec round-trip / delta-segment tests, under the race detector.
+# DiskStore segment dirs live in each test's t.TempDir. CI runs this as
+# its own job.
 test-disk:
-	$(GO) test -race -run 'Disk|Snapshot|WarmStart|Parity|Equivalence|RoundTrip|Corrupt|Truncat' \
+	$(GO) test -race -run 'Disk|Snapshot|WarmStart|Parity|Equivalence|RoundTrip|Corrupt|Truncat|Mutable|Update|Delta' \
 		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
 
-# Brief fuzz shake of the odcodec round-trip and manifest decoding.
+# Documentation gate: vet plus the docscheck tool (package doc comments
+# everywhere, markdown cross-references resolve). CI runs this as the
+# docs job.
+docs-check:
+	$(GO) vet ./...
+	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md ROADMAP.md
+
+# Brief fuzz shake of the odcodec round-trip, manifest and delta-segment
+# decoding.
 fuzz:
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzOpenManifest -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 20s ./internal/od/odcodec/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -8,6 +8,7 @@
 //	         [-filter] [-pairs] [-stages] [-workers 4] \
 //	         [-store mem|sharded|disk] [-shards 8] \
 //	         [-store-dir DIR] [-reuse-index] \
+//	         [-update] [-remove OBJECT-PATH]... \
 //	         [-stream] doc1.xml [doc2.xml ...]
 //
 // The mapping file associates real-world types with schema XPaths, one
@@ -36,10 +37,31 @@
 // -stream ingests each document through the pull parser instead of
 // materializing it: peak memory is bounded by the largest candidate
 // subtree, not document size (the output is bit-identical either way;
-// without -schema the file is read twice). The result is the Fig. 3
-// dupcluster XML on stdout; -pairs additionally lists every detected
-// pair with its similarity on stderr, and -stages prints per-stage
-// timings.
+// without -schema the file is read twice). Streaming only supports
+// descendant description selections: combining -stream with an
+// ancestor heuristic (ra:N) is rejected up front — see the ROADMAP's
+// streaming-sources item. The result is the Fig. 3 dupcluster XML on
+// stdout; -pairs additionally lists every detected pair with its
+// similarity on stderr, and -stages prints per-stage timings.
+//
+// -update runs incremental detection against the persisted indexes in
+// -store-dir instead of rebuilding them: the listed documents are
+// ingested as *new* sources appended to the corpus, every -remove
+// OBJECT-PATH deletes an existing candidate, and only the affected
+// portion of the pipeline re-runs (delta index maintenance, scoped
+// filter-bound recomputation, recomparison of affected pairs). The
+// merged indexes are persisted back to -store-dir with a chained
+// fingerprint, ready for the next -update run:
+//
+//	dogmatix -map m.txt -type DISC -store disk -store-dir idx first.xml
+//	dogmatix -map m.txt -type DISC -update -store-dir idx \
+//	         -remove '/freedb/disc[12]' corrections.xml
+//
+// The mapping, heuristic and -ttuple must match the ones the snapshot
+// was built with (θtuple is verified against the stored indexes; the
+// rest is the operator's contract). Output is rendered exactly like a
+// fresh run over the updated corpus, and the incremental-equivalence
+// suite pins it bit-identical to one.
 package main
 
 import (
@@ -47,6 +69,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/heuristics"
@@ -74,7 +98,10 @@ func main() {
 		reuseIndex = flag.Bool("reuse-index", false, "warm-start from a matching index snapshot in -store-dir (and save one after a fresh build)")
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
+		update     = flag.Bool("update", false, "incremental run: append the documents to (and apply -remove against) the persisted indexes in -store-dir")
 	)
+	var removePaths stringList
+	flag.Var(&removePaths, "remove", "with -update: object path of a candidate to remove (repeatable)")
 	flag.Parse()
 	opts := options{
 		mapFile: *mapFile, typeName: *typeName, xsdFile: *xsdFile,
@@ -83,6 +110,7 @@ func main() {
 		showStages: *showStages, store: *store, shards: *shards,
 		workers: *workers, storeDir: *storeDir, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
+		update: *update, removePaths: removePaths,
 	}
 	if err := run(opts, flag.Args(), os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dogmatix:", err)
@@ -90,14 +118,26 @@ func main() {
 	}
 }
 
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
 type options struct {
 	mapFile, typeName, xsdFile, heuristic string
 	ttuple, tcand                         float64
 	useFilter, showPairs, stats           bool
 	showStages, stream, reuseIndex        bool
+	update                                bool
 	shards, workers                       int
 	store, storeDir                       string
 	format                                string
+	removePaths                           []string
 }
 
 // Store backend names accepted by -store.
@@ -117,8 +157,29 @@ func (o *options) validate(docs []string) error {
 	if o.mapFile == "" || o.typeName == "" {
 		return fmt.Errorf("-map and -type are required")
 	}
-	if len(docs) == 0 {
+	if len(docs) == 0 && !(o.update && len(o.removePaths) > 0) {
 		return fmt.Errorf("no input documents")
+	}
+	if len(o.removePaths) > 0 && !o.update {
+		return fmt.Errorf("-remove only applies to -update runs")
+	}
+	if o.stream && specSelectsAncestors(o.heuristic) {
+		return fmt.Errorf(
+			"-stream cannot evaluate the ancestor selections of heuristic %q: streaming ingestion holds only the candidate subtree, so ra:N descriptions need a materialized document — drop -stream, or use a descendant heuristic (kd:N, rd:N); see ROADMAP.md, streaming sources", o.heuristic)
+	}
+	if o.update {
+		if o.storeDir == "" {
+			return fmt.Errorf("-update needs -store-dir pointing at a persisted index snapshot")
+		}
+		if o.reuseIndex {
+			return fmt.Errorf("-update and -reuse-index are exclusive: an update run always starts from (and re-persists) the -store-dir snapshot")
+		}
+		switch o.store {
+		case "", storeDisk:
+			o.store = storeDisk
+		default:
+			return fmt.Errorf("-update serves from the persisted disk store; -store %q does not apply", o.store)
+		}
 	}
 	if o.workers < 0 {
 		return fmt.Errorf("-workers %d is negative", o.workers)
@@ -160,6 +221,28 @@ func (o *options) validate(docs []string) error {
 		return fmt.Errorf("-store-dir is set but neither -store disk nor -reuse-index uses it")
 	}
 	return nil
+}
+
+// specSelectsAncestors reports whether a heuristic spec contains an
+// ancestor selection (ra:N) in any of its OR-combined parts, looking
+// through expN: prefixes and [condition] suffixes. Streaming ingestion
+// cannot evaluate those — the check lets -stream fail fast instead of
+// erroring mid-pipeline after schema inference.
+func specSelectsAncestors(spec string) bool {
+	for _, part := range strings.Split(spec, "+") {
+		part = strings.TrimSpace(part)
+		for strings.HasPrefix(part, "exp") {
+			colon := strings.IndexByte(part, ':')
+			if colon < 0 {
+				break
+			}
+			part = part[colon+1:]
+		}
+		if strings.HasPrefix(part, "ra:") {
+			return true
+		}
+	}
+	return false
 }
 
 // newStore resolves the validated options into a store factory for
@@ -235,16 +318,27 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		ThetaCand:  opts.tcand,
 		UseFilter:  opts.useFilter,
 		Workers:    opts.workers,
-		NewStore:   opts.newStore(),
 	}
-	if opts.reuseIndex {
-		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true}
+	if opts.update {
+		// Update runs serve from the persisted snapshot and re-persist
+		// the merged indexes when done.
+		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true}
+	} else {
+		cfg.NewStore = opts.newStore()
+		if opts.reuseIndex {
+			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true}
+		}
 	}
 	det, err := core.NewDetector(mapping, cfg)
 	if err != nil {
 		return err
 	}
-	res, err := det.DetectInputs(opts.typeName, inputs...)
+	var res *core.Result
+	if opts.update {
+		res, err = runUpdate(opts, det, inputs)
+	} else {
+		res, err = det.DetectInputs(opts.typeName, inputs...)
+	}
 	if err != nil {
 		return err
 	}
@@ -277,4 +371,63 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -format %q (want xml, json, csv)", opts.format)
 	}
+}
+
+// runUpdate drives the incremental path: open the persisted snapshot
+// (replaying any unmerged delta segments), adopt it, resolve the
+// -remove paths to candidate IDs, and run Detector.Update over the new
+// sources. Update's snapshot stage merges the result back to -store-dir.
+func runUpdate(opts options, det *core.Detector, inputs []core.SourceInput) (*core.Result, error) {
+	store, err := od.OpenDiskStore(opts.storeDir)
+	if err != nil {
+		return nil, fmt.Errorf("open index snapshot in %s: %w (build one first: -store disk -store-dir %s)",
+			opts.storeDir, err, opts.storeDir)
+	}
+	if got := store.Theta(); got != opts.ttuple {
+		return nil, fmt.Errorf("snapshot in %s was built for -ttuple %v, run requests %v", opts.storeDir, got, opts.ttuple)
+	}
+	prev, err := core.Adopt(opts.typeName, store)
+	if err != nil {
+		return nil, err
+	}
+	removeIDs, err := resolveRemovals(prev, store, opts.removePaths)
+	if err != nil {
+		return nil, err
+	}
+	return det.Update(prev, core.UpdateBatch{Add: inputs, Remove: removeIDs})
+}
+
+// resolveRemovals maps -remove object paths onto live candidate IDs.
+// The same path can recur across sources, so a removal may qualify the
+// source with an `N:` prefix ("1:/db/rec[3]" removes source 1's
+// candidate); an unqualified path must be unambiguous.
+func resolveRemovals(prev *core.Result, store od.MutableStore, paths []string) ([]int32, error) {
+	var out []int32
+	for _, spec := range paths {
+		path, source := spec, -1
+		if colon := strings.IndexByte(spec, ':'); colon > 0 {
+			if n, err := strconv.Atoi(spec[:colon]); err == nil {
+				source, path = n, spec[colon+1:]
+			}
+		}
+		var matches []int32
+		for id, c := range prev.Candidates {
+			if c.Path == path && (source < 0 || c.Source == source) && store.Alive(int32(id)) {
+				matches = append(matches, int32(id))
+			}
+		}
+		switch len(matches) {
+		case 0:
+			return nil, fmt.Errorf("-remove %s: no live candidate has this object path", spec)
+		case 1:
+			out = append(out, matches[0])
+		default:
+			var srcs []string
+			for _, id := range matches {
+				srcs = append(srcs, strconv.Itoa(prev.Candidates[id].Source))
+			}
+			return nil, fmt.Errorf("-remove %s: ambiguous, candidates exist in sources %s — qualify as SOURCE:%s", spec, strings.Join(srcs, ", "), path)
+		}
+	}
+	return out, nil
 }

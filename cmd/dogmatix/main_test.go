@@ -118,3 +118,205 @@ func TestRunDiskStoreAndReuse(t *testing.T) {
 		t.Fatalf("warm output diverges:\n first: %s\nsecond: %s", out1.String(), out2.String())
 	}
 }
+
+// TestStreamRejectsAncestorHeuristics pins the fail-fast satellite: the
+// combination -stream + ra:N must error at flag validation — before any
+// input file is even opened — with a message naming the limitation.
+// Passing a nonexistent document proves no file access happened.
+func TestStreamRejectsAncestorHeuristics(t *testing.T) {
+	for _, spec := range []string{"ra:1", "kd:6+ra:2", "exp5:ra:1", "rd:1+exp3:ra:2[cme]"} {
+		opts := options{
+			mapFile: "map.txt", typeName: "T", format: "xml",
+			heuristic: spec, stream: true,
+		}
+		err := opts.validate([]string{"does-not-exist.xml"})
+		if err == nil || !strings.Contains(err.Error(), "ROADMAP") {
+			t.Fatalf("spec %q: validate() = %v, want ancestor-selection error naming the ROADMAP item", spec, err)
+		}
+	}
+	// The same specs without -stream stay valid, and descendant
+	// heuristics stream fine.
+	for _, tc := range []struct {
+		spec   string
+		stream bool
+	}{{"ra:1", false}, {"kd:6", true}, {"rd:2+kd:3[csdt]", true}} {
+		opts := options{
+			mapFile: "map.txt", typeName: "T", format: "xml",
+			heuristic: tc.spec, stream: tc.stream,
+		}
+		if err := opts.validate([]string{"doc.xml"}); err != nil {
+			t.Fatalf("spec %q stream=%v: unexpected error %v", tc.spec, tc.stream, err)
+		}
+	}
+}
+
+// TestUpdateFlagValidation pins the -update flag matrix.
+func TestUpdateFlagValidation(t *testing.T) {
+	base := options{mapFile: "m.txt", typeName: "T", format: "xml", update: true, storeDir: "d"}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		docs    []string
+		wantErr string
+	}{
+		{"no-dir", func(o *options) { o.storeDir = "" }, []string{"a.xml"}, "-update needs -store-dir"},
+		{"with-reuse", func(o *options) { o.reuseIndex = true }, []string{"a.xml"}, "exclusive"},
+		{"mem-store", func(o *options) { o.store = "mem" }, []string{"a.xml"}, "does not apply"},
+		{"no-work", func(o *options) {}, nil, "no input documents"},
+		{"remove-without-update", func(o *options) { o.update = false; o.storeDir = "" }, []string{"a.xml"}, "-remove only applies"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			if tc.name == "remove-without-update" {
+				o.removePaths = []string{"/db/rec[1]"}
+			}
+			tc.mutate(&o)
+			err := o.validate(tc.docs)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+	t.Run("removal-only-ok", func(t *testing.T) {
+		o := base
+		o.removePaths = []string{"/db/rec[1]"}
+		if err := o.validate(nil); err != nil || o.store != storeDisk {
+			t.Fatalf("removal-only update: store=%q err=%v", o.store, err)
+		}
+	})
+}
+
+// TestRunUpdateEndToEnd drives the full CLI workflow: fresh disk build,
+// then an -update run that appends a document and removes a candidate,
+// and checks the output equals a from-scratch run over the edited
+// corpus. A second, removal-only update exercises the re-persisted
+// (merged) snapshot.
+func TestRunUpdateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "map.txt")
+	storeDir := filepath.Join(dir, "store")
+	write := func(name, content string) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := os.WriteFile(mapPath, []byte("REC /db/rec\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc1 := write("d1.xml", `<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Gamma Delta</name><id>3</id></rec>
+  <rec><name>Stale Entry</name><id>9</id></rec>
+</db>`)
+	doc2 := write("d2.xml", `<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Epsilon</name><id>4</id></rec>
+</db>`)
+	// The edited corpus a from-scratch run sees: doc1 without its
+	// removed trailing record, plus doc2.
+	doc1Trimmed := write("d1-trimmed.xml", `<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Gamma Delta</name><id>3</id></rec>
+</db>`)
+
+	base := options{
+		mapFile: mapPath, typeName: "REC", heuristic: "rd:1",
+		ttuple: 0.30, tcand: 0.55, format: "xml",
+	}
+
+	fresh := base
+	fresh.store = storeDisk
+	fresh.storeDir = storeDir
+	var out bytes.Buffer
+	if err := run(fresh, []string{doc1}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	upd := base
+	upd.update = true
+	upd.storeDir = storeDir
+	upd.removePaths = []string{"/db/rec[3]"}
+	var updOut, updErr bytes.Buffer
+	if err := run(upd, []string{doc2}, &updOut, &updErr); err != nil {
+		t.Fatal(err)
+	}
+
+	var refOut, refErr bytes.Buffer
+	if err := run(base, []string{doc1Trimmed, doc2}, &refOut, &refErr); err != nil {
+		t.Fatal(err)
+	}
+	if updOut.String() != refOut.String() {
+		t.Fatalf("-update output diverges from from-scratch run\n got: %s\nwant: %s", updOut.String(), refOut.String())
+	}
+
+	// Chained removal-only update against the merged snapshot.
+	upd2 := base
+	upd2.update = true
+	upd2.storeDir = storeDir
+	upd2.removePaths = []string{"0:/db/rec[2]"} // Gamma Delta, source-qualified
+	var upd2Out, upd2Err bytes.Buffer
+	if err := run(upd2, nil, &upd2Out, &upd2Err); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(upd2Out.String(), "dupcluster") {
+		t.Fatalf("removal-only update produced no cluster output: %s", upd2Out.String())
+	}
+
+	// Bad removals fail with actionable errors.
+	bad := base
+	bad.update = true
+	bad.storeDir = storeDir
+	bad.removePaths = []string{"/db/rec[99]"}
+	if err := run(bad, nil, &out, &out); err == nil || !strings.Contains(err.Error(), "no live candidate") {
+		t.Fatalf("unknown -remove path: %v", err)
+	}
+	bad.removePaths = []string{"/db/rec[1]"} // exists in sources 0 and 1
+	if err := run(bad, nil, &out, &out); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous -remove path: %v", err)
+	}
+}
+
+// TestRunUpdateJSONCandidateCount pins the live-candidate count in JSON
+// output: an update result's Candidates slice spans removed IDs, but
+// the rendered count must match a from-scratch run over the edited
+// corpus.
+func TestRunUpdateJSONCandidateCount(t *testing.T) {
+	dir := t.TempDir()
+	mapPath := filepath.Join(dir, "map.txt")
+	storeDir := filepath.Join(dir, "store")
+	if err := os.WriteFile(mapPath, []byte("REC /db/rec\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docPath := filepath.Join(dir, "d.xml")
+	if err := os.WriteFile(docPath, []byte(`<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Stale</name><id>9</id></rec>
+</db>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := options{
+		mapFile: mapPath, typeName: "REC", heuristic: "rd:1",
+		ttuple: 0.30, tcand: 0.55, format: "json",
+		store: storeDisk, storeDir: storeDir,
+	}
+	var out bytes.Buffer
+	if err := run(base, []string{docPath}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	upd := base
+	upd.store, upd.storeDir = "", storeDir
+	upd.update = true
+	upd.removePaths = []string{"/db/rec[3]"}
+	var updOut, updErr bytes.Buffer
+	if err := run(upd, nil, &updOut, &updErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(updOut.String(), `"candidates": 2`) {
+		t.Fatalf("update JSON should report 2 live candidates:\n%s", updOut.String())
+	}
+}

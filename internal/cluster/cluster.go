@@ -96,6 +96,10 @@ func FromPairs(n int, pairs [][2]int32) [][]int32 {
 
 // FromPairsFunc is FromPairs over count pairs produced by at(i), sparing
 // callers that already hold pairs in another shape the intermediate copy.
+// n may exceed the number of live objects: the incremental pipeline
+// passes the full candidate ID span, so removed IDs participate as
+// permanent singletons — they can never appear in a pair, and clusters
+// keep only sets of two or more, so they never surface in the output.
 func FromPairsFunc(n, count int, at func(i int) (int32, int32)) [][]int32 {
 	uf := NewUnionFind(n)
 	for i := 0; i < count; i++ {

@@ -18,6 +18,14 @@
 // matches the corpus fingerprint) and snapshot (persists the finalized
 // indexes after a fresh build). See SnapshotOptions.
 //
+// Detector.Update is the incremental path for living corpora: against a
+// previous Result (or a persisted store adopted via Adopt) it ingests
+// only an UpdateBatch's new sources, maintains the store's indexes by
+// delta (od.MutableStore), re-derives Step 4 bounds conservatively and
+// recompares only the affected candidate pairs, with results pinned
+// bit-identical to a from-scratch run over the live corpus. See
+// update.go and Config.Incremental.
+//
 // Each stage is a named, independently timed unit (see StageStats and
 // Observer in pipeline.go). Where the XML comes from is pluggable through
 // the SourceInput seam (DocSource for in-memory trees, StreamSource for
@@ -271,6 +279,14 @@ type Config struct {
 	// Filter overrides the Step 4 object-filter strategy. nil uses the
 	// indexed sim.IndexFilter (Sec. 5.2).
 	Filter sim.ObjectFilter
+	// Incremental records replay traces (per-pair softIDF unions, per-
+	// object filter steps) on the Result so a later Update call can
+	// patch untouched pairs and bounds in place instead of recomputing
+	// them. Costs memory proportional to the compared pairs; requires
+	// the default Comparator and Filter, whose scores the traces replay
+	// bit-identically. Update works without it — it then recompares all
+	// surviving pairs — so leave it off for one-shot detections.
+	Incremental bool
 	// Observer, when non-nil, receives stage start/done events.
 	Observer Observer
 }
@@ -304,6 +320,9 @@ func (c Config) withDefaults() (Config, error) {
 		if !c.Snapshot.Reuse && !c.Snapshot.Save {
 			return c, fmt.Errorf("core: snapshot options enable neither Reuse nor Save")
 		}
+	}
+	if c.Incremental && (c.Comparator != nil || c.Filter != nil) {
+		return c, fmt.Errorf("core: Incremental requires the default comparator and filter — replay traces only reproduce the paper's measure")
 	}
 	return c, nil
 }
@@ -356,6 +375,17 @@ type Result struct {
 	// Candidates carry nil Node and SchemaEl pointers: no tree or
 	// schema survives a restart, matching the streaming contract.
 	WarmStart bool
+	// SourceCount is the number of sources the candidate Source indexes
+	// range over; Update extends it as batches append sources.
+	SourceCount int
+	// Removed accumulates the candidate IDs deleted by Update calls.
+	// Their Candidates slots keep the stale entry for provenance; the
+	// IDs never appear in Pruned, Pairs or Clusters again.
+	Removed []int32
+
+	// inc carries the replay traces recorded under Config.Incremental,
+	// consumed (and re-produced) by Update.
+	inc *incState
 }
 
 // Detector runs DogmatiX for one mapping and configuration.
@@ -405,9 +435,12 @@ func (d *Detector) DetectInputs(typeName string, inputs ...SourceInput) (*Result
 		d:          d,
 		typeName:   typeName,
 		inputs:     inputs,
-		res:        &Result{Type: typeName},
+		res:        &Result{Type: typeName, SourceCount: len(inputs)},
 		comparator: d.comparator(),
 		filter:     d.objectFilter(),
+	}
+	if d.cfg.Incremental {
+		p.inc = &incState{pairs: map[int64]sim.PairTrace{}}
 	}
 	if d.cfg.Snapshot != nil && d.cfg.Snapshot.Reuse {
 		if err := p.runOne(pipelineStage{StageWarmStart, (*pipelineRun).warmStart}); err != nil {
@@ -417,6 +450,7 @@ func (d *Detector) DetectInputs(typeName string, inputs ...SourceInput) (*Result
 	if err := p.run(d.stages(p.warm)); err != nil {
 		return nil, err
 	}
+	p.finishIncState()
 	p.res.Stats.Elapsed = time.Since(start)
 	return p.res, nil
 }

@@ -50,8 +50,10 @@ type jsonStats struct {
 // that does not speak the Fig. 3 XML.
 func (r *Result) WriteJSON(w io.Writer) error {
 	out := jsonResult{
-		Type:       r.Type,
-		Candidates: len(r.Candidates),
+		Type: r.Type,
+		// Live candidates, not len(r.Candidates): on an Update result
+		// the slice spans the full ID space including removed slots.
+		Candidates: len(r.Candidates) - len(r.Removed),
 		Pruned:     r.Pruned,
 		Pairs:      make([]jsonPair, 0, len(r.Pairs)),
 		Stats: jsonStats{

@@ -100,7 +100,7 @@ func (k *ingestSink) append(pc pendingCand) {
 		})
 	}
 	k.p.res.Candidates = append(k.p.res.Candidates, pc.cand)
-	k.p.store.Add(pc.o)
+	k.p.addOD(pc.o)
 	k.p.tupleCount += len(pc.o.Tuples)
 }
 

@@ -94,6 +94,30 @@ type pipelineRun struct {
 	warm            bool      // the warmstart stage adopted a snapshot
 	persistedFilter []float64 // filter bounds restored from the snapshot
 	filterValues    []float64 // filter bounds in effect after reduce
+
+	inc *incState  // replay traces recorded under Config.Incremental
+	upd *updateCtx // non-nil when this run is a Detector.Update
+}
+
+// idSpan is the exclusive upper bound of candidate IDs — equal to
+// Size() on a fresh build, larger on an updated store whose Remove
+// calls left holes in the ID space.
+func (p *pipelineRun) idSpan() int {
+	if ms, ok := p.store.(od.MutableStore); ok {
+		return int(ms.IDSpan())
+	}
+	return p.store.Size()
+}
+
+// addOD routes one flattened candidate to the store: directly on a
+// fresh build, or into the update batch buffer (flushed to
+// AddAfterFinalize once the source's paths are final) on an Update run.
+func (p *pipelineRun) addOD(o *od.OD) {
+	if p.upd != nil {
+		p.upd.addBuf = append(p.upd.addBuf, o)
+		return
+	}
+	p.store.Add(o)
 }
 
 // ingestPath is one compiled (candidate path, description query) unit a
@@ -309,6 +333,14 @@ func (p *pipelineRun) reduce() (int, error) {
 		_, isDefault := p.filter.(sim.IndexFilter)
 		if p.warm && isDefault && len(p.persistedFilter) == n {
 			filterValues = p.persistedFilter
+		} else if p.inc != nil {
+			// Incremental recording: keep each bound's per-tuple replay
+			// steps so Update can patch untouched bounds in place.
+			filterValues = make([]float64, n)
+			p.inc.filter = make([][]sim.FilterStep, n)
+			p.d.parallelRange(n, func(i int) {
+				filterValues[i], p.inc.filter[i] = sim.FilterTrace(p.store, p.store.OD(int32(i)))
+			})
 		} else {
 			filterValues = make([]float64, n)
 			p.d.parallelRange(n, func(i int) {
@@ -347,6 +379,7 @@ func (p *pipelineRun) compare() (int, error) {
 	type batchOut struct {
 		pairs    []Pair
 		possible []Pair
+		traces   []tracedPair
 		compared int64
 	}
 	numBatches := (n + compareBatchSize - 1) / compareBatchSize
@@ -368,7 +401,7 @@ func (p *pipelineRun) compare() (int, error) {
 			oi := p.store.OD(i)
 			compare := func(j int32) {
 				out.compared++
-				score := p.comparator.Compare(p.store, oi, p.store.OD(j))
+				score := p.scorePair(oi, p.store.OD(j), i, j, &out.traces)
 				switch p.comparator.Classify(score) {
 				case sim.ClassDuplicate:
 					out.pairs = append(out.pairs, Pair{I: i, J: j, Score: score})
@@ -402,14 +435,42 @@ func (p *pipelineRun) compare() (int, error) {
 		p.res.Pairs = append(p.res.Pairs, outs[b].pairs...)
 		p.res.PossiblePairs = append(p.res.PossiblePairs, outs[b].possible...)
 		p.res.Stats.Compared += outs[b].compared
+		if p.inc != nil {
+			for _, tp := range outs[b].traces {
+				p.inc.pairs[tp.key] = tp.tr
+			}
+		}
 	}
 	p.res.Stats.PairsDetected = len(p.res.Pairs)
 	return int(p.res.Stats.Compared), nil
 }
 
+// tracedPair is one compared pair's replay trace, keyed by pairKey.
+type tracedPair struct {
+	key int64
+	tr  sim.PairTrace
+}
+
+// scorePair scores one candidate pair, recording its replay trace when
+// incremental recording is on. Traces are kept only for pairs with at
+// least one similar match — a pair without one scores 0 under any
+// corpus size, so there is nothing to patch later.
+func (p *pipelineRun) scorePair(oi, oj *od.OD, i, j int32, traces *[]tracedPair) float64 {
+	if p.inc == nil {
+		return p.comparator.Compare(p.store, oi, oj)
+	}
+	res, tr := sim.SimilarityTrace(p.store, oi, oj, p.d.cfg.ThetaTuple)
+	if len(tr.SimU) > 0 {
+		*traces = append(*traces, tracedPair{key: pairKey(i, j), tr: tr})
+	}
+	return res.Score
+}
+
 // clusterPairs is Step 6, duplicate clustering via transitive closure.
+// The union-find ranges over the full ID span: on an updated store,
+// removed IDs stay as permanent singletons and never reach a cluster.
 func (p *pipelineRun) clusterPairs() (int, error) {
-	p.res.Clusters = cluster.FromPairsFunc(p.store.Size(), len(p.res.Pairs),
+	p.res.Clusters = cluster.FromPairsFunc(p.idSpan(), len(p.res.Pairs),
 		func(i int) (int32, int32) { return p.res.Pairs[i].I, p.res.Pairs[i].J })
 	return len(p.res.Clusters), nil
 }

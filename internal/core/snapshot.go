@@ -158,6 +158,15 @@ func (p *pipelineRun) warmStart() (int, error) {
 	if err != nil {
 		return 0, nil // no usable snapshot; rebuild
 	}
+	if ds.Mutated() {
+		// Unmerged delta segments (an update run that crashed before its
+		// merge landed): the manifest fingerprint describes only the
+		// base, not the replayed live state, so a match would adopt the
+		// wrong corpus. Safe miss; -update/Adopt remain the paths that
+		// continue such a store.
+		ds.Close()
+		return 0, nil
+	}
 	if ds.Fingerprint() == "" {
 		ds.Close()
 		return 0, nil // unstamped snapshot can never match
@@ -198,6 +207,9 @@ func (p *pipelineRun) snapshot() (int, error) {
 	fp, err := p.fingerprint()
 	if err != nil {
 		return 0, err
+	}
+	if p.inc != nil {
+		p.inc.fp = fp // seed for Update's chained provenance
 	}
 	var fv []float64
 	if _, isDefault := p.filter.(sim.IndexFilter); isDefault {

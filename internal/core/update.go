@@ -1,0 +1,541 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/od"
+	"repro/internal/sim"
+)
+
+// StageUpdate is the incremental ingestion stage of a Detector.Update
+// run: it infers schemas for the batch's new sources, ingests only their
+// anchors into the existing store (AddAfterFinalize), applies the
+// removals, and derives the dirty sets the later stages patch around.
+const StageUpdate = "update"
+
+// UpdateBatch is one increment against a detected corpus: sources whose
+// anchors are appended as new candidates, and candidate IDs to remove.
+// A corrected anchor is modeled as remove-then-add — remove its old ID
+// and include a source carrying the corrected version.
+type UpdateBatch struct {
+	Add    []SourceInput
+	Remove []int32
+}
+
+// incState is the replay state Config.Incremental records on a Result:
+// everything Update needs to patch the untouched portion of the previous
+// answer bit-identically instead of recomputing it.
+type incState struct {
+	size  int    // |ΩT| when the state was recorded
+	fp    string // fingerprint chain head ("" = no provenance)
+	alive []bool // post-reduce survival per ID (filter applied)
+	// pairs holds one trace per compared pair with at least one similar
+	// match, keyed by pairKey. A pair's trace stays valid while neither
+	// endpoint's exact tuple postings change.
+	pairs map[int64]sim.PairTrace
+	// filter holds per-ID bound traces (nil when bounds were not
+	// computed, e.g. warm starts reusing persisted values). A trace
+	// stays valid while no posting of a value θtuple-similar to one of
+	// the object's tuples changes.
+	filter [][]sim.FilterStep
+}
+
+func pairKey(i, j int32) int64 { return int64(i)<<32 | int64(uint32(j)) }
+
+func unpairKey(k int64) (int32, int32) { return int32(k >> 32), int32(uint32(k)) }
+
+// updateCtx threads an Update run's batch state through the pipeline
+// stages.
+type updateCtx struct {
+	batch   UpdateBatch
+	prev    *incState // previous run's replay state; nil forces full recompare
+	ms      od.MutableStore
+	newFrom int32 // IDs at or above this are new in this batch
+
+	addBuf []*od.OD // staging buffer flushed to AddAfterFinalize
+
+	// changed maps every occurrence key whose posting list this batch
+	// touched (tuples of added and removed ODs) to a query tuple.
+	changed map[string]od.Tuple
+	// exactDirty marks pre-existing live IDs holding a changed key:
+	// their pairwise softIDF terms may have changed, so their pairs
+	// recompare. filterDirty is the wider θtuple-similar closure: their
+	// Step 4 bounds recompute. filterDirty ⊇ exactDirty whenever the
+	// changed values still exist.
+	exactDirty  map[int32]bool
+	filterDirty map[int32]bool
+
+	recompared int64 // pairs actually compared (vs patched)
+}
+
+// Update runs the incremental detection path against the result of a
+// previous Detect/Update (or Adopt): it ingests only the batch's new
+// anchors into the existing MutableStore, maintains the indexes by
+// delta, re-derives the Step 4 bounds conservatively (recomputing only
+// objects whose similar-value neighborhood changed, replaying the rest
+// under the new |ΩT|), recompares only the affected candidate pairs
+// (new, removed-adjacent, or holding a changed value — every other
+// pair's score is patched from its recorded trace), and rebuilds the
+// clusters from the merged pair set via cluster.FromPairsFunc.
+//
+// The result is bit-identical to a from-scratch Detect over the live
+// corpus, modulo the ID space: incremental IDs keep their holes and
+// arrival order, so clusters and pairs match a fresh run's after mapping
+// IDs through (Source, Path). The incremental-equivalence suite pins
+// this on all three store backends.
+//
+// Without replay traces on prev (Config.Incremental off, or a store
+// adopted from disk), every surviving pair recompares — still correct,
+// and still skipping re-ingestion and the index rebuild.
+//
+// θtuple must match the store's; prev must carry one candidate slot per
+// store ID. With Config.Snapshot.Save set, the updated store is
+// persisted with a chained fingerprint (see updateSnapshot) — note that
+// saving a DiskStore into its own directory merges and seals it, so
+// persist once after the last batch of an in-process chain.
+func (d *Detector) Update(prev *Result, batch UpdateBatch) (*Result, error) {
+	start := time.Now()
+	if prev == nil || prev.Store == nil {
+		return nil, fmt.Errorf("core: Update needs the previous Result with its store")
+	}
+	ms, ok := prev.Store.(od.MutableStore)
+	if !ok {
+		return nil, fmt.Errorf("core: store %T does not support post-Finalize updates", prev.Store)
+	}
+	if got, want := ms.Theta(), d.cfg.ThetaTuple; got != want {
+		return nil, fmt.Errorf("core: store indexes built for θtuple=%v, config wants %v", got, want)
+	}
+	if len(prev.Candidates) != int(ms.IDSpan()) {
+		return nil, fmt.Errorf("core: %d candidates for %d store IDs; pass the Result the store came from", len(prev.Candidates), ms.IDSpan())
+	}
+	if len(d.mapping.Paths(prev.Type)) == 0 {
+		return nil, fmt.Errorf("core: type %q has no candidate paths in the mapping", prev.Type)
+	}
+	seen := map[int32]bool{}
+	for _, id := range batch.Remove {
+		if seen[id] {
+			return nil, fmt.Errorf("core: Update removes id %d twice", id)
+		}
+		seen[id] = true
+		if !ms.Alive(id) {
+			return nil, fmt.Errorf("core: Update removes id %d, which is not a live candidate", id)
+		}
+	}
+
+	res := &Result{
+		Type:        prev.Type,
+		Candidates:  append([]Candidate(nil), prev.Candidates...),
+		Store:       prev.Store,
+		SourceCount: prev.SourceCount + len(batch.Add),
+		Removed:     append(append([]int32(nil), prev.Removed...), batch.Remove...),
+	}
+	p := &pipelineRun{
+		d:          d,
+		typeName:   prev.Type,
+		inputs:     batch.Add,
+		res:        res,
+		store:      prev.Store,
+		comparator: d.comparator(),
+		filter:     d.objectFilter(),
+		upd: &updateCtx{
+			batch:       batch,
+			prev:        prev.inc,
+			ms:          ms,
+			newFrom:     ms.IDSpan(),
+			changed:     map[string]od.Tuple{},
+			exactDirty:  map[int32]bool{},
+			filterDirty: map[int32]bool{},
+		},
+	}
+	if d.cfg.Incremental {
+		p.inc = &incState{pairs: map[int64]sim.PairTrace{}}
+	}
+
+	stages := []pipelineStage{
+		{StageUpdate, (*pipelineRun).updateApply},
+		{StageReduce, (*pipelineRun).updateReduce},
+	}
+	if d.cfg.Snapshot != nil && d.cfg.Snapshot.Save {
+		stages = append(stages, pipelineStage{StageSnapshot, (*pipelineRun).updateSnapshot})
+	}
+	if !d.cfg.FilterOnly {
+		stages = append(stages,
+			pipelineStage{StageCompare, (*pipelineRun).updateCompare},
+			pipelineStage{StageCluster, (*pipelineRun).clusterPairs},
+		)
+	}
+	if err := p.run(stages); err != nil {
+		return nil, err
+	}
+	p.finishIncState()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Adopt wraps an already-finalized store — typically od.OpenDiskStore
+// over a persisted index directory — in a Result that Update can run
+// against without re-detecting anything. Candidates are reconstructed
+// from the stored object descriptions; no replay traces exist, so the
+// first Update recompares all surviving pairs.
+func Adopt(typeName string, s od.Store) (*Result, error) {
+	ms, ok := s.(od.MutableStore)
+	if !ok {
+		return nil, fmt.Errorf("core: store %T does not support post-Finalize updates", s)
+	}
+	span := ms.IDSpan()
+	res := &Result{Type: typeName, Store: s, SourceCount: 0}
+	res.Candidates = make([]Candidate, span)
+	for id := int32(0); id < span; id++ {
+		if !ms.Alive(id) {
+			res.Removed = append(res.Removed, id)
+			continue
+		}
+		o := ms.OD(id)
+		res.Candidates[id] = Candidate{Source: o.Source, Path: o.Object}
+		if o.Source+1 > res.SourceCount {
+			res.SourceCount = o.Source + 1
+		}
+	}
+	return res, nil
+}
+
+// finishIncState snapshots the run's survival state into the recorded
+// traces once all stages ran.
+func (p *pipelineRun) finishIncState() {
+	if p.inc == nil {
+		return
+	}
+	p.inc.size = p.store.Size()
+	p.inc.alive = p.alive
+	if p.upd != nil && p.upd.prev != nil && p.inc.fp == "" {
+		p.inc.fp = p.upd.prev.fp
+	}
+	p.res.inc = p.inc
+}
+
+// updateApply is the StageUpdate implementation. Its item count is the
+// number of candidates the batch added plus removed.
+func (p *pipelineRun) updateApply() (int, error) {
+	u := p.upd
+	baseSources := p.res.SourceCount - len(u.batch.Add)
+
+	if len(u.batch.Add) > 0 {
+		if _, err := p.inferSchemas(); err != nil {
+			return 0, err
+		}
+		candPaths := p.d.mapping.Paths(p.typeName)
+		for si, src := range p.inputs {
+			active, err := p.compilePaths(candPaths, si, src.streaming())
+			if err != nil {
+				return 0, err
+			}
+			if len(active) == 0 {
+				continue
+			}
+			sink := newIngestSink(p, baseSources+si, active, src.streaming())
+			if err := src.ingest(active, sink.emit); err != nil {
+				return 0, fmt.Errorf("core: source %d: %w", si, err)
+			}
+			sink.finish()
+		}
+	}
+	// The sink staged the flattened ODs (their positional paths are
+	// final now); one AddAfterFinalize assigns their IDs in candidate
+	// order.
+	scratch := map[string]bool{}
+	for _, o := range u.addBuf {
+		p.recordChangedKeys(o, scratch)
+	}
+	if len(u.addBuf) > 0 {
+		if err := u.ms.AddAfterFinalize(u.addBuf); err != nil {
+			return 0, err
+		}
+	}
+	if got, want := len(p.res.Candidates), int(u.ms.IDSpan()); got != want {
+		return 0, fmt.Errorf("core: update ingested %d candidates but store spans %d IDs", got, want)
+	}
+	for _, id := range u.batch.Remove {
+		p.recordChangedKeys(u.ms.OD(id), scratch)
+	}
+	if len(u.batch.Remove) > 0 {
+		if err := u.ms.Remove(u.batch.Remove); err != nil {
+			return 0, err
+		}
+	}
+
+	// Dirty closure, on the *updated* indexes: objects holding a changed
+	// key recompare their pairs; objects with any value θtuple-similar
+	// to a changed value recompute their filter bound. Querying by the
+	// changed value works whether or not the value still exists — the
+	// similar-value scan is distance-based, so it finds the surviving
+	// neighbors either way.
+	for _, t := range u.changed {
+		for _, id := range u.ms.ObjectsWithExact(t) {
+			if id < u.newFrom {
+				u.exactDirty[id] = true
+			}
+		}
+		for _, m := range u.ms.SimilarValues(t) {
+			for _, id := range m.Objects {
+				if id < u.newFrom {
+					u.filterDirty[id] = true
+				}
+			}
+		}
+	}
+	return len(u.addBuf) + len(u.batch.Remove), nil
+}
+
+// recordChangedKeys notes every distinct occurrence key of one OD as
+// changed by this batch.
+func (p *pipelineRun) recordChangedKeys(o *od.OD, scratch map[string]bool) {
+	clear(scratch)
+	for _, t := range o.Tuples {
+		if t.Value == "" {
+			continue
+		}
+		k := t.Type + "\x00" + t.Value
+		if scratch[k] {
+			continue
+		}
+		scratch[k] = true
+		p.upd.changed[k] = od.Tuple{Value: t.Value, Type: t.Type}
+	}
+}
+
+// updateReduce is Step 4 on an updated store: bounds recompute only for
+// new or filter-dirty objects; every other live object's bound replays
+// its recorded trace under the new |ΩT| — bit-identical to recomputing,
+// at the cost of a few logarithms. Without traces everything recomputes.
+func (p *pipelineRun) updateReduce() (int, error) {
+	cfg := p.d.cfg
+	u := p.upd
+	span := p.idSpan()
+	liveN := p.store.Size()
+	p.alive = make([]bool, span)
+	for id := 0; id < span; id++ {
+		p.alive[id] = u.ms.Alive(int32(id))
+	}
+
+	if cfg.UseFilter || cfg.KeepFilterValues {
+		var prevSteps [][]sim.FilterStep
+		_, isDefault := p.filter.(sim.IndexFilter)
+		if u.prev != nil && isDefault {
+			prevSteps = u.prev.filter
+		}
+		filterValues := make([]float64, span)
+		if p.inc != nil {
+			p.inc.filter = make([][]sim.FilterStep, span)
+		}
+		p.d.parallelRange(span, func(i int) {
+			id := int32(i)
+			if !p.alive[i] {
+				filterValues[i] = math.NaN()
+				return
+			}
+			var steps []sim.FilterStep
+			replayable := id < u.newFrom && !u.filterDirty[id] &&
+				i < len(prevSteps) && prevSteps[i] != nil
+			switch {
+			case replayable:
+				steps = prevSteps[i]
+				filterValues[i] = sim.ReplayFilter(liveN, steps)
+			case p.inc != nil:
+				filterValues[i], steps = sim.FilterTrace(p.store, p.store.OD(id))
+			default:
+				filterValues[i] = p.filter.Bound(p.store, p.store.OD(id))
+			}
+			if p.inc != nil {
+				p.inc.filter[i] = steps
+			}
+		})
+		p.filterValues = filterValues
+		if cfg.KeepFilterValues {
+			p.res.FilterValues = filterValues
+		}
+		if cfg.UseFilter {
+			for i := 0; i < span; i++ {
+				if p.alive[i] && filterValues[i] <= cfg.ThetaCand {
+					p.alive[i] = false
+					p.res.Pruned = append(p.res.Pruned, int32(i))
+				}
+			}
+		}
+	}
+	p.res.Stats.Candidates = liveN
+	p.res.Stats.Pruned = len(p.res.Pruned)
+	return len(p.res.Pruned), nil
+}
+
+// updateCompare is Step 5 on an updated store. The blocked-pair graph
+// between two surviving objects is intrinsic to their own tuple values,
+// so it cannot change under an update; what can change is (a) which
+// objects exist and survive the filter and (b) the softIDF terms behind
+// each score. Pairs with a recompare-set endpoint — new objects,
+// exact-dirty objects, and objects without a valid cached comparison —
+// are compared for real via the blocking index; every other previously
+// compared pair is patched by replaying its trace under the new |ΩT|.
+func (p *pipelineRun) updateCompare() (int, error) {
+	u := p.upd
+	span := p.idSpan()
+	liveN := p.store.Size()
+
+	prevAlive := func(id int32) bool {
+		return u.prev != nil && int(id) < len(u.prev.alive) && u.prev.alive[id]
+	}
+	inR := make([]bool, span)
+	var list []int32
+	for id := int32(0); id < int32(span); id++ {
+		if !p.alive[id] {
+			continue
+		}
+		if id >= u.newFrom || u.exactDirty[id] || !prevAlive(id) {
+			inR[id] = true
+			list = append(list, id)
+		}
+	}
+
+	type batchOut struct {
+		pairs    []Pair
+		possible []Pair
+		traces   []tracedPair
+		compared int64
+	}
+	numBatches := (len(list) + compareBatchSize - 1) / compareBatchSize
+	outs := make([]batchOut, numBatches)
+	runBatch := func(b int) {
+		out := &outs[b]
+		lo, hi := b*compareBatchSize, (b+1)*compareBatchSize
+		if hi > len(list) {
+			hi = len(list)
+		}
+		for _, i := range list[lo:hi] {
+			for _, j := range p.store.Neighbors(i) {
+				if !p.alive[j] || (inR[j] && j <= i) {
+					continue
+				}
+				x, y := i, j
+				if y < x {
+					x, y = y, x
+				}
+				out.compared++
+				score := p.scorePair(p.store.OD(x), p.store.OD(y), x, y, &out.traces)
+				switch p.comparator.Classify(score) {
+				case sim.ClassDuplicate:
+					out.pairs = append(out.pairs, Pair{I: x, J: y, Score: score})
+				case sim.ClassPossible:
+					out.possible = append(out.possible, Pair{I: x, J: y, Score: score})
+				}
+			}
+		}
+	}
+	p.d.parallelRange(numBatches, func(b int) { runBatch(b) })
+
+	var pairs, possible []Pair
+	for b := range outs {
+		pairs = append(pairs, outs[b].pairs...)
+		possible = append(possible, outs[b].possible...)
+		u.recompared += outs[b].compared
+		if p.inc != nil {
+			for _, tp := range outs[b].traces {
+				p.inc.pairs[tp.key] = tp.tr
+			}
+		}
+	}
+
+	// Patch the survivors: previously compared, both endpoints clean and
+	// still alive. Their matching is unchanged, so the recorded softIDF
+	// unions replayed under the new corpus size give the exact score.
+	if u.prev != nil {
+		for key, tr := range u.prev.pairs {
+			i, j := unpairKey(key)
+			if !p.alive[i] || !p.alive[j] || inR[i] || inR[j] {
+				continue
+			}
+			score := sim.ReplayScore(liveN, tr)
+			switch p.comparator.Classify(score) {
+			case sim.ClassDuplicate:
+				pairs = append(pairs, Pair{I: i, J: j, Score: score})
+			case sim.ClassPossible:
+				possible = append(possible, Pair{I: i, J: j, Score: score})
+			}
+			if p.inc != nil {
+				p.inc.pairs[key] = tr
+			}
+		}
+	}
+
+	sortPairsByID(pairs)
+	sortPairsByID(possible)
+	p.res.Pairs = pairs
+	p.res.PossiblePairs = possible
+	p.res.Stats.Compared = u.recompared
+	p.res.Stats.PairsDetected = len(pairs)
+	return int(u.recompared), nil
+}
+
+// sortPairsByID orders pairs (I, J) lexicographically — the same order
+// the fresh compare stage emits naturally.
+func sortPairsByID(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+}
+
+// updateSnapshot persists the updated store with a *chained* fingerprint:
+// H(previous fingerprint, batch source bytes, removed IDs). The chain
+// can never equal a fresh corpus fingerprint, so a later -reuse-index
+// run against different inputs safely misses and rebuilds, while
+// OpenDiskStore/Adopt (which trust the operator's directory) continue
+// the chain. A previous state without provenance yields "" — the
+// snapshot stays openable but never warm-starts.
+func (p *pipelineRun) updateSnapshot() (int, error) {
+	u := p.upd
+	prevFP := ""
+	if u.prev != nil && u.prev.fp != "" {
+		prevFP = u.prev.fp
+	} else if ds, ok := p.store.(*od.DiskStore); ok {
+		prevFP = ds.Fingerprint()
+	}
+	fp := ""
+	if prevFP != "" {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s;update;%s;", fingerprintVersion, prevFP)
+		for i, src := range p.inputs {
+			if err := digestSource(h, src); err != nil {
+				return 0, fmt.Errorf("core: source %d: %w", i, err)
+			}
+		}
+		for _, id := range u.batch.Remove {
+			fmt.Fprintf(h, "rm:%d;", id)
+		}
+		fp = hex.EncodeToString(h.Sum(nil))
+	}
+	if p.inc != nil {
+		p.inc.fp = fp
+	}
+	var fv []float64
+	if _, isDefault := p.filter.(sim.IndexFilter); isDefault && p.filterValues != nil {
+		fv = make([]float64, 0, p.store.Size())
+		for id := int32(0); id < int32(len(p.filterValues)); id++ {
+			if u.ms.Alive(id) {
+				fv = append(fv, p.filterValues[id])
+			}
+		}
+	}
+	if err := od.Save(p.d.cfg.Snapshot.Dir, p.store, od.SnapshotMeta{
+		Fingerprint:  fp,
+		FilterValues: fv,
+	}); err != nil {
+		return 0, fmt.Errorf("core: snapshot: %w", err)
+	}
+	return p.store.Size(), nil
+}

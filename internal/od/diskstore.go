@@ -43,9 +43,18 @@ type DiskStore struct {
 	// Query phase.
 	r       *odcodec.Reader
 	theta   float64
-	size    int
+	size    int // live objects (base minus removed plus added)
 	stats   []TypeStats
 	budgets map[string]int
+
+	// Mutation phase (MutableStore): the base segments stay immutable;
+	// every AddAfterFinalize/Remove batch commits an odcodec delta
+	// segment first and then lands in this overlay, which the query
+	// paths merge over the base. OpenDiskStore rebuilds the overlay by
+	// replaying the delta files above the manifest's watermark; Save
+	// folds everything into fresh base segments.
+	mut    *diskOverlay
+	sealed bool // a same-directory merge happened; see Save
 
 	odCache  *shardedLRU[int32, *OD]
 	occCache *shardedLRU[string, []int32]
@@ -53,6 +62,21 @@ type DiskStore struct {
 
 	allMu  sync.Mutex
 	allODs []*OD // materialized by ODs() on demand
+}
+
+// diskOverlay is the in-memory image of the committed delta segments.
+type diskOverlay struct {
+	baseN int32  // OD count of the base segments
+	span  int32  // next ID to assign
+	seq   uint64 // sequence of the last committed delta
+
+	added    map[int32]*OD // appended ODs by ID
+	addOrder []int32       // appended IDs in assignment order
+	removed  map[int32]bool
+	addOcc   map[string][]int32 // occKey -> appended live+removed ids, ascending
+
+	addedVals   map[string][]string // per type: values absent from the base segments
+	addedValSet map[string]map[string]bool
 }
 
 // Cache capacities. Entries are recomputable, so these only bound the
@@ -65,7 +89,7 @@ const (
 	diskSimCacheSize = 16384
 )
 
-var _ Store = (*DiskStore)(nil)
+var _ MutableStore = (*DiskStore)(nil)
 
 // NewDiskStore returns an empty disk store that will write its segment
 // files into dir at Finalize, replacing any previous snapshot there.
@@ -78,6 +102,10 @@ func NewDiskStore(dir string) *DiskStore {
 // every query serves from the segment files. The snapshot is fully
 // checksum-verified before the first query; corrupt or missing
 // snapshots are rejected (odcodec.ErrNoSnapshot, *odcodec.CorruptError).
+// Delta segments committed after the base snapshot — post-Finalize
+// mutations that have not been merged by Save yet — are verified and
+// replayed, so the store reopens exactly where the mutating process
+// left it.
 func OpenDiskStore(dir string) (*DiskStore, error) {
 	r, err := odcodec.Open(dir)
 	if err != nil {
@@ -85,11 +113,29 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 	}
 	s := &DiskStore{dir: dir, finalized: true}
 	s.serveFrom(r)
+	deltas, err := odcodec.ReadDeltas(dir, r.Meta().DeltaSeq)
+	if err != nil {
+		r.Close()
+		return nil, err
+	}
+	for _, d := range deltas {
+		if err := s.replayDelta(d); err != nil {
+			r.Close()
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
 // Dir returns the snapshot directory.
 func (s *DiskStore) Dir() string { return s.dir }
+
+// Mutated reports whether the store carries post-Finalize mutations —
+// applied in process or replayed from unmerged delta segments at open.
+// The warm-start path must reject mutated stores: their base manifest
+// still carries the fingerprint of the *original* corpus, which the
+// live (base + delta) state no longer corresponds to.
+func (s *DiskStore) Mutated() bool { return s.mut != nil }
 
 // Fingerprint returns the corpus fingerprint stamped on the snapshot,
 // or "" for a store finalized in-process and not yet stamped.
@@ -115,12 +161,31 @@ func (s *DiskStore) Add(o *OD) *OD {
 	return o
 }
 
-// Size implements Store.
+// Size implements Store: live objects only.
 func (s *DiskStore) Size() int {
 	if s.finalized {
 		return s.size
 	}
 	return len(s.ods)
+}
+
+// Alive implements MutableStore.
+func (s *DiskStore) Alive(id int32) bool {
+	if !s.finalized {
+		return false
+	}
+	if s.mut == nil {
+		return id >= 0 && int(id) < s.size
+	}
+	return id >= 0 && id < s.mut.span && !s.mut.removed[id]
+}
+
+// IDSpan implements MutableStore.
+func (s *DiskStore) IDSpan() int32 {
+	if s.mut != nil {
+		return s.mut.span
+	}
+	return int32(s.size)
 }
 
 // Theta implements Store.
@@ -171,9 +236,17 @@ func (s *DiskStore) Finalize(theta float64) {
 			}
 		}
 	}
-	if err := w.Commit(odcodec.Meta{Theta: theta}); err != nil {
+	// Stamp the manifest with the directory's highest stale delta
+	// sequence: leftovers of an earlier store in this directory must sit
+	// at or below the watermark so they can never replay onto this base.
+	staleSeq, err := odcodec.MaxDeltaSeq(s.dir)
+	if err != nil {
 		panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
 	}
+	if err := w.Commit(odcodec.Meta{Theta: theta, DeltaSeq: staleSeq}); err != nil {
+		panic(fmt.Sprintf("od: DiskStore finalize: %v", err))
+	}
+	odcodec.RemoveDeltas(s.dir, staleSeq)
 
 	s.ods = nil // from here on the segment files are the store
 	r, err := odcodec.Open(s.dir)
@@ -206,6 +279,270 @@ func (s *DiskStore) serveFrom(r *odcodec.Reader) {
 	s.simCache = newShardedLRU[string, []ValueMatch](diskSimCacheSize, hashKey)
 }
 
+// overlay returns the mutation overlay, creating it on first use.
+func (s *DiskStore) overlay() *diskOverlay {
+	if s.mut == nil {
+		s.mut = &diskOverlay{
+			baseN:       int32(s.r.Meta().NumODs),
+			span:        int32(s.r.Meta().NumODs),
+			seq:         s.r.Meta().DeltaSeq,
+			added:       map[int32]*OD{},
+			removed:     map[int32]bool{},
+			addOcc:      map[string][]int32{},
+			addedVals:   map[string][]string{},
+			addedValSet: map[string]map[string]bool{},
+		}
+	}
+	return s.mut
+}
+
+// AddAfterFinalize implements MutableStore: the batch is committed as an
+// append-only odcodec delta segment first, then folded into the
+// in-memory overlay. A delta write failure leaves both disk and store
+// unchanged.
+func (s *DiskStore) AddAfterFinalize(ods []*OD) error {
+	s.mustBeFinal()
+	if s.sealed {
+		return fmt.Errorf("od: DiskStore: store was merged by Save; reopen the snapshot to keep updating")
+	}
+	if len(ods) == 0 {
+		return nil
+	}
+	m := s.overlay()
+	// Stage first: the base-segment lookups that classify value newness
+	// are the only fallible part of applying, so running them before the
+	// delta commits keeps the batch atomic — any error here leaves both
+	// disk and store untouched.
+	staged, err := s.stageAdded(ods)
+	if err != nil {
+		return err
+	}
+	added := make([]odcodec.DeltaOD, len(ods))
+	for i, o := range ods {
+		tuples := make([]odcodec.Tuple, len(o.Tuples))
+		for j, t := range o.Tuples {
+			tuples[j] = odcodec.Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
+		}
+		added[i] = odcodec.DeltaOD{Object: o.Object, Source: int32(o.Source), Tuples: tuples}
+	}
+	if err := odcodec.WriteDelta(s.dir, odcodec.Delta{Seq: m.seq + 1, Added: added}); err != nil {
+		return fmt.Errorf("od: DiskStore: %w", err)
+	}
+	m.seq++
+	s.commitAdded(staged)
+	s.invalidate()
+	return nil
+}
+
+// Remove implements MutableStore, with the same delta-first protocol as
+// AddAfterFinalize.
+func (s *DiskStore) Remove(ids []int32) error {
+	s.mustBeFinal()
+	if s.sealed {
+		return fmt.Errorf("od: DiskStore: store was merged by Save; reopen the snapshot to keep updating")
+	}
+	if err := validateRemovals(s.IDSpan(), s.Alive, ids); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	m := s.overlay()
+	sorted := append([]int32(nil), ids...)
+	sortInt32s(sorted)
+	if err := odcodec.WriteDelta(s.dir, odcodec.Delta{Seq: m.seq + 1, Removed: sorted}); err != nil {
+		return fmt.Errorf("od: DiskStore: %w", err)
+	}
+	m.seq++
+	s.applyRemoved(sorted)
+	s.invalidate()
+	return nil
+}
+
+// stagedAdd is one appended OD with its pre-resolved index changes.
+type stagedAdd struct {
+	o       *OD
+	keys    []string // distinct non-empty occurrence keys, in tuple order
+	newVals []bool   // per key: value absent from base segments and overlay
+}
+
+// stageAdded resolves everything fallible about an add batch — the
+// base-segment lookups classifying which values are new to the table —
+// without touching the overlay. Shared between AddAfterFinalize (which
+// stages before committing the delta) and the OpenDiskStore replay.
+func (s *DiskStore) stageAdded(ods []*OD) ([]stagedAdd, error) {
+	m := s.mut
+	seen := map[string]bool{}
+	staged := make([]stagedAdd, len(ods))
+	// Values introduced earlier in this same batch are not "new" again.
+	batchVals := map[string]bool{}
+	for i, o := range ods {
+		st := &staged[i]
+		st.o = o
+		var err error
+		scanODTuples(o, seen, func(k string) {
+			if err != nil {
+				return
+			}
+			st.keys = append(st.keys, k)
+			typ, val := splitOccKey(k)
+			if m.addedValSet[typ][val] || batchVals[k] {
+				st.newVals = append(st.newVals, false)
+				return
+			}
+			_, inBase, lerr := s.r.LookupValue(typ, val)
+			if lerr != nil {
+				err = fmt.Errorf("od: DiskStore: %w", lerr)
+				return
+			}
+			st.newVals = append(st.newVals, !inBase)
+			if !inBase {
+				batchVals[k] = true
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return staged, nil
+}
+
+// commitAdded folds a staged batch into the overlay, assigning IDs.
+// Infallible by construction — every lookup already happened in
+// stageAdded.
+func (s *DiskStore) commitAdded(staged []stagedAdd) {
+	m := s.mut
+	for _, st := range staged {
+		o := st.o
+		o.ID = m.span
+		m.span++
+		s.size++
+		m.added[o.ID] = o
+		m.addOrder = append(m.addOrder, o.ID)
+		for i, k := range st.keys {
+			m.addOcc[k] = append(m.addOcc[k], o.ID)
+			if !st.newVals[i] {
+				continue
+			}
+			typ, val := splitOccKey(k)
+			set := m.addedValSet[typ]
+			if set == nil {
+				set = map[string]bool{}
+				m.addedValSet[typ] = set
+			}
+			set[val] = true
+			m.addedVals[typ] = append(m.addedVals[typ], val)
+		}
+	}
+}
+
+// applyRemoved folds a removal batch into the overlay.
+func (s *DiskStore) applyRemoved(ids []int32) {
+	m := s.mut
+	for _, id := range ids {
+		m.removed[id] = true
+		s.size--
+	}
+}
+
+// replayDelta re-applies one persisted mutation batch while reopening.
+func (s *DiskStore) replayDelta(d odcodec.Delta) error {
+	m := s.overlay()
+	if d.Seq != m.seq+1 {
+		return fmt.Errorf("od: DiskStore: delta %d replayed out of order after %d", d.Seq, m.seq)
+	}
+	m.seq = d.Seq
+	for _, id := range d.Removed {
+		if !s.Alive(id) {
+			return fmt.Errorf("od: DiskStore: delta %d removes id %d which is not alive", d.Seq, id)
+		}
+	}
+	if len(d.Added) > 0 {
+		ods := make([]*OD, len(d.Added))
+		for i, a := range d.Added {
+			o := &OD{Object: a.Object, Source: int(a.Source), Tuples: make([]Tuple, len(a.Tuples))}
+			for j, t := range a.Tuples {
+				o.Tuples[j] = Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
+			}
+			ods[i] = o
+		}
+		staged, err := s.stageAdded(ods)
+		if err != nil {
+			return err
+		}
+		s.commitAdded(staged)
+	}
+	s.applyRemoved(d.Removed)
+	return nil
+}
+
+// invalidate drops every cache whose entries can mix base and overlay
+// state. The OD cache survives: base records are immutable and removed
+// IDs are filtered before the cache is consulted.
+func (s *DiskStore) invalidate() {
+	s.occCache = newShardedLRU[string, []int32](diskOccCacheSize, hashKey)
+	s.simCache = newShardedLRU[string, []ValueMatch](diskSimCacheSize, hashKey)
+	s.allMu.Lock()
+	s.allODs = nil
+	s.allMu.Unlock()
+}
+
+// forEachLiveValue calls fn for every live value of one type of a
+// mutated store with its merged posting list — the base segment scan
+// followed by the overlay's appended values, in no particular order.
+// Stats and the snapshot export's measuring pass share it so "live
+// values of a type" has exactly one definition.
+func (s *DiskStore) forEachLiveValue(typ string, fn func(v string, ids []int32)) error {
+	m := s.mut
+	err := s.r.ScanType(typ, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+		ids, err := postings()
+		if err != nil {
+			return true, err
+		}
+		if merged := m.mergePostings(occKeyOf(typ, v), ids); merged != nil {
+			fn(v, merged)
+		}
+		return false, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, v := range m.addedVals[typ] {
+		if merged := m.mergePostings(occKeyOf(typ, v), nil); merged != nil {
+			fn(v, merged)
+		}
+	}
+	return nil
+}
+
+// mergePostings overlays one value's base posting list: removed IDs are
+// filtered out and appended IDs (all larger than any base ID) merged in,
+// preserving ascending order. Returns nil when nothing lives.
+func (m *diskOverlay) mergePostings(key string, base []int32) []int32 {
+	add := m.addOcc[key]
+	if len(m.removed) == 0 && len(add) == 0 {
+		if len(base) == 0 {
+			return nil
+		}
+		return base
+	}
+	out := make([]int32, 0, len(base)+len(add))
+	for _, id := range base {
+		if !m.removed[id] {
+			out = append(out, id)
+		}
+	}
+	for _, id := range add {
+		if !m.removed[id] {
+			out = append(out, id)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
 // Close releases the segment file handles. Queries after Close fail;
 // the store object is done. Callers that obtained the store through
 // the pipeline generally leak the handles to process exit instead,
@@ -218,9 +555,18 @@ func (s *DiskStore) Close() error {
 }
 
 // OD implements Store, decoding the record from disk through a
-// fixed-capacity cache.
+// fixed-capacity cache. Returns nil for a removed id; appended ODs are
+// served from the overlay.
 func (s *DiskStore) OD(id int32) *OD {
 	s.mustBeFinal()
+	if m := s.mut; m != nil {
+		if m.removed[id] {
+			return nil
+		}
+		if id >= m.baseN {
+			return m.added[id]
+		}
+	}
 	if o, ok := s.odCache.get(id); ok {
 		return o
 	}
@@ -245,15 +591,17 @@ func (s *DiskStore) ODs() []*OD {
 	s.allMu.Lock()
 	defer s.allMu.Unlock()
 	if s.allODs == nil {
-		s.allODs = make([]*OD, s.size)
-		for id := int32(0); id < int32(s.size); id++ {
-			s.allODs[id] = s.OD(id)
+		span := s.IDSpan()
+		s.allODs = make([]*OD, span)
+		for id := int32(0); id < span; id++ {
+			s.allODs[id] = s.OD(id) // nil at removed slots
 		}
 	}
 	return s.allODs
 }
 
-// ObjectsWithExact implements Store.
+// ObjectsWithExact implements Store. With an overlay present the cached
+// entry is the merged (base minus removed plus appended) posting list.
 func (s *DiskStore) ObjectsWithExact(t Tuple) []int32 {
 	s.mustBeFinal()
 	key := t.occKey()
@@ -267,6 +615,9 @@ func (s *DiskStore) ObjectsWithExact(t Tuple) []int32 {
 	if !ok {
 		ids = nil
 	}
+	if s.mut != nil {
+		ids = s.mut.mergePostings(key, ids)
+	}
 	s.occCache.put(key, ids)
 	return ids
 }
@@ -274,12 +625,19 @@ func (s *DiskStore) ObjectsWithExact(t Tuple) []int32 {
 // SimilarValues implements Store: a sequential scan of the type's value
 // segment with the same length-window pruning and θtuple re-check as
 // the in-memory scan path, so the result set and order are identical.
+// With an overlay present, base postings merge through it (values whose
+// lists emptied drop out) and the type's appended values are scanned the
+// same way.
 func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 	s.mustBeFinal()
 	if t.Value == "" {
 		return nil
 	}
-	if _, ok := s.budgets[t.Type]; !ok {
+	var addedVals []string
+	if s.mut != nil {
+		addedVals = s.mut.addedVals[t.Type]
+	}
+	if _, ok := s.budgets[t.Type]; !ok && len(addedVals) == 0 {
 		return nil
 	}
 	cacheKey := t.occKey()
@@ -305,12 +663,24 @@ func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 		if err != nil {
 			return true, err
 		}
+		if s.mut != nil {
+			if ids = s.mut.mergePostings(occKeyOf(t.Type, v), ids); ids == nil {
+				return false, nil
+			}
+		}
 		out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
 		return false, nil
 	})
 	if err != nil {
 		panic(fmt.Sprintf("od: DiskStore: %v", err))
 	}
+	collectAdded(addedVals, q, s.theta, func(v string) {
+		ids := s.mut.mergePostings(occKeyOf(t.Type, v), nil)
+		if ids == nil {
+			return
+		}
+		out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
+	})
 	sortMatches(out)
 	s.simCache.put(cacheKey, out)
 	return out
@@ -339,9 +709,45 @@ func (s *DiskStore) Neighbors(id int32) []int32 {
 
 // Stats implements Store. Indexed is always false for the disk backend:
 // it scans value segments instead of building deletion neighborhoods.
+// With an overlay present the rows are recomputed exactly over the live
+// values, matching a fresh build over the live set.
 func (s *DiskStore) Stats() []TypeStats {
 	s.mustBeFinal()
-	return append([]TypeStats(nil), s.stats...)
+	if s.mut == nil {
+		return append([]TypeStats(nil), s.stats...)
+	}
+	types := map[string]bool{}
+	for _, tm := range s.r.Types() {
+		types[tm.Name] = true
+	}
+	for typ := range s.mut.addedVals {
+		types[typ] = true
+	}
+	var out []TypeStats
+	for typ := range types {
+		distinct, maxLen := 0, 0
+		err := s.forEachLiveValue(typ, func(v string, ids []int32) {
+			distinct++
+			if l := len([]rune(v)); l > maxLen {
+				maxLen = l
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("od: DiskStore: %v", err))
+		}
+		if distinct == 0 {
+			continue
+		}
+		out = append(out, TypeStats{
+			Type:           typ,
+			DistinctValues: distinct,
+			MaxLen:         maxLen,
+			EditBudget:     editBudget(s.theta, maxLen),
+			Indexed:        false,
+		})
+	}
+	sortTypeStats(out)
+	return out
 }
 
 func (s *DiskStore) mustBeFinal() {

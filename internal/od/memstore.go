@@ -1,23 +1,33 @@
 package od
 
-import "sync"
+import (
+	"sync"
+)
 
 // MemStore is the single-map in-memory Store: one occurrence index and one
 // typeIndex per real-world type, built serially in Finalize. It is the
 // reference implementation every other backend must agree with.
+//
+// MemStore also implements MutableStore: after Finalize, the occurrence
+// postings are maintained in place while the per-type similarity indexes
+// take the typeDelta overlay of delta.go, compacted per type once churn
+// crosses the threshold.
 type MemStore struct {
-	ods []*OD
+	ods  []*OD // by ID; nil at removed slots
+	live int   // |ΩT|: assigned minus removed
 
 	theta     float64
 	finalized bool
+	mutated   bool // any post-Finalize mutation happened
 
-	occ      map[string][]int32 // occKey -> sorted unique object ids
+	occ      map[string][]int32 // occKey -> sorted unique live object ids
 	types    map[string]*typeIndex
+	deltas   map[string]*typeDelta // per-type mutation overlay; empty until mutated
 	cacheMu  sync.RWMutex
 	simCache map[string][]ValueMatch
 }
 
-var _ Store = (*MemStore)(nil)
+var _ MutableStore = (*MemStore)(nil)
 
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
@@ -38,17 +48,30 @@ func (s *MemStore) Add(o *OD) *OD {
 	return o
 }
 
-// Size implements Store.
-func (s *MemStore) Size() int { return len(s.ods) }
+// Size implements Store: live objects only.
+func (s *MemStore) Size() int {
+	if s.finalized {
+		return s.live
+	}
+	return len(s.ods)
+}
 
 // Theta implements Store.
 func (s *MemStore) Theta() float64 { return s.theta }
 
-// OD implements Store.
+// OD implements Store. Returns nil for a removed id.
 func (s *MemStore) OD(id int32) *OD { return s.ods[id] }
 
-// ODs implements Store.
+// ODs implements Store. Removed slots are nil.
 func (s *MemStore) ODs() []*OD { return s.ods }
+
+// Alive implements MutableStore.
+func (s *MemStore) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(s.ods) && s.ods[id] != nil
+}
+
+// IDSpan implements MutableStore.
+func (s *MemStore) IDSpan() int32 { return int32(len(s.ods)) }
 
 // Finalize implements Store. It must be called exactly once, after all
 // Adds. The build runs the shared index builder serially: occurrence
@@ -59,10 +82,118 @@ func (s *MemStore) Finalize(theta float64) {
 	}
 	s.finalized = true
 	s.theta = theta
+	s.live = len(s.ods)
 
 	s.occ = buildOccurrence(s.ods)
 	valueObjs := groupValuesByType(s.occ)
 	s.types = buildTypeIndexes(valueObjs, theta, maxValueLens(valueObjs))
+	s.deltas = map[string]*typeDelta{}
+}
+
+// AddAfterFinalize implements MutableStore.
+func (s *MemStore) AddAfterFinalize(ods []*OD) error {
+	s.mustBeFinal()
+	if len(ods) == 0 {
+		return nil
+	}
+	s.mutated = true
+	s.clearSimCache()
+	seen := map[string]bool{}
+	touched := map[string]bool{}
+	for _, o := range ods {
+		o.ID = int32(len(s.ods))
+		s.ods = append(s.ods, o)
+		s.live++
+		scanODTuples(o, seen, func(k string) {
+			ids, existed := s.occ[k]
+			s.occ[k] = appendPosting(ids, o.ID)
+			typ, val := splitOccKey(k)
+			touched[typ] = true
+			newToBase := false
+			if !existed {
+				ti := s.types[typ]
+				newToBase = ti == nil || !ti.has(val)
+			}
+			s.delta(typ).add(val, newToBase)
+		})
+	}
+	s.maybeCompact(touched)
+	return nil
+}
+
+// Remove implements MutableStore.
+func (s *MemStore) Remove(ids []int32) error {
+	s.mustBeFinal()
+	if err := validateRemovals(s.IDSpan(), s.Alive, ids); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	s.mutated = true
+	s.clearSimCache()
+	seen := map[string]bool{}
+	touched := map[string]bool{}
+	for _, id := range ids {
+		o := s.ods[id]
+		scanODTuples(o, seen, func(k string) {
+			rest := removePosting(s.occ[k], id)
+			if len(rest) == 0 {
+				delete(s.occ, k)
+			} else {
+				s.occ[k] = rest
+			}
+			typ, _ := splitOccKey(k)
+			touched[typ] = true
+			s.delta(typ).add("", false) // count the mutation only
+		})
+		s.ods[id] = nil
+		s.live--
+	}
+	s.maybeCompact(touched)
+	return nil
+}
+
+// delta returns (creating if needed) the mutation overlay of one type.
+func (s *MemStore) delta(typ string) *typeDelta {
+	d := s.deltas[typ]
+	if d == nil {
+		d = newTypeDelta()
+		s.deltas[typ] = d
+	}
+	return d
+}
+
+// maybeCompact folds the overlay of every touched type whose churn
+// crossed the threshold back into a freshly built base index — the
+// scoped rebuild the delta design bounds its query overhead with.
+func (s *MemStore) maybeCompact(touched map[string]bool) {
+	for typ := range touched {
+		d := s.deltas[typ]
+		base := s.types[typ]
+		baseVals := 0
+		if base != nil {
+			baseVals = len(base.values)
+		}
+		if d == nil || !d.due(baseVals) {
+			continue
+		}
+		m, maxLen := liveValueTable(base, d, func(val string) []int32 {
+			return s.occ[occKeyOf(typ, val)]
+		})
+		if m == nil {
+			delete(s.types, typ)
+		} else {
+			s.types[typ] = buildTypeIndex(m, s.theta, maxLen)
+		}
+		delete(s.deltas, typ)
+	}
+}
+
+func (s *MemStore) clearSimCache() {
+	s.cacheMu.Lock()
+	s.simCache = map[string][]ValueMatch{}
+	s.cacheMu.Unlock()
 }
 
 // ObjectsWithExact implements Store.
@@ -71,14 +202,18 @@ func (s *MemStore) ObjectsWithExact(t Tuple) []int32 {
 	return s.occ[t.occKey()]
 }
 
-// SimilarValues implements Store.
+// SimilarValues implements Store. On a mutated type the base index
+// collect resolves postings through the live occurrence lists (skipping
+// values that emptied) and the overlay values are scanned linearly; the
+// merged matches sort into the same canonical order as a fresh build's.
 func (s *MemStore) SimilarValues(t Tuple) []ValueMatch {
 	s.mustBeFinal()
 	if t.Value == "" {
 		return nil
 	}
-	ti, ok := s.types[t.Type]
-	if !ok {
+	ti := s.types[t.Type]
+	d := s.deltas[t.Type]
+	if ti == nil && d == nil {
 		return nil
 	}
 	cacheKey := t.occKey()
@@ -89,9 +224,9 @@ func (s *MemStore) SimilarValues(t Tuple) []ValueMatch {
 		return cached
 	}
 	var out []ValueMatch
-	ti.collect(t.Value, s.theta, func(idx int32) {
-		out = append(out, ti.match(t.Value, idx))
-	})
+	collectLive(ti, d, t.Type, t.Value, s.theta,
+		func(key string) []int32 { return s.occ[key] },
+		func(m ValueMatch) { out = append(out, m) })
 	sortMatches(out)
 	s.cacheMu.Lock()
 	s.simCache[cacheKey] = out
@@ -122,11 +257,22 @@ func (s *MemStore) Neighbors(id int32) []int32 {
 	return neighborsOf(s, id)
 }
 
-// Stats implements Store.
+// Stats implements Store. Mutated types are recomputed exactly over the
+// live values, so the row matches what a fresh build over the live set
+// would report (Indexed excepted: the overlay's linear scan keeps the
+// base's index choice).
 func (s *MemStore) Stats() []TypeStats {
 	s.mustBeFinal()
 	var out []TypeStats
+	seen := map[string]bool{}
 	for typ, ti := range s.types {
+		seen[typ] = true
+		if d := s.deltas[typ]; d != nil {
+			if st, ok := s.liveTypeStats(typ, ti, d); ok {
+				out = append(out, st)
+			}
+			continue
+		}
 		out = append(out, TypeStats{
 			Type:           typ,
 			DistinctValues: len(ti.values),
@@ -135,8 +281,33 @@ func (s *MemStore) Stats() []TypeStats {
 			Indexed:        ti.neighbor != nil,
 		})
 	}
+	for typ, d := range s.deltas {
+		if seen[typ] {
+			continue
+		}
+		if st, ok := s.liveTypeStats(typ, nil, d); ok {
+			out = append(out, st)
+		}
+	}
 	sortTypeStats(out)
 	return out
+}
+
+// liveTypeStats recomputes one mutated type's diagnostics row exactly.
+func (s *MemStore) liveTypeStats(typ string, ti *typeIndex, d *typeDelta) (TypeStats, bool) {
+	m, maxLen := liveValueTable(ti, d, func(val string) []int32 {
+		return s.occ[occKeyOf(typ, val)]
+	})
+	if m == nil {
+		return TypeStats{}, false
+	}
+	return TypeStats{
+		Type:           typ,
+		DistinctValues: len(m),
+		MaxLen:         maxLen,
+		EditBudget:     editBudget(s.theta, maxLen),
+		Indexed:        ti != nil && ti.neighbor != nil,
+	}, true
 }
 
 func (s *MemStore) mustBeFinal() {

@@ -21,6 +21,16 @@
 // than corpus size. The index *construction* logic all three share lives
 // in builder.go; Save snapshots any finalized backend into the DiskStore
 // segment format.
+//
+// The store lifecycle is Add → Finalize → queries, optionally followed
+// by post-Finalize mutation: all three backends implement MutableStore,
+// whose AddAfterFinalize/Remove batches maintain the occurrence and
+// similarity indexes incrementally through the delta overlays of
+// delta.go (per-type value overlays, live posting lists, a compaction
+// threshold that falls back to a type-scoped rebuild; DiskStore
+// additionally persists every batch as an append-only odcodec delta
+// segment before applying it). The mutable parity suite pins every
+// backend's post-mutation answers to a fresh build over the live set.
 package od
 
 import (
@@ -97,7 +107,7 @@ type TypeStats struct {
 // Store is the backend-agnostic interface over a candidate set ΩT and the
 // indexes built from it.
 //
-// Every backend honors the same two-phase lifecycle contract:
+// Every backend honors the same lifecycle contract:
 //
 //  1. Build phase. Populate with Add. Each Add assigns the OD the next
 //     sequential ID (insertion order). The OD's Tuples are final at Add
@@ -106,9 +116,14 @@ type TypeStats struct {
 //     only once its pass completes, so backends must not snapshot Object
 //     (persist it, hash it, copy it) before Finalize.
 //  2. Query phase. Call Finalize(θtuple) exactly once; it seals the store
-//     and builds the occurrence and similarity indexes. Afterwards the
-//     store is immutable: Add panics, every query method is safe for
-//     concurrent use, and queries before Finalize panic.
+//     and builds the occurrence and similarity indexes. Afterwards Add
+//     panics, every query method is safe for concurrent use, and queries
+//     before Finalize panic.
+//  3. Mutation phase (optional). Backends that also implement
+//     MutableStore accept post-Finalize AddAfterFinalize/Remove batches
+//     that maintain the indexes incrementally. Mutation calls must not
+//     overlap each other or any query; between batches the store serves
+//     concurrent queries as before.
 //
 // Implementations must answer every query deterministically and in the
 // canonical orders documented per method — the detection pipeline's
@@ -154,6 +169,62 @@ type Store interface {
 	Neighbors(id int32) []int32
 	// Stats returns per-type index statistics sorted by type name.
 	Stats() []TypeStats
+}
+
+// MutableStore extends Store with post-Finalize mutations, so a living
+// corpus (the paper's CDDB scenario) can evolve without rebuilding the
+// indexes from scratch. MemStore, ShardedStore and DiskStore all
+// implement it; the mutable parity suite pins their post-mutation query
+// results bit-identical to a fresh build over the live set.
+//
+// IDs are never reused or renumbered in process: AddAfterFinalize
+// continues the sequential assignment (so the ID space [0, IDSpan())
+// grows monotonically) and Remove leaves a permanent hole. Size()
+// reports live objects only — it is the |ΩT| of Definition 8 — while
+// IDSpan() bounds loops over IDs; OD(id) returns nil and ODs() carries a
+// nil slot for removed IDs. Snapshots written by Save compact the ID
+// space (see Save).
+//
+// Mutations are batches and apply atomically from the caller's view: a
+// failed batch (invalid Remove id, delta-persistence error on DiskStore)
+// leaves the store unchanged. Batches must be serialized by the caller
+// and must not overlap queries; between batches all query methods remain
+// safe for concurrent use.
+type MutableStore interface {
+	Store
+	// AddAfterFinalize appends new object descriptions to a finalized
+	// store, assigning IDs from IDSpan() upward, and incrementally
+	// maintains the occurrence and similarity indexes. Unlike Add, the
+	// ODs must be final — Object included — when passed in.
+	AddAfterFinalize(ods []*OD) error
+	// Remove deletes the given live objects from the store and all
+	// indexes. The batch is validated up front; any bad id fails the
+	// whole batch without applying anything.
+	Remove(ids []int32) error
+	// Alive reports whether id is assigned and not removed.
+	Alive(id int32) bool
+	// IDSpan returns the exclusive upper bound of assigned IDs,
+	// including removed ones.
+	IDSpan() int32
+}
+
+// SoftIDFValue exposes the Definition 8 computation — log(size/union)
+// with the phantom-occurrence guard — for callers that replay cached
+// union sizes against a changed |ΩT| (see internal/sim's trace replay).
+// SoftIDFValue(s.Size(), OccUnion(s, a, b)) equals s.SoftIDF(a, b) bit
+// for bit on every backend.
+func SoftIDFValue(size, union int) float64 {
+	return softIDF(size, union)
+}
+
+// OccUnion returns |occ(a) ∪ occ(b)|, the union-cardinality argument of
+// Definition 8, from the store's exact occurrence postings.
+func OccUnion(s Store, a, b Tuple) int {
+	oa := s.ObjectsWithExact(a)
+	if a.occKey() == b.occKey() {
+		return len(oa)
+	}
+	return unionSizeSorted(oa, s.ObjectsWithExact(b))
 }
 
 // softIDF computes log(|ΩT| / union) with the phantom-occurrence guard of

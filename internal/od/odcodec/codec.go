@@ -21,6 +21,12 @@
 //	              directory with per-type stats and a sparse value index
 //	              for point lookups.
 //
+// A mutated store additionally appends numbered delta segments
+// (delta-NNNNNNNN.odx, see delta.go) carrying post-Finalize
+// AddAfterFinalize/Remove batches; the manifest's DeltaSeq watermark
+// says which of them are already folded into the base segments, and
+// od.Save merges the rest back into a fresh base.
+//
 // Every file is framed identically: an 8-byte header (magic, format
 // version, segment kind) and an 8-byte footer (CRC-32 over header and
 // payload, trailing magic). Open verifies the framing and checksums of
@@ -41,7 +47,9 @@ import (
 // Version is the on-disk format version. Readers reject any other
 // version: the format is allowed to change incompatibly between
 // versions because snapshots are rebuildable caches, not archives.
-const Version = 1
+// Version 2 added the manifest's delta watermark and the append-only
+// delta segments that carry post-Finalize mutations.
+const Version = 2
 
 // Segment kinds, one per file.
 const (
@@ -49,9 +57,11 @@ const (
 	kindStrings  = 2
 	kindODs      = 3
 	kindIndex    = 4
+	kindDelta    = 5
 )
 
-// Segment file names within a snapshot directory.
+// Segment file names within a snapshot directory. Delta segments are
+// numbered delta-NNNNNNNN.odx; see DeltaFile.
 const (
 	ManifestFile = "manifest.odx"
 	StringsFile  = "strings.odx"
@@ -125,6 +135,13 @@ type Meta struct {
 	// per OD (index-aligned), so a warm start can skip recomputing the
 	// reduce stage. Nil when not persisted.
 	FilterValues []float64
+	// DeltaSeq is the delta watermark: the highest delta-segment
+	// sequence number already folded into the base segments. Delta files
+	// with sequence numbers at or below it are stale leftovers of a
+	// merge and must be ignored; ReadDeltas enforces that the live ones
+	// continue contiguously from DeltaSeq+1, so a lost delta file is
+	// detected instead of silently skipped.
+	DeltaSeq uint64
 }
 
 // TypeMeta describes one per-type index segment.

@@ -499,6 +499,9 @@ func readManifest(dir string) (Meta, [3]segmentStamp, error) {
 		return meta, stamps, err
 	}
 	meta.NumODs = n
+	if meta.DeltaSeq, err = br.uvarint(); err != nil {
+		return meta, stamps, err
+	}
 	fv, err := br.count(maxCount)
 	if err != nil {
 		return meta, stamps, err

@@ -356,6 +356,7 @@ func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
 	b := appendString(nil, meta.Fingerprint)
 	b = appendFloat64(b, meta.Theta)
 	b = appendUvarint(b, uint64(meta.NumODs))
+	b = appendUvarint(b, meta.DeltaSeq)
 	if meta.FilterValues == nil {
 		b = appendUvarint(b, 0)
 	} else {
@@ -394,7 +395,10 @@ func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
 	if err := os.Rename(path+tmpSuffix, path); err != nil {
 		return fmt.Errorf("odcodec: %w", err)
 	}
-	return nil
+	// Make the commit point itself durable (see syncDir in delta.go):
+	// without it a crash could roll back to the previous manifest — a
+	// detectable state, but one that silently discards the commit.
+	return syncDir(dir)
 }
 
 // UpdateMeta rewrites an existing snapshot's manifest with a new

@@ -13,8 +13,15 @@ import (
 // single cache mutex. Query results are bit-identical to MemStore's: the
 // shards partition *values*, every similar-value query fans out to all
 // shards, and the merged matches are sorted into the same canonical order.
+//
+// ShardedStore also implements MutableStore: a mutation batch routes its
+// occurrence-key changes to the owning shards and applies them in
+// parallel under the existing lock stripes, each shard maintaining its
+// own typeDelta overlays and compacting its slice of a churned type
+// independently (see delta.go).
 type ShardedStore struct {
-	ods []*OD
+	ods  []*OD // by ID; nil at removed slots
+	live int
 
 	// Workers bounds the goroutines Finalize fans out; 0 means GOMAXPROCS
 	// and 1 forces a fully serial build. Set it before calling Finalize.
@@ -22,16 +29,23 @@ type ShardedStore struct {
 
 	theta     float64
 	finalized bool
+	mutated   bool // any post-Finalize mutation happened
 	nShards   int
 	shards    []storeShard
+
+	// typeMaxLen tracks each type's store-wide maximum value rune length,
+	// grow-only between compactions: shard-scoped rebuilds must size their
+	// edit budgets from the global maximum, never a shard-local one.
+	typeMaxLen map[string]int
 }
 
 type storeShard struct {
 	mu      sync.Mutex // guards pending during the parallel Finalize scan
 	pending []occEntry
 
-	occ      map[string][]int32 // occKey -> sorted unique object ids
+	occ      map[string][]int32 // occKey -> sorted unique live object ids
 	types    map[string]*typeIndex
+	deltas   map[string]*typeDelta
 	cacheMu  sync.RWMutex
 	simCache map[string][]ValueMatch
 }
@@ -41,7 +55,7 @@ type occEntry struct {
 	id  int32
 }
 
-var _ Store = (*ShardedStore)(nil)
+var _ MutableStore = (*ShardedStore)(nil)
 
 // NewShardedStore returns an empty store with the given shard count.
 // Counts below 1 are clamped to 1 (which behaves like a lock-striped
@@ -69,17 +83,30 @@ func (s *ShardedStore) Add(o *OD) *OD {
 	return o
 }
 
-// Size implements Store.
-func (s *ShardedStore) Size() int { return len(s.ods) }
+// Size implements Store: live objects only.
+func (s *ShardedStore) Size() int {
+	if s.finalized {
+		return s.live
+	}
+	return len(s.ods)
+}
 
 // Theta implements Store.
 func (s *ShardedStore) Theta() float64 { return s.theta }
 
-// OD implements Store.
+// OD implements Store. Returns nil for a removed id.
 func (s *ShardedStore) OD(id int32) *OD { return s.ods[id] }
 
-// ODs implements Store.
+// ODs implements Store. Removed slots are nil.
 func (s *ShardedStore) ODs() []*OD { return s.ods }
+
+// Alive implements MutableStore.
+func (s *ShardedStore) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(s.ods) && s.ods[id] != nil
+}
+
+// IDSpan implements MutableStore.
+func (s *ShardedStore) IDSpan() int32 { return int32(len(s.ods)) }
 
 // shardOf maps an occurrence key to its owning shard (FNV-1a).
 func (s *ShardedStore) shardOf(key string) int {
@@ -107,6 +134,7 @@ func (s *ShardedStore) Finalize(theta float64) {
 	}
 	s.finalized = true
 	s.theta = theta
+	s.live = len(s.ods)
 
 	// Phase 1: parallel OD scan (the shared builder's per-OD tuple walk)
 	// with per-worker buffers, flushed to the owning shard under its lock.
@@ -170,6 +198,7 @@ func (s *ShardedStore) Finalize(theta float64) {
 			}
 		}
 	}
+	s.typeMaxLen = globalMax
 
 	// Phase 4: per shard, build the distinct-value indexes over the
 	// shard's slice of the value tables, sized by the global edit budgets.
@@ -177,6 +206,131 @@ func (s *ShardedStore) Finalize(theta float64) {
 		for i := lo; i < hi; i++ {
 			sh := &s.shards[i]
 			sh.types = buildTypeIndexes(groupValuesByType(sh.occ), theta, globalMax)
+			sh.deltas = map[string]*typeDelta{}
+		}
+	})
+}
+
+// AddAfterFinalize implements MutableStore: the batch's occurrence-key
+// changes are routed to their owning shards serially, then applied per
+// shard in parallel under the shard locks.
+func (s *ShardedStore) AddAfterFinalize(ods []*OD) error {
+	s.mustBeFinal()
+	if len(ods) == 0 {
+		return nil
+	}
+	s.mutated = true
+	buf := make([][]occEntry, s.nShards)
+	seen := map[string]bool{}
+	for _, o := range ods {
+		o.ID = int32(len(s.ods))
+		s.ods = append(s.ods, o)
+		s.live++
+		scanODTuples(o, seen, func(k string) {
+			sh := s.shardOf(k)
+			buf[sh] = append(buf[sh], occEntry{key: k, id: o.ID})
+			typ, val := splitOccKey(k)
+			if l := len([]rune(val)); l > s.typeMaxLen[typ] {
+				s.typeMaxLen[typ] = l
+			}
+		})
+	}
+	s.applyShardEntries(buf, true)
+	return nil
+}
+
+// Remove implements MutableStore.
+func (s *ShardedStore) Remove(ids []int32) error {
+	s.mustBeFinal()
+	if err := validateRemovals(s.IDSpan(), s.Alive, ids); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	s.mutated = true
+	buf := make([][]occEntry, s.nShards)
+	seen := map[string]bool{}
+	for _, id := range ids {
+		o := s.ods[id]
+		scanODTuples(o, seen, func(k string) {
+			sh := s.shardOf(k)
+			buf[sh] = append(buf[sh], occEntry{key: k, id: id})
+		})
+		s.ods[id] = nil
+		s.live--
+	}
+	s.applyShardEntries(buf, false)
+	return nil
+}
+
+// applyShardEntries applies one mutation batch shard by shard in
+// parallel: postings update in place, overlays record churn, and any
+// type whose shard slice crossed the compaction threshold is rebuilt
+// scoped to that shard.
+func (s *ShardedStore) applyShardEntries(buf [][]occEntry, add bool) {
+	conc.Ranges(s.Workers, s.nShards, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sh := &s.shards[i]
+			// Every shard's cache goes: SimilarValues caches the merged
+			// cross-shard result in the query key's owner shard, so a
+			// mutation in any shard can stale entries in all of them.
+			sh.cacheMu.Lock()
+			sh.simCache = map[string][]ValueMatch{}
+			sh.cacheMu.Unlock()
+			if len(buf[i]) == 0 {
+				continue
+			}
+			sh.mu.Lock()
+			touched := map[string]bool{}
+			for _, e := range buf[i] {
+				typ, val := splitOccKey(e.key)
+				touched[typ] = true
+				d := sh.deltas[typ]
+				if d == nil {
+					d = newTypeDelta()
+					sh.deltas[typ] = d
+				}
+				if add {
+					ids, existed := sh.occ[e.key]
+					sh.occ[e.key] = appendPosting(ids, e.id)
+					newToBase := false
+					if !existed {
+						ti := sh.types[typ]
+						newToBase = ti == nil || !ti.has(val)
+					}
+					d.add(val, newToBase)
+				} else {
+					rest := removePosting(sh.occ[e.key], e.id)
+					if len(rest) == 0 {
+						delete(sh.occ, e.key)
+					} else {
+						sh.occ[e.key] = rest
+					}
+					d.add("", false)
+				}
+			}
+			for typ := range touched {
+				d := sh.deltas[typ]
+				base := sh.types[typ]
+				baseVals := 0
+				if base != nil {
+					baseVals = len(base.values)
+				}
+				if !d.due(baseVals) {
+					continue
+				}
+				m, _ := liveValueTable(base, d, func(val string) []int32 {
+					return sh.occ[occKeyOf(typ, val)]
+				})
+				if m == nil {
+					delete(sh.types, typ)
+				} else {
+					sh.types[typ] = buildTypeIndex(m, s.theta, s.typeMaxLen[typ])
+				}
+				delete(sh.deltas, typ)
+			}
+			sh.mu.Unlock()
 		}
 	})
 }
@@ -207,13 +361,10 @@ func (s *ShardedStore) SimilarValues(t Tuple) []ValueMatch {
 	}
 	var out []ValueMatch
 	for i := range s.shards {
-		ti, ok := s.shards[i].types[t.Type]
-		if !ok {
-			continue
-		}
-		ti.collect(t.Value, s.theta, func(idx int32) {
-			out = append(out, ti.match(t.Value, idx))
-		})
+		sh := &s.shards[i]
+		collectLive(sh.types[t.Type], sh.deltas[t.Type], t.Type, t.Value, s.theta,
+			func(key string) []int32 { return sh.occ[key] },
+			func(m ValueMatch) { out = append(out, m) })
 	}
 	sortMatches(out)
 	owner.cacheMu.Lock()
@@ -248,11 +399,23 @@ func (s *ShardedStore) Neighbors(id int32) []int32 {
 // Stats implements Store. Per-type rows are merged across shards so the
 // output matches MemStore's: distinct values sum, lengths take the
 // maximum, and the edit budget is shard-independent by construction.
+// Mutated types are recomputed exactly over their live values, matching
+// a fresh build over the live set (Indexed excepted, as for MemStore).
 func (s *ShardedStore) Stats() []TypeStats {
 	s.mustBeFinal()
+	mutated := map[string]bool{}
+	for i := range s.shards {
+		for typ := range s.shards[i].deltas {
+			mutated[typ] = true
+		}
+	}
 	byType := map[string]*TypeStats{}
 	for i := range s.shards {
-		for typ, ti := range s.shards[i].types {
+		sh := &s.shards[i]
+		for typ, ti := range sh.types {
+			if mutated[typ] {
+				continue
+			}
 			st, ok := byType[typ]
 			if !ok {
 				st = &TypeStats{
@@ -266,6 +429,40 @@ func (s *ShardedStore) Stats() []TypeStats {
 			if ti.maxLen > st.MaxLen {
 				st.MaxLen = ti.maxLen
 			}
+		}
+	}
+	if s.mutated {
+		// A type compacted after mutations carries an internal budget
+		// sized by the grow-only typeMaxLen, which may exceed the live
+		// maximum once the longest value was removed. The per-shard
+		// maxLen values are exact, so re-derive the reported budget from
+		// their merged maximum — matching MemStore and a fresh build.
+		for _, st := range byType {
+			st.EditBudget = editBudget(s.theta, st.MaxLen)
+		}
+	}
+	for typ := range mutated {
+		var st *TypeStats
+		for i := range s.shards {
+			sh := &s.shards[i]
+			ti := sh.types[typ]
+			m, maxLen := liveValueTable(ti, sh.deltas[typ], func(val string) []int32 {
+				return sh.occ[occKeyOf(typ, val)]
+			})
+			if m == nil {
+				continue
+			}
+			if st == nil {
+				st = &TypeStats{Type: typ, Indexed: ti != nil && ti.neighbor != nil}
+				byType[typ] = st
+			}
+			st.DistinctValues += len(m)
+			if maxLen > st.MaxLen {
+				st.MaxLen = maxLen
+			}
+		}
+		if st != nil {
+			st.EditBudget = editBudget(s.theta, st.MaxLen)
 		}
 	}
 	out := make([]TypeStats, 0, len(byType))

@@ -22,18 +22,44 @@ type SnapshotMeta struct {
 // Save persists a finalized store into dir in the DiskStore segment
 // format, so a later OpenDiskStore (or the pipeline's warm-start path)
 // restores it without rebuilding any index. Every backend can be saved:
-// a DiskStore that already lives in dir only has its manifest re-stamped
-// with the meta; MemStore, ShardedStore and foreign-directory DiskStores
-// are exported table by table. The snapshot commits atomically — its
-// manifest is written last.
+// an unmutated DiskStore that already lives in dir only has its manifest
+// re-stamped with the meta; MemStore, ShardedStore and foreign-directory
+// DiskStores are exported table by table. The snapshot commits
+// atomically — its manifest is written last.
+//
+// A mutated store exports its live set with the ID space compacted
+// (holes from Remove close up, order preserved), so the snapshot is
+// indistinguishable from a fresh build over the live objects.
+// meta.FilterValues must therefore be live-compacted too: one value per
+// live OD in ascending ID order. A mutated DiskStore saving into its own
+// directory is *merged*: the overlay folds into fresh base segments, the
+// manifest's delta watermark advances past every folded delta segment,
+// and the stale delta files are deleted. The in-process store keeps
+// serving (its open file handles pin the old segments) but is sealed
+// against further mutations — the on-disk ID space was renumbered, so
+// reopen the snapshot to keep updating.
 func Save(dir string, s Store, meta SnapshotMeta) error {
 	if meta.FilterValues != nil && len(meta.FilterValues) != s.Size() {
-		return fmt.Errorf("od: save: %d filter values for %d ODs", len(meta.FilterValues), s.Size())
+		return fmt.Errorf("od: save: %d filter values for %d live ODs", len(meta.FilterValues), s.Size())
 	}
 	if ds, ok := s.(*DiskStore); ok && sameDir(ds.dir, dir) {
 		ds.mustBeFinal()
-		return odcodec.UpdateMeta(dir, meta.Fingerprint, meta.FilterValues)
+		if ds.mut == nil {
+			return odcodec.UpdateMeta(dir, meta.Fingerprint, meta.FilterValues)
+		}
+		if err := exportTo(dir, s, meta); err != nil {
+			return err
+		}
+		ds.sealed = true
+		return nil
 	}
+	return exportTo(dir, s, meta)
+}
+
+// exportTo writes a full compact snapshot of s into dir and stamps its
+// manifest so any stale delta file in dir sits at or below the
+// watermark.
+func exportTo(dir string, s Store, meta SnapshotMeta) error {
 	exp, ok := s.(interface {
 		exportSnapshot(w *odcodec.Writer) error
 	})
@@ -48,11 +74,45 @@ func Save(dir string, s Store, meta SnapshotMeta) error {
 	if err := exp.exportSnapshot(w); err != nil {
 		return err
 	}
-	return w.Commit(odcodec.Meta{
+	staleSeq, err := odcodec.MaxDeltaSeq(dir)
+	if err != nil {
+		return err
+	}
+	if err := w.Commit(odcodec.Meta{
 		Fingerprint:  meta.Fingerprint,
 		Theta:        s.Theta(),
 		FilterValues: meta.FilterValues,
-	})
+		DeltaSeq:     staleSeq,
+	}); err != nil {
+		return err
+	}
+	odcodec.RemoveDeltas(dir, staleSeq)
+	return nil
+}
+
+// buildRemap maps each live old ID to its compacted snapshot ID.
+func buildRemap(span int32, alive func(int32) bool) []int32 {
+	remap := make([]int32, span)
+	next := int32(0)
+	for id := int32(0); id < span; id++ {
+		if alive(id) {
+			remap[id] = next
+			next++
+		} else {
+			remap[id] = -1
+		}
+	}
+	return remap
+}
+
+// remapIDs rewrites a live posting list through the compaction map. The
+// map is order-preserving, so the result stays strictly ascending.
+func remapIDs(ids []int32, remap []int32) []int32 {
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = remap[id]
+	}
+	return out
 }
 
 func sameDir(a, b string) bool {
@@ -64,10 +124,14 @@ func sameDir(a, b string) bool {
 	return err1 == nil && err2 == nil && aa == bb
 }
 
-// writeODs streams the OD records in ID order.
+// writeODs streams the OD records in ID order, skipping removed (nil)
+// slots — the snapshot's compact ID space is the live subsequence.
 func writeODs(w *odcodec.Writer, ods []*OD) error {
 	tuples := make([]odcodec.Tuple, 0, 16)
 	for _, o := range ods {
+		if o == nil {
+			continue
+		}
 		tuples = tuples[:0]
 		for _, t := range o.Tuples {
 			tuples = append(tuples, odcodec.Tuple{Value: t.Value, Name: t.Name, Type: t.Type})
@@ -80,11 +144,16 @@ func writeODs(w *odcodec.Writer, ods []*OD) error {
 }
 
 // exportSnapshot writes the MemStore's tables: the typeIndex already
-// holds each type's values sorted with aligned posting lists.
+// holds each type's values sorted with aligned posting lists. A mutated
+// store takes the slow path: live value tables are assembled through the
+// overlay and posting lists rewritten into the compacted ID space.
 func (s *MemStore) exportSnapshot(w *odcodec.Writer) error {
 	s.mustBeFinal()
 	if err := writeODs(w, s.ods); err != nil {
 		return err
+	}
+	if s.mutated {
+		return s.exportLive(w)
 	}
 	names := make([]string, 0, len(s.types))
 	for typ := range s.types {
@@ -105,14 +174,65 @@ func (s *MemStore) exportSnapshot(w *odcodec.Writer) error {
 	return nil
 }
 
+// exportLive writes a mutated MemStore's live value tables.
+func (s *MemStore) exportLive(w *odcodec.Writer) error {
+	remap := buildRemap(s.IDSpan(), s.Alive)
+	names := map[string]bool{}
+	for typ := range s.types {
+		names[typ] = true
+	}
+	for typ := range s.deltas {
+		names[typ] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for typ := range names {
+		sorted = append(sorted, typ)
+	}
+	sort.Strings(sorted)
+	for _, typ := range sorted {
+		m, maxLen := liveValueTable(s.types[typ], s.deltas[typ], func(val string) []int32 {
+			return s.occ[occKeyOf(typ, val)]
+		})
+		if m == nil {
+			continue
+		}
+		if err := writeLiveType(w, typ, m, maxLen, s.theta, remap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeLiveType streams one live value table in canonical order.
+func writeLiveType(w *odcodec.Writer, typ string, m map[string][]int32, maxLen int, theta float64, remap []int32) error {
+	if err := w.BeginType(typ, maxLen, editBudget(theta, maxLen)); err != nil {
+		return err
+	}
+	values := make([]string, 0, len(m))
+	for v := range m {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	for _, v := range values {
+		if err := w.AddValue(v, remapIDs(m[v], remap)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // exportSnapshot merges the ShardedStore's per-shard value tables into
 // the canonical single-table layout: values partition across shards, so
 // concatenating and sorting each type's shard slices reproduces exactly
-// the table MemStore would have built.
+// the table MemStore would have built. A mutated store assembles live
+// tables through the per-shard overlays and compacts the ID space.
 func (s *ShardedStore) exportSnapshot(w *odcodec.Writer) error {
 	s.mustBeFinal()
 	if err := writeODs(w, s.ods); err != nil {
 		return err
+	}
+	if s.mutated {
+		return s.exportLive(w)
 	}
 	type valueRow struct {
 		value   string
@@ -154,12 +274,103 @@ func (s *ShardedStore) exportSnapshot(w *odcodec.Writer) error {
 	return nil
 }
 
-// exportSnapshot re-exports a disk store into another directory by
-// streaming its own segments — used when the snapshot target differs
-// from the store's directory.
+// exportLive writes a mutated ShardedStore's live value tables, merged
+// across shards into the canonical single-table layout.
+func (s *ShardedStore) exportLive(w *odcodec.Writer) error {
+	remap := buildRemap(s.IDSpan(), s.Alive)
+	perType := map[string]map[string][]int32{}
+	maxLens := map[string]int{}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		names := map[string]bool{}
+		for typ := range sh.types {
+			names[typ] = true
+		}
+		for typ := range sh.deltas {
+			names[typ] = true
+		}
+		for typ := range names {
+			m, maxLen := liveValueTable(sh.types[typ], sh.deltas[typ], func(val string) []int32 {
+				return sh.occ[occKeyOf(typ, val)]
+			})
+			if m == nil {
+				continue
+			}
+			dst := perType[typ]
+			if dst == nil {
+				dst = map[string][]int32{}
+				perType[typ] = dst
+			}
+			for v, ids := range m {
+				dst[v] = ids // values partition across shards: no collisions
+			}
+			if maxLen > maxLens[typ] {
+				maxLens[typ] = maxLen
+			}
+		}
+	}
+	sorted := make([]string, 0, len(perType))
+	for typ := range perType {
+		sorted = append(sorted, typ)
+	}
+	sort.Strings(sorted)
+	for _, typ := range sorted {
+		if err := writeLiveType(w, typ, perType[typ], maxLens[typ], s.theta, remap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportSnapshot re-exports a disk store by streaming its own segments —
+// used when the snapshot target differs from the store's directory, and
+// as the merge path that folds a mutated store's overlay into fresh base
+// segments.
 func (s *DiskStore) exportSnapshot(w *odcodec.Writer) error {
 	s.mustBeFinal()
-	for id := int32(0); id < int32(s.size); id++ {
+	if s.mut == nil {
+		for id := int32(0); id < int32(s.size); id++ {
+			obj, src, tuples, err := s.r.OD(id)
+			if err != nil {
+				return err
+			}
+			if err := w.AddOD(obj, src, tuples); err != nil {
+				return err
+			}
+		}
+		for _, tm := range s.r.Types() {
+			if err := w.BeginType(tm.Name, tm.MaxLen, tm.Budget); err != nil {
+				return err
+			}
+			err := s.r.ScanType(tm.Name, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+				ids, err := postings()
+				if err != nil {
+					return true, err
+				}
+				return false, w.AddValue(v, ids)
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return s.exportLive(w)
+}
+
+// exportLive streams a mutated DiskStore's live state: base ODs minus
+// removals, then appended ODs, with posting lists merged through the
+// overlay and rewritten into the compacted ID space. Each type's value
+// segment is scanned twice — once to size the edit budget over the live
+// values, once to write them — keeping the merge's memory bounded by one
+// value table row.
+func (s *DiskStore) exportLive(w *odcodec.Writer) error {
+	m := s.mut
+	remap := buildRemap(s.IDSpan(), s.Alive)
+	for id := int32(0); id < m.baseN; id++ {
+		if m.removed[id] {
+			continue
+		}
 		obj, src, tuples, err := s.r.OD(id)
 		if err != nil {
 			return err
@@ -168,19 +379,82 @@ func (s *DiskStore) exportSnapshot(w *odcodec.Writer) error {
 			return err
 		}
 	}
-	for _, tm := range s.r.Types() {
-		if err := w.BeginType(tm.Name, tm.MaxLen, tm.Budget); err != nil {
+	tupleBuf := make([]odcodec.Tuple, 0, 16)
+	for _, id := range m.addOrder {
+		if m.removed[id] {
+			continue
+		}
+		o := m.added[id]
+		tupleBuf = tupleBuf[:0]
+		for _, t := range o.Tuples {
+			tupleBuf = append(tupleBuf, odcodec.Tuple{Value: t.Value, Name: t.Name, Type: t.Type})
+		}
+		if err := w.AddOD(o.Object, int32(o.Source), tupleBuf); err != nil {
 			return err
 		}
-		err := s.r.ScanType(tm.Name, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+	}
+
+	names := map[string]bool{}
+	for _, tm := range s.r.Types() {
+		names[tm.Name] = true
+	}
+	for typ := range m.addedVals {
+		names[typ] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for typ := range names {
+		sorted = append(sorted, typ)
+	}
+	sort.Strings(sorted)
+	for _, typ := range sorted {
+		// Pass 1: live max value length for the type's edit budget.
+		maxLen, live := 0, 0
+		err := s.forEachLiveValue(typ, func(v string, ids []int32) {
+			live++
+			if l := len([]rune(v)); l > maxLen {
+				maxLen = l
+			}
+		})
+		if err != nil {
+			return err
+		}
+		addedSorted := append([]string(nil), m.addedVals[typ]...)
+		sort.Strings(addedSorted)
+		if live == 0 {
+			continue
+		}
+		if err := w.BeginType(typ, maxLen, editBudget(s.theta, maxLen)); err != nil {
+			return err
+		}
+		// Pass 2: merge the base scan (ascending) with the sorted
+		// appended values (disjoint from base by construction).
+		next := 0
+		emit := func(v string, ids []int32) error {
+			if len(ids) == 0 {
+				return nil
+			}
+			return w.AddValue(v, remapIDs(ids, remap))
+		}
+		err = s.r.ScanType(typ, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
 			ids, err := postings()
 			if err != nil {
 				return true, err
 			}
-			return false, w.AddValue(v, ids)
+			for next < len(addedSorted) && addedSorted[next] < v {
+				if err := emit(addedSorted[next], m.mergePostings(occKeyOf(typ, addedSorted[next]), nil)); err != nil {
+					return true, err
+				}
+				next++
+			}
+			return false, emit(v, m.mergePostings(occKeyOf(typ, v), ids))
 		})
 		if err != nil {
 			return err
+		}
+		for ; next < len(addedSorted); next++ {
+			if err := emit(addedSorted[next], m.mergePostings(occKeyOf(typ, addedSorted[next]), nil)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -49,6 +49,12 @@ func buildTypeIndex(m map[string][]int32, theta float64, budgetLen int) *typeInd
 	return ti
 }
 
+// has reports whether the index holds the exact value.
+func (ti *typeIndex) has(v string) bool {
+	_, ok := ti.byValue[v]
+	return ok
+}
+
 // collect calls add(idx) for every indexed value whose normalized edit
 // distance to q is strictly below theta. add re-verifies the threshold, so
 // either lookup path (deletion-neighborhood index or length-windowed scan)
@@ -59,7 +65,26 @@ func (ti *typeIndex) collect(q string, theta float64, add func(idx int32)) {
 			add(idx)
 		}
 	}
+	// The deletion-neighborhood index is complete only when its budget
+	// covers every possible match against q: a match needs at most
+	// MaxEditsBelow(θ, max(|q|, |v|)) edits and |v| <= ti.maxLen. For
+	// queries over stored values this always holds (the budget derives
+	// from the store-wide maximum length); an arbitrary longer query —
+	// possible through the public API and routine for a mutable store
+	// whose values grew past the budget the base index was built with —
+	// falls back to the complete length-windowed scan.
+	covered := true
 	if ti.neighbor != nil {
+		qLen := len([]rune(q))
+		m := qLen
+		if ti.maxLen > m {
+			m = ti.maxLen
+		}
+		if need := strdist.MaxEditsBelow(theta, m); need < 0 || need > ti.budget {
+			covered = false
+		}
+	}
+	if ti.neighbor != nil && covered {
 		// Complete: budget covers the largest value of the type.
 		if exact, ok := ti.byValue[q]; ok {
 			check(exact)

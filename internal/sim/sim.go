@@ -14,6 +14,13 @@
 //	sim = setSoftIDF(ODT≈) / (setSoftIDF(ODT≠) + setSoftIDF(ODT≈))
 //
 // with softIDF from Definition 8, supplied by the od.Store.
+//
+// For incremental detection the package also exposes replay traces:
+// SimilarityTrace/FilterTrace record the occurrence-union sizes behind
+// each softIDF term, and ReplayScore/ReplayFilter recompute a score or
+// filter bound under a changed corpus size |ΩT| bit-identically —
+// matching and tuple distances never depend on the store, so a pair or
+// bound whose postings are untouched by an update needs only its trace.
 package sim
 
 import (
@@ -41,11 +48,53 @@ type Result struct {
 	Score         float64       // Eq. 8; 0 when both sums are zero
 }
 
+// PairTrace records what one comparison took from the store: the
+// occurrence-union sizes behind each matched pair's softIDF term, in
+// accumulation order. The matching itself depends only on the two ODs'
+// tuple values (edit distances, deterministic tie-breaks) — never on the
+// store — so as long as neither OD's exact tuple postings change, the
+// score under a different corpus size |ΩT| is ReplayScore(size, trace),
+// bit-identical to recomputing Similarity from scratch. This is what
+// lets the incremental pipeline patch untouched pairs in O(matches)
+// instead of re-running the comparison.
+type PairTrace struct {
+	SimU []int32 // |O_a ∪ O_b| per similar match (ODT≈), in match order
+	ConU []int32 // likewise for contradictory matches (ODT≠)
+}
+
+// SimilarityTrace is Similarity plus the pair's replay trace.
+func SimilarityTrace(store od.Store, a, b *od.OD, thetaTuple float64) (Result, PairTrace) {
+	var tr PairTrace
+	res := similarity(store, a, b, thetaTuple, &tr)
+	return res, tr
+}
+
+// ReplayScore recomputes a traced pair's score under a corpus of the
+// given size, replaying the softIDF sums in the original accumulation
+// order so the result is bit-identical to a fresh Similarity call.
+func ReplayScore(size int, tr PairTrace) float64 {
+	var simIDF, conIDF float64
+	for _, u := range tr.SimU {
+		simIDF += od.SoftIDFValue(size, int(u))
+	}
+	for _, u := range tr.ConU {
+		conIDF += od.SoftIDFValue(size, int(u))
+	}
+	if simIDF+conIDF > 0 {
+		return simIDF / (simIDF + conIDF)
+	}
+	return 0
+}
+
 // Similarity computes sim(a, b) per Section 5.1. Tuples with empty values
 // are ignored entirely (they carry no data; see Condition 1). The measure
 // is symmetric: arguments are ordered canonically before matching, so
 // sim(a,b) == sim(b,a) bit for bit.
 func Similarity(store od.Store, a, b *od.OD, thetaTuple float64) Result {
+	return similarity(store, a, b, thetaTuple, nil)
+}
+
+func similarity(store od.Store, a, b *od.OD, thetaTuple float64, trace *PairTrace) Result {
 	if b.ID < a.ID || (b.ID == a.ID && b.Object < a.Object) {
 		a, b = b, a
 	}
@@ -80,7 +129,7 @@ func Similarity(store od.Store, a, b *od.OD, thetaTuple float64) Result {
 		if len(g.as) == 0 || len(g.bs) == 0 {
 			continue // present on one side only: non-specified data
 		}
-		matchGroup(store, g.as, g.bs, thetaTuple, &res)
+		matchGroup(store, g.as, g.bs, thetaTuple, &res, trace)
 	}
 	for _, m := range res.Similar {
 		res.SimilarIDF += m.IDF
@@ -100,7 +149,7 @@ type pairDist struct {
 	dist float64
 }
 
-func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Result) {
+func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Result, trace *PairTrace) {
 	// Full distance matrix; groups are small (element multiplicities).
 	pairs := make([]pairDist, 0, len(as)*len(bs))
 	for i, ta := range as {
@@ -112,6 +161,19 @@ func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Resu
 	usedA := make([]bool, len(as))
 	usedB := make([]bool, len(bs))
 
+	// idf resolves one matched pair's softIDF term. In trace mode the
+	// union cardinality is fetched explicitly and the term recomputed
+	// from it — bit-identical to store.SoftIDF by construction (see
+	// od.SoftIDFValue) — so the union can be recorded for replay.
+	idf := func(ta, tb od.Tuple, sink *[]int32) float64 {
+		if trace == nil {
+			return store.SoftIDF(ta, tb)
+		}
+		u := od.OccUnion(store, ta, tb)
+		*sink = append(*sink, int32(u))
+		return od.SoftIDFValue(store.Size(), u)
+	}
+
 	// Similar matching: ascending distance, 1:1.
 	simPairs := filterPairs(pairs, func(p pairDist) bool { return p.dist < thetaTuple })
 	sortPairs(simPairs, as, bs, true)
@@ -121,9 +183,13 @@ func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Resu
 		}
 		usedA[p.i] = true
 		usedB[p.j] = true
+		var sink *[]int32
+		if trace != nil {
+			sink = &trace.SimU
+		}
 		res.Similar = append(res.Similar, MatchedPair{
 			A: as[p.i], B: bs[p.j], Dist: p.dist,
-			IDF: store.SoftIDF(as[p.i], bs[p.j]),
+			IDF: idf(as[p.i], bs[p.j], sink),
 		})
 	}
 
@@ -139,9 +205,13 @@ func matchGroup(store od.Store, as, bs []od.Tuple, thetaTuple float64, res *Resu
 		}
 		usedA[p.i] = true
 		usedB[p.j] = true
+		var sink *[]int32
+		if trace != nil {
+			sink = &trace.ConU
+		}
 		res.Contradictory = append(res.Contradictory, MatchedPair{
 			A: as[p.i], B: bs[p.j], Dist: p.dist,
-			IDF: store.SoftIDF(as[p.i], bs[p.j]),
+			IDF: idf(as[p.i], bs[p.j], sink),
 		})
 	}
 }
@@ -202,9 +272,51 @@ func Classify(score, thetaCand float64) bool {
 // slightly more aggressive than the paper's Sunique intersection when data
 // is missing entirely (see FilterExact and DESIGN.md).
 func Filter(store od.Store, o *od.OD) float64 {
+	bound, _ := filter(store, o, false)
+	return bound
+}
+
+// FilterStep is one non-empty tuple's contribution to a traced filter
+// bound: whether the tuple was shared and the occurrence-union size its
+// softIDF term derives from. A tuple's shared/unique status and its
+// best-match union depend only on the postings of values θtuple-similar
+// to the tuple — the softIDF argmax is the minimal union, independent of
+// |ΩT| — so while none of those postings change, the bound under a new
+// corpus size is ReplayFilter(size, steps), bit-identical to Filter.
+type FilterStep struct {
+	Shared bool
+	Union  int32
+}
+
+// FilterTrace is Filter plus the per-tuple replay trace.
+func FilterTrace(store od.Store, o *od.OD) (float64, []FilterStep) {
+	return filter(store, o, true)
+}
+
+// ReplayFilter recomputes a traced bound under a corpus of the given
+// size, in the original accumulation order.
+func ReplayFilter(size int, steps []FilterStep) float64 {
 	var sharedIDF, uniqueIDF float64
+	for _, st := range steps {
+		if st.Shared {
+			sharedIDF += od.SoftIDFValue(size, int(st.Union))
+		} else {
+			uniqueIDF += od.SoftIDFValue(size, int(st.Union))
+		}
+	}
+	if sharedIDF+uniqueIDF == 0 {
+		return 0
+	}
+	return sharedIDF / (sharedIDF + uniqueIDF)
+}
+
+func filter(store od.Store, o *od.OD, traced bool) (float64, []FilterStep) {
+	var sharedIDF, uniqueIDF float64
+	var steps []FilterStep
+	size := store.Size()
 	for _, t := range o.NonEmptyTuples() {
 		best := -1.0
+		bestU := int32(0)
 		for _, m := range store.SimilarValues(t) {
 			othered := false
 			for _, obj := range m.Objects {
@@ -216,21 +328,30 @@ func Filter(store od.Store, o *od.OD) float64 {
 			if !othered {
 				continue
 			}
-			idf := store.SoftIDF(t, od.Tuple{Value: m.Value, Type: t.Type})
+			u := od.OccUnion(store, t, od.Tuple{Value: m.Value, Type: t.Type})
+			idf := od.SoftIDFValue(size, u)
 			if idf > best {
 				best = idf
+				bestU = int32(u)
 			}
 		}
 		if best >= 0 {
 			sharedIDF += best
+			if traced {
+				steps = append(steps, FilterStep{Shared: true, Union: bestU})
+			}
 		} else {
-			uniqueIDF += store.SoftIDFSingle(t)
+			u := od.OccUnion(store, t, t)
+			uniqueIDF += od.SoftIDFValue(size, u)
+			if traced {
+				steps = append(steps, FilterStep{Shared: false, Union: int32(u)})
+			}
 		}
 	}
 	if sharedIDF+uniqueIDF == 0 {
-		return 0
+		return 0, steps
 	}
-	return sharedIDF / (sharedIDF + uniqueIDF)
+	return sharedIDF / (sharedIDF + uniqueIDF), steps
 }
 
 // FilterExact computes f(ODi) literally as Equation 9 defines it, by
@@ -262,11 +383,11 @@ func FilterExact(store od.Store, o *od.OD, thetaTuple float64) float64 {
 	}
 	// FilterExact inherently visits every OD, so the materialized slice
 	// beats per-id fetches: on a disk store, ODs() memoizes the full set
-	// once instead of thrashing the fixed-size OD cache n times.
-	ods := store.ODs()
-	for j := 0; j < n; j++ {
-		other := ods[j]
-		if other.ID == o.ID {
+	// once instead of thrashing the fixed-size OD cache n times. On a
+	// mutated store the slice spans the full ID space with nil slots at
+	// removed IDs — skip those rather than index by the live count.
+	for _, other := range store.ODs() {
+		if other == nil || other.ID == o.ID {
 			continue
 		}
 		res := Similarity(store, o, other, thetaTuple)

@@ -397,3 +397,31 @@ func randomStore(rng *rand.Rand, n int) (od.Store, float64) {
 	s.Finalize(theta)
 	return s, theta
 }
+
+// TestFilterExactOnMutatedStore pins the regression where FilterExact
+// indexed the span-length ODs() slice (nil at removed slots) by the
+// live count and dereferenced a removed slot.
+func TestFilterExactOnMutatedStore(t *testing.T) {
+	store := od.NewMemStore()
+	mk := func(obj, val string) *od.OD {
+		return &od.OD{Object: obj, Tuples: []od.Tuple{{Value: val, Name: "/db/r/v", Type: "V"}}}
+	}
+	store.Add(mk("/db/r[1]", "alpha"))
+	store.Add(mk("/db/r[2]", "alphq"))
+	store.Add(mk("/db/r[3]", "gamma"))
+	store.Finalize(0.25)
+	if err := store.Remove([]int32{1}); err != nil {
+		t.Fatal(err)
+	}
+	o := store.OD(0)
+	got := FilterExact(store, o, 0.25)
+	// The reference: the same live objects in a fresh store.
+	fresh := od.NewMemStore()
+	fresh.Add(mk("/db/r[1]", "alpha"))
+	fresh.Add(mk("/db/r[3]", "gamma"))
+	fresh.Finalize(0.25)
+	want := FilterExact(fresh, fresh.OD(0), 0.25)
+	if got != want {
+		t.Fatalf("FilterExact on mutated store = %v, fresh = %v", got, want)
+	}
+}
