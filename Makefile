@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk vet fmt-check docs-check bench fuzz clean
+.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench fuzz clean
 
 all: build test vet fmt-check docs-check
 
@@ -35,6 +35,17 @@ test-disk:
 	$(GO) test -race -run 'Disk|Snapshot|WarmStart|Parity|Equivalence|RoundTrip|Corrupt|Truncat|Mutable|Update|Delta' \
 		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
 
+# Distributed-store gate: the whole odrpc transport package (frame
+# codec, loopback parity, version skew, timeouts), the federation
+# parity/fault/persistence suites, and the dist rows of the end-to-end
+# parity and equivalence suites, all under the race detector. Loopback
+# transports only — no sockets open. The CI container is single-core,
+# so partition-parallel wall-time wins only show on multicore hardware.
+test-dist:
+	$(GO) test -race ./internal/od/odrpc/
+	$(GO) test -race -run 'Partition|Federation|Loopback|StoreParity|Equivalence|DistStore' \
+		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
+
 # Documentation gate: vet plus the docscheck tool (package doc comments
 # everywhere, markdown cross-references resolve). CI runs this as the
 # docs job.
@@ -42,12 +53,15 @@ docs-check:
 	$(GO) vet ./...
 	$(GO) run ./cmd/docscheck README.md ARCHITECTURE.md ROADMAP.md
 
-# Brief fuzz shake of the odcodec round-trip, manifest and delta-segment
-# decoding.
+# Brief fuzz shake of the odcodec round-trip, manifest, delta-segment
+# and federation-manifest decoding, plus the odrpc wire frames.
 fuzz:
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzOpenManifest -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzFederation -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 20s ./internal/od/odrpc/
+	$(GO) test -fuzz FuzzServerConn -fuzztime 20s ./internal/od/odrpc/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -13,16 +13,19 @@
 // 10,000 discs. The stages artifact (not from the paper) profiles the
 // staged detection pipeline on Dataset 1 — on the single-map MemStore,
 // on the sharded store, on the MemStore fed by the streaming ingestion
-// layer, and on the disk-backed store (segment files under -store-dir)
-// — and prints each stage's item count, wall time, live heap after the
-// stage (post-GC runtime.MemStats) and bytes allocated during it. Each
+// layer, on the disk-backed store (segment files under -store-dir),
+// and on the distributed store (a loopback-transport federation of
+// -partitions members, every query crossing the odrpc codec) — and
+// prints each stage's item count, wall time, live heap after the stage
+// (post-GC runtime.MemStats) and bytes allocated during it. Each
 // backend row ends with the heap retained while the finished result and
 // its store are still live: the in-memory backends retain the full
 // value indexes and grow with corpus size, the disk backend retains
 // only its directory and caches. The disk row additionally reports
 // open-vs-rebuild timing — how long reopening the persisted indexes
 // takes versus the infer+candidates+describe build they replace, the
-// warm-start win.
+// warm-start win — and the dist row breaks the retained heap down per
+// partition member by releasing them one at a time.
 package main
 
 import (
@@ -40,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/heuristics"
 	"repro/internal/od"
+	"repro/internal/od/odrpc"
 	"repro/internal/xmltree"
 )
 
@@ -221,6 +225,11 @@ func runStages(w io.Writer, n int, seed int64, shards int, storeDir string) erro
 	// that actually holds it.
 	ds = nil
 
+	// The dist row keeps handles on its member stores so the retained
+	// heap can be attributed per partition after the run.
+	const distPartitions = 3
+	var distMembers []od.Store
+	distName := fmt.Sprintf("dist-%d", distPartitions)
 	backends := []struct {
 		name     string
 		newStore func() od.Store
@@ -233,6 +242,24 @@ func runStages(w io.Writer, n int, seed int64, shards int, storeDir string) erro
 		// the corpora-larger-than-RAM deployment shape, and it keeps
 		// the document tree out of the retained-heap number.
 		{"disk-stream", func() od.Store { return od.NewDiskStore(storeDir) }, true},
+		// Distributed federation over loopback odrpc transports: every
+		// query crosses the wire codec, partitions finalize in parallel
+		// goroutines. Single-core-CI caveat: the CI container runs
+		// GOMAXPROCS=1, so the partition-parallel Finalize serializes
+		// there and this row's wall times mostly show the codec + fan-out
+		// overhead; the cross-partition speedup only shows on multicore
+		// hardware (and real deployments put members on their own nodes,
+		// where the per-partition retained heap below is per-process).
+		{distName, func() od.Store {
+			distMembers = make([]od.Store, distPartitions)
+			parts := make([]od.Partition, distPartitions)
+			for i := range parts {
+				st := od.NewMemStore()
+				distMembers[i] = st
+				parts[i] = odrpc.NewLoopback(st)
+			}
+			return od.NewPartitionedStore(parts, 0)
+		}, false},
 	}
 	for _, be := range backends {
 		sampler := newMemSampler()
@@ -300,6 +327,35 @@ func runStages(w io.Writer, n int, seed int64, shards int, storeDir string) erro
 			ds.Close()
 			fmt.Fprintf(w, "  open=%v vs rebuild=%v (infer+candidates+describe)\n",
 				open.Round(10*time.Microsecond), rebuild.Round(10*time.Microsecond))
+		}
+		if be.name == distName {
+			// Per-partition retained heap: close the federation (ending
+			// the loopback server goroutines), drop the result, then
+			// release the member stores one at a time and attribute each
+			// heap delta to the member just released. On one machine the
+			// members share the process heap; on real nodes each delta is
+			// that member's resident index memory.
+			if fed, ok := res.Store.(*od.PartitionedStore); ok {
+				fed.Close()
+			}
+			res = nil
+			runtime.GC()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			prev := before.HeapAlloc
+			for i := range distMembers {
+				distMembers[i] = nil
+				runtime.GC()
+				var now runtime.MemStats
+				runtime.ReadMemStats(&now)
+				delta := int64(prev) - int64(now.HeapAlloc)
+				if delta < 0 {
+					delta = 0
+				}
+				fmt.Fprintf(w, "  partition %d retained-heap=%6.1fMB\n", i, mb(uint64(delta)))
+				prev = now.HeapAlloc
+			}
+			distMembers = nil
 		}
 		res = nil
 		runtime.GC() // drop this backend's result before the next run

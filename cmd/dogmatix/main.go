@@ -6,7 +6,8 @@
 //	dogmatix -map mapping.txt -type MOVIE [-schema doc.xsd] \
 //	         [-heuristic kd:6] [-ttuple 0.15] [-tcand 0.55] \
 //	         [-filter] [-pairs] [-stages] [-workers 4] \
-//	         [-store mem|sharded|disk] [-shards 8] \
+//	         [-store mem|sharded|disk|dist] [-shards 8] \
+//	         [-partitions 3 | -partition-addrs H1:P1,H2:P2] \
 //	         [-store-dir DIR] [-reuse-index] \
 //	         [-update] [-remove OBJECT-PATH]... \
 //	         [-stream] doc1.xml [doc2.xml ...]
@@ -24,8 +25,17 @@
 // (parallel Finalize); disk builds the indexes into odcodec segment
 // files under -store-dir and serves queries from them, so the run's
 // retained memory stays bounded by its caches and the indexes survive
-// the process. All three produce identical output. The default resolves
-// to sharded when -shards is set and mem otherwise.
+// the process; dist federates the indexes across partition members
+// behind the odrpc wire protocol — either -partitions in-process
+// members each behind a loopback transport (the single-machine shape,
+// full codec, no sockets), or the odrpc servers listed in
+// -partition-addrs. All backends produce identical output. The default
+// resolves to sharded when -shards is set, dist when -partitions or
+// -partition-addrs is set, and mem otherwise. A federation member
+// failing or hanging mid-run fails the run with a typed partition
+// error — never a silently incomplete result. -reuse-index and -update
+// serve from single-directory disk snapshots and do not combine with
+// -store dist (persist a federation with od.SavePartitioned).
 //
 // -reuse-index enables index persistence across runs: the fresh run
 // saves the finalized indexes (stamped with a corpus fingerprint) into
@@ -71,10 +81,12 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/heuristics"
 	"repro/internal/od"
+	"repro/internal/od/odrpc"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
 )
@@ -91,8 +103,10 @@ func main() {
 		showPairs  = flag.Bool("pairs", false, "list detected pairs with scores on stderr")
 		stats      = flag.Bool("stats", false, "print run statistics on stderr")
 		showStages = flag.Bool("stages", false, "print per-stage timings on stderr")
-		store      = flag.String("store", "", "OD store backend: mem | sharded | disk (default: sharded when -shards is set, else mem)")
+		store      = flag.String("store", "", "OD store backend: mem | sharded | disk | dist (default: sharded when -shards is set, dist when -partitions/-partition-addrs is set, else mem)")
 		shards     = flag.Int("shards", 0, "index shard count for the sharded store")
+		partitions = flag.Int("partitions", 0, "in-process partition count for the distributed store (loopback transports)")
+		partAddrs  = flag.String("partition-addrs", "", "comma-separated odrpc server addresses for the distributed store")
 		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
 		storeDir   = flag.String("store-dir", "", "directory for disk-store segments / index snapshots")
 		reuseIndex = flag.Bool("reuse-index", false, "warm-start from a matching index snapshot in -store-dir (and save one after a fresh build)")
@@ -108,6 +122,7 @@ func main() {
 		heuristic: *heuristic, ttuple: *ttuple, tcand: *tcand,
 		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
 		showStages: *showStages, store: *store, shards: *shards,
+		partitions: *partitions, partAddrs: *partAddrs,
 		workers: *workers, storeDir: *storeDir, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
 		update: *update, removePaths: removePaths,
@@ -134,8 +149,8 @@ type options struct {
 	useFilter, showPairs, stats           bool
 	showStages, stream, reuseIndex        bool
 	update                                bool
-	shards, workers                       int
-	store, storeDir                       string
+	shards, workers, partitions           int
+	store, storeDir, partAddrs            string
 	format                                string
 	removePaths                           []string
 }
@@ -145,14 +160,22 @@ const (
 	storeMem     = "mem"
 	storeSharded = "sharded"
 	storeDisk    = "disk"
+	storeDist    = "dist"
 )
+
+// remoteCallTimeout is the per-call deadline set on dialed
+// -partition-addrs clients (loopback members share the process and
+// need none).
+const remoteCallTimeout = 2 * time.Minute
 
 // validate checks every flag combination up front — before any file is
 // opened or any pipeline stage runs — so misconfigurations surface as
 // one-line errors instead of failures deep inside the run. It also
 // resolves the defaults: an empty -store becomes sharded when -shards
-// is set (the pre--store CLI behavior) and mem otherwise, and -store
-// sharded without -shards gets 8 shards.
+// is set (the pre--store CLI behavior), dist when -partitions or
+// -partition-addrs is set, and mem otherwise; -store sharded without
+// -shards gets 8 shards, and -store dist without either partition flag
+// gets 2 in-process partitions.
 func (o *options) validate(docs []string) error {
 	if o.mapFile == "" || o.typeName == "" {
 		return fmt.Errorf("-map and -type are required")
@@ -187,17 +210,29 @@ func (o *options) validate(docs []string) error {
 	if o.shards < 0 {
 		return fmt.Errorf("-shards %d is negative", o.shards)
 	}
+	if o.partitions < 0 {
+		return fmt.Errorf("-partitions %d is negative", o.partitions)
+	}
+	if o.partitions > 0 && o.partAddrs != "" {
+		return fmt.Errorf("-partitions and -partition-addrs are exclusive: in-process loopback members or remote servers, not both")
+	}
 	switch o.format {
 	case "xml", "json", "csv":
 	default:
 		return fmt.Errorf("unknown -format %q (want xml, json, csv)", o.format)
 	}
 	if o.store == "" {
-		if o.shards > 0 {
+		switch {
+		case o.shards > 0:
 			o.store = storeSharded
-		} else {
+		case o.partitions > 0 || o.partAddrs != "":
+			o.store = storeDist
+		default:
 			o.store = storeMem
 		}
+	}
+	if o.store != storeDist && (o.partitions > 0 || o.partAddrs != "") {
+		return fmt.Errorf("-partitions/-partition-addrs only apply to -store dist, not %q", o.store)
 	}
 	switch o.store {
 	case storeMem, storeDisk:
@@ -208,8 +243,21 @@ func (o *options) validate(docs []string) error {
 		if o.shards == 0 {
 			o.shards = 8
 		}
+	case storeDist:
+		if o.shards > 0 {
+			return fmt.Errorf("-shards only applies to -store sharded, not %q", o.store)
+		}
+		if o.reuseIndex {
+			return fmt.Errorf("-reuse-index snapshots a single disk directory; it does not apply to -store dist (persist a federation with od.SavePartitioned)")
+		}
+		if o.storeDir != "" {
+			return fmt.Errorf("-store-dir does not apply to -store dist")
+		}
+		if o.partitions == 0 && o.partAddrs == "" {
+			o.partitions = 2
+		}
 	default:
-		return fmt.Errorf("unknown -store %q (want %s, %s or %s)", o.store, storeMem, storeSharded, storeDisk)
+		return fmt.Errorf("unknown -store %q (want %s, %s, %s or %s)", o.store, storeMem, storeSharded, storeDisk, storeDist)
 	}
 	if o.store == storeDisk && o.storeDir == "" {
 		return fmt.Errorf("-store disk needs -store-dir")
@@ -246,19 +294,63 @@ func specSelectsAncestors(spec string) bool {
 }
 
 // newStore resolves the validated options into a store factory for
-// core.Config; nil means the default MemStore.
-func (o *options) newStore() func() od.Store {
+// core.Config; nil means the default MemStore. The dist backend is
+// constructed eagerly — dialing remote members can fail, and a factory
+// has no error channel.
+func (o *options) newStore() (func() od.Store, error) {
 	switch o.store {
 	case storeSharded:
 		return func() od.Store {
 			st := od.NewShardedStore(o.shards)
 			st.Workers = o.workers // -workers 1 keeps Finalize serial too
 			return st
-		}
+		}, nil
 	case storeDisk:
-		return func() od.Store { return od.NewDiskStore(o.storeDir) }
+		return func() od.Store { return od.NewDiskStore(o.storeDir) }, nil
+	case storeDist:
+		fed, err := o.buildFederation()
+		if err != nil {
+			return nil, err
+		}
+		return func() od.Store { return fed }, nil
 	}
-	return nil
+	return nil, nil
+}
+
+// buildFederation assembles the distributed store: odrpc clients for
+// every -partition-addrs server, or -partitions in-process MemStore
+// members each behind a loopback transport (full wire codec, no
+// sockets).
+func (o *options) buildFederation() (*od.PartitionedStore, error) {
+	var parts []od.Partition
+	if o.partAddrs != "" {
+		for _, addr := range strings.Split(o.partAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				return nil, fmt.Errorf("-partition-addrs contains an empty address")
+			}
+			c, err := odrpc.Dial(addr)
+			if err != nil {
+				for _, p := range parts {
+					p.Close()
+				}
+				return nil, err
+			}
+			// The deadline is what turns a wedged remote member into the
+			// documented typed partition error instead of a hung run. It
+			// bounds every call including Finalize — whose reply only
+			// arrives once the member finished building its index slice —
+			// so it is generous; corpora whose member builds exceed it
+			// should drive the federation through the od API directly.
+			c.Timeout = remoteCallTimeout
+			parts = append(parts, c)
+		}
+	} else {
+		for i := 0; i < o.partitions; i++ {
+			parts = append(parts, odrpc.NewLoopback(od.NewMemStore()))
+		}
+	}
+	return od.NewPartitionedStore(parts, 0), nil
 }
 
 func run(opts options, docs []string, stdout, stderr io.Writer) error {
@@ -324,7 +416,11 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		// the merged indexes when done.
 		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true}
 	} else {
-		cfg.NewStore = opts.newStore()
+		newStore, err := opts.newStore()
+		if err != nil {
+			return err
+		}
+		cfg.NewStore = newStore
 		if opts.reuseIndex {
 			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true}
 		}

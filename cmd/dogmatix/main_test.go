@@ -33,6 +33,14 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"disk-without-dir", func(o *options) { o.store = "disk" }, docs, "-store disk needs -store-dir"},
 		{"reuse-without-dir", func(o *options) { o.reuseIndex = true }, docs, "-reuse-index needs -store-dir"},
 		{"dir-without-user", func(o *options) { o.storeDir = "d" }, docs, "-store-dir is set but"},
+		{"negative-partitions", func(o *options) { o.partitions = -2 }, docs, "-partitions"},
+		{"partitions-and-addrs", func(o *options) { o.partitions = 2; o.partAddrs = "h:1" }, docs, "exclusive"},
+		{"partitions-with-mem", func(o *options) { o.store = "mem"; o.partitions = 2 }, docs, "only apply to -store dist"},
+		{"addrs-with-sharded", func(o *options) { o.store = "sharded"; o.partAddrs = "h:1" }, docs, "only apply to -store dist"},
+		{"dist-with-shards", func(o *options) { o.store = "dist"; o.shards = 4 }, docs, "-shards only applies"},
+		{"dist-with-reuse", func(o *options) { o.store = "dist"; o.reuseIndex = true }, docs, "does not apply to -store dist"},
+		{"dist-with-dir", func(o *options) { o.store = "dist"; o.storeDir = "d" }, docs, "-store-dir does not apply"},
+		{"dist-with-update", func(o *options) { o.store = "dist"; o.update = true; o.storeDir = "d" }, docs, "does not apply"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -65,6 +73,21 @@ func TestValidateFlagCombinations(t *testing.T) {
 		o.storeDir = "d"
 		if err := o.validate(docs); err != nil {
 			t.Fatalf("valid disk config rejected: %v", err)
+		}
+		o = base
+		o.partitions = 3
+		if err := o.validate(docs); err != nil || o.store != storeDist {
+			t.Fatalf("-partitions 3 resolved to %q (%v), want dist", o.store, err)
+		}
+		o = base
+		o.store = storeDist
+		if err := o.validate(docs); err != nil || o.partitions != 2 {
+			t.Fatalf("-store dist resolved to %d partitions (%v), want 2", o.partitions, err)
+		}
+		o = base
+		o.partAddrs = "h1:7001, h2:7001"
+		if err := o.validate(docs); err != nil || o.store != storeDist || o.partitions != 0 {
+			t.Fatalf("-partition-addrs resolved to %q/%d (%v), want dist/0", o.store, o.partitions, err)
 		}
 	})
 }
@@ -318,5 +341,62 @@ func TestRunUpdateJSONCandidateCount(t *testing.T) {
 	}
 	if !strings.Contains(updOut.String(), `"candidates": 2`) {
 		t.Fatalf("update JSON should report 2 live candidates:\n%s", updOut.String())
+	}
+}
+
+// TestRunDistStore drives the CLI end to end on the distributed
+// backend: a loopback federation at 1 and 3 partitions must emit
+// byte-identical dupcluster XML to the MemStore run on the same
+// corpus, and a remote-address dial failure must surface before any
+// detection work.
+func TestRunDistStore(t *testing.T) {
+	dir := t.TempDir()
+	docPath := filepath.Join(dir, "db.xml")
+	mapPath := filepath.Join(dir, "map.txt")
+	const doc = `<db>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Alpha Beta</name><id>7</id></rec>
+  <rec><name>Gamma Delta</name><id>3</id></rec>
+  <rec><name>Gamma Delta</name><id>3</id></rec>
+  <rec><name>Unique One</name><id>9</id></rec>
+</db>`
+	if err := os.WriteFile(docPath, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mapPath, []byte("REC /db/rec\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base := options{
+		mapFile: mapPath, typeName: "REC", heuristic: "rd:1",
+		ttuple: 0.30, tcand: 0.55, format: "xml", stats: true,
+	}
+
+	var memOut, memErr bytes.Buffer
+	if err := run(base, []string{docPath}, &memOut, &memErr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(memOut.String(), "dupcluster") {
+		t.Fatalf("no cluster output: %s", memOut.String())
+	}
+	for _, parts := range []int{1, 3} {
+		opts := base
+		opts.store = storeDist
+		opts.partitions = parts
+		var out, errOut bytes.Buffer
+		if err := run(opts, []string{docPath}, &out, &errOut); err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if out.String() != memOut.String() {
+			t.Fatalf("partitions=%d output diverges from MemStore\n got: %s\nwant: %s", parts, out.String(), memOut.String())
+		}
+	}
+
+	// A dead remote member fails fast at store construction.
+	opts := base
+	opts.store = storeDist
+	opts.partAddrs = "127.0.0.1:1" // nothing listens on port 1
+	var out bytes.Buffer
+	if err := run(opts, []string{docPath}, &out, &out); err == nil || !strings.Contains(err.Error(), "dial") {
+		t.Fatalf("dead partition address: err = %v, want dial failure", err)
 	}
 }

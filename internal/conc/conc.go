@@ -14,6 +14,13 @@ import (
 // Ranges runs fn over contiguous chunks covering [0, n). workers <= 0
 // selects GOMAXPROCS and 1 forces the serial path; chunk <= 0 selects
 // n/(4·workers) (minimum 1). The final [lo, hi) chunk is clipped to n.
+//
+// A panic inside fn is re-raised on the calling goroutine after every
+// worker has drained, with the original panic value — so typed panics
+// (e.g. a store surfacing a backend failure) cross the worker boundary
+// exactly as they would on the serial path instead of crashing the
+// process from an anonymous goroutine. When several workers panic, the
+// first one recovered wins.
 func Ranges(workers, n, chunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -34,12 +41,25 @@ func Ranges(workers, n, chunk int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	var next int64
-	var wg sync.WaitGroup
+	var (
+		next     int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			for {
 				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
 				if lo >= n {
@@ -54,4 +74,7 @@ func Ranges(workers, n, chunk int, fn func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 }

@@ -1,0 +1,212 @@
+package core_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/heuristics"
+	"repro/internal/od"
+	"repro/internal/od/odrpc"
+)
+
+// outageStore wraps a MemStore and fails SimilarValues after a
+// countdown — behind a loopback server, the panic becomes an error
+// reply, so the federation observes a member erroring mid-query.
+type outageStore struct {
+	*od.MemStore
+	countdown atomic.Int64
+}
+
+func (s *outageStore) SimilarValues(t od.Tuple) []od.ValueMatch {
+	if s.countdown.Add(-1) < 0 {
+		panic("injected member outage")
+	}
+	return s.MemStore.SimilarValues(t)
+}
+
+// stallStore wraps a MemStore and blocks SimilarValues until released,
+// simulating a member that hangs mid-query.
+type stallStore struct {
+	*od.MemStore
+	release chan struct{}
+}
+
+func (s *stallStore) SimilarValues(t od.Tuple) []od.ValueMatch {
+	<-s.release
+	return s.MemStore.SimilarValues(t)
+}
+
+// faultDetector builds the shared detection setup of the fault suite.
+func faultDetector(t *testing.T, newStore func() od.Store) (*core.Detector, []core.Source) {
+	t.Helper()
+	src, mapping := dirtyCDSource(t, 40, 2005)
+	det, err := core.NewDetector(mapping, core.Config{
+		Heuristic:  heuristics.KClosestDescendants(6),
+		ThetaTuple: 0.15,
+		ThetaCand:  0.55,
+		UseFilter:  true,
+		NewStore:   newStore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det, []core.Source{src}
+}
+
+// requirePartitionError asserts Detect failed with the typed partition
+// error for the expected member and returned no partial result.
+func requirePartitionError(t *testing.T, res *core.Result, err error, wantPartition int) *od.PartitionUnavailableError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("detection over a failing federation succeeded")
+	}
+	if res != nil {
+		t.Fatalf("failed detection returned a partial result: %+v", res.Stats)
+	}
+	var pe *od.PartitionUnavailableError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a wrapped *od.PartitionUnavailableError", err)
+	}
+	if pe.Partition != wantPartition {
+		t.Fatalf("failure attributed to partition %d, want %d", pe.Partition, wantPartition)
+	}
+	return pe
+}
+
+// TestDetectPartitionQueryFault pins the mid-query failure contract
+// end to end: a member erroring during the reduce/compare query load
+// fails the Detect call with a typed PartitionUnavailableError — the
+// pipeline never degrades to a candidate set missing that member's
+// slice of the value space.
+func TestDetectPartitionQueryFault(t *testing.T) {
+	bad := &outageStore{MemStore: od.NewMemStore()}
+	bad.countdown.Store(25) // survive the build, die mid-queries
+	det, sources := faultDetector(t, func() od.Store {
+		return od.NewPartitionedStore([]od.Partition{
+			odrpc.NewLoopback(od.NewMemStore()),
+			odrpc.NewLoopback(bad),
+			odrpc.NewLoopback(od.NewMemStore()),
+		}, 0)
+	})
+	res, err := det.Detect("DISC", sources...)
+	requirePartitionError(t, res, err, 1)
+}
+
+// TestDetectPartitionHang pins the hang side: a member that stops
+// answering surfaces as a typed timeout failure within the transport
+// deadline instead of stalling the pipeline forever.
+func TestDetectPartitionHang(t *testing.T) {
+	stall := &stallStore{MemStore: od.NewMemStore(), release: make(chan struct{})}
+	defer close(stall.release)
+	det, sources := faultDetector(t, func() od.Store {
+		healthy := odrpc.NewLoopback(od.NewMemStore())
+		hung := odrpc.NewLoopback(stall)
+		hung.Timeout = 100 * time.Millisecond
+		return od.NewPartitionedStore([]od.Partition{healthy, hung}, 0)
+	})
+	start := time.Now()
+	res, err := det.Detect("DISC", sources...)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hung member stalled detection for %v", elapsed)
+	}
+	requirePartitionError(t, res, err, 1)
+}
+
+// cutPartition closes its client's connection when the build phase
+// ships the shadow objects — the cut-connection-mid-Finalize scenario.
+type cutPartition struct {
+	*odrpc.Client
+	cut atomic.Bool
+}
+
+func (c *cutPartition) AddODs(ods []*od.OD) error {
+	if c.cut.CompareAndSwap(false, true) {
+		c.Client.Close()
+	}
+	return c.Client.AddODs(ods)
+}
+
+// TestDetectPartitionCutMidFinalize pins the build-phase failure and
+// the recovery path: a connection cut while Finalize ships shadows
+// fails the describe stage with the typed error, and a fresh
+// federation over the same disk-backed partition directories rebuilds
+// cleanly to the MemStore-identical result — the half-built member
+// left nothing a reopen could mistake for a snapshot.
+func TestDetectPartitionCutMidFinalize(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	build := func(cutFirst bool) func() od.Store {
+		return func() od.Store {
+			parts := make([]od.Partition, len(dirs))
+			for i, dir := range dirs {
+				client := odrpc.NewLoopback(od.NewDiskStore(dir))
+				if cutFirst && i == 0 {
+					parts[i] = &cutPartition{Client: client}
+				} else {
+					parts[i] = client
+				}
+			}
+			return od.NewPartitionedStore(parts, 0)
+		}
+	}
+
+	det, sources := faultDetector(t, build(true))
+	res, err := det.Detect("DISC", sources...)
+	pe := requirePartitionError(t, res, err, 0)
+	if pe.Op != "Finalize" {
+		t.Fatalf("cut surfaced during %q, want the Finalize fan-out", pe.Op)
+	}
+	if _, err := od.OpenDiskStore(dirs[0]); err == nil {
+		t.Fatal("half-built partition directory opened as a snapshot")
+	}
+
+	// Recovery: rebuild over the same directories and match MemStore.
+	det2, _ := faultDetector(t, build(false))
+	rebuilt, err := det2.Detect("DISC", sources...)
+	if err != nil {
+		t.Fatalf("rebuild over the cut member's directory failed: %v", err)
+	}
+	memDet, _ := faultDetector(t, nil)
+	ref, err := memDet.Detect("DISC", sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := detectFingerprint(rebuilt), detectFingerprint(ref); got != want {
+		t.Errorf("rebuilt federation diverges from MemStore\n got: %s\nwant: %s", got, want)
+	}
+	if len(ref.Pairs) == 0 {
+		t.Fatal("reference run found no pairs; recovery check would be vacuous")
+	}
+}
+
+// TestUpdatePartitionFault pins the incremental path: a member failing
+// during an Update batch surfaces the typed error from Update, and the
+// poisoned federation refuses further use rather than serving a
+// diverged state.
+func TestUpdatePartitionFault(t *testing.T) {
+	bad := &outageStore{MemStore: od.NewMemStore()}
+	bad.countdown.Store(1 << 30) // healthy through the initial detect
+	det, sources := faultDetector(t, func() od.Store {
+		return od.NewPartitionedStore([]od.Partition{
+			odrpc.NewLoopback(od.NewMemStore()),
+			odrpc.NewLoopback(bad),
+		}, 0)
+	})
+	res, err := det.Detect("DISC", sources...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.countdown.Store(0) // every further similar-value query fails
+	src2, _ := dirtyCDSource(t, 6, 7)
+	src2.Name = "freedb-2"
+	_, err = det.Update(res, core.UpdateBatch{Add: []core.SourceInput{src2}})
+	if err == nil {
+		t.Fatal("Update over a failing federation succeeded")
+	}
+	var pe *od.PartitionUnavailableError
+	if !errors.As(err, &pe) || pe.Partition != 1 {
+		t.Fatalf("Update err = %v, want typed failure for member 1", err)
+	}
+}

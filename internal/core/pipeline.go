@@ -184,13 +184,34 @@ func (p *pipelineRun) runOne(st pipelineStage) error {
 		obs.StageStart(st.name)
 	}
 	begin := time.Now()
-	items, err := st.run(p)
+	items, err := runStageGuarded(st, p)
 	stats := StageStats{Name: st.name, Items: items, Elapsed: time.Since(begin)}
 	p.res.Stages = append(p.res.Stages, stats)
 	if obs != nil {
 		obs.StageDone(stats)
 	}
 	return err
+}
+
+// runStageGuarded executes one stage body, converting a distributed
+// store's typed failure panic into the stage's error return. Store
+// query methods have no error channel, so a PartitionedStore reports a
+// lost member by panicking with *od.PartitionUnavailableError
+// (internal/conc re-raises it across worker goroutines); converting it
+// here means Detect/Update fail with a typed, wrapped error — never a
+// silently incomplete candidate set, never a crashed process. Any
+// other panic is a genuine bug and propagates.
+func runStageGuarded(st pipelineStage, p *pipelineRun) (items int, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			pe, ok := r.(*od.PartitionUnavailableError)
+			if !ok {
+				panic(r)
+			}
+			items, err = 0, fmt.Errorf("core: stage %s: %w", st.name, pe)
+		}
+	}()
+	return st.run(p)
 }
 
 // inferSchemas validates the sources and resolves a schema per source,

@@ -167,6 +167,15 @@ func (p *pipelineRun) warmStart() (int, error) {
 		ds.Close()
 		return 0, nil
 	}
+	if ds.IDSpan() != int32(ds.Size()) {
+		// A tombstoned ID space (in-place merge of an updated store)
+		// only ever carries a chained fingerprint, which can never match
+		// a fresh corpus fingerprint — but the candidate reconstruction
+		// below assumes a hole-free [0, Size) ID range, so miss
+		// defensively rather than rely on that invariant.
+		ds.Close()
+		return 0, nil
+	}
 	if ds.Fingerprint() == "" {
 		ds.Close()
 		return 0, nil // unstamped snapshot can never match

@@ -145,6 +145,17 @@ func TestDetectStoreParity(t *testing.T) {
 			if !reflect.DeepEqual(norm(res.Store.Stats()), norm(ref.Store.Stats())) {
 				t.Errorf("disk store stats diverge")
 			}
+			// Distributed rows: the whole pipeline through a loopback
+			// odrpc federation at 1 and 3 partitions.
+			for _, nParts := range []int{1, 3} {
+				res := run(distStore(nParts))
+				if got := detectFingerprint(res); got != want {
+					t.Errorf("dist-%d diverges from MemStore\n got: %s\nwant: %s", nParts, got, want)
+				}
+				if !reflect.DeepEqual(norm(res.Store.Stats()), norm(ref.Store.Stats())) {
+					t.Errorf("dist-%d store stats diverge", nParts)
+				}
+			}
 		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dirty"
 	"repro/internal/heuristics"
 	"repro/internal/od"
+	"repro/internal/od/odrpc"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
 )
@@ -27,6 +28,20 @@ func xmlBytes(t *testing.T, doc *xmltree.Document) []byte {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
+}
+
+// distStore returns a factory building a loopback-transport federation
+// of n MemStore partitions — every query and mutation crosses the
+// odrpc frame codec over net.Pipe, the exact shape `-store dist`
+// without remote addresses runs, with no real sockets.
+func distStore(n int) func() od.Store {
+	return func() od.Store {
+		parts := make([]od.Partition, n)
+		for i := range parts {
+			parts[i] = odrpc.NewLoopback(od.NewMemStore())
+		}
+		return od.NewPartitionedStore(parts, 0)
+	}
 }
 
 // bytesSource is a reopenable StreamSource over an in-memory document.
@@ -164,6 +179,8 @@ func TestStreamDocEquivalence(t *testing.T) {
 		{"disk", func(t *testing.T) func() od.Store {
 			return func() od.Store { return od.NewDiskStore(t.TempDir()) }
 		}},
+		{"dist-1", func(t *testing.T) func() od.Store { return distStore(1) }},
+		{"dist-3", func(t *testing.T) func() od.Store { return distStore(3) }},
 	}
 
 	for _, tc := range cases {

@@ -95,9 +95,10 @@ type updateCtx struct {
 //
 // θtuple must match the store's; prev must carry one candidate slot per
 // store ID. With Config.Snapshot.Save set, the updated store is
-// persisted with a chained fingerprint (see updateSnapshot) — note that
-// saving a DiskStore into its own directory merges and seals it, so
-// persist once after the last batch of an in-process chain.
+// persisted with a chained fingerprint (see updateSnapshot); a
+// DiskStore saving into its own directory merges in place (tombstoned
+// ID space, store stays usable), so an in-process chain of Update
+// calls can persist after every batch.
 func (d *Detector) Update(prev *Result, batch UpdateBatch) (*Result, error) {
 	start := time.Now()
 	if prev == nil || prev.Store == nil {

@@ -226,6 +226,8 @@ func TestUpdateEquivalence(t *testing.T) {
 		{"disk", func(t *testing.T) func() od.Store {
 			return func() od.Store { return od.NewDiskStore(t.TempDir()) }
 		}},
+		{"dist-1", func(t *testing.T) func() od.Store { return distStore(1) }},
+		{"dist-3", func(t *testing.T) func() od.Store { return distStore(3) }},
 	}
 	for _, sc := range updateScenarios(t) {
 		for _, be := range backends {

@@ -52,9 +52,16 @@ type DiskStore struct {
 	// segment first and then lands in this overlay, which the query
 	// paths merge over the base. OpenDiskStore rebuilds the overlay by
 	// replaying the delta files above the manifest's watermark; Save
-	// folds everything into fresh base segments.
-	mut    *diskOverlay
-	sealed bool // a same-directory merge happened; see Save
+	// folds everything into fresh base segments — in place for the
+	// store's own directory (tombstones keep the ID space, the store
+	// stays usable), compacted for a foreign directory.
+	//
+	// dirty reports that the overlay has diverged from what the base
+	// manifest describes: in-process mutations or replayed unmerged
+	// delta segments. A tombstone-only overlay seeded from the manifest
+	// itself is not dirty — the snapshot fully describes that state.
+	mut   *diskOverlay
+	dirty bool
 
 	odCache  *shardedLRU[int32, *OD]
 	occCache *shardedLRU[string, []int32]
@@ -130,12 +137,14 @@ func OpenDiskStore(dir string) (*DiskStore, error) {
 // Dir returns the snapshot directory.
 func (s *DiskStore) Dir() string { return s.dir }
 
-// Mutated reports whether the store carries post-Finalize mutations —
-// applied in process or replayed from unmerged delta segments at open.
-// The warm-start path must reject mutated stores: their base manifest
-// still carries the fingerprint of the *original* corpus, which the
-// live (base + delta) state no longer corresponds to.
-func (s *DiskStore) Mutated() bool { return s.mut != nil }
+// Mutated reports whether the store's live state has diverged from what
+// its base manifest describes — mutations applied in process, or
+// unmerged delta segments replayed at open. The warm-start path must
+// reject such stores: the manifest fingerprint corresponds to a corpus
+// the live state no longer matches. A store whose only overlay is the
+// manifest's own tombstone list is not mutated in this sense: the
+// snapshot (fingerprint included) fully describes it.
+func (s *DiskStore) Mutated() bool { return s.dirty }
 
 // Fingerprint returns the corpus fingerprint stamped on the snapshot,
 // or "" for a store finalized in-process and not yet stamped.
@@ -256,12 +265,27 @@ func (s *DiskStore) Finalize(theta float64) {
 	s.serveFrom(r)
 }
 
-// serveFrom installs the reader and derives the query-phase state.
+// serveFrom installs the reader and derives the query-phase state,
+// including the overlay a tombstoned base snapshot implies (removed
+// slots recorded in the manifest by an in-place merge). That seeded
+// overlay leaves dirty false: the manifest fully describes it.
 func (s *DiskStore) serveFrom(r *odcodec.Reader) {
 	s.r = r
 	meta := r.Meta()
 	s.theta = meta.Theta
 	s.size = meta.NumODs
+	s.mut = nil
+	s.dirty = false
+	if len(meta.Tombstones) > 0 {
+		s.size = meta.NumODs - len(meta.Tombstones)
+		m := s.overlay()
+		for _, id := range meta.Tombstones {
+			m.removed[id] = true
+		}
+	}
+	s.allMu.Lock()
+	s.allODs = nil
+	s.allMu.Unlock()
 	s.budgets = map[string]int{}
 	s.stats = nil
 	for _, tm := range r.Types() {
@@ -302,9 +326,6 @@ func (s *DiskStore) overlay() *diskOverlay {
 // unchanged.
 func (s *DiskStore) AddAfterFinalize(ods []*OD) error {
 	s.mustBeFinal()
-	if s.sealed {
-		return fmt.Errorf("od: DiskStore: store was merged by Save; reopen the snapshot to keep updating")
-	}
 	if len(ods) == 0 {
 		return nil
 	}
@@ -329,6 +350,7 @@ func (s *DiskStore) AddAfterFinalize(ods []*OD) error {
 		return fmt.Errorf("od: DiskStore: %w", err)
 	}
 	m.seq++
+	s.dirty = true
 	s.commitAdded(staged)
 	s.invalidate()
 	return nil
@@ -338,9 +360,6 @@ func (s *DiskStore) AddAfterFinalize(ods []*OD) error {
 // AddAfterFinalize.
 func (s *DiskStore) Remove(ids []int32) error {
 	s.mustBeFinal()
-	if s.sealed {
-		return fmt.Errorf("od: DiskStore: store was merged by Save; reopen the snapshot to keep updating")
-	}
 	if err := validateRemovals(s.IDSpan(), s.Alive, ids); err != nil {
 		return err
 	}
@@ -354,6 +373,7 @@ func (s *DiskStore) Remove(ids []int32) error {
 		return fmt.Errorf("od: DiskStore: %w", err)
 	}
 	m.seq++
+	s.dirty = true
 	s.applyRemoved(sorted)
 	s.invalidate()
 	return nil
@@ -452,6 +472,7 @@ func (s *DiskStore) replayDelta(d odcodec.Delta) error {
 		return fmt.Errorf("od: DiskStore: delta %d replayed out of order after %d", d.Seq, m.seq)
 	}
 	m.seq = d.Seq
+	s.dirty = true
 	for _, id := range d.Removed {
 		if !s.Alive(id) {
 			return fmt.Errorf("od: DiskStore: delta %d removes id %d which is not alive", d.Seq, id)

@@ -36,6 +36,24 @@ func BenchmarkFinalize(b *testing.B) {
 			runFinalizeBench(b, base, func() Store { return NewShardedStore(shards) })
 		})
 	}
+	// Partition-parallel Finalize: every member builds its hash slice of
+	// the indexes on its own goroutine. Single-core-CI caveat: the CI
+	// container runs GOMAXPROCS=1, so the members serialize there and
+	// this row mostly measures the shadow split plus per-member builds —
+	// cross-member speedup (and the odrpc codec cost of the loopback
+	// deployment, benchmarked in cmd/benchfig's dist row) must be
+	// measured on multicore hardware.
+	for _, parts := range []int{3} {
+		b.Run(fmt.Sprintf("dist-%d", parts), func(b *testing.B) {
+			runFinalizeBench(b, base, func() Store {
+				members := make([]Partition, parts)
+				for i := range members {
+					members[i] = LocalPartition{S: NewMemStore()}
+				}
+				return NewPartitionedStore(members, 0)
+			})
+		})
+	}
 }
 
 // BenchmarkNeighborQueries measures concurrent blocking-set queries (the

@@ -126,9 +126,15 @@ func (s *shardedLRU[K, V]) put(k K, v V) {
 // spread across shards).
 func hashID(id int32) uint32 { return uint32(id) * 2654435761 }
 
-// hashKey routes string occurrence keys (FNV-1a).
-func hashKey(key string) uint32 {
-	h := uint32(2166136261)
+// hashKey routes string occurrence keys.
+func hashKey(key string) uint32 { return fnv1a(key, 0) }
+
+// fnv1a is the one FNV-1a implementation every string-keyed routing
+// decision in this package shares — LRU cache buckets, ShardedStore's
+// shard choice, PartitionedStore's partition choice (the only seeded
+// user; the seed is part of a federation's identity).
+func fnv1a(key string, seed uint32) uint32 {
+	h := uint32(2166136261) ^ seed
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
 		h *= 16777619

@@ -12,12 +12,22 @@ import (
 )
 
 // mutableBackends builds one instance of every MutableStore backend over
-// copies of the initial ODs, finalized at theta.
+// copies of the initial ODs, finalized at theta — the three single-node
+// stores plus a three-member federation over heterogeneous backends, so
+// every mutable-store gate also holds the distributed layer to the
+// fresh-build reference.
 func mutableBackends(t *testing.T, initial []*OD, theta float64) map[string]MutableStore {
 	t.Helper()
 	disk := NewDiskStore(t.TempDir())
 	sharded := NewShardedStore(4)
-	out := map[string]MutableStore{"mem": NewMemStore(), "sharded": sharded, "disk": disk}
+	parts := make([]Partition, 3)
+	for i, b := range mixedBackends(t, 3) {
+		parts[i] = LocalPartition{S: b}
+	}
+	out := map[string]MutableStore{
+		"mem": NewMemStore(), "sharded": sharded, "disk": disk,
+		"dist": NewPartitionedStore(parts, 0),
+	}
 	for _, s := range out {
 		for _, o := range initial {
 			cp := *o
@@ -278,9 +288,10 @@ func TestDiskStoreDeltaReopen(t *testing.T) {
 }
 
 // TestDiskStoreMergeOnSave pins the merge path: Save folds the overlay
-// into fresh base segments (compacted IDs, advanced watermark, deltas
-// deleted), seals the in-process store, and the merged snapshot reopens
-// as a compact store equal to a fresh build over the live set.
+// into fresh base segments in place (advanced watermark, deltas
+// deleted, removed slots tombstoned so the ID space survives), the
+// in-process store keeps answering identically, and the merged
+// snapshot reopens to the exact same state.
 func TestDiskStoreMergeOnSave(t *testing.T) {
 	initial, batch2, batch3, remove, liveOf := mutableFixture()
 	const theta = 0.15
@@ -297,13 +308,6 @@ func TestDiskStoreMergeOnSave(t *testing.T) {
 	if err := Save(dir, s, SnapshotMeta{Fingerprint: "merged"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.AddAfterFinalize(copyODs(batch2[:1])); err == nil {
-		t.Fatal("AddAfterFinalize after merge succeeded; store should be sealed")
-	}
-	if err := s.Remove([]int32{0}); err == nil {
-		t.Fatal("Remove after merge succeeded; store should be sealed")
-	}
-	s.Close()
 
 	files, err := filepath.Glob(filepath.Join(dir, "delta-*.odx"))
 	if err != nil {
@@ -313,6 +317,14 @@ func TestDiskStoreMergeOnSave(t *testing.T) {
 		t.Fatalf("delta files survived the merge: %v", files)
 	}
 
+	// The in-process store re-pointed itself at the merged base: same
+	// IDs, same answers, no longer diverged from its manifest.
+	if s.Mutated() {
+		t.Fatal("store still reports Mutated() after its overlay was merged")
+	}
+	assertStoreMatchesFresh(t, "merged-inprocess", s, fresh)
+	s.Close()
+
 	re, err := OpenDiskStore(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -321,13 +333,79 @@ func TestDiskStoreMergeOnSave(t *testing.T) {
 	if re.Fingerprint() != "merged" {
 		t.Fatalf("fingerprint %q after merge", re.Fingerprint())
 	}
+	if re.Mutated() {
+		t.Fatal("reopened merged snapshot reports Mutated()")
+	}
 	if got, want := re.Size(), len(live); got != want {
 		t.Fatalf("merged size %d, want %d", got, want)
 	}
-	// The merged snapshot is compact: its IDs coincide with the fresh
-	// reference's, so the identity remap of assertStoreMatchesFresh
-	// applies.
+	// The merged snapshot preserves the mutated ID space (holes and
+	// all), so the live-subsequence remap matches it to the reference.
 	assertStoreMatchesFresh(t, "merged", re, fresh)
+}
+
+// TestDiskStoreSaveThenContinueUpdating pins that an in-place merge
+// leaves the store usable: mutations continue against the merged base
+// with the same ID space, reopen replays the post-merge deltas, and a
+// second merge chains cleanly.
+func TestDiskStoreSaveThenContinueUpdating(t *testing.T) {
+	initial, batch2, batch3, remove, liveOf := mutableFixture()
+	const theta = 0.15
+	dir := t.TempDir()
+	s := NewDiskStore(dir)
+	for _, o := range copyODs(initial) {
+		s.Add(o)
+	}
+	s.Finalize(theta)
+	if err := s.AddAfterFinalize(copyODs(batch2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(remove); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(dir, s, SnapshotMeta{Fingerprint: "merge-1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep updating the merged store: new adds and a removal of a
+	// pre-merge survivor (exercising removal of a base ID whose slot
+	// the merge preserved).
+	if err := s.AddAfterFinalize(copyODs(batch3)); err != nil {
+		t.Fatalf("AddAfterFinalize after merge: %v", err)
+	}
+	if err := s.Remove([]int32{0}); err != nil {
+		t.Fatalf("Remove after merge: %v", err)
+	}
+	if !s.Mutated() {
+		t.Fatal("post-merge mutations not reflected in Mutated()")
+	}
+	fresh := freshOver(liveOf(s), theta)
+	assertStoreMatchesFresh(t, "continued", s, fresh)
+	s.Close()
+
+	// Reopen: the tombstoned base plus the post-merge delta segments
+	// reproduce the continued state.
+	re, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoreMatchesFresh(t, "continued-reopen", re, fresh)
+
+	// A second merge chains: deltas fold again, state is unchanged.
+	if err := Save(dir, re, SnapshotMeta{Fingerprint: "merge-2"}); err != nil {
+		t.Fatal(err)
+	}
+	assertStoreMatchesFresh(t, "merged-twice", re, fresh)
+	re.Close()
+	re2, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re2.Close()
+	if re2.Fingerprint() != "merge-2" {
+		t.Fatalf("fingerprint %q after second merge", re2.Fingerprint())
+	}
+	assertStoreMatchesFresh(t, "merged-twice-reopen", re2, fresh)
 }
 
 // TestDiskStoreDeltaCorruption pins the integrity story: a bit-flipped
@@ -387,8 +465,10 @@ func TestMutableSaveRoundTrips(t *testing.T) {
 	initial, batch2, batch3, remove, liveOf := mutableFixture()
 	const theta = 0.15
 	for name, s := range mutableBackends(t, initial, theta) {
-		if name == "disk" {
-			continue // covered by TestDiskStoreMergeOnSave
+		if name == "disk" || name == "dist" {
+			// disk is covered by TestDiskStoreMergeOnSave; the federation
+			// persists through SavePartitioned (its own round-trip suite).
+			continue
 		}
 		mutationScript(t, s, batch2, batch3, remove)
 		fresh := freshOver(liveOf(s), theta)

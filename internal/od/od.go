@@ -12,15 +12,18 @@
 //     blocking used in Step 5.
 //
 // Store is the backend-agnostic interface the pipeline programs against.
-// Three backends ship with the repo and return bit-identical results:
+// Four backends ship with the repo and return bit-identical results:
 // MemStore is the single-map reference implementation, ShardedStore
 // partitions the indexes across N lock-striped shards so Finalize and
-// neighbor queries parallelize, and DiskStore serves the same queries
-// from odcodec segment files on disk so indexes survive restarts
+// neighbor queries parallelize, DiskStore serves the same queries from
+// odcodec segment files on disk so indexes survive restarts
 // (OpenDiskStore) and retained memory stays bounded by its caches rather
-// than corpus size. The index *construction* logic all three share lives
-// in builder.go; Save snapshots any finalized backend into the DiskStore
-// segment format.
+// than corpus size, and PartitionedStore federates the indexes across N
+// partition members — each itself any of the other backends, in-process
+// or behind the internal/od/odrpc wire protocol (see partition.go). The
+// index *construction* logic they share lives in builder.go; Save
+// snapshots any single-node finalized backend into the DiskStore
+// segment format, SavePartitioned persists a federation.
 //
 // The store lifecycle is Add → Finalize → queries, optionally followed
 // by post-Finalize mutation: all three backends implement MutableStore,

@@ -27,6 +27,12 @@
 // says which of them are already folded into the base segments, and
 // od.Save merges the rest back into a fresh base.
 //
+// A partitioned snapshot (od.SavePartitioned) is a directory of
+// per-partition segment sets under part-NNNNN/ plus a coordinator
+// snapshot, committed by a federation manifest (federation.odx, see
+// federation.go) recording the partition count, routing hash seed and
+// per-partition fingerprints.
+//
 // Every file is framed identically: an 8-byte header (magic, format
 // version, segment kind) and an 8-byte footer (CRC-32 over header and
 // payload, trailing magic). Open verifies the framing and checksums of
@@ -48,16 +54,20 @@ import (
 // version: the format is allowed to change incompatibly between
 // versions because snapshots are rebuildable caches, not archives.
 // Version 2 added the manifest's delta watermark and the append-only
-// delta segments that carry post-Finalize mutations.
-const Version = 2
+// delta segments that carry post-Finalize mutations; version 3 added
+// the manifest's tombstone list (IDs removed but still occupying their
+// slot, written by the in-place merge of a mutated DiskStore) and the
+// federation manifest of partitioned snapshots.
+const Version = 3
 
 // Segment kinds, one per file.
 const (
-	kindManifest = 1
-	kindStrings  = 2
-	kindODs      = 3
-	kindIndex    = 4
-	kindDelta    = 5
+	kindManifest   = 1
+	kindStrings    = 2
+	kindODs        = 3
+	kindIndex      = 4
+	kindDelta      = 5
+	kindFederation = 6
 )
 
 // Segment file names within a snapshot directory. Delta segments are
@@ -142,6 +152,15 @@ type Meta struct {
 	// continue contiguously from DeltaSeq+1, so a lost delta file is
 	// detected instead of silently skipped.
 	DeltaSeq uint64
+	// Tombstones lists removed object IDs that still occupy their slot
+	// in the OD segment, strictly ascending. The in-place merge of a
+	// mutated DiskStore writes them so the ID space survives the merge
+	// unrenumbered (the store stays usable in process); a reader treats
+	// them as removed — dead records, postings never reference them. Nil
+	// for compact snapshots. FilterValues, when present alongside
+	// tombstones, stay index-aligned with the full slot range (dead
+	// slots carry NaN).
+	Tombstones []int32
 }
 
 // TypeMeta describes one per-type index segment.

@@ -1,0 +1,156 @@
+package odcodec
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// The federation manifest is the commit point of a partitioned
+// snapshot (od.SavePartitioned): a directory holding one coordinator
+// snapshot (the object descriptions, no value indexes) plus one
+// DiskStore segment set per partition under part-NNNNN/. The manifest
+// records how the (type, value) space was split — partition count and
+// routing hash seed — and the exact provenance of every member, so a
+// reopened federation can verify it is assembling the partitions it
+// was saved with: a missing, swapped, stale or corrupt member is
+// rejected instead of silently serving a subset of the value space.
+// Like the snapshot manifest, it is written last via tmp+rename —
+// until it exists the directory does not contain a federation.
+
+// FederationFile is the federation manifest's name within the
+// directory.
+const FederationFile = "federation.odx"
+
+// ErrNoFederation is returned by ReadFederation when the directory
+// holds no committed federation manifest.
+var ErrNoFederation = errors.New("odcodec: no federation manifest in directory")
+
+// maxPartitions caps the decoded partition count; a federation larger
+// than this is a corrupt manifest, not a deployment.
+const maxPartitions = 1 << 16
+
+// Federation is the manifest record of a partitioned snapshot.
+type Federation struct {
+	// Partitions is the member count; partition i's segments live in
+	// PartitionDir(i).
+	Partitions int
+	// HashSeed seeds the (type, value) routing hash. A coordinator must
+	// route with the same seed the snapshot was built with, or every
+	// point lookup would consult the wrong member.
+	HashSeed uint32
+	// Theta is the θtuple every member's indexes were built for.
+	Theta float64
+	// PartFingerprints records each member snapshot's expected
+	// fingerprint, index-aligned with the partition numbers.
+	PartFingerprints []string
+}
+
+// PartitionDir returns the directory name of one partition's segment
+// set within a federation directory.
+func PartitionDir(i int) string {
+	return fmt.Sprintf("part-%05d", i)
+}
+
+// WriteFederation atomically installs the federation manifest —
+// the last step of a partitioned save.
+func WriteFederation(dir string, f Federation) error {
+	if f.Partitions < 1 || f.Partitions > maxPartitions {
+		return fmt.Errorf("odcodec: federation of %d partitions", f.Partitions)
+	}
+	if len(f.PartFingerprints) != f.Partitions {
+		return fmt.Errorf("odcodec: %d fingerprints for %d partitions", len(f.PartFingerprints), f.Partitions)
+	}
+	b := appendUvarint(nil, uint64(f.Partitions))
+	b = appendUvarint(b, uint64(f.HashSeed))
+	b = appendFloat64(b, f.Theta)
+	for _, fp := range f.PartFingerprints {
+		b = appendString(b, fp)
+	}
+
+	h := newHeader(kindFederation)
+	crc := crc32.Update(0, crcTable, h)
+	crc = crc32.Update(crc, crcTable, b)
+	out := append(h, b...)
+	out = append(out, newFooter(crc)...)
+
+	path := filepath.Join(dir, FederationFile)
+	fl, err := os.Create(path + tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if _, err := fl.Write(out); err != nil {
+		fl.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := fl.Sync(); err != nil {
+		fl.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := fl.Close(); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := os.Rename(path+tmpSuffix, path); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadFederation loads and fully verifies the federation manifest of
+// dir: framing, version, kind and checksum first (a *CorruptError on
+// any failure, exactly like the segment files), then field sanity.
+func ReadFederation(dir string) (Federation, error) {
+	var f Federation
+	path := filepath.Join(dir, FederationFile)
+	fl, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return f, ErrNoFederation
+		}
+		return f, fmt.Errorf("odcodec: %w", err)
+	}
+	defer fl.Close()
+	st, err := fl.Stat()
+	if err != nil {
+		return f, fmt.Errorf("odcodec: %w", err)
+	}
+	if st.Size() > 1<<30 {
+		return f, corrupt(FederationFile, "implausible manifest size %d", st.Size())
+	}
+	payload, err := readFramedFile(path, FederationFile, kindFederation, fl, st.Size())
+	if err != nil {
+		return f, err
+	}
+	br := &byteReader{buf: payload, file: FederationFile}
+	n, err := br.count(maxPartitions)
+	if err != nil {
+		return f, err
+	}
+	if n < 1 {
+		return f, corrupt(FederationFile, "federation of %d partitions", n)
+	}
+	f.Partitions = n
+	seed, err := br.uvarint()
+	if err != nil {
+		return f, err
+	}
+	if seed > 1<<32-1 {
+		return f, corrupt(FederationFile, "hash seed %d overflows uint32", seed)
+	}
+	f.HashSeed = uint32(seed)
+	if f.Theta, err = br.float64(); err != nil {
+		return f, err
+	}
+	f.PartFingerprints = make([]string, n)
+	for i := range f.PartFingerprints {
+		if f.PartFingerprints[i], err = br.str(); err != nil {
+			return f, err
+		}
+	}
+	if br.pos != len(br.buf) {
+		return f, corrupt(FederationFile, "%d trailing bytes", len(br.buf)-br.pos)
+	}
+	return f, nil
+}

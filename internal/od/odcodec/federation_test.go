@@ -1,0 +1,118 @@
+package odcodec
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleFederation() Federation {
+	return Federation{
+		Partitions: 3,
+		HashSeed:   0xDEADBEEF,
+		Theta:      0.15,
+		PartFingerprints: []string{
+			"fp-zero", "fp-one", "fp-two",
+		},
+	}
+}
+
+// TestFederationRoundTrip pins the manifest codec: whatever is
+// written reads back field-identically, and a missing file reports
+// ErrNoFederation.
+func TestFederationRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadFederation(dir); !errors.Is(err, ErrNoFederation) {
+		t.Fatalf("empty dir: err = %v, want ErrNoFederation", err)
+	}
+	want := sampleFederation()
+	if err := WriteFederation(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFederation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFederationWriteValidation pins the writer's field checks.
+func TestFederationWriteValidation(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFederation(dir, Federation{Partitions: 0}); err == nil {
+		t.Fatal("zero partitions accepted")
+	}
+	if err := WriteFederation(dir, Federation{Partitions: 2, PartFingerprints: []string{"only-one"}}); err == nil {
+		t.Fatal("fingerprint count mismatch accepted")
+	}
+}
+
+// TestFederationCorruptionRejected mirrors the segment byte-flip
+// suite: every single-byte flip of a valid federation manifest must be
+// rejected as corrupt, and truncations likewise.
+func TestFederationCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteFederation(dir, sampleFederation()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FederationFile)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pristine {
+		corrupted := append([]byte(nil), pristine...)
+		corrupted[i] ^= 0x10
+		if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFederation(dir); !IsCorrupt(err) {
+			t.Fatalf("flip of byte %d read back: err = %v", i, err)
+		}
+	}
+	for _, n := range []int{0, 1, len(pristine) / 2, len(pristine) - 1} {
+		if err := os.WriteFile(path, pristine[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadFederation(dir); !IsCorrupt(err) {
+			t.Fatalf("truncation to %d bytes read back: err = %v", n, err)
+		}
+	}
+}
+
+// FuzzFederation feeds arbitrary bytes as the federation manifest:
+// ReadFederation must reject cleanly or — on a byte-exact valid
+// manifest — return internally consistent fields.
+func FuzzFederation(f *testing.F) {
+	dir, err := os.MkdirTemp("", "odcodec-fed-fuzz-")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFederation(dir, sampleFederation()); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, FederationFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, FederationFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fed, err := ReadFederation(dir)
+		if err != nil {
+			return // rejected cleanly
+		}
+		if fed.Partitions < 1 || len(fed.PartFingerprints) != fed.Partitions {
+			t.Fatalf("accepted inconsistent federation %+v", fed)
+		}
+	})
+}

@@ -502,6 +502,21 @@ func readManifest(dir string) (Meta, [3]segmentStamp, error) {
 	if meta.DeltaSeq, err = br.uvarint(); err != nil {
 		return meta, stamps, err
 	}
+	nTomb, err := br.count(maxCount)
+	if err != nil {
+		return meta, stamps, err
+	}
+	if meta.Tombstones, err = decodePostings(br, nTomb); err != nil {
+		return meta, stamps, err
+	}
+	for i, id := range meta.Tombstones {
+		if int(id) >= meta.NumODs {
+			return meta, stamps, corrupt(ManifestFile, "tombstone %d outside [0,%d)", id, meta.NumODs)
+		}
+		if i > 0 && id <= meta.Tombstones[i-1] {
+			return meta, stamps, corrupt(ManifestFile, "tombstones not strictly ascending at %d", id)
+		}
+	}
 	fv, err := br.count(maxCount)
 	if err != nil {
 		return meta, stamps, err

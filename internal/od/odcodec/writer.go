@@ -353,10 +353,20 @@ func (w *segWriter) close() {
 // writeManifest encodes and atomically installs the manifest, the
 // commit point of a snapshot.
 func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
+	for i, id := range meta.Tombstones {
+		if id < 0 || int(id) >= meta.NumODs {
+			return fmt.Errorf("odcodec: tombstone %d outside [0,%d)", id, meta.NumODs)
+		}
+		if i > 0 && id <= meta.Tombstones[i-1] {
+			return fmt.Errorf("odcodec: tombstones not strictly ascending at %d", id)
+		}
+	}
 	b := appendString(nil, meta.Fingerprint)
 	b = appendFloat64(b, meta.Theta)
 	b = appendUvarint(b, uint64(meta.NumODs))
 	b = appendUvarint(b, meta.DeltaSeq)
+	b = appendUvarint(b, uint64(len(meta.Tombstones)))
+	b = appendPostings(b, meta.Tombstones)
 	if meta.FilterValues == nil {
 		b = appendUvarint(b, 0)
 	} else {

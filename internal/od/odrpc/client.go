@@ -1,0 +1,280 @@
+package odrpc
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/od"
+)
+
+// Client speaks the odrpc protocol to one partition server and
+// implements od.Partition, so a PartitionedStore coordinator federates
+// remote members exactly like local ones. One request is in flight per
+// client at a time (calls serialize on an internal mutex; the
+// federation's parallelism comes from fanning out across members), and
+// the first transport or protocol failure breaks the client — every
+// later call fails fast with the recorded error, matching the
+// federation's fail-stop semantics.
+type Client struct {
+	// Timeout bounds each call (write + reply). Zero means no deadline.
+	// Set it before handing the client to a federation: a member that
+	// hangs mid-query then surfaces as a typed timeout failure instead
+	// of stalling the pipeline forever.
+	Timeout time.Duration
+
+	mu      sync.Mutex
+	conn    net.Conn
+	br      *bufio.Reader
+	broken  error
+	backing od.Store      // loopback only; nil for dialed clients
+	srvDone chan struct{} // loopback only: closed when the server goroutine exits
+}
+
+var _ od.Partition = (*Client)(nil)
+var _ od.BackingStore = (*Client)(nil)
+
+// Dial connects to a partition server at addr (TCP host:port).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("odrpc: dial %s: %w", addr, err)
+	}
+	return newClient(conn), nil
+}
+
+// NewLoopback returns a client wired to a fresh server over an
+// in-process net.Pipe: the full frame codec runs, no sockets are
+// opened. This is the transport of the test suites and of the CLI's
+// single-machine `-store dist` mode; BackingStore exposes the wrapped
+// store so SavePartitioned can persist the member from the
+// coordinator.
+func NewLoopback(s od.Store) *Client {
+	cc, sc := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		NewServer(s).ServeConn(sc)
+	}()
+	c := newClient(cc)
+	c.backing = s
+	c.srvDone = done
+	return c
+}
+
+func newClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReaderSize(conn, 1<<16)}
+}
+
+// BackingStore implements od.BackingStore: the wrapped store for a
+// loopback client, nil for a dialed one (a remote member persists on
+// its own node).
+func (c *Client) BackingStore() od.Store { return c.backing }
+
+// Close implements od.Partition. For a loopback client it also waits
+// (briefly) for the in-process server goroutine to exit, so callers
+// that measure or release the backing store after Close observe the
+// server's reference dropped rather than racing its scheduling; a
+// server wedged inside the backing store is abandoned after a bounded
+// wait.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = fmt.Errorf("odrpc: client closed")
+	}
+	err := c.conn.Close()
+	done := c.srvDone
+	c.mu.Unlock()
+	if done != nil {
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+		}
+	}
+	return err
+}
+
+// call performs one request/reply exchange under the client mutex and
+// the configured deadline. Transport and protocol failures (timeouts,
+// bad frames, version skew) break the client permanently; a RemoteError
+// reply does not — the connection stays usable, the store merely
+// rejected that request.
+func (c *Client) call(op byte, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return nil, c.broken
+	}
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(c.conn, op, body); err != nil {
+		return nil, c.breakWith(fmt.Errorf("odrpc: send: %w", err))
+	}
+	respOp, respBody, err := readFrame(c.br)
+	if err != nil {
+		return nil, c.breakWith(err)
+	}
+	switch respOp {
+	case opOK:
+		return respBody, nil
+	case opErr:
+		r := &bodyReader{buf: respBody}
+		msg, err := r.str()
+		if err != nil {
+			return nil, c.breakWith(err)
+		}
+		return nil, &RemoteError{Msg: msg}
+	default:
+		return nil, c.breakWith(badFrame("reply opcode %d", respOp))
+	}
+}
+
+func (c *Client) breakWith(err error) error {
+	c.broken = err
+	c.conn.Close()
+	return err
+}
+
+// AddODs implements od.Partition.
+func (c *Client) AddODs(ods []*od.OD) error {
+	_, err := c.call(opAddODs, appendODs(nil, ods))
+	return err
+}
+
+// Finalize implements od.Partition.
+func (c *Client) Finalize(theta float64) error {
+	_, err := c.call(opFinalize, appendFloat64(nil, theta))
+	return err
+}
+
+// ObjectsWithExact implements od.Partition.
+func (c *Client) ObjectsWithExact(t od.Tuple) ([]int32, error) {
+	body, err := c.call(opExact, appendTupleKey(nil, t))
+	if err != nil {
+		return nil, err
+	}
+	r := &bodyReader{buf: body}
+	ids, err := r.postings()
+	if err != nil {
+		return nil, err
+	}
+	return ids, r.done()
+}
+
+// SimilarValues implements od.Partition.
+func (c *Client) SimilarValues(t od.Tuple) ([]od.ValueMatch, error) {
+	body, err := c.call(opSimilar, appendTupleKey(nil, t))
+	if err != nil {
+		return nil, err
+	}
+	r := &bodyReader{buf: body}
+	ms, err := r.matches()
+	if err != nil {
+		return nil, err
+	}
+	return ms, r.done()
+}
+
+// SoftIDF queries the member-local Definition 8 value. The federation
+// computes softIDF at the coordinator (|ΩT| is federation-level), but
+// the protocol serves it so a member is a complete, individually
+// queryable store.
+func (c *Client) SoftIDF(a, b od.Tuple) (float64, error) {
+	body, err := c.call(opSoftIDF, appendTupleKey(appendTupleKey(nil, a), b))
+	if err != nil {
+		return 0, err
+	}
+	r := &bodyReader{buf: body}
+	v, err := r.float64()
+	if err != nil {
+		return 0, err
+	}
+	return v, r.done()
+}
+
+// SoftIDFSingle is SoftIDF of a tuple with itself, member-local.
+func (c *Client) SoftIDFSingle(t od.Tuple) (float64, error) {
+	body, err := c.call(opSoftIDFSingle, appendTupleKey(nil, t))
+	if err != nil {
+		return 0, err
+	}
+	r := &bodyReader{buf: body}
+	v, err := r.float64()
+	if err != nil {
+		return 0, err
+	}
+	return v, r.done()
+}
+
+// Neighbors queries the member-local blocking set — the union of the
+// member's similar-value object sets over the object's owned tuples.
+func (c *Client) Neighbors(id int32) ([]int32, error) {
+	body, err := c.call(opNeighbors, appendUvarint(nil, uint64(uint32(id))))
+	if err != nil {
+		return nil, err
+	}
+	r := &bodyReader{buf: body}
+	ids, err := r.postings()
+	if err != nil {
+		return nil, err
+	}
+	return ids, r.done()
+}
+
+// Stats implements od.Partition.
+func (c *Client) Stats() ([]od.TypeStats, error) {
+	body, err := c.call(opStats, nil)
+	if err != nil {
+		return nil, err
+	}
+	r := &bodyReader{buf: body}
+	sts, err := r.stats()
+	if err != nil {
+		return nil, err
+	}
+	return sts, r.done()
+}
+
+// AddAfterFinalize implements od.Partition.
+func (c *Client) AddAfterFinalize(ods []*od.OD) error {
+	_, err := c.call(opAddAfter, appendODs(nil, ods))
+	return err
+}
+
+// Remove implements od.Partition.
+func (c *Client) Remove(ids []int32) error {
+	_, err := c.call(opRemove, appendPostings(nil, ids))
+	return err
+}
+
+// Info implements od.Partition.
+func (c *Client) Info() (od.PartitionInfo, error) {
+	var info od.PartitionInfo
+	body, err := c.call(opInfo, nil)
+	if err != nil {
+		return info, err
+	}
+	r := &bodyReader{buf: body}
+	size, err := r.uvarint()
+	if err != nil {
+		return info, err
+	}
+	span, err := r.uvarint()
+	if err != nil {
+		return info, err
+	}
+	theta, err := r.float64()
+	if err != nil {
+		return info, err
+	}
+	fp, err := r.str()
+	if err != nil {
+		return info, err
+	}
+	info = od.PartitionInfo{Size: int(size), Span: int32(span), Theta: theta, Fingerprint: fp}
+	return info, r.done()
+}

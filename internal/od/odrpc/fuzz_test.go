@@ -1,0 +1,89 @@
+package odrpc
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/od"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame decoder: it must
+// reject or accept cleanly, never panic, and whatever it accepts must
+// re-encode to an equivalent frame (the decode is the inverse of
+// writeFrame on the accepted set).
+func FuzzReadFrame(f *testing.F) {
+	seed := func(op byte, body []byte) []byte {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, op, body); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(opInfo, nil))
+	f.Add(seed(opExact, appendTupleKey(nil, od.Tuple{Type: "ARTIST", Value: "Led Zeppelin"})))
+	f.Add(seed(opRemove, appendPostings(nil, []int32{1, 5, 9})))
+	f.Add(seed(opSimilar, appendMatches(nil, []od.ValueMatch{{Value: "v", Dist: 0.25, Objects: []int32{0, 7}}})))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		op, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, op, body); err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		op2, body2, err := readFrame(&buf)
+		if err != nil || op2 != op || !bytes.Equal(body, body2) {
+			t.Fatalf("re-encoded frame diverges: op %d->%d err=%v", op, op2, err)
+		}
+	})
+}
+
+// FuzzServerConn feeds arbitrary bytes as a client byte stream to a
+// serving connection: the server must never panic and must always
+// close the connection without wedging, whatever arrives.
+func FuzzServerConn(f *testing.F) {
+	valid := func(op byte, body []byte) []byte {
+		var buf bytes.Buffer
+		writeFrame(&buf, op, body)
+		return buf.Bytes()
+	}
+	f.Add(valid(opInfo, nil))
+	f.Add(append(valid(opStats, nil), valid(opInfo, nil)...))
+	f.Add([]byte{'O', 'D', 'R', 'P', 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store := od.NewMemStore()
+		store.Add(&od.OD{Object: "/x", Tuples: []od.Tuple{{Value: "v", Name: "/x/n", Type: "T"}}})
+		store.Finalize(0.15)
+		srv := NewServer(store)
+		conn := &scriptedConn{in: bytes.NewReader(data), out: io.Discard}
+		srv.ServeConn(conn) // must return, not panic or block
+	})
+}
+
+// scriptedConn is a net.Conn whose reads come from a fixed script and
+// whose writes are discarded — enough for driving ServeConn.
+type scriptedConn struct {
+	in  io.Reader
+	out io.Writer
+}
+
+func (c *scriptedConn) Read(b []byte) (int, error)  { return c.in.Read(b) }
+func (c *scriptedConn) Write(b []byte) (int, error) { return c.out.Write(b) }
+func (c *scriptedConn) Close() error                { return nil }
+
+func (c *scriptedConn) LocalAddr() net.Addr                { return pipeAddr{} }
+func (c *scriptedConn) RemoteAddr() net.Addr               { return pipeAddr{} }
+func (c *scriptedConn) SetDeadline(t time.Time) error      { return nil }
+func (c *scriptedConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *scriptedConn) SetWriteDeadline(t time.Time) error { return nil }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "scripted" }
+func (pipeAddr) String() string  { return "scripted" }

@@ -1,0 +1,677 @@
+package od
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the distributed layer of the OD store: PartitionedStore
+// federates N partition backends — each itself any Store (mem, sharded
+// or disk), in this process or behind an internal/od/odrpc transport —
+// behind the full Store/MutableStore interface. The partition scheme is
+// ShardedStore's, lifted across process boundaries: occurrence keys
+// (type, value) hash to exactly one partition, every partition holds a
+// shadow of every object carrying only its owned tuples (so posting
+// lists speak global IDs), and queries fan out and merge exactly the
+// way ShardedStore merges shards. The federation-level quantities that
+// keep softIDF bit-identical — |ΩT| and each type's maximum value
+// length — live at the coordinator, never inside a partition.
+
+// PartitionUnavailableError reports that one federation member failed
+// (errored, hung past the transport deadline, or lost its connection)
+// while the coordinator needed it. It is the typed failure the
+// detection pipeline surfaces instead of ever returning a silently
+// incomplete result: the first partition failure poisons the
+// federation, every later operation re-raises it, and no query path
+// merges a partial fan-out.
+type PartitionUnavailableError struct {
+	// Partition is the index of the failed member.
+	Partition int
+	// Op names the federation operation that observed the failure.
+	Op string
+	// Err is the underlying transport or backend error.
+	Err error
+}
+
+func (e *PartitionUnavailableError) Error() string {
+	return fmt.Sprintf("od: partition %d unavailable during %s: %v", e.Partition, e.Op, e.Err)
+}
+
+func (e *PartitionUnavailableError) Unwrap() error { return e.Err }
+
+// PartitionInfo is a federation member's self-description, used by the
+// coordinator to verify alignment after builds and by OpenPartitioned
+// to verify a restored snapshot.
+type PartitionInfo struct {
+	Size        int     // live objects the partition knows (must equal the federation's)
+	Span        int32   // exclusive upper bound of assigned IDs
+	Theta       float64 // θtuple the partition's indexes were built for
+	Fingerprint string  // snapshot provenance, "" for in-memory members
+}
+
+// Partition is the coordinator's connection to one federation member.
+// The query methods (ObjectsWithExact, SimilarValues, Stats, Info)
+// must be safe for concurrent use — the pipeline's parallel stages
+// query the federation from many goroutines at once, and the
+// coordinator does not serialize them (odrpc's Client serializes on an
+// internal mutex; LocalPartition inherits the store's concurrent-query
+// guarantee). The lifecycle methods (AddODs, Finalize,
+// AddAfterFinalize, Remove, Close) are only ever called serially per
+// member, though distinct members see them in parallel. Every method
+// returns an error instead of panicking so a remote member's failure
+// is a value the coordinator can classify — LocalPartition and the
+// odrpc transports both convert backend panics into errors.
+//
+// The member's store sees exactly the Store lifecycle: AddODs during
+// the build phase ships shadow objects in ID order (one per federation
+// object, owned tuples only, possibly none), Finalize seals it, the
+// query methods follow, and AddAfterFinalize/Remove extend the
+// lifecycle for MutableStore backends.
+type Partition interface {
+	// AddODs appends shadow objects during the build phase, in ID order.
+	AddODs(ods []*OD) error
+	// Finalize seals the member's store at θtuple.
+	Finalize(theta float64) error
+	// ObjectsWithExact answers for keys this member owns.
+	ObjectsWithExact(t Tuple) ([]int32, error)
+	// SimilarValues answers over the member's slice of the type's values.
+	SimilarValues(t Tuple) ([]ValueMatch, error)
+	// Stats reports the member's per-type index statistics.
+	Stats() ([]TypeStats, error)
+	// AddAfterFinalize appends post-Finalize shadow objects (MutableStore).
+	AddAfterFinalize(ods []*OD) error
+	// Remove deletes the given IDs from the member (MutableStore).
+	Remove(ids []int32) error
+	// Info returns the member's self-description.
+	Info() (PartitionInfo, error)
+	// Close releases the member's connection.
+	Close() error
+}
+
+// BackingStore is the optional Partition extension a coordinator-side
+// save needs: partitions whose store lives in this process (local
+// members, loopback transports) expose it so SavePartitioned can export
+// their segments; genuinely remote members do not, and persist on their
+// own node instead.
+type BackingStore interface {
+	BackingStore() Store
+}
+
+// LocalPartition adapts an in-process Store to the Partition interface
+// with no transport in between — the deployment shape where partitions
+// are goroutine-local but the federation logic (routing, fan-out,
+// merge, failure typing) still applies. Backend panics are converted to
+// errors, mirroring how the odrpc server reports them.
+type LocalPartition struct {
+	S Store
+}
+
+var _ Partition = LocalPartition{}
+var _ BackingStore = LocalPartition{}
+
+// BackingStore implements the save extension.
+func (p LocalPartition) BackingStore() Store { return p.S }
+
+// guardPartition converts a backend panic into the error a transport
+// would report.
+func guardPartition(op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("od: partition backend panic in %s: %v", op, r)
+		}
+	}()
+	return fn()
+}
+
+// AddODs implements Partition.
+func (p LocalPartition) AddODs(ods []*OD) error {
+	return guardPartition("AddODs", func() error {
+		for _, o := range ods {
+			p.S.Add(o)
+		}
+		return nil
+	})
+}
+
+// Finalize implements Partition.
+func (p LocalPartition) Finalize(theta float64) error {
+	return guardPartition("Finalize", func() error {
+		p.S.Finalize(theta)
+		return nil
+	})
+}
+
+// ObjectsWithExact implements Partition.
+func (p LocalPartition) ObjectsWithExact(t Tuple) (ids []int32, err error) {
+	err = guardPartition("ObjectsWithExact", func() error {
+		ids = p.S.ObjectsWithExact(t)
+		return nil
+	})
+	return ids, err
+}
+
+// SimilarValues implements Partition.
+func (p LocalPartition) SimilarValues(t Tuple) (ms []ValueMatch, err error) {
+	err = guardPartition("SimilarValues", func() error {
+		ms = p.S.SimilarValues(t)
+		return nil
+	})
+	return ms, err
+}
+
+// Stats implements Partition.
+func (p LocalPartition) Stats() (sts []TypeStats, err error) {
+	err = guardPartition("Stats", func() error {
+		sts = p.S.Stats()
+		return nil
+	})
+	return sts, err
+}
+
+// AddAfterFinalize implements Partition.
+func (p LocalPartition) AddAfterFinalize(ods []*OD) error {
+	return guardPartition("AddAfterFinalize", func() error {
+		ms, ok := p.S.(MutableStore)
+		if !ok {
+			return fmt.Errorf("backend %T does not support post-Finalize updates", p.S)
+		}
+		return ms.AddAfterFinalize(ods)
+	})
+}
+
+// Remove implements Partition.
+func (p LocalPartition) Remove(ids []int32) error {
+	return guardPartition("Remove", func() error {
+		ms, ok := p.S.(MutableStore)
+		if !ok {
+			return fmt.Errorf("backend %T does not support post-Finalize updates", p.S)
+		}
+		return ms.Remove(ids)
+	})
+}
+
+// Info implements Partition.
+func (p LocalPartition) Info() (info PartitionInfo, err error) {
+	err = guardPartition("Info", func() error {
+		info = StoreInfo(p.S)
+		return nil
+	})
+	return info, err
+}
+
+// Close implements Partition; local members have nothing to release.
+func (p LocalPartition) Close() error { return nil }
+
+// StoreInfo derives a PartitionInfo from any store — shared by
+// LocalPartition and the odrpc server so both transports describe a
+// member identically.
+func StoreInfo(s Store) PartitionInfo {
+	info := PartitionInfo{Size: s.Size(), Theta: s.Theta(), Span: int32(s.Size())}
+	if ms, ok := s.(MutableStore); ok {
+		info.Span = ms.IDSpan()
+	}
+	if ds, ok := s.(*DiskStore); ok {
+		info.Fingerprint = ds.Fingerprint()
+	}
+	return info
+}
+
+// partitionIndex routes an occurrence key to its owning partition:
+// seeded FNV-1a over the key, modulo the partition count. The seed is
+// part of a federation's identity (SavePartitioned records it) — all
+// coordinators of one federation must agree on it.
+func partitionIndex(key string, seed uint32, n int) int {
+	return int(fnv1a(key, seed) % uint32(n))
+}
+
+// addODsBatch bounds how many shadow objects one Partition.AddODs or
+// AddAfterFinalize call carries, and removeBatch how many IDs one
+// Remove call carries, so a transport's frame stays small no matter
+// the corpus or batch size.
+const (
+	addODsBatch = 256
+	removeBatch = 1 << 16
+)
+
+// PartitionedStore federates N partition members behind the Store and
+// MutableStore interfaces. The coordinator keeps the full object
+// directory (IDs, paths, tuples — what OD/ODs/Neighbors and the
+// pipeline's compare stage read) and the federation-level size |ΩT|;
+// the partitions keep the occurrence and distinct-value indexes over
+// their hash slice of the (type, value) space. Queries route
+// (ObjectsWithExact) or fan out in parallel and merge in the canonical
+// orders (SimilarValues, Stats); softIDF is computed at the
+// coordinator from partition postings and the federation size, so it
+// is bit-identical to MemStore's; Neighbors runs the shared
+// neighborsOf over the federated SimilarValues. The parity suites pin
+// every answer bit-identical to MemStore at 1 and 3 partitions.
+//
+// Failure semantics: the first member failure (error, timeout, lost
+// connection) is wrapped in a PartitionUnavailableError, recorded, and
+// re-raised by every subsequent operation — query methods panic with
+// it (the Store interface has no error returns; internal/core converts
+// the typed panic into a returned error), mutation methods return it.
+// No partial fan-out is ever merged into an answer.
+//
+// Mutation batches follow the MutableStore contract from the caller's
+// view, with one distributed caveat: a batch that fails mid-fan-out may
+// leave members diverged, but the federation is poisoned at that
+// instant and refuses every later operation, so the divergence is
+// never observable through queries.
+type PartitionedStore struct {
+	parts []Partition
+	seed  uint32
+
+	ods  []*OD // by ID; nil at removed slots
+	live int
+
+	theta     float64
+	finalized bool
+
+	failed atomic.Pointer[PartitionUnavailableError]
+
+	// Merged-answer caches, bounded like DiskStore's: entries are
+	// recomputable from the members, so the caps only bound coordinator
+	// memory and transport round-trips — an unbounded map would slowly
+	// re-accumulate the queried slice of every member's index here,
+	// defeating the point of distributing it.
+	occCache *shardedLRU[string, []int32]
+	simCache *shardedLRU[string, []ValueMatch]
+}
+
+var _ MutableStore = (*PartitionedStore)(nil)
+
+// NewPartitionedStore returns an empty federation over the given
+// members with the given routing seed. At least one partition is
+// required; the members must be empty, build-phase stores.
+func NewPartitionedStore(parts []Partition, seed uint32) *PartitionedStore {
+	if len(parts) == 0 {
+		panic("od: NewPartitionedStore needs at least one partition")
+	}
+	return &PartitionedStore{parts: parts, seed: seed}
+}
+
+// NumPartitions returns the federation's member count.
+func (s *PartitionedStore) NumPartitions() int { return len(s.parts) }
+
+// HashSeed returns the routing seed the federation was built with.
+func (s *PartitionedStore) HashSeed() uint32 { return s.seed }
+
+// Close releases every member connection, returning the first error.
+func (s *PartitionedStore) Close() error {
+	var first error
+	for _, p := range s.parts {
+		if err := p.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// setFailed records the federation's first failure; later calls keep
+// the original.
+func (s *PartitionedStore) setFailed(e *PartitionUnavailableError) *PartitionUnavailableError {
+	if s.failed.CompareAndSwap(nil, e) {
+		return e
+	}
+	return s.failed.Load()
+}
+
+// mustBeHealthy re-raises a recorded partition failure: a poisoned
+// federation answers nothing, partial results never escape.
+func (s *PartitionedStore) mustBeHealthy() {
+	if e := s.failed.Load(); e != nil {
+		panic(e)
+	}
+}
+
+// fanOut runs fn against every member in parallel and returns the
+// first failure as a typed, recorded PartitionUnavailableError. fn is
+// called once per member, each on its own goroutine.
+func (s *PartitionedStore) fanOut(op string, fn func(i int, p Partition) error) *PartitionUnavailableError {
+	errs := make([]error, len(s.parts))
+	var wg sync.WaitGroup
+	for i := range s.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, s.parts[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return s.setFailed(&PartitionUnavailableError{Partition: i, Op: op, Err: err})
+		}
+	}
+	return nil
+}
+
+// callOne runs fn against a single member, converting a failure into
+// the recorded typed error.
+func (s *PartitionedStore) callOne(op string, i int, fn func(p Partition) error) *PartitionUnavailableError {
+	if err := fn(s.parts[i]); err != nil {
+		return s.setFailed(&PartitionUnavailableError{Partition: i, Op: op, Err: err})
+	}
+	return nil
+}
+
+// shadowODs splits a batch of full objects into per-partition shadows:
+// every partition receives one shadow per object (so backend-assigned
+// IDs stay aligned with the coordinator's), carrying only the
+// non-empty tuples whose occurrence key hashes to it. Node pointers do
+// not cross the seam — shadows describe values, not trees.
+func (s *PartitionedStore) shadowODs(ods []*OD) [][]*OD {
+	out := make([][]*OD, len(s.parts))
+	for i := range out {
+		out[i] = make([]*OD, 0, len(ods))
+	}
+	for _, o := range ods {
+		owned := make([][]Tuple, len(s.parts))
+		for _, t := range o.Tuples {
+			if t.Value == "" {
+				continue
+			}
+			pi := partitionIndex(t.occKey(), s.seed, len(s.parts))
+			owned[pi] = append(owned[pi], t)
+		}
+		for i := range out {
+			out[i] = append(out[i], &OD{Object: o.Object, Source: o.Source, Tuples: owned[i]})
+		}
+	}
+	return out
+}
+
+// Add implements Store: the coordinator assigns the ID and keeps the
+// full object; shadows ship to the members at Finalize, inside the
+// Object-mutability window the lifecycle contract grants.
+func (s *PartitionedStore) Add(o *OD) *OD {
+	if s.finalized {
+		panic("od: Add after Finalize")
+	}
+	o.ID = int32(len(s.ods))
+	s.ods = append(s.ods, o)
+	return o
+}
+
+// Finalize implements Store: shadows stream to every member in
+// parallel (batched, in ID order), each member finalizes its slice of
+// the indexes, and the coordinator verifies alignment (size, θtuple)
+// before serving. A member failure is re-raised as a typed
+// PartitionUnavailableError panic — the Store interface has no error
+// return — and poisons the federation.
+func (s *PartitionedStore) Finalize(theta float64) {
+	if s.finalized {
+		panic("od: Finalize called twice")
+	}
+	s.finalized = true
+	s.theta = theta
+	s.live = len(s.ods)
+
+	shadows := s.shadowODs(s.ods)
+	err := s.fanOut("Finalize", func(i int, p Partition) error {
+		sh := shadows[i]
+		for lo := 0; lo < len(sh); lo += addODsBatch {
+			hi := lo + addODsBatch
+			if hi > len(sh) {
+				hi = len(sh)
+			}
+			if err := p.AddODs(sh[lo:hi]); err != nil {
+				return err
+			}
+		}
+		if err := p.Finalize(theta); err != nil {
+			return err
+		}
+		info, err := p.Info()
+		if err != nil {
+			return err
+		}
+		if info.Size != len(s.ods) || info.Theta != theta {
+			return fmt.Errorf("member finalized %d objects at θ=%v, coordinator expects %d at θ=%v",
+				info.Size, info.Theta, len(s.ods), theta)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.clearCaches()
+}
+
+// Size implements Store: live objects only.
+func (s *PartitionedStore) Size() int {
+	if s.finalized {
+		return s.live
+	}
+	return len(s.ods)
+}
+
+// Theta implements Store.
+func (s *PartitionedStore) Theta() float64 { return s.theta }
+
+// OD implements Store. Returns nil for a removed id.
+func (s *PartitionedStore) OD(id int32) *OD { return s.ods[id] }
+
+// ODs implements Store. Removed slots are nil.
+func (s *PartitionedStore) ODs() []*OD { return s.ods }
+
+// Alive implements MutableStore.
+func (s *PartitionedStore) Alive(id int32) bool {
+	return id >= 0 && int(id) < len(s.ods) && s.ods[id] != nil
+}
+
+// IDSpan implements MutableStore.
+func (s *PartitionedStore) IDSpan() int32 { return int32(len(s.ods)) }
+
+// clearCaches (re)creates the coordinator's merged query caches; the
+// capacities are DiskStore's, chosen for the same reason — keep the
+// compare stage's working set resident, nothing more.
+func (s *PartitionedStore) clearCaches() {
+	s.occCache = newShardedLRU[string, []int32](diskOccCacheSize, hashKey)
+	s.simCache = newShardedLRU[string, []ValueMatch](diskSimCacheSize, hashKey)
+}
+
+// ObjectsWithExact implements Store: the key is owned by exactly one
+// member, so this is a routed single-partition call through the
+// coordinator's posting cache.
+func (s *PartitionedStore) ObjectsWithExact(t Tuple) []int32 {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	key := t.occKey()
+	if ids, ok := s.occCache.get(key); ok {
+		return ids
+	}
+	var ids []int32
+	pi := partitionIndex(key, s.seed, len(s.parts))
+	if err := s.callOne("ObjectsWithExact", pi, func(p Partition) error {
+		var err error
+		ids, err = p.ObjectsWithExact(t)
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	s.occCache.put(key, ids)
+	return ids
+}
+
+// SimilarValues implements Store: values of one type are spread across
+// all members by hash, so the query fans out to every partition in
+// parallel and the merged matches sort into the canonical order —
+// exactly ShardedStore's merge, across the transport seam.
+func (s *PartitionedStore) SimilarValues(t Tuple) []ValueMatch {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	if t.Value == "" {
+		return nil
+	}
+	cacheKey := t.occKey()
+	if cached, ok := s.simCache.get(cacheKey); ok {
+		return cached
+	}
+	results := make([][]ValueMatch, len(s.parts))
+	if err := s.fanOut("SimilarValues", func(i int, p Partition) error {
+		var err error
+		results[i], err = p.SimilarValues(t)
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	var out []ValueMatch
+	for _, ms := range results {
+		out = append(out, ms...)
+	}
+	sortMatches(out)
+	s.simCache.put(cacheKey, out)
+	return out
+}
+
+// SoftIDF implements Store. Definition 8's |ΩT| is the federation size
+// — a quantity no single partition knows — so the coordinator fetches
+// the two posting lists (each owned by exactly one member, cached) and
+// computes log(|ΩT|/union) itself, bit-identical to MemStore.
+func (s *PartitionedStore) SoftIDF(a, b Tuple) float64 {
+	s.mustBeFinal()
+	return SoftIDFValue(s.Size(), OccUnion(s, a, b))
+}
+
+// SoftIDFSingle implements Store.
+func (s *PartitionedStore) SoftIDFSingle(t Tuple) float64 {
+	return s.SoftIDF(t, t)
+}
+
+// Neighbors implements Store: the shared neighborsOf over the
+// coordinator's full object and the federated SimilarValues.
+func (s *PartitionedStore) Neighbors(id int32) []int32 {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	return neighborsOf(s, id)
+}
+
+// Stats implements Store. Values partition disjointly, so per-type
+// distinct counts sum and lengths take the maximum across members; the
+// edit budget re-derives from the merged maximum (members built their
+// slices from partition-local maxima, which never changes results —
+// every similar-value path re-verifies θtuple — but would misreport
+// diagnostics). Indexed is always false at the federation level: which
+// members use a deletion neighborhood is their strategy.
+func (s *PartitionedStore) Stats() []TypeStats {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	results := make([][]TypeStats, len(s.parts))
+	if err := s.fanOut("Stats", func(i int, p Partition) error {
+		var err error
+		results[i], err = p.Stats()
+		return err
+	}); err != nil {
+		panic(err)
+	}
+	byType := map[string]*TypeStats{}
+	for _, rows := range results {
+		for _, row := range rows {
+			st, ok := byType[row.Type]
+			if !ok {
+				st = &TypeStats{Type: row.Type}
+				byType[row.Type] = st
+			}
+			st.DistinctValues += row.DistinctValues
+			if row.MaxLen > st.MaxLen {
+				st.MaxLen = row.MaxLen
+			}
+		}
+	}
+	out := make([]TypeStats, 0, len(byType))
+	for _, st := range byType {
+		st.EditBudget = editBudget(s.theta, st.MaxLen)
+		out = append(out, *st)
+	}
+	sortTypeStats(out)
+	return out
+}
+
+// AddAfterFinalize implements MutableStore: the coordinator assigns the
+// IDs, every member receives its shadows (one per object, empty ones
+// included, keeping the ID spaces aligned), and the batch applies in
+// parallel. A member failure poisons the federation and is returned
+// typed.
+func (s *PartitionedStore) AddAfterFinalize(ods []*OD) error {
+	s.mustBeFinal()
+	if e := s.failed.Load(); e != nil {
+		return e
+	}
+	if len(ods) == 0 {
+		return nil
+	}
+	for _, o := range ods {
+		o.ID = int32(len(s.ods))
+		s.ods = append(s.ods, o)
+		s.live++
+	}
+	s.clearCaches()
+	shadows := s.shadowODs(ods)
+	if err := s.fanOut("AddAfterFinalize", func(i int, p Partition) error {
+		// Chunked like the Finalize shipping: one unbounded call could
+		// exceed a transport's frame limit and read as a member failure.
+		sh := shadows[i]
+		for lo := 0; lo < len(sh); lo += addODsBatch {
+			hi := lo + addODsBatch
+			if hi > len(sh) {
+				hi = len(sh)
+			}
+			if err := p.AddAfterFinalize(sh[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Remove implements MutableStore, with the coordinator validating the
+// batch up front (so a bad ID fails before any member is touched) and
+// every member deleting its shadows of the removed objects.
+func (s *PartitionedStore) Remove(ids []int32) error {
+	s.mustBeFinal()
+	if e := s.failed.Load(); e != nil {
+		return e
+	}
+	if err := validateRemovals(s.IDSpan(), s.Alive, ids); err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sorted := append([]int32(nil), ids...)
+	sortInt32s(sorted)
+	s.clearCaches()
+	if err := s.fanOut("Remove", func(i int, p Partition) error {
+		// Chunked so a huge removal list stays under a transport's frame
+		// limit; sub-batches of a sorted, validated list stay valid.
+		for lo := 0; lo < len(sorted); lo += removeBatch {
+			hi := lo + removeBatch
+			if hi > len(sorted) {
+				hi = len(sorted)
+			}
+			if err := p.Remove(sorted[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, id := range sorted {
+		s.ods[id] = nil
+		s.live--
+	}
+	return nil
+}
+
+func (s *PartitionedStore) mustBeFinal() {
+	if !s.finalized {
+		panic("od: store not finalized")
+	}
+}

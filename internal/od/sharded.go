@@ -110,16 +110,7 @@ func (s *ShardedStore) IDSpan() int32 { return int32(len(s.ods)) }
 
 // shardOf maps an occurrence key to its owning shard (FNV-1a).
 func (s *ShardedStore) shardOf(key string) int {
-	const (
-		offset32 = 2166136261
-		prime32  = 16777619
-	)
-	h := uint32(offset32)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= prime32
-	}
-	return int(h % uint32(s.nShards))
+	return int(fnv1a(key, 0) % uint32(s.nShards))
 }
 
 // Finalize implements Store. The build runs in four parallel phases:

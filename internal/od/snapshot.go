@@ -2,6 +2,7 @@ package od
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 	"sort"
 
@@ -31,27 +32,28 @@ type SnapshotMeta struct {
 // (holes from Remove close up, order preserved), so the snapshot is
 // indistinguishable from a fresh build over the live objects.
 // meta.FilterValues must therefore be live-compacted too: one value per
-// live OD in ascending ID order. A mutated DiskStore saving into its own
-// directory is *merged*: the overlay folds into fresh base segments, the
-// manifest's delta watermark advances past every folded delta segment,
-// and the stale delta files are deleted. The in-process store keeps
-// serving (its open file handles pin the old segments) but is sealed
-// against further mutations — the on-disk ID space was renumbered, so
-// reopen the snapshot to keep updating.
+// live OD in ascending ID order.
+//
+// A mutated DiskStore saving into its own directory is *merged in
+// place*: the overlay folds into fresh base segments that keep the ID
+// space unrenumbered (removed slots persist as stub records listed in
+// the manifest's tombstone set), the delta watermark advances past
+// every folded segment, and the stale delta files are deleted. The
+// in-process store re-points itself at the merged base and stays fully
+// usable — queries and further AddAfterFinalize/Remove batches continue
+// with the same IDs, and a reopen reproduces the exact same state.
 func Save(dir string, s Store, meta SnapshotMeta) error {
 	if meta.FilterValues != nil && len(meta.FilterValues) != s.Size() {
 		return fmt.Errorf("od: save: %d filter values for %d live ODs", len(meta.FilterValues), s.Size())
 	}
 	if ds, ok := s.(*DiskStore); ok && sameDir(ds.dir, dir) {
 		ds.mustBeFinal()
-		if ds.mut == nil {
-			return odcodec.UpdateMeta(dir, meta.Fingerprint, meta.FilterValues)
+		if !ds.dirty {
+			// The base manifest already describes the live state
+			// (tombstones included); only the provenance changes.
+			return odcodec.UpdateMeta(dir, meta.Fingerprint, ds.expandFilterValues(meta.FilterValues))
 		}
-		if err := exportTo(dir, s, meta); err != nil {
-			return err
-		}
-		ds.sealed = true
-		return nil
+		return ds.mergeInPlace(meta)
 	}
 	return exportTo(dir, s, meta)
 }
@@ -394,6 +396,15 @@ func (s *DiskStore) exportLive(w *odcodec.Writer) error {
 		}
 	}
 
+	return s.exportLiveTypes(w, remap)
+}
+
+// exportLiveTypes streams every type's live value table — base postings
+// merged through the overlay, appended values interleaved in value
+// order — into the writer. remap rewrites posting IDs into a compacted
+// space; nil keeps the original IDs (the in-place merge path).
+func (s *DiskStore) exportLiveTypes(w *odcodec.Writer, remap []int32) error {
+	m := s.mut
 	names := map[string]bool{}
 	for _, tm := range s.r.Types() {
 		names[tm.Name] = true
@@ -433,7 +444,10 @@ func (s *DiskStore) exportLive(w *odcodec.Writer) error {
 			if len(ids) == 0 {
 				return nil
 			}
-			return w.AddValue(v, remapIDs(ids, remap))
+			if remap != nil {
+				ids = remapIDs(ids, remap)
+			}
+			return w.AddValue(v, ids)
 		}
 		err = s.r.ScanType(typ, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
 			ids, err := postings()
@@ -457,5 +471,103 @@ func (s *DiskStore) exportLive(w *odcodec.Writer) error {
 			}
 		}
 	}
+	return nil
+}
+
+// expandFilterValues re-expands live-compacted filter bounds (one per
+// live OD, ascending ID order — the shape Save's contract requires)
+// into the slot-aligned layout a tombstoned manifest stores: one value
+// per ID in [0, IDSpan()), NaN at dead slots. Identity when the store
+// has no holes.
+func (s *DiskStore) expandFilterValues(fv []float64) []float64 {
+	if fv == nil || s.mut == nil {
+		return fv
+	}
+	span := s.IDSpan()
+	out := make([]float64, span)
+	next := 0
+	for id := int32(0); id < span; id++ {
+		if s.Alive(id) {
+			out[id] = fv[next]
+			next++
+		} else {
+			out[id] = math.NaN()
+		}
+	}
+	return out
+}
+
+// mergeInPlace folds a dirty DiskStore's overlay into fresh base
+// segments in its own directory without renumbering the ID space:
+// every slot keeps its record (removed ones as empty stubs listed in
+// the manifest's tombstone set), posting lists keep their IDs, the
+// delta watermark advances past every folded segment and the stale
+// delta files are deleted. The in-process store then re-points itself
+// at the merged base — same answers, same IDs, still mutable.
+func (s *DiskStore) mergeInPlace(meta SnapshotMeta) error {
+	m := s.mut
+	w, err := odcodec.NewWriter(s.dir)
+	if err != nil {
+		return err
+	}
+	defer w.Abort()
+	stub := func() error { return w.AddOD("", 0, nil) }
+	for id := int32(0); id < m.baseN; id++ {
+		if m.removed[id] {
+			if err := stub(); err != nil {
+				return err
+			}
+			continue
+		}
+		obj, src, tuples, err := s.r.OD(id)
+		if err != nil {
+			return err
+		}
+		if err := w.AddOD(obj, src, tuples); err != nil {
+			return err
+		}
+	}
+	tupleBuf := make([]odcodec.Tuple, 0, 16)
+	for id := m.baseN; id < m.span; id++ {
+		if m.removed[id] {
+			if err := stub(); err != nil {
+				return err
+			}
+			continue
+		}
+		o := m.added[id]
+		tupleBuf = tupleBuf[:0]
+		for _, t := range o.Tuples {
+			tupleBuf = append(tupleBuf, odcodec.Tuple{Value: t.Value, Name: t.Name, Type: t.Type})
+		}
+		if err := w.AddOD(o.Object, int32(o.Source), tupleBuf); err != nil {
+			return err
+		}
+	}
+	if err := s.exportLiveTypes(w, nil); err != nil {
+		return err
+	}
+	tombstones := make([]int32, 0, len(m.removed))
+	for id := range m.removed {
+		tombstones = append(tombstones, id)
+	}
+	sortInt32s(tombstones)
+	if err := w.Commit(odcodec.Meta{
+		Fingerprint:  meta.Fingerprint,
+		Theta:        s.theta,
+		FilterValues: s.expandFilterValues(meta.FilterValues),
+		DeltaSeq:     m.seq,
+		Tombstones:   tombstones,
+	}); err != nil {
+		return err
+	}
+	odcodec.RemoveDeltas(s.dir, m.seq)
+	r, err := odcodec.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("od: reopen own merged snapshot: %w", err)
+	}
+	old := s.r
+	s.serveFrom(r) // re-derives size/stats/caches and seeds the tombstone overlay
+	old.Close()
 	return nil
 }
