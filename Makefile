@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench fuzz clean
+.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query fuzz clean
 
 all: build test vet fmt-check docs-check
 
@@ -60,14 +60,23 @@ fuzz:
 	$(GO) test -fuzz FuzzOpenManifest -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzDeltaRoundTrip -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzFederation -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzNeighborIndexRoundTrip -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzCompressedSegment -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 20s ./internal/od/odrpc/
 	$(GO) test -fuzz FuzzServerConn -fuzztime 20s ./internal/od/odrpc/
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
+# Regenerate the committed query-path latency artifact: SimilarValues
+# p50/p99 and retained heap per backend, plus the persisted
+# neighborhood index's cold-query speedup over the segment-scan
+# baseline. CI smoke-runs the same artifact at a reduced scale.
+bench-query:
+	$(GO) run ./cmd/benchfig -fig query -json BENCH_query.json
+
 # Remove generated artifacts: benchfig's disk-store segments and any
 # stray dupcluster/figure output written into the working tree.
 clean:
-	rm -rf benchfig-store
+	rm -rf benchfig-store benchfig-store-query
 	rm -f benchfig-*.txt dupclusters*.xml

@@ -8,6 +8,7 @@
 //	benchfig -fig fig7 -n 10000       # Figure 7 at paper scale
 //	benchfig -fig tab5                # Table 5
 //	benchfig -fig stages -shards 8    # per-stage timings, both store backends
+//	benchfig -fig query -json BENCH_query.json   # query-path latency artifact
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
@@ -26,6 +27,13 @@
 // takes versus the infer+candidates+describe build they replace, the
 // warm-start win — and the dist row breaks the retained heap down per
 // partition member by releasing them one at a time.
+//
+// The query artifact (also not from the paper) measures raw
+// SimilarValues latency percentiles per backend — including the disk
+// store cold, warm, and with its persisted deletion-neighborhood index
+// disabled (the segment-scan baseline) — and optionally writes the
+// report as JSON (-json); the committed BENCH_query.json is one such
+// run at the default scale.
 package main
 
 import (
@@ -49,20 +57,21 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages all")
+		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query all")
 		n        = flag.Int("n", 0, "corpus size (0 = paper scale)")
 		seed     = flag.Int64("seed", 2005, "generator seed")
-		shards   = flag.Int("shards", 8, "shard count for the stages artifact's sharded run")
-		storeDir = flag.String("store-dir", "benchfig-store", "segment directory for the stages artifact's disk run (make clean removes it)")
+		shards   = flag.Int("shards", 8, "shard count for the stages/query artifacts' sharded run")
+		storeDir = flag.String("store-dir", "benchfig-store", "segment directory for the stages/query artifacts' disk runs (make clean removes it)")
+		jsonOut  = flag.String("json", "", "also write the query artifact as JSON to this path")
 	)
 	flag.Parse()
-	if err := run(*fig, *n, *seed, *shards, *storeDir); err != nil {
+	if err := run(*fig, *n, *seed, *shards, *storeDir, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n int, seed int64, shards int, storeDir string) error {
+func run(fig string, n int, seed int64, shards int, storeDir, jsonOut string) error {
 	w := os.Stdout
 	want := func(name string) bool { return fig == "all" || fig == name }
 	ran := false
@@ -162,9 +171,16 @@ func run(fig string, n int, seed int64, shards int, storeDir string) error {
 			return err
 		}
 	}
+	if want("query") {
+		if err := timed("query", func() error {
+			return runQuery(w, orDefault(n, 2000), seed, shards, storeDir, jsonOut)
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q (want one of: %s)", fig,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "all"}, " "))
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "all"}, " "))
 	}
 	return nil
 }

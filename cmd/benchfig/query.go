@@ -1,0 +1,299 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/od"
+	"repro/internal/od/odcodec"
+	"repro/internal/od/odrpc"
+)
+
+// queryRow is one backend's measurement in the query artifact; the
+// JSON tags define the committed BENCH_query.json schema.
+type queryRow struct {
+	Backend     string  `json:"backend"`
+	Queries     int     `json:"queries"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	MeanMicros  float64 `json:"mean_us"`
+	TotalMillis float64 `json:"total_ms"`
+	// The indexed_* percentiles cover only queries against
+	// neighbor-indexable types (edit budget 0..2) — the workload class
+	// the deletion-neighborhood index serves; the rest fall back to
+	// scans on every backend.
+	IndexedQueries   int     `json:"indexed_queries"`
+	IndexedP50Micros float64 `json:"indexed_p50_us"`
+	IndexedP99Micros float64 `json:"indexed_p99_us"`
+	RetainedHeapMB   float64 `json:"retained_heap_mb,omitempty"`
+}
+
+// queryReport is the whole artifact: the workload parameters, one row
+// per backend, and the headline ratio — how much faster the persisted
+// neighborhood index answers a cold disk query than the segment scan
+// it replaced.
+type queryReport struct {
+	Discs int        `json:"discs"`
+	Seed  int64      `json:"seed"`
+	Theta float64    `json:"theta"`
+	Rows  []queryRow `json:"rows"`
+	// disk-scan indexed p50 over disk-cold indexed p50: the cold-query
+	// win of the persisted neighborhood index on the queries it serves.
+	ColdVsScanSpeedup float64 `json:"cold_vs_scan_indexed_p50_speedup"`
+	GOMAXPROCS        int     `json:"gomaxprocs"`
+}
+
+// queryODs flattens generated FreeDB discs into object descriptions,
+// the same shape the describe stage produces for Dataset 1.
+func queryODs(n int, seed int64) []*od.OD {
+	cds := datagen.FreeDB(n, seed)
+	out := make([]*od.OD, 0, len(cds))
+	for i, cd := range cds {
+		o := &od.OD{Object: fmt.Sprintf("/freedb/disc[%d]", i+1)}
+		add := func(value, name, typ string) {
+			o.Tuples = append(o.Tuples, od.Tuple{Value: value, Name: name, Type: typ})
+		}
+		add(cd.DID, "/freedb/disc/did", "DID")
+		add(cd.Artist, "/freedb/disc/artist", "ARTIST")
+		add(cd.Title, "/freedb/disc/dtitle", "DTITLE")
+		add(cd.Genre, "/freedb/disc/genre", "GENRE")
+		add(strconv.Itoa(cd.Year), "/freedb/disc/year", "YEAR")
+		for _, tr := range cd.Tracks {
+			add(tr, "/freedb/disc/tracks/title", "TRACK")
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// queryWorkload samples up to cap non-empty tuples spread evenly across
+// the corpus — the values SimilarValues is asked about during Step 4
+// comparisons. The same slice drives every backend row.
+func queryWorkload(ods []*od.OD, cap int) []od.Tuple {
+	var all []od.Tuple
+	for _, o := range ods {
+		all = append(all, o.NonEmptyTuples()...)
+	}
+	if len(all) <= cap {
+		return all
+	}
+	out := make([]od.Tuple, 0, cap)
+	stride := float64(len(all)) / float64(cap)
+	for i := 0; i < cap; i++ {
+		out = append(out, all[int(float64(i)*stride)])
+	}
+	return out
+}
+
+func countIndexed(queries []od.Tuple, indexed map[string]bool) int {
+	n := 0
+	for _, q := range queries {
+		if indexed[q.Type] {
+			n++
+		}
+	}
+	return n
+}
+
+// fill populates a fresh store with copies of the ODs and finalizes it.
+func fill(s od.Store, ods []*od.OD, theta float64) {
+	for _, o := range ods {
+		cp := *o
+		s.Add(&cp)
+	}
+	s.Finalize(theta)
+}
+
+// indexableTypes returns the types whose edit budget fits the
+// deletion-neighborhood index (0..2, the criterion every backend
+// applies) and whose value table is large enough for a scan to cost
+// anything — the workload class the index exists for. Tiny tables
+// (genres, years) answer in microseconds either way and would only
+// blur the comparison.
+func indexableTypes(s od.Store) map[string]bool {
+	out := map[string]bool{}
+	for _, st := range s.Stats() {
+		if st.EditBudget >= 0 && st.EditBudget <= 2 && st.DistinctValues >= 256 {
+			out[st.Type] = true
+		}
+	}
+	return out
+}
+
+func percentile(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(lat)-1))
+	return float64(lat[idx].Nanoseconds()) / 1e3
+}
+
+// measure times every workload query individually against the store and
+// reduces the latencies to percentiles — overall and over the
+// indexed-type subset.
+func measure(s od.Store, queries []od.Tuple, indexed map[string]bool) queryRow {
+	lat := make([]time.Duration, len(queries))
+	var idxLat []time.Duration
+	begin := time.Now()
+	for i, q := range queries {
+		t0 := time.Now()
+		s.SimilarValues(q)
+		lat[i] = time.Since(t0)
+		if indexed[q.Type] {
+			idxLat = append(idxLat, lat[i])
+		}
+	}
+	total := time.Since(begin)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(idxLat, func(i, j int) bool { return idxLat[i] < idxLat[j] })
+	return queryRow{
+		Queries:          len(queries),
+		P50Micros:        percentile(lat, 0.50),
+		P99Micros:        percentile(lat, 0.99),
+		MeanMicros:       float64(total.Nanoseconds()) / 1e3 / float64(max(1, len(queries))),
+		TotalMillis:      float64(total.Nanoseconds()) / 1e6,
+		IndexedQueries:   len(idxLat),
+		IndexedP50Micros: percentile(idxLat, 0.50),
+		IndexedP99Micros: percentile(idxLat, 0.99),
+	}
+}
+
+// retainedMB reports the post-GC live heap above the pre-store baseline
+// — what this backend holds onto between queries.
+func retainedMB(baseline uint64) float64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc <= baseline {
+		return 0
+	}
+	return mb(m.HeapAlloc - baseline)
+}
+
+// runQuery produces the query-path artifact: SimilarValues latency
+// percentiles and retained heap for every backend — in-memory, sharded,
+// the disk store cold (fresh open, empty caches) and warm (second pass
+// over the same workload), the disk store with the neighborhood index
+// disabled (the pre-index segment-scan baseline the speedup is measured
+// against), and a loopback-transport federation. The single-core-CI
+// caveat from the stages artifact applies to the dist row here too.
+func runQuery(w io.Writer, n int, seed int64, shards int, storeDir, jsonPath string) error {
+	ods := queryODs(n, seed)
+	queries := queryWorkload(ods, 500)
+	theta := experiments.ThetaTuple
+	report := queryReport{Discs: n, Seed: seed, Theta: theta, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	baseline := base.HeapAlloc
+
+	emit := func(row queryRow) {
+		report.Rows = append(report.Rows, row)
+		fmt.Fprintf(w, "  %-12s p50=%8.1fµs p99=%8.1fµs mean=%8.1fµs indexed-p50=%8.1fµs retained=%6.1fMB\n",
+			row.Backend, row.P50Micros, row.P99Micros, row.MeanMicros, row.IndexedP50Micros, row.RetainedHeapMB)
+	}
+
+	var indexed map[string]bool
+	{
+		mem := od.NewMemStore()
+		fill(mem, ods, theta)
+		indexed = indexableTypes(mem)
+		fmt.Fprintf(w, "query — SimilarValues latency, %d discs, %d queries (%d on indexed types), θtuple=%.2f\n",
+			n, len(queries), countIndexed(queries, indexed), theta)
+		row := measure(mem, queries, indexed)
+		row.Backend = "mem"
+		row.RetainedHeapMB = retainedMB(baseline)
+		emit(row)
+	}
+	runtime.GC()
+	{
+		sh := od.NewShardedStore(shards)
+		fill(sh, ods, theta)
+		row := measure(sh, queries, indexed)
+		row.Backend = fmt.Sprintf("sharded-%d", shards)
+		row.RetainedHeapMB = retainedMB(baseline)
+		emit(row)
+	}
+	runtime.GC()
+
+	// One segment directory serves the three disk rows; cold and scan
+	// reopen it so every measurement starts with empty caches.
+	qdir := storeDir + "-query"
+	{
+		build := od.NewDiskStore(qdir)
+		fill(build, ods, theta)
+		build.Close()
+	}
+	runtime.GC()
+	var scanP50, coldP50 float64
+	{
+		scan, err := od.OpenDiskStoreWith(qdir, od.DiskOptions{DisableNeighborIndex: true})
+		if err != nil {
+			return err
+		}
+		row := measure(scan, queries, indexed)
+		row.Backend = "disk-scan"
+		row.RetainedHeapMB = retainedMB(baseline)
+		scanP50 = row.IndexedP50Micros
+		emit(row)
+		scan.Close()
+	}
+	runtime.GC()
+	{
+		disk, err := od.OpenDiskStoreWith(qdir, od.DiskOptions{Mmap: odcodec.MmapAuto})
+		if err != nil {
+			return err
+		}
+		cold := measure(disk, queries, indexed)
+		cold.Backend = "disk-cold"
+		coldP50 = cold.IndexedP50Micros
+		emit(cold)
+		warm := measure(disk, queries, indexed) // caches populated by the cold pass
+		warm.Backend = "disk-warm"
+		warm.RetainedHeapMB = retainedMB(baseline)
+		emit(warm)
+		disk.Close()
+	}
+	runtime.GC()
+	{
+		const partitions = 3
+		parts := make([]od.Partition, partitions)
+		for i := range parts {
+			parts[i] = odrpc.NewLoopback(od.NewMemStore())
+		}
+		fed := od.NewPartitionedStore(parts, 0)
+		fill(fed, ods, theta)
+		row := measure(fed, queries, indexed)
+		row.Backend = fmt.Sprintf("dist-%d", partitions)
+		row.RetainedHeapMB = retainedMB(baseline)
+		emit(row)
+		fed.Close()
+	}
+
+	if coldP50 > 0 {
+		report.ColdVsScanSpeedup = scanP50 / coldP50
+	}
+	fmt.Fprintf(w, "  disk-cold vs disk-scan indexed-p50 speedup: %.1fx\n", report.ColdVsScanSpeedup)
+
+	if jsonPath != "" {
+		out, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	return nil
+}

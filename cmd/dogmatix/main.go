@@ -86,6 +86,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/heuristics"
 	"repro/internal/od"
+	"repro/internal/od/odcodec"
 	"repro/internal/od/odrpc"
 	"repro/internal/xmltree"
 	"repro/internal/xsd"
@@ -109,6 +110,7 @@ func main() {
 		partAddrs  = flag.String("partition-addrs", "", "comma-separated odrpc server addresses for the distributed store")
 		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
 		storeDir   = flag.String("store-dir", "", "directory for disk-store segments / index snapshots")
+		mmap       = flag.String("mmap", "auto", "disk-store segment access: auto (mmap with pread fallback) | on | off")
 		reuseIndex = flag.Bool("reuse-index", false, "warm-start from a matching index snapshot in -store-dir (and save one after a fresh build)")
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
@@ -123,7 +125,7 @@ func main() {
 		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
 		showStages: *showStages, store: *store, shards: *shards,
 		partitions: *partitions, partAddrs: *partAddrs,
-		workers: *workers, storeDir: *storeDir, reuseIndex: *reuseIndex,
+		workers: *workers, storeDir: *storeDir, mmap: *mmap, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
 		update: *update, removePaths: removePaths,
 	}
@@ -151,8 +153,18 @@ type options struct {
 	update                                bool
 	shards, workers, partitions           int
 	store, storeDir, partAddrs            string
+	mmap                                  string
 	format                                string
 	removePaths                           []string
+
+	// mmapMode is the parsed -mmap value, resolved by validate.
+	mmapMode odcodec.MmapMode
+}
+
+// diskOptions resolves the validated flags into the disk store's access
+// options.
+func (o *options) diskOptions() od.DiskOptions {
+	return od.DiskOptions{Mmap: o.mmapMode}
 }
 
 // Store backend names accepted by -store.
@@ -268,6 +280,17 @@ func (o *options) validate(docs []string) error {
 	if o.storeDir != "" && o.store != storeDisk && !o.reuseIndex {
 		return fmt.Errorf("-store-dir is set but neither -store disk nor -reuse-index uses it")
 	}
+	if o.mmap == "" {
+		o.mmap = "auto" // zero-value options behave like the flag default
+	}
+	mode, err := odcodec.ParseMmapMode(o.mmap)
+	if err != nil {
+		return fmt.Errorf("-mmap: %w", err)
+	}
+	o.mmapMode = mode
+	if o.mmap != "auto" && o.store != storeDisk && !o.reuseIndex && !o.update {
+		return fmt.Errorf("-mmap only applies when segment files are read: -store disk, -reuse-index or -update")
+	}
 	return nil
 }
 
@@ -306,7 +329,7 @@ func (o *options) newStore() (func() od.Store, error) {
 			return st
 		}, nil
 	case storeDisk:
-		return func() od.Store { return od.NewDiskStore(o.storeDir) }, nil
+		return func() od.Store { return od.NewDiskStoreWith(o.storeDir, o.diskOptions()) }, nil
 	case storeDist:
 		fed, err := o.buildFederation()
 		if err != nil {
@@ -414,7 +437,7 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 	if opts.update {
 		// Update runs serve from the persisted snapshot and re-persist
 		// the merged indexes when done.
-		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true}
+		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true, Disk: opts.diskOptions()}
 	} else {
 		newStore, err := opts.newStore()
 		if err != nil {
@@ -422,7 +445,7 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		}
 		cfg.NewStore = newStore
 		if opts.reuseIndex {
-			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true}
+			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true, Disk: opts.diskOptions()}
 		}
 	}
 	det, err := core.NewDetector(mapping, cfg)
@@ -474,7 +497,7 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 // -remove paths to candidate IDs, and run Detector.Update over the new
 // sources. Update's snapshot stage merges the result back to -store-dir.
 func runUpdate(opts options, det *core.Detector, inputs []core.SourceInput) (*core.Result, error) {
-	store, err := od.OpenDiskStore(opts.storeDir)
+	store, err := od.OpenDiskStoreWith(opts.storeDir, opts.diskOptions())
 	if err != nil {
 		return nil, fmt.Errorf("open index snapshot in %s: %w (build one first: -store disk -store-dir %s)",
 			opts.storeDir, err, opts.storeDir)

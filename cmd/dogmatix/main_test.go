@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/od/odcodec"
 )
 
 // TestValidateFlagCombinations pins the upfront CLI validation: every
@@ -41,6 +43,8 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"dist-with-reuse", func(o *options) { o.store = "dist"; o.reuseIndex = true }, docs, "does not apply to -store dist"},
 		{"dist-with-dir", func(o *options) { o.store = "dist"; o.storeDir = "d" }, docs, "-store-dir does not apply"},
 		{"dist-with-update", func(o *options) { o.store = "dist"; o.update = true; o.storeDir = "d" }, docs, "does not apply"},
+		{"bad-mmap", func(o *options) { o.store = "disk"; o.storeDir = "d"; o.mmap = "sometimes" }, docs, "-mmap"},
+		{"mmap-without-disk", func(o *options) { o.mmap = "on" }, docs, "-mmap only applies"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -88,6 +92,13 @@ func TestValidateFlagCombinations(t *testing.T) {
 		o.partAddrs = "h1:7001, h2:7001"
 		if err := o.validate(docs); err != nil || o.store != storeDist || o.partitions != 0 {
 			t.Fatalf("-partition-addrs resolved to %q/%d (%v), want dist/0", o.store, o.partitions, err)
+		}
+		o = base
+		o.store = storeDisk
+		o.storeDir = "d"
+		o.mmap = "off"
+		if err := o.validate(docs); err != nil || o.mmapMode != odcodec.MmapOff {
+			t.Fatalf("-mmap off resolved to %v (%v), want MmapOff", o.mmapMode, err)
 		}
 	})
 }

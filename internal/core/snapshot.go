@@ -30,6 +30,11 @@ type SnapshotOptions struct {
 	// Save persists the finalized indexes after a fresh build, stamped
 	// with the corpus fingerprint, so the next Reuse run warm-starts.
 	Save bool
+	// Disk tunes how the snapshot's segment files are accessed when a
+	// warm start or update run opens them (memory mapping, the
+	// neighborhood-index knob). The zero value is the default access
+	// configuration.
+	Disk od.DiskOptions
 }
 
 // fingerprintVersion invalidates all persisted fingerprints when the
@@ -154,7 +159,7 @@ func (p *pipelineRun) warmStart() (int, error) {
 	// Open before fingerprinting: the fingerprint reads every source end
 	// to end, so when no usable snapshot exists (or it carries no
 	// provenance) that corpus pass would be pure waste.
-	ds, err := od.OpenDiskStore(p.d.cfg.Snapshot.Dir)
+	ds, err := od.OpenDiskStoreWith(p.d.cfg.Snapshot.Dir, p.d.cfg.Snapshot.Disk)
 	if err != nil {
 		return 0, nil // no usable snapshot; rebuild
 	}

@@ -38,10 +38,24 @@ import (
 // live maximum so diagnostics still converge to what a fresh build
 // reports.
 
+// addedVal is one overlay value with its rune length hoisted out of the
+// query path: the length-window pruning in collectAdded runs once per
+// overlay value per query, so recomputing len([]rune(v)) there made
+// every similar-value query over a mutated store pay a decode linear in
+// the overlay size. The length is fixed at insertion.
+type addedVal struct {
+	val     string
+	runeLen int
+}
+
+func newAddedVal(v string) addedVal {
+	return addedVal{val: v, runeLen: len([]rune(v))}
+}
+
 // typeDelta is the mutation overlay of one type's value table (for
 // ShardedStore: of one shard's slice of it).
 type typeDelta struct {
-	added    []string        // distinct values absent from the base index, insertion order
+	added    []addedVal      // distinct values absent from the base index, insertion order
 	addedSet map[string]bool // membership for added
 	muts     int             // mutations since the last compaction
 }
@@ -67,27 +81,26 @@ func (d *typeDelta) add(val string, newToBase bool) {
 	d.muts++
 	if newToBase && !d.addedSet[val] {
 		d.addedSet[val] = true
-		d.added = append(d.added, val)
+		d.added = append(d.added, newAddedVal(val))
 	}
 }
 
 // collectAdded emits every overlay value of one type whose normalized
 // edit distance to q is strictly below theta, with the same per-value
 // length-window pruning as the base scan paths.
-func collectAdded(added []string, q string, theta float64, emit func(v string)) {
+func collectAdded(added []addedVal, q string, theta float64, emit func(v string)) {
 	qLen := len([]rune(q))
-	for _, v := range added {
-		l := len([]rune(v))
+	for _, av := range added {
 		m := qLen
-		if l > m {
-			m = l
+		if av.runeLen > m {
+			m = av.runeLen
 		}
 		budget := strdist.MaxEditsBelow(theta, m)
-		if budget < 0 || strdist.Abs(qLen-l) > budget {
+		if budget < 0 || strdist.Abs(qLen-av.runeLen) > budget {
 			continue
 		}
-		if strdist.NormalizedBelow(q, v, theta) {
-			emit(v)
+		if strdist.NormalizedBelow(q, av.val, theta) {
+			emit(av.val)
 		}
 	}
 }
@@ -191,8 +204,8 @@ func liveValueTable(base *typeIndex, d *typeDelta, postings func(val string) []i
 		}
 	}
 	if d != nil {
-		for _, v := range d.added {
-			consider(v)
+		for _, av := range d.added {
+			consider(av.val)
 		}
 	}
 	if len(m) == 0 {

@@ -23,29 +23,35 @@ import (
 // outputs use the shared canonical orderings. The internal/od and
 // internal/core parity suites pin this bit-for-bit.
 //
-// Trade-off versus the in-memory backends: every uncached similar-value
-// query scans the type's value segment from disk (no deletion-
-// neighborhood index), so a cold DiskStore is the slowest backend per
-// query; and Finalize still materializes the tables while building, so
-// the build peak matches MemStore's — it is the post-build footprint
-// and the OpenDiskStore path that are bounded. Pick this backend when
-// indexes must outlive the process (warm starts), when the *retained*
-// indexes of a long-lived server must not scale with corpus size, or
-// as the serialization substrate for shipping indexes between
-// processes.
+// Similar-value queries are served from the persisted deletion-
+// neighborhood segment (the same FastSS buckets MemStore builds in
+// memory), falling back to a sequential segment scan only when the
+// snapshot predates the neighbor segment, the type's edit budget is
+// out of the indexable range, or a query out-ranges the index — the
+// exact coverage rule typeIndex.collect applies. Segments are memory-
+// mapped when the platform allows it (DiskOptions.Mmap), so value
+// decodes are pointer arithmetic into the page cache instead of
+// positioned reads. Finalize still materializes the tables while
+// building, so the build peak matches MemStore's — it is the
+// post-build footprint and the OpenDiskStore path that are bounded.
+// Pick this backend when indexes must outlive the process (warm
+// starts), when the *retained* indexes of a long-lived server must not
+// scale with corpus size, or as the serialization substrate for
+// shipping indexes between processes.
 type DiskStore struct {
-	dir string
+	dir  string
+	opts DiskOptions
 
 	// Build phase.
 	ods       []*OD
 	finalized bool
 
 	// Query phase.
-	r       *odcodec.Reader
-	theta   float64
-	size    int // live objects (base minus removed plus added)
-	stats   []TypeStats
-	budgets map[string]int
+	r        *odcodec.Reader
+	theta    float64
+	size     int // live objects (base minus removed plus added)
+	stats    []TypeStats
+	typeMeta map[string]odcodec.TypeMeta
 
 	// Mutation phase (MutableStore): the base segments stay immutable;
 	// every AddAfterFinalize/Remove batch commits an odcodec delta
@@ -82,7 +88,7 @@ type diskOverlay struct {
 	removed  map[int32]bool
 	addOcc   map[string][]int32 // occKey -> appended live+removed ids, ascending
 
-	addedVals   map[string][]string // per type: values absent from the base segments
+	addedVals   map[string][]addedVal // per type: values absent from the base segments
 	addedValSet map[string]map[string]bool
 }
 
@@ -98,10 +104,34 @@ const (
 
 var _ MutableStore = (*DiskStore)(nil)
 
+// DiskOptions tunes how a DiskStore accesses its segment files. The
+// zero value is the default configuration.
+type DiskOptions struct {
+	// Mmap selects how segment bytes are read: memory-mapped when the
+	// platform supports it (MmapAuto, the default, with a transparent
+	// fallback to positioned reads), forced on (open fails where
+	// unsupported) or forced off.
+	Mmap odcodec.MmapMode
+	// DisableNeighborIndex forces every similar-value query onto the
+	// sequential segment scan even when the snapshot carries the
+	// deletion-neighborhood segment. A benchmarking knob — answers are
+	// identical either way, only the access path changes.
+	DisableNeighborIndex bool
+}
+
+func (o DiskOptions) codecOptions() odcodec.OpenOptions {
+	return odcodec.OpenOptions{Mmap: o.Mmap}
+}
+
 // NewDiskStore returns an empty disk store that will write its segment
 // files into dir at Finalize, replacing any previous snapshot there.
 func NewDiskStore(dir string) *DiskStore {
-	return &DiskStore{dir: dir}
+	return NewDiskStoreWith(dir, DiskOptions{})
+}
+
+// NewDiskStoreWith is NewDiskStore with explicit access options.
+func NewDiskStoreWith(dir string, opts DiskOptions) *DiskStore {
+	return &DiskStore{dir: dir, opts: opts}
 }
 
 // OpenDiskStore opens the snapshot previously written to dir and
@@ -114,11 +144,16 @@ func NewDiskStore(dir string) *DiskStore {
 // replayed, so the store reopens exactly where the mutating process
 // left it.
 func OpenDiskStore(dir string) (*DiskStore, error) {
-	r, err := odcodec.Open(dir)
+	return OpenDiskStoreWith(dir, DiskOptions{})
+}
+
+// OpenDiskStoreWith is OpenDiskStore with explicit access options.
+func OpenDiskStoreWith(dir string, opts DiskOptions) (*DiskStore, error) {
+	r, err := odcodec.OpenWith(dir, opts.codecOptions())
 	if err != nil {
 		return nil, err
 	}
-	s := &DiskStore{dir: dir, finalized: true}
+	s := &DiskStore{dir: dir, opts: opts, finalized: true}
 	s.serveFrom(r)
 	deltas, err := odcodec.ReadDeltas(dir, r.Meta().DeltaSeq)
 	if err != nil {
@@ -258,7 +293,7 @@ func (s *DiskStore) Finalize(theta float64) {
 	odcodec.RemoveDeltas(s.dir, staleSeq)
 
 	s.ods = nil // from here on the segment files are the store
-	r, err := odcodec.Open(s.dir)
+	r, err := odcodec.OpenWith(s.dir, s.opts.codecOptions())
 	if err != nil {
 		panic(fmt.Sprintf("od: DiskStore finalize: reopen own snapshot: %v", err))
 	}
@@ -286,16 +321,16 @@ func (s *DiskStore) serveFrom(r *odcodec.Reader) {
 	s.allMu.Lock()
 	s.allODs = nil
 	s.allMu.Unlock()
-	s.budgets = map[string]int{}
+	s.typeMeta = map[string]odcodec.TypeMeta{}
 	s.stats = nil
 	for _, tm := range r.Types() {
-		s.budgets[tm.Name] = tm.Budget
+		s.typeMeta[tm.Name] = tm
 		s.stats = append(s.stats, TypeStats{
 			Type:           tm.Name,
 			DistinctValues: tm.NumValues,
 			MaxLen:         tm.MaxLen,
 			EditBudget:     tm.Budget,
-			Indexed:        false, // scans, never a deletion neighborhood
+			Indexed:        r.HasNeighbors(tm.Name),
 		})
 	}
 	s.odCache = newShardedLRU[int32, *OD](diskODCacheSize, hashID)
@@ -313,7 +348,7 @@ func (s *DiskStore) overlay() *diskOverlay {
 			added:       map[int32]*OD{},
 			removed:     map[int32]bool{},
 			addOcc:      map[string][]int32{},
-			addedVals:   map[string][]string{},
+			addedVals:   map[string][]addedVal{},
 			addedValSet: map[string]map[string]bool{},
 		}
 	}
@@ -451,7 +486,7 @@ func (s *DiskStore) commitAdded(staged []stagedAdd) {
 				m.addedValSet[typ] = set
 			}
 			set[val] = true
-			m.addedVals[typ] = append(m.addedVals[typ], val)
+			m.addedVals[typ] = append(m.addedVals[typ], newAddedVal(val))
 		}
 	}
 }
@@ -528,9 +563,9 @@ func (s *DiskStore) forEachLiveValue(typ string, fn func(v string, ids []int32))
 	if err != nil {
 		return err
 	}
-	for _, v := range m.addedVals[typ] {
-		if merged := m.mergePostings(occKeyOf(typ, v), nil); merged != nil {
-			fn(v, merged)
+	for _, av := range m.addedVals[typ] {
+		if merged := m.mergePostings(occKeyOf(typ, av.val), nil); merged != nil {
+			fn(av.val, merged)
 		}
 	}
 	return nil
@@ -643,22 +678,27 @@ func (s *DiskStore) ObjectsWithExact(t Tuple) []int32 {
 	return ids
 }
 
-// SimilarValues implements Store: a sequential scan of the type's value
-// segment with the same length-window pruning and θtuple re-check as
-// the in-memory scan path, so the result set and order are identical.
-// With an overlay present, base postings merge through it (values whose
-// lists emptied drop out) and the type's appended values are scanned the
-// same way.
+// SimilarValues implements Store. Base values are found through the
+// persisted deletion-neighborhood segment when it covers the query
+// (similarFromIndex), otherwise by a sequential scan of the type's
+// value segment with the same length-window pruning and θtuple re-check
+// as the in-memory scan path. Either way the result set and order are
+// identical to MemStore's — both paths re-verify θtuple with the exact
+// same normalized edit-distance checks, and FastSS guarantees the
+// neighborhood candidates are complete within a covered budget. With an
+// overlay present, base postings merge through it (values whose lists
+// emptied drop out) and the type's appended values are scanned the same
+// way.
 func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 	s.mustBeFinal()
 	if t.Value == "" {
 		return nil
 	}
-	var addedVals []string
+	var addedVals []addedVal
 	if s.mut != nil {
 		addedVals = s.mut.addedVals[t.Type]
 	}
-	if _, ok := s.budgets[t.Type]; !ok && len(addedVals) == 0 {
+	if _, ok := s.typeMeta[t.Type]; !ok && len(addedVals) == 0 {
 		return nil
 	}
 	cacheKey := t.occKey()
@@ -667,8 +707,88 @@ func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 	}
 	q := t.Value
 	qLen := len([]rune(q))
+	out, ok := s.similarFromIndex(t.Type, q, qLen)
+	if !ok {
+		out = s.similarFromScan(t.Type, q, qLen)
+	}
+	collectAdded(addedVals, q, s.theta, func(v string) {
+		ids := s.mut.mergePostings(occKeyOf(t.Type, v), nil)
+		if ids == nil {
+			return
+		}
+		out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
+	})
+	sortMatches(out)
+	s.simCache.put(cacheKey, out)
+	return out
+}
+
+// similarFromIndex answers one similar-value query over the base values
+// by probing the persisted deletion-neighborhood segment: the query's
+// own deletion variants select candidate value ordinals (FastSS — two
+// strings within the edit budget always share a variant, so the
+// candidate set is complete), each candidate is decoded by ordinal and
+// verified with the banded edit distance and the exact θtuple check.
+// Reports ok=false — sending the caller to the sequential scan — when
+// the snapshot has no neighbor segment for the type, the benchmarking
+// knob disabled it, or the query could out-range the index: the same
+// coverage rule typeIndex.collect applies in memory (the budget demanded
+// by max(query length, longest indexed value) must not exceed the
+// persisted budget).
+func (s *DiskStore) similarFromIndex(typ, q string, qLen int) ([]ValueMatch, bool) {
+	if s.opts.DisableNeighborIndex || !s.r.HasNeighbors(typ) {
+		return nil, false
+	}
+	tm, ok := s.typeMeta[typ]
+	if !ok {
+		return nil, false
+	}
+	m := qLen
+	if tm.MaxLen > m {
+		m = tm.MaxLen
+	}
+	if need := strdist.MaxEditsBelow(s.theta, m); need < 0 || need > tm.Budget {
+		return nil, false
+	}
+	seen := map[int32]bool{}
 	var out []ValueMatch
-	err := s.r.ScanType(t.Type, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
+	for _, variant := range strdist.DeletionVariants(q, tm.Budget) {
+		ords, err := s.r.NeighborLookup(typ, variant)
+		if err != nil {
+			panic(fmt.Sprintf("od: DiskStore: %v", err))
+		}
+		for _, ord := range ords {
+			if seen[ord] {
+				continue
+			}
+			seen[ord] = true
+			v, _, ids, err := s.r.ValueAt(typ, ord)
+			if err != nil {
+				panic(fmt.Sprintf("od: DiskStore: %v", err))
+			}
+			if _, within := strdist.LevenshteinBounded(q, v, tm.Budget); !within {
+				continue
+			}
+			if !strdist.NormalizedBelow(q, v, s.theta) {
+				continue
+			}
+			if s.mut != nil {
+				if ids = s.mut.mergePostings(occKeyOf(typ, v), ids); ids == nil {
+					continue
+				}
+			}
+			out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
+		}
+	}
+	return out, true
+}
+
+// similarFromScan is the sequential fallback: every base value of the
+// type streams past the same length-window pruning and θtuple re-check
+// the in-memory scan path applies.
+func (s *DiskStore) similarFromScan(typ, q string, qLen int) []ValueMatch {
+	var out []ValueMatch
+	err := s.r.ScanType(typ, func(v string, runeLen int, postings func() ([]int32, error)) (bool, error) {
 		m := qLen
 		if runeLen > m {
 			m = runeLen
@@ -685,7 +805,7 @@ func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 			return true, err
 		}
 		if s.mut != nil {
-			if ids = s.mut.mergePostings(occKeyOf(t.Type, v), ids); ids == nil {
+			if ids = s.mut.mergePostings(occKeyOf(typ, v), ids); ids == nil {
 				return false, nil
 			}
 		}
@@ -695,15 +815,6 @@ func (s *DiskStore) SimilarValues(t Tuple) []ValueMatch {
 	if err != nil {
 		panic(fmt.Sprintf("od: DiskStore: %v", err))
 	}
-	collectAdded(addedVals, q, s.theta, func(v string) {
-		ids := s.mut.mergePostings(occKeyOf(t.Type, v), nil)
-		if ids == nil {
-			return
-		}
-		out = append(out, ValueMatch{Value: v, Objects: ids, Dist: strdist.Normalized(q, v)})
-	})
-	sortMatches(out)
-	s.simCache.put(cacheKey, out)
 	return out
 }
 
@@ -728,10 +839,12 @@ func (s *DiskStore) Neighbors(id int32) []int32 {
 	return neighborsOf(s, id)
 }
 
-// Stats implements Store. Indexed is always false for the disk backend:
-// it scans value segments instead of building deletion neighborhoods.
-// With an overlay present the rows are recomputed exactly over the live
-// values, matching a fresh build over the live set.
+// Stats implements Store. Indexed reports whether the snapshot carries
+// a persisted deletion-neighborhood segment for the type — the same
+// criterion MemStore uses for its in-memory index, and like MemStore a
+// mutated store keeps reporting the base's choice. With an overlay
+// present the rows are recomputed exactly over the live values,
+// matching a fresh build over the live set.
 func (s *DiskStore) Stats() []TypeStats {
 	s.mustBeFinal()
 	if s.mut == nil {
@@ -764,11 +877,24 @@ func (s *DiskStore) Stats() []TypeStats {
 			DistinctValues: distinct,
 			MaxLen:         maxLen,
 			EditBudget:     editBudget(s.theta, maxLen),
-			Indexed:        false,
+			Indexed:        s.r.HasNeighbors(typ),
 		})
 	}
 	sortTypeStats(out)
 	return out
+}
+
+// CacheStats reports each bounded cache's counters, keyed "od" (decoded
+// object descriptions), "occ" (posting lists) and "sim" (similar-value
+// results). Counters reset when a cache is invalidated by a mutation
+// batch or an in-place merge.
+func (s *DiskStore) CacheStats() map[string]CacheStats {
+	s.mustBeFinal()
+	return map[string]CacheStats{
+		"od":  s.odCache.stats(),
+		"occ": s.occCache.stats(),
+		"sim": s.simCache.stats(),
+	}
 }
 
 func (s *DiskStore) mustBeFinal() {

@@ -1,19 +1,38 @@
 package od
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// lruCache is a small mutex-guarded LRU used by DiskStore to keep its
-// retained heap bounded: decoded ODs, posting lists and similar-value
-// results are cached up to a fixed capacity and evicted least-recently
-// used. Correctness never depends on the cache — every entry is
-// recomputable from the segment files — so eviction policy only affects
-// speed.
-type lruCache[K comparable, V any] struct {
+// This file holds the one bounded cache implementation every backend in
+// this package shares: a generic LRU sharded by key hash. DiskStore
+// caches decoded ODs, posting lists and similar-value results through
+// it; PartitionedStore caches merged fan-out answers. Correctness never
+// depends on a cache — every entry is recomputable from the segment
+// files or the members — so eviction policy only affects speed, and the
+// hit/miss/eviction counters exist to make that speed observable
+// (CacheStats) instead of guessed at.
+
+// CacheStats is a point-in-time snapshot of one bounded cache's
+// counters. Hits and Misses count get calls, Evictions counts entries
+// dropped to capacity; Entries/Capacity describe current occupancy.
+type CacheStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Capacity  int
+}
+
+// lruShard is one lock's worth of a shardedLRU: a mutex-guarded LRU
+// over an intrusive doubly-linked list (avoids container/list's
+// interface boxing on this hot path).
+type lruShard[K comparable, V any] struct {
 	mu  sync.Mutex
 	cap int
 	m   map[K]*lruEntry[K, V]
-	// Intrusive doubly-linked list, head = most recent. Avoids
-	// container/list's interface boxing on this hot path.
+	// head = most recent.
 	head, tail *lruEntry[K, V]
 }
 
@@ -23,11 +42,11 @@ type lruEntry[K comparable, V any] struct {
 	prev, next *lruEntry[K, V]
 }
 
-func newLRU[K comparable, V any](capacity int) *lruCache[K, V] {
-	return &lruCache[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V], capacity)}
+func newLRUShard[K comparable, V any](capacity int) *lruShard[K, V] {
+	return &lruShard[K, V]{cap: capacity, m: make(map[K]*lruEntry[K, V], capacity)}
 }
 
-func (c *lruCache[K, V]) get(k K) (V, bool) {
+func (c *lruShard[K, V]) get(k K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.m[k]
@@ -39,13 +58,15 @@ func (c *lruCache[K, V]) get(k K) (V, bool) {
 	return e.val, true
 }
 
-func (c *lruCache[K, V]) put(k K, v V) {
+// put inserts or refreshes an entry, reporting whether another entry
+// was evicted to make room.
+func (c *lruShard[K, V]) put(k K, v V) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.m[k]; ok {
 		e.val = v
 		c.moveToFront(e)
-		return
+		return false
 	}
 	e := &lruEntry[K, V]{key: k, val: v}
 	c.m[k] = e
@@ -54,10 +75,18 @@ func (c *lruCache[K, V]) put(k K, v V) {
 		evict := c.tail
 		c.unlink(evict)
 		delete(c.m, evict.key)
+		return true
 	}
+	return false
 }
 
-func (c *lruCache[K, V]) pushFront(e *lruEntry[K, V]) {
+func (c *lruShard[K, V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func (c *lruShard[K, V]) pushFront(e *lruEntry[K, V]) {
 	e.prev, e.next = nil, c.head
 	if c.head != nil {
 		c.head.prev = e
@@ -68,7 +97,7 @@ func (c *lruCache[K, V]) pushFront(e *lruEntry[K, V]) {
 	}
 }
 
-func (c *lruCache[K, V]) unlink(e *lruEntry[K, V]) {
+func (c *lruShard[K, V]) unlink(e *lruEntry[K, V]) {
 	if e.prev != nil {
 		e.prev.next = e.next
 	} else {
@@ -81,7 +110,7 @@ func (c *lruCache[K, V]) unlink(e *lruEntry[K, V]) {
 	}
 }
 
-func (c *lruCache[K, V]) moveToFront(e *lruEntry[K, V]) {
+func (c *lruShard[K, V]) moveToFront(e *lruEntry[K, V]) {
 	if c.head == e {
 		return
 	}
@@ -90,16 +119,22 @@ func (c *lruCache[K, V]) moveToFront(e *lruEntry[K, V]) {
 }
 
 // lruShardCount spreads a shardedLRU's lock across this many
-// independent lruCaches (power of two for mask routing).
+// independent shards (power of two for mask routing).
 const lruShardCount = 16
 
 // shardedLRU partitions an LRU by key hash so the parallel reduce and
 // compare stages don't serialize on a single cache mutex: every get
 // mutates recency under a lock, which made one global cache the
-// contention point of DiskStore's hot paths.
+// contention point of DiskStore's hot paths. The counters are shared
+// across shards and updated atomically — they are diagnostics, not
+// synchronization.
 type shardedLRU[K comparable, V any] struct {
-	shards [lruShardCount]*lruCache[K, V]
+	shards [lruShardCount]*lruShard[K, V]
 	hash   func(K) uint32
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
 }
 
 func newShardedLRU[K comparable, V any](capacity int, hash func(K) uint32) *shardedLRU[K, V] {
@@ -109,17 +144,41 @@ func newShardedLRU[K comparable, V any](capacity int, hash func(K) uint32) *shar
 	}
 	s := &shardedLRU[K, V]{hash: hash}
 	for i := range s.shards {
-		s.shards[i] = newLRU[K, V](per)
+		s.shards[i] = newLRUShard[K, V](per)
 	}
 	return s
 }
 
 func (s *shardedLRU[K, V]) get(k K) (V, bool) {
-	return s.shards[s.hash(k)&(lruShardCount-1)].get(k)
+	v, ok := s.shards[s.hash(k)&(lruShardCount-1)].get(k)
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
 }
 
 func (s *shardedLRU[K, V]) put(k K, v V) {
-	s.shards[s.hash(k)&(lruShardCount-1)].put(k, v)
+	if s.shards[s.hash(k)&(lruShardCount-1)].put(k, v) {
+		s.evictions.Add(1)
+	}
+}
+
+// stats snapshots the cache's counters and occupancy. The counters are
+// read individually, so a snapshot taken under concurrent queries is
+// approximate — fine for diagnostics.
+func (s *shardedLRU[K, V]) stats() CacheStats {
+	st := CacheStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
+	for i := range s.shards {
+		st.Entries += s.shards[i].len()
+		st.Capacity += s.shards[i].cap
+	}
+	return st
 }
 
 // hashID routes int32 OD ids (Fibonacci hashing so sequential ids

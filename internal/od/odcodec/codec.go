@@ -4,22 +4,35 @@
 // serves queries straight from the segment files (Reader) without ever
 // materializing the full index in memory.
 //
-// A snapshot is a directory of four segment files:
+// A snapshot is a directory of five segment files:
 //
 //	manifest.odx  meta record: fingerprint, θtuple, OD count, optional
 //	              persisted filter values, and the size + CRC of every
 //	              data segment. Written last — its presence commits the
 //	              snapshot, so a crashed writer leaves no valid snapshot.
-//	strings.odx   deduplicated string table. Every tuple value, name,
-//	              type and object path is stored once; tuples reference
-//	              strings by payload offset.
-//	ods.odx       one record per OD (string-table refs + varints) with a
-//	              fixed-width offset table for random access by ID.
+//	strings.odx   shared string heap. Every tuple value, name, type and
+//	              object path is stored once; references are varint
+//	              (offset, length) handles into the raw heap, so a
+//	              string that is a substring of an already-stored one
+//	              can share its bytes (the writer dedups exact repeats
+//	              and opportunistically shares prefixes/suffixes with
+//	              the most recently appended string).
+//	ods.odx       one record per OD (string-heap handles + varints)
+//	              with a fixed-width offset table for random access by
+//	              ID.
 //	index.odx     per-type segments: the type's distinct values in
-//	              ascending order, each with its rune length and a
-//	              delta-varint posting list of object IDs, followed by a
-//	              directory with per-type stats and a sparse value index
-//	              for point lookups.
+//	              ascending order, each a string-heap handle with its
+//	              rune length and a delta-varint posting list of object
+//	              IDs, followed by a directory with per-type stats and
+//	              a sparse value index for point lookups. Value bytes
+//	              live only in the heap; decoding is lazy per lookup.
+//	neighbor.odx  per-type deletion-neighborhood buckets (the FastSS
+//	              index MemStore builds in memory): for every type
+//	              whose edit budget is 0..2, each deletion variant maps
+//	              to the ordinals of the values it could match. Variants
+//	              are front-coded against their predecessor with sparse
+//	              restart points, so SimilarValues is a handful of point
+//	              lookups instead of a segment scan.
 //
 // A mutated store additionally appends numbered delta segments
 // (delta-NNNNNNNN.odx, see delta.go) carrying post-Finalize
@@ -50,15 +63,27 @@ import (
 	"math"
 )
 
-// Version is the on-disk format version. Readers reject any other
-// version: the format is allowed to change incompatibly between
-// versions because snapshots are rebuildable caches, not archives.
+// Version is the on-disk format version new snapshots are written at.
+// Readers accept MinReadVersion through Version and reject anything
+// newer: a snapshot written by a future binary is refused rather than
+// misdecoded, and a rebuild is always possible because snapshots are
+// rebuildable caches, not archives.
 // Version 2 added the manifest's delta watermark and the append-only
 // delta segments that carry post-Finalize mutations; version 3 added
 // the manifest's tombstone list (IDs removed but still occupying their
 // slot, written by the in-place merge of a mutated DiskStore) and the
-// federation manifest of partitioned snapshots.
-const Version = 3
+// federation manifest of partitioned snapshots; version 4 turned the
+// string table into a raw shared heap addressed by (offset, length)
+// handles, moved index value bytes into that heap, and added the
+// persisted deletion-neighborhood segment (neighbor.odx) with a
+// fourth manifest stamp.
+const (
+	Version = 4
+	// MinReadVersion is the oldest snapshot version this binary still
+	// reads. Version-3 snapshots open scan-only (no neighbor segment);
+	// od.Save rewrites them at the current version.
+	MinReadVersion = 3
+)
 
 // Segment kinds, one per file.
 const (
@@ -68,16 +93,28 @@ const (
 	kindIndex      = 4
 	kindDelta      = 5
 	kindFederation = 6
+	kindNeighbor   = 7
 )
 
 // Segment file names within a snapshot directory. Delta segments are
-// numbered delta-NNNNNNNN.odx; see DeltaFile.
+// numbered delta-NNNNNNNN.odx; see DeltaFile. NeighborFile exists only
+// in version >= 4 snapshots.
 const (
 	ManifestFile = "manifest.odx"
 	StringsFile  = "strings.odx"
 	ODsFile      = "ods.odx"
 	IndexFile    = "index.odx"
+	NeighborFile = "neighbor.odx"
 )
+
+// numSegments returns how many stamped data segments a snapshot of the
+// given version has.
+func numSegments(version byte) int {
+	if version >= 4 {
+		return 4
+	}
+	return 3
+}
 
 const (
 	headerSize = 8
@@ -289,28 +326,37 @@ func budgetToWire(budget int) uint64 { return uint64(budget + 1) }
 func budgetFromWire(v uint64) int { return int(v) - 1 }
 
 // verifyFraming checks a segment file's header and trailing magic and
-// returns the payload size. The CRC itself is verified separately
-// (streamed for data segments, in-memory for the manifest).
-func verifyFraming(file string, size int64, header []byte, kind byte) (int64, error) {
+// returns the payload size and the header's format version. The CRC
+// itself is verified separately (streamed for data segments, in-memory
+// for the manifest). wantVersion pins the exact version the caller
+// expects (every data segment must match its manifest); 0 accepts any
+// version in [MinReadVersion, Version] — used for the manifest itself
+// and for standalone files (deltas, federation manifests) whose
+// payload layout is version-independent.
+func verifyFraming(file string, size int64, header []byte, kind, wantVersion byte) (int64, byte, error) {
 	if size < headerSize+footerSize {
-		return 0, corrupt(file, "file too short (%d bytes)", size)
+		return 0, 0, corrupt(file, "file too short (%d bytes)", size)
 	}
 	if [4]byte(header[:4]) != magic {
-		return 0, corrupt(file, "bad magic %q", header[:4])
+		return 0, 0, corrupt(file, "bad magic %q", header[:4])
 	}
-	if header[4] != Version {
-		return 0, corrupt(file, "unsupported format version %d (want %d)", header[4], Version)
+	v := header[4]
+	if v < MinReadVersion || v > Version {
+		return 0, 0, corrupt(file, "unsupported format version %d (this binary reads %d..%d)", v, MinReadVersion, Version)
+	}
+	if wantVersion != 0 && v != wantVersion {
+		return 0, 0, corrupt(file, "format version %d, manifest expects %d", v, wantVersion)
 	}
 	if header[5] != kind {
-		return 0, corrupt(file, "segment kind %d, want %d", header[5], kind)
+		return 0, 0, corrupt(file, "segment kind %d, want %d", header[5], kind)
 	}
-	return size - headerSize - footerSize, nil
+	return size - headerSize - footerSize, v, nil
 }
 
-func newHeader(kind byte) []byte {
+func newHeader(kind, version byte) []byte {
 	h := make([]byte, headerSize)
 	copy(h, magic[:])
-	h[4] = Version
+	h[4] = version
 	h[5] = kind
 	return h
 }
@@ -333,23 +379,24 @@ func checkFooter(file string, footer []byte, wantCRC uint32) error {
 }
 
 // readFramedFile loads an entire segment file, verifies framing and CRC,
-// and returns the payload. Used for the small manifest; data segments
-// are verified streaming and then served by offset.
-func readFramedFile(path, name string, kind byte, r io.ReaderAt, size int64) ([]byte, error) {
+// and returns the payload and header version. Used for the small
+// manifest; data segments are verified streaming and then served by
+// offset.
+func readFramedFile(path, name string, kind byte, r io.ReaderAt, size int64) ([]byte, byte, error) {
 	if size < headerSize+footerSize {
-		return nil, corrupt(name, "file too short (%d bytes)", size)
+		return nil, 0, corrupt(name, "file too short (%d bytes)", size)
 	}
 	buf := make([]byte, size)
 	if _, err := r.ReadAt(buf, 0); err != nil {
-		return nil, fmt.Errorf("odcodec: read %s: %w", path, err)
+		return nil, 0, fmt.Errorf("odcodec: read %s: %w", path, err)
 	}
-	payloadLen, err := verifyFraming(name, size, buf[:headerSize], kind)
+	payloadLen, version, err := verifyFraming(name, size, buf[:headerSize], kind, 0)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	crc := crc32.Checksum(buf[:headerSize+payloadLen], crcTable)
 	if err := checkFooter(name, buf[headerSize+payloadLen:], crc); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return buf[headerSize : headerSize+payloadLen], nil
+	return buf[headerSize : headerSize+payloadLen], version, nil
 }

@@ -89,7 +89,7 @@ func WriteDelta(dir string, d Delta) error {
 		}
 	}
 
-	h := newHeader(kindDelta)
+	h := newHeader(kindDelta, Version)
 	crc := crc32.Update(0, crcTable, h)
 	crc = crc32.Update(crc, crcTable, b)
 	out := append(h, b...)
@@ -187,7 +187,11 @@ func readDelta(dir string, seq uint64) (Delta, error) {
 	if st.Size() > 1<<32 {
 		return Delta{}, corrupt(name, "implausible delta size %d", st.Size())
 	}
-	payload, err := readFramedFile(path, name, kindDelta, f, st.Size())
+	// The delta payload layout is identical across the supported
+	// versions, so any readable header version is accepted — a version-3
+	// base snapshot can replay deltas written by this binary and vice
+	// versa.
+	payload, _, err := readFramedFile(path, name, kindDelta, f, st.Size())
 	if err != nil {
 		return Delta{}, err
 	}

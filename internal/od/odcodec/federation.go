@@ -70,7 +70,7 @@ func WriteFederation(dir string, f Federation) error {
 		b = appendString(b, fp)
 	}
 
-	h := newHeader(kindFederation)
+	h := newHeader(kindFederation, Version)
 	crc := crc32.Update(0, crcTable, h)
 	crc = crc32.Update(crc, crcTable, b)
 	out := append(h, b...)
@@ -119,7 +119,7 @@ func ReadFederation(dir string) (Federation, error) {
 	if st.Size() > 1<<30 {
 		return f, corrupt(FederationFile, "implausible manifest size %d", st.Size())
 	}
-	payload, err := readFramedFile(path, FederationFile, kindFederation, fl, st.Size())
+	payload, _, err := readFramedFile(path, FederationFile, kindFederation, fl, st.Size())
 	if err != nil {
 		return f, err
 	}

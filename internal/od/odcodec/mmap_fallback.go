@@ -1,0 +1,17 @@
+//go:build !unix
+
+package odcodec
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile on platforms without a wired-up mmap syscall always fails;
+// MmapAuto then falls back to positioned reads and MmapOn reports the
+// error to the caller.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.New("memory mapping not supported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,24 @@
+//go:build unix
+
+package odcodec
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole segment file read-only. The mapping is
+// shared, so the bytes live in the OS page cache — concurrent readers
+// of the same snapshot share one physical copy and eviction is the
+// kernel's problem, not the application's.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || int64(int(size)) != size {
+		return nil, fmt.Errorf("unmappable segment size %d", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

@@ -2,6 +2,7 @@ package odcodec
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -11,23 +12,71 @@ import (
 	"sort"
 )
 
-// Reader serves a committed snapshot directly from its segment files.
-// All methods are safe for concurrent use: every read is a positioned
-// ReadAt, no seek state is shared. The reader keeps only the manifest,
-// the index directory and the sparse value index in memory — posting
-// lists, value tables and OD records stay on disk until queried.
-type Reader struct {
-	dir  string
-	meta Meta
+// MmapMode selects how segment files are accessed.
+type MmapMode int
 
-	strings *segReader
-	ods     *segReader
-	index   *segReader
+const (
+	// MmapAuto memory-maps the segments when the platform supports it
+	// and silently falls back to positioned reads when it does not.
+	MmapAuto MmapMode = iota
+	// MmapOn requires memory mapping; Open fails where it is
+	// unavailable.
+	MmapOn
+	// MmapOff forces positioned reads (pread), the portable path.
+	MmapOff
+)
+
+func (m MmapMode) String() string {
+	switch m {
+	case MmapOn:
+		return "on"
+	case MmapOff:
+		return "off"
+	default:
+		return "auto"
+	}
+}
+
+// ParseMmapMode parses the auto|on|off spelling used by CLI flags.
+func ParseMmapMode(s string) (MmapMode, error) {
+	switch s {
+	case "auto":
+		return MmapAuto, nil
+	case "on":
+		return MmapOn, nil
+	case "off":
+		return MmapOff, nil
+	}
+	return MmapAuto, fmt.Errorf("odcodec: unknown mmap mode %q (want auto, on or off)", s)
+}
+
+// OpenOptions configures OpenWith.
+type OpenOptions struct {
+	Mmap MmapMode
+}
+
+// Reader serves a committed snapshot directly from its segment files.
+// All methods are safe for concurrent use: every read is either a
+// positioned ReadAt or a slice of the read-only mapping, no seek state
+// is shared. The reader keeps only the manifest, the index directories
+// and the sparse value indexes in memory — posting lists, value tables,
+// neighbor buckets and OD records stay on disk until queried (and, when
+// mapped, are cached by the OS page cache rather than the application).
+type Reader struct {
+	dir     string
+	meta    Meta
+	version byte
+
+	strings  *segReader
+	ods      *segReader
+	index    *segReader
+	neighbor *segReader // nil for version-3 snapshots
 
 	odTableOff int64 // payload offset of the OD offset table
 
 	typeList []TypeMeta
 	typeDirs map[string]*typeDir
+	nbrDirs  map[string]*nbrDir
 }
 
 // typeDir is one type's in-memory directory entry.
@@ -38,23 +87,46 @@ type typeDir struct {
 	sparse []sparseRef
 }
 
-// segReader is one verified segment file.
+// nbrDir is one type's neighbor-segment directory entry.
+type nbrDir struct {
+	budget     int
+	numBuckets int
+	segOff     int64
+	segLen     int64
+	sparse     []sparseRef
+}
+
+// segReader is one verified segment file: a read-only mapping when
+// mmapped, a bare file served by pread otherwise.
 type segReader struct {
 	name       string
 	f          *os.File
+	data       []byte // whole file when mapped, nil in pread mode
 	payloadLen int64
 }
 
-// Open validates and opens the snapshot in dir. It returns ErrNoSnapshot
-// when no manifest exists and a *CorruptError when any segment fails
-// framing, size or checksum verification — a snapshot is either fully
-// intact or rejected.
+// Open validates and opens the snapshot in dir with default options
+// (mmap when available). It returns ErrNoSnapshot when no manifest
+// exists and a *CorruptError when any segment fails framing, size or
+// checksum verification — a snapshot is either fully intact or
+// rejected.
 func Open(dir string) (*Reader, error) {
-	meta, stamps, err := readManifest(dir)
+	return OpenWith(dir, OpenOptions{})
+}
+
+// OpenWith is Open with explicit access-mode options.
+func OpenWith(dir string, opts OpenOptions) (*Reader, error) {
+	meta, stamps, version, err := readManifest(dir)
 	if err != nil {
 		return nil, err
 	}
-	r := &Reader{dir: dir, meta: meta, typeDirs: map[string]*typeDir{}}
+	r := &Reader{
+		dir:      dir,
+		meta:     meta,
+		version:  version,
+		typeDirs: map[string]*typeDir{},
+		nbrDirs:  map[string]*nbrDir{},
+	}
 	files := []struct {
 		name string
 		kind byte
@@ -64,8 +136,15 @@ func Open(dir string) (*Reader, error) {
 		{ODsFile, kindODs, &r.ods},
 		{IndexFile, kindIndex, &r.index},
 	}
+	if version >= 4 {
+		files = append(files, struct {
+			name string
+			kind byte
+			dst  **segReader
+		}{NeighborFile, kindNeighbor, &r.neighbor})
+	}
 	for i, fl := range files {
-		sr, err := openSegment(filepath.Join(dir, fl.name), fl.name, fl.kind, stamps[i])
+		sr, err := openSegment(filepath.Join(dir, fl.name), fl.name, fl.kind, stamps[i], version, opts.Mmap)
 		if err != nil {
 			r.Close()
 			return nil, err
@@ -80,20 +159,32 @@ func Open(dir string) (*Reader, error) {
 		r.Close()
 		return nil, err
 	}
+	if err := r.loadNeighborDir(); err != nil {
+		r.Close()
+		return nil, err
+	}
 	return r, nil
 }
 
-// Close releases the segment file handles.
+// Close releases the segment mappings and file handles.
 func (r *Reader) Close() error {
 	var first error
-	for _, sr := range []*segReader{r.strings, r.ods, r.index} {
-		if sr == nil || sr.f == nil {
+	for _, sr := range []*segReader{r.strings, r.ods, r.index, r.neighbor} {
+		if sr == nil {
 			continue
 		}
-		if err := sr.f.Close(); err != nil && first == nil {
-			first = err
+		if sr.data != nil {
+			if err := munmapFile(sr.data); err != nil && first == nil {
+				first = err
+			}
+			sr.data = nil
 		}
-		sr.f = nil
+		if sr.f != nil {
+			if err := sr.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sr.f = nil
+		}
 	}
 	return first
 }
@@ -103,6 +194,13 @@ func (r *Reader) Meta() Meta { return r.meta }
 
 // NumODs returns the object count.
 func (r *Reader) NumODs() int { return r.meta.NumODs }
+
+// Version returns the snapshot's on-disk format version.
+func (r *Reader) Version() int { return int(r.version) }
+
+// MmapActive reports whether the segments are served from a memory
+// mapping (false: positioned reads).
+func (r *Reader) MmapActive() bool { return r.strings != nil && r.strings.data != nil }
 
 // Types lists the per-type index segments in ascending name order.
 func (r *Reader) Types() []TypeMeta { return r.typeList }
@@ -130,12 +228,12 @@ func (r *Reader) OD(id int32) (object string, source int32, tuples []Tuple, err 
 	if start < 0 || end < start || end > r.odTableOff {
 		return "", 0, nil, corrupt(ODsFile, "record %d spans [%d,%d) outside payload", id, start, end)
 	}
-	buf := make([]byte, end-start)
-	if err := r.ods.readAt(buf, start); err != nil {
+	buf, err := r.ods.bytesAt(start, end-start)
+	if err != nil {
 		return "", 0, nil, err
 	}
 	br := &byteReader{buf: buf, file: ODsFile}
-	objRef, err := br.uvarint()
+	object, err = r.readHandle(br)
 	if err != nil {
 		return "", 0, nil, err
 	}
@@ -147,25 +245,15 @@ func (r *Reader) OD(id int32) (object string, source int32, tuples []Tuple, err 
 	if err != nil {
 		return "", 0, nil, err
 	}
-	object, err = r.stringAt(objRef)
-	if err != nil {
-		return "", 0, nil, err
-	}
 	tuples = make([]Tuple, n)
 	for i := 0; i < n; i++ {
-		var refs [3]uint64
-		for j := range refs {
-			if refs[j], err = br.uvarint(); err != nil {
-				return "", 0, nil, err
-			}
-		}
-		if tuples[i].Value, err = r.stringAt(refs[0]); err != nil {
+		if tuples[i].Value, err = r.readHandle(br); err != nil {
 			return "", 0, nil, err
 		}
-		if tuples[i].Name, err = r.stringAt(refs[1]); err != nil {
+		if tuples[i].Name, err = r.readHandle(br); err != nil {
 			return "", 0, nil, err
 		}
-		if tuples[i].Type, err = r.stringAt(refs[2]); err != nil {
+		if tuples[i].Type, err = r.readHandle(br); err != nil {
 			return "", 0, nil, err
 		}
 	}
@@ -219,28 +307,58 @@ func (r *Reader) ScanType(typ string, fn func(value string, runeLen int, posting
 // scanRange decodes value entries in [startOff, endOff) of the index
 // payload sequentially.
 func (r *Reader) scanRange(td *typeDir, startOff, endOff int64, fn func(string, int, func() ([]int32, error)) (bool, error)) error {
-	sec := io.NewSectionReader(r.index.f, headerSize+startOff, endOff-startOff)
-	br := bufio.NewReaderSize(sec, 1<<16)
+	var br interface {
+		io.ByteReader
+		io.Reader
+	}
+	if r.index.data != nil {
+		seg, err := r.index.bytesAt(startOff, endOff-startOff)
+		if err != nil {
+			return err
+		}
+		br = bytes.NewReader(seg)
+	} else {
+		sec := io.NewSectionReader(r.index.f, headerSize+startOff, endOff-startOff)
+		br = bufio.NewReaderSize(sec, 1<<16)
+	}
 	var scratch []byte
 	for {
-		vlen, err := binary.ReadUvarint(br)
-		if err == io.EOF {
-			return nil
+		var value string
+		if r.version >= 4 {
+			vOff, err := binary.ReadUvarint(br)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return corrupt(IndexFile, "type %q: bad value handle: %v", td.meta.Name, err)
+			}
+			vLen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return corrupt(IndexFile, "type %q: bad value handle length: %v", td.meta.Name, err)
+			}
+			if value, err = r.stringRange(vOff, vLen); err != nil {
+				return err
+			}
+		} else {
+			vlen, err := binary.ReadUvarint(br)
+			if err == io.EOF {
+				return nil
+			}
+			if err != nil {
+				return corrupt(IndexFile, "type %q: bad value length: %v", td.meta.Name, err)
+			}
+			if vlen > maxStringLen {
+				return corrupt(IndexFile, "type %q: value length %d exceeds limit", td.meta.Name, vlen)
+			}
+			if cap(scratch) < int(vlen) {
+				scratch = make([]byte, vlen)
+			}
+			vb := scratch[:vlen]
+			if _, err := io.ReadFull(br, vb); err != nil {
+				return corrupt(IndexFile, "type %q: truncated value: %v", td.meta.Name, err)
+			}
+			value = string(vb)
 		}
-		if err != nil {
-			return corrupt(IndexFile, "type %q: bad value length: %v", td.meta.Name, err)
-		}
-		if vlen > maxStringLen {
-			return corrupt(IndexFile, "type %q: value length %d exceeds limit", td.meta.Name, vlen)
-		}
-		if cap(scratch) < int(vlen) {
-			scratch = make([]byte, vlen)
-		}
-		vb := scratch[:vlen]
-		if _, err := io.ReadFull(br, vb); err != nil {
-			return corrupt(IndexFile, "type %q: truncated value: %v", td.meta.Name, err)
-		}
-		value := string(vb)
 		rl, err := binary.ReadUvarint(br)
 		if err != nil {
 			return corrupt(IndexFile, "type %q: bad rune length: %v", td.meta.Name, err)
@@ -274,7 +392,156 @@ func (r *Reader) scanRange(td *typeDir, startOff, endOff int64, fn func(string, 
 	}
 }
 
-// stringAt reads one string-table entry by payload offset.
+// ValueAt returns one type's value by ordinal (its position in the
+// ascending value order), with its rune length and posting list. Cost
+// is bounded by one sparse block: the block holding the ordinal is
+// located through the sparse directory and decoded up to the target.
+// This is the random-access half of the persisted neighbor index, whose
+// buckets store value ordinals.
+func (r *Reader) ValueAt(typ string, ordinal int32) (value string, runeLen int, objects []int32, err error) {
+	td := r.typeDirs[typ]
+	if td == nil {
+		return "", 0, nil, corrupt(IndexFile, "ValueAt on unknown type %q", typ)
+	}
+	if ordinal < 0 || int(ordinal) >= td.meta.NumValues {
+		return "", 0, nil, corrupt(IndexFile, "type %q ordinal %d outside [0,%d)", typ, ordinal, td.meta.NumValues)
+	}
+	blk := int(ordinal) / sparseEvery
+	if blk >= len(td.sparse) {
+		return "", 0, nil, corrupt(IndexFile, "type %q: sparse directory too short for ordinal %d", typ, ordinal)
+	}
+	startOff := td.segOff + int64(td.sparse[blk].off)
+	endOff := td.segOff + td.segLen
+	if blk+1 < len(td.sparse) {
+		endOff = td.segOff + int64(td.sparse[blk+1].off)
+	}
+	skip := int(ordinal) % sparseEvery
+	found := false
+	err = r.scanRange(td, startOff, endOff, func(v string, rl int, postings func() ([]int32, error)) (bool, error) {
+		if skip > 0 {
+			skip--
+			return false, nil
+		}
+		found = true
+		value, runeLen = v, rl
+		var perr error
+		objects, perr = postings()
+		return true, perr
+	})
+	if err == nil && !found {
+		return "", 0, nil, corrupt(IndexFile, "type %q: block ended before ordinal %d", typ, ordinal)
+	}
+	return value, runeLen, objects, err
+}
+
+// HasNeighbors reports whether the snapshot persists a deletion-
+// neighborhood index for the type (version >= 4 and an edit budget of
+// 0..2 at write time).
+func (r *Reader) HasNeighbors(typ string) bool {
+	_, ok := r.nbrDirs[typ]
+	return ok
+}
+
+// NeighborLookup returns the value ordinals bucketed under one deletion
+// variant, or nil when the type has no neighbor index or the variant no
+// bucket. Candidates are unverified — callers re-check the edit
+// distance exactly as with the in-memory index.
+func (r *Reader) NeighborLookup(typ, variant string) ([]int32, error) {
+	nd := r.nbrDirs[typ]
+	if nd == nil || len(nd.sparse) == 0 {
+		return nil, nil
+	}
+	// Last sparse entry with variant <= query.
+	i := sort.Search(len(nd.sparse), func(i int) bool { return nd.sparse[i].value > variant }) - 1
+	if i < 0 {
+		return nil, nil
+	}
+	startOff := nd.segOff + int64(nd.sparse[i].off)
+	endOff := nd.segOff + nd.segLen
+	if i+1 < len(nd.sparse) {
+		endOff = nd.segOff + int64(nd.sparse[i+1].off)
+	}
+	buf, err := r.neighbor.bytesAt(startOff, endOff-startOff)
+	if err != nil {
+		return nil, err
+	}
+	br := &byteReader{buf: buf, file: NeighborFile}
+	prev := ""
+	for j := 0; br.pos < len(br.buf); j++ {
+		var cur string
+		if j == 0 {
+			// Block restart: full variant.
+			if cur, err = br.str(); err != nil {
+				return nil, err
+			}
+		} else {
+			p, err := br.count(len(prev))
+			if err != nil {
+				return nil, corrupt(NeighborFile, "bad front-coded prefix length: %v", err)
+			}
+			rest, err := br.str()
+			if err != nil {
+				return nil, err
+			}
+			cur = prev[:p] + rest
+		}
+		prev = cur
+		nOrds, err := br.count(maxCount)
+		if err != nil {
+			return nil, err
+		}
+		if cur > variant {
+			return nil, nil
+		}
+		ords, err := decodePostings(br, nOrds)
+		if err != nil {
+			return nil, err
+		}
+		if cur == variant {
+			return ords, nil
+		}
+	}
+	return nil, nil
+}
+
+// readHandle decodes a string-heap reference at the reader's version: a
+// single record offset for version 3, an (offset, length) pair for
+// version 4.
+func (r *Reader) readHandle(br *byteReader) (string, error) {
+	off, err := br.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if r.version >= 4 {
+		n, err := br.uvarint()
+		if err != nil {
+			return "", err
+		}
+		return r.stringRange(off, n)
+	}
+	return r.stringAt(off)
+}
+
+// stringRange reads n raw heap bytes at payload offset off (version 4).
+func (r *Reader) stringRange(off, n uint64) (string, error) {
+	if n > maxStringLen {
+		return "", corrupt(StringsFile, "string length %d exceeds limit", n)
+	}
+	if off+n < off || int64(off+n) > r.strings.payloadLen {
+		return "", corrupt(StringsFile, "string handle [%d,+%d) beyond payload %d", off, n, r.strings.payloadLen)
+	}
+	if n == 0 {
+		return "", nil
+	}
+	b, err := r.strings.bytesAt(int64(off), int64(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// stringAt reads one length-prefixed string-table entry by payload
+// offset (legacy version 3).
 func (r *Reader) stringAt(ref uint64) (string, error) {
 	if int64(ref) >= r.strings.payloadLen {
 		return "", corrupt(StringsFile, "string ref %d beyond payload %d", ref, r.strings.payloadLen)
@@ -333,8 +600,8 @@ func (r *Reader) loadIndexDir() error {
 	if dirOff < 0 || dirOff > r.index.payloadLen-8 {
 		return corrupt(IndexFile, "directory offset %d outside payload", dirOff)
 	}
-	buf := make([]byte, r.index.payloadLen-8-dirOff)
-	if err := r.index.readAt(buf, dirOff); err != nil {
+	buf, err := r.index.bytesAt(dirOff, r.index.payloadLen-8-dirOff)
+	if err != nil {
 		return err
 	}
 	br := &byteReader{buf: buf, file: IndexFile}
@@ -392,19 +659,130 @@ func (r *Reader) loadIndexDir() error {
 	return nil
 }
 
+// loadNeighborDir reads the neighbor segment's per-type directory and
+// cross-checks it against the index directory (version >= 4 only).
+func (r *Reader) loadNeighborDir() error {
+	if r.neighbor == nil {
+		return nil
+	}
+	if r.neighbor.payloadLen < 8 {
+		return corrupt(NeighborFile, "payload too short for directory offset")
+	}
+	var tail [8]byte
+	if err := r.neighbor.readAt(tail[:], r.neighbor.payloadLen-8); err != nil {
+		return err
+	}
+	dirOff := int64(binary.LittleEndian.Uint64(tail[:]))
+	if dirOff < 0 || dirOff > r.neighbor.payloadLen-8 {
+		return corrupt(NeighborFile, "directory offset %d outside payload", dirOff)
+	}
+	buf, err := r.neighbor.bytesAt(dirOff, r.neighbor.payloadLen-8-dirOff)
+	if err != nil {
+		return err
+	}
+	br := &byteReader{buf: buf, file: NeighborFile}
+	nTypes, err := br.count(maxCount)
+	if err != nil {
+		return err
+	}
+	prev := ""
+	for i := 0; i < nTypes; i++ {
+		name, err := br.str()
+		if err != nil {
+			return err
+		}
+		if i > 0 && name <= prev {
+			return corrupt(NeighborFile, "type directory not in ascending order at %q", name)
+		}
+		prev = name
+		td := r.typeDirs[name]
+		if td == nil {
+			return corrupt(NeighborFile, "neighbor index for unknown type %q", name)
+		}
+		nd := &nbrDir{}
+		fields := make([]uint64, 4)
+		for j := range fields {
+			if fields[j], err = br.uvarint(); err != nil {
+				return err
+			}
+		}
+		nd.budget = budgetFromWire(fields[0])
+		nd.numBuckets = int(fields[1])
+		nd.segOff, nd.segLen = int64(fields[2]), int64(fields[3])
+		if nd.budget != td.meta.Budget {
+			return corrupt(NeighborFile, "type %q: neighbor budget %d does not match index budget %d", name, nd.budget, td.meta.Budget)
+		}
+		if nd.segOff < 0 || nd.segLen < 0 || nd.segOff+nd.segLen > dirOff {
+			return corrupt(NeighborFile, "type %q segment [%d,+%d) outside data area", name, nd.segOff, nd.segLen)
+		}
+		nSparse, err := br.count(maxCount)
+		if err != nil {
+			return err
+		}
+		if want := (nd.numBuckets + sparseEvery - 1) / sparseEvery; nSparse != want {
+			return corrupt(NeighborFile, "type %q: %d sparse entries for %d buckets", name, nSparse, nd.numBuckets)
+		}
+		nd.sparse = make([]sparseRef, nSparse)
+		for j := 0; j < nSparse; j++ {
+			if nd.sparse[j].value, err = br.str(); err != nil {
+				return err
+			}
+			off, err := br.uvarint()
+			if err != nil {
+				return err
+			}
+			if int64(off) > nd.segLen {
+				return corrupt(NeighborFile, "type %q sparse entry beyond segment", name)
+			}
+			nd.sparse[j].off = off
+		}
+		r.nbrDirs[name] = nd
+	}
+	if br.pos != len(br.buf) {
+		return corrupt(NeighborFile, "%d trailing bytes after type directory", len(br.buf)-br.pos)
+	}
+	return nil
+}
+
 // readAt reads exactly len(b) payload bytes starting at payload offset
 // off.
 func (s *segReader) readAt(b []byte, off int64) error {
+	if s.data != nil {
+		src, err := s.bytesAt(off, int64(len(b)))
+		if err != nil {
+			return err
+		}
+		copy(b, src)
+		return nil
+	}
 	if _, err := s.f.ReadAt(b, headerSize+off); err != nil {
 		return corrupt(s.name, "read %d bytes at %d: %v", len(b), off, err)
 	}
 	return nil
 }
 
+// bytesAt returns n payload bytes at payload offset off: a zero-copy
+// subslice of the mapping when mapped, a fresh buffer otherwise. The
+// returned slice must not be modified.
+func (s *segReader) bytesAt(off, n int64) ([]byte, error) {
+	if off < 0 || n < 0 || off+n > s.payloadLen {
+		return nil, corrupt(s.name, "range [%d,+%d) outside payload %d", off, n, s.payloadLen)
+	}
+	if s.data != nil {
+		return s.data[headerSize+off : headerSize+off+n : headerSize+off+n], nil
+	}
+	buf := make([]byte, n)
+	if _, err := s.f.ReadAt(buf, headerSize+off); err != nil {
+		return nil, corrupt(s.name, "read %d bytes at %d: %v", n, off, err)
+	}
+	return buf, nil
+}
+
 // openSegment opens and fully verifies one data segment: the file size
-// and CRC must match the manifest's stamp and the framing must be
-// intact.
-func openSegment(path, name string, kind byte, stamp segmentStamp) (*segReader, error) {
+// and CRC must match the manifest's stamp, the header version must
+// match the manifest's, and the framing must be intact. mode selects
+// mmap vs pread access.
+func openSegment(path, name string, kind byte, stamp segmentStamp, version byte, mode MmapMode) (*segReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -426,119 +804,146 @@ func openSegment(path, name string, kind byte, stamp segmentStamp) (*segReader, 
 		f.Close()
 		return nil, corrupt(name, "short header: %v", err)
 	}
-	payloadLen, err := verifyFraming(name, st.Size(), header, kind)
+	payloadLen, _, err := verifyFraming(name, st.Size(), header, kind, version)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	// Stream the CRC over header + payload, then check the footer and
-	// the manifest stamp.
-	crc := uint32(0)
-	br := bufio.NewReaderSize(io.NewSectionReader(f, 0, headerSize+payloadLen), 1<<16)
-	chunk := make([]byte, 1<<16)
-	for {
-		n, err := br.Read(chunk)
-		crc = crc32.Update(crc, crcTable, chunk[:n])
-		if err == io.EOF {
-			break
-		}
+	var data []byte
+	if mode != MmapOff {
+		data, err = mmapFile(f, st.Size())
 		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("odcodec: read %s: %w", path, err)
+			if mode == MmapOn {
+				f.Close()
+				return nil, fmt.Errorf("odcodec: mmap %s: %w", path, err)
+			}
+			data = nil // auto: fall back to pread
+		}
+	}
+	// Verify the CRC over header + payload — straight over the mapping
+	// when mapped, streamed otherwise — then check the footer and the
+	// manifest stamp.
+	var crc uint32
+	if data != nil {
+		crc = crc32.Checksum(data[:headerSize+payloadLen], crcTable)
+	} else {
+		br := bufio.NewReaderSize(io.NewSectionReader(f, 0, headerSize+payloadLen), 1<<16)
+		chunk := make([]byte, 1<<16)
+		for {
+			n, err := br.Read(chunk)
+			crc = crc32.Update(crc, crcTable, chunk[:n])
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				munmapIfSet(data)
+				f.Close()
+				return nil, fmt.Errorf("odcodec: read %s: %w", path, err)
+			}
 		}
 	}
 	footer := make([]byte, footerSize)
 	if _, err := f.ReadAt(footer, headerSize+payloadLen); err != nil {
+		munmapIfSet(data)
 		f.Close()
 		return nil, corrupt(name, "short footer: %v", err)
 	}
 	if err := checkFooter(name, footer, crc); err != nil {
+		munmapIfSet(data)
 		f.Close()
 		return nil, err
 	}
 	if crc != stamp.crc {
+		munmapIfSet(data)
 		f.Close()
 		return nil, corrupt(name, "checksum %08x does not match manifest stamp %08x", crc, stamp.crc)
 	}
-	return &segReader{name: name, f: f, payloadLen: payloadLen}, nil
+	return &segReader{name: name, f: f, data: data, payloadLen: payloadLen}, nil
 }
 
-// readManifest loads and verifies the manifest of a snapshot directory.
-func readManifest(dir string) (Meta, [3]segmentStamp, error) {
+func munmapIfSet(data []byte) {
+	if data != nil {
+		munmapFile(data)
+	}
+}
+
+// readManifest loads and verifies the manifest of a snapshot directory,
+// returning its record, segment stamps and format version.
+func readManifest(dir string) (Meta, []segmentStamp, byte, error) {
 	var meta Meta
-	var stamps [3]segmentStamp
 	path := filepath.Join(dir, ManifestFile)
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return meta, stamps, ErrNoSnapshot
+			return meta, nil, 0, ErrNoSnapshot
 		}
-		return meta, stamps, fmt.Errorf("odcodec: %w", err)
+		return meta, nil, 0, fmt.Errorf("odcodec: %w", err)
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
-		return meta, stamps, fmt.Errorf("odcodec: %w", err)
+		return meta, nil, 0, fmt.Errorf("odcodec: %w", err)
 	}
 	if st.Size() > 1<<30 {
-		return meta, stamps, corrupt(ManifestFile, "implausible manifest size %d", st.Size())
+		return meta, nil, 0, corrupt(ManifestFile, "implausible manifest size %d", st.Size())
 	}
-	payload, err := readFramedFile(path, ManifestFile, kindManifest, f, st.Size())
+	payload, version, err := readFramedFile(path, ManifestFile, kindManifest, f, st.Size())
 	if err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	br := &byteReader{buf: payload, file: ManifestFile}
 	if meta.Fingerprint, err = br.str(); err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	if meta.Theta, err = br.float64(); err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	n, err := br.count(maxCount)
 	if err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	meta.NumODs = n
 	if meta.DeltaSeq, err = br.uvarint(); err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	nTomb, err := br.count(maxCount)
 	if err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	if meta.Tombstones, err = decodePostings(br, nTomb); err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	for i, id := range meta.Tombstones {
 		if int(id) >= meta.NumODs {
-			return meta, stamps, corrupt(ManifestFile, "tombstone %d outside [0,%d)", id, meta.NumODs)
+			return meta, nil, 0, corrupt(ManifestFile, "tombstone %d outside [0,%d)", id, meta.NumODs)
 		}
 		if i > 0 && id <= meta.Tombstones[i-1] {
-			return meta, stamps, corrupt(ManifestFile, "tombstones not strictly ascending at %d", id)
+			return meta, nil, 0, corrupt(ManifestFile, "tombstones not strictly ascending at %d", id)
 		}
 	}
 	fv, err := br.count(maxCount)
 	if err != nil {
-		return meta, stamps, err
+		return meta, nil, 0, err
 	}
 	if fv > 0 {
 		if fv-1 != meta.NumODs {
-			return meta, stamps, corrupt(ManifestFile, "%d filter values for %d ODs", fv-1, meta.NumODs)
+			return meta, nil, 0, corrupt(ManifestFile, "%d filter values for %d ODs", fv-1, meta.NumODs)
 		}
 		meta.FilterValues = make([]float64, fv-1)
 		for i := range meta.FilterValues {
 			if meta.FilterValues[i], err = br.float64(); err != nil {
-				return meta, stamps, err
+				return meta, nil, 0, err
 			}
 		}
 	}
+	stamps := make([]segmentStamp, numSegments(version))
 	for i := range stamps {
 		sz, err := br.uvarint()
 		if err != nil {
-			return meta, stamps, err
+			return meta, nil, 0, err
 		}
 		if br.pos+4 > len(br.buf) {
-			return meta, stamps, corrupt(ManifestFile, "truncated segment stamp")
+			return meta, nil, 0, corrupt(ManifestFile, "truncated segment stamp")
 		}
 		stamps[i] = segmentStamp{
 			size: int64(sz),
@@ -547,7 +952,7 @@ func readManifest(dir string) (Meta, [3]segmentStamp, error) {
 		br.pos += 4
 	}
 	if br.pos != len(br.buf) {
-		return meta, stamps, corrupt(ManifestFile, "%d trailing bytes", len(br.buf)-br.pos)
+		return meta, nil, 0, corrupt(ManifestFile, "%d trailing bytes", len(br.buf)-br.pos)
 	}
-	return meta, stamps, nil
+	return meta, stamps, version, nil
 }

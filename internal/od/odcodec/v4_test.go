@@ -1,0 +1,505 @@
+package odcodec
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/strdist"
+)
+
+// TestMmapModes opens the same snapshot in every access mode and
+// asserts the modes only change how bytes are read, never what they
+// decode to. MmapOff is the forced-pread path that exercises the
+// portable fallback on platforms where the mapping would succeed.
+func TestMmapModes(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, "fp-mmap", nil)
+	type answer struct {
+		object string
+		ids    []int32
+		values []string
+	}
+	var answers []answer
+	for _, mode := range []MmapMode{MmapAuto, MmapOn, MmapOff} {
+		t.Run(mode.String(), func(t *testing.T) {
+			r, err := OpenWith(dir, OpenOptions{Mmap: mode})
+			if err != nil {
+				if mode == MmapOn {
+					t.Skipf("mmap unsupported on this platform: %v", err)
+				}
+				t.Fatal(err)
+			}
+			defer r.Close()
+			if mode == MmapOff && r.MmapActive() {
+				t.Fatal("MmapOff still mapped the segments")
+			}
+			obj, _, _, err := r.OD(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids, ok, err := r.LookupValue("ARTIST", "Led Zeppelin")
+			if err != nil || !ok {
+				t.Fatalf("LookupValue = %v/%v/%v", ids, ok, err)
+			}
+			var values []string
+			err = r.ScanType("ARTIST", func(v string, rl int, p func() ([]int32, error)) (bool, error) {
+				values = append(values, v)
+				return false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			answers = append(answers, answer{obj, ids, values})
+			if len(answers) > 1 && !reflect.DeepEqual(answers[0], answers[len(answers)-1]) {
+				t.Fatalf("mode %v answers differ: %+v vs %+v", mode, answers[0], answers[len(answers)-1])
+			}
+		})
+	}
+}
+
+// TestParseMmapMode pins the CLI spelling round-trip.
+func TestParseMmapMode(t *testing.T) {
+	for _, mode := range []MmapMode{MmapAuto, MmapOn, MmapOff} {
+		got, err := ParseMmapMode(mode.String())
+		if err != nil || got != mode {
+			t.Errorf("ParseMmapMode(%q) = %v/%v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseMmapMode("mostly"); err == nil {
+		t.Error("ParseMmapMode accepted garbage")
+	}
+}
+
+// neighborValues is a value table whose neighborhood has real collisions
+// across its two-edit budget.
+var neighborValues = []string{
+	"abba", "abbey road", "animals", "anneals", "beatles", "bettles",
+	"kind of blue", "kind of glue", "kinds of blue", "led zeppelin",
+	"leo zeppelin", "muddy water", "muddy waters", "ok computer",
+	"ok computers", "the wail", "the wall", "the whale", "wish you were here",
+}
+
+// writeNeighborSnapshot persists one type with the given budget over
+// sorted distinct values; posting list i is {i}.
+func writeNeighborSnapshot(t testing.TB, dir string, budget int, values []string) {
+	t.Helper()
+	w, err := NewWriter(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLen := 0
+	for _, v := range values {
+		if l := len([]rune(v)); l > maxLen {
+			maxLen = l
+		}
+	}
+	if err := w.BeginType("T", maxLen, budget); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range values {
+		if err := w.AddValue(v, []int32{int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(Meta{Theta: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNeighborLookupMatchesInMemoryIndex pins the persisted neighbor
+// segment to strdist.NeighborIndex: for every value as a query, the
+// disk candidates (query variants -> buckets, verified) must equal the
+// in-memory index's verified lookup, in both access modes and for every
+// indexable budget.
+func TestNeighborLookupMatchesInMemoryIndex(t *testing.T) {
+	for _, budget := range []int{0, 1, 2} {
+		for _, mode := range []MmapMode{MmapAuto, MmapOff} {
+			t.Run(fmt.Sprintf("budget=%d/mmap=%s", budget, mode), func(t *testing.T) {
+				dir := t.TempDir()
+				writeNeighborSnapshot(t, dir, budget, neighborValues)
+				r, err := OpenWith(dir, OpenOptions{Mmap: mode})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer r.Close()
+				if !r.HasNeighbors("T") {
+					t.Fatal("HasNeighbors = false for an indexable budget")
+				}
+				mem := strdist.NewNeighborIndex(neighborValues, budget)
+				for _, q := range append([]string{"zzz", "kind of", ""}, neighborValues...) {
+					got := diskNeighborLookup(t, r, q, budget)
+					want := append([]int32(nil), mem.Lookup(q, -1)...)
+					sortInt32sTest(want)
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("q=%q: disk %v, mem %v", q, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// diskNeighborLookup mirrors the DiskStore fast path: probe every query
+// variant, dedupe ordinals, verify with the banded edit distance.
+func diskNeighborLookup(t testing.TB, r *Reader, q string, budget int) []int32 {
+	t.Helper()
+	seen := map[int32]bool{}
+	var out []int32
+	for _, variant := range strdist.DeletionVariants(q, budget) {
+		ords, err := r.NeighborLookup("T", variant)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ord := range ords {
+			if seen[ord] {
+				continue
+			}
+			seen[ord] = true
+			v, _, _, err := r.ValueAt("T", ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := strdist.LevenshteinBounded(q, v, budget); ok {
+				out = append(out, ord)
+			}
+		}
+	}
+	sortInt32sTest(out)
+	return out
+}
+
+func sortInt32sTest(ids []int32) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// TestNeighborAbsentForUnindexableBudget: budgets outside 0..2 persist
+// no buckets (matching MemStore, which builds no neighbor index there),
+// but the segment still opens and reports the type unindexed.
+func TestNeighborAbsentForUnindexableBudget(t *testing.T) {
+	for _, budget := range []int{-1, 3} {
+		dir := t.TempDir()
+		writeNeighborSnapshot(t, dir, budget, []string{"aa", "bb"})
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.HasNeighbors("T") {
+			t.Errorf("budget %d: HasNeighbors = true", budget)
+		}
+		if ords, err := r.NeighborLookup("T", "aa"); err != nil || ords != nil {
+			t.Errorf("budget %d: NeighborLookup = %v/%v", budget, ords, err)
+		}
+		r.Close()
+	}
+}
+
+// TestValueAt pins ordinal random access across sparse-block boundaries
+// (>64 values forces multiple blocks) in both access modes.
+func TestValueAt(t *testing.T) {
+	values := make([]string, 150)
+	for i := range values {
+		values[i] = fmt.Sprintf("value-%04d", i)
+	}
+	dir := t.TempDir()
+	writeNeighborSnapshot(t, dir, 1, values)
+	for _, mode := range []MmapMode{MmapAuto, MmapOff} {
+		r, err := OpenWith(dir, OpenOptions{Mmap: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ord := range []int32{0, 1, 63, 64, 65, 127, 128, 149} {
+			v, rl, ids, err := r.ValueAt("T", ord)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v != values[ord] || rl != len([]rune(v)) || !reflect.DeepEqual(ids, []int32{ord}) {
+				t.Errorf("mode %v ValueAt(%d) = %q/%d/%v", mode, ord, v, rl, ids)
+			}
+		}
+		if _, _, _, err := r.ValueAt("T", 150); err == nil {
+			t.Error("ValueAt accepted an out-of-range ordinal")
+		}
+		if _, _, _, err := r.ValueAt("missing", 0); err == nil {
+			t.Error("ValueAt accepted an unknown type")
+		}
+		r.Close()
+	}
+}
+
+// TestNeighborCorruptionRejected byte-flips the neighbor segment like
+// the other segments' corruption suite.
+func TestNeighborCorruptionRejected(t *testing.T) {
+	dir := t.TempDir()
+	writeNeighborSnapshot(t, dir, 2, neighborValues)
+	path := filepath.Join(dir, NeighborFile)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, 4, 5, headerSize, headerSize + 3, len(orig) / 2, len(orig) - 6, len(orig) - 1} {
+		if off < 0 || off >= len(orig) {
+			continue
+		}
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if r, err := Open(dir); err == nil {
+			r.Close()
+			t.Errorf("flip at %d not detected", off)
+		} else if !IsCorrupt(err) {
+			t.Errorf("flip at %d: err = %v, want corruption", off, err)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); !IsCorrupt(err) {
+		t.Fatalf("missing neighbor segment: err = %v, want corruption", err)
+	}
+}
+
+// TestV3SnapshotReadable: the previous on-disk version still opens —
+// scan-only, no neighbor segment on disk or in the reader — and decodes
+// the same content.
+func TestV3SnapshotReadable(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriterVersion(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range sampleODs() {
+		if err := w.AddOD(o.object, o.source, o.tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.BeginType("ARTIST", 12, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AddValue("Led Zeppelin", []int32{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(Meta{Theta: 0.15}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, NeighborFile)); !os.IsNotExist(err) {
+		t.Fatalf("version-3 writer left a neighbor segment (err=%v)", err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Version() != 3 {
+		t.Fatalf("Version() = %d, want 3", r.Version())
+	}
+	if r.HasNeighbors("ARTIST") {
+		t.Fatal("version-3 snapshot reports a neighbor index")
+	}
+	obj, src, tuples, err := r.OD(0)
+	if err != nil || obj != "/db/cd[1]" || src != 0 || len(tuples) != 2 {
+		t.Fatalf("OD(0) = %q/%d/%v/%v", obj, src, tuples, err)
+	}
+	ids, ok, err := r.LookupValue("ARTIST", "Led Zeppelin")
+	if err != nil || !ok || !reflect.DeepEqual(ids, []int32{0, 2}) {
+		t.Fatalf("LookupValue = %v/%v/%v", ids, ok, err)
+	}
+}
+
+// TestFutureVersionRejected: a manifest stamped with a version this
+// binary does not know is refused with a version message, never
+// misdecoded — the same check an old binary applies to snapshots this
+// one writes.
+func TestFutureVersionRejected(t *testing.T) {
+	dir := t.TempDir()
+	h := newHeader(kindManifest, Version+1)
+	payload := []byte("future payload")
+	crc := crc32.Update(0, crcTable, h)
+	crc = crc32.Update(crc, crcTable, payload)
+	out := append(h, payload...)
+	out = append(out, newFooter(crc)...)
+	if err := os.WriteFile(filepath.Join(dir, ManifestFile), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir)
+	if !IsCorrupt(err) || !strings.Contains(err.Error(), "unsupported format version") {
+		t.Fatalf("err = %v, want unsupported-version corruption", err)
+	}
+}
+
+// TestWriterVersionValidated: the writer refuses versions outside the
+// readable window, so a snapshot this binary cannot reopen is never
+// produced.
+func TestWriterVersionValidated(t *testing.T) {
+	for _, v := range []int{0, MinReadVersion - 1, Version + 1} {
+		if _, err := NewWriterVersion(t.TempDir(), v); err == nil {
+			t.Errorf("NewWriterVersion(%d) accepted", v)
+		}
+	}
+}
+
+// TestV4SegmentsSmallerThanV3 pins the structure-sharing win: the same
+// repetitive corpus written at both versions must occupy fewer
+// string/OD/index bytes at version 4 (value bytes live once in the
+// shared heap instead of twice in the string table and the index
+// segment).
+func TestV4SegmentsSmallerThanV3(t *testing.T) {
+	write := func(dir string, version int) {
+		w, err := NewWriterVersion(dir, version)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			artist := fmt.Sprintf("the quite verbose artist ensemble %03d", i%50)
+			title := fmt.Sprintf("a rather long common record title %03d", i)
+			err := w.AddOD(fmt.Sprintf("/db/cd[%d]", i), 0, []Tuple{
+				{Value: artist, Name: "/db/cd/artist", Type: "ARTIST"},
+				{Value: title, Name: "/db/cd/title", Type: "TITLE"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		values := map[string][]int32{}
+		for i := 0; i < 200; i++ {
+			v := fmt.Sprintf("the quite verbose artist ensemble %03d", i%50)
+			values[v] = append(values[v], int32(i))
+		}
+		sorted := make([]string, 0, len(values))
+		for v := range values {
+			sorted = append(sorted, v)
+		}
+		sort.Strings(sorted)
+		if err := w.BeginType("ARTIST", 40, 2); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range sorted {
+			if err := w.AddValue(v, values[v]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Commit(Meta{Theta: 0.15}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segBytes := func(dir string) int64 {
+		var total int64
+		for _, name := range []string{StringsFile, ODsFile, IndexFile} {
+			st, err := os.Stat(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += st.Size()
+		}
+		return total
+	}
+	dir3, dir4 := t.TempDir(), t.TempDir()
+	write(dir3, 3)
+	write(dir4, 4)
+	b3, b4 := segBytes(dir3), segBytes(dir4)
+	if b4 >= b3 {
+		t.Fatalf("version-4 string/OD/index bytes %d not smaller than version-3 %d", b4, b3)
+	}
+	t.Logf("v3=%d bytes, v4=%d bytes (%.0f%%)", b3, b4, 100*float64(b4)/float64(b3))
+}
+
+// FuzzNeighborIndexRoundTrip feeds arbitrary value tables and queries
+// through the persisted neighbor segment and checks the verified
+// candidate set against the in-memory strdist.NeighborIndex over the
+// same values — the equivalence the DiskStore fast path rests on.
+func FuzzNeighborIndexRoundTrip(f *testing.F) {
+	f.Add("abc\nabd\nxyz", "abe", 1)
+	f.Add("a\nb\nab\nba", "aa", 2)
+	f.Add("kind of blue\nkind of glue", "kind of blue", 2)
+	f.Fuzz(func(t *testing.T, raw, query string, budget int) {
+		budget = ((budget % 3) + 3) % 3
+		set := map[string]bool{}
+		for _, v := range strings.Split(raw, "\n") {
+			if v != "" && len(v) <= 64 {
+				set[v] = true
+			}
+		}
+		if len(set) == 0 || len(set) > 32 || len(query) > 64 {
+			t.Skip()
+		}
+		values := make([]string, 0, len(set))
+		for v := range set {
+			values = append(values, v)
+		}
+		sort.Strings(values)
+		dir := t.TempDir()
+		writeNeighborSnapshot(t, dir, budget, values)
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		got := diskNeighborLookup(t, r, query, budget)
+		mem := strdist.NewNeighborIndex(values, budget)
+		want := append([]int32(nil), mem.Lookup(query, -1)...)
+		sortInt32sTest(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("values=%q q=%q budget=%d: disk %v, mem %v", values, query, budget, got, want)
+		}
+	})
+}
+
+// FuzzCompressedSegment round-trips arbitrary strings through the
+// shared heap's interning (exact dedup, substring sharing, tail
+// extension) and asserts every OD decodes back bit-identically.
+func FuzzCompressedSegment(f *testing.F) {
+	f.Add("abc\nabcdef\ncdef\nabc")
+	f.Add("\nx\nxx\nxxx\nxx")
+	f.Add("prefix shared\nprefix\nshared")
+	f.Fuzz(func(t *testing.T, raw string) {
+		parts := strings.Split(raw, "\n")
+		if len(parts) > 64 {
+			t.Skip()
+		}
+		for _, p := range parts {
+			if len(p) > 256 {
+				t.Skip()
+			}
+		}
+		dir := t.TempDir()
+		w, err := NewWriter(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range parts {
+			err := w.AddOD(fmt.Sprintf("/o[%d]", i), 0, []Tuple{
+				{Value: p, Name: p + "n", Type: "T"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Commit(Meta{Theta: 0.15}); err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []MmapMode{MmapAuto, MmapOff} {
+			r, err := OpenWith(dir, OpenOptions{Mmap: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range parts {
+				obj, _, tuples, err := r.OD(int32(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if obj != fmt.Sprintf("/o[%d]", i) || len(tuples) != 1 ||
+					tuples[0].Value != p || tuples[0].Name != p+"n" || tuples[0].Type != "T" {
+					t.Fatalf("mode %v OD(%d) = %q/%v, want value %q", mode, i, obj, tuples, p)
+				}
+			}
+			r.Close()
+		}
+	})
+}

@@ -7,6 +7,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/strdist"
 )
 
 // Writer streams a finalized store into a snapshot directory. Usage:
@@ -18,25 +22,53 @@ import (
 //	w.Commit(meta)                  // or w.Abort() on failure
 //
 // Data is written through to temporary files as it arrives, so the
-// writer's memory stays bounded by the string-dedup table and the OD
-// offset table. Commit seals the segment footers, renames the files
-// into place and writes the manifest last; until the manifest exists
-// the directory does not contain a snapshot, so a crash mid-write can
-// never be mistaken for a valid one.
+// writer's memory stays bounded by the string-dedup table, the OD
+// offset table and (at current version) one type's deletion-
+// neighborhood buckets. Commit seals the segment footers, renames the
+// files into place and writes the manifest last; until the manifest
+// exists the directory does not contain a snapshot, so a crash
+// mid-write can never be mistaken for a valid one.
+//
+// The deletion-neighborhood segment is derived transparently: for any
+// type whose edit budget is 0..2 (the same criterion MemStore uses to
+// build its in-memory index), AddValue feeds the value's deletion
+// variants into per-type buckets and BeginType/Commit flush them to
+// neighbor.odx, so every snapshot path — Finalize, export, merge —
+// persists the index without caring that it exists.
 type Writer struct {
 	dir     string
+	version byte
 	err     error // sticky: first failure poisons the writer
 	done    bool
 	strSeg  *segWriter
 	odSeg   *segWriter
 	idxSeg  *segWriter
-	strOffs map[string]uint64
+	nbrSeg  *segWriter // nil for legacy version 3
+	strOffs map[string]strHandle
+
+	// heap-tail sharing state (version >= 4): the most recently appended
+	// fresh string and its offset, checked for substring/extension
+	// sharing before new bytes are written.
+	tailOff uint64
+	tailStr string
 
 	odOffsets []uint64
 
 	types     []dirEntry
 	lastValue string // previous AddValue, for order enforcement
-	scratch   []byte
+
+	nbrBuckets map[string][]int32 // current type's deletion variants
+	nbrTypes   []nbrDirEntry
+
+	scratch []byte
+}
+
+// strHandle locates one string in the heap. For version 4 it is a raw
+// (payload offset, byte length) pair; for legacy version 3 only off is
+// meaningful (the offset of a length-prefixed record).
+type strHandle struct {
+	off uint64
+	n   uint64
 }
 
 // dirEntry accumulates one type's directory record while its segment is
@@ -48,42 +80,108 @@ type dirEntry struct {
 	sparse []sparseRef
 }
 
+// nbrDirEntry accumulates one type's neighbor-segment directory record.
+type nbrDirEntry struct {
+	name       string
+	budget     int
+	numBuckets int
+	segOff     uint64
+	segLen     uint64
+	sparse     []sparseRef
+}
+
 type sparseRef struct {
 	value string
 	off   uint64 // entry offset relative to the type's segment start
 }
 
-// NewWriter starts a snapshot in dir, creating the directory if needed.
+// NewWriter starts a snapshot in dir at the current format version,
+// creating the directory if needed.
 func NewWriter(dir string) (*Writer, error) {
+	return NewWriterVersion(dir, Version)
+}
+
+// NewWriterVersion starts a snapshot at an explicit format version in
+// [MinReadVersion, Version]. Writing the legacy version exists for
+// cross-version tests and tooling (e.g. producing a version-3 snapshot
+// to exercise the upgrade path); production code writes Version.
+func NewWriterVersion(dir string, version int) (*Writer, error) {
+	if version < MinReadVersion || version > Version {
+		return nil, fmt.Errorf("odcodec: cannot write format version %d (supported: %d..%d)", version, MinReadVersion, Version)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("odcodec: %w", err)
 	}
-	w := &Writer{dir: dir, strOffs: map[string]uint64{}}
+	w := &Writer{dir: dir, version: byte(version), strOffs: map[string]strHandle{}}
 	var err error
-	if w.strSeg, err = newSegWriter(filepath.Join(dir, StringsFile), kindStrings); err != nil {
+	if w.strSeg, err = newSegWriter(filepath.Join(dir, StringsFile), kindStrings, w.version); err != nil {
 		return nil, err
 	}
-	if w.odSeg, err = newSegWriter(filepath.Join(dir, ODsFile), kindODs); err != nil {
+	if w.odSeg, err = newSegWriter(filepath.Join(dir, ODsFile), kindODs, w.version); err != nil {
 		w.Abort()
 		return nil, err
 	}
-	if w.idxSeg, err = newSegWriter(filepath.Join(dir, IndexFile), kindIndex); err != nil {
+	if w.idxSeg, err = newSegWriter(filepath.Join(dir, IndexFile), kindIndex, w.version); err != nil {
 		w.Abort()
 		return nil, err
+	}
+	if w.version >= 4 {
+		if w.nbrSeg, err = newSegWriter(filepath.Join(dir, NeighborFile), kindNeighbor, w.version); err != nil {
+			w.Abort()
+			return nil, err
+		}
 	}
 	return w, nil
 }
 
-// intern writes s to the string table once and returns its reference.
-func (w *Writer) intern(s string) uint64 {
-	if off, ok := w.strOffs[s]; ok {
-		return off
+// intern stores s in the string heap once and returns its handle.
+//
+// At version 4 the heap is raw bytes and the handle may point inside a
+// previously stored string: an exact repeat never writes bytes, a
+// string contained in the most recently appended one shares its bytes,
+// and a string extending the current heap tail appends only the new
+// suffix. The sharing window is deliberately one string deep — an O(1)
+// check per intern that still catches the common XML patterns (repeated
+// values, values nested in the value interned just before).
+func (w *Writer) intern(s string) strHandle {
+	if h, ok := w.strOffs[s]; ok {
+		return h
 	}
-	off := w.strSeg.n
-	w.strOffs[s] = off
-	w.scratch = appendString(w.scratch[:0], s)
-	w.setErr(w.strSeg.write(w.scratch))
-	return off
+	if w.version < 4 {
+		h := strHandle{off: w.strSeg.n}
+		w.strOffs[s] = h
+		w.scratch = appendString(w.scratch[:0], s)
+		w.setErr(w.strSeg.write(w.scratch))
+		return h
+	}
+	var h strHandle
+	switch {
+	case s == "":
+		// Zero-length handle at offset 0; no bytes needed.
+	case w.tailStr != "" && strings.Contains(w.tailStr, s):
+		h = strHandle{off: w.tailOff + uint64(strings.Index(w.tailStr, s)), n: uint64(len(s))}
+	case w.tailStr != "" && strings.HasPrefix(s, w.tailStr) && w.tailOff+uint64(len(w.tailStr)) == w.strSeg.n:
+		// s extends the heap tail: append only the remainder.
+		w.setErr(w.strSeg.write([]byte(s[len(w.tailStr):])))
+		h = strHandle{off: w.tailOff, n: uint64(len(s))}
+		w.tailStr = s
+	default:
+		h = strHandle{off: w.strSeg.n, n: uint64(len(s))}
+		w.setErr(w.strSeg.write([]byte(s)))
+		w.tailOff, w.tailStr = h.off, s
+	}
+	w.strOffs[s] = h
+	return h
+}
+
+// appendHandle encodes a heap reference: a single record offset at
+// legacy version 3, an (offset, length) pair at version 4.
+func (w *Writer) appendHandle(b []byte, h strHandle) []byte {
+	b = appendUvarint(b, h.off)
+	if w.version >= 4 {
+		b = appendUvarint(b, h.n)
+	}
+	return b
 }
 
 // AddOD appends one object description; the record's position in the
@@ -95,7 +193,7 @@ func (w *Writer) AddOD(object string, source int32, tuples []Tuple) error {
 	if source < 0 {
 		return w.fail(fmt.Errorf("odcodec: negative source %d", source))
 	}
-	refs := make([]uint64, 0, 1+3*len(tuples))
+	refs := make([]strHandle, 0, 1+3*len(tuples))
 	refs = append(refs, w.intern(object))
 	for _, t := range tuples {
 		refs = append(refs, w.intern(t.Value), w.intern(t.Name), w.intern(t.Type))
@@ -103,11 +201,11 @@ func (w *Writer) AddOD(object string, source int32, tuples []Tuple) error {
 	if w.err != nil {
 		return w.err
 	}
-	b := appendUvarint(w.scratch[:0], refs[0])
+	b := w.appendHandle(w.scratch[:0], refs[0])
 	b = appendUvarint(b, uint64(uint32(source)))
 	b = appendUvarint(b, uint64(len(tuples)))
 	for _, r := range refs[1:] {
-		b = appendUvarint(b, r)
+		b = w.appendHandle(b, r)
 	}
 	w.odOffsets = append(w.odOffsets, w.odSeg.n)
 	w.scratch = b
@@ -131,7 +229,21 @@ func (w *Writer) BeginType(name string, maxLen, budget int) error {
 		meta:   TypeMeta{Name: name, MaxLen: maxLen, Budget: budget},
 		segOff: w.idxSeg.n,
 	})
+	if w.neighborActive() {
+		w.nbrBuckets = map[string][]int32{}
+	}
 	return nil
+}
+
+// neighborActive reports whether the current type persists a
+// deletion-neighborhood index: version 4 and an edit budget the FastSS
+// scheme stays tractable for (MemStore uses the same 0..2 criterion).
+func (w *Writer) neighborActive() bool {
+	if w.version < 4 || len(w.types) == 0 {
+		return false
+	}
+	b := w.types[len(w.types)-1].meta.Budget
+	return b >= 0 && b <= 2
 }
 
 // AddValue appends one distinct value of the current type with its
@@ -156,29 +268,102 @@ func (w *Writer) AddValue(value string, objects []int32) error {
 	if cur.meta.NumValues%sparseEvery == 0 {
 		cur.sparse = append(cur.sparse, sparseRef{value: value, off: w.idxSeg.n - cur.segOff})
 	}
+	ordinal := int32(cur.meta.NumValues)
 	cur.meta.NumValues++
 
 	postings := appendPostings(nil, objects)
-	b := appendString(w.scratch[:0], value)
+	var b []byte
+	if w.version >= 4 {
+		h := w.intern(value)
+		b = w.appendHandle(w.scratch[:0], h)
+	} else {
+		b = appendString(w.scratch[:0], value)
+	}
 	b = appendUvarint(b, uint64(runeLen(value)))
 	b = appendUvarint(b, uint64(len(objects)))
 	b = appendUvarint(b, uint64(len(postings)))
 	b = append(b, postings...)
 	w.scratch = b
-	return w.fail(w.idxSeg.write(b))
-}
-
-// closeType seals the current type's segment length.
-func (w *Writer) closeType() {
-	if n := len(w.types); n > 0 {
-		w.types[n-1].segLen = w.idxSeg.n - w.types[n-1].segOff
-		w.lastValue = ""
+	if err := w.fail(w.idxSeg.write(b)); err != nil {
+		return err
 	}
+	if w.neighborActive() {
+		for _, variant := range strdist.DeletionVariants(value, cur.meta.Budget) {
+			w.nbrBuckets[variant] = append(w.nbrBuckets[variant], ordinal)
+		}
+	}
+	return nil
 }
 
-// Commit writes the index directory, the OD offset table, the segment
-// footers and finally the manifest, then renames everything into place.
-// meta.NumODs is derived from the AddOD calls and may be left zero.
+// closeType seals the current type's segment length and flushes its
+// neighbor buckets.
+func (w *Writer) closeType() {
+	n := len(w.types)
+	if n == 0 {
+		return
+	}
+	w.types[n-1].segLen = w.idxSeg.n - w.types[n-1].segOff
+	w.lastValue = ""
+	if w.neighborActive() {
+		w.flushNeighborType(&w.types[n-1])
+	}
+	w.nbrBuckets = nil
+}
+
+// flushNeighborType writes one type's deletion-variant buckets: variants
+// in ascending order, front-coded against their predecessor (shared
+// byte-prefix length + remainder) with a full restart at every sparse
+// directory entry, each followed by its delta-varint value ordinals.
+func (w *Writer) flushNeighborType(cur *dirEntry) {
+	variants := make([]string, 0, len(w.nbrBuckets))
+	for v := range w.nbrBuckets {
+		variants = append(variants, v)
+	}
+	sort.Strings(variants)
+	e := nbrDirEntry{
+		name:       cur.meta.Name,
+		budget:     cur.meta.Budget,
+		numBuckets: len(variants),
+		segOff:     w.nbrSeg.n,
+	}
+	prev := ""
+	for i, variant := range variants {
+		var b []byte
+		if i%sparseEvery == 0 {
+			e.sparse = append(e.sparse, sparseRef{value: variant, off: w.nbrSeg.n - e.segOff})
+			b = appendString(w.scratch[:0], variant)
+		} else {
+			p := sharedPrefixLen(prev, variant)
+			b = appendUvarint(w.scratch[:0], uint64(p))
+			b = appendUvarint(b, uint64(len(variant)-p))
+			b = append(b, variant[p:]...)
+		}
+		prev = variant
+		ords := w.nbrBuckets[variant]
+		b = appendUvarint(b, uint64(len(ords)))
+		b = appendPostings(b, ords)
+		w.scratch = b
+		if w.setErr(w.nbrSeg.write(b)); w.err != nil {
+			return
+		}
+	}
+	e.segLen = w.nbrSeg.n - e.segOff
+	w.nbrTypes = append(w.nbrTypes, e)
+}
+
+// sharedPrefixLen returns the length of the longest common byte prefix.
+func sharedPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// Commit writes the index and neighbor directories, the OD offset
+// table, the segment footers and finally the manifest, then renames
+// everything into place. meta.NumODs is derived from the AddOD calls
+// and may be left zero.
 func (w *Writer) Commit(meta Meta) error {
 	if w.err != nil {
 		return w.err
@@ -213,6 +398,28 @@ func (w *Writer) Commit(meta Meta) error {
 		return err
 	}
 
+	// Neighbor directory + trailing directory offset (version >= 4).
+	if w.nbrSeg != nil {
+		nbrDirOff := w.nbrSeg.n
+		b = appendUvarint(w.scratch[:0], uint64(len(w.nbrTypes)))
+		for _, t := range w.nbrTypes {
+			b = appendString(b, t.name)
+			b = appendUvarint(b, budgetToWire(t.budget))
+			b = appendUvarint(b, uint64(t.numBuckets))
+			b = appendUvarint(b, t.segOff)
+			b = appendUvarint(b, t.segLen)
+			b = appendUvarint(b, uint64(len(t.sparse)))
+			for _, s := range t.sparse {
+				b = appendString(b, s.value)
+				b = appendUvarint(b, s.off)
+			}
+		}
+		b = binary.LittleEndian.AppendUint64(b, nbrDirOff)
+		if err := w.fail(w.nbrSeg.write(b)); err != nil {
+			return err
+		}
+	}
+
 	// OD offset table + trailing table offset.
 	tableOff := w.odSeg.n
 	b = w.scratch[:0]
@@ -224,8 +431,9 @@ func (w *Writer) Commit(meta Meta) error {
 		return err
 	}
 
-	var stamps [3]segmentStamp
-	for i, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+	segs := w.segments()
+	stamps := make([]segmentStamp, len(segs))
+	for i, seg := range segs {
 		st, err := seg.finish()
 		if err != nil {
 			return w.fail(err)
@@ -241,22 +449,38 @@ func (w *Writer) Commit(meta Meta) error {
 	if err := os.Remove(filepath.Join(w.dir, ManifestFile)); err != nil && !os.IsNotExist(err) {
 		return w.fail(fmt.Errorf("odcodec: %w", err))
 	}
-	for _, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+	// A version-3 rebuild over a version-4 snapshot must not leave the
+	// old neighbor segment behind as a stray file.
+	if w.nbrSeg == nil {
+		if err := os.Remove(filepath.Join(w.dir, NeighborFile)); err != nil && !os.IsNotExist(err) {
+			return w.fail(fmt.Errorf("odcodec: %w", err))
+		}
+	}
+	for _, seg := range segs {
 		if err := os.Rename(seg.path+tmpSuffix, seg.path); err != nil {
 			return w.fail(fmt.Errorf("odcodec: %w", err))
 		}
 	}
-	if err := writeManifest(w.dir, meta, stamps); err != nil {
+	if err := writeManifest(w.dir, meta, stamps, w.version); err != nil {
 		return w.fail(err)
 	}
 	w.done = true
 	return nil
 }
 
+// segments lists the live segment writers in stamp order.
+func (w *Writer) segments() []*segWriter {
+	segs := []*segWriter{w.strSeg, w.odSeg, w.idxSeg}
+	if w.nbrSeg != nil {
+		segs = append(segs, w.nbrSeg)
+	}
+	return segs
+}
+
 // Abort discards the partially written snapshot. Safe to call after
 // Commit (no-op) or after an error.
 func (w *Writer) Abort() {
-	for _, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg} {
+	for _, seg := range []*segWriter{w.strSeg, w.odSeg, w.idxSeg, w.nbrSeg} {
 		if seg == nil {
 			continue
 		}
@@ -299,13 +523,13 @@ type segWriter struct {
 	n    uint64 // payload bytes written
 }
 
-func newSegWriter(path string, kind byte) (*segWriter, error) {
+func newSegWriter(path string, kind, version byte) (*segWriter, error) {
 	f, err := os.Create(path + tmpSuffix)
 	if err != nil {
 		return nil, fmt.Errorf("odcodec: %w", err)
 	}
 	w := &segWriter{path: path, f: f, bw: bufio.NewWriterSize(f, 1<<16)}
-	h := newHeader(kind)
+	h := newHeader(kind, version)
 	w.crc = crc32.Update(0, crcTable, h)
 	if _, err := w.bw.Write(h); err != nil {
 		w.close()
@@ -351,8 +575,12 @@ func (w *segWriter) close() {
 }
 
 // writeManifest encodes and atomically installs the manifest, the
-// commit point of a snapshot.
-func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
+// commit point of a snapshot. The stamp count is implied by the
+// version: 3 data segments before version 4, 4 from it.
+func writeManifest(dir string, meta Meta, stamps []segmentStamp, version byte) error {
+	if len(stamps) != numSegments(version) {
+		return fmt.Errorf("odcodec: %d segment stamps for version %d", len(stamps), version)
+	}
 	for i, id := range meta.Tombstones {
 		if id < 0 || int(id) >= meta.NumODs {
 			return fmt.Errorf("odcodec: tombstone %d outside [0,%d)", id, meta.NumODs)
@@ -380,7 +608,7 @@ func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
 		b = binary.LittleEndian.AppendUint32(b, st.crc)
 	}
 
-	h := newHeader(kindManifest)
+	h := newHeader(kindManifest, version)
 	crc := crc32.Update(0, crcTable, h)
 	crc = crc32.Update(crc, crcTable, b)
 	out := append(h, b...)
@@ -412,12 +640,13 @@ func writeManifest(dir string, meta Meta, stamps [3]segmentStamp) error {
 }
 
 // UpdateMeta rewrites an existing snapshot's manifest with a new
-// fingerprint and optional filter values, keeping θ, the OD count and
-// the segment stamps from disk. This is how a snapshot written during
-// Finalize (before the corpus fingerprint is known) is stamped with
-// provenance afterwards without rewriting the data segments.
+// fingerprint and optional filter values, keeping θ, the OD count, the
+// format version and the segment stamps from disk. This is how a
+// snapshot written during Finalize (before the corpus fingerprint is
+// known) is stamped with provenance afterwards without rewriting the
+// data segments.
 func UpdateMeta(dir, fingerprint string, filterValues []float64) error {
-	meta, stamps, err := readManifest(dir)
+	meta, stamps, version, err := readManifest(dir)
 	if err != nil {
 		return err
 	}
@@ -426,5 +655,5 @@ func UpdateMeta(dir, fingerprint string, filterValues []float64) error {
 	}
 	meta.Fingerprint = fingerprint
 	meta.FilterValues = filterValues
-	return writeManifest(dir, meta, stamps)
+	return writeManifest(dir, meta, stamps, version)
 }

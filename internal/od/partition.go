@@ -473,6 +473,18 @@ func (s *PartitionedStore) clearCaches() {
 	s.simCache = newShardedLRU[string, []ValueMatch](diskSimCacheSize, hashKey)
 }
 
+// CacheStats reports the coordinator's merged-answer cache counters,
+// keyed "occ" (routed posting lists) and "sim" (fanned-out
+// similar-value merges). Counters reset when a mutation batch clears
+// the caches.
+func (s *PartitionedStore) CacheStats() map[string]CacheStats {
+	s.mustBeFinal()
+	return map[string]CacheStats{
+		"occ": s.occCache.stats(),
+		"sim": s.simCache.stats(),
+	}
+}
+
 // ObjectsWithExact implements Store: the key is owned by exactly one
 // member, so this is a routed single-partition call through the
 // coordinator's posting cache.

@@ -1,0 +1,205 @@
+package od
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/od/odcodec"
+)
+
+// TestDiskStoreAccessModeParity holds every disk query-path
+// configuration — mmap on/off/auto crossed with the neighborhood index
+// enabled or forced back to segment scans — to bit-identical results
+// against MemStore. The index-off rows are what pin the fast path to
+// the scan it replaced.
+func TestDiskStoreAccessModeParity(t *testing.T) {
+	datasets := []struct {
+		name  string
+		ods   []*OD
+		theta float64
+	}{
+		{"cds", cdODs(100, 2005), 0.15},
+		{"cds-coarse", cdODs(60, 7), 0.55},
+		{"movies", movieODs(100, 11), 0.15},
+	}
+	for _, ds := range datasets {
+		t.Run(ds.name, func(t *testing.T) {
+			mem := NewMemStore()
+			for _, o := range ds.ods {
+				cp := *o
+				mem.Add(&cp)
+			}
+			mem.Finalize(ds.theta)
+
+			base := buildDisk(t, ds.ods, ds.theta)
+			dir := base.Dir()
+			base.Close()
+
+			for _, opts := range []DiskOptions{
+				{Mmap: odcodec.MmapAuto},
+				{Mmap: odcodec.MmapOff},
+				{Mmap: odcodec.MmapAuto, DisableNeighborIndex: true},
+				{Mmap: odcodec.MmapOff, DisableNeighborIndex: true},
+			} {
+				label := fmt.Sprintf("mmap=%s/scan=%v", opts.Mmap, opts.DisableNeighborIndex)
+				disk, err := OpenDiskStoreWith(dir, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				assertStoreParity(t, mem, disk, label)
+				disk.Close()
+			}
+		})
+	}
+}
+
+// TestMmapOnRequiresSupport: the forced mode either maps or fails the
+// open loudly — it never silently degrades to pread.
+func TestMmapOnRequiresSupport(t *testing.T) {
+	base := buildDisk(t, cdODs(10, 3), 0.15)
+	dir := base.Dir()
+	base.Close()
+	disk, err := OpenDiskStoreWith(dir, DiskOptions{Mmap: odcodec.MmapOn})
+	if err != nil {
+		t.Skipf("mmap unsupported on this platform: %v", err)
+	}
+	defer disk.Close()
+	assertStoreParity(t, disk, disk, "self")
+}
+
+// writeV3Snapshot exports a finalized MemStore in the legacy version-3
+// format, exactly as a pre-upgrade binary's od.Save would have.
+func writeV3Snapshot(t *testing.T, dir string, mem *MemStore, fp string) {
+	t.Helper()
+	w, err := odcodec.NewWriterVersion(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	if err := mem.exportSnapshot(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(odcodec.Meta{Fingerprint: fp, Theta: mem.Theta()}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV3SnapshotReopenAndUpgrade is the cross-version contract: a
+// version-3 snapshot (no neighbor segment, no shared heap) still opens
+// and answers bit-identically to MemStore via segment scans, and
+// od.Save on that store rewrites it in place into the current format —
+// same IDs, same answers, neighborhood index now present.
+func TestV3SnapshotReopenAndUpgrade(t *testing.T) {
+	ods := cdODs(80, 2005)
+	mem := NewMemStore()
+	for _, o := range ods {
+		cp := *o
+		mem.Add(&cp)
+	}
+	mem.Finalize(0.15)
+
+	dir := t.TempDir()
+	writeV3Snapshot(t, dir, mem, "fp-v3")
+
+	old, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := old.r.Version(); v != 3 {
+		t.Fatalf("reopened snapshot version = %d, want 3", v)
+	}
+	if old.Fingerprint() != "fp-v3" {
+		t.Fatalf("Fingerprint = %q", old.Fingerprint())
+	}
+	for _, st := range old.Stats() {
+		if st.Indexed {
+			t.Fatalf("version-3 store reports type %q neighbor-indexed", st.Type)
+		}
+	}
+	assertStoreParity(t, mem, old, "v3-reopen")
+
+	// Save on the unmutated store is a pure format upgrade in place.
+	if err := Save(dir, old, SnapshotMeta{Fingerprint: "fp-upgraded"}); err != nil {
+		t.Fatal(err)
+	}
+	if v := old.r.Version(); v != odcodec.Version {
+		t.Fatalf("post-save store serves version %d, want %d", v, odcodec.Version)
+	}
+	assertStoreParity(t, mem, old, "post-upgrade-live")
+	old.Close()
+
+	if _, err := os.Stat(filepath.Join(dir, odcodec.NeighborFile)); err != nil {
+		t.Fatalf("upgraded snapshot lacks the neighbor segment: %v", err)
+	}
+	up, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	if v := up.r.Version(); v != odcodec.Version {
+		t.Fatalf("upgraded snapshot version = %d, want %d", v, odcodec.Version)
+	}
+	if up.Fingerprint() != "fp-upgraded" {
+		t.Fatalf("Fingerprint after upgrade = %q", up.Fingerprint())
+	}
+	indexed := false
+	for _, st := range up.Stats() {
+		indexed = indexed || st.Indexed
+	}
+	if !indexed {
+		t.Fatal("no type neighbor-indexed after upgrade")
+	}
+	assertStoreParity(t, mem, up, "v4-upgraded")
+}
+
+// TestDiskStoreCacheStats exercises the shared LRU's counter surface:
+// a repeated query hits, distinct queries miss, and tiny capacities are
+// reported as configured.
+func TestDiskStoreCacheStats(t *testing.T) {
+	disk := buildDisk(t, cdODs(40, 9), 0.15)
+	defer disk.Close()
+
+	tup := disk.OD(0).NonEmptyTuples()[0]
+	disk.SimilarValues(tup)
+	disk.SimilarValues(tup) // second probe must be served from cache
+
+	stats := disk.CacheStats()
+	for _, name := range []string{"od", "occ", "sim"} {
+		cs, ok := stats[name]
+		if !ok {
+			t.Fatalf("CacheStats missing %q: %+v", name, stats)
+		}
+		if cs.Capacity <= 0 || cs.Entries > cs.Capacity {
+			t.Errorf("cache %q: entries %d / capacity %d", name, cs.Entries, cs.Capacity)
+		}
+	}
+	sim := stats["sim"]
+	if sim.Hits == 0 {
+		t.Errorf("sim cache recorded no hit after a repeated query: %+v", sim)
+	}
+	if sim.Misses == 0 {
+		t.Errorf("sim cache recorded no miss: %+v", sim)
+	}
+}
+
+// TestPartitionedStoreCacheStats: the federation's merged-answer caches
+// expose the same counter surface.
+func TestPartitionedStoreCacheStats(t *testing.T) {
+	ps := buildFederation(t, cdODs(30, 21), 0.15, NewMemStore(), NewMemStore())
+
+	tup := ps.OD(0).NonEmptyTuples()[0]
+	ps.SimilarValues(tup)
+	ps.SimilarValues(tup)
+
+	stats := ps.CacheStats()
+	for _, name := range []string{"occ", "sim"} {
+		if _, ok := stats[name]; !ok {
+			t.Fatalf("CacheStats missing %q: %+v", name, stats)
+		}
+	}
+	if stats["sim"].Hits == 0 {
+		t.Errorf("sim cache recorded no hit after a repeated query: %+v", stats["sim"])
+	}
+}

@@ -49,9 +49,20 @@ func Save(dir string, s Store, meta SnapshotMeta) error {
 	if ds, ok := s.(*DiskStore); ok && sameDir(ds.dir, dir) {
 		ds.mustBeFinal()
 		if !ds.dirty {
-			// The base manifest already describes the live state
-			// (tombstones included); only the provenance changes.
-			return odcodec.UpdateMeta(dir, meta.Fingerprint, ds.expandFilterValues(meta.FilterValues))
+			if ds.r.Version() >= odcodec.Version {
+				// The base manifest already describes the live state
+				// (tombstones included); only the provenance changes.
+				return odcodec.UpdateMeta(dir, meta.Fingerprint, ds.expandFilterValues(meta.FilterValues))
+			}
+			// An older-format base cannot be re-stamped: the manifest's
+			// version governs every segment, so the snapshot is rewritten
+			// in the current format instead — which also gains it the
+			// segments the old format lacked (the deletion-neighborhood
+			// index, the shared string heap). The merge machinery already
+			// does exactly this rewrite; an empty overlay makes it a pure
+			// format upgrade with the ID space untouched.
+			ds.overlay()
+			return ds.mergeInPlace(meta)
 		}
 		return ds.mergeInPlace(meta)
 	}
@@ -429,7 +440,10 @@ func (s *DiskStore) exportLiveTypes(w *odcodec.Writer, remap []int32) error {
 		if err != nil {
 			return err
 		}
-		addedSorted := append([]string(nil), m.addedVals[typ]...)
+		addedSorted := make([]string, 0, len(m.addedVals[typ]))
+		for _, av := range m.addedVals[typ] {
+			addedSorted = append(addedSorted, av.val)
+		}
 		sort.Strings(addedSorted)
 		if live == 0 {
 			continue
@@ -562,7 +576,7 @@ func (s *DiskStore) mergeInPlace(meta SnapshotMeta) error {
 		return err
 	}
 	odcodec.RemoveDeltas(s.dir, m.seq)
-	r, err := odcodec.Open(s.dir)
+	r, err := odcodec.OpenWith(s.dir, s.opts.codecOptions())
 	if err != nil {
 		return fmt.Errorf("od: reopen own merged snapshot: %w", err)
 	}

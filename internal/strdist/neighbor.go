@@ -32,7 +32,7 @@ func NewNeighborIndex(values []string, maxEdits int) *NeighborIndex {
 		values:   values,
 	}
 	for i, v := range values {
-		for _, variant := range deletionVariants(v, maxEdits) {
+		for _, variant := range DeletionVariants(v, maxEdits) {
 			idx.buckets[variant] = append(idx.buckets[variant], int32(i))
 		}
 	}
@@ -49,7 +49,7 @@ func (idx *NeighborIndex) MaxEdits() int { return idx.maxEdits }
 func (idx *NeighborIndex) Lookup(q string, skip int32) []int32 {
 	seen := map[int32]bool{}
 	var out []int32
-	for _, variant := range deletionVariants(q, idx.maxEdits) {
+	for _, variant := range DeletionVariants(q, idx.maxEdits) {
 		for _, cand := range idx.buckets[variant] {
 			if cand == skip || seen[cand] {
 				continue
@@ -63,9 +63,12 @@ func (idx *NeighborIndex) Lookup(q string, skip int32) []int32 {
 	return out
 }
 
-// deletionVariants returns s plus every string obtainable from s by
-// deleting up to maxEdits runes (ordered, deduplicated).
-func deletionVariants(s string, maxEdits int) []string {
+// DeletionVariants returns s plus every string obtainable from s by
+// deleting up to maxEdits runes (ordered, deduplicated). Exported so
+// the odcodec writer can persist the same buckets NewNeighborIndex
+// builds in memory, and a disk reader can probe them with the same
+// query variants.
+func DeletionVariants(s string, maxEdits int) []string {
 	seen := map[string]bool{s: true}
 	out := []string{s}
 	frontier := []string{s}
