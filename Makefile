@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query fuzz clean
+.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query bench-update fuzz clean
 
 all: build test vet fmt-check docs-check
 
@@ -62,6 +62,7 @@ fuzz:
 	$(GO) test -fuzz FuzzFederation -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzNeighborIndexRoundTrip -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzCompressedSegment -fuzztime 20s ./internal/od/odcodec/
+	$(GO) test -fuzz FuzzTraceSegment -fuzztime 20s ./internal/od/odcodec/
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 20s ./internal/od/odrpc/
 	$(GO) test -fuzz FuzzServerConn -fuzztime 20s ./internal/od/odrpc/
 
@@ -75,8 +76,16 @@ bench:
 bench-query:
 	$(GO) run ./cmd/benchfig -fig query -json BENCH_query.json
 
+# Regenerate the committed incremental-update artifact: per backend, the
+# wall time and recompared-pair count of one update batch applied cold,
+# with in-process replay traces, and after a restart that replays the
+# persisted trace segment. CI smoke-runs the same artifact at a reduced
+# scale.
+bench-update:
+	$(GO) run ./cmd/benchfig -fig update -json BENCH_update.json
+
 # Remove generated artifacts: benchfig's disk-store segments and any
 # stray dupcluster/figure output written into the working tree.
 clean:
-	rm -rf benchfig-store benchfig-store-query
+	rm -rf benchfig-store benchfig-store-query benchfig-store-update-*
 	rm -f benchfig-*.txt dupclusters*.xml

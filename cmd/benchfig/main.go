@@ -9,6 +9,7 @@
 //	benchfig -fig tab5                # Table 5
 //	benchfig -fig stages -shards 8    # per-stage timings, both store backends
 //	benchfig -fig query -json BENCH_query.json   # query-path latency artifact
+//	benchfig -fig update -json BENCH_update.json # incremental-update artifact
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
@@ -34,6 +35,13 @@
 // disabled (the segment-scan baseline) — and optionally writes the
 // report as JSON (-json); the committed BENCH_query.json is one such
 // run at the default scale.
+//
+// The update artifact (also not from the paper) measures the
+// incremental-update path per backend: the wall time and
+// recompared-pair count of one update batch applied cold (no replay
+// traces), with in-process traces, and after a process restart that
+// replays the persisted trace segment; the committed BENCH_update.json
+// is one such run at the default scale.
 package main
 
 import (
@@ -57,12 +65,12 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query all")
+		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query update all")
 		n        = flag.Int("n", 0, "corpus size (0 = paper scale)")
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		shards   = flag.Int("shards", 8, "shard count for the stages/query artifacts' sharded run")
 		storeDir = flag.String("store-dir", "benchfig-store", "segment directory for the stages/query artifacts' disk runs (make clean removes it)")
-		jsonOut  = flag.String("json", "", "also write the query artifact as JSON to this path")
+		jsonOut  = flag.String("json", "", "also write the query (or, with -fig update, the update) artifact as JSON to this path")
 	)
 	flag.Parse()
 	if err := run(*fig, *n, *seed, *shards, *storeDir, *jsonOut); err != nil {
@@ -178,9 +186,23 @@ func run(fig string, n int, seed int64, shards int, storeDir, jsonOut string) er
 			return err
 		}
 	}
+	if want("update") {
+		// -json names one output file; under -fig all it belongs to the
+		// query artifact, so the update artifact only writes JSON when
+		// explicitly selected.
+		jsonArg := ""
+		if fig == "update" {
+			jsonArg = jsonOut
+		}
+		if err := timed("update", func() error {
+			return runUpdateFig(w, orDefault(n, 1000), seed, shards, storeDir, jsonArg)
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q (want one of: %s)", fig,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "all"}, " "))
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "update", "all"}, " "))
 	}
 	return nil
 }

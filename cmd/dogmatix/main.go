@@ -115,6 +115,7 @@ func main() {
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
 		update     = flag.Bool("update", false, "incremental run: append the documents to (and apply -remove against) the persisted indexes in -store-dir")
+		rpcTimeout = flag.Duration("rpc-timeout", defaultRPCTimeout, "per-call deadline on dialed -partition-addrs members (0 restores the default)")
 	)
 	var removePaths stringList
 	flag.Var(&removePaths, "remove", "with -update: object path of a candidate to remove (repeatable)")
@@ -128,6 +129,7 @@ func main() {
 		workers: *workers, storeDir: *storeDir, mmap: *mmap, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
 		update: *update, removePaths: removePaths,
+		rpcTimeout: *rpcTimeout,
 	}
 	if err := run(opts, flag.Args(), os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "dogmatix:", err)
@@ -156,6 +158,7 @@ type options struct {
 	mmap                                  string
 	format                                string
 	removePaths                           []string
+	rpcTimeout                            time.Duration
 
 	// mmapMode is the parsed -mmap value, resolved by validate.
 	mmapMode odcodec.MmapMode
@@ -175,10 +178,10 @@ const (
 	storeDist    = "dist"
 )
 
-// remoteCallTimeout is the per-call deadline set on dialed
-// -partition-addrs clients (loopback members share the process and
-// need none).
-const remoteCallTimeout = 2 * time.Minute
+// defaultRPCTimeout is the default -rpc-timeout: the per-call deadline
+// set on dialed -partition-addrs clients (loopback members share the
+// process and need none).
+const defaultRPCTimeout = 2 * time.Minute
 
 // validate checks every flag combination up front — before any file is
 // opened or any pipeline stage runs — so misconfigurations surface as
@@ -291,6 +294,15 @@ func (o *options) validate(docs []string) error {
 	if o.mmap != "auto" && o.store != storeDisk && !o.reuseIndex && !o.update {
 		return fmt.Errorf("-mmap only applies when segment files are read: -store disk, -reuse-index or -update")
 	}
+	if o.rpcTimeout < 0 {
+		return fmt.Errorf("-rpc-timeout %v is negative", o.rpcTimeout)
+	}
+	if o.rpcTimeout == 0 {
+		o.rpcTimeout = defaultRPCTimeout // zero-value options behave like the flag default
+	}
+	if o.rpcTimeout != defaultRPCTimeout && o.partAddrs == "" {
+		return fmt.Errorf("-rpc-timeout only applies to dialed -partition-addrs members")
+	}
 	return nil
 }
 
@@ -364,8 +376,9 @@ func (o *options) buildFederation() (*od.PartitionedStore, error) {
 			// bounds every call including Finalize — whose reply only
 			// arrives once the member finished building its index slice —
 			// so it is generous; corpora whose member builds exceed it
-			// should drive the federation through the od API directly.
-			c.Timeout = remoteCallTimeout
+			// should raise -rpc-timeout or drive the federation through
+			// the od API directly.
+			c.Timeout = o.rpcTimeout
 			parts = append(parts, c)
 		}
 	} else {
@@ -436,8 +449,12 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 	}
 	if opts.update {
 		// Update runs serve from the persisted snapshot and re-persist
-		// the merged indexes when done.
+		// the merged indexes when done. Incremental recording keeps the
+		// replay traces of this run, and its snapshot stage persists
+		// them next to the merged segments so the NEXT update — in this
+		// process or after a restart — patches instead of recomparing.
 		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true, Disk: opts.diskOptions()}
+		cfg.Incremental = true
 	} else {
 		newStore, err := opts.newStore()
 		if err != nil {
@@ -446,6 +463,10 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		cfg.NewStore = newStore
 		if opts.reuseIndex {
 			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true, Disk: opts.diskOptions()}
+			// Record replay traces on the build too, so even the first
+			// -update against this snapshot replays instead of
+			// recomparing from scratch.
+			cfg.Incremental = true
 		}
 	}
 	det, err := core.NewDetector(mapping, cfg)
@@ -475,9 +496,13 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if opts.stats {
+		replay := ""
+		if res.Stats.TraceSource != "" {
+			replay = fmt.Sprintf(" patched=%d traces=%s", res.Stats.Patched, res.Stats.TraceSource)
+		}
 		fmt.Fprintf(stderr,
-			"candidates=%d pruned=%d compared=%d pairs=%d clusters=%d warm-start=%v elapsed=%v\n",
-			res.Stats.Candidates, res.Stats.Pruned, res.Stats.Compared,
+			"candidates=%d pruned=%d compared=%d%s pairs=%d clusters=%d warm-start=%v elapsed=%v\n",
+			res.Stats.Candidates, res.Stats.Pruned, res.Stats.Compared, replay,
 			res.Stats.PairsDetected, len(res.Clusters), res.WarmStart, res.Stats.Elapsed)
 	}
 	switch opts.format {

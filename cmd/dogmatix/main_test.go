@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/od/odcodec"
 )
@@ -45,6 +46,9 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"dist-with-update", func(o *options) { o.store = "dist"; o.update = true; o.storeDir = "d" }, docs, "does not apply"},
 		{"bad-mmap", func(o *options) { o.store = "disk"; o.storeDir = "d"; o.mmap = "sometimes" }, docs, "-mmap"},
 		{"mmap-without-disk", func(o *options) { o.mmap = "on" }, docs, "-mmap only applies"},
+		{"negative-rpc-timeout", func(o *options) { o.partAddrs = "h:1"; o.rpcTimeout = -time.Second }, docs, "-rpc-timeout"},
+		{"rpc-timeout-without-addrs", func(o *options) { o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
+		{"rpc-timeout-with-loopback", func(o *options) { o.partitions = 2; o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -99,6 +103,16 @@ func TestValidateFlagCombinations(t *testing.T) {
 		o.mmap = "off"
 		if err := o.validate(docs); err != nil || o.mmapMode != odcodec.MmapOff {
 			t.Fatalf("-mmap off resolved to %v (%v), want MmapOff", o.mmapMode, err)
+		}
+		o = base
+		if err := o.validate(docs); err != nil || o.rpcTimeout != defaultRPCTimeout {
+			t.Fatalf("zero -rpc-timeout resolved to %v (%v), want default %v", o.rpcTimeout, err, defaultRPCTimeout)
+		}
+		o = base
+		o.partAddrs = "h:1"
+		o.rpcTimeout = 30 * time.Second
+		if err := o.validate(docs); err != nil || o.rpcTimeout != 30*time.Second {
+			t.Fatalf("-rpc-timeout 30s resolved to %v (%v), want 30s", o.rpcTimeout, err)
 		}
 	})
 }
@@ -273,10 +287,16 @@ func TestRunUpdateEndToEnd(t *testing.T) {
 	upd := base
 	upd.update = true
 	upd.storeDir = storeDir
+	upd.stats = true
 	upd.removePaths = []string{"/db/rec[3]"}
 	var updOut, updErr bytes.Buffer
 	if err := run(upd, []string{doc2}, &updOut, &updErr); err != nil {
 		t.Fatal(err)
+	}
+	// The fresh build did not record traces (-reuse-index off), so the
+	// first update recompares in full — and persists traces of its own.
+	if !strings.Contains(updErr.String(), "traces=none") {
+		t.Fatalf("first update stats = %q, want traces=none", updErr.String())
 	}
 
 	var refOut, refErr bytes.Buffer
@@ -287,10 +307,13 @@ func TestRunUpdateEndToEnd(t *testing.T) {
 		t.Fatalf("-update output diverges from from-scratch run\n got: %s\nwant: %s", updOut.String(), refOut.String())
 	}
 
-	// Chained removal-only update against the merged snapshot.
+	// Chained removal-only update against the merged snapshot. This is
+	// a separate run() invocation, so the traces the first update
+	// persisted come back from disk — the restart-replay path.
 	upd2 := base
 	upd2.update = true
 	upd2.storeDir = storeDir
+	upd2.stats = true
 	upd2.removePaths = []string{"0:/db/rec[2]"} // Gamma Delta, source-qualified
 	var upd2Out, upd2Err bytes.Buffer
 	if err := run(upd2, nil, &upd2Out, &upd2Err); err != nil {
@@ -298,6 +321,9 @@ func TestRunUpdateEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(upd2Out.String(), "dupcluster") {
 		t.Fatalf("removal-only update produced no cluster output: %s", upd2Out.String())
+	}
+	if !strings.Contains(upd2Err.String(), "traces=disk") {
+		t.Fatalf("second update stats = %q, want traces=disk", upd2Err.String())
 	}
 
 	// Bad removals fail with actionable errors.

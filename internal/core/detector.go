@@ -348,8 +348,14 @@ type Stats struct {
 	Candidates    int
 	Pruned        int   // objects removed by the filter
 	Compared      int64 // pairwise comparisons executed
+	Patched       int64 // pairs replayed from traces instead of compared (Update)
 	PairsDetected int   // pairs with sim > θcand
-	Elapsed       time.Duration
+	// TraceSource attributes an Update run's replay traces: "memory"
+	// (recorded by the previous in-process run), "disk" (restored from
+	// a persisted trace segment by Adopt), or "none" (no traces — full
+	// recompare). Empty for Detect runs.
+	TraceSource string
+	Elapsed     time.Duration
 }
 
 // Result is the outcome of Detect.

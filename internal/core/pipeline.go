@@ -42,6 +42,17 @@ const (
 	// Config.Snapshot.Save: it stamps the finalized store with the
 	// corpus fingerprint and persists it for future warm starts.
 	StageSnapshot = "snapshot"
+	// StageTraces runs last under Config.Incremental when a snapshot is
+	// being saved: the run's replay state persists as the snapshot's
+	// trace segment (od.SaveTraces), so a fresh process can Adopt the
+	// store and Update it with the same patched recomparisons as an
+	// in-process run.
+	StageTraces = "traces"
+	// StageAdopt is recorded by Adopt: its item count is the number of
+	// persisted pair traces restored from the store's snapshot directory
+	// (zero when none exist or the segment was rejected — the first
+	// Update then recompares all surviving pairs).
+	StageAdopt = "adopt"
 )
 
 // StageStats reports one executed pipeline stage.
@@ -161,6 +172,12 @@ func (d *Detector) stages(warm bool) []pipelineStage {
 			pipelineStage{StageCompare, (*pipelineRun).compare},
 			pipelineStage{StageCluster, (*pipelineRun).clusterPairs},
 		)
+		// Trace persistence runs on warm starts too: the adopted
+		// snapshot's manifest is untouched, so the new traces chain to
+		// it directly.
+		if d.cfg.Incremental && d.cfg.Snapshot != nil && d.cfg.Snapshot.Save {
+			out = append(out, pipelineStage{StageTraces, (*pipelineRun).persistTraces})
+		}
 	}
 	return out
 }
@@ -494,6 +511,27 @@ func (p *pipelineRun) clusterPairs() (int, error) {
 	p.res.Clusters = cluster.FromPairsFunc(p.idSpan(), len(p.res.Pairs),
 		func(i int) (int32, int32) { return p.res.Pairs[i].I, p.res.Pairs[i].J })
 	return len(p.res.Clusters), nil
+}
+
+// persistTraces is the StageTraces implementation: the run's replay
+// state — post-reduce survival, per-pair similarity traces, per-object
+// filter-bound traces — is written as the trace segment of the snapshot
+// the run saved (or, on a warm start, adopted), chained to its manifest
+// digest. It runs after cluster, so the manifest the snapshot stage
+// committed is the one the segment chains to. Item count is the number
+// of pair traces persisted.
+func (p *pipelineRun) persistTraces() (int, error) {
+	ts := &od.TraceSet{
+		Fingerprint: p.inc.fp,
+		Size:        p.store.Size(),
+		Alive:       p.alive,
+		Pairs:       p.inc.pairs,
+		Filter:      p.inc.filter,
+	}
+	if err := od.SaveTraces(p.d.cfg.Snapshot.Dir, p.store, ts); err != nil {
+		return 0, fmt.Errorf("core: traces: %w", err)
+	}
+	return len(p.inc.pairs), nil
 }
 
 // newStore builds the configured Store backend (MemStore by default).

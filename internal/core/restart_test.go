@@ -1,0 +1,515 @@
+package core_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/od"
+	"repro/internal/od/odcodec"
+)
+
+// This file pins the cross-process replay contract: a snapshot saved
+// with Config.Incremental carries a trace segment, and a fresh process
+// that reopens it (OpenDiskStore/OpenPartitioned + Adopt) runs its next
+// Update with exactly the recomparisons and patches the in-process
+// chain would have run — same pairs, same scores, same Compared and
+// Patched counts, only Stats.TraceSource flips from "memory" to "disk".
+
+// copyDir clones a flat snapshot directory, so the restart side can
+// adopt state S1 while the in-process side keeps mutating the original.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			copyDirInto(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+func copyDirInto(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			copyDirInto(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertReplayMatch cross-checks the restarted update against the
+// in-process one: identical canonical results, identical work split.
+func assertReplayMatch(t *testing.T, restarted, inproc *core.Result) {
+	t.Helper()
+	if got, want := canonicalResult(t, restarted), canonicalResult(t, inproc); got != want {
+		t.Errorf("restarted update diverges from the in-process chain\n got: %s\nwant: %s", got, want)
+	}
+	if restarted.Stats.Compared != inproc.Stats.Compared {
+		t.Errorf("restarted update recompared %d pairs, in-process chain %d",
+			restarted.Stats.Compared, inproc.Stats.Compared)
+	}
+	if restarted.Stats.Patched != inproc.Stats.Patched {
+		t.Errorf("restarted update patched %d pairs, in-process chain %d",
+			restarted.Stats.Patched, inproc.Stats.Patched)
+	}
+	if restarted.Stats.TraceSource != "disk" {
+		t.Errorf("restarted update TraceSource = %q, want \"disk\"", restarted.Stats.TraceSource)
+	}
+	if inproc.Stats.TraceSource != "memory" {
+		t.Errorf("in-process update TraceSource = %q, want \"memory\"", inproc.Stats.TraceSource)
+	}
+}
+
+// TestRestartReplayEquivalence: initial load + one in-process update
+// persist a snapshot with traces; a second process image reopens it,
+// adopts the traces, and applies the second update (with removals)
+// exactly like the chain that never restarted — across the identity
+// (DiskStore in its own directory) and export-compaction (MemStore,
+// ShardedStore) save paths, and under both mmap modes.
+func TestRestartReplayEquivalence(t *testing.T) {
+	type backend struct {
+		name     string
+		newStore func(t *testing.T, dir string) func() od.Store
+		open     od.DiskOptions
+		skipOn   bool // skip when forced mmap is unsupported
+	}
+	backends := []backend{
+		{name: "disk-identity", newStore: func(t *testing.T, dir string) func() od.Store {
+			return func() od.Store { return od.NewDiskStore(dir) }
+		}},
+		{name: "mem-export", newStore: func(t *testing.T, dir string) func() od.Store { return nil }},
+		{name: "sharded-export", newStore: func(t *testing.T, dir string) func() od.Store {
+			return func() od.Store { return od.NewShardedStore(4) }
+		}},
+		{name: "disk-mmap-off", newStore: func(t *testing.T, dir string) func() od.Store {
+			return func() od.Store { return od.NewDiskStore(dir) }
+		}, open: od.DiskOptions{Mmap: odcodec.MmapOff}},
+		{name: "disk-mmap-on", newStore: func(t *testing.T, dir string) func() od.Store {
+			return func() od.Store { return od.NewDiskStore(dir) }
+		}, open: od.DiskOptions{Mmap: odcodec.MmapOn}, skipOn: true},
+	}
+	for _, sc := range updateScenarios(t) {
+		for _, be := range backends {
+			t.Run(fmt.Sprintf("%s/%s", sc.name, be.name), func(t *testing.T) {
+				dirA := t.TempDir()
+				cfg := sc.cfg
+				cfg.NewStore = be.newStore(t, dirA)
+				cfg.Incremental = true
+				cfg.Snapshot = &core.SnapshotOptions{Dir: dirA, Save: true}
+				det, err := core.NewDetector(sc.mapping, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				src := 0
+				inputsFor := func(corpora [][]byte) []core.SourceInput {
+					var names []string
+					for range corpora {
+						names = append(names, sc.names(src))
+						src++
+					}
+					return docInputs(t, names, corpora)
+				}
+				res, err := det.DetectInputs(sc.typeName, inputsFor(sc.initial)...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res1, err := det.Update(res, core.UpdateBatch{Add: inputsFor(sc.batch1)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				batch2Src := src
+
+				// Freeze state S1 for the restart side before the
+				// in-process chain mutates dirA.
+				dirB := copyDir(t, dirA)
+
+				removalsFor := func(res *core.Result) []int32 {
+					var remove []int32
+					for srcIdx, k := range sc.remove2 {
+						remove = append(remove, trailingIDs(t, res, srcIdx, k)...)
+					}
+					sort.Slice(remove, func(i, j int) bool { return remove[i] < remove[j] })
+					return remove
+				}
+				batch2For := func(t *testing.T) []core.SourceInput {
+					var names []string
+					for i := range sc.batch2 {
+						names = append(names, sc.names(batch2Src+i))
+					}
+					return docInputs(t, names, sc.batch2)
+				}
+
+				// Restart side: reopen S1, adopt, update.
+				store, err := od.OpenDiskStoreWith(dirB, be.open)
+				if err != nil {
+					if be.skipOn {
+						t.Skipf("forced mmap unsupported on this platform: %v", err)
+					}
+					t.Fatal(err)
+				}
+				adopted, err := core.Adopt(sc.typeName, store)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st, ok := adopted.StageByName(core.StageAdopt); !ok || st.Items == 0 {
+					t.Fatalf("Adopt restored no traces (stage %+v, found %v)", st, ok)
+				}
+				cfgB := cfg
+				cfgB.NewStore = nil
+				cfgB.Snapshot = &core.SnapshotOptions{Dir: dirB, Save: true}
+				detB, err := core.NewDetector(sc.mapping, cfgB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				restarted, err := detB.Update(adopted, core.UpdateBatch{
+					Add: batch2For(t), Remove: removalsFor(adopted),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// In-process side: the chain that never restarted.
+				inproc, err := det.Update(res1, core.UpdateBatch{
+					Add: batch2For(t), Remove: removalsFor(res1),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				assertReplayMatch(t, restarted, inproc)
+				if sc.expectPatching && restarted.Stats.Patched == 0 {
+					t.Error("restarted update patched no pairs; replay never happened")
+				}
+
+				// The restarted update re-persisted snapshot + traces: a
+				// second restart must adopt them again.
+				store2, err := od.OpenDiskStoreWith(dirB, be.open)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer store2.Close()
+				adopted2, err := core.Adopt(sc.typeName, store2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if st, ok := adopted2.StageByName(core.StageAdopt); !ok || st.Items == 0 {
+					t.Fatalf("second restart restored no traces (stage %+v, found %v)", st, ok)
+				}
+			})
+		}
+	}
+}
+
+// TestRestartReplayPartitioned pins the distributed path: a federation
+// persisted via od.SavePartitioned plus Result.SaveTraces restores its
+// coordinator-level traces through OpenPartitioned + Adopt, and the
+// restarted update matches the in-process chain bit-identically.
+func TestRestartReplayPartitioned(t *testing.T) {
+	sc := updateScenarios(t)[0]
+	cfg := sc.cfg
+	cfg.NewStore = distStore(3)
+	cfg.Incremental = true
+	det, err := core.NewDetector(sc.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := det.DetectInputs(sc.typeName, docInputs(t, []string{sc.names(0)}, sc.initial)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := det.Update(res, core.UpdateBatch{Add: docInputs(t, []string{sc.names(1)}, sc.batch1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ps := res1.Store.(*od.PartitionedStore)
+	if err := od.SavePartitioned(dir, ps, od.SnapshotMeta{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := res1.SaveTraces(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	fed, err := od.OpenPartitioned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	adopted, err := core.Adopt(sc.typeName, fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := adopted.StageByName(core.StageAdopt); !ok || st.Items == 0 {
+		t.Fatalf("Adopt restored no coordinator traces (stage %+v, found %v)", st, ok)
+	}
+
+	batch2 := func() []core.SourceInput { return docInputs(t, []string{sc.names(2)}, sc.batch2) }
+	restarted, err := det.Update(adopted, core.UpdateBatch{
+		Add: batch2(), Remove: trailingIDs(t, adopted, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := det.Update(res1, core.UpdateBatch{
+		Add: batch2(), Remove: trailingIDs(t, res1, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReplayMatch(t, restarted, inproc)
+}
+
+// downgradeToV3 transcodes a committed v4 snapshot into the legacy
+// version-3 format (no neighbor segment, no shared string heap) through
+// the public codec API, byte-faithful in every record the two versions
+// share — exactly what a pre-upgrade binary's od.Save left on disk.
+func downgradeToV3(t *testing.T, srcDir string) string {
+	t.Helper()
+	r, err := odcodec.Open(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	dst := t.TempDir()
+	w, err := odcodec.NewWriterVersion(dst, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Abort()
+	for id := int32(0); id < int32(r.NumODs()); id++ {
+		obj, src, tuples, err := r.OD(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AddOD(obj, src, tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, tm := range r.Types() {
+		if err := w.BeginType(tm.Name, tm.MaxLen, tm.Budget); err != nil {
+			t.Fatal(err)
+		}
+		err := r.ScanType(tm.Name, func(v string, rl int, postings func() ([]int32, error)) (bool, error) {
+			ids, err := postings()
+			if err != nil {
+				return true, err
+			}
+			return false, w.AddValue(v, ids)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := r.Meta()
+	if err := w.Commit(odcodec.Meta{Fingerprint: meta.Fingerprint, Theta: meta.Theta}); err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestRestartReplayFromV3Upgrade: a legacy v3 snapshot adopted and
+// updated in place upgrades to the current format and gains a trace
+// segment; the restart after that update replays it, and both the
+// restarted and in-process chains match a from-scratch run.
+func TestRestartReplayFromV3Upgrade(t *testing.T) {
+	sc := updateScenarios(t)[0]
+
+	// Build the v3 starting state: detect the initial corpus into a
+	// fresh v4 snapshot, then transcode it down.
+	seedDir := t.TempDir()
+	seedCfg := sc.cfg
+	seedCfg.NewStore = func() od.Store { return od.NewDiskStore(seedDir) }
+	seedDet, err := core.NewDetector(sc.mapping, seedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seedDet.DetectInputs(sc.typeName, docInputs(t, []string{sc.names(0)}, sc.initial)...); err != nil {
+		t.Fatal(err)
+	}
+	dirV3 := downgradeToV3(t, seedDir)
+
+	// Adopt the v3 store and update it in place: no traces exist yet
+	// (the format predates them), so this update full-recompares — and
+	// its snapshot stage upgrades the directory to the current format,
+	// after which the traces stage records the segment.
+	cfg := sc.cfg
+	cfg.Incremental = true
+	cfg.Snapshot = &core.SnapshotOptions{Dir: dirV3, Save: true}
+	det, err := core.NewDetector(sc.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3store, err := od.OpenDiskStore(dirV3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted0, err := core.Adopt(sc.typeName, v3store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := adopted0.StageByName(core.StageAdopt); !ok || st.Items != 0 {
+		t.Fatalf("v3 snapshot yielded traces from nowhere (stage %+v)", st)
+	}
+	res1, err := det.Update(adopted0, core.UpdateBatch{Add: docInputs(t, []string{sc.names(1)}, sc.batch1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Stats.TraceSource != "none" {
+		t.Fatalf("first update over a v3 store reported TraceSource %q, want \"none\"", res1.Stats.TraceSource)
+	}
+
+	// Restart from the upgraded-in-place directory.
+	dirB := copyDir(t, dirV3)
+	store, err := od.OpenDiskStore(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := core.Adopt(sc.typeName, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := adopted.StageByName(core.StageAdopt); !ok || st.Items == 0 {
+		t.Fatalf("upgraded snapshot restored no traces (stage %+v, found %v)", st, ok)
+	}
+	cfgB := cfg
+	cfgB.Snapshot = &core.SnapshotOptions{Dir: dirB, Save: true}
+	detB, err := core.NewDetector(sc.mapping, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2 := func() []core.SourceInput { return docInputs(t, []string{sc.names(2)}, sc.batch2) }
+	restarted, err := detB.Update(adopted, core.UpdateBatch{
+		Add: batch2(), Remove: trailingIDs(t, adopted, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := det.Update(res1, core.UpdateBatch{
+		Add: batch2(), Remove: trailingIDs(t, res1, 0, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReplayMatch(t, restarted, inproc)
+
+	// Both must also match the from-scratch reference over the final
+	// live corpus.
+	freshCorpora := [][]byte{trimTrailing(t, sc.initial[0], 2), sc.batch1[0], sc.batch2[0]}
+	freshDet, err := core.NewDetector(sc.mapping, sc.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := freshDet.DetectInputs(sc.typeName,
+		docInputs(t, []string{sc.names(0), sc.names(1), sc.names(2)}, freshCorpora)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Pairs) == 0 {
+		t.Fatal("reference run found no duplicates; equivalence would be vacuous")
+	}
+	if got, want := canonicalResult(t, restarted), canonicalResult(t, fresh); got != want {
+		t.Errorf("restarted chain diverges from from-scratch run\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestRestartCorruptTraceFallsBack: a flipped byte in the trace segment
+// must not poison anything — Adopt reports zero restored traces, the
+// next update recompares everything, and the answer still matches the
+// in-process chain.
+func TestRestartCorruptTraceFallsBack(t *testing.T) {
+	sc := updateScenarios(t)[0]
+	dirA := t.TempDir()
+	cfg := sc.cfg
+	cfg.NewStore = func() od.Store { return od.NewDiskStore(dirA) }
+	cfg.Incremental = true
+	cfg.Snapshot = &core.SnapshotOptions{Dir: dirA, Save: true}
+	det, err := core.NewDetector(sc.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := det.DetectInputs(sc.typeName, docInputs(t, []string{sc.names(0)}, sc.initial)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dirB := copyDir(t, dirA)
+	path := filepath.Join(dirB, odcodec.TraceFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := od.OpenDiskStore(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adopted, err := core.Adopt(sc.typeName, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := adopted.StageByName(core.StageAdopt); !ok || st.Items != 0 {
+		t.Fatalf("corrupt trace segment was adopted (stage %+v)", st)
+	}
+	cfgB := cfg
+	cfgB.Snapshot = &core.SnapshotOptions{Dir: dirB, Save: true}
+	detB, err := core.NewDetector(sc.mapping, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch1 := func() []core.SourceInput { return docInputs(t, []string{sc.names(1)}, sc.batch1) }
+	restarted, err := detB.Update(adopted, core.UpdateBatch{Add: batch1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restarted.Stats.TraceSource != "none" {
+		t.Fatalf("TraceSource = %q after a corrupt segment, want \"none\"", restarted.Stats.TraceSource)
+	}
+	inproc, err := det.Update(res1, core.UpdateBatch{Add: batch1()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalResult(t, restarted), canonicalResult(t, inproc); got != want {
+		t.Errorf("full-recompare fallback diverges from the traced chain\n got: %s\nwant: %s", got, want)
+	}
+	if restarted.Stats.Patched != 0 {
+		t.Errorf("fallback update patched %d pairs with no traces", restarted.Stats.Patched)
+	}
+}

@@ -198,6 +198,9 @@ func (p *pipelineRun) warmStart() (int, error) {
 	p.store = ds
 	p.res.Store = ds
 	p.res.WarmStart = true
+	if p.inc != nil {
+		p.inc.fp = fp // seed the chain so persisted traces carry provenance
+	}
 	p.persistedFilter = ds.PersistedFilterValues()
 	// Candidates are part of the snapshot: every OD carries its
 	// positionally qualified path and source index. Node and SchemaEl

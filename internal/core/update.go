@@ -43,6 +43,11 @@ type incState struct {
 	// stays valid while no posting of a value θtuple-similar to one of
 	// the object's tuples changes.
 	filter [][]sim.FilterStep
+	// origin attributes where the state came from: "memory" for states
+	// recorded by an in-process run, "disk" for states Adopt restored
+	// from a persisted trace segment. Surfaced as Stats.TraceSource on
+	// the Update that consumes it.
+	origin string
 }
 
 func pairKey(i, j int32) int64 { return int64(i)<<32 | int64(uint32(j)) }
@@ -70,7 +75,8 @@ type updateCtx struct {
 	exactDirty  map[int32]bool
 	filterDirty map[int32]bool
 
-	recompared int64 // pairs actually compared (vs patched)
+	recompared int64 // pairs actually compared...
+	patched    int64 // ...vs replayed from the previous run's traces
 }
 
 // Update runs the incremental detection path against the result of a
@@ -90,8 +96,11 @@ type updateCtx struct {
 // this on all three store backends.
 //
 // Without replay traces on prev (Config.Incremental off, or a store
-// adopted from disk), every surviving pair recompares — still correct,
-// and still skipping re-ingestion and the index rebuild.
+// adopted from a snapshot carrying no valid trace segment), every
+// surviving pair recompares — still correct, and still skipping
+// re-ingestion and the index rebuild. Stats.TraceSource attributes
+// which path ran: "memory" (in-process traces), "disk" (traces Adopt
+// restored from the snapshot's trace segment), or "none".
 //
 // θtuple must match the store's; prev must carry one candidate slot per
 // store ID. With Config.Snapshot.Save set, the updated store is
@@ -156,6 +165,12 @@ func (d *Detector) Update(prev *Result, batch UpdateBatch) (*Result, error) {
 	if d.cfg.Incremental {
 		p.inc = &incState{pairs: map[int64]sim.PairTrace{}}
 	}
+	res.Stats.TraceSource = "none"
+	if prev.inc != nil {
+		if res.Stats.TraceSource = prev.inc.origin; res.Stats.TraceSource == "" {
+			res.Stats.TraceSource = "memory"
+		}
+	}
 
 	stages := []pipelineStage{
 		{StageUpdate, (*pipelineRun).updateApply},
@@ -169,6 +184,9 @@ func (d *Detector) Update(prev *Result, batch UpdateBatch) (*Result, error) {
 			pipelineStage{StageCompare, (*pipelineRun).updateCompare},
 			pipelineStage{StageCluster, (*pipelineRun).clusterPairs},
 		)
+		if d.cfg.Incremental && d.cfg.Snapshot != nil && d.cfg.Snapshot.Save {
+			stages = append(stages, pipelineStage{StageTraces, (*pipelineRun).persistTraces})
+		}
 	}
 	if err := p.run(stages); err != nil {
 		return nil, err
@@ -181,9 +199,17 @@ func (d *Detector) Update(prev *Result, batch UpdateBatch) (*Result, error) {
 // Adopt wraps an already-finalized store — typically od.OpenDiskStore
 // over a persisted index directory — in a Result that Update can run
 // against without re-detecting anything. Candidates are reconstructed
-// from the stored object descriptions; no replay traces exist, so the
-// first Update recompares all surviving pairs.
+// from the stored object descriptions, and when the store's snapshot
+// directory carries a valid trace segment (od.LoadTraces: recorded by a
+// run with Config.Incremental and Snapshot.Save, still chained to the
+// current manifest), the persisted replay traces are restored, so the
+// first Update after a restart patches clean pairs exactly like an
+// in-process run. The recorded StageAdopt stats report the restoration:
+// its item count is the number of pair traces loaded — zero means no
+// usable segment was found (absent, stale, corrupt, or a mutated
+// store), and the first Update recompares all surviving pairs instead.
 func Adopt(typeName string, s od.Store) (*Result, error) {
+	begin := time.Now()
 	ms, ok := s.(od.MutableStore)
 	if !ok {
 		return nil, fmt.Errorf("core: store %T does not support post-Finalize updates", s)
@@ -202,7 +228,42 @@ func Adopt(typeName string, s od.Store) (*Result, error) {
 			res.SourceCount = o.Source + 1
 		}
 	}
+	// A rejected trace segment downgrades to a full recompare, never to
+	// an error: the traces are a pure cache of replayable work.
+	items := 0
+	if ts, err := od.LoadTraces(s); err == nil && ts != nil {
+		res.inc = &incState{
+			size:   ts.Size,
+			fp:     ts.Fingerprint,
+			alive:  ts.Alive,
+			pairs:  ts.Pairs,
+			filter: ts.Filter,
+			origin: "disk",
+		}
+		items = len(ts.Pairs)
+	}
+	res.Stages = append(res.Stages, StageStats{Name: StageAdopt, Items: items, Elapsed: time.Since(begin)})
 	return res, nil
+}
+
+// SaveTraces persists the replay traces this result carries (recorded
+// under Config.Incremental) as the trace segment of the snapshot
+// already committed in dir — the manual counterpart of the automatic
+// traces stage, for stores the pipeline cannot snapshot itself: a
+// federation persisted via od.SavePartitioned. Call it right after the
+// snapshot lands; any later rewrite of dir's manifest invalidates the
+// segment, and a later Adopt of the reopened store restores it.
+func (r *Result) SaveTraces(dir string) error {
+	if r.inc == nil {
+		return fmt.Errorf("core: result carries no replay traces (Config.Incremental off)")
+	}
+	return od.SaveTraces(dir, r.Store, &od.TraceSet{
+		Fingerprint: r.inc.fp,
+		Size:        r.inc.size,
+		Alive:       r.inc.alive,
+		Pairs:       r.inc.pairs,
+		Filter:      r.inc.filter,
+	})
 }
 
 // finishIncState snapshots the run's survival state into the recorded
@@ -213,6 +274,7 @@ func (p *pipelineRun) finishIncState() {
 	}
 	p.inc.size = p.store.Size()
 	p.inc.alive = p.alive
+	p.inc.origin = "memory"
 	if p.upd != nil && p.upd.prev != nil && p.inc.fp == "" {
 		p.inc.fp = p.upd.prev.fp
 	}
@@ -458,6 +520,7 @@ func (p *pipelineRun) updateCompare() (int, error) {
 			if !p.alive[i] || !p.alive[j] || inR[i] || inR[j] {
 				continue
 			}
+			u.patched++
 			score := sim.ReplayScore(liveN, tr)
 			switch p.comparator.Classify(score) {
 			case sim.ClassDuplicate:
@@ -476,6 +539,7 @@ func (p *pipelineRun) updateCompare() (int, error) {
 	p.res.Pairs = pairs
 	p.res.PossiblePairs = possible
 	p.res.Stats.Compared = u.recompared
+	p.res.Stats.Patched = u.patched
 	p.res.Stats.PairsDetected = len(pairs)
 	return int(u.recompared), nil
 }

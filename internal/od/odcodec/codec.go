@@ -34,6 +34,11 @@
 //	              restart points, so SimilarValues is a handful of point
 //	              lookups instead of a segment scan.
 //
+// A snapshot may carry a trace segment (trace.odx, see trace.go)
+// persisting the incremental-replay state of the run that wrote it,
+// chained to the manifest by digest; it is a pure cache whose absence
+// or staleness only costs a full recompare on the next update.
+//
 // A mutated store additionally appends numbered delta segments
 // (delta-NNNNNNNN.odx, see delta.go) carrying post-Finalize
 // AddAfterFinalize/Remove batches; the manifest's DeltaSeq watermark
@@ -94,6 +99,7 @@ const (
 	kindDelta      = 5
 	kindFederation = 6
 	kindNeighbor   = 7
+	kindTrace      = 8
 )
 
 // Segment file names within a snapshot directory. Delta segments are

@@ -1,0 +1,340 @@
+package odcodec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// The trace segment persists the Step 4 incremental-replay state — the
+// softIDF-union similarity traces recorded per compared pair and the
+// filter-bound traces recorded per object — so a process restart can
+// replay untouched bounds and pair scores instead of recomparing every
+// surviving pair. Like delta segments it is a standalone CRC-framed
+// file next to the base segments; unlike them it is a pure cache: it is
+// chained to the exact manifest it was recorded against (by manifest
+// digest), and any mismatch, corruption or absence merely downgrades
+// the next Update to a full recompare.
+
+// TraceFile is the trace segment's file name within a snapshot
+// directory.
+const TraceFile = "trace.odx"
+
+// TraceSet is the persisted incremental-replay state of one snapshot.
+type TraceSet struct {
+	// ManifestDigest chains the traces to the snapshot they were
+	// recorded against: the SHA-256 of the manifest file's bytes at
+	// write time. Any later Save or UpdateMeta rewrites the manifest and
+	// thereby invalidates the traces, including a crash between the
+	// snapshot commit and the trace write.
+	ManifestDigest string
+	// Fingerprint is the corpus-chain fingerprint of the run that
+	// recorded the traces ("" when the snapshot carries no provenance).
+	// It seeds the update fingerprint chain across restarts; binding is
+	// by ManifestDigest, not by it.
+	Fingerprint string
+	// Size is the live object count of the store the traces describe.
+	Size int
+	// Alive is the recording run's post-reduce survival per slot of the
+	// store's ID space (len(Alive) == IDSpan): false for removed IDs
+	// and for objects the Step 4 filter pruned.
+	Alive []bool
+	// Filters holds per-slot filter-bound traces, index-aligned with
+	// Alive; a nil slot means no trace was recorded for that object.
+	// Filters itself is nil when the run replayed persisted filter
+	// values and recorded no bound traces at all.
+	Filters [][]TraceFilterStep
+	// Pairs holds one similarity trace per scored pair, strictly
+	// ascending by Key.
+	Pairs []TracePair
+}
+
+// TracePair is one pair's similarity trace: the pair key
+// (int64(i)<<32|j with i<j, cast to uint64) and the |O_a ∪ O_b| union
+// sizes of its similar and contradictory matches, in match order.
+type TracePair struct {
+	Key  uint64
+	SimU []int32
+	ConU []int32
+}
+
+// TraceFilterStep is one step of an object's filter-bound trace.
+type TraceFilterStep struct {
+	Shared bool
+	Union  int32
+}
+
+// ManifestDigest returns the SHA-256 hex digest of the committed
+// manifest's bytes — the value trace segments chain to.
+func ManifestDigest(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", ErrNoSnapshot
+		}
+		return "", fmt.Errorf("odcodec: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// WriteTrace atomically persists a trace set: written to a temporary
+// name, synced, renamed into place, directory synced — a crash
+// mid-write never leaves a half trace under the committed name.
+func WriteTrace(dir string, ts *TraceSet) error {
+	span := len(ts.Alive)
+	if ts.Size < 0 || ts.Size > span {
+		return fmt.Errorf("odcodec: trace size %d outside [0,%d]", ts.Size, span)
+	}
+	if ts.Filters != nil && len(ts.Filters) != span {
+		return fmt.Errorf("odcodec: %d filter traces for span %d", len(ts.Filters), span)
+	}
+	b := appendString(nil, ts.ManifestDigest)
+	b = appendString(b, ts.Fingerprint)
+	b = appendUvarint(b, uint64(ts.Size))
+	b = appendUvarint(b, uint64(span))
+	bitmap := make([]byte, (span+7)/8)
+	for i, a := range ts.Alive {
+		if a {
+			bitmap[i/8] |= 1 << (i % 8)
+		}
+	}
+	b = append(b, bitmap...)
+	if ts.Filters == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		for _, steps := range ts.Filters {
+			if steps == nil {
+				b = appendUvarint(b, 0)
+				continue
+			}
+			b = appendUvarint(b, uint64(len(steps))+1)
+			for _, st := range steps {
+				if st.Union < 0 {
+					return fmt.Errorf("odcodec: negative filter union %d", st.Union)
+				}
+				v := uint64(st.Union) << 1
+				if st.Shared {
+					v |= 1
+				}
+				b = appendUvarint(b, v)
+			}
+		}
+	}
+	b = appendUvarint(b, uint64(len(ts.Pairs)))
+	var prevKey uint64
+	for n, p := range ts.Pairs {
+		i, j := int64(p.Key>>32), int64(p.Key&math.MaxUint32)
+		if i >= j || j >= int64(span) {
+			return fmt.Errorf("odcodec: trace pair key (%d,%d) invalid for span %d", i, j, span)
+		}
+		if n == 0 {
+			b = appendUvarint(b, p.Key)
+		} else {
+			if p.Key <= prevKey {
+				return fmt.Errorf("odcodec: trace pair keys not strictly ascending")
+			}
+			b = appendUvarint(b, p.Key-prevKey)
+		}
+		prevKey = p.Key
+		for _, us := range [2][]int32{p.SimU, p.ConU} {
+			b = appendUvarint(b, uint64(len(us)))
+			for _, u := range us {
+				if u < 0 {
+					return fmt.Errorf("odcodec: negative trace union %d", u)
+				}
+				b = appendUvarint(b, uint64(u))
+			}
+		}
+	}
+
+	h := newHeader(kindTrace, Version)
+	crc := crc32.Update(0, crcTable, h)
+	crc = crc32.Update(crc, crcTable, b)
+	out := append(h, b...)
+	out = append(out, newFooter(crc)...)
+
+	path := filepath.Join(dir, TraceFile)
+	f, err := os.Create(path + tmpSuffix)
+	if err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	if err := os.Rename(path+tmpSuffix, path); err != nil {
+		return fmt.Errorf("odcodec: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// RemoveTrace deletes the trace segment, if any. Best-effort: a file
+// that resists deletion stays on disk and is rejected by its manifest
+// digest anyway.
+func RemoveTrace(dir string) {
+	os.Remove(filepath.Join(dir, TraceFile))
+}
+
+// ReadTrace loads and fully verifies the trace segment in dir. Returns
+// (nil, nil) when no trace file exists; corruption is a *CorruptError.
+// The caller checks the manifest digest — ReadTrace only validates the
+// encoding.
+func ReadTrace(dir string) (*TraceSet, error) {
+	path := filepath.Join(dir, TraceFile)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("odcodec: %w", err)
+	}
+	if st.Size() > 1<<33 {
+		return nil, corrupt(TraceFile, "implausible trace size %d", st.Size())
+	}
+	// Like deltas, the trace payload layout is version-independent; any
+	// readable header version is accepted.
+	payload, _, err := readFramedFile(path, TraceFile, kindTrace, f, st.Size())
+	if err != nil {
+		return nil, err
+	}
+	br := &byteReader{buf: payload, file: TraceFile}
+	ts := &TraceSet{}
+	if ts.ManifestDigest, err = br.str(); err != nil {
+		return nil, err
+	}
+	if ts.Fingerprint, err = br.str(); err != nil {
+		return nil, err
+	}
+	size, err := br.count(maxCount)
+	if err != nil {
+		return nil, err
+	}
+	ts.Size = size
+	span, err := br.count(maxCount)
+	if err != nil {
+		return nil, err
+	}
+	nBitmap := (span + 7) / 8
+	if br.pos+nBitmap > len(br.buf) {
+		return nil, corrupt(TraceFile, "alive bitmap of %d bytes overruns payload", nBitmap)
+	}
+	ts.Alive = make([]bool, span)
+	for i := range ts.Alive {
+		ts.Alive[i] = br.buf[br.pos+i/8]&(1<<(i%8)) != 0
+	}
+	br.pos += nBitmap
+	if ts.Size > span {
+		return nil, corrupt(TraceFile, "size %d exceeds span %d", ts.Size, span)
+	}
+	if br.pos >= len(br.buf) {
+		return nil, corrupt(TraceFile, "missing filter-presence byte")
+	}
+	switch present := br.buf[br.pos]; present {
+	case 0, 1:
+		br.pos++
+		if present == 1 {
+			ts.Filters = make([][]TraceFilterStep, span)
+			for i := range ts.Filters {
+				m, err := br.count(len(br.buf) - br.pos + 1)
+				if err != nil {
+					return nil, err
+				}
+				if m == 0 {
+					continue
+				}
+				steps := make([]TraceFilterStep, m-1)
+				for k := range steps {
+					v, err := br.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					u := v >> 1
+					if u > math.MaxInt32 {
+						return nil, corrupt(TraceFile, "filter union %d overflows int32", u)
+					}
+					steps[k] = TraceFilterStep{Shared: v&1 == 1, Union: int32(u)}
+				}
+				ts.Filters[i] = steps
+			}
+		}
+	default:
+		return nil, corrupt(TraceFile, "bad filter-presence byte %d", present)
+	}
+	// Every pair costs at least 3 payload bytes (key delta + two
+	// lengths), so the remaining bytes bound the count before any
+	// allocation.
+	nPairs, err := br.count(min(maxCount, (len(br.buf)-br.pos)/3+1))
+	if err != nil {
+		return nil, err
+	}
+	if nPairs > 0 {
+		ts.Pairs = make([]TracePair, nPairs)
+	}
+	var prevKey uint64
+	for n := range ts.Pairs {
+		d, err := br.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		key := d
+		if n > 0 {
+			if d == 0 {
+				return nil, corrupt(TraceFile, "zero pair-key delta at pair %d", n)
+			}
+			key = prevKey + d
+			if key < prevKey {
+				return nil, corrupt(TraceFile, "pair-key overflow at pair %d", n)
+			}
+		}
+		prevKey = key
+		i, j := int64(key>>32), int64(key&math.MaxUint32)
+		if i >= j || j >= int64(span) {
+			return nil, corrupt(TraceFile, "pair key (%d,%d) invalid for span %d", i, j, span)
+		}
+		p := &ts.Pairs[n]
+		p.Key = key
+		for side, dst := range [2]*[]int32{&p.SimU, &p.ConU} {
+			m, err := br.count(min(maxCount, len(br.buf)-br.pos))
+			if err != nil {
+				return nil, err
+			}
+			if m == 0 {
+				continue
+			}
+			us := make([]int32, m)
+			for k := range us {
+				v, err := br.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if v > math.MaxInt32 {
+					return nil, corrupt(TraceFile, "trace union %d overflows int32 (pair %d side %d)", v, n, side)
+				}
+				us[k] = int32(v)
+			}
+			*dst = us
+		}
+	}
+	if br.pos != len(br.buf) {
+		return nil, corrupt(TraceFile, "%d trailing bytes", len(br.buf)-br.pos)
+	}
+	return ts, nil
+}

@@ -1,0 +1,231 @@
+package odcodec
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// sampleTrace builds a representative trace set over a 7-slot ID span:
+// a tombstoned slot, a filter-pruned survivor gap, nil and empty filter
+// traces, and pairs with empty and non-empty contradictory sides.
+func sampleTrace(digest string) *TraceSet {
+	return &TraceSet{
+		ManifestDigest: digest,
+		Fingerprint:    "fp-chain-head",
+		Size:           6, // one tombstoned slot
+		Alive:          []bool{true, true, false, true, false, true, true},
+		Filters: [][]TraceFilterStep{
+			{{Shared: true, Union: 4}, {Shared: false, Union: 9}},
+			{},
+			nil,
+			{{Shared: false, Union: 1}},
+			nil,
+			{{Shared: true, Union: 123456}},
+			{{Shared: true, Union: 2}, {Shared: true, Union: 2}, {Shared: false, Union: 7}},
+		},
+		Pairs: []TracePair{
+			{Key: 0<<32 | 1, SimU: []int32{3, 4}, ConU: []int32{9}},
+			{Key: 0<<32 | 3, SimU: []int32{2}},
+			{Key: 1<<32 | 6, SimU: []int32{5, 5, 5}, ConU: []int32{}},
+			{Key: 5<<32 | 6, SimU: []int32{1 << 20}},
+		},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, "fp", nil)
+	digest, err := ManifestDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTrace(digest)
+	if err := WriteTrace(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The codec does not distinguish an empty ConU from an absent one;
+	// normalize before the deep comparison.
+	norm := func(ts *TraceSet) {
+		for i := range ts.Pairs {
+			if len(ts.Pairs[i].SimU) == 0 {
+				ts.Pairs[i].SimU = nil
+			}
+			if len(ts.Pairs[i].ConU) == 0 {
+				ts.Pairs[i].ConU = nil
+			}
+		}
+		for i := range ts.Filters {
+			if ts.Filters[i] != nil && len(ts.Filters[i]) == 0 {
+				ts.Filters[i] = []TraceFilterStep{}
+			}
+		}
+	}
+	norm(want)
+	norm(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestTraceRoundTripNoFilters(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, "fp", nil)
+	digest, err := ManifestDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleTrace(digest)
+	want.Filters = nil
+	if err := WriteTrace(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Filters != nil {
+		t.Fatalf("Filters = %v, want nil (not recorded)", got.Filters)
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("got %d pairs, want %d", len(got.Pairs), len(want.Pairs))
+	}
+}
+
+func TestTraceAbsent(t *testing.T) {
+	ts, err := ReadTrace(t.TempDir())
+	if err != nil || ts != nil {
+		t.Fatalf("ReadTrace(empty dir) = %v, %v; want nil, nil", ts, err)
+	}
+}
+
+func TestWriteTraceRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	base := func() *TraceSet { return sampleTrace("d") }
+	for name, mutate := range map[string]func(*TraceSet){
+		"size over span":   func(ts *TraceSet) { ts.Size = len(ts.Alive) + 1 },
+		"negative size":    func(ts *TraceSet) { ts.Size = -1 },
+		"filter span":      func(ts *TraceSet) { ts.Filters = ts.Filters[:3] },
+		"pair i==j":        func(ts *TraceSet) { ts.Pairs[0].Key = 1<<32 | 1 },
+		"pair j over span": func(ts *TraceSet) { ts.Pairs[3].Key = 5<<32 | 7 },
+		"keys not sorted":  func(ts *TraceSet) { ts.Pairs[1], ts.Pairs[2] = ts.Pairs[2], ts.Pairs[1] },
+		"duplicate key":    func(ts *TraceSet) { ts.Pairs[1].Key = ts.Pairs[0].Key },
+		"negative union":   func(ts *TraceSet) { ts.Pairs[0].SimU[0] = -1 },
+		"negative f-union": func(ts *TraceSet) { ts.Filters[0][0].Union = -2 },
+	} {
+		ts := base()
+		mutate(ts)
+		if err := WriteTrace(dir, ts); err == nil {
+			t.Errorf("%s: WriteTrace accepted an invalid trace set", name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, TraceFile)); !os.IsNotExist(err) {
+		t.Fatalf("rejected writes left a trace file behind (stat err %v)", err)
+	}
+}
+
+// TestTraceByteFlips corrupts the committed trace file one byte at a
+// time; every flip must be rejected (or, where a flip lands in the
+// digest/fingerprint strings without breaking framing, still decode —
+// the CRC makes that impossible here, so rejection is total).
+func TestTraceByteFlips(t *testing.T) {
+	dir := t.TempDir()
+	writeSample(t, dir, "fp", nil)
+	digest, err := ManifestDigest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(dir, sampleTrace(digest)); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, TraceFile)
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range valid {
+		mut := append([]byte(nil), valid...)
+		mut[i] ^= 0xff
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTrace(dir); err == nil {
+			t.Fatalf("flip at byte %d of %d accepted", i, len(valid))
+		} else if !IsCorrupt(err) {
+			t.Fatalf("flip at byte %d rejected with non-corruption error %v", i, err)
+		}
+	}
+	// Truncations at every length must also be rejected.
+	for n := 0; n < len(valid); n++ {
+		if err := os.WriteFile(path, valid[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadTrace(dir); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(valid))
+		}
+	}
+}
+
+// FuzzTraceSegment feeds arbitrary bytes as the trace file: ReadTrace
+// must reject cleanly or decode a structurally valid trace set — never
+// panic, never over-allocate on a tiny hostile frame.
+func FuzzTraceSegment(f *testing.F) {
+	dir, err := os.MkdirTemp("", "odcodec-trace-fuzz-")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteTrace(dir, sampleTrace("seed-digest")); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := os.ReadFile(filepath.Join(dir, TraceFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...))
+	empty := &TraceSet{ManifestDigest: "d", Size: 0, Alive: nil}
+	if err := WriteTrace(dir, empty); err != nil {
+		f.Fatal(err)
+	}
+	validEmpty, err := os.ReadFile(filepath.Join(dir, TraceFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validEmpty)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, TraceFile), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ts, err := ReadTrace(dir)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted: the decoded set must satisfy every structural
+		// invariant WriteTrace enforces.
+		span := len(ts.Alive)
+		if ts.Size < 0 || ts.Size > span {
+			t.Fatalf("accepted size %d outside [0,%d]", ts.Size, span)
+		}
+		if ts.Filters != nil && len(ts.Filters) != span {
+			t.Fatalf("accepted %d filter slots for span %d", len(ts.Filters), span)
+		}
+		var prev uint64
+		for n, p := range ts.Pairs {
+			i, j := int64(p.Key>>32), int64(p.Key&0xffffffff)
+			if i >= j || j >= int64(span) {
+				t.Fatalf("accepted pair key (%d,%d) for span %d", i, j, span)
+			}
+			if n > 0 && p.Key <= prev {
+				t.Fatalf("accepted unsorted pair keys")
+			}
+			prev = p.Key
+		}
+	})
+}

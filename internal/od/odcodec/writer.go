@@ -633,6 +633,11 @@ func writeManifest(dir string, meta Meta, stamps []segmentStamp, version byte) e
 	if err := os.Rename(path+tmpSuffix, path); err != nil {
 		return fmt.Errorf("odcodec: %w", err)
 	}
+	// Any existing trace segment chained to the previous manifest is now
+	// stale; drop it so the directory never carries a trace that would
+	// be rejected on every open. The manifest-digest check in od remains
+	// the actual safety net if this removal is lost.
+	RemoveTrace(dir)
 	// Make the commit point itself durable (see syncDir in delta.go):
 	// without it a crash could roll back to the previous manifest — a
 	// detectable state, but one that silently discards the commit.

@@ -269,6 +269,11 @@ type PartitionedStore struct {
 	theta     float64
 	finalized bool
 
+	// snapDir is the partitioned-snapshot directory this federation was
+	// restored from ("" for federations built in process). LoadTraces
+	// reads the coordinator-level trace segment from it.
+	snapDir string
+
 	failed atomic.Pointer[PartitionUnavailableError]
 
 	// Merged-answer caches, bounded like DiskStore's: entries are

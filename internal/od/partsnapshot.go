@@ -184,6 +184,7 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 	s.live = n
 	s.theta = fed.Theta
 	s.finalized = true
+	s.snapDir = dir
 	s.clearCaches()
 	return s, nil
 }

@@ -1,0 +1,312 @@
+package od
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/od/odcodec"
+)
+
+// traceFixture builds a deterministic TraceSet over a store: survival
+// drops every fifth live slot (a stand-in for filter pruning), each
+// adjacent surviving pair gets a distinct similarity trace, and each
+// surviving slot a one-step filter trace.
+func traceFixture(s Store, fp string) *TraceSet {
+	span := storeSpan(s)
+	live := aliveFunc(s)
+	ts := &TraceSet{
+		Fingerprint: fp,
+		Size:        s.Size(),
+		Alive:       make([]bool, span),
+		Pairs:       map[int64]PairTrace{},
+		Filter:      make([][]FilterStep, span),
+	}
+	nthLive := 0
+	var survivors []int32
+	for id := int32(0); id < int32(span); id++ {
+		if !live(id) {
+			continue
+		}
+		nthLive++
+		if nthLive%5 == 0 {
+			continue // "pruned": live but not a survivor
+		}
+		ts.Alive[id] = true
+		ts.Filter[id] = []FilterStep{{Shared: true, Union: id + 1}}
+		survivors = append(survivors, id)
+	}
+	for k := 1; k < len(survivors); k++ {
+		i, j := survivors[k-1], survivors[k]
+		ts.Pairs[int64(i)<<32|int64(uint32(j))] = PairTrace{
+			SimU: []int32{j + 2, j + 3},
+			ConU: []int32{j + 4},
+		}
+	}
+	return ts
+}
+
+func TestTracesRoundTripDiskIdentity(t *testing.T) {
+	dir := t.TempDir()
+	ds := NewDiskStore(dir)
+	for _, o := range cdODs(30, 11) {
+		ds.Add(o)
+	}
+	ds.Finalize(0.15)
+	if err := Save(dir, ds, SnapshotMeta{Fingerprint: "fp-a"}); err != nil {
+		t.Fatal(err)
+	}
+	want := traceFixture(ds, "fp-a")
+	if err := SaveTraces(dir, ds, want); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := LoadTraces(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadTraces returned no trace set")
+	}
+	if got.Fingerprint != "fp-a" || got.Size != want.Size {
+		t.Fatalf("header = %q/%d, want %q/%d", got.Fingerprint, got.Size, "fp-a", want.Size)
+	}
+	if !reflect.DeepEqual(got.Alive, want.Alive) || !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Fatal("survival or pair traces diverged across the round trip")
+	}
+	if !reflect.DeepEqual(got.Filter, want.Filter) {
+		t.Fatal("filter traces diverged across the round trip")
+	}
+}
+
+// TestTracesCompactOnExport pins the remap contract: a mutated MemStore
+// exports compacted, and the trace segment compacts with the same map,
+// so the reopened DiskStore's IDs line up with the loaded traces.
+func TestTracesCompactOnExport(t *testing.T) {
+	initial, batch2, batch3, remove, liveOf := mutableFixture()
+	ms := NewMemStore()
+	for _, o := range copyODs(initial) {
+		ms.Add(o)
+	}
+	ms.Finalize(0.15)
+	mutationScript(t, ms, batch2, batch3, remove)
+
+	want := traceFixture(ms, "fp-b")
+	dir := t.TempDir()
+	if err := Save(dir, ms, SnapshotMeta{Fingerprint: "fp-b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTraces(dir, ms, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The export remaps old live ID (k-th live in ascending order) to k.
+	remap := map[int32]int32{}
+	for i, o := range liveOf(ms) {
+		remap[o.ID] = int32(i)
+	}
+
+	re, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := LoadTraces(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadTraces returned no trace set")
+	}
+	if len(got.Alive) != re.Size() {
+		t.Fatalf("loaded span %d, want compacted %d", len(got.Alive), re.Size())
+	}
+	for oldID, newID := range remap {
+		if got.Alive[newID] != want.Alive[oldID] {
+			t.Fatalf("survival for old id %d (new %d) diverged", oldID, newID)
+		}
+		if !reflect.DeepEqual(got.Filter[newID], want.Filter[oldID]) {
+			t.Fatalf("filter trace for old id %d (new %d) diverged", oldID, newID)
+		}
+	}
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("loaded %d pair traces, want %d", len(got.Pairs), len(want.Pairs))
+	}
+	for key, tr := range want.Pairs {
+		i, j := int32(key>>32), int32(uint32(key))
+		newKey := int64(remap[i])<<32 | int64(uint32(remap[j]))
+		if !reflect.DeepEqual(got.Pairs[newKey], tr) {
+			t.Fatalf("pair (%d,%d) trace missing or diverged under remapped key (%d,%d)",
+				i, j, remap[i], remap[j])
+		}
+	}
+}
+
+func TestLoadTracesRejections(t *testing.T) {
+	build := func(t *testing.T) (string, *DiskStore) {
+		dir := t.TempDir()
+		ds := NewDiskStore(dir)
+		for _, o := range cdODs(20, 7) {
+			ds.Add(o)
+		}
+		ds.Finalize(0.15)
+		if err := Save(dir, ds, SnapshotMeta{Fingerprint: "fp-c"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveTraces(dir, ds, traceFixture(ds, "fp-c")); err != nil {
+			t.Fatal(err)
+		}
+		ds.Close()
+		re, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { re.Close() })
+		return dir, re
+	}
+
+	t.Run("stale digest", func(t *testing.T) {
+		dir, re := build(t)
+		// Preserve the trace, rewrite the snapshot (which removes it as
+		// stale), then put the old trace back: the digest no longer
+		// matches and the segment must be rejected, not served.
+		tracePath := filepath.Join(dir, odcodec.TraceFile)
+		old, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(dir, re, SnapshotMeta{Fingerprint: "fp-c2"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(tracePath); !os.IsNotExist(err) {
+			t.Fatalf("re-saving the snapshot left the stale trace in place (stat err %v)", err)
+		}
+		if err := os.WriteFile(tracePath, old, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re2, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re2.Close()
+		if _, err := LoadTraces(re2); err == nil {
+			t.Fatal("stale trace segment accepted")
+		}
+	})
+
+	t.Run("corrupt segment", func(t *testing.T) {
+		dir, re := build(t)
+		path := filepath.Join(dir, odcodec.TraceFile)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0xff
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTraces(re); err == nil {
+			t.Fatal("corrupt trace segment accepted")
+		}
+	})
+
+	t.Run("mutated store", func(t *testing.T) {
+		_, re := build(t)
+		extra := cdODs(2, 3)
+		for _, o := range extra {
+			o.Object = "/extra" + o.Object
+		}
+		if err := re.AddAfterFinalize(extra); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadTraces(re); err == nil {
+			t.Fatal("trace segment accepted for a store with unmerged mutations")
+		}
+	})
+
+	t.Run("replayed deltas on reopen", func(t *testing.T) {
+		dir, re := build(t)
+		extra := cdODs(2, 5)
+		for _, o := range extra {
+			o.Object = "/extra" + o.Object
+		}
+		if err := re.AddAfterFinalize(extra); err != nil {
+			t.Fatal(err)
+		}
+		re.Close()
+		re2, err := OpenDiskStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer re2.Close()
+		if !re2.Mutated() {
+			t.Fatal("fixture bug: reopened store should carry replayed deltas")
+		}
+		if _, err := LoadTraces(re2); err == nil {
+			t.Fatal("trace segment accepted after delta replay diverged the live state")
+		}
+	})
+
+	t.Run("in-process backends have no segment", func(t *testing.T) {
+		ms := NewMemStore()
+		for _, o := range cdODs(5, 1) {
+			ms.Add(o)
+		}
+		ms.Finalize(0.15)
+		if ts, err := LoadTraces(ms); ts != nil || err != nil {
+			t.Fatalf("LoadTraces(MemStore) = %v, %v; want nil, nil", ts, err)
+		}
+	})
+}
+
+// TestTracesPartitionedCoordinator pins the distributed path: traces
+// saved next to a partitioned snapshot load back through the reopened
+// federation (coordinator-level IDs, compacted like the coordinator
+// snapshot).
+func TestTracesPartitionedCoordinator(t *testing.T) {
+	parts := make([]Partition, 3)
+	for i, b := range mixedBackends(t, 3) {
+		parts[i] = LocalPartition{S: b}
+	}
+	ps := NewPartitionedStore(parts, 0)
+	for _, o := range cdODs(24, 9) {
+		ps.Add(o)
+	}
+	ps.Finalize(0.15)
+
+	dir := t.TempDir()
+	if err := SavePartitioned(dir, ps, SnapshotMeta{Fingerprint: "fp-d"}); err != nil {
+		t.Fatal(err)
+	}
+	want := traceFixture(ps, "fp-d")
+	if err := SaveTraces(dir, ps, want); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenPartitioned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := LoadTraces(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadTraces returned no trace set for the reopened federation")
+	}
+	if !reflect.DeepEqual(got.Alive, want.Alive) || !reflect.DeepEqual(got.Pairs, want.Pairs) {
+		t.Fatal("coordinator trace state diverged across the partitioned round trip")
+	}
+
+	// A federation built in process has no snapshot directory to read.
+	if ts, err := LoadTraces(ps); ts != nil || err != nil {
+		t.Fatalf("LoadTraces(in-process federation) = %v, %v; want nil, nil", ts, err)
+	}
+}

@@ -56,11 +56,9 @@ type Result struct {
 // score under a different corpus size |ΩT| is ReplayScore(size, trace),
 // bit-identical to recomputing Similarity from scratch. This is what
 // lets the incremental pipeline patch untouched pairs in O(matches)
-// instead of re-running the comparison.
-type PairTrace struct {
-	SimU []int32 // |O_a ∪ O_b| per similar match (ODT≈), in match order
-	ConU []int32 // likewise for contradictory matches (ODT≠)
-}
+// instead of re-running the comparison. The type lives in od so the
+// persisted trace segment (od.SaveTraces/LoadTraces) shares it.
+type PairTrace = od.PairTrace
 
 // SimilarityTrace is Similarity plus the pair's replay trace.
 func SimilarityTrace(store od.Store, a, b *od.OD, thetaTuple float64) (Result, PairTrace) {
@@ -283,10 +281,8 @@ func Filter(store od.Store, o *od.OD) float64 {
 // to the tuple — the softIDF argmax is the minimal union, independent of
 // |ΩT| — so while none of those postings change, the bound under a new
 // corpus size is ReplayFilter(size, steps), bit-identical to Filter.
-type FilterStep struct {
-	Shared bool
-	Union  int32
-}
+// Shared with the persisted trace segment, hence defined in od.
+type FilterStep = od.FilterStep
 
 // FilterTrace is Filter plus the per-tuple replay trace.
 func FilterTrace(store od.Store, o *od.OD) (float64, []FilterStep) {
