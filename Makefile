@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query bench-update fuzz clean
+.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query bench-update bench-dist fuzz clean
 
 all: build test vet fmt-check docs-check
 
@@ -83,6 +83,16 @@ bench-query:
 # scale.
 bench-update:
 	$(GO) run ./cmd/benchfig -fig update -json BENCH_update.json
+
+# Regenerate the committed distributed fan-out artifact: per-query
+# member-RPC count, bytes on the wire, and batch-normalized fan-out
+# latency percentiles on 1- and 3-partition federations over loopback,
+# real-socket, and modeled-network (tcp+1ms) transports, full-fan-out
+# baseline versus the variant-routed batched fast path. CI smoke-runs
+# the same artifact at a reduced scale and fails on JSON schema drift
+# against the committed file.
+bench-dist:
+	$(GO) run ./cmd/benchfig -fig dist -json BENCH_dist.json
 
 # Remove generated artifacts: benchfig's disk-store segments and any
 # stray dupcluster/figure output written into the working tree.

@@ -1,0 +1,347 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/od"
+	"repro/internal/od/odrpc"
+)
+
+// distRow is one federation configuration's measurement in the dist
+// artifact; the JSON tags define the committed BENCH_dist.json schema.
+// No field is omitempty: the schema-drift gate compares key structure.
+type distRow struct {
+	Config     string `json:"config"` // e.g. "dist-3/loopback/fast"
+	Partitions int    `json:"partitions"`
+	Transport  string `json:"transport"` // loopback | tcp
+	FastPath   bool   `json:"fast_path"`
+	Queries    int    `json:"queries"`
+	// Effective per-query fan-out latency, batch-normalized: the compare
+	// stage consumes candidates in batches, so both paths are measured
+	// per batch of batch_size consecutive queries — wall time of the
+	// whole batch divided by its size. The baseline issues each query
+	// individually inside its batch; the fast path's batch wall time
+	// includes its prefetch round trip plus the per-query cache reads.
+	// Percentiles are over batches, so both paths see the same skew.
+	P50Micros  float64 `json:"p50_us"`
+	P95Micros  float64 `json:"p95_us"`
+	MeanMicros float64 `json:"mean_us"`
+	// Wire costs from the members' odrpc counters, normalized per query.
+	MemberRPCsPerQuery float64 `json:"member_rpcs_per_query"`
+	BytesPerQuery      float64 `json:"bytes_per_query"`
+	// Coordinator routing counters over the whole row.
+	MemberQueries uint64 `json:"member_queries"`
+	MemberSkips   uint64 `json:"member_skips"`
+}
+
+// distReport is the whole artifact: workload parameters, one row per
+// {partitions × transport × path} cell, and the headline ratios the
+// fast path is gated on — both computed on the 3-partition loopback
+// pair.
+type distReport struct {
+	Discs     int       `json:"discs"`
+	Seed      int64     `json:"seed"`
+	Theta     float64   `json:"theta"`
+	BatchSize int       `json:"batch_size"`
+	Rows      []distRow `json:"rows"`
+	// baseline member-RPCs-per-query over fast member-RPCs-per-query on
+	// the 3-partition federation. The counts are transport-independent
+	// (the loopback and tcp rows ship the identical frame sequence), so
+	// one ratio covers both.
+	RPCReduction3 float64 `json:"rpc_reduction_dist3"`
+	// baseline batch-normalized p50 over fast p50 on the 3-partition
+	// modeled-network pair (tcp+1ms) — on localhost a round trip is
+	// nearly free and both paths are compute-bound, so the plain rows
+	// sit at parity; the win the fast path exists for is round-trip
+	// elimination, and this pair prices a round trip at network scale.
+	P50Reduction3RTT float64 `json:"p50_reduction_dist3_rtt"`
+	GOMAXPROCS       int     `json:"gomaxprocs"`
+}
+
+// distBatchSize mirrors the compare stage's batch granularity: the
+// pipeline prefetches one work batch of candidates at a time, so the
+// artifact's fast rows ship the same batched round trips Detect does.
+const distBatchSize = 32
+
+// distRTTDelay is the modeled one-way network delay of the tcp+1ms
+// transport rows: real deployments put members on their own nodes, and
+// on localhost a round trip costs next to nothing, so these rows charge
+// every frame a metro-area-scale trip to show what eliminating round
+// trips buys over an actual network. The charge is per frame, which
+// overstates the cost of the fast path's pipelined multi-frame
+// exchanges (back-to-back frames share a trip in reality) — the model
+// is conservative against the fast path.
+const distRTTDelay = time.Millisecond
+
+// rttConn delays every outbound frame by the modeled one-way trip.
+// Replies return undelayed, so one request/reply exchange is charged
+// one trip.
+type rttConn struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c rttConn) Write(p []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Write(p)
+}
+
+// distFed builds a federation of odrpc members over the requested
+// transport — loopback net.Pipe or real TCP sockets on 127.0.0.1 — and
+// returns it with a cleanup releasing the sockets. Every member gets
+// the same uniform deadline the CLI applies (odrpc.DefaultTimeout), so
+// a wedged member surfaces as the typed error here exactly as it would
+// in production.
+func distFed(partitions int, transport string, ods []*od.OD, theta float64) (*od.PartitionedStore, func(), error) {
+	parts := make([]od.Partition, partitions)
+	var listeners []net.Listener
+	for i := range parts {
+		st := od.NewMemStore()
+		switch transport {
+		case "loopback":
+			c := odrpc.NewLoopback(st)
+			c.Timeout = odrpc.DefaultTimeout
+			parts[i] = c
+		case "tcp", "tcp+1ms":
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, nil, err
+			}
+			listeners = append(listeners, l)
+			go odrpc.NewServer(st).Serve(l)
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				return nil, nil, err
+			}
+			if transport == "tcp+1ms" {
+				conn = rttConn{Conn: conn, delay: distRTTDelay}
+			}
+			c := odrpc.NewClientConn(conn)
+			c.Timeout = odrpc.DefaultTimeout
+			parts[i] = c
+		default:
+			return nil, nil, fmt.Errorf("unknown transport %q", transport)
+		}
+	}
+	fed := od.NewPartitionedStore(parts, 0)
+	cleanup := func() {
+		fed.Close()
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	fill(fed, ods, theta)
+	return fed, cleanup, nil
+}
+
+func sumWire(m map[int]od.WireStats) (rpcs, bytes uint64) {
+	for _, ws := range m {
+		rpcs += ws.RoundTrips
+		bytes += ws.BytesOut + ws.BytesIn
+	}
+	return rpcs, bytes
+}
+
+// measureDist runs the workload against a freshly built federation.
+// The baseline disables variant routing and issues one fan-out per
+// query — the pre-fast-path behavior. The fast path keeps routing on
+// and prefetches distBatchSize queries per batched round trip, then
+// reads each answer; each query's latency includes its share of the
+// batch prefetch so the comparison is end to end.
+func measureDist(fed *od.PartitionedStore, queries []od.Tuple, fast bool) distRow {
+	fed.SetVariantRouting(fast)
+	rpcs0, bytes0 := sumWire(fed.MemberWireStats())
+	rs0 := fed.RoutingStats()
+
+	lat := make([]time.Duration, 0, (len(queries)+distBatchSize-1)/distBatchSize)
+	begin := time.Now()
+	for lo := 0; lo < len(queries); lo += distBatchSize {
+		hi := min(lo+distBatchSize, len(queries))
+		chunk := queries[lo:hi]
+		t0 := time.Now()
+		if fast {
+			fed.PrefetchSimilar(chunk)
+		}
+		for _, q := range chunk {
+			fed.SimilarValues(q)
+		}
+		lat = append(lat, time.Since(t0)/time.Duration(len(chunk)))
+	}
+	total := time.Since(begin)
+
+	rpcs1, bytes1 := sumWire(fed.MemberWireStats())
+	rs1 := fed.RoutingStats()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	nq := float64(len(queries))
+	return distRow{
+		FastPath:           fast,
+		Queries:            len(queries),
+		P50Micros:          percentile(lat, 0.50),
+		P95Micros:          percentile(lat, 0.95),
+		MeanMicros:         float64(total.Nanoseconds()) / 1e3 / nq,
+		MemberRPCsPerQuery: float64(rpcs1-rpcs0) / nq,
+		BytesPerQuery:      float64(bytes1-bytes0) / nq,
+		MemberQueries:      rs1.MemberQueries - rs0.MemberQueries,
+		MemberSkips:        rs1.MemberSkips - rs0.MemberSkips,
+	}
+}
+
+// runDist produces the distributed-query artifact: per-query member-RPC
+// count, bytes on the wire, and effective fan-out latency percentiles
+// on 1- and 3-partition federations over loopback, real-socket, and
+// modeled-network (tcp+1ms) transports, full-fan-out baseline versus
+// the variant-routed batched fast path. Every row builds its own
+// federation so merge caches start cold. The single-core-CI caveat
+// from the stages artifact applies here too: on GOMAXPROCS=1 the
+// parallel member fan-out serializes, so the loopback and plain-tcp
+// rows are compute-bound and sit near latency parity — the per-query
+// RPC and byte counts are machine-independent, and the tcp+1ms pair
+// shows what those savings are worth once a round trip has network
+// cost.
+func runDist(w io.Writer, n int, seed int64, jsonPath, checkPath string) error {
+	ods := queryODs(n, seed)
+	queries := queryWorkload(ods, 500)
+	theta := experiments.ThetaTuple
+	report := distReport{
+		Discs: n, Seed: seed, Theta: theta,
+		BatchSize:  distBatchSize,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Fprintf(w, "dist — federated SimilarValues fan-out, %d discs, %d queries, θtuple=%.2f, batch=%d\n",
+		n, len(queries), theta, distBatchSize)
+
+	var base3, fast3 distRow
+	for _, partitions := range []int{1, 3} {
+		for _, transport := range []string{"loopback", "tcp", "tcp+1ms"} {
+			for _, fast := range []bool{false, true} {
+				fed, cleanup, err := distFed(partitions, transport, ods, theta)
+				if err != nil {
+					return err
+				}
+				row := measureDist(fed, queries, fast)
+				cleanup()
+				row.Partitions = partitions
+				row.Transport = transport
+				path := "base"
+				if fast {
+					path = "fast"
+				}
+				row.Config = fmt.Sprintf("dist-%d/%s/%s", partitions, transport, path)
+				if partitions == 3 && transport == "tcp+1ms" {
+					if fast {
+						fast3 = row
+					} else {
+						base3 = row
+					}
+				}
+				report.Rows = append(report.Rows, row)
+				fmt.Fprintf(w, "  %-22s p50=%8.1fµs p95=%8.1fµs mean=%8.1fµs rpc/q=%6.2f bytes/q=%8.0f skips=%d\n",
+					row.Config, row.P50Micros, row.P95Micros, row.MeanMicros,
+					row.MemberRPCsPerQuery, row.BytesPerQuery, row.MemberSkips)
+				runtime.GC()
+			}
+		}
+	}
+
+	if fast3.MemberRPCsPerQuery > 0 {
+		report.RPCReduction3 = base3.MemberRPCsPerQuery / fast3.MemberRPCsPerQuery
+	}
+	if fast3.P50Micros > 0 {
+		report.P50Reduction3RTT = base3.P50Micros / fast3.P50Micros
+	}
+	fmt.Fprintf(w, "  dist-3 fast path: %.1fx fewer member RPCs per query, %.2fx lower p50 at 1ms one-way RTT\n",
+		report.RPCReduction3, report.P50Reduction3RTT)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		committed, err := os.ReadFile(checkPath)
+		if err != nil {
+			return err
+		}
+		if err := checkJSONSchema(committed, out); err != nil {
+			return fmt.Errorf("schema drift against %s: %w", checkPath, err)
+		}
+		fmt.Fprintf(w, "  schema matches %s\n", checkPath)
+	}
+	return nil
+}
+
+// checkJSONSchema compares the key structure of two JSON documents —
+// object keys recursively, array element shape, scalar kinds — and
+// errors on the first divergence. Values are free to differ; the CI
+// gate only pins that a fresh run still produces the committed shape.
+func checkJSONSchema(committed, fresh []byte) error {
+	var a, b any
+	if err := json.Unmarshal(committed, &a); err != nil {
+		return fmt.Errorf("committed artifact: %w", err)
+	}
+	if err := json.Unmarshal(fresh, &b); err != nil {
+		return fmt.Errorf("fresh artifact: %w", err)
+	}
+	return diffSchema("$", a, b)
+}
+
+func diffSchema(path string, a, b any) error {
+	switch av := a.(type) {
+	case map[string]any:
+		bv, ok := b.(map[string]any)
+		if !ok {
+			return fmt.Errorf("%s: committed has object, fresh has %T", path, b)
+		}
+		for k := range av {
+			if _, ok := bv[k]; !ok {
+				return fmt.Errorf("%s.%s: key missing from fresh artifact", path, k)
+			}
+		}
+		for k := range bv {
+			if _, ok := av[k]; !ok {
+				return fmt.Errorf("%s.%s: key not in committed artifact", path, k)
+			}
+		}
+		for k := range av {
+			if err := diffSchema(path+"."+k, av[k], bv[k]); err != nil {
+				return err
+			}
+		}
+	case []any:
+		bv, ok := b.([]any)
+		if !ok {
+			return fmt.Errorf("%s: committed has array, fresh has %T", path, b)
+		}
+		// Element shape only: lengths may differ (row counts are values).
+		if len(av) > 0 && len(bv) > 0 {
+			return diffSchema(path+"[0]", av[0], bv[0])
+		}
+	case float64:
+		if _, ok := b.(float64); !ok {
+			return fmt.Errorf("%s: committed has number, fresh has %T", path, b)
+		}
+	case string:
+		if _, ok := b.(string); !ok {
+			return fmt.Errorf("%s: committed has string, fresh has %T", path, b)
+		}
+	case bool:
+		if _, ok := b.(bool); !ok {
+			return fmt.Errorf("%s: committed has bool, fresh has %T", path, b)
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@
 //	benchfig -fig stages -shards 8    # per-stage timings, both store backends
 //	benchfig -fig query -json BENCH_query.json   # query-path latency artifact
 //	benchfig -fig update -json BENCH_update.json # incremental-update artifact
+//	benchfig -fig dist -json BENCH_dist.json     # distributed fan-out artifact
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
@@ -42,6 +43,14 @@
 // traces), with in-process traces, and after a process restart that
 // replays the persisted trace segment; the committed BENCH_update.json
 // is one such run at the default scale.
+//
+// The dist artifact (also not from the paper) measures the distributed
+// query fast path: per-query member-RPC count, bytes on the wire, and
+// effective fan-out latency percentiles on 1- and 3-partition
+// federations over loopback and real TCP transports, full-fan-out
+// baseline versus the variant-routed batched fast path; the committed
+// BENCH_dist.json is one such run at the default scale, and
+// -check-schema gates CI smoke runs against its key structure.
 package main
 
 import (
@@ -65,21 +74,22 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query update all")
+		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query update dist all")
 		n        = flag.Int("n", 0, "corpus size (0 = paper scale)")
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		shards   = flag.Int("shards", 8, "shard count for the stages/query artifacts' sharded run")
 		storeDir = flag.String("store-dir", "benchfig-store", "segment directory for the stages/query artifacts' disk runs (make clean removes it)")
-		jsonOut  = flag.String("json", "", "also write the query (or, with -fig update, the update) artifact as JSON to this path")
+		jsonOut  = flag.String("json", "", "also write the query (or, with -fig update/dist, that) artifact as JSON to this path")
+		check    = flag.String("check-schema", "", "with -fig dist: fail unless the fresh artifact's JSON key structure matches this committed file")
 	)
 	flag.Parse()
-	if err := run(*fig, *n, *seed, *shards, *storeDir, *jsonOut); err != nil {
+	if err := run(*fig, *n, *seed, *shards, *storeDir, *jsonOut, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "benchfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, n int, seed int64, shards int, storeDir, jsonOut string) error {
+func run(fig string, n int, seed int64, shards int, storeDir, jsonOut, checkSchema string) error {
 	w := os.Stdout
 	want := func(name string) bool { return fig == "all" || fig == name }
 	ran := false
@@ -200,9 +210,22 @@ func run(fig string, n int, seed int64, shards int, storeDir, jsonOut string) er
 			return err
 		}
 	}
+	if want("dist") {
+		// Same -json ownership rule as the update artifact: under -fig all
+		// the flag belongs to the query artifact.
+		jsonArg := ""
+		if fig == "dist" {
+			jsonArg = jsonOut
+		}
+		if err := timed("dist", func() error {
+			return runDist(w, orDefault(n, 1000), seed, jsonArg, checkSchema)
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q (want one of: %s)", fig,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "update", "all"}, " "))
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "update", "dist", "all"}, " "))
 	}
 	return nil
 }

@@ -115,7 +115,7 @@ func main() {
 		format     = flag.String("format", "xml", "output format: xml (Fig. 3) | json | csv")
 		stream     = flag.Bool("stream", false, "ingest documents through the pull parser (bounded memory) instead of materializing them")
 		update     = flag.Bool("update", false, "incremental run: append the documents to (and apply -remove against) the persisted indexes in -store-dir")
-		rpcTimeout = flag.Duration("rpc-timeout", defaultRPCTimeout, "per-call deadline on dialed -partition-addrs members (0 restores the default)")
+		rpcTimeout = flag.Duration("rpc-timeout", defaultRPCTimeout, "per-call deadline on dist federation members, dialed and loopback alike (0 restores the default)")
 	)
 	var removePaths stringList
 	flag.Var(&removePaths, "remove", "with -update: object path of a candidate to remove (repeatable)")
@@ -179,9 +179,11 @@ const (
 )
 
 // defaultRPCTimeout is the default -rpc-timeout: the per-call deadline
-// set on dialed -partition-addrs clients (loopback members share the
-// process and need none).
-const defaultRPCTimeout = 2 * time.Minute
+// set uniformly on every odrpc member the CLI constructs — dialed
+// -partition-addrs clients and in-process loopback members alike, so a
+// wedged backend surfaces as the typed partition error on either
+// transport.
+const defaultRPCTimeout = odrpc.DefaultTimeout
 
 // validate checks every flag combination up front — before any file is
 // opened or any pipeline stage runs — so misconfigurations surface as
@@ -300,8 +302,8 @@ func (o *options) validate(docs []string) error {
 	if o.rpcTimeout == 0 {
 		o.rpcTimeout = defaultRPCTimeout // zero-value options behave like the flag default
 	}
-	if o.rpcTimeout != defaultRPCTimeout && o.partAddrs == "" {
-		return fmt.Errorf("-rpc-timeout only applies to dialed -partition-addrs members")
+	if o.rpcTimeout != defaultRPCTimeout && o.store != storeDist {
+		return fmt.Errorf("-rpc-timeout only applies to -store dist federation members")
 	}
 	return nil
 }
@@ -331,25 +333,26 @@ func specSelectsAncestors(spec string) bool {
 // newStore resolves the validated options into a store factory for
 // core.Config; nil means the default MemStore. The dist backend is
 // constructed eagerly — dialing remote members can fail, and a factory
-// has no error channel.
-func (o *options) newStore() (func() od.Store, error) {
+// has no error channel — and is also returned directly so -stats can
+// read the federation's routing and wire counters after the run.
+func (o *options) newStore() (func() od.Store, *od.PartitionedStore, error) {
 	switch o.store {
 	case storeSharded:
 		return func() od.Store {
 			st := od.NewShardedStore(o.shards)
 			st.Workers = o.workers // -workers 1 keeps Finalize serial too
 			return st
-		}, nil
+		}, nil, nil
 	case storeDisk:
-		return func() od.Store { return od.NewDiskStoreWith(o.storeDir, o.diskOptions()) }, nil
+		return func() od.Store { return od.NewDiskStoreWith(o.storeDir, o.diskOptions()) }, nil, nil
 	case storeDist:
 		fed, err := o.buildFederation()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return func() od.Store { return fed }, nil
+		return func() od.Store { return fed }, fed, nil
 	}
-	return nil, nil
+	return nil, nil, nil
 }
 
 // buildFederation assembles the distributed store: odrpc clients for
@@ -383,7 +386,12 @@ func (o *options) buildFederation() (*od.PartitionedStore, error) {
 		}
 	} else {
 		for i := 0; i < o.partitions; i++ {
-			parts = append(parts, odrpc.NewLoopback(od.NewMemStore()))
+			c := odrpc.NewLoopback(od.NewMemStore())
+			// Loopback members get the same deadline as dialed ones: a
+			// wedged in-process backend should surface as the typed
+			// partition error, not a hung CLI.
+			c.Timeout = o.rpcTimeout
+			parts = append(parts, c)
 		}
 	}
 	return od.NewPartitionedStore(parts, 0), nil
@@ -447,6 +455,7 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		UseFilter:  opts.useFilter,
 		Workers:    opts.workers,
 	}
+	var fed *od.PartitionedStore // set for -store dist; -stats reads its counters
 	if opts.update {
 		// Update runs serve from the persisted snapshot and re-persist
 		// the merged indexes when done. Incremental recording keeps the
@@ -456,11 +465,12 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 		cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Save: true, Disk: opts.diskOptions()}
 		cfg.Incremental = true
 	} else {
-		newStore, err := opts.newStore()
+		newStore, distFed, err := opts.newStore()
 		if err != nil {
 			return err
 		}
 		cfg.NewStore = newStore
+		fed = distFed
 		if opts.reuseIndex {
 			cfg.Snapshot = &core.SnapshotOptions{Dir: opts.storeDir, Reuse: true, Save: true, Disk: opts.diskOptions()}
 			// Record replay traces on the build too, so even the first
@@ -504,6 +514,20 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 			"candidates=%d pruned=%d compared=%d%s pairs=%d clusters=%d warm-start=%v elapsed=%v\n",
 			res.Stats.Candidates, res.Stats.Pruned, res.Stats.Compared, replay,
 			res.Stats.PairsDetected, len(res.Clusters), res.WarmStart, res.Stats.Elapsed)
+		if fed != nil {
+			rs := fed.RoutingStats()
+			fmt.Fprintf(stderr, "dist routing: fanouts=%d member-queries=%d member-skips=%d exact-skips=%d\n",
+				rs.SimFanouts, rs.MemberQueries, rs.MemberSkips, rs.ExactSkips)
+			ws := fed.MemberWireStats()
+			for i := 0; i < fed.NumPartitions(); i++ {
+				w, ok := ws[i]
+				if !ok {
+					continue
+				}
+				fmt.Fprintf(stderr, "dist wire: member=%d round-trips=%d frames-out=%d frames-in=%d bytes-out=%d bytes-in=%d\n",
+					i, w.RoundTrips, w.FramesOut, w.FramesIn, w.BytesOut, w.BytesIn)
+			}
+		}
 	}
 	switch opts.format {
 	case "xml":

@@ -47,8 +47,8 @@ func TestValidateFlagCombinations(t *testing.T) {
 		{"bad-mmap", func(o *options) { o.store = "disk"; o.storeDir = "d"; o.mmap = "sometimes" }, docs, "-mmap"},
 		{"mmap-without-disk", func(o *options) { o.mmap = "on" }, docs, "-mmap only applies"},
 		{"negative-rpc-timeout", func(o *options) { o.partAddrs = "h:1"; o.rpcTimeout = -time.Second }, docs, "-rpc-timeout"},
-		{"rpc-timeout-without-addrs", func(o *options) { o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
-		{"rpc-timeout-with-loopback", func(o *options) { o.partitions = 2; o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
+		{"rpc-timeout-without-dist", func(o *options) { o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
+		{"rpc-timeout-with-sharded", func(o *options) { o.store = "sharded"; o.rpcTimeout = time.Minute }, docs, "-rpc-timeout only applies"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +113,12 @@ func TestValidateFlagCombinations(t *testing.T) {
 		o.rpcTimeout = 30 * time.Second
 		if err := o.validate(docs); err != nil || o.rpcTimeout != 30*time.Second {
 			t.Fatalf("-rpc-timeout 30s resolved to %v (%v), want 30s", o.rpcTimeout, err)
+		}
+		o = base
+		o.partitions = 2
+		o.rpcTimeout = 30 * time.Second
+		if err := o.validate(docs); err != nil || o.rpcTimeout != 30*time.Second {
+			t.Fatalf("-rpc-timeout 30s with loopback members resolved to %v (%v), want 30s", o.rpcTimeout, err)
 		}
 	})
 }
@@ -425,6 +431,14 @@ func TestRunDistStore(t *testing.T) {
 		}
 		if out.String() != memOut.String() {
 			t.Fatalf("partitions=%d output diverges from MemStore\n got: %s\nwant: %s", parts, out.String(), memOut.String())
+		}
+		// -stats surfaces the routing counters and one wire-counter line
+		// per loopback member.
+		if !strings.Contains(errOut.String(), "dist routing: fanouts=") {
+			t.Fatalf("partitions=%d stats missing routing counters: %s", parts, errOut.String())
+		}
+		if n := strings.Count(errOut.String(), "dist wire: member="); n != parts {
+			t.Fatalf("partitions=%d stats printed %d wire-counter lines: %s", parts, n, errOut.String())
 		}
 	}
 

@@ -423,11 +423,26 @@ func (p *pipelineRun) compare() (int, error) {
 	numBatches := (n + compareBatchSize - 1) / compareBatchSize
 	outs := make([]batchOut, numBatches)
 
+	// Distributed stores can warm a whole batch's similar-value lookups
+	// in one pipelined round trip per federation member before the
+	// per-pair comparisons start issuing them one by one. Cache-only:
+	// answers are bit-identical with or without the prefetch.
+	batchStore, _ := p.store.(od.BatchQueryStore)
+
 	runBatch := func(b int) {
 		out := &outs[b]
 		lo, hi := b*compareBatchSize, (b+1)*compareBatchSize
 		if hi > n {
 			hi = n
+		}
+		if batchStore != nil {
+			var ts []od.Tuple
+			for idx := lo; idx < hi; idx++ {
+				if i := int32(idx); p.alive[i] {
+					ts = append(ts, p.store.OD(i).Tuples...)
+				}
+			}
+			batchStore.PrefetchSimilar(ts)
 		}
 		for idx := lo; idx < hi; idx++ {
 			i := int32(idx)

@@ -471,11 +471,21 @@ func (p *pipelineRun) updateCompare() (int, error) {
 	}
 	numBatches := (len(list) + compareBatchSize - 1) / compareBatchSize
 	outs := make([]batchOut, numBatches)
+	// Same batch-prefetch hook as the full compare stage: one pipelined
+	// round trip per member warms the batch's similar-value lookups.
+	batchStore, _ := p.store.(od.BatchQueryStore)
 	runBatch := func(b int) {
 		out := &outs[b]
 		lo, hi := b*compareBatchSize, (b+1)*compareBatchSize
 		if hi > len(list) {
 			hi = len(list)
+		}
+		if batchStore != nil {
+			var ts []od.Tuple
+			for _, i := range list[lo:hi] {
+				ts = append(ts, p.store.OD(i).Tuples...)
+			}
+			batchStore.PrefetchSimilar(ts)
 		}
 		for _, i := range list[lo:hi] {
 			for _, j := range p.store.Neighbors(i) {

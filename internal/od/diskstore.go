@@ -884,6 +884,53 @@ func (s *DiskStore) Stats() []TypeStats {
 	return out
 }
 
+// routingFilters implements variantFilterSource: covered filters are
+// built by scanning the persisted neighbor segment's bucket keys —
+// no deletion neighborhoods are recomputed — for every type whose
+// snapshot carries one, the benchmarking knob has not disabled it, and
+// the overlay has added no values (added values are absent from the
+// segment, so a bloom over it would under-report the member; removals
+// are harmless, stale bits only cost false positives). Everything else
+// gets an uncovered entry.
+func (s *DiskStore) routingFilters() []VariantFilter {
+	s.mustBeFinal()
+	addedTypes := map[string]bool{}
+	if s.mut != nil {
+		for typ := range s.mut.addedVals {
+			addedTypes[typ] = true
+		}
+	}
+	var out []VariantFilter
+	for _, tm := range s.r.Types() {
+		f := VariantFilter{Type: tm.Name, MaxLen: tm.MaxLen}
+		if !s.opts.DisableNeighborIndex && !addedTypes[tm.Name] && s.r.HasNeighbors(tm.Name) {
+			bits := newBloomBits(s.r.NeighborBuckets(tm.Name))
+			ok, err := s.r.ScanNeighborVariants(tm.Name, func(v string) { bloomAdd(bits, variantHash(v)) })
+			if err != nil {
+				panic(fmt.Sprintf("od: DiskStore: %v", err))
+			}
+			if ok {
+				f.Covered, f.Budget, f.Bits = true, tm.Budget, bits
+			}
+		}
+		delete(addedTypes, tm.Name)
+		out = append(out, f)
+	}
+	for typ := range addedTypes {
+		// Values of a type the base snapshot never saw live only in the
+		// overlay; the member must always be consulted for them.
+		var maxLen int
+		for _, av := range s.mut.addedVals[typ] {
+			if l := len([]rune(av.val)); l > maxLen {
+				maxLen = l
+			}
+		}
+		out = append(out, VariantFilter{Type: typ, MaxLen: maxLen})
+	}
+	sortVariantFilters(out)
+	return out
+}
+
 // CacheStats reports each bounded cache's counters, keyed "od" (decoded
 // object descriptions), "occ" (posting lists) and "sim" (similar-value
 // results). Counters reset when a cache is invalidated by a mutation

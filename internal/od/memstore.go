@@ -310,6 +310,33 @@ func (s *MemStore) liveTypeStats(typ string, ti *typeIndex, d *typeDelta) (TypeS
 	}, true
 }
 
+// routingFilters implements variantFilterSource: one covered filter
+// per unmutated neighbor-indexed type (the bloom summarizes the live
+// index's buckets), uncovered entries for everything else — types
+// outside the indexable budget tier and types carrying a mutation
+// overlay, whose post-Finalize values are not in the base neighborhood.
+func (s *MemStore) routingFilters() []VariantFilter {
+	s.mustBeFinal()
+	out := make([]VariantFilter, 0, len(s.types)+len(s.deltas))
+	for typ, ti := range s.types {
+		f := VariantFilter{Type: typ, MaxLen: ti.maxLen}
+		if ti.neighbor != nil && s.deltas[typ] == nil {
+			f.Covered = true
+			f.Budget = ti.budget
+			f.Bits = newBloomBits(ti.neighbor.NumVariants())
+			ti.neighbor.Variants(func(v string) { bloomAdd(f.Bits, variantHash(v)) })
+		}
+		out = append(out, f)
+	}
+	for typ := range s.deltas {
+		if s.types[typ] == nil {
+			out = append(out, VariantFilter{Type: typ})
+		}
+	}
+	sortVariantFilters(out)
+	return out
+}
+
 func (s *MemStore) mustBeFinal() {
 	if !s.finalized {
 		panic("od: store not finalized")

@@ -504,6 +504,71 @@ func (r *Reader) NeighborLookup(typ, variant string) ([]int32, error) {
 	return nil, nil
 }
 
+// NeighborBuckets returns the number of variant buckets persisted for
+// the type, 0 when it has no neighbor index — the sizing hint for a
+// filter built over ScanNeighborVariants.
+func (r *Reader) NeighborBuckets(typ string) int {
+	if nd := r.nbrDirs[typ]; nd != nil {
+		return nd.numBuckets
+	}
+	return 0
+}
+
+// ScanNeighborVariants calls fn for every deletion variant bucketed in
+// one type's persisted neighbor segment, in the segment's sorted order.
+// It exists so a federation coordinator can summarize a member
+// snapshot's bucket keys into a routing filter straight from the
+// neighbor segment, without rebuilding the deletion neighborhood from
+// the value table. Returns false without calling fn when the type has
+// no persisted neighbor index.
+func (r *Reader) ScanNeighborVariants(typ string, fn func(variant string)) (bool, error) {
+	nd := r.nbrDirs[typ]
+	if nd == nil {
+		return false, nil
+	}
+	for i := range nd.sparse {
+		startOff := nd.segOff + int64(nd.sparse[i].off)
+		endOff := nd.segOff + nd.segLen
+		if i+1 < len(nd.sparse) {
+			endOff = nd.segOff + int64(nd.sparse[i+1].off)
+		}
+		buf, err := r.neighbor.bytesAt(startOff, endOff-startOff)
+		if err != nil {
+			return false, err
+		}
+		br := &byteReader{buf: buf, file: NeighborFile}
+		prev := ""
+		for j := 0; br.pos < len(br.buf); j++ {
+			var cur string
+			if j == 0 {
+				if cur, err = br.str(); err != nil {
+					return false, err
+				}
+			} else {
+				p, err := br.count(len(prev))
+				if err != nil {
+					return false, corrupt(NeighborFile, "bad front-coded prefix length: %v", err)
+				}
+				rest, err := br.str()
+				if err != nil {
+					return false, err
+				}
+				cur = prev[:p] + rest
+			}
+			prev = cur
+			nOrds, err := br.count(maxCount)
+			if err != nil {
+				return false, err
+			}
+			if _, err := decodePostings(br, nOrds); err != nil {
+				return false, err
+			}
+			fn(cur)
+		}
+	}
+	return true, nil
+}
+
 // readHandle decodes a string-heap reference at the reader's version: a
 // single record offset for version 3, an (offset, length) pair for
 // version 4.

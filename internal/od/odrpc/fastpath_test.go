@@ -1,0 +1,155 @@
+package odrpc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/od"
+)
+
+// builtLoopback returns a loopback client over a finalized MemStore plus
+// a directly built reference over the same corpus.
+func builtLoopback(t *testing.T, ods []*od.OD, theta float64) (*Client, *od.MemStore) {
+	t.Helper()
+	ref := od.NewMemStore()
+	store := od.NewMemStore()
+	for _, o := range ods {
+		cp := *o
+		ref.Add(&cp)
+		cp2 := *o
+		store.Add(&cp2)
+	}
+	ref.Finalize(theta)
+	store.Finalize(theta)
+	client := NewLoopback(store)
+	t.Cleanup(func() { client.Close() })
+	return client, ref
+}
+
+// TestSimilarValuesBatchWire pins the pipelined batch opcode: one
+// exchange (one round trip) answers a whole tuple set bit-identically
+// to per-tuple queries, shipping one frame per chunk.
+func TestSimilarValuesBatchWire(t *testing.T) {
+	ods := cdODs(50, 2101)
+	client, ref := builtLoopback(t, ods, 0.15)
+
+	var ts []od.Tuple
+	for _, o := range ref.ODs() {
+		ts = append(ts, o.NonEmptyTuples()...)
+	}
+	before := client.WireStats()
+	lists, err := client.SimilarValuesBatch(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := client.WireStats()
+	if len(lists) != len(ts) {
+		t.Fatalf("batch of %d tuples answered %d lists", len(ts), len(lists))
+	}
+	for i, tup := range ts {
+		if !reflect.DeepEqual(lists[i], ref.SimilarValues(tup)) {
+			t.Fatalf("batched SimilarValues(%v) diverges from direct query", tup)
+		}
+	}
+	if rt := after.RoundTrips - before.RoundTrips; rt != 1 {
+		t.Errorf("batch cost %d round trips, want 1", rt)
+	}
+	wantFrames := uint64((len(ts) + simBatchChunk - 1) / simBatchChunk)
+	if fr := after.FramesOut - before.FramesOut; fr != wantFrames {
+		t.Errorf("batch of %d tuples shipped %d frames, want %d", len(ts), after.FramesOut-before.FramesOut, wantFrames)
+	}
+	if after.FramesIn != after.FramesOut {
+		t.Errorf("frames in (%d) != frames out (%d) on an all-success connection", after.FramesIn, after.FramesOut)
+	}
+}
+
+// TestChunkedMutationsPipelined pins that a large mutation batch ships
+// as several pipelined frames on a single round trip, before and after
+// Finalize.
+func TestChunkedMutationsPipelined(t *testing.T) {
+	ods := cdODs(600, 2102)
+	client := NewLoopback(od.NewMemStore())
+	defer client.Close()
+
+	before := client.WireStats()
+	if err := client.AddODs(copyODs(ods)); err != nil {
+		t.Fatal(err)
+	}
+	after := client.WireStats()
+	if rt := after.RoundTrips - before.RoundTrips; rt != 1 {
+		t.Errorf("chunked AddODs cost %d round trips, want 1", rt)
+	}
+	wantFrames := uint64((len(ods) + addODsChunk - 1) / addODsChunk)
+	if fr := after.FramesOut - before.FramesOut; fr != wantFrames {
+		t.Errorf("%d ODs shipped in %d frames, want %d", len(ods), fr, wantFrames)
+	}
+	if err := client.Finalize(0.15); err != nil {
+		t.Fatal(err)
+	}
+	info, err := client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(info.Size) != len(ods) {
+		t.Fatalf("after chunked build Size = %d, want %d", info.Size, len(ods))
+	}
+
+	extra := cdODs(300, 2103)
+	for _, o := range extra {
+		o.Object = o.Object + "/extra"
+	}
+	before = client.WireStats()
+	if err := client.AddAfterFinalize(copyODs(extra)); err != nil {
+		t.Fatal(err)
+	}
+	after = client.WireStats()
+	if rt := after.RoundTrips - before.RoundTrips; rt != 1 {
+		t.Errorf("chunked AddAfterFinalize cost %d round trips, want 1", rt)
+	}
+	wantFrames = uint64((len(extra) + addODsChunk - 1) / addODsChunk)
+	if fr := after.FramesOut - before.FramesOut; fr != wantFrames {
+		t.Errorf("%d delta ODs shipped in %d frames, want %d", len(extra), fr, wantFrames)
+	}
+	info, err = client.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(info.Size) != len(ods)+len(extra) {
+		t.Fatalf("after chunked delta Size = %d, want %d", info.Size, len(ods)+len(extra))
+	}
+}
+
+// TestRoutingFiltersWire pins the filter opcode: the decoded filter set
+// is deeply equal to what od.RoutingFilters computes directly on the
+// served store, so coordinator-side skip decisions are the same whether
+// the member is local or remote.
+func TestRoutingFiltersWire(t *testing.T) {
+	ods := cdODs(40, 2104)
+	client, _ := builtLoopback(t, ods, 0.15)
+
+	// The loopback serves a store built identically to ref; compute the
+	// expectation on a fresh identical store.
+	direct := od.NewMemStore()
+	for _, o := range ods {
+		cp := *o
+		direct.Add(&cp)
+	}
+	direct.Finalize(0.15)
+	want := od.RoutingFilters(direct)
+
+	before := client.WireStats()
+	got, err := client.RoutingFilters()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := client.WireStats()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("RoutingFilters over the wire diverge:\nwire:   %+v\ndirect: %+v", got, want)
+	}
+	if rt := after.RoundTrips - before.RoundTrips; rt != 1 {
+		t.Errorf("RoutingFilters cost %d round trips, want 1", rt)
+	}
+	if after.BytesOut == 0 || after.BytesIn == 0 {
+		t.Errorf("wire byte counters did not advance: %+v", after)
+	}
+}

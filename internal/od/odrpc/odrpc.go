@@ -21,13 +21,18 @@
 // cross the wire bit-exactly.
 //
 // Server wraps any od.Store (panics from the backend are converted to
-// error replies, one request in flight per connection); Client
-// implements od.Partition with an optional per-call deadline, so a
-// hung member surfaces as a timeout error rather than stalling the
-// federation forever. NewLoopback wires a Client to a Server over an
-// in-process net.Pipe — the full codec runs with no real sockets,
-// which is how every test (and the CLI's single-machine `-store dist`
-// mode) exercises the wire path.
+// error replies, requests on one connection processed in arrival
+// order); Client implements od.Partition with an optional per-call
+// deadline, so a hung member surfaces as a timeout error rather than
+// stalling the federation forever. The client pipelines: a batched
+// operation (SimilarValuesBatch, a chunked mutation shipment) writes a
+// bounded window of request frames before the first reply arrives, so
+// a whole batch costs one round trip instead of one per chunk, and the
+// per-client wire counters (WireStats) account frames, bytes and round
+// trips for exactly that saving. NewLoopback wires a Client to a
+// Server over an in-process net.Pipe — the full codec runs with no
+// real sockets, which is how every test (and the CLI's single-machine
+// `-store dist` mode) exercises the wire path.
 package odrpc
 
 import (
@@ -44,7 +49,11 @@ import (
 // announcing any other version is refused with a *VersionError — the
 // protocol may change incompatibly between versions because both ends
 // ship from this repository.
-const Version = 1
+//
+// Version history: 1 was the strict request/reply protocol; 2 added
+// pipelined frames on one connection plus the opSimilarBatch and
+// opRoutingFilters opcodes.
+const Version = 2
 
 // maxFrame caps a frame's payload so a corrupt or hostile length
 // prefix cannot trigger a giant allocation.
@@ -71,6 +80,8 @@ const (
 	opStats
 	opAddAfter
 	opRemove
+	opSimilarBatch
+	opRoutingFilters
 	opEnd // sentinel: first invalid opcode
 )
 
@@ -420,6 +431,133 @@ func (r *bodyReader) stats() ([]od.TypeStats, error) {
 		}
 		st.Indexed = r.buf[r.pos] != 0
 		r.pos++
+	}
+	return out, nil
+}
+
+// appendTupleKeys encodes a SimilarValuesBatch request: the batched
+// query keys, in answer order.
+func appendTupleKeys(b []byte, ts []od.Tuple) []byte {
+	b = appendUvarint(b, uint64(len(ts)))
+	for _, t := range ts {
+		b = appendTupleKey(b, t)
+	}
+	return b
+}
+
+func (r *bodyReader) tupleKeys() ([]od.Tuple, error) {
+	n, err := r.elems()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]od.Tuple, n)
+	for i := range out {
+		if out[i], err = r.tupleKey(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendMatchLists encodes a SimilarValuesBatch reply: one match list
+// per batched query, in request order.
+func appendMatchLists(b []byte, lists [][]od.ValueMatch) []byte {
+	b = appendUvarint(b, uint64(len(lists)))
+	for _, ms := range lists {
+		b = appendMatches(b, ms)
+	}
+	return b
+}
+
+func (r *bodyReader) matchLists() ([][]od.ValueMatch, error) {
+	n, err := r.elems()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([][]od.ValueMatch, n)
+	for i := range out {
+		if out[i], err = r.matches(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// appendFilters encodes a RoutingFilters reply. The budget is biased
+// by one so -1 fits a uvarint, like the edit budget in Stats rows;
+// bloom words travel little-endian like every fixed-width integer.
+func appendFilters(b []byte, fs []od.VariantFilter) []byte {
+	b = appendUvarint(b, uint64(len(fs)))
+	for i := range fs {
+		f := &fs[i]
+		b = appendString(b, f.Type)
+		if f.Covered {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendUvarint(b, uint64(f.Budget+1))
+		b = appendUvarint(b, uint64(f.MaxLen))
+		b = appendUvarint(b, uint64(len(f.Bits)))
+		for _, w := range f.Bits {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+	}
+	return b
+}
+
+func (r *bodyReader) filters() ([]od.VariantFilter, error) {
+	n, err := r.elems()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]od.VariantFilter, n)
+	for i := range out {
+		f := &out[i]
+		if f.Type, err = r.str(); err != nil {
+			return nil, err
+		}
+		if r.pos >= len(r.buf) {
+			return nil, badFrame("filter row truncated")
+		}
+		f.Covered = r.buf[r.pos] != 0
+		r.pos++
+		budget, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.Budget = int(budget) - 1
+		maxLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		f.MaxLen = int(maxLen)
+		words, err := r.count((len(r.buf) - r.pos) / 8)
+		if err != nil {
+			return nil, err
+		}
+		// The bloom probes mask assuming a power-of-two word count; a
+		// filter violating that would skip wrongly, so reject it as
+		// corrupt rather than route on it.
+		if words&(words-1) != 0 {
+			return nil, badFrame("filter bitset of %d words is not a power of two", words)
+		}
+		if words > 0 {
+			f.Bits = make([]uint64, words)
+			for j := range f.Bits {
+				f.Bits[j] = binary.LittleEndian.Uint64(r.buf[r.pos:])
+				r.pos += 8
+			}
+		}
 	}
 	return out, nil
 }

@@ -149,6 +149,24 @@ func (s *Server) handle(op byte, body []byte) (resp []byte, err error) {
 			return nil, err
 		}
 		return appendMatches(nil, s.store.SimilarValues(t)), nil
+	case opSimilarBatch:
+		ts, err := r.tupleKeys()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		lists := make([][]od.ValueMatch, len(ts))
+		for i, t := range ts {
+			lists[i] = s.store.SimilarValues(t)
+		}
+		return appendMatchLists(nil, lists), nil
+	case opRoutingFilters:
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		return appendFilters(nil, od.RoutingFilters(s.store)), nil
 	case opSoftIDF:
 		a, err := r.tupleKey()
 		if err != nil {

@@ -2,6 +2,7 @@ package od
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 )
@@ -77,6 +78,14 @@ type Partition interface {
 	ObjectsWithExact(t Tuple) ([]int32, error)
 	// SimilarValues answers over the member's slice of the type's values.
 	SimilarValues(t Tuple) ([]ValueMatch, error)
+	// SimilarValuesBatch answers one SimilarValues query per tuple, in
+	// order. Transports ship the whole batch as one pipelined round
+	// trip; in-process members answer serially.
+	SimilarValuesBatch(ts []Tuple) ([][]ValueMatch, error)
+	// RoutingFilters returns the member's per-type variant-routing
+	// filters (RoutingFilters over its store), fetched once per
+	// Finalize/OpenPartitioned.
+	RoutingFilters() ([]VariantFilter, error)
 	// Stats reports the member's per-type index statistics.
 	Stats() ([]TypeStats, error)
 	// AddAfterFinalize appends post-Finalize shadow objects (MutableStore).
@@ -160,6 +169,28 @@ func (p LocalPartition) SimilarValues(t Tuple) (ms []ValueMatch, err error) {
 	return ms, err
 }
 
+// SimilarValuesBatch implements Partition: a serial loop — the batch
+// shape only pays off across a wire.
+func (p LocalPartition) SimilarValuesBatch(ts []Tuple) (out [][]ValueMatch, err error) {
+	err = guardPartition("SimilarValuesBatch", func() error {
+		out = make([][]ValueMatch, len(ts))
+		for i, t := range ts {
+			out[i] = p.S.SimilarValues(t)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// RoutingFilters implements Partition.
+func (p LocalPartition) RoutingFilters() (fs []VariantFilter, err error) {
+	err = guardPartition("RoutingFilters", func() error {
+		fs = RoutingFilters(p.S)
+		return nil
+	})
+	return fs, err
+}
+
 // Stats implements Partition.
 func (p LocalPartition) Stats() (sts []TypeStats, err error) {
 	err = guardPartition("Stats", func() error {
@@ -225,14 +256,11 @@ func partitionIndex(key string, seed uint32, n int) int {
 	return int(fnv1a(key, seed) % uint32(n))
 }
 
-// addODsBatch bounds how many shadow objects one Partition.AddODs or
-// AddAfterFinalize call carries, and removeBatch how many IDs one
-// Remove call carries, so a transport's frame stays small no matter
-// the corpus or batch size.
-const (
-	addODsBatch = 256
-	removeBatch = 1 << 16
-)
+// Batch bounding lives in the transports now: the coordinator hands
+// each Partition the whole per-member shadow set in one call, and a
+// wire transport (odrpc.Client) chunks it into bounded pipelined
+// frames itself — the layer that owns the frame limit owns the
+// chunking.
 
 // PartitionedStore federates N partition members behind the Store and
 // MutableStore interfaces. The coordinator keeps the full object
@@ -280,9 +308,31 @@ type PartitionedStore struct {
 	// recomputable from the members, so the caps only bound coordinator
 	// memory and transport round-trips — an unbounded map would slowly
 	// re-accumulate the queried slice of every member's index here,
-	// defeating the point of distributing it.
+	// defeating the point of distributing it. Keys carry the owning
+	// type's mutation epoch, so an Update/Remove batch invalidates
+	// exactly the touched types' entries (they become unreachable and
+	// age out) while every other cached merge survives.
 	occCache *shardedLRU[string, []int32]
 	simCache *shardedLRU[string, []ValueMatch]
+
+	// typeEpochs counts mutation batches per touched type; written only
+	// inside mutation calls, which the MutableStore contract serializes
+	// against all queries.
+	typeEpochs map[string]uint64
+
+	// sf collapses concurrent identical similar-value fan-outs.
+	sf simFlight
+
+	// routing holds each member's variant filters (nil until Finalize/
+	// OpenPartitioned succeed); routingOff disables skip decisions while
+	// keeping the filters maintained, so the knob can flip back on.
+	routing    []*memberRouting
+	routingOff bool
+
+	statSimFanouts    atomic.Uint64
+	statMemberQueries atomic.Uint64
+	statMemberSkips   atomic.Uint64
+	statExactSkips    atomic.Uint64
 }
 
 var _ MutableStore = (*PartitionedStore)(nil)
@@ -335,19 +385,32 @@ func (s *PartitionedStore) mustBeHealthy() {
 // first failure as a typed, recorded PartitionUnavailableError. fn is
 // called once per member, each on its own goroutine.
 func (s *PartitionedStore) fanOut(op string, fn func(i int, p Partition) error) *PartitionUnavailableError {
-	errs := make([]error, len(s.parts))
+	members := make([]int, len(s.parts))
+	for i := range members {
+		members[i] = i
+	}
+	return s.fanOutSome(op, members, fn)
+}
+
+// fanOutSome is fanOut restricted to the listed member indexes — the
+// routed form the variant filters enable.
+func (s *PartitionedStore) fanOutSome(op string, members []int, fn func(i int, p Partition) error) *PartitionUnavailableError {
+	if len(members) == 0 {
+		return nil
+	}
+	errs := make([]error, len(members))
 	var wg sync.WaitGroup
-	for i := range s.parts {
+	for k, i := range members {
 		wg.Add(1)
-		go func(i int) {
+		go func(k, i int) {
 			defer wg.Done()
-			errs[i] = fn(i, s.parts[i])
-		}(i)
+			errs[k] = fn(i, s.parts[i])
+		}(k, i)
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for k, err := range errs {
 		if err != nil {
-			return s.setFailed(&PartitionUnavailableError{Partition: i, Op: op, Err: err})
+			return s.setFailed(&PartitionUnavailableError{Partition: members[k], Op: op, Err: err})
 		}
 	}
 	return nil
@@ -401,7 +464,8 @@ func (s *PartitionedStore) Add(o *OD) *OD {
 }
 
 // Finalize implements Store: shadows stream to every member in
-// parallel (batched, in ID order), each member finalizes its slice of
+// parallel (in ID order; wire transports chunk the shipment into
+// bounded pipelined frames), each member finalizes its slice of
 // the indexes, and the coordinator verifies alignment (size, θtuple)
 // before serving. A member failure is re-raised as a typed
 // PartitionUnavailableError panic — the Store interface has no error
@@ -416,15 +480,8 @@ func (s *PartitionedStore) Finalize(theta float64) {
 
 	shadows := s.shadowODs(s.ods)
 	err := s.fanOut("Finalize", func(i int, p Partition) error {
-		sh := shadows[i]
-		for lo := 0; lo < len(sh); lo += addODsBatch {
-			hi := lo + addODsBatch
-			if hi > len(sh) {
-				hi = len(sh)
-			}
-			if err := p.AddODs(sh[lo:hi]); err != nil {
-				return err
-			}
+		if err := p.AddODs(shadows[i]); err != nil {
+			return err
 		}
 		if err := p.Finalize(theta); err != nil {
 			return err
@@ -442,7 +499,59 @@ func (s *PartitionedStore) Finalize(theta float64) {
 	if err != nil {
 		panic(err)
 	}
+	if err := s.initRouting(); err != nil {
+		panic(err)
+	}
 	s.clearCaches()
+}
+
+// initRouting fetches every member's variant filters — the query fast
+// path's member-skipping state. Called once per Finalize and
+// OpenPartitioned; a member failing here poisons the federation like
+// any other lifecycle failure.
+func (s *PartitionedStore) initRouting() *PartitionUnavailableError {
+	routing := make([]*memberRouting, len(s.parts))
+	if err := s.fanOut("RoutingFilters", func(i int, p Partition) error {
+		fs, err := p.RoutingFilters()
+		if err != nil {
+			return err
+		}
+		routing[i] = newMemberRouting(fs)
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.routing = routing
+	return nil
+}
+
+// SetVariantRouting toggles filter-based member skipping (on by
+// default once the filters exist). Answers are bit-identical either
+// way — the knob exists so benchmarks can measure the full fan-out
+// baseline and operators can rule routing out while debugging.
+func (s *PartitionedStore) SetVariantRouting(on bool) { s.routingOff = !on }
+
+// RoutingStats snapshots the coordinator's filter-decision counters.
+func (s *PartitionedStore) RoutingStats() RoutingStats {
+	return RoutingStats{
+		SimFanouts:    s.statSimFanouts.Load(),
+		MemberQueries: s.statMemberQueries.Load(),
+		MemberSkips:   s.statMemberSkips.Load(),
+		ExactSkips:    s.statExactSkips.Load(),
+	}
+}
+
+// MemberWireStats returns the wire counters of every member whose
+// transport counts them (odrpc clients), keyed by member index.
+// In-process members have no wire and are absent.
+func (s *PartitionedStore) MemberWireStats() map[int]WireStats {
+	out := map[int]WireStats{}
+	for i, p := range s.parts {
+		if wc, ok := p.(WireCounter); ok {
+			out[i] = wc.WireStats()
+		}
+	}
+	return out
 }
 
 // Size implements Store: live objects only.
@@ -480,7 +589,8 @@ func (s *PartitionedStore) clearCaches() {
 
 // CacheStats reports the coordinator's merged-answer cache counters,
 // keyed "occ" (routed posting lists) and "sim" (fanned-out
-// similar-value merges). Counters reset when a mutation batch clears
+// similar-value merges). Counters survive mutation batches — epoch-
+// prefixed keys make stale entries unreachable instead of clearing
 // the caches.
 func (s *PartitionedStore) CacheStats() map[string]CacheStats {
 	s.mustBeFinal()
@@ -490,18 +600,65 @@ func (s *PartitionedStore) CacheStats() map[string]CacheStats {
 	}
 }
 
+// cacheKey derives a merged-answer cache key from a tuple: the owning
+// type's mutation epoch, base36, then an \x01 separator (base36 never
+// contains it, so distinct epochs cannot collide), then the occurrence
+// key. A mutation batch bumps the touched types' epochs, orphaning
+// exactly their cached merges.
+func (s *PartitionedStore) cacheKey(t Tuple) string {
+	var epoch uint64
+	if s.typeEpochs != nil {
+		epoch = s.typeEpochs[t.Type]
+	}
+	return strconv.FormatUint(epoch, 36) + "\x01" + t.occKey()
+}
+
+// bumpEpochs advances the mutation epoch of every touched type. Called
+// only from mutation methods, which the MutableStore contract
+// serializes against all queries.
+func (s *PartitionedStore) bumpEpochs(types map[string]bool) {
+	if len(types) == 0 {
+		return
+	}
+	if s.typeEpochs == nil {
+		s.typeEpochs = make(map[string]uint64, len(types))
+	}
+	for typ := range types {
+		s.typeEpochs[typ]++
+	}
+}
+
+// tupleTypes folds the non-empty tuple types of a batch into set.
+func tupleTypes(set map[string]bool, ods []*OD) {
+	for _, o := range ods {
+		for _, t := range o.Tuples {
+			if t.Value != "" {
+				set[t.Type] = true
+			}
+		}
+	}
+}
+
 // ObjectsWithExact implements Store: the key is owned by exactly one
 // member, so this is a routed single-partition call through the
-// coordinator's posting cache.
+// coordinator's posting cache — or no call at all when the owner's
+// variant filter proves the value absent.
 func (s *PartitionedStore) ObjectsWithExact(t Tuple) []int32 {
 	s.mustBeFinal()
 	s.mustBeHealthy()
-	key := t.occKey()
+	occKey := t.occKey()
+	key := s.cacheKey(t)
 	if ids, ok := s.occCache.get(key); ok {
 		return ids
 	}
+	pi := partitionIndex(occKey, s.seed, len(s.parts))
+	if !s.routingOff && s.routing != nil &&
+		s.routing[pi].types[t.Type].canSkipExact(t.Value) {
+		s.statExactSkips.Add(1)
+		s.occCache.put(key, nil)
+		return nil
+	}
 	var ids []int32
-	pi := partitionIndex(key, s.seed, len(s.parts))
 	if err := s.callOne("ObjectsWithExact", pi, func(p Partition) error {
 		var err error
 		ids, err = p.ObjectsWithExact(t)
@@ -513,22 +670,43 @@ func (s *PartitionedStore) ObjectsWithExact(t Tuple) []int32 {
 	return ids
 }
 
-// SimilarValues implements Store: values of one type are spread across
-// all members by hash, so the query fans out to every partition in
-// parallel and the merged matches sort into the canonical order —
-// exactly ShardedStore's merge, across the transport seam.
-func (s *PartitionedStore) SimilarValues(t Tuple) []ValueMatch {
-	s.mustBeFinal()
-	s.mustBeHealthy()
-	if t.Value == "" {
+// routeSimilar decides which members one similar-value fan-out must
+// ask: every member when routing is off, otherwise only those whose
+// variant filter cannot prove the query empty. Member order is
+// ascending, so merges over the result are deterministic.
+func (s *PartitionedStore) routeSimilar(t Tuple) []int {
+	s.statSimFanouts.Add(1)
+	members := make([]int, 0, len(s.parts))
+	if s.routingOff || s.routing == nil {
+		for i := range s.parts {
+			members = append(members, i)
+		}
+		s.statMemberQueries.Add(uint64(len(members)))
+		return members
+	}
+	qLen := len([]rune(t.Value))
+	for i := range s.parts {
+		if s.routing[i].types[t.Type].canSkipSimilar(t.Value, qLen, s.theta) {
+			s.statMemberSkips.Add(1)
+			continue
+		}
+		members = append(members, i)
+	}
+	s.statMemberQueries.Add(uint64(len(members)))
+	return members
+}
+
+// fetchSimilar computes one merged similar-value answer: route, fan
+// out to the surviving members, merge in the canonical order. Values
+// partition disjointly across members, so sortMatches yields the same
+// total order regardless of which members were skipped.
+func (s *PartitionedStore) fetchSimilar(t Tuple) []ValueMatch {
+	members := s.routeSimilar(t)
+	if len(members) == 0 {
 		return nil
 	}
-	cacheKey := t.occKey()
-	if cached, ok := s.simCache.get(cacheKey); ok {
-		return cached
-	}
 	results := make([][]ValueMatch, len(s.parts))
-	if err := s.fanOut("SimilarValues", func(i int, p Partition) error {
+	if err := s.fanOutSome("SimilarValues", members, func(i int, p Partition) error {
 		var err error
 		results[i], err = p.SimilarValues(t)
 		return err
@@ -536,12 +714,107 @@ func (s *PartitionedStore) SimilarValues(t Tuple) []ValueMatch {
 		panic(err)
 	}
 	var out []ValueMatch
-	for _, ms := range results {
-		out = append(out, ms...)
+	for _, m := range members {
+		out = append(out, results[m]...)
 	}
 	sortMatches(out)
-	s.simCache.put(cacheKey, out)
 	return out
+}
+
+// SimilarValues implements Store: values of one type are spread across
+// all members by hash, so the query fans out to the members the
+// variant filters cannot exclude and the merged matches sort into the
+// canonical order — exactly ShardedStore's merge, across the transport
+// seam. Concurrent identical queries collapse into one fan-out.
+func (s *PartitionedStore) SimilarValues(t Tuple) []ValueMatch {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	if t.Value == "" {
+		return nil
+	}
+	key := s.cacheKey(t)
+	if cached, ok := s.simCache.get(key); ok {
+		return cached
+	}
+	out, _ := s.sf.do(key, func() []ValueMatch {
+		ms := s.fetchSimilar(t)
+		s.simCache.put(key, ms)
+		return ms
+	})
+	return out
+}
+
+// PrefetchSimilar implements BatchQueryStore: it warms the similar-
+// value cache for a whole candidate batch with at most one pipelined
+// SimilarValuesBatch round trip per member. Queries the cache already
+// holds — and duplicates within the batch — cost nothing; queries the
+// filters prove empty everywhere cache nil without any member call.
+// The later SimilarValues reads hit the cache and return bit-identical
+// answers whether or not the prefetch ran.
+func (s *PartitionedStore) PrefetchSimilar(ts []Tuple) {
+	s.mustBeFinal()
+	s.mustBeHealthy()
+	type pendingQuery struct {
+		t   Tuple
+		key string
+	}
+	var pend []pendingQuery
+	seen := map[string]bool{}
+	for _, t := range ts {
+		if t.Value == "" {
+			continue
+		}
+		key := s.cacheKey(t)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := s.simCache.get(key); ok {
+			continue
+		}
+		pend = append(pend, pendingQuery{t: t, key: key})
+	}
+	if len(pend) == 0 {
+		return
+	}
+	perMember := make([][]Tuple, len(s.parts))
+	slot := make([][]int, len(s.parts)) // slot[m][j] = pend index answered by perMember[m][j]
+	for qi := range pend {
+		for _, m := range s.routeSimilar(pend[qi].t) {
+			perMember[m] = append(perMember[m], pend[qi].t)
+			slot[m] = append(slot[m], qi)
+		}
+	}
+	var active []int
+	for m := range perMember {
+		if len(perMember[m]) > 0 {
+			active = append(active, m)
+		}
+	}
+	got := make([][][]ValueMatch, len(s.parts))
+	if err := s.fanOutSome("SimilarValuesBatch", active, func(m int, p Partition) error {
+		rs, err := p.SimilarValuesBatch(perMember[m])
+		if err != nil {
+			return err
+		}
+		if len(rs) != len(perMember[m]) {
+			return fmt.Errorf("member answered %d of %d batched queries", len(rs), len(perMember[m]))
+		}
+		got[m] = rs
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	merged := make([][]ValueMatch, len(pend))
+	for m := range got {
+		for j, qi := range slot[m] {
+			merged[qi] = append(merged[qi], got[m][j]...)
+		}
+	}
+	for qi := range pend {
+		sortMatches(merged[qi])
+		s.simCache.put(pend[qi].key, merged[qi])
+	}
 }
 
 // SoftIDF implements Store. Definition 8's |ΩT| is the federation size
@@ -609,9 +882,12 @@ func (s *PartitionedStore) Stats() []TypeStats {
 
 // AddAfterFinalize implements MutableStore: the coordinator assigns the
 // IDs, every member receives its shadows (one per object, empty ones
-// included, keeping the ID spaces aligned), and the batch applies in
-// parallel. A member failure poisons the federation and is returned
-// typed.
+// included, keeping the ID spaces aligned; wire transports chunk the
+// batch themselves), and the batch applies in parallel. The touched
+// types' cache epochs bump — untouched types' cached merges survive —
+// and the members' variant filters absorb the new values so skip
+// decisions stay complete. A member failure poisons the federation and
+// is returned typed.
 func (s *PartitionedStore) AddAfterFinalize(ods []*OD) error {
 	s.mustBeFinal()
 	if e := s.failed.Load(); e != nil {
@@ -625,31 +901,33 @@ func (s *PartitionedStore) AddAfterFinalize(ods []*OD) error {
 		s.ods = append(s.ods, o)
 		s.live++
 	}
-	s.clearCaches()
+	touched := map[string]bool{}
+	tupleTypes(touched, ods)
+	s.bumpEpochs(touched)
 	shadows := s.shadowODs(ods)
 	if err := s.fanOut("AddAfterFinalize", func(i int, p Partition) error {
-		// Chunked like the Finalize shipping: one unbounded call could
-		// exceed a transport's frame limit and read as a member failure.
-		sh := shadows[i]
-		for lo := 0; lo < len(sh); lo += addODsBatch {
-			hi := lo + addODsBatch
-			if hi > len(sh) {
-				hi = len(sh)
-			}
-			if err := p.AddAfterFinalize(sh[lo:hi]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return p.AddAfterFinalize(shadows[i])
 	}); err != nil {
 		return err
+	}
+	if s.routing != nil {
+		for i, sh := range shadows {
+			for _, o := range sh {
+				for _, t := range o.Tuples {
+					s.routing[i].noteAdded(t.Type, t.Value)
+				}
+			}
+		}
 	}
 	return nil
 }
 
 // Remove implements MutableStore, with the coordinator validating the
 // batch up front (so a bad ID fails before any member is touched) and
-// every member deleting its shadows of the removed objects.
+// every member deleting its shadows of the removed objects. The
+// removed objects' types bump their cache epochs; the variant filters
+// need no maintenance — a removal only leaves stale bloom bits, which
+// widen fan-outs but never skip a live match.
 func (s *PartitionedStore) Remove(ids []int32) error {
 	s.mustBeFinal()
 	if e := s.failed.Load(); e != nil {
@@ -663,20 +941,13 @@ func (s *PartitionedStore) Remove(ids []int32) error {
 	}
 	sorted := append([]int32(nil), ids...)
 	sortInt32s(sorted)
-	s.clearCaches()
+	touched := map[string]bool{}
+	for _, id := range sorted {
+		tupleTypes(touched, s.ods[id:id+1])
+	}
+	s.bumpEpochs(touched)
 	if err := s.fanOut("Remove", func(i int, p Partition) error {
-		// Chunked so a huge removal list stays under a transport's frame
-		// limit; sub-batches of a sorted, validated list stay valid.
-		for lo := 0; lo < len(sorted); lo += removeBatch {
-			hi := lo + removeBatch
-			if hi > len(sorted) {
-				hi = len(sorted)
-			}
-			if err := p.Remove(sorted[lo:hi]); err != nil {
-				return err
-			}
-		}
-		return nil
+		return p.Remove(sorted)
 	}); err != nil {
 		return err
 	}

@@ -185,6 +185,10 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 	s.theta = fed.Theta
 	s.finalized = true
 	s.snapDir = dir
+	if err := s.initRouting(); err != nil {
+		closeAll()
+		return nil, err
+	}
 	s.clearCaches()
 	return s, nil
 }

@@ -1,0 +1,312 @@
+package od
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// countingPartition wraps a Partition and counts query calls, so the
+// routing tests can observe which members a fan-out actually reached.
+// Counters are atomic: the coordinator queries members from parallel
+// goroutines.
+type countingPartition struct {
+	Partition
+	similar atomic.Int64
+	batches atomic.Int64
+	exact   atomic.Int64
+}
+
+func (c *countingPartition) SimilarValues(t Tuple) ([]ValueMatch, error) {
+	c.similar.Add(1)
+	return c.Partition.SimilarValues(t)
+}
+
+func (c *countingPartition) SimilarValuesBatch(ts []Tuple) ([][]ValueMatch, error) {
+	c.batches.Add(1)
+	return c.Partition.SimilarValuesBatch(ts)
+}
+
+func (c *countingPartition) ObjectsWithExact(t Tuple) ([]int32, error) {
+	c.exact.Add(1)
+	return c.Partition.ObjectsWithExact(t)
+}
+
+// countingFederation builds a federation whose members are counting
+// wrappers over the given backends.
+func countingFederation(t *testing.T, ods []*OD, theta float64, backends ...Store) (*PartitionedStore, []*countingPartition) {
+	t.Helper()
+	counters := make([]*countingPartition, len(backends))
+	parts := make([]Partition, len(backends))
+	for i, b := range backends {
+		counters[i] = &countingPartition{Partition: LocalPartition{S: b}}
+		parts[i] = counters[i]
+	}
+	fed := NewPartitionedStore(parts, 0)
+	for _, o := range ods {
+		cp := *o
+		fed.Add(&cp)
+	}
+	fed.Finalize(theta)
+	return fed, counters
+}
+
+// TestVariantRoutingSkipsMembers pins the tentpole property: with the
+// variant filters active, similar-value answers stay bit-identical to
+// MemStore while a measurable share of member fan-out calls is skipped,
+// and the coordinator's counters agree exactly with what the members
+// observed.
+func TestVariantRoutingSkipsMembers(t *testing.T) {
+	ods := cdODs(120, 31)
+	const theta = 0.15
+	mem := freshOver(ods, theta)
+	fed, counters := countingFederation(t, ods, theta, mixedBackends(t, 3)...)
+	defer fed.Close()
+
+	for _, o := range mem.ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalMatches(fed.SimilarValues(tup), mem.SimilarValues(tup)) {
+				t.Fatalf("SimilarValues(%v) diverge with routing on", tup)
+			}
+			if !equalIDs(fed.ObjectsWithExact(tup), mem.ObjectsWithExact(tup)) {
+				t.Fatalf("ObjectsWithExact(%v) diverge with routing on", tup)
+			}
+		}
+	}
+
+	rs := fed.RoutingStats()
+	if rs.MemberSkips == 0 {
+		t.Fatal("variant filters never skipped a member on the CD corpus")
+	}
+	var called int64
+	for _, c := range counters {
+		called += c.similar.Load()
+	}
+	if uint64(called) != rs.MemberQueries {
+		t.Fatalf("members saw %d SimilarValues calls, coordinator counted %d", called, rs.MemberQueries)
+	}
+	if rs.MemberQueries+rs.MemberSkips != rs.SimFanouts*3 {
+		t.Fatalf("queries(%d)+skips(%d) != fanouts(%d)*members(3)",
+			rs.MemberQueries, rs.MemberSkips, rs.SimFanouts)
+	}
+}
+
+// TestVariantRoutingDisabled pins the SetVariantRouting(false) baseline:
+// every fan-out reaches every member, nothing is skipped, and the
+// answers are the same either way.
+func TestVariantRoutingDisabled(t *testing.T) {
+	ods := cdODs(40, 36)
+	const theta = 0.15
+	mem := freshOver(ods, theta)
+	fed, counters := countingFederation(t, ods, theta, NewMemStore(), NewMemStore(), NewMemStore())
+	defer fed.Close()
+	fed.SetVariantRouting(false)
+
+	for _, o := range mem.ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalMatches(fed.SimilarValues(tup), mem.SimilarValues(tup)) {
+				t.Fatalf("SimilarValues(%v) diverge with routing off", tup)
+			}
+		}
+	}
+	rs := fed.RoutingStats()
+	if rs.MemberSkips != 0 {
+		t.Fatalf("routing disabled but %d members were skipped", rs.MemberSkips)
+	}
+	if rs.MemberQueries != rs.SimFanouts*3 {
+		t.Fatalf("routing disabled but queries(%d) != fanouts(%d)*3", rs.MemberQueries, rs.SimFanouts)
+	}
+	var called int64
+	for _, c := range counters {
+		called += c.similar.Load()
+	}
+	if uint64(called) != rs.MemberQueries {
+		t.Fatalf("members saw %d calls, coordinator counted %d", called, rs.MemberQueries)
+	}
+}
+
+// TestExactRoutingSkip pins the zero-RPC absence proof: an exact lookup
+// for a value (or whole type) no member holds answers nil without a
+// single member call, while present values still resolve.
+func TestExactRoutingSkip(t *testing.T) {
+	ods := cdODs(60, 32)
+	fed, counters := countingFederation(t, ods, 0.15, NewMemStore(), NewMemStore(), NewMemStore())
+	defer fed.Close()
+
+	// YEAR is short enough to be variant-indexed (budget 0), so its
+	// filters are covered and a bloom miss proves absence.
+	if got := fed.ObjectsWithExact(Tuple{Type: "YEAR", Value: "no-such-year-99999"}); got != nil {
+		t.Fatalf("absent YEAR answered %v, want nil", got)
+	}
+	// A type no member has ever seen skips via the type-absent rule.
+	if got := fed.ObjectsWithExact(Tuple{Type: "NO-SUCH-TYPE", Value: "x"}); got != nil {
+		t.Fatalf("absent type answered %v, want nil", got)
+	}
+	var exact int64
+	for _, c := range counters {
+		exact += c.exact.Load()
+	}
+	if exact != 0 {
+		t.Fatalf("absence probes reached %d member calls, want 0", exact)
+	}
+	if rs := fed.RoutingStats(); rs.ExactSkips != 2 {
+		t.Fatalf("ExactSkips = %d, want 2", rs.ExactSkips)
+	}
+
+	tup := ods[0].Tuples[4] // a real YEAR value
+	if ids := fed.ObjectsWithExact(tup); len(ids) == 0 {
+		t.Fatalf("present value %v answered empty", tup)
+	}
+}
+
+// TestRoutingEpochInvalidation pins the merge-cache epoch contract
+// across mutation batches: after AddAfterFinalize and Remove, every
+// query over a touched type recomputes (no stale merged answer can
+// surface, including through the maintained variant filters), while an
+// untouched type's cached merge survives the batch.
+func TestRoutingEpochInvalidation(t *testing.T) {
+	const theta = 0.15
+	ods := cdODs(50, 33)
+	fed := buildFederation(t, ods, theta, NewMemStore(), NewMemStore(), NewMemStore())
+	defer fed.Close()
+
+	artist := ods[0].Tuples[1] // ARTIST
+	did := ods[0].Tuples[0]    // DID (variant-indexed: 8 chars, budget 1)
+	genre := ods[0].Tuples[3]  // GENRE — untouched by the mutations below
+
+	// Warm the caches on all three types.
+	fed.SimilarValues(artist)
+	fed.ObjectsWithExact(artist)
+	fed.SimilarValues(did)
+	fed.SimilarValues(genre)
+	fed.SimilarValues(genre) // cache hit
+	simHitsBefore := fed.CacheStats()["sim"].Hits
+
+	// The added object duplicates ods[0]'s artist and carries a DID one
+	// edit away from ods[0]'s — a brand-new value whose variants must
+	// enter the owning member's filter, or the routed fan-out would skip
+	// that member and serve a stale miss.
+	newDid := did.Value[:len(did.Value)-1] + "~"
+	dup := &OD{Object: "/dup/1", Tuples: []Tuple{
+		{Value: artist.Value, Name: artist.Name, Type: artist.Type},
+		{Value: newDid, Name: did.Name, Type: did.Type},
+	}}
+	if err := fed.AddAfterFinalize([]*OD{dup}); err != nil {
+		t.Fatal(err)
+	}
+
+	liveAfterAdd := append(append([]*OD{}, ods...), dup)
+	fresh := freshOver(liveAfterAdd, theta)
+	for _, o := range fresh.ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalIDs(fed.ObjectsWithExact(tup), fresh.ObjectsWithExact(tup)) {
+				t.Fatalf("stale ObjectsWithExact(%v) after add", tup)
+			}
+			if !equalMatches(fed.SimilarValues(tup), fresh.SimilarValues(tup)) {
+				t.Fatalf("stale SimilarValues(%v) after add", tup)
+			}
+		}
+	}
+	// GENRE was not in the batch: its cached merge must have survived.
+	fed.SimilarValues(genre)
+	if hits := fed.CacheStats()["sim"].Hits; hits <= simHitsBefore {
+		t.Fatal("untouched-type cache entry did not survive the mutation batch")
+	}
+
+	// Remove the duplicate: its types bump again and every answer drops
+	// back to the original corpus, bit-identically.
+	if err := fed.Remove([]int32{dup.ID}); err != nil {
+		t.Fatal(err)
+	}
+	orig := freshOver(ods, theta)
+	for _, o := range orig.ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalIDs(fed.ObjectsWithExact(tup), orig.ObjectsWithExact(tup)) {
+				t.Fatalf("stale ObjectsWithExact(%v) after remove", tup)
+			}
+			if !equalMatches(fed.SimilarValues(tup), orig.SimilarValues(tup)) {
+				t.Fatalf("stale SimilarValues(%v) after remove", tup)
+			}
+		}
+	}
+}
+
+// TestPrefetchSimilar pins the batched fast path: one SimilarValuesBatch
+// call per member warms the cache for a whole tuple set, the subsequent
+// SimilarValues reads are bit-identical to MemStore, and not a single
+// per-tuple member call is ever issued.
+func TestPrefetchSimilar(t *testing.T) {
+	ods := cdODs(80, 34)
+	const theta = 0.15
+	mem := freshOver(ods, theta)
+	fed, counters := countingFederation(t, ods, theta, mixedBackends(t, 3)...)
+	defer fed.Close()
+
+	var ts []Tuple
+	for _, o := range fed.ODs() {
+		ts = append(ts, o.Tuples...)
+	}
+	fed.PrefetchSimilar(ts)
+	for i, c := range counters {
+		if n := c.batches.Load(); n > 1 {
+			t.Fatalf("member %d saw %d batch calls for one prefetch, want at most 1", i, n)
+		}
+	}
+
+	for _, o := range mem.ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalMatches(fed.SimilarValues(tup), mem.SimilarValues(tup)) {
+				t.Fatalf("SimilarValues(%v) diverge after prefetch", tup)
+			}
+		}
+	}
+	for i, c := range counters {
+		if n := c.similar.Load(); n != 0 {
+			t.Fatalf("member %d saw %d per-tuple calls; the prefetched cache should have served them all", i, n)
+		}
+	}
+}
+
+// batchFaultPartition fails every SimilarValuesBatch, simulating a
+// member dying inside the prefetch fan-out.
+type batchFaultPartition struct {
+	Partition
+}
+
+func (p batchFaultPartition) SimilarValuesBatch(ts []Tuple) ([][]ValueMatch, error) {
+	return nil, errInjected
+}
+
+// TestPrefetchFaultPoisonsFederation pins the poisoned-clean property
+// of the prefetch path: a member failing mid-batch surfaces as the
+// typed partition error, and no partially merged prefetch result is
+// ever served — every later query re-raises instead of answering.
+func TestPrefetchFaultPoisonsFederation(t *testing.T) {
+	ods := cdODs(30, 35)
+	parts := []Partition{
+		LocalPartition{S: NewMemStore()},
+		batchFaultPartition{LocalPartition{S: NewMemStore()}},
+	}
+	fed := NewPartitionedStore(parts, 0)
+	for _, o := range ods {
+		cp := *o
+		fed.Add(&cp)
+	}
+	fed.Finalize(0.15)
+
+	var ts []Tuple
+	for _, o := range fed.ODs() {
+		ts = append(ts, o.Tuples...)
+	}
+	pe := recoverPartitionError(func() { fed.PrefetchSimilar(ts) })
+	if pe == nil || pe.Partition != 1 {
+		t.Fatalf("failed prefetch surfaced %v, want typed error for member 1", pe)
+	}
+	for _, tup := range ts {
+		if tup.Value == "" {
+			continue
+		}
+		if got := recoverPartitionError(func() { fed.SimilarValues(tup) }); got == nil {
+			t.Fatalf("SimilarValues(%v) answered after a failed prefetch poisoned the federation", tup)
+		}
+	}
+}

@@ -464,6 +464,58 @@ func (s *ShardedStore) Stats() []TypeStats {
 	return out
 }
 
+// routingFilters implements variantFilterSource. A type is covered only
+// when every shard slice of it carries a neighbor index (they share one
+// global budget, so this is all-or-nothing per type in practice) and no
+// shard holds a mutation overlay for it; the bloom unions every shard's
+// buckets. MaxLen comes from the grow-only global maximum — possibly an
+// overestimate after removals, which only widens the edit need the
+// coordinator derives and so stays conservative.
+func (s *ShardedStore) routingFilters() []VariantFilter {
+	s.mustBeFinal()
+	deltaTypes := map[string]bool{}
+	for i := range s.shards {
+		for typ := range s.shards[i].deltas {
+			deltaTypes[typ] = true
+		}
+	}
+	tis := map[string][]*typeIndex{}
+	for i := range s.shards {
+		for typ, ti := range s.shards[i].types {
+			tis[typ] = append(tis[typ], ti)
+		}
+	}
+	for typ := range deltaTypes {
+		if _, ok := tis[typ]; !ok {
+			tis[typ] = nil
+		}
+	}
+	out := make([]VariantFilter, 0, len(tis))
+	for typ, list := range tis {
+		f := VariantFilter{Type: typ, MaxLen: s.typeMaxLen[typ]}
+		covered := !deltaTypes[typ] && len(list) > 0
+		nvar := 0
+		for _, ti := range list {
+			if ti.neighbor == nil {
+				covered = false
+				break
+			}
+			nvar += ti.neighbor.NumVariants()
+		}
+		if covered {
+			f.Covered = true
+			f.Budget = list[0].budget
+			f.Bits = newBloomBits(nvar)
+			for _, ti := range list {
+				ti.neighbor.Variants(func(v string) { bloomAdd(f.Bits, variantHash(v)) })
+			}
+		}
+		out = append(out, f)
+	}
+	sortVariantFilters(out)
+	return out
+}
+
 func (s *ShardedStore) mustBeFinal() {
 	if !s.finalized {
 		panic("od: store not finalized")

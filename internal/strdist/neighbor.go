@@ -42,6 +42,10 @@ func NewNeighborIndex(values []string, maxEdits int) *NeighborIndex {
 // MaxEdits returns the edit budget the index was built with.
 func (idx *NeighborIndex) MaxEdits() int { return idx.maxEdits }
 
+// NumVariants returns the number of distinct deletion variants the
+// index buckets under.
+func (idx *NeighborIndex) NumVariants() int { return len(idx.buckets) }
+
 // Lookup returns the indices (into the constructor's values slice) of all
 // strings whose edit distance to q is <= maxEdits, excluding exact self
 // positions listed in skip (pass -1 for none). Results are deduplicated and
@@ -61,6 +65,18 @@ func (idx *NeighborIndex) Lookup(q string, skip int32) []int32 {
 		}
 	}
 	return out
+}
+
+// Variants calls fn once per distinct deletion variant the index
+// buckets under — every string obtainable from an indexed value by
+// deleting up to the budget's runes, the values themselves included.
+// Iteration order is unspecified. Exported so a federation coordinator
+// can summarize a member's bucket keys into a routing filter without
+// rebuilding the neighborhood.
+func (idx *NeighborIndex) Variants(fn func(variant string)) {
+	for v := range idx.buckets {
+		fn(v)
+	}
 }
 
 // DeletionVariants returns s plus every string obtainable from s by
