@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-race test-disk test-dist vet fmt-check docs-check bench bench-query bench-update bench-dist fuzz clean
+.PHONY: all build test test-race test-disk test-dist test-daemon vet fmt-check docs-check bench bench-query bench-update bench-dist bench-serve fuzz clean
 
 all: build test vet fmt-check docs-check
 
@@ -45,6 +45,17 @@ test-dist:
 	$(GO) test -race ./internal/od/odrpc/
 	$(GO) test -race -run 'Partition|Federation|Loopback|StoreParity|Equivalence|DistStore' \
 		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
+
+# Service-layer gate: the daemon's end-to-end lifecycle suites (cold and
+# warm boots, query → update → re-query bit-identity against the
+# one-shot chain on every backend), the concurrency and fault suites
+# (parallel readers, drain-loses-nothing, member-failure-during-update),
+# and the federation generation-snapshot protocol — all under the race
+# detector, plus the dogmatixd flag/boot tests and the client-mode
+# plumbing in the CLI. CI runs this as its own job.
+test-daemon:
+	$(GO) test -race ./internal/api/... ./cmd/dogmatixd/...
+	$(GO) test -race -run 'Query|Submit|Client' ./cmd/dogmatix/...
 
 # Documentation gate: vet plus the docscheck tool (package doc comments
 # everywhere, markdown cross-references resolve). CI runs this as the
@@ -93,6 +104,15 @@ bench-update:
 # against the committed file.
 bench-dist:
 	$(GO) run ./cmd/benchfig -fig dist -json BENCH_dist.json
+
+# Regenerate the committed service-layer artifact: daemon HTTP query
+# p50/p99 against reading the same data in-process, and the coalescing
+# update queue's document throughput against the sequential
+# one-Update-per-document baseline. CI smoke-runs the same artifact at
+# a reduced scale and fails on JSON schema drift against the committed
+# file.
+bench-serve:
+	$(GO) run ./cmd/benchfig -fig serve -json BENCH_serve.json
 
 # Remove generated artifacts: benchfig's disk-store segments and any
 # stray dupcluster/figure output written into the working tree.

@@ -11,6 +11,7 @@
 //	benchfig -fig query -json BENCH_query.json   # query-path latency artifact
 //	benchfig -fig update -json BENCH_update.json # incremental-update artifact
 //	benchfig -fig dist -json BENCH_dist.json     # distributed fan-out artifact
+//	benchfig -fig serve -json BENCH_serve.json   # daemon service-layer artifact
 //
 // Paper scales: fig5/fig8 use 500 CDs, fig6 uses 500 movies, fig7 uses
 // 10,000 discs. The stages artifact (not from the paper) profiles the
@@ -74,7 +75,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query update dist all")
+		fig      = flag.String("fig", "all", "which artifact: fig5 fig6 fig7 fig8 tab4 tab5 tab6 stages query update dist serve all")
 		n        = flag.Int("n", 0, "corpus size (0 = paper scale)")
 		seed     = flag.Int64("seed", 2005, "generator seed")
 		shards   = flag.Int("shards", 8, "shard count for the stages/query artifacts' sharded run")
@@ -223,9 +224,22 @@ func run(fig string, n int, seed int64, shards int, storeDir, jsonOut, checkSche
 			return err
 		}
 	}
+	if want("serve") {
+		// Same -json/-check-schema ownership rule: under -fig all both
+		// flags belong to other artifacts.
+		jsonArg, checkArg := "", ""
+		if fig == "serve" {
+			jsonArg, checkArg = jsonOut, checkSchema
+		}
+		if err := timed("serve", func() error {
+			return runServe(w, orDefault(n, 1000), seed, jsonArg, checkArg)
+		}); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown -fig %q (want one of: %s)", fig,
-			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "update", "dist", "all"}, " "))
+			strings.Join([]string{"fig5", "fig6", "fig7", "fig8", "tab4", "tab5", "tab6", "stages", "query", "update", "dist", "serve", "all"}, " "))
 	}
 	return nil
 }

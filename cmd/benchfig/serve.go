@@ -1,0 +1,347 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/api/client"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/heuristics"
+	"repro/internal/od"
+	"repro/internal/xmltree"
+)
+
+// serveQueryRow is one query-endpoint measurement in the serve
+// artifact; "direct" rows read the same data in-process (the published
+// result / the live store), pricing exactly what the HTTP service layer
+// adds on top. No field is omitempty: the schema-drift gate compares
+// key structure.
+type serveQueryRow struct {
+	Endpoint   string  `json:"endpoint"` // duplicates | similar
+	Path       string  `json:"path"`     // direct | http
+	Queries    int     `json:"queries"`
+	P50Micros  float64 `json:"p50_us"`
+	P99Micros  float64 `json:"p99_us"`
+	MeanMicros float64 `json:"mean_us"`
+}
+
+// serveUpdateCmp compares streaming the same documents through the
+// daemon's coalescing queue against the one-shot baseline an operator
+// scripts: one sequential Detector.Update call per document.
+type serveUpdateCmp struct {
+	Docs               int     `json:"docs"`
+	Writers            int     `json:"writers"` // concurrent daemon clients
+	BaselineMillis     float64 `json:"baseline_ms"`
+	BaselineDocsPerSec float64 `json:"baseline_docs_per_sec"`
+	DaemonMillis       float64 `json:"daemon_ms"`
+	DaemonDocsPerSec   float64 `json:"daemon_docs_per_sec"`
+	UpdateRuns         uint64  `json:"update_runs"` // Detector.Update calls the daemon issued
+	Coalesced          uint64  `json:"coalesced"`   // submissions that rode along in another run
+}
+
+// serveReport is the whole artifact: workload parameters, query-latency
+// rows and the update-throughput comparison.
+type serveReport struct {
+	Discs      int             `json:"discs"`
+	Seed       int64           `json:"seed"`
+	QueryRows  []serveQueryRow `json:"query_rows"`
+	Update     serveUpdateCmp  `json:"update"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+}
+
+// serveSink keeps the direct-path measurement loops from being
+// trivially removable.
+var serveSink int
+
+// serveCorpus detects a CD corpus with a dash of cross-corpus
+// duplicates, so the duplicates endpoint has pairs to answer with.
+func serveCorpus(n int, seed int64) (*core.Detector, *core.Result, error) {
+	cds := datagen.FreeDB(n, seed)
+	cds = append(cds, cds[:max(2, n/10)]...)
+	doc := datagen.FreeDBToXML(cds)
+	mapping := experiments.MappingFromPaths(datagen.FreeDBMappingPaths())
+	cfg := core.Config{
+		Heuristic:   heuristics.KClosestDescendants(6),
+		ThetaTuple:  experiments.ThetaTuple,
+		ThetaCand:   experiments.ThetaCand,
+		Incremental: true,
+	}
+	det, err := core.NewDetector(mapping, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := det.DetectInputs("DISC", core.DocSource{Name: "corpus", Doc: doc})
+	if err != nil {
+		return nil, nil, err
+	}
+	return det, res, nil
+}
+
+// serveBoot wraps a fresh corpus in the daemon's service layer on a
+// loopback socket, returning the service, its base URL and a teardown.
+func serveBoot(n int, seed int64) (*api.Service, string, func(), error) {
+	det, res, err := serveCorpus(n, seed)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	svc, err := api.New(api.Config{Detector: det, Result: res})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Shutdown(context.Background())
+		return nil, "", nil, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	teardown := func() {
+		svc.Shutdown(context.Background())
+		srv.Close()
+		ln.Close()
+	}
+	return svc, "http://" + ln.Addr().String(), teardown, nil
+}
+
+func parseServeDoc(name, raw string) (core.SourceInput, error) {
+	doc, err := xmltree.Parse(bytes.NewReader([]byte(raw)))
+	if err != nil {
+		return nil, err
+	}
+	return core.DocSource{Name: name, Doc: doc}, nil
+}
+
+// measureServe times fn over count iterations and reduces to a row.
+func measureServe(endpoint, path string, count int, fn func(i int) error) (serveQueryRow, error) {
+	lat := make([]time.Duration, 0, count)
+	begin := time.Now()
+	for i := 0; i < count; i++ {
+		t0 := time.Now()
+		if err := fn(i); err != nil {
+			return serveQueryRow{}, err
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	total := time.Since(begin)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return serveQueryRow{
+		Endpoint:   endpoint,
+		Path:       path,
+		Queries:    count,
+		P50Micros:  percentile(lat, 0.50),
+		P99Micros:  percentile(lat, 0.99),
+		MeanMicros: float64(total.Nanoseconds()) / 1e3 / float64(count),
+	}, nil
+}
+
+// runServe produces the service-layer artifact: what the daemon's
+// HTTP/JSON surface costs per query against reading the same data
+// in-process, and what the coalescing update queue delivers against
+// the sequential one-Update-per-document baseline. The absolute
+// latencies are loopback-socket numbers; the direct rows and the
+// coalescing counters are the machine-independent signal.
+func runServe(w io.Writer, n int, seed int64, jsonPath, checkPath string) error {
+	report := serveReport{Discs: n, Seed: seed, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	svc, base, teardown, err := serveBoot(n, seed)
+	if err != nil {
+		return err
+	}
+	defer teardown()
+	cl := client.New(base)
+	ctx := context.Background()
+	res := svc.Result()
+	if len(res.Pairs) == 0 {
+		return fmt.Errorf("serve corpus produced no duplicate pairs")
+	}
+	const queries = 500
+	fmt.Fprintf(w, "serve — daemon HTTP/JSON vs in-process, %d discs, %d candidates, %d pairs, %d queries/row\n",
+		n, len(res.Candidates), len(res.Pairs), queries)
+
+	emit := func(row serveQueryRow) {
+		report.QueryRows = append(report.QueryRows, row)
+		fmt.Fprintf(w, "  %-10s %-6s p50=%8.1fµs p99=%8.1fµs mean=%8.1fµs\n",
+			row.Endpoint, row.Path, row.P50Micros, row.P99Micros, row.MeanMicros)
+	}
+
+	// Duplicates: the in-process baseline scans the published result's
+	// pair list for the candidate — the work the daemon does once per
+	// published view; the HTTP row asks the endpoint.
+	ids := make([]int32, queries)
+	for i := range ids {
+		ids[i] = res.Pairs[i%len(res.Pairs)].I
+	}
+	row, err := measureServe("duplicates", "direct", queries, func(i int) error {
+		id := ids[i]
+		hits := 0
+		for _, p := range res.Pairs {
+			if p.I == id || p.J == id {
+				hits++
+			}
+		}
+		serveSink += hits
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	emit(row)
+	row, err = measureServe("duplicates", "http", queries, func(i int) error {
+		_, err := cl.Duplicates(ctx, ids[i])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	emit(row)
+
+	// Similar: both paths hit the live value index; the delta is the
+	// HTTP round trip plus JSON encoding of the matches.
+	values := make([]string, queries)
+	cds := datagen.FreeDB(n, seed)
+	for i := range values {
+		values[i] = cds[i%len(cds)].Artist
+	}
+	row, err = measureServe("similar", "direct", queries, func(i int) error {
+		ms := res.Store.SimilarValues(od.Tuple{Type: "ARTIST", Value: values[i]})
+		serveSink += len(ms)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	emit(row)
+	row, err = measureServe("similar", "http", queries, func(i int) error {
+		_, err := cl.Similar(ctx, "ARTIST", values[i])
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	emit(row)
+
+	// Update throughput: the same single-disc documents, one-shot
+	// sequential Updates versus concurrent daemon submissions that the
+	// admission queue coalesces into fewer Update runs.
+	nDocs := max(8, n/50)
+	writers := 4
+	extra := datagen.FreeDB(n+nDocs, seed+1)[n:]
+	docs := make([]string, nDocs)
+	for i := range docs {
+		var buf bytes.Buffer
+		if err := datagen.FreeDBToXML(extra[i : i+1]).WriteXML(&buf); err != nil {
+			return err
+		}
+		docs[i] = buf.String()
+	}
+
+	baseMS, err := serveBaselineUpdates(n, seed, docs)
+	if err != nil {
+		return err
+	}
+
+	m0, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := wr; i < nDocs; i += writers {
+				_, err := cl.Submit(ctx, &api.UpdateRequest{
+					Add: []api.UpdateDoc{{Name: fmt.Sprintf("doc-%d", i), XML: docs[i]}},
+				})
+				if err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	daemonMS := float64(time.Since(t0).Nanoseconds()) / 1e6
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	m1, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+
+	report.Update = serveUpdateCmp{
+		Docs:               nDocs,
+		Writers:            writers,
+		BaselineMillis:     baseMS,
+		BaselineDocsPerSec: float64(nDocs) / (baseMS / 1e3),
+		DaemonMillis:       daemonMS,
+		DaemonDocsPerSec:   float64(nDocs) / (daemonMS / 1e3),
+		UpdateRuns:         m1.Updates.Batches - m0.Updates.Batches,
+		Coalesced:          m1.Updates.Coalesced - m0.Updates.Coalesced,
+	}
+	fmt.Fprintf(w, "  update     %d docs: baseline %.1fms (%.1f docs/s, %d runs) vs daemon %.1fms (%.1f docs/s, %d runs, %d coalesced)\n",
+		nDocs, baseMS, report.Update.BaselineDocsPerSec, nDocs,
+		daemonMS, report.Update.DaemonDocsPerSec, report.Update.UpdateRuns, report.Update.Coalesced)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if jsonPath != "" {
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  wrote %s\n", jsonPath)
+	}
+	if checkPath != "" {
+		committed, err := os.ReadFile(checkPath)
+		if err != nil {
+			return err
+		}
+		if err := checkJSONSchema(committed, out); err != nil {
+			return fmt.Errorf("schema drift against %s: %w", checkPath, err)
+		}
+		fmt.Fprintf(w, "  schema matches %s\n", checkPath)
+	}
+	return nil
+}
+
+// serveBaselineUpdates times the one-shot path on its own identically
+// built corpus: one sequential Detector.Update call per document, no
+// daemon in between.
+func serveBaselineUpdates(n int, seed int64, docs []string) (float64, error) {
+	det, res, err := serveCorpus(n, seed)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	for i, raw := range docs {
+		in, err := parseServeDoc(fmt.Sprintf("doc-%d", i), raw)
+		if err != nil {
+			return 0, err
+		}
+		res, err = det.Update(res, core.UpdateBatch{Add: []core.SourceInput{in}})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(t0).Nanoseconds()) / 1e6, nil
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// fakeDaemon serves canned daemon responses and records what the
+// client modes request.
+func fakeDaemon(t *testing.T) (*httptest.Server, *[]string, *api.UpdateRequest) {
+	t.Helper()
+	var paths []string
+	lastUpdate := &api.UpdateRequest{}
+	mux := http.NewServeMux()
+	record := func(r *http.Request) {
+		paths = append(paths, r.URL.Path)
+	}
+	writeJSON := func(w http.ResponseWriter, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+	}
+	mux.HandleFunc("GET /v1/clusters", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, &api.ClustersResponse{Type: "DISC", Epoch: 3, Live: 7})
+	})
+	mux.HandleFunc("GET /v1/duplicates/{id}", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, &api.DuplicatesResponse{Object: api.ObjectRef{ID: 4, Path: "/freedb/disc[5]"}, Live: true, Cluster: -1})
+	})
+	mux.HandleFunc("GET /v1/similar", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, &api.SimilarResponse{Type: r.URL.Query().Get("type"), Value: r.URL.Query().Get("value")})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, &api.Health{Status: "ok", Type: "DISC", Epoch: 3})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		writeJSON(w, &api.Metrics{Type: "DISC", Status: "ok", Epoch: 3})
+	})
+	mux.HandleFunc("POST /v1/updates", func(w http.ResponseWriter, r *http.Request) {
+		record(r)
+		if err := json.NewDecoder(r.Body).Decode(lastUpdate); err != nil {
+			http.Error(w, err.Error(), 400)
+			return
+		}
+		writeJSON(w, &api.UpdateResponse{Epoch: 4, Coalesced: 1, Persisted: true})
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &paths, lastUpdate
+}
+
+// TestClientQueryMode pins `dogmatix query`'s selector → endpoint
+// mapping and its flag validation.
+func TestClientQueryMode(t *testing.T) {
+	ts, paths, _ := fakeDaemon(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantPath string
+		wantErr  string
+	}{
+		{name: "default-clusters", args: nil, wantPath: "/v1/clusters"},
+		{name: "id", args: []string{"-id", "4"}, wantPath: "/v1/duplicates/4"},
+		{name: "similar", args: []string{"-similar", "-type", "ARTIST", "-value", "Bowie"}, wantPath: "/v1/similar"},
+		{name: "metrics", args: []string{"-metrics"}, wantPath: "/metrics"},
+		{name: "health", args: []string{"-health"}, wantPath: "/healthz"},
+		{name: "no-daemon", args: nil, wantErr: "-daemon is required"},
+		{name: "two-selectors", args: []string{"-id", "1", "-health"}, wantErr: "exclusive"},
+		{name: "similar-missing-value", args: []string{"-similar", "-type", "ARTIST"}, wantErr: "both -type and -value"},
+		{name: "type-without-similar", args: []string{"-type", "ARTIST"}, wantErr: "only apply to -similar"},
+		{name: "positional", args: []string{"stray"}, wantErr: "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			args := tc.args
+			if tc.name != "no-daemon" {
+				args = append([]string{"-daemon", ts.URL}, args...)
+			}
+			*paths = nil
+			var out, errBuf bytes.Buffer
+			err := runQuery(args, &out, &errBuf)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("runQuery(%v) err = %v, want %q", args, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("runQuery(%v): %v", args, err)
+			}
+			if len(*paths) != 1 || (*paths)[0] != tc.wantPath {
+				t.Fatalf("requested %v, want %s", *paths, tc.wantPath)
+			}
+			var decoded map[string]any
+			if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+				t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+			}
+		})
+	}
+}
+
+// TestClientSubmitMode pins `dogmatix submit`: documents and removal
+// specs travel as one batch, names default to file paths.
+func TestClientSubmitMode(t *testing.T) {
+	ts, _, lastUpdate := fakeDaemon(t)
+	dir := t.TempDir()
+	doc := filepath.Join(dir, "batch.xml")
+	if err := os.WriteFile(doc, []byte("<freedb><disc><did>x</did></disc></freedb>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errBuf bytes.Buffer
+	args := []string{"-daemon", ts.URL, "-name", "fresh", "-remove", "0:/freedb/disc[2]", doc}
+	if err := runSubmit(args, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if len(lastUpdate.Add) != 1 || lastUpdate.Add[0].Name != "fresh" || !strings.Contains(lastUpdate.Add[0].XML, "<did>x</did>") {
+		t.Errorf("posted add = %+v", lastUpdate.Add)
+	}
+	if len(lastUpdate.Remove) != 1 || lastUpdate.Remove[0] != "0:/freedb/disc[2]" {
+		t.Errorf("posted remove = %v", lastUpdate.Remove)
+	}
+	var ack api.UpdateResponse
+	if err := json.Unmarshal(out.Bytes(), &ack); err != nil || ack.Epoch != 4 || !ack.Persisted {
+		t.Errorf("printed ack = %+v (err %v)", ack, err)
+	}
+
+	// Default name is the file path; removal-only batches are allowed;
+	// empty batches are not.
+	if err := runSubmit([]string{"-daemon", ts.URL, doc}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if lastUpdate.Add[0].Name != doc {
+		t.Errorf("default source name = %q, want %q", lastUpdate.Add[0].Name, doc)
+	}
+	if err := runSubmit([]string{"-daemon", ts.URL, "-remove", "/freedb/disc[1]"}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSubmit([]string{"-daemon", ts.URL}, &out, &errBuf); err == nil || !strings.Contains(err.Error(), "nothing to do") {
+		t.Errorf("empty submit err = %v", err)
+	}
+	if err := runSubmit([]string{"-daemon", ts.URL, "-name", "a", "-name", "b", doc}, &out, &errBuf); err == nil || !strings.Contains(err.Error(), "-name flags") {
+		t.Errorf("excess -name err = %v", err)
+	}
+}

@@ -72,6 +72,12 @@
 // rest is the operator's contract). Output is rendered exactly like a
 // fresh run over the updated corpus, and the incremental-equivalence
 // suite pins it bit-identical to one.
+//
+// Two client modes talk to a running dogmatixd daemon instead of
+// detecting locally (see clientmode.go and cmd/dogmatixd):
+//
+//	dogmatix query  -daemon http://HOST:PORT [-id N | -similar -type T -value V | -metrics | -health]
+//	dogmatix submit -daemon http://HOST:PORT [-remove OBJECT-PATH]... [doc.xml ...]
 package main
 
 import (
@@ -93,6 +99,24 @@ import (
 )
 
 func main() {
+	// Client modes talk to a running dogmatixd daemon instead of
+	// detecting locally; see clientmode.go.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "query":
+			if err := runQuery(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "dogmatix:", err)
+				os.Exit(1)
+			}
+			return
+		case "submit":
+			if err := runSubmit(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "dogmatix:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		mapFile    = flag.String("map", "", "mapping file (required)")
 		typeName   = flag.String("type", "", "real-world type to deduplicate (required)")

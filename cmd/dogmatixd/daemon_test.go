@@ -1,0 +1,296 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/api/client"
+	"repro/internal/datagen"
+)
+
+func baseOpts() options {
+	return options{
+		mapFile: "m.txt", typeName: "DISC",
+		heuristic: "kd:6", ttuple: 0.15, tcand: 0.55,
+		queueDepth: 16, drainTimeout: 30 * time.Second,
+	}
+}
+
+// TestValidate pins the daemon's flag contract: backend defaulting per
+// mode, and every rejected combination with a recognizable message.
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name      string
+		mutate    func(*options)
+		docs      int
+		wantErr   string // substring; "" = valid
+		wantStore string // resolved backend when valid
+	}{
+		{name: "build-defaults-mem", docs: 1, wantStore: storeMem},
+		{name: "shards-imply-sharded", mutate: func(o *options) { o.shards = 4 }, docs: 1, wantStore: storeSharded},
+		{name: "partitions-imply-dist", mutate: func(o *options) { o.partitions = 3 }, docs: 1, wantStore: storeDist},
+		{name: "serve-defaults-disk", mutate: func(o *options) { o.storeDir = "d" }, wantStore: storeDisk},
+		{name: "serve-snapshot-root-implies-dist", mutate: func(o *options) { o.snapshotRoot = "r" }, wantStore: storeDist},
+		{name: "missing-map", mutate: func(o *options) { o.mapFile = "" }, docs: 1, wantErr: "-map and -type"},
+		{name: "missing-type", mutate: func(o *options) { o.typeName = "" }, docs: 1, wantErr: "-map and -type"},
+		{name: "unknown-store", mutate: func(o *options) { o.store = "bolt" }, docs: 1, wantErr: `unknown -store "bolt"`},
+		{name: "bad-queue-depth", mutate: func(o *options) { o.queueDepth = 0 }, docs: 1, wantErr: "-queue-depth"},
+		{name: "bad-drain-timeout", mutate: func(o *options) { o.drainTimeout = 0 }, docs: 1, wantErr: "-drain-timeout"},
+		{name: "partitions-and-addrs", mutate: func(o *options) {
+			o.partitions = 2
+			o.partAddrs = "h:1"
+		}, docs: 1, wantErr: "exclusive"},
+		{name: "partitions-on-mem", mutate: func(o *options) {
+			o.store = storeMem
+			o.partitions = 2
+		}, docs: 1, wantErr: "only apply to -store dist"},
+		{name: "shards-on-disk", mutate: func(o *options) {
+			o.store = storeDisk
+			o.storeDir = "d"
+			o.shards = 2
+		}, docs: 1, wantErr: "-shards only applies"},
+		{name: "snapshot-root-on-disk", mutate: func(o *options) {
+			o.store = storeDisk
+			o.storeDir = "d"
+			o.snapshotRoot = "r"
+		}, docs: 1, wantErr: "-snapshot-root only applies"},
+		{name: "dist-reuse-index", mutate: func(o *options) {
+			o.store = storeDist
+			o.reuseIndex = true
+			o.storeDir = "d"
+		}, docs: 1, wantErr: "-reuse-index"},
+		{name: "dist-store-dir", mutate: func(o *options) {
+			o.store = storeDist
+			o.storeDir = "d"
+		}, docs: 1, wantErr: "-store-dir does not apply"},
+		{name: "dist-serve-without-root", mutate: func(o *options) { o.store = storeDist }, wantErr: "needs -snapshot-root"},
+		{name: "dist-serve-with-partitions", mutate: func(o *options) {
+			o.store = storeDist
+			o.snapshotRoot = "r"
+			o.partitions = 2
+		}, wantErr: "only apply when building"},
+		{name: "disk-without-dir", mutate: func(o *options) { o.store = storeDisk }, docs: 1, wantErr: "needs -store-dir"},
+		{name: "reuse-without-dir", mutate: func(o *options) { o.reuseIndex = true }, docs: 1, wantErr: "-reuse-index needs -store-dir"},
+		{name: "reuse-without-docs", mutate: func(o *options) {
+			o.reuseIndex = true
+			o.storeDir = "d"
+		}, wantErr: "needs input documents"},
+		{name: "serve-mem", mutate: func(o *options) { o.store = storeMem }, wantErr: "no persisted state"},
+		{name: "stray-store-dir", mutate: func(o *options) { o.storeDir = "d" }, docs: 1, wantErr: "-store-dir is set"},
+		{name: "bad-mmap", mutate: func(o *options) {
+			o.mmap = "sometimes"
+			o.storeDir = "d"
+			o.store = storeDisk
+		}, docs: 1, wantErr: "-mmap"},
+		{name: "dist-build-defaults-partitions", mutate: func(o *options) { o.store = storeDist }, docs: 1, wantStore: storeDist},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOpts()
+			if tc.mutate != nil {
+				tc.mutate(&o)
+			}
+			docs := make([]string, tc.docs)
+			err := o.validate(docs)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("validate() err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("validate() err = %v", err)
+			}
+			if o.store != tc.wantStore {
+				t.Fatalf("resolved store = %q, want %q", o.store, tc.wantStore)
+			}
+		})
+	}
+
+	t.Run("dist-build-partition-default", func(t *testing.T) {
+		o := baseOpts()
+		o.store = storeDist
+		if err := o.validate([]string{"a.xml"}); err != nil {
+			t.Fatal(err)
+		}
+		if o.partitions != 2 {
+			t.Fatalf("dist build defaulted to %d partitions, want 2", o.partitions)
+		}
+	})
+}
+
+// writeFixtureFiles lays out the on-disk inputs a daemon boot needs:
+// a mapping file and one corpus document.
+func writeFixtureFiles(t *testing.T) (mapFile, docFile string) {
+	t.Helper()
+	dir := t.TempDir()
+	var mb bytes.Buffer
+	for typ, paths := range datagen.FreeDBMappingPaths() {
+		fmt.Fprintf(&mb, "%s\t%s\n", typ, strings.Join(paths, "\t"))
+	}
+	mapFile = filepath.Join(dir, "mapping.txt")
+	if err := os.WriteFile(mapFile, mb.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cds := datagen.FreeDB(24, 2030)
+	cds = append(cds, cds[2], cds[7])
+	var db bytes.Buffer
+	if err := datagen.FreeDBToXML(cds).WriteXML(&db); err != nil {
+		t.Fatal(err)
+	}
+	docFile = filepath.Join(dir, "corpus.xml")
+	if err := os.WriteFile(docFile, db.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return mapFile, docFile
+}
+
+// TestBuildServeRestartDisk boots the daemon twice the way operators
+// do: first a cold build over documents persisting into -store-dir,
+// then a serve-without-documents restart adopting that snapshot, which
+// must answer queries and apply an update durably.
+func TestBuildServeRestartDisk(t *testing.T) {
+	mapFile, docFile := writeFixtureFiles(t)
+	storeDir := filepath.Join(t.TempDir(), "idx")
+	if err := os.MkdirAll(storeDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := baseOpts()
+	opts.mapFile, opts.store, opts.storeDir = mapFile, storeDisk, storeDir
+	b, err := buildService(opts, []string{docFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(b.svc.Handler())
+	cl := client.New(ts.URL)
+	c0, err := cl.Clusters(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Type != "DISC" || c0.Live == 0 || len(c0.Clusters) == 0 {
+		t.Fatalf("cold daemon clusters = %+v", c0)
+	}
+	if err := b.svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	b.cleanup()
+
+	// Restart: same flags, no documents.
+	b2, err := buildService(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.cleanup()
+	defer b2.svc.Shutdown(context.Background())
+	ts2 := httptest.NewServer(b2.svc.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	c1, err := cl2.Clusters(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Live != c0.Live || len(c1.Clusters) != len(c0.Clusters) {
+		t.Fatalf("restarted daemon serves %d live / %d clusters, built daemon had %d / %d",
+			c1.Live, len(c1.Clusters), c0.Live, len(c0.Clusters))
+	}
+
+	// The boot-time rehydration replayed the persisted traces rather
+	// than recomparing the corpus.
+	m1, err := cl2.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.LastRun.TraceSource != "disk" || m1.LastRun.Patched == 0 {
+		t.Errorf("restart rehydration last_run = %+v, want disk-trace replay", m1.LastRun)
+	}
+
+	var db bytes.Buffer
+	if err := datagen.FreeDBToXML(datagen.FreeDB(30, 2031)[24:30]).WriteXML(&db); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := cl2.Submit(context.Background(), &api.UpdateRequest{
+		Add: []api.UpdateDoc{{Name: "more", XML: db.String()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch != 1 || !ack.Persisted {
+		t.Fatalf("restarted daemon update ack = %+v", ack)
+	}
+	// The POSTed batch chains off the rehydration run's fresh traces.
+	if ack.TraceSource != "memory" {
+		t.Errorf("restarted update TraceSource = %q, want memory", ack.TraceSource)
+	}
+
+	// A daemon restart against a snapshot built for a different θtuple
+	// must refuse rather than serve inconsistent indexes.
+	wrongTheta := opts
+	wrongTheta.ttuple = 0.3
+	if _, err := buildService(wrongTheta, nil); err == nil || !strings.Contains(err.Error(), "ttuple") {
+		t.Errorf("theta-mismatch restart err = %v", err)
+	}
+}
+
+// TestBuildServeRestartDist boots a distributed daemon cold (loopback
+// members, generation snapshots), then restarts it from -snapshot-root
+// without documents.
+func TestBuildServeRestartDist(t *testing.T) {
+	mapFile, docFile := writeFixtureFiles(t)
+	root := filepath.Join(t.TempDir(), "fed")
+
+	opts := baseOpts()
+	opts.mapFile, opts.store, opts.snapshotRoot = mapFile, storeDist, root
+	b, err := buildService(opts, []string{docFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live0 := b.svc.Result()
+	if _, ok := live0.StageByName("adopt"); ok {
+		t.Fatal("cold dist boot adopted instead of building")
+	}
+	if err := b.svc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	b.cleanup()
+
+	b2, err := buildService(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.cleanup()
+	defer b2.svc.Shutdown(context.Background())
+	ts := httptest.NewServer(b2.svc.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+
+	var db bytes.Buffer
+	if err := datagen.FreeDBToXML(datagen.FreeDB(30, 2031)[24:30]).WriteXML(&db); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := cl.Submit(context.Background(), &api.UpdateRequest{
+		Add: []api.UpdateDoc{{Name: "more", XML: db.String()}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch != 1 || !ack.Persisted {
+		t.Fatalf("restarted dist ack = %+v", ack)
+	}
+	m, err := cl.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Routing == nil {
+		t.Error("dist daemon metrics carry no routing counters")
+	}
+}

@@ -1,0 +1,149 @@
+// Package client is the thin HTTP client of the dogmatix daemon's
+// service API (internal/api). It speaks the same wire types the server
+// encodes and turns non-2xx responses back into *api.Error, so callers
+// branch on api.Code* constants instead of parsing bodies.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/api"
+)
+
+// Client talks to one daemon.
+type Client struct {
+	base string
+	// HTTP is the underlying client; replace it to set timeouts or a
+	// custom transport.
+	HTTP *http.Client
+}
+
+// New builds a client for a daemon at base (e.g. "http://127.0.0.1:7497").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), HTTP: &http.Client{}}
+}
+
+// Health fetches /healthz. A draining daemon answers 503 with a valid
+// body; that is returned as (health, nil) — the status field carries
+// the state.
+func (c *Client) Health(ctx context.Context) (*api.Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h api.Health
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		return nil, fmt.Errorf("healthz: %w", err)
+	}
+	return &h, nil
+}
+
+// Duplicates fetches the pairs and cluster of one candidate.
+func (c *Client) Duplicates(ctx context.Context, id int32) (*api.DuplicatesResponse, error) {
+	var out api.DuplicatesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/duplicates/"+strconv.FormatInt(int64(id), 10), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Clusters fetches the full clustering of the served corpus.
+func (c *Client) Clusters(ctx context.Context) (*api.ClustersResponse, error) {
+	var out api.ClustersResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/clusters", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Similar queries the live value index for values similar to value
+// under the given real-world type.
+func (c *Client) Similar(ctx context.Context, typ, value string) (*api.SimilarResponse, error) {
+	q := url.Values{"type": {typ}, "value": {value}}
+	var out api.SimilarResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/similar?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Submit posts one update batch and blocks until the daemon applied
+// (and, when it persists, persisted) it. A 503 *api.Error with
+// RetryAfter set means congestion or drain — retry later; a
+// CodePartitionUnavailable error means the batch was NOT applied and
+// the daemon refuses further mutations.
+func (c *Client) Submit(ctx context.Context, req *api.UpdateRequest) (*api.UpdateResponse, error) {
+	var out api.UpdateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/updates", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the daemon's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*api.Metrics, error) {
+	var out api.Metrics
+	if err := c.do(ctx, http.MethodGet, "/metrics", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		apiErr := &api.Error{Status: resp.StatusCode}
+		if err := json.Unmarshal(payload, apiErr); err != nil || apiErr.Message == "" {
+			apiErr.Message = fmt.Sprintf("%s %s: %s", method, path, strings.TrimSpace(string(payload)))
+		}
+		if apiErr.RetryAfter == 0 {
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				apiErr.RetryAfter = ra
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(payload, out); err != nil {
+		return fmt.Errorf("%s %s: bad response body: %w", method, path, err)
+	}
+	return nil
+}

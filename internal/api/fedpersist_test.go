@@ -1,0 +1,154 @@
+package api_test
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+)
+
+// detectFed builds a small federation result to persist.
+func detectFed(t *testing.T, fix *fixture) *core.Result {
+	t.Helper()
+	cfg := fix.cfg
+	cfg.NewStore = distStore(2)
+	cfg.Incremental = true
+	det, err := core.NewDetector(fix.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := det.DetectInputs("DISC", fix.input(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func genDirs(t *testing.T, root string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "gen-") {
+			gens = append(gens, e.Name())
+		}
+	}
+	sort.Strings(gens)
+	return gens
+}
+
+// TestFederationDirGenerations pins the generation protocol: Persist
+// commits monotonically numbered generations via the CURRENT pointer,
+// Open serves the committed one and sweeps everything else, and a
+// committed root refuses to be re-created.
+func TestFederationDirGenerations(t *testing.T) {
+	fix := newFixture(t)
+	root := filepath.Join(t.TempDir(), "fed")
+
+	fdir, err := api.CreateFederationDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fdir.Dir() != "" {
+		t.Errorf("Dir() = %q before the first Persist", fdir.Dir())
+	}
+	res := detectFed(t, fix)
+	if err := fdir.Persist(res); err != nil {
+		t.Fatal(err)
+	}
+	if got := fdir.Dir(); got != filepath.Join(root, "gen-000001") {
+		t.Errorf("Dir() after first Persist = %q", got)
+	}
+	if err := fdir.Persist(res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-save: an uncommitted generation directory.
+	partial := filepath.Join(root, "gen-000009")
+	if err := os.MkdirAll(partial, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(partial, "junk"), []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open serves gen-2 and sweeps both the superseded gen-1 and the
+	// uncommitted gen-9.
+	fdir2, fed, err := api.OpenFederationDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fed.Close()
+	if fdir2.Dir() != filepath.Join(root, "gen-000002") {
+		t.Errorf("reopened Dir() = %q, want gen-000002", fdir2.Dir())
+	}
+	if gens := genDirs(t, root); len(gens) != 1 || gens[0] != "gen-000002" {
+		t.Errorf("generations after Open = %v, want only gen-000002", gens)
+	}
+	adopted, err := core.Adopt("DISC", fed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonLive(adopted), canonLive(res); got != want {
+		t.Errorf("reopened corpus diverges\n got: %s\nwant: %s", got, want)
+	}
+
+	// A committed root cannot be clobbered by a fresh-build boot.
+	if _, err := api.CreateFederationDir(root); err == nil {
+		t.Error("CreateFederationDir on a committed root did not fail")
+	}
+
+	// The next Persist from the reopened root continues the chain at
+	// gen-3 — even though its members are DiskStores living in gen-2.
+	if err := fdir2.Persist(adopted); err != nil {
+		t.Fatal(err)
+	}
+	if fdir2.Dir() != filepath.Join(root, "gen-000003") {
+		t.Errorf("Dir() after reopened Persist = %q, want gen-000003", fdir2.Dir())
+	}
+}
+
+// TestFederationDirRejects pins the error surface: a missing root, a
+// corrupt CURRENT pointer, and persisting a non-federation result.
+func TestFederationDirRejects(t *testing.T) {
+	if _, _, err := api.OpenFederationDir(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("opening an absent root did not fail")
+	}
+
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "CURRENT"), []byte("not-a-gen\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := api.OpenFederationDir(root); err == nil || !strings.Contains(err.Error(), "corrupt CURRENT") {
+		t.Errorf("corrupt CURRENT err = %v", err)
+	}
+
+	fix := newFixture(t)
+	cfg := fix.cfg
+	cfg.Incremental = true
+	det, err := core.NewDetector(fix.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memRes, err := det.DetectInputs("DISC", fix.input(t, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdir, err := api.CreateFederationDir(filepath.Join(t.TempDir(), "fed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fdir.Persist(memRes); err == nil || !strings.Contains(err.Error(), "not a federation") {
+		t.Errorf("persisting a mem-store result err = %v", err)
+	}
+	if fdir.Dir() != "" {
+		t.Errorf("failed Persist advanced the committed generation to %q", fdir.Dir())
+	}
+}

@@ -543,7 +543,14 @@ func (p *pipelineRun) persistTraces() (int, error) {
 		Pairs:       p.inc.pairs,
 		Filter:      p.inc.filter,
 	}
-	if err := od.SaveTraces(p.d.cfg.Snapshot.Dir, p.store, ts); err != nil {
+	persist := od.SaveTraces
+	if p.upd != nil {
+		// An update batch touches few pairs relative to the corpus:
+		// append a delta frame to the existing trace chain when the
+		// backend supports it instead of rewriting the whole segment.
+		persist = od.AppendTraces
+	}
+	if err := persist(p.d.cfg.Snapshot.Dir, p.store, ts); err != nil {
 		return 0, fmt.Errorf("core: traces: %w", err)
 	}
 	return len(p.inc.pairs), nil

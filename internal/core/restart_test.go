@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/datagen"
 	"repro/internal/od"
 	"repro/internal/od/odcodec"
 )
@@ -229,6 +230,96 @@ func TestRestartReplayEquivalence(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestUpdateAppendsTraceDeltas pins the append-friendly trace segment
+// at the pipeline level: successive small disk-identity updates append
+// one delta frame each instead of rewriting the segment, and a restart
+// that adopts the multi-frame chain updates exactly like the in-process
+// chain — the accumulated deltas are indistinguishable from a whole
+// rewrite.
+func TestUpdateAppendsTraceDeltas(t *testing.T) {
+	sc := updateScenarios(t)[0] // CD corpus
+	dir := t.TempDir()
+	cfg := sc.cfg
+	cfg.NewStore = func() od.Store { return od.NewDiskStore(dir) }
+	cfg.Incremental = true
+	cfg.Snapshot = &core.SnapshotOptions{Dir: dir, Save: true}
+	det, err := core.NewDetector(sc.mapping, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := func(d string) int {
+		t.Helper()
+		_, info, err := odcodec.ReadTraceChain(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Frames
+	}
+
+	cds := datagen.FreeDB(40, 515)
+	initial := xmlBytes(t, datagen.FreeDBToXML(append(append([]datagen.CD(nil), cds[:30]...), cds[3])))
+	res, err := det.DetectInputs(sc.typeName, docInputs(t, []string{"seed"}, [][]byte{initial})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frames(dir); got != 1 {
+		t.Fatalf("fresh detection wrote %d trace frames, want 1", got)
+	}
+
+	// Three one-CD update batches (each a duplicate of an existing disc,
+	// so replay actually patches): each must append one delta frame.
+	for n := 0; n < 3; n++ {
+		batch := xmlBytes(t, datagen.FreeDBToXML([]datagen.CD{cds[30+n], cds[n]}))
+		res, err = det.Update(res, core.UpdateBatch{
+			Add: docInputs(t, []string{fmt.Sprintf("inc-%d", n)}, [][]byte{batch}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := frames(dir); got != n+2 {
+			t.Fatalf("after update %d the trace chain has %d frames, want %d", n, got, n+2)
+		}
+	}
+
+	// Restart over the three-delta chain.
+	dirB := copyDir(t, dir)
+	store, err := od.OpenDiskStore(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	adopted, err := core.Adopt(sc.typeName, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := adopted.StageByName(core.StageAdopt); !ok || st.Items == 0 {
+		t.Fatalf("Adopt restored no traces from the chained segment (stage %+v, found %v)", st, ok)
+	}
+	cfgB := cfg
+	cfgB.NewStore = nil
+	cfgB.Snapshot = &core.SnapshotOptions{Dir: dirB, Save: true}
+	detB, err := core.NewDetector(sc.mapping, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := xmlBytes(t, datagen.FreeDBToXML([]datagen.CD{cds[33], cds[10]}))
+	finalBatch := func() core.UpdateBatch {
+		return core.UpdateBatch{Add: docInputs(t, []string{"inc-final"}, [][]byte{final})}
+	}
+	restarted, err := detB.Update(adopted, finalBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inproc, err := det.Update(res, finalBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertReplayMatch(t, restarted, inproc)
+	if restarted.Stats.Patched == 0 {
+		t.Error("restarted update patched no pairs; the chained traces never replayed")
 	}
 }
 

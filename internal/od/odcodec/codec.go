@@ -100,6 +100,7 @@ const (
 	kindFederation = 6
 	kindNeighbor   = 7
 	kindTrace      = 8
+	kindTraceDelta = 9
 )
 
 // Segment file names within a snapshot directory. Delta segments are

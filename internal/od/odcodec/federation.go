@@ -1,6 +1,7 @@
 package odcodec
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -46,6 +47,48 @@ type Federation struct {
 	// PartFingerprints records each member snapshot's expected
 	// fingerprint, index-aligned with the partition numbers.
 	PartFingerprints []string
+	// RoutingFilters optionally persists each member's variant-routing
+	// filter set, index-aligned with the partitions and sorted by type
+	// within each member, so a reopened coordinator skips the
+	// RoutingFilters refetch round trip. Nil on manifests written before
+	// the filters were persisted — the coordinator then refetches from
+	// the members, exactly as it always did. The filters are part of the
+	// CRC-framed manifest: they can only be stale together with the
+	// fingerprints, which already pin every member to this exact save.
+	RoutingFilters [][]RoutingFilter
+}
+
+// RoutingFilter is the manifest record of one (member, type)
+// variant-routing filter: the bloom bitset over the member's
+// deletion-variant bucket keys plus the coverage metadata the
+// coordinator routes with (od.VariantFilter, persisted).
+type RoutingFilter struct {
+	Type    string
+	Covered bool
+	Budget  int // deletion depth the bloom was built at; >= -1
+	MaxLen  int // longest value rune length of the type at the member
+	Bits    []uint64
+}
+
+// maxRoutingBudget caps a decoded filter budget: deletion depths run
+// 0..2 today, so anything past this is a corrupt manifest, not a
+// deeper index.
+const maxRoutingBudget = 8
+
+// validateRoutingFilter rejects a filter no source could have emitted;
+// shared by the writer (operator error) and reader (corruption).
+func validateRoutingFilter(rf *RoutingFilter) string {
+	switch {
+	case rf.Budget < -1 || rf.Budget > maxRoutingBudget:
+		return fmt.Sprintf("routing filter budget %d outside [-1,%d]", rf.Budget, maxRoutingBudget)
+	case rf.MaxLen < 0:
+		return fmt.Sprintf("negative routing filter max length %d", rf.MaxLen)
+	case rf.Covered && len(rf.Bits) == 0:
+		return "covered routing filter with no bloom words"
+	case len(rf.Bits) > 0 && len(rf.Bits)&(len(rf.Bits)-1) != 0:
+		return fmt.Sprintf("routing filter bloom of %d words (not a power of two)", len(rf.Bits))
+	}
+	return ""
 }
 
 // PartitionDir returns the directory name of one partition's segment
@@ -63,11 +106,43 @@ func WriteFederation(dir string, f Federation) error {
 	if len(f.PartFingerprints) != f.Partitions {
 		return fmt.Errorf("odcodec: %d fingerprints for %d partitions", len(f.PartFingerprints), f.Partitions)
 	}
+	if f.RoutingFilters != nil && len(f.RoutingFilters) != f.Partitions {
+		return fmt.Errorf("odcodec: %d routing filter sets for %d partitions", len(f.RoutingFilters), f.Partitions)
+	}
 	b := appendUvarint(nil, uint64(f.Partitions))
 	b = appendUvarint(b, uint64(f.HashSeed))
 	b = appendFloat64(b, f.Theta)
 	for _, fp := range f.PartFingerprints {
 		b = appendString(b, fp)
+	}
+	if f.RoutingFilters == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		for part, fs := range f.RoutingFilters {
+			b = appendUvarint(b, uint64(len(fs)))
+			for k := range fs {
+				rf := &fs[k]
+				if reason := validateRoutingFilter(rf); reason != "" {
+					return fmt.Errorf("odcodec: partition %d type %q: %s", part, rf.Type, reason)
+				}
+				if k > 0 && fs[k-1].Type >= rf.Type {
+					return fmt.Errorf("odcodec: partition %d routing filter types not strictly ascending at %q", part, rf.Type)
+				}
+				b = appendString(b, rf.Type)
+				if rf.Covered {
+					b = append(b, 1)
+				} else {
+					b = append(b, 0)
+				}
+				b = appendUvarint(b, budgetToWire(rf.Budget))
+				b = appendUvarint(b, uint64(rf.MaxLen))
+				b = appendUvarint(b, uint64(len(rf.Bits)))
+				for _, w := range rf.Bits {
+					b = binary.LittleEndian.AppendUint64(b, w)
+				}
+			}
+		}
 	}
 
 	h := newHeader(kindFederation, Version)
@@ -149,8 +224,86 @@ func ReadFederation(dir string) (Federation, error) {
 			return f, err
 		}
 	}
+	// Manifests written before routing filters were persisted end here;
+	// a nil filter set tells the coordinator to refetch from the members.
+	if br.pos < len(br.buf) {
+		switch present := br.buf[br.pos]; present {
+		case 0, 1:
+			br.pos++
+			if present == 1 {
+				if f.RoutingFilters, err = readRoutingFilters(br, n); err != nil {
+					return f, err
+				}
+			}
+		default:
+			return f, corrupt(FederationFile, "bad routing-filter presence byte %d", present)
+		}
+	}
 	if br.pos != len(br.buf) {
 		return f, corrupt(FederationFile, "%d trailing bytes", len(br.buf)-br.pos)
 	}
 	return f, nil
+}
+
+// readRoutingFilters decodes the per-partition routing filter sets,
+// enforcing every invariant the writer does — a filter the routing
+// layer could misroute on is rejected as corruption, never handed to
+// the coordinator.
+func readRoutingFilters(br *byteReader, parts int) ([][]RoutingFilter, error) {
+	out := make([][]RoutingFilter, parts)
+	for part := range out {
+		// Each filter costs at least 4 payload bytes, so the remaining
+		// bytes bound the count before any allocation.
+		m, err := br.count(min(maxCount, (len(br.buf)-br.pos)/4+1))
+		if err != nil {
+			return nil, err
+		}
+		fs := make([]RoutingFilter, m)
+		for k := range fs {
+			rf := &fs[k]
+			if rf.Type, err = br.str(); err != nil {
+				return nil, err
+			}
+			if br.pos >= len(br.buf) {
+				return nil, corrupt(FederationFile, "routing filter overruns payload")
+			}
+			switch cov := br.buf[br.pos]; cov {
+			case 0, 1:
+				rf.Covered = cov == 1
+				br.pos++
+			default:
+				return nil, corrupt(FederationFile, "bad routing filter covered byte %d", cov)
+			}
+			bw, err := br.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			rf.Budget = budgetFromWire(bw)
+			if rf.MaxLen, err = br.count(maxCount); err != nil {
+				return nil, err
+			}
+			words, err := br.count(min(maxCount, (len(br.buf)-br.pos)/8+1))
+			if err != nil {
+				return nil, err
+			}
+			if words > 0 {
+				if br.pos+words*8 > len(br.buf) {
+					return nil, corrupt(FederationFile, "bloom of %d words overruns payload", words)
+				}
+				rf.Bits = make([]uint64, words)
+				for w := range rf.Bits {
+					rf.Bits[w] = binary.LittleEndian.Uint64(br.buf[br.pos:])
+					br.pos += 8
+				}
+			}
+			if reason := validateRoutingFilter(rf); reason != "" {
+				return nil, corrupt(FederationFile, "partition %d type %q: %s", part, rf.Type, reason)
+			}
+			if k > 0 && fs[k-1].Type >= rf.Type {
+				return nil, corrupt(FederationFile, "partition %d routing filter types not strictly ascending at %q", part, rf.Type)
+			}
+		}
+		out[part] = fs
+	}
+	return out, nil
 }

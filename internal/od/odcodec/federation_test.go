@@ -1,7 +1,9 @@
 package odcodec
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -40,6 +42,66 @@ func TestFederationRoundTrip(t *testing.T) {
 	}
 }
 
+// sampleRoutingFilters builds a representative per-partition filter
+// set: a covered bloom, an uncovered live-overlay entry, and a member
+// that owns no values of a type at all (absent entry).
+func sampleRoutingFilters() [][]RoutingFilter {
+	return [][]RoutingFilter{
+		{
+			{Type: "name", Covered: true, Budget: 1, MaxLen: 12, Bits: []uint64{1, 0, 0xfeed, 9}},
+			{Type: "year", Covered: true, Budget: 0, MaxLen: 4, Bits: []uint64{42, 7}},
+		},
+		{
+			{Type: "name", Covered: false, Budget: -1, MaxLen: 31},
+		},
+		{},
+	}
+}
+
+// TestFederationFiltersRoundTrip pins the persisted routing filters:
+// whatever SavePartitioned records reads back field-identically.
+func TestFederationFiltersRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleFederation()
+	want.RoutingFilters = sampleRoutingFilters()
+	if err := WriteFederation(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFederation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFederationLegacyManifest pins backward compatibility: a manifest
+// written before routing filters existed (payload ends after the
+// fingerprints) still reads, with nil filters telling the coordinator
+// to refetch from the members.
+func TestFederationLegacyManifest(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleFederation()
+	b := appendUvarint(nil, uint64(want.Partitions))
+	b = appendUvarint(b, uint64(want.HashSeed))
+	b = appendFloat64(b, want.Theta)
+	for _, fp := range want.PartFingerprints {
+		b = appendString(b, fp)
+	}
+	writeRawFederation(t, dir, b)
+	got, err := ReadFederation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RoutingFilters != nil {
+		t.Fatalf("legacy manifest decoded filters %+v, want nil", got.RoutingFilters)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy manifest diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
 // TestFederationWriteValidation pins the writer's field checks.
 func TestFederationWriteValidation(t *testing.T) {
 	dir := t.TempDir()
@@ -48,6 +110,87 @@ func TestFederationWriteValidation(t *testing.T) {
 	}
 	if err := WriteFederation(dir, Federation{Partitions: 2, PartFingerprints: []string{"only-one"}}); err == nil {
 		t.Fatal("fingerprint count mismatch accepted")
+	}
+	for name, mutate := range map[string]func(f *Federation){
+		"filter set count mismatch": func(f *Federation) { f.RoutingFilters = f.RoutingFilters[:2] },
+		"non-power-of-two bloom":    func(f *Federation) { f.RoutingFilters[0][0].Bits = f.RoutingFilters[0][0].Bits[:3] },
+		"covered without bloom":     func(f *Federation) { f.RoutingFilters[0][0].Bits = nil },
+		"budget out of range":       func(f *Federation) { f.RoutingFilters[0][0].Budget = maxRoutingBudget + 1 },
+		"types out of order": func(f *Federation) {
+			f.RoutingFilters[0][0], f.RoutingFilters[0][1] = f.RoutingFilters[0][1], f.RoutingFilters[0][0]
+		},
+	} {
+		fed := sampleFederation()
+		fed.RoutingFilters = sampleRoutingFilters()
+		mutate(&fed)
+		if err := WriteFederation(dir, fed); err == nil {
+			t.Errorf("%s: WriteFederation accepted an invalid filter set", name)
+		}
+	}
+}
+
+// writeRawFederation frames an arbitrary payload as a federation
+// manifest with valid magic, version and CRC — the vehicle for
+// exercising decode-level rejections the writer refuses to produce.
+func writeRawFederation(t *testing.T, dir string, payload []byte) {
+	t.Helper()
+	h := newHeader(kindFederation, Version)
+	crc := crc32.Update(0, crcTable, h)
+	crc = crc32.Update(crc, crcTable, payload)
+	out := append(h, payload...)
+	out = append(out, newFooter(crc)...)
+	if err := os.WriteFile(filepath.Join(dir, FederationFile), out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFederationStaleFiltersRejected pins the decode-side filter
+// checks: a CRC-valid manifest whose filter section violates a routing
+// invariant (the shape a version-skewed or hand-patched manifest would
+// take) is rejected as corrupt rather than handed to the coordinator.
+func TestFederationStaleFiltersRejected(t *testing.T) {
+	head := func() []byte {
+		b := appendUvarint(nil, 1) // partitions
+		b = appendUvarint(b, 7)    // seed
+		b = appendFloat64(b, 0.15)
+		b = appendString(b, "fp-zero")
+		return b
+	}
+	filter := func(typ string, covered byte, wireBudget, maxLen uint64, words []uint64) []byte {
+		b := appendString(nil, typ)
+		b = append(b, covered)
+		b = appendUvarint(b, wireBudget)
+		b = appendUvarint(b, maxLen)
+		b = appendUvarint(b, uint64(len(words)))
+		for _, w := range words {
+			b = binary.LittleEndian.AppendUint64(b, w)
+		}
+		return b
+	}
+	oneFilter := func(f []byte) []byte {
+		b := append(head(), 1)  // presence
+		b = appendUvarint(b, 1) // one filter for partition 0
+		return append(b, f...)
+	}
+	full := oneFilter(filter("name", 1, 1, 4, []uint64{1, 2}))
+	twoTypes := append(head(), 1)
+	twoTypes = appendUvarint(twoTypes, 2)
+	twoTypes = append(twoTypes, filter("year", 1, 1, 4, []uint64{1})...)
+	twoTypes = append(twoTypes, filter("name", 1, 1, 4, []uint64{1})...)
+	for name, payload := range map[string][]byte{
+		"bad presence byte":      append(head(), 2),
+		"bad covered byte":       oneFilter(filter("name", 3, 1, 4, []uint64{1})),
+		"non-power-of-two bloom": oneFilter(filter("name", 1, 1, 4, []uint64{1, 2, 3})),
+		"covered without bloom":  oneFilter(filter("name", 1, 1, 4, nil)),
+		"budget out of range":    oneFilter(filter("name", 1, maxRoutingBudget+2, 4, []uint64{1})),
+		"truncated bloom words":  full[:len(full)-8],
+		"types out of order":     twoTypes,
+	} {
+		dir := t.TempDir()
+		writeRawFederation(t, dir, payload)
+		if _, err := ReadFederation(dir); !IsCorrupt(err) {
+			t.Errorf("%s: ReadFederation = %v, want corruption", name, err)
+		}
 	}
 }
 
@@ -102,6 +245,16 @@ func FuzzFederation(f *testing.F) {
 	f.Add(valid)
 	f.Add([]byte{})
 	f.Add(valid[:len(valid)/2])
+	withFilters := sampleFederation()
+	withFilters.RoutingFilters = sampleRoutingFilters()
+	if err := WriteFederation(dir, withFilters); err != nil {
+		f.Fatal(err)
+	}
+	validFiltered, err := os.ReadFile(filepath.Join(dir, FederationFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validFiltered)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, FederationFile), data, 0o644); err != nil {
@@ -113,6 +266,21 @@ func FuzzFederation(f *testing.F) {
 		}
 		if fed.Partitions < 1 || len(fed.PartFingerprints) != fed.Partitions {
 			t.Fatalf("accepted inconsistent federation %+v", fed)
+		}
+		if fed.RoutingFilters != nil {
+			if len(fed.RoutingFilters) != fed.Partitions {
+				t.Fatalf("accepted %d filter sets for %d partitions", len(fed.RoutingFilters), fed.Partitions)
+			}
+			for part, fs := range fed.RoutingFilters {
+				for k := range fs {
+					if reason := validateRoutingFilter(&fs[k]); reason != "" {
+						t.Fatalf("accepted invalid filter (partition %d): %s", part, reason)
+					}
+					if k > 0 && fs[k-1].Type >= fs[k].Type {
+						t.Fatalf("accepted unsorted filter types (partition %d)", part)
+					}
+				}
+			}
 		}
 	})
 }

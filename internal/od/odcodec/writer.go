@@ -634,10 +634,10 @@ func writeManifest(dir string, meta Meta, stamps []segmentStamp, version byte) e
 		return fmt.Errorf("odcodec: %w", err)
 	}
 	// Any existing trace segment chained to the previous manifest is now
-	// stale; drop it so the directory never carries a trace that would
-	// be rejected on every open. The manifest-digest check in od remains
-	// the actual safety net if this removal is lost.
-	RemoveTrace(dir)
+	// stale, but it is NOT removed here: the update path re-chains it by
+	// appending a delta frame carrying the new manifest digest right
+	// after this rewrite. The manifest-digest check in od rejects the
+	// chain if that append never happens.
 	// Make the commit point itself durable (see syncDir in delta.go):
 	// without it a crash could roll back to the previous manifest — a
 	// detectable state, but one that silently discards the commit.

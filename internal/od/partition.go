@@ -326,8 +326,11 @@ type PartitionedStore struct {
 	// routing holds each member's variant filters (nil until Finalize/
 	// OpenPartitioned succeed); routingOff disables skip decisions while
 	// keeping the filters maintained, so the knob can flip back on.
-	routing    []*memberRouting
-	routingOff bool
+	// routingFromManifest records that OpenPartitioned restored the
+	// filters from the federation manifest instead of refetching them.
+	routing             []*memberRouting
+	routingOff          bool
+	routingFromManifest bool
 
 	statSimFanouts    atomic.Uint64
 	statMemberQueries atomic.Uint64
@@ -530,6 +533,11 @@ func (s *PartitionedStore) initRouting() *PartitionUnavailableError {
 // way — the knob exists so benchmarks can measure the full fan-out
 // baseline and operators can rule routing out while debugging.
 func (s *PartitionedStore) SetVariantRouting(on bool) { s.routingOff = !on }
+
+// RoutingFromManifest reports whether the federation's variant-routing
+// filters were restored from the federation manifest at open instead
+// of being refetched from the members.
+func (s *PartitionedStore) RoutingFromManifest() bool { return s.routingFromManifest }
 
 // RoutingStats snapshots the coordinator's filter-decision counters.
 func (s *PartitionedStore) RoutingStats() RoutingStats {

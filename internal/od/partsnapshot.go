@@ -63,6 +63,7 @@ func SavePartitioned(dir string, s *PartitionedStore, meta SnapshotMeta) error {
 		HashSeed:         s.seed,
 		Theta:            s.theta,
 		PartFingerprints: make([]string, len(s.parts)),
+		RoutingFilters:   make([][]odcodec.RoutingFilter, len(s.parts)),
 	}
 	for i, p := range s.parts {
 		backing := p.(BackingStore).BackingStore()
@@ -75,6 +76,17 @@ func SavePartitioned(dir string, s *PartitionedStore, meta SnapshotMeta) error {
 		if err := Save(partDir, backing, SnapshotMeta{Fingerprint: fp}); err != nil {
 			return fmt.Errorf("od: save partition %d: %w", i, err)
 		}
+		// Persist the member's routing filters as OpenPartitioned would
+		// refetch them: computed from the snapshot just written, not the
+		// live backing store, so a mutated member (whose live filters
+		// degrade to uncovered) still persists the covered filters its
+		// merged segments deserve.
+		ds, err := OpenDiskStore(partDir)
+		if err != nil {
+			return fmt.Errorf("od: save partition %d: reopen for routing filters: %w", i, err)
+		}
+		fed.RoutingFilters[i] = encodeRoutingFilters(RoutingFilters(ds))
+		ds.Close()
 	}
 
 	// Coordinator snapshot: the full object directory, compacted over
@@ -185,7 +197,17 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 	s.theta = fed.Theta
 	s.finalized = true
 	s.snapDir = dir
-	if err := s.initRouting(); err != nil {
+	if fed.RoutingFilters != nil {
+		// The manifest carries the filters SavePartitioned computed from
+		// these exact member snapshots (the fingerprints checked above pin
+		// them), so the refetch fan-out is pure redundancy — skip it.
+		routing := make([]*memberRouting, len(parts))
+		for i, enc := range fed.RoutingFilters {
+			routing[i] = newMemberRouting(decodeRoutingFilters(enc))
+		}
+		s.routing = routing
+		s.routingFromManifest = true
+	} else if err := s.initRouting(); err != nil {
 		closeAll()
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -93,6 +94,80 @@ func TestSavePartitionedSeedRoundTrips(t *testing.T) {
 	}
 	fresh := freshOver(copyODs(ods), 0.15)
 	assertStoreMatchesFresh(t, "seeded", re, fresh)
+}
+
+// TestOpenPartitionedRoutingFromManifest pins the persisted routing
+// filters end to end: OpenPartitioned restores the coordinator's
+// variant filters from the federation manifest — bit-identical to the
+// refetch fan-out it replaces — and a legacy manifest without filters
+// still opens, falling back to the refetch.
+func TestOpenPartitionedRoutingFromManifest(t *testing.T) {
+	fed, _ := buildMutatedFederation(t)
+	defer fed.Close()
+	dir := t.TempDir()
+	if err := SavePartitioned(dir, fed, SnapshotMeta{Fingerprint: "routed"}); err != nil {
+		t.Fatal(err)
+	}
+
+	refetched := func(s *PartitionedStore) []*memberRouting {
+		routing := make([]*memberRouting, len(s.parts))
+		for i, p := range s.parts {
+			fs, err := p.RoutingFilters()
+			if err != nil {
+				t.Fatal(err)
+			}
+			routing[i] = newMemberRouting(fs)
+		}
+		return routing
+	}
+	assertSameRouting := func(ctx string, got, want []*memberRouting) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d members routed, want %d", ctx, len(got), len(want))
+		}
+		for i := range got {
+			if len(got[i].types) != len(want[i].types) {
+				t.Fatalf("%s: member %d has %d filter types, want %d", ctx, i, len(got[i].types), len(want[i].types))
+			}
+			for typ, wf := range want[i].types {
+				gf := got[i].types[typ]
+				if gf == nil || !reflect.DeepEqual(*gf, *wf) {
+					t.Fatalf("%s: member %d type %q filter diverges:\n got %+v\nwant %+v", ctx, i, typ, gf, wf)
+				}
+			}
+		}
+	}
+
+	re, err := OpenPartitioned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if !re.RoutingFromManifest() {
+		t.Fatal("filters were refetched despite being persisted in the manifest")
+	}
+	assertSameRouting("manifest-restored", re.routing, refetched(re))
+
+	// Strip the filters from the manifest (the shape every pre-existing
+	// federation snapshot has) and reopen: the refetch fan-out must kick
+	// back in and produce the same routing state.
+	man, err := odcodec.ReadFederation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.RoutingFilters = nil
+	if err := odcodec.WriteFederation(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := OpenPartitioned(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+	if legacy.RoutingFromManifest() {
+		t.Fatal("RoutingFromManifest reported for a manifest with no filters")
+	}
+	assertSameRouting("legacy-refetched", legacy.routing, re.routing)
 }
 
 // TestOpenPartitionedRejections pins every integrity gate of the

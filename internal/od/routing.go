@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/od/odcodec"
 	"repro/internal/strdist"
 )
 
@@ -201,6 +202,28 @@ func RoutingFilters(s Store) []VariantFilter {
 // every source emits.
 func sortVariantFilters(fs []VariantFilter) {
 	sort.Slice(fs, func(i, j int) bool { return fs[i].Type < fs[j].Type })
+}
+
+// encodeRoutingFilters converts one member's filters to their
+// federation-manifest record (see odcodec.Federation.RoutingFilters).
+func encodeRoutingFilters(fs []VariantFilter) []odcodec.RoutingFilter {
+	out := make([]odcodec.RoutingFilter, len(fs))
+	for i, f := range fs {
+		out[i] = odcodec.RoutingFilter{Type: f.Type, Covered: f.Covered, Budget: f.Budget, MaxLen: f.MaxLen, Bits: f.Bits}
+	}
+	return out
+}
+
+// decodeRoutingFilters restores one member's filters from the
+// federation manifest. The manifest slices transfer ownership — the
+// coordinator mutates its copy on noteAdded exactly like a refetched
+// set.
+func decodeRoutingFilters(fs []odcodec.RoutingFilter) []VariantFilter {
+	out := make([]VariantFilter, len(fs))
+	for i, f := range fs {
+		out[i] = VariantFilter{Type: f.Type, Covered: f.Covered, Budget: f.Budget, MaxLen: f.MaxLen, Bits: f.Bits}
+	}
+	return out
 }
 
 // memberRouting is the coordinator's mutable view of one member's

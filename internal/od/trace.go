@@ -137,6 +137,154 @@ func SaveTraces(dir string, s Store, ts *TraceSet) error {
 	return nil
 }
 
+// maxTraceFrames bounds the trace chain length: an update that finds
+// the chain already this long compacts it back to a single frame
+// (WriteTrace) instead of appending another delta, so load cost stays
+// proportional to the state, not to update history.
+const maxTraceFrames = 8
+
+// AppendTraces persists ts like SaveTraces, but for a DiskStore
+// updated in place in its own snapshot directory it appends a delta
+// frame to the existing trace chain — carrying only the pairs and
+// filter slots that changed — instead of rewriting the whole segment.
+// Everything else (foreign backends, a missing or unreadable chain, a
+// chain at maxTraceFrames, a delta comparable in size to the full
+// state) falls back to the whole rewrite, so the call is always safe
+// and the two paths accumulate to identical replay state.
+func AppendTraces(dir string, s Store, ts *TraceSet) error {
+	ds, ok := s.(*DiskStore)
+	if !ok || !sameDir(ds.dir, dir) {
+		return SaveTraces(dir, s, ts)
+	}
+	span := storeSpan(s)
+	if len(ts.Alive) != span {
+		return fmt.Errorf("od: append traces: %d alive slots for ID span %d", len(ts.Alive), span)
+	}
+	if ts.Filter != nil && len(ts.Filter) != span {
+		return fmt.Errorf("od: append traces: %d filter traces for ID span %d", len(ts.Filter), span)
+	}
+	// The on-disk chain is the authoritative "previous" state: the delta
+	// is computed against what a future ReadTrace will actually
+	// accumulate, so appending it always lands exactly on ts no matter
+	// how the chain got here. Any read problem just means full rewrite.
+	base, info, err := odcodec.ReadTraceChain(dir)
+	if err != nil || base == nil || len(base.Alive) > span || info.Frames >= maxTraceFrames {
+		return SaveTraces(dir, s, ts)
+	}
+	d, small := diffTraces(base, ts, span)
+	if !small {
+		return SaveTraces(dir, s, ts)
+	}
+	digest, err := odcodec.ManifestDigest(dir)
+	if err != nil {
+		return fmt.Errorf("od: append traces: %w", err)
+	}
+	d.PrevCRC = info.LastCRC
+	d.ManifestDigest = digest
+	d.Fingerprint = ts.Fingerprint
+	d.Size = ts.Size
+	d.Alive = ts.Alive
+	if err := odcodec.AppendTraceDelta(dir, d); err != nil {
+		return fmt.Errorf("od: append traces: %w", err)
+	}
+	return nil
+}
+
+// diffTraces computes the delta frame turning the accumulated on-disk
+// state into ts. The second result is false when a delta is not
+// worthwhile: the changed set rivals the full state, or the filter
+// sections differ in a way the delta format cannot express compactly
+// (bound traces appearing where the chain recorded none).
+func diffTraces(base *odcodec.TraceSet, ts *TraceSet, span int) (*odcodec.TraceDelta, bool) {
+	d := &odcodec.TraceDelta{}
+	switch {
+	case ts.Filter == nil && base.Filters == nil:
+		// no filter traces on either side
+	case ts.Filter == nil:
+		d.DropFilters = true
+	case base.Filters == nil:
+		return nil, false
+	default:
+		for id := 0; id < span; id++ {
+			var prev []odcodec.TraceFilterStep
+			if id < len(base.Filters) {
+				prev = base.Filters[id]
+			}
+			if filterSlotEqual(prev, ts.Filter[id]) {
+				continue
+			}
+			var enc []odcodec.TraceFilterStep
+			if steps := ts.Filter[id]; steps != nil {
+				enc = make([]odcodec.TraceFilterStep, len(steps))
+				for k, st := range steps {
+					enc[k] = odcodec.TraceFilterStep{Shared: st.Shared, Union: st.Union}
+				}
+			}
+			d.FilterUpdates = append(d.FilterUpdates, odcodec.TraceFilterUpdate{Slot: int32(id), Steps: enc})
+		}
+	}
+
+	cur := make([]odcodec.TracePair, 0, len(ts.Pairs))
+	for key, tr := range ts.Pairs {
+		i, j := int32(key>>32), int32(key&0xffffffff)
+		if int(j) >= span || !ts.Alive[i] || !ts.Alive[j] {
+			continue // defensive: a non-survivor endpoint can never replay
+		}
+		cur = append(cur, odcodec.TracePair{Key: uint64(key), SimU: tr.SimU, ConU: tr.ConU})
+	}
+	sort.Slice(cur, func(a, b int) bool { return cur[a].Key < cur[b].Key })
+	bi := 0
+	for _, p := range cur {
+		for bi < len(base.Pairs) && base.Pairs[bi].Key < p.Key {
+			d.RemovedPairs = append(d.RemovedPairs, base.Pairs[bi].Key)
+			bi++
+		}
+		if bi < len(base.Pairs) && base.Pairs[bi].Key == p.Key {
+			if !unionsEqual(base.Pairs[bi].SimU, p.SimU) || !unionsEqual(base.Pairs[bi].ConU, p.ConU) {
+				d.Pairs = append(d.Pairs, p)
+			}
+			bi++
+			continue
+		}
+		d.Pairs = append(d.Pairs, p)
+	}
+	for ; bi < len(base.Pairs); bi++ {
+		d.RemovedPairs = append(d.RemovedPairs, base.Pairs[bi].Key)
+	}
+	if len(d.Pairs)+len(d.RemovedPairs) > len(cur)/2+16 {
+		return nil, false
+	}
+	return d, true
+}
+
+// filterSlotEqual compares one on-disk filter-bound trace with its
+// in-memory counterpart; nil (no trace recorded) only equals nil.
+func filterSlotEqual(prev []odcodec.TraceFilterStep, cur []FilterStep) bool {
+	if (prev == nil) != (cur == nil) || len(prev) != len(cur) {
+		return false
+	}
+	for k := range prev {
+		if prev[k].Shared != cur[k].Shared || prev[k].Union != cur[k].Union {
+			return false
+		}
+	}
+	return true
+}
+
+// unionsEqual compares union slices, treating nil as empty — the codec
+// decodes an empty union side as nil regardless of how it was written.
+func unionsEqual(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // storeSpan is the store's ID span: IDSpan for mutable backends, the
 // live count for stores with no hole-bearing ID space.
 func storeSpan(s Store) int {

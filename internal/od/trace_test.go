@@ -1,9 +1,11 @@
 package od
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/od/odcodec"
@@ -82,6 +84,165 @@ func TestTracesRoundTripDiskIdentity(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Filter, want.Filter) {
 		t.Fatal("filter traces diverged across the round trip")
+	}
+}
+
+// TestAppendTracesChain pins the append path end to end on an identity
+// DiskStore: each AppendTraces call adds one delta frame to the trace
+// chain, LoadTraces returns exactly the appended state (the chain and a
+// whole rewrite are indistinguishable to readers), the chain compacts
+// back to one frame once it reaches maxTraceFrames, and a delta rivaling
+// the full state also compacts instead of appending.
+func TestAppendTracesChain(t *testing.T) {
+	dir := t.TempDir()
+	ds := NewDiskStore(dir)
+	// Large enough that a full rewrite visibly beats a delta carrying
+	// most of the pairs (the len/2+16 compaction heuristic).
+	for _, o := range cdODs(120, 11) {
+		ds.Add(o)
+	}
+	ds.Finalize(0.15)
+	if err := Save(dir, ds, SnapshotMeta{Fingerprint: "fp-0"}); err != nil {
+		t.Fatal(err)
+	}
+	cur := traceFixture(ds, "fp-0")
+	if err := SaveTraces(dir, ds, cur); err != nil {
+		t.Fatal(err)
+	}
+	frames := func() int {
+		t.Helper()
+		_, info, err := odcodec.ReadTraceChain(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return info.Frames
+	}
+	assertSame := func(ctx string, want *TraceSet) {
+		t.Helper()
+		got, err := LoadTraces(ds)
+		if err != nil {
+			t.Fatalf("%s: %v", ctx, err)
+		}
+		if got == nil {
+			t.Fatalf("%s: no traces loaded", ctx)
+		}
+		if got.Fingerprint != want.Fingerprint || got.Size != want.Size {
+			t.Fatalf("%s: header %q/%d, want %q/%d", ctx, got.Fingerprint, got.Size, want.Fingerprint, want.Size)
+		}
+		if !reflect.DeepEqual(got.Alive, want.Alive) || !reflect.DeepEqual(got.Pairs, want.Pairs) || !reflect.DeepEqual(got.Filter, want.Filter) {
+			t.Fatalf("%s: loaded traces diverge from the appended state", ctx)
+		}
+	}
+	if frames() != 1 {
+		t.Fatalf("fresh trace has %d frames", frames())
+	}
+
+	var keys []int64
+	for k := range cur.Pairs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+	// step n is the base fixture with one pair removed, one re-scored
+	// and one filter slot cleared — the shape of a small update batch.
+	step := func(n int) *TraceSet {
+		next := &TraceSet{
+			Fingerprint: fmt.Sprintf("fp-%d", n),
+			Size:        cur.Size,
+			Alive:       cur.Alive,
+			Pairs:       make(map[int64]PairTrace, len(cur.Pairs)),
+			Filter:      append([][]FilterStep(nil), cur.Filter...),
+		}
+		for k, tr := range cur.Pairs {
+			next.Pairs[k] = tr
+		}
+		delete(next.Pairs, keys[n%len(keys)])
+		if tr, ok := next.Pairs[keys[(n+1)%len(keys)]]; ok {
+			next.Pairs[keys[(n+1)%len(keys)]] = PairTrace{SimU: append([]int32{int32(n) + 100}, tr.SimU...), ConU: tr.ConU}
+		}
+		for id, steps := range next.Filter {
+			if steps != nil {
+				next.Filter[id] = nil
+				break
+			}
+		}
+		return next
+	}
+
+	var next *TraceSet
+	for n := 1; n < maxTraceFrames; n++ {
+		next = step(n)
+		if err := AppendTraces(dir, ds, next); err != nil {
+			t.Fatal(err)
+		}
+		if got := frames(); got != n+1 {
+			t.Fatalf("after append %d the chain has %d frames, want %d", n, got, n+1)
+		}
+		assertSame(fmt.Sprintf("chain of %d frames", n+1), next)
+	}
+
+	// The next small delta finds the chain at maxTraceFrames and
+	// compacts instead.
+	next = step(maxTraceFrames)
+	if err := AppendTraces(dir, ds, next); err != nil {
+		t.Fatal(err)
+	}
+	if got := frames(); got != 1 {
+		t.Fatalf("chain at maxTraceFrames appended to %d frames instead of compacting", got)
+	}
+	assertSame("compacted", next)
+
+	// A delta touching most of the state also compacts: appending it
+	// would cost more than the rewrite it defers.
+	bulk := step(maxTraceFrames + 1)
+	for k, tr := range bulk.Pairs {
+		bulk.Pairs[k] = PairTrace{SimU: append([]int32{999}, tr.SimU...), ConU: tr.ConU}
+	}
+	if err := AppendTraces(dir, ds, bulk); err != nil {
+		t.Fatal(err)
+	}
+	if got := frames(); got != 1 {
+		t.Fatalf("bulk delta appended (%d frames) instead of compacting", got)
+	}
+	assertSame("bulk-compacted", bulk)
+	ds.Close()
+}
+
+// TestAppendTracesForeignBackend pins the fallback: a backend that is
+// not the directory's own DiskStore always takes the whole-rewrite
+// path, chains never form.
+func TestAppendTracesForeignBackend(t *testing.T) {
+	dir := t.TempDir()
+	ms := NewMemStore()
+	for _, o := range cdODs(20, 5) {
+		ms.Add(o)
+	}
+	ms.Finalize(0.15)
+	if err := Save(dir, ms, SnapshotMeta{Fingerprint: "fp-m"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range []string{"fp-m", "fp-m2"} {
+		if err := AppendTraces(dir, ms, traceFixture(ms, fp)); err != nil {
+			t.Fatal(err)
+		}
+		_, info, err := odcodec.ReadTraceChain(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Frames != 1 {
+			t.Fatalf("foreign backend chained %d frames", info.Frames)
+		}
+	}
+	re, err := OpenDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := LoadTraces(re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Fingerprint != "fp-m2" {
+		t.Fatalf("loaded traces %+v, want the last rewrite (fp-m2)", got)
 	}
 }
 
@@ -173,22 +334,15 @@ func TestLoadTracesRejections(t *testing.T) {
 
 	t.Run("stale digest", func(t *testing.T) {
 		dir, re := build(t)
-		// Preserve the trace, rewrite the snapshot (which removes it as
-		// stale), then put the old trace back: the digest no longer
-		// matches and the segment must be rejected, not served.
-		tracePath := filepath.Join(dir, odcodec.TraceFile)
-		old, err := os.ReadFile(tracePath)
-		if err != nil {
-			t.Fatal(err)
-		}
+		// Rewrite the snapshot without re-persisting traces: the segment
+		// stays on disk (the update path normally re-chains it with a
+		// delta frame) but its digest no longer matches, so it must be
+		// rejected, not served.
 		if err := Save(dir, re, SnapshotMeta{Fingerprint: "fp-c2"}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := os.Stat(tracePath); !os.IsNotExist(err) {
-			t.Fatalf("re-saving the snapshot left the stale trace in place (stat err %v)", err)
-		}
-		if err := os.WriteFile(tracePath, old, 0o644); err != nil {
-			t.Fatal(err)
+		if _, err := os.Stat(filepath.Join(dir, odcodec.TraceFile)); err != nil {
+			t.Fatalf("re-saving the snapshot disturbed the trace segment (stat err %v)", err)
 		}
 		re2, err := OpenDiskStore(dir)
 		if err != nil {
