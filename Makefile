@@ -43,7 +43,7 @@ test-disk:
 # so partition-parallel wall-time wins only show on multicore hardware.
 test-dist:
 	$(GO) test -race ./internal/od/odrpc/
-	$(GO) test -race -run 'Partition|Federation|Loopback|StoreParity|Equivalence|DistStore' \
+	$(GO) test -race -run 'Partition|Federation|Loopback|StoreParity|Equivalence|DistStore|Routing|Replica|Rebalance' \
 		./internal/od/... ./internal/core/... ./cmd/dogmatix/...
 
 # Service-layer gate: the daemon's end-to-end lifecycle suites (cold and

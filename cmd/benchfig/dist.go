@@ -2,12 +2,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/experiments"
@@ -62,8 +64,147 @@ type distReport struct {
 	// nearly free and both paths are compute-bound, so the plain rows
 	// sit at parity; the win the fast path exists for is round-trip
 	// elimination, and this pair prices a round trip at network scale.
-	P50Reduction3RTT float64 `json:"p50_reduction_dist3_rtt"`
-	GOMAXPROCS       int     `json:"gomaxprocs"`
+	P50Reduction3RTT float64            `json:"p50_reduction_dist3_rtt"`
+	Failover         distFailoverReport `json:"failover"`
+	GOMAXPROCS       int                `json:"gomaxprocs"`
+}
+
+// distFailoverReport measures replica failover on a 3-partition
+// federation with one loopback replica per partition: per-query
+// similar-value latency with every member healthy, the cost of the
+// first fan-out that discovers a dead primary (the failed attempt plus
+// the replica retry plus marking the member down), and the steady
+// degraded latency once the sticky mark routes reads straight to the
+// replica. Healthy and degraded sweeps use disjoint query halves so
+// the coordinator's merge cache cannot serve the degraded sweep.
+type distFailoverReport struct {
+	Partitions        int     `json:"partitions"`
+	Replicas          int     `json:"replicas"` // per partition
+	Queries           int     `json:"queries"`  // per sweep
+	HealthyP50Micros  float64 `json:"healthy_p50_us"`
+	DegradedP50Micros float64 `json:"degraded_p50_us"`
+	DetectMicros      float64 `json:"detect_us"`
+	DownMembers       int     `json:"down_members"`
+}
+
+// killablePart wraps a federation member; once killed, every read
+// fails so the coordinator's failover path takes over.
+type killablePart struct {
+	od.Partition
+	dead atomic.Bool
+}
+
+var errBenchKilled = errors.New("benchfig: member killed")
+
+func (p *killablePart) guard() error {
+	if p.dead.Load() {
+		return errBenchKilled
+	}
+	return nil
+}
+
+func (p *killablePart) ObjectsWithExact(t od.Tuple) ([]int32, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.ObjectsWithExact(t)
+}
+
+func (p *killablePart) SimilarValues(t od.Tuple) ([]od.ValueMatch, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.SimilarValues(t)
+}
+
+func (p *killablePart) SimilarValuesBatch(ts []od.Tuple) ([][]od.ValueMatch, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.SimilarValuesBatch(ts)
+}
+
+func (p *killablePart) RoutingFilters() ([]od.VariantFilter, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.RoutingFilters()
+}
+
+func (p *killablePart) Stats() ([]od.TypeStats, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.Stats()
+}
+
+func (p *killablePart) ExportODs(lo, hi int32) ([]*od.OD, error) {
+	if err := p.guard(); err != nil {
+		return nil, err
+	}
+	return p.Partition.ExportODs(lo, hi)
+}
+
+func (p *killablePart) Info() (od.PartitionInfo, error) {
+	if err := p.guard(); err != nil {
+		return od.PartitionInfo{}, err
+	}
+	return p.Partition.Info()
+}
+
+// runDistFailover builds the replicated federation, runs the healthy
+// sweep over the first half of the workload, kills one primary, and
+// runs the degraded sweep over the second half.
+func runDistFailover(ods []*od.OD, queries []od.Tuple, theta float64) (distFailoverReport, error) {
+	const partitions, nReplicas = 3, 1
+	primaries := make([]*killablePart, partitions)
+	parts := make([]od.Partition, partitions)
+	groups := make([][]od.Partition, partitions)
+	for i := range parts {
+		c := odrpc.NewLoopback(od.NewMemStore())
+		c.Timeout = odrpc.DefaultTimeout
+		primaries[i] = &killablePart{Partition: c}
+		parts[i] = primaries[i]
+		r := odrpc.NewLoopback(od.NewMemStore())
+		r.Timeout = odrpc.DefaultTimeout
+		groups[i] = []od.Partition{r}
+	}
+	fed := od.NewPartitionedStore(parts, 0)
+	if err := fed.AttachReplicas(groups); err != nil {
+		return distFailoverReport{}, err
+	}
+	defer fed.Close()
+	fill(fed, ods, theta)
+
+	half := len(queries) / 2
+	healthyQ, degradedQ := queries[:half], queries[half:half*2]
+	sweep := func(qs []od.Tuple) []time.Duration {
+		lat := make([]time.Duration, 0, len(qs))
+		for _, q := range qs {
+			t0 := time.Now()
+			fed.SimilarValues(q)
+			lat = append(lat, time.Since(t0))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat
+	}
+
+	healthy := sweep(healthyQ)
+	primaries[0].dead.Store(true)
+	t0 := time.Now()
+	fed.SimilarValues(degradedQ[0])
+	detect := time.Since(t0)
+	degraded := sweep(degradedQ[1:])
+
+	return distFailoverReport{
+		Partitions:        partitions,
+		Replicas:          nReplicas,
+		Queries:           half,
+		HealthyP50Micros:  percentile(healthy, 0.50),
+		DegradedP50Micros: percentile(degraded, 0.50),
+		DetectMicros:      float64(detect.Nanoseconds()) / 1e3,
+		DownMembers:       fed.DownMembers(),
+	}, nil
 }
 
 // distBatchSize mirrors the compare stage's batch granularity: the
@@ -142,7 +283,7 @@ func distFed(partitions int, transport string, ods []*od.OD, theta float64) (*od
 	return fed, cleanup, nil
 }
 
-func sumWire(m map[int]od.WireStats) (rpcs, bytes uint64) {
+func sumWire(m map[string]od.WireStats) (rpcs, bytes uint64) {
 	for _, ws := range m {
 		rpcs += ws.RoundTrips
 		bytes += ws.BytesOut + ws.BytesIn
@@ -259,6 +400,14 @@ func runDist(w io.Writer, n int, seed int64, jsonPath, checkPath string) error {
 	}
 	fmt.Fprintf(w, "  dist-3 fast path: %.1fx fewer member RPCs per query, %.2fx lower p50 at 1ms one-way RTT\n",
 		report.RPCReduction3, report.P50Reduction3RTT)
+
+	fo, err := runDistFailover(ods, queries, theta)
+	if err != nil {
+		return err
+	}
+	report.Failover = fo
+	fmt.Fprintf(w, "  failover dist-%d+%d: healthy p50=%.1fµs degraded p50=%.1fµs detect=%.1fµs down=%d\n",
+		fo.Partitions, fo.Replicas, fo.HealthyP50Micros, fo.DegradedP50Micros, fo.DetectMicros, fo.DownMembers)
 
 	out, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

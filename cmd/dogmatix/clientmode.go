@@ -9,7 +9,10 @@ package main
 // submit reads each document file, posts everything as one update
 // batch and prints the daemon's ack; the 200 means the batch was
 // applied — and, on a persisting daemon, durable — before the reply.
-// Both modes print the endpoint's JSON response verbatim on stdout.
+// When the ack reports durable=false (a mem/sharded daemon applied the
+// batch in memory only), submit warns on stderr: a daemon restart
+// loses that batch. Both modes print the endpoint's JSON response
+// verbatim on stdout.
 
 import (
 	"context"
@@ -121,6 +124,9 @@ func runSubmit(args []string, stdout, stderr io.Writer) error {
 	resp, err := client.New(*daemon).Submit(context.Background(), req)
 	if err != nil {
 		return fmt.Errorf("submit: %w", err)
+	}
+	if !resp.Durable {
+		fmt.Fprintln(stderr, "dogmatix: warning: the daemon applied this batch in memory only — the ack is volatile and a daemon restart loses it (serve a persisting backend: -store disk -store-dir, or -store dist -snapshot-root)")
 	}
 	return printJSON(stdout, resp)
 }

@@ -78,6 +78,11 @@
 //
 //	dogmatix query  -daemon http://HOST:PORT [-id N | -similar -type T -value V | -metrics | -health]
 //	dogmatix submit -daemon http://HOST:PORT [-remove OBJECT-PATH]... [doc.xml ...]
+//
+// A third subcommand re-partitions a persisted federation in place of
+// any re-ingestion (see rebalance.go):
+//
+//	dogmatix rebalance -from DIR -to ROOT -partitions N [-hash-seed S]
 package main
 
 import (
@@ -85,6 +90,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -115,6 +121,12 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "rebalance":
+			if err := runRebalance(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, "dogmatix:", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	var (
@@ -132,6 +144,8 @@ func main() {
 		shards     = flag.Int("shards", 0, "index shard count for the sharded store")
 		partitions = flag.Int("partitions", 0, "in-process partition count for the distributed store (loopback transports)")
 		partAddrs  = flag.String("partition-addrs", "", "comma-separated odrpc server addresses for the distributed store")
+		replicas   = flag.Int("replicas", 0, "loopback replica members per partition for the distributed store")
+		repAddrs   = flag.String("replica-addrs", "", "odrpc replica addresses per partition: groups comma-separated and aligned with the partitions, members within a group separated by ';'")
 		workers    = flag.Int("workers", 0, "worker goroutines for Steps 4/5 (0 = GOMAXPROCS)")
 		storeDir   = flag.String("store-dir", "", "directory for disk-store segments / index snapshots")
 		mmap       = flag.String("mmap", "auto", "disk-store segment access: auto (mmap with pread fallback) | on | off")
@@ -150,6 +164,7 @@ func main() {
 		useFilter: *useFilter, showPairs: *showPairs, stats: *stats,
 		showStages: *showStages, store: *store, shards: *shards,
 		partitions: *partitions, partAddrs: *partAddrs,
+		replicas: *replicas, replicaAddrs: *repAddrs,
 		workers: *workers, storeDir: *storeDir, mmap: *mmap, reuseIndex: *reuseIndex,
 		format: *format, stream: *stream,
 		update: *update, removePaths: removePaths,
@@ -178,7 +193,9 @@ type options struct {
 	showStages, stream, reuseIndex        bool
 	update                                bool
 	shards, workers, partitions           int
+	replicas                              int
 	store, storeDir, partAddrs            string
+	replicaAddrs                          string
 	mmap                                  string
 	format                                string
 	removePaths                           []string
@@ -257,6 +274,12 @@ func (o *options) validate(docs []string) error {
 	if o.partitions > 0 && o.partAddrs != "" {
 		return fmt.Errorf("-partitions and -partition-addrs are exclusive: in-process loopback members or remote servers, not both")
 	}
+	if o.replicas < 0 {
+		return fmt.Errorf("-replicas %d is negative", o.replicas)
+	}
+	if o.replicas > 0 && o.replicaAddrs != "" {
+		return fmt.Errorf("-replicas and -replica-addrs are exclusive: in-process loopback mirrors or remote servers, not both")
+	}
 	switch o.format {
 	case "xml", "json", "csv":
 	default:
@@ -274,6 +297,9 @@ func (o *options) validate(docs []string) error {
 	}
 	if o.store != storeDist && (o.partitions > 0 || o.partAddrs != "") {
 		return fmt.Errorf("-partitions/-partition-addrs only apply to -store dist, not %q", o.store)
+	}
+	if o.store != storeDist && (o.replicas > 0 || o.replicaAddrs != "") {
+		return fmt.Errorf("-replicas/-replica-addrs only apply to -store dist, not %q", o.store)
 	}
 	switch o.store {
 	case storeMem, storeDisk:
@@ -418,7 +444,77 @@ func (o *options) buildFederation() (*od.PartitionedStore, error) {
 			parts = append(parts, c)
 		}
 	}
-	return od.NewPartitionedStore(parts, 0), nil
+	fed := od.NewPartitionedStore(parts, 0)
+	// Replica members attach before the build so they simply ride the
+	// write fan-out; every group member ends up bit-identical.
+	groups, err := o.replicaGroups(len(parts))
+	if err != nil {
+		fed.Close()
+		return nil, err
+	}
+	if groups != nil {
+		if err := fed.AttachReplicas(groups); err != nil {
+			for _, g := range groups {
+				for _, p := range g {
+					p.Close()
+				}
+			}
+			fed.Close()
+			return nil, err
+		}
+	}
+	return fed, nil
+}
+
+// replicaGroups builds the replica member groups the flags describe:
+// -replicas loopback MemStore mirrors per partition, or -replica-addrs
+// dialed odrpc members (groups comma-separated and aligned with the
+// partitions, members within a group separated by ';'; an empty group
+// leaves that partition unreplicated). Returns nil when neither flag
+// is set.
+func (o *options) replicaGroups(nparts int) ([][]od.Partition, error) {
+	if o.replicas > 0 {
+		groups := make([][]od.Partition, nparts)
+		for i := range groups {
+			for r := 0; r < o.replicas; r++ {
+				c := odrpc.NewLoopback(od.NewMemStore())
+				c.Timeout = o.rpcTimeout
+				groups[i] = append(groups[i], c)
+			}
+		}
+		return groups, nil
+	}
+	if o.replicaAddrs == "" {
+		return nil, nil
+	}
+	fields := strings.Split(o.replicaAddrs, ",")
+	if len(fields) != nparts {
+		return nil, fmt.Errorf("-replica-addrs lists %d groups for %d partitions", len(fields), nparts)
+	}
+	groups := make([][]od.Partition, nparts)
+	closeAll := func() {
+		for _, g := range groups {
+			for _, p := range g {
+				p.Close()
+			}
+		}
+	}
+	for i, grp := range fields {
+		for _, addr := range strings.Split(grp, ";") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			c, err := odrpc.Dial(addr)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			c.Timeout = o.rpcTimeout
+			groups[i] = append(groups[i], c)
+		}
+	}
+	return groups, nil
 }
 
 func run(opts options, docs []string, stdout, stderr io.Writer) error {
@@ -543,13 +639,15 @@ func run(opts options, docs []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stderr, "dist routing: fanouts=%d member-queries=%d member-skips=%d exact-skips=%d\n",
 				rs.SimFanouts, rs.MemberQueries, rs.MemberSkips, rs.ExactSkips)
 			ws := fed.MemberWireStats()
-			for i := 0; i < fed.NumPartitions(); i++ {
-				w, ok := ws[i]
-				if !ok {
-					continue
-				}
-				fmt.Fprintf(stderr, "dist wire: member=%d round-trips=%d frames-out=%d frames-in=%d bytes-out=%d bytes-in=%d\n",
-					i, w.RoundTrips, w.FramesOut, w.FramesIn, w.BytesOut, w.BytesIn)
+			members := make([]string, 0, len(ws))
+			for member := range ws {
+				members = append(members, member)
+			}
+			sort.Strings(members)
+			for _, member := range members {
+				w := ws[member]
+				fmt.Fprintf(stderr, "dist wire: member=%s round-trips=%d frames-out=%d frames-in=%d bytes-out=%d bytes-in=%d\n",
+					member, w.RoundTrips, w.FramesOut, w.FramesIn, w.BytesOut, w.BytesIn)
 			}
 		}
 	}

@@ -91,6 +91,41 @@ func TestValidate(t *testing.T) {
 			o.store = storeDisk
 		}, docs: 1, wantErr: "-mmap"},
 		{name: "dist-build-defaults-partitions", mutate: func(o *options) { o.store = storeDist }, docs: 1, wantStore: storeDist},
+		{name: "replicas-build-dist", mutate: func(o *options) {
+			o.partitions = 2
+			o.replicas = 1
+		}, docs: 1, wantStore: storeDist},
+		{name: "negative-replicas", mutate: func(o *options) {
+			o.partitions = 2
+			o.replicas = -1
+		}, docs: 1, wantErr: "cannot be negative"},
+		{name: "replicas-and-addrs", mutate: func(o *options) {
+			o.partitions = 2
+			o.replicas = 1
+			o.replicaAddrs = "h:1"
+		}, docs: 1, wantErr: "exclusive"},
+		{name: "replicas-on-mem", mutate: func(o *options) {
+			o.store = storeMem
+			o.replicas = 1
+		}, docs: 1, wantErr: "only apply to -store dist"},
+		{name: "replica-addrs-on-disk", mutate: func(o *options) {
+			o.store = storeDisk
+			o.storeDir = "d"
+			o.replicaAddrs = "h:1"
+		}, docs: 1, wantErr: "only apply to -store dist"},
+		{name: "spill-ods-serve-dist", mutate: func(o *options) {
+			o.snapshotRoot = "r"
+			o.spillODs = true
+		}, wantStore: storeDist},
+		{name: "spill-ods-on-build", mutate: func(o *options) {
+			o.store = storeDist
+			o.spillODs = true
+		}, docs: 1, wantErr: "-spill-ods only applies"},
+		{name: "spill-ods-on-disk", mutate: func(o *options) {
+			o.store = storeDisk
+			o.storeDir = "d"
+			o.spillODs = true
+		}, docs: 1, wantErr: "-spill-ods only applies"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -238,6 +273,86 @@ func TestBuildServeRestartDisk(t *testing.T) {
 	wrongTheta.ttuple = 0.3
 	if _, err := buildService(wrongTheta, nil); err == nil || !strings.Contains(err.Error(), "ttuple") {
 		t.Errorf("theta-mismatch restart err = %v", err)
+	}
+}
+
+// TestBuildServeDistReplicas boots the distributed daemon with one
+// loopback replica per partition, checks the replica surface of
+// /healthz and /metrics, then restarts from the committed generation
+// with -spill-ods — the serve path hydrates fresh replicas from the
+// reopened primaries.
+func TestBuildServeDistReplicas(t *testing.T) {
+	mapFile, docFile := writeFixtureFiles(t)
+	root := filepath.Join(t.TempDir(), "fed")
+	ctx := context.Background()
+
+	opts := baseOpts()
+	opts.mapFile, opts.store, opts.snapshotRoot = mapFile, storeDist, root
+	opts.replicas = 1
+	b, err := buildService(opts, []string{docFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(b.svc.Handler())
+	cl := client.New(ts.URL)
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.DurableAcks {
+		t.Error("dist daemon with a snapshot root should advertise durable acks")
+	}
+	if len(m.Replicas) == 0 {
+		t.Fatal("replicated daemon metrics carry no replica counters")
+	}
+	for _, rc := range m.Replicas {
+		if rc.Members != 2 || len(rc.Down) != 0 {
+			t.Fatalf("replica group %+v, want 2 healthy members", rc)
+		}
+	}
+	h, err := cl.Health(ctx)
+	if err != nil || h.ReplicasDown != 0 {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	c0, err := cl.Clusters(ctx)
+	if err != nil || c0.Live == 0 {
+		t.Fatalf("clusters = %+v, %v", c0, err)
+	}
+	if err := b.svc.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+	b.cleanup()
+
+	opts.spillODs = true
+	b2, err := buildService(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.cleanup()
+	defer b2.svc.Shutdown(ctx)
+	ts2 := httptest.NewServer(b2.svc.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	c1, err := cl2.Clusters(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Live != c0.Live || len(c1.Clusters) != len(c0.Clusters) {
+		t.Fatalf("restarted replicated daemon serves %d live / %d clusters, built daemon had %d / %d",
+			c1.Live, len(c1.Clusters), c0.Live, len(c0.Clusters))
+	}
+	m2, err := cl2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Replicas) == 0 {
+		t.Fatal("restarted replicated daemon metrics carry no replica counters")
+	}
+	for _, rc := range m2.Replicas {
+		if rc.Members != 2 || len(rc.Down) != 0 {
+			t.Fatalf("restarted replica group %+v, want 2 healthy members", rc)
+		}
 	}
 }
 

@@ -9,6 +9,7 @@
 //	          [-tcand 0.55] [-filter] [-workers 4] \
 //	          [-store mem|sharded|disk|dist] [-shards 8] \
 //	          [-partitions 3 | -partition-addrs H1:P1,H2:P2] \
+//	          [-replicas 1 | -replica-addrs R1a;R1b,R2] [-spill-ods] \
 //	          [-store-dir DIR] [-reuse-index] [-snapshot-root DIR] \
 //	          [-queue-depth 16] [-drain-timeout 30s] \
 //	          [doc1.xml doc2.xml ...]
@@ -82,6 +83,9 @@ func main() {
 		shards       = flag.Int("shards", 0, "index shard count for the sharded store")
 		partitions   = flag.Int("partitions", 0, "in-process partition count for the distributed store")
 		partAddrs    = flag.String("partition-addrs", "", "comma-separated odrpc server addresses for the distributed store")
+		replicas     = flag.Int("replicas", 0, "loopback replica members per partition for the distributed store")
+		replicaAddrs = flag.String("replica-addrs", "", "odrpc replica addresses per partition: groups comma-separated and aligned with the partitions, members within a group separated by ';'")
+		spillODs     = flag.Bool("spill-ods", false, "with -store dist serving a snapshot: keep the coordinator OD directory on disk behind an LRU instead of materializing it")
 		storeDir     = flag.String("store-dir", "", "disk-store segment / snapshot directory")
 		mmap         = flag.String("mmap", "auto", "disk-store segment access: auto | on | off")
 		reuseIndex   = flag.Bool("reuse-index", false, "warm-start from a matching snapshot in -store-dir (and save one after a fresh build)")
@@ -96,6 +100,7 @@ func main() {
 		heuristic: *heuristic, ttuple: *ttuple, tcand: *tcand,
 		useFilter: *useFilter, workers: *workers,
 		store: *store, shards: *shards, partitions: *partitions, partAddrs: *partAddrs,
+		replicas: *replicas, replicaAddrs: *replicaAddrs, spillODs: *spillODs,
 		storeDir: *storeDir, mmap: *mmap, reuseIndex: *reuseIndex,
 		snapshotRoot: *snapshotRoot, rpcTimeout: *rpcTimeout,
 		queueDepth: *queueDepth, drainTimeout: *drainTimeout,
@@ -114,6 +119,9 @@ type options struct {
 	useFilter                   bool
 	workers, shards, partitions int
 	store, storeDir, partAddrs  string
+	replicas                    int
+	replicaAddrs                string
+	spillODs                    bool
 	mmap                        string
 	reuseIndex                  bool
 	snapshotRoot                string
@@ -139,11 +147,14 @@ func (o *options) validate(docs []string) error {
 	if o.mapFile == "" || o.typeName == "" {
 		return fmt.Errorf("-map and -type are required")
 	}
-	if o.workers < 0 || o.shards < 0 || o.partitions < 0 {
-		return fmt.Errorf("-workers/-shards/-partitions cannot be negative")
+	if o.workers < 0 || o.shards < 0 || o.partitions < 0 || o.replicas < 0 {
+		return fmt.Errorf("-workers/-shards/-partitions/-replicas cannot be negative")
 	}
 	if o.partitions > 0 && o.partAddrs != "" {
 		return fmt.Errorf("-partitions and -partition-addrs are exclusive")
+	}
+	if o.replicas > 0 && o.replicaAddrs != "" {
+		return fmt.Errorf("-replicas and -replica-addrs are exclusive")
 	}
 	if o.queueDepth < 1 {
 		return fmt.Errorf("-queue-depth %d < 1", o.queueDepth)
@@ -176,6 +187,12 @@ func (o *options) validate(docs []string) error {
 	}
 	if o.store != storeDist && (o.partitions > 0 || o.partAddrs != "") {
 		return fmt.Errorf("-partitions/-partition-addrs only apply to -store dist, not %q", o.store)
+	}
+	if o.store != storeDist && (o.replicas > 0 || o.replicaAddrs != "") {
+		return fmt.Errorf("-replicas/-replica-addrs only apply to -store dist, not %q", o.store)
+	}
+	if o.spillODs && (o.store != storeDist || len(docs) > 0) {
+		return fmt.Errorf("-spill-ods only applies to -store dist serving an existing snapshot")
 	}
 	if o.store != storeSharded && o.shards > 0 {
 		return fmt.Errorf("-shards only applies to -store sharded, not %q", o.store)
@@ -289,8 +306,14 @@ func buildService(opts options, docs []string) (*boot, error) {
 		// Serve persisted state.
 		var res *core.Result
 		if opts.store == storeDist {
-			fdir, fed, err := api.OpenFederationDir(opts.snapshotRoot)
+			fdir, fed, err := api.OpenFederationDirWith(opts.snapshotRoot, od.OpenOptions{SpillODs: opts.spillODs})
 			if err != nil {
+				return nil, err
+			}
+			// Post-open attachment hydrates every replica from its group
+			// before the daemon serves a single request.
+			if err := attachReplicas(fed, opts); err != nil {
+				fed.Close()
 				return nil, err
 			}
 			res, err = core.Adopt(opts.typeName, fed)
@@ -435,7 +458,84 @@ func buildFederation(opts options) (*od.PartitionedStore, error) {
 			parts = append(parts, c)
 		}
 	}
-	return od.NewPartitionedStore(parts, 0), nil
+	fed := od.NewPartitionedStore(parts, 0)
+	// Pre-Finalize attachment: the replicas ride the build fan-out.
+	if err := attachReplicas(fed, opts); err != nil {
+		fed.Close()
+		return nil, err
+	}
+	return fed, nil
+}
+
+// replicaGroups builds the replica members the flags describe: either
+// -replicas loopback MemStore mirrors per partition, or -replica-addrs
+// dialed odrpc members (groups comma-separated and aligned with the
+// partitions, members within a group separated by ';'; an empty group
+// leaves that partition unreplicated). Returns nil when neither flag
+// is set.
+func replicaGroups(opts options, nparts int) ([][]od.Partition, error) {
+	if opts.replicas > 0 {
+		groups := make([][]od.Partition, nparts)
+		for i := range groups {
+			for r := 0; r < opts.replicas; r++ {
+				c := odrpc.NewLoopback(od.NewMemStore())
+				c.Timeout = opts.rpcTimeout
+				groups[i] = append(groups[i], c)
+			}
+		}
+		return groups, nil
+	}
+	if opts.replicaAddrs == "" {
+		return nil, nil
+	}
+	fields := strings.Split(opts.replicaAddrs, ",")
+	if len(fields) != nparts {
+		return nil, fmt.Errorf("-replica-addrs lists %d groups for %d partitions", len(fields), nparts)
+	}
+	groups := make([][]od.Partition, nparts)
+	closeAll := func() {
+		for _, g := range groups {
+			for _, p := range g {
+				p.Close()
+			}
+		}
+	}
+	for i, grp := range fields {
+		for _, addr := range strings.Split(grp, ";") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			c, err := odrpc.Dial(addr)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			c.Timeout = opts.rpcTimeout
+			groups[i] = append(groups[i], c)
+		}
+	}
+	return groups, nil
+}
+
+// attachReplicas wires the flag-described replica groups into fed. On
+// a finalized federation this hydrates each replica from its group; a
+// failure leaves fed serving exactly as before, so only the orphaned
+// replica connections need closing.
+func attachReplicas(fed *od.PartitionedStore, opts options) error {
+	groups, err := replicaGroups(opts, fed.NumPartitions())
+	if err != nil || groups == nil {
+		return err
+	}
+	if err := fed.AttachReplicas(groups); err != nil {
+		for _, g := range groups {
+			for _, p := range g {
+				p.Close()
+			}
+		}
+		return err
+	}
+	return nil
 }
 
 func run(opts options, docs []string, stderr io.Writer) error {

@@ -121,6 +121,12 @@ type UpdateResponse struct {
 	Patched     int64  `json:"patched"` // pairs replayed from traces instead of compared
 	TraceSource string `json:"trace_source,omitempty"`
 	Persisted   bool   `json:"persisted"` // the batch reached disk before this ack
+	// Durable is the client-facing durability contract: true only when
+	// this ack survives a daemon restart (the batch was persisted before
+	// acknowledging). A mem/sharded daemon applies updates correctly but
+	// holds them only in memory — its acks are volatile, and clients that
+	// need durability must check this bit, not just the 200.
+	Durable bool `json:"durable"`
 }
 
 // Health answers GET /healthz.
@@ -131,6 +137,11 @@ type Health struct {
 	Status string `json:"status"`
 	Type   string `json:"type"`
 	Epoch  int64  `json:"epoch"`
+	// ReplicasDown counts federation group members currently marked down
+	// (federations only). Reads keep serving from the surviving members;
+	// writes are rejected fail-stop while it is non-zero, so a non-zero
+	// count is the operator's signal to rotate the member out.
+	ReplicasDown int `json:"replicas_down,omitempty"`
 }
 
 // StageMetric is one pipeline stage of the last run.
@@ -177,6 +188,15 @@ type WireCounters struct {
 	BytesIn    uint64 `json:"bytes_in"`
 }
 
+// ReplicaCounters reports one partition group's read availability
+// (od.MemberHealth; federations only).
+type ReplicaCounters struct {
+	Partition int      `json:"partition"`
+	Members   int      `json:"members"` // primary + replicas
+	Down      []int    `json:"down,omitempty"`
+	Errors    []string `json:"errors,omitempty"`
+}
+
 // QueryCounters counts served read queries per endpoint.
 type QueryCounters struct {
 	Duplicates uint64 `json:"duplicates"`
@@ -212,4 +232,11 @@ type Metrics struct {
 	Cache      map[string]CacheCounters `json:"cache,omitempty"`
 	Routing    *RoutingCounters         `json:"routing,omitempty"`
 	Wire       map[string]WireCounters  `json:"wire,omitempty"`
+	// DurableAcks reports whether this daemon's update acks survive a
+	// restart (it persists before acknowledging). False on mem/sharded
+	// daemons — their acks are volatile.
+	DurableAcks bool `json:"durable_acks"`
+	// Replicas reports per-partition-group read availability
+	// (federations only).
+	Replicas []ReplicaCounters `json:"replicas,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/api"
@@ -388,6 +389,214 @@ func TestDaemonLifecycle(t *testing.T) {
 				t.Error("dist daemon metrics carry no routing counters")
 			}
 		})
+	}
+}
+
+// flakyPart wraps a federation member and fails every read once
+// killed, so the daemon tests can watch replica failover through the
+// HTTP surface.
+type flakyPart struct {
+	od.Partition
+	dead atomic.Bool
+}
+
+var errKilled = errors.New("injected member failure")
+
+func (p *flakyPart) check() error {
+	if p.dead.Load() {
+		return errKilled
+	}
+	return nil
+}
+
+func (p *flakyPart) ObjectsWithExact(t od.Tuple) ([]int32, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.ObjectsWithExact(t)
+}
+
+func (p *flakyPart) SimilarValues(t od.Tuple) ([]od.ValueMatch, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.SimilarValues(t)
+}
+
+func (p *flakyPart) SimilarValuesBatch(ts []od.Tuple) ([][]od.ValueMatch, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.SimilarValuesBatch(ts)
+}
+
+func (p *flakyPart) RoutingFilters() ([]od.VariantFilter, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.RoutingFilters()
+}
+
+func (p *flakyPart) Stats() ([]od.TypeStats, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.Stats()
+}
+
+func (p *flakyPart) ExportODs(lo, hi int32) ([]*od.OD, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	return p.Partition.ExportODs(lo, hi)
+}
+
+func (p *flakyPart) Info() (od.PartitionInfo, error) {
+	if err := p.check(); err != nil {
+		return od.PartitionInfo{}, err
+	}
+	return p.Partition.Info()
+}
+
+// TestDaemonReplicaFailover pins the elastic-federation surface of the
+// daemon: with one replica per partition, killing every primary leaves
+// the daemon answering reads (the fan-outs fail over member by
+// member), /healthz reports the down members while staying 200, and
+// /metrics carries the per-partition replica counters.
+func TestDaemonReplicaFailover(t *testing.T) {
+	fix := newFixture(t)
+	var primaries []*flakyPart
+	cfg := fix.cfg
+	cfg.Incremental = true
+	var fed *od.PartitionedStore
+	cfg.NewStore = func() od.Store {
+		primaries = nil
+		parts := make([]od.Partition, 3)
+		groups := make([][]od.Partition, 3)
+		for i := range parts {
+			p := &flakyPart{Partition: od.LocalPartition{S: od.NewMemStore()}}
+			primaries = append(primaries, p)
+			parts[i] = p
+			groups[i] = []od.Partition{od.LocalPartition{S: od.NewMemStore()}}
+		}
+		fed = od.NewPartitionedStore(parts, 0)
+		if err := fed.AttachReplicas(groups); err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+	svc := startService(t, fix, cfg, api.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	ctx := context.Background()
+
+	healthy, err := cl.Similar(ctx, "ARTIST", fix.artist)
+	if err != nil || len(healthy.Matches) == 0 {
+		t.Fatalf("healthy similar = %+v, %v", healthy, err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil || h.ReplicasDown != 0 {
+		t.Fatalf("healthy /healthz = %+v, %v", h, err)
+	}
+
+	// Kill every primary. Variant routing off so the next fan-out
+	// provably reaches (and marks down) each member rather than
+	// skipping it by filter.
+	fed.SetVariantRouting(false)
+	for _, p := range primaries {
+		p.dead.Store(true)
+	}
+	// An uncached value forces a full fan-out: the primaries fail, the
+	// replicas answer, and the daemon keeps serving.
+	if _, err := cl.Similar(ctx, "ARTIST", "no-such-artist-zzz"); err != nil {
+		t.Fatalf("similar during failover: %v", err)
+	}
+	again, err := cl.Similar(ctx, "ARTIST", fix.artist)
+	if err != nil || canonMatches(again) != canonMatches(healthy) {
+		t.Fatalf("failover similar = %+v, %v; want the healthy answer", again, err)
+	}
+
+	h, err = cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.ReplicasDown != 3 {
+		t.Fatalf("degraded /healthz = %+v, want ok with 3 members down", h)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Replicas) != 3 {
+		t.Fatalf("metrics carry %d replica groups, want 3", len(m.Replicas))
+	}
+	down, errs := 0, 0
+	for _, rc := range m.Replicas {
+		if rc.Members != 2 {
+			t.Fatalf("replica group %+v, want 2 members", rc)
+		}
+		down += len(rc.Down)
+		errs += len(rc.Errors)
+	}
+	if down != 3 || errs != 3 {
+		t.Fatalf("replica counters down=%d errors=%d, want 3 down with errors recorded", down, errs)
+	}
+}
+
+// canonMatches canonicalizes a /v1/similar response for comparison.
+func canonMatches(r *api.SimilarResponse) string {
+	var out []string
+	for _, m := range r.Matches {
+		out = append(out, fmt.Sprintf("%s|%.6f|%d", m.Value, m.Dist, len(m.Objects)))
+	}
+	sort.Strings(out)
+	return strings.Join(out, ";")
+}
+
+// TestDaemonDurabilityContract pins the volatile-ack surface: a
+// memory-only daemon acks updates with Durable=false and advertises
+// DurableAcks=false in metrics, while a daemon with a Persist hook (or
+// a persisting pipeline) acks Durable=true — the bit the CLI's
+// volatile-ack warning keys on.
+func TestDaemonDurabilityContract(t *testing.T) {
+	fix := newFixture(t)
+	cfg := fix.cfg
+	cfg.Incremental = true
+	ctx := context.Background()
+
+	svc := startService(t, fix, cfg, api.Config{})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	cl := client.New(ts.URL)
+	if r := submitBatch(t, cl, fix, 1, nil); r.Durable || r.Persisted {
+		t.Fatalf("volatile daemon acked durable=%v persisted=%v", r.Durable, r.Persisted)
+	}
+	m, err := cl.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DurableAcks {
+		t.Fatal("volatile daemon advertises durable acks")
+	}
+
+	persists := 0
+	svc2 := startService(t, fix, cfg, api.Config{Persist: func(*core.Result) error { persists++; return nil }})
+	ts2 := httptest.NewServer(svc2.Handler())
+	defer ts2.Close()
+	cl2 := client.New(ts2.URL)
+	if r := submitBatch(t, cl2, fix, 1, nil); !r.Durable || !r.Persisted {
+		t.Fatalf("persisting daemon acked durable=%v persisted=%v", r.Durable, r.Persisted)
+	}
+	if persists == 0 {
+		t.Fatal("persist hook never ran")
+	}
+	m2, err := cl2.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m2.DurableAcks {
+		t.Fatal("persisting daemon advertises volatile acks")
 	}
 }
 

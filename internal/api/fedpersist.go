@@ -51,6 +51,12 @@ func CreateFederationDir(root string) (*FederationDir, error) {
 // OpenFederationDir reopens the last committed generation as a serving
 // federation and sweeps every uncommitted or superseded generation.
 func OpenFederationDir(root string) (*FederationDir, *od.PartitionedStore, error) {
+	return OpenFederationDirWith(root, od.OpenOptions{})
+}
+
+// OpenFederationDirWith is OpenFederationDir with open options (e.g.
+// spilling the coordinator OD directory to disk).
+func OpenFederationDirWith(root string, opts od.OpenOptions) (*FederationDir, *od.PartitionedStore, error) {
 	b, err := os.ReadFile(filepath.Join(root, currentFile))
 	if err != nil {
 		return nil, nil, fmt.Errorf("open federation root %s: %w", root, err)
@@ -60,7 +66,7 @@ func OpenFederationDir(root string) (*FederationDir, *od.PartitionedStore, error
 	if err != nil || !strings.HasPrefix(name, "gen-") || gen < 1 {
 		return nil, nil, fmt.Errorf("federation root %s: corrupt CURRENT pointer %q", root, name)
 	}
-	fed, err := od.OpenPartitioned(filepath.Join(root, name))
+	fed, err := od.OpenPartitionedWith(filepath.Join(root, name), opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,6 +113,29 @@ func (f *FederationDir) Persist(res *core.Result) error {
 	}
 	f.gen = next
 	return nil
+}
+
+// CommitFederation persists a federation that exists outside any
+// FederationDir — the output of `dogmatix rebalance` — into a fresh
+// root as its first committed generation. The root must not already
+// hold a committed snapshot.
+func CommitFederation(root string, fed *od.PartitionedStore, meta od.SnapshotMeta) (*FederationDir, error) {
+	f, err := CreateFederationDir(root)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(root, genName(1))
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := od.SavePartitioned(dir, fed, meta); err != nil {
+		return nil, err
+	}
+	if err := f.commit(1); err != nil {
+		return nil, err
+	}
+	f.gen = 1
+	return f, nil
 }
 
 // commit atomically repoints CURRENT at gen.

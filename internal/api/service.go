@@ -324,6 +324,7 @@ func (s *Service) apply(subs []*submission) {
 		Patched:     res.Stats.Patched,
 		TraceSource: res.Stats.TraceSource,
 		Persisted:   persisted,
+		Durable:     persisted,
 	}
 	s.updBatches.Add(1)
 	s.updApplied.Add(uint64(len(applied)))

@@ -102,6 +102,98 @@ func TestFederationLegacyManifest(t *testing.T) {
 	}
 }
 
+// TestFederationElasticRoundTrip pins the elastic section: replica
+// layouts and rebalance provenance read back field-identically, in
+// every combination of presence.
+func TestFederationElasticRoundTrip(t *testing.T) {
+	for name, mutate := range map[string]func(f *Federation){
+		"replicas only":   func(f *Federation) { f.Replicas = []int{1, 0, 2} },
+		"provenance only": func(f *Federation) { f.Rebalanced = &RebalanceProvenance{FromPartitions: 5, FromSeed: 0xCAFE} },
+		"replicas and prov": func(f *Federation) {
+			f.Replicas = []int{2, 2, 2}
+			f.Rebalanced = &RebalanceProvenance{FromPartitions: 1, FromSeed: 0}
+		},
+		"with filters too": func(f *Federation) {
+			f.RoutingFilters = sampleRoutingFilters()
+			f.Replicas = []int{0, 1, 0}
+			f.Rebalanced = &RebalanceProvenance{FromPartitions: 7, FromSeed: 1<<32 - 1}
+		},
+	} {
+		dir := t.TempDir()
+		want := sampleFederation()
+		mutate(&want)
+		if err := WriteFederation(dir, want); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ReadFederation(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: round trip diverges:\n got %+v\nwant %+v", name, got, want)
+		}
+	}
+}
+
+// TestFederationPreElasticManifest pins backward compatibility with
+// manifests written after routing filters but before the elastic
+// section: the payload ends at the filter presence byte and the
+// elastic fields decode nil.
+func TestFederationPreElasticManifest(t *testing.T) {
+	dir := t.TempDir()
+	want := sampleFederation()
+	b := appendUvarint(nil, uint64(want.Partitions))
+	b = appendUvarint(b, uint64(want.HashSeed))
+	b = appendFloat64(b, want.Theta)
+	for _, fp := range want.PartFingerprints {
+		b = appendString(b, fp)
+	}
+	b = append(b, 0) // routing filters absent; payload ends pre-elastic
+	writeRawFederation(t, dir, b)
+	got, err := ReadFederation(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Replicas != nil || got.Rebalanced != nil {
+		t.Fatalf("pre-elastic manifest decoded elastic fields %+v / %+v", got.Replicas, got.Rebalanced)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pre-elastic manifest diverges:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestFederationElasticRejected pins the decode-side elastic checks: a
+// CRC-valid manifest with a malformed elastic section is rejected as
+// corrupt rather than handed to the coordinator.
+func TestFederationElasticRejected(t *testing.T) {
+	head := func() []byte {
+		b := appendUvarint(nil, 2) // partitions
+		b = appendUvarint(b, 7)    // seed
+		b = appendFloat64(b, 0.15)
+		b = appendString(b, "fp-zero")
+		b = appendString(b, "fp-one")
+		return append(b, 0) // no routing filters
+	}
+	for name, payload := range map[string][]byte{
+		"bad elastic presence":   append(head(), 2),
+		"truncated after marker": append(head(), 1),
+		"bad replica presence":   append(head(), 1, 2),
+		"replica count overflow": appendUvarint(append(head(), 1, 1), maxReplicas+1),
+		"missing rebalance byte": appendUvarint(appendUvarint(append(head(), 1, 1), 0), 0),
+		"bad rebalance presence": append(head(), 1, 0, 2),
+		"provenance from zero":   appendUvarint(append(head(), 1, 0, 1), 0),
+		"seed overflows uint32": appendUvarint(
+			appendUvarint(append(head(), 1, 0, 1), 3), 1<<32),
+		"trailing bytes": append(head(), 1, 0, 0, 0xFF),
+	} {
+		dir := t.TempDir()
+		writeRawFederation(t, dir, payload)
+		if _, err := ReadFederation(dir); !IsCorrupt(err) {
+			t.Errorf("%s: ReadFederation = %v, want corruption", name, err)
+		}
+	}
+}
+
 // TestFederationWriteValidation pins the writer's field checks.
 func TestFederationWriteValidation(t *testing.T) {
 	dir := t.TempDir()
@@ -119,6 +211,10 @@ func TestFederationWriteValidation(t *testing.T) {
 		"types out of order": func(f *Federation) {
 			f.RoutingFilters[0][0], f.RoutingFilters[0][1] = f.RoutingFilters[0][1], f.RoutingFilters[0][0]
 		},
+		"replica count mismatch": func(f *Federation) { f.Replicas = []int{1} },
+		"replica count negative": func(f *Federation) { f.Replicas = []int{-1, 0, 0} },
+		"replica count overflow": func(f *Federation) { f.Replicas = []int{maxReplicas + 1, 0, 0} },
+		"provenance from zero":   func(f *Federation) { f.Rebalanced = &RebalanceProvenance{} },
 	} {
 		fed := sampleFederation()
 		fed.RoutingFilters = sampleRoutingFilters()
@@ -255,6 +351,17 @@ func FuzzFederation(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(validFiltered)
+	elastic := sampleFederation()
+	elastic.Replicas = []int{1, 0, 2}
+	elastic.Rebalanced = &RebalanceProvenance{FromPartitions: 5, FromSeed: 9}
+	if err := WriteFederation(dir, elastic); err != nil {
+		f.Fatal(err)
+	}
+	validElastic, err := os.ReadFile(filepath.Join(dir, FederationFile))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(validElastic)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := os.WriteFile(filepath.Join(dir, FederationFile), data, 0o644); err != nil {

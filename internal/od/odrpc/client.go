@@ -31,6 +31,7 @@ const (
 	addODsChunk   = 256
 	removeChunk   = 1 << 16
 	simBatchChunk = 512
+	exportChunk   = 256
 )
 
 // Client speaks the odrpc protocol to one partition server and
@@ -446,6 +447,48 @@ func (c *Client) SimilarValuesBatch(ts []od.Tuple) ([][]od.ValueMatch, error) {
 	}
 	if len(out) != len(ts) {
 		return nil, badFrame("batch of %d queries answered with %d lists", len(ts), len(out))
+	}
+	return out, nil
+}
+
+// ExportODs implements od.Partition: the window ships as pipelined
+// opExportODs frames — one round trip however many chunks — and the
+// per-chunk shadow slices concatenate back in ID order.
+func (c *Client) ExportODs(lo, hi int32) ([]*od.OD, error) {
+	if lo < 0 || hi < lo {
+		return nil, fmt.Errorf("odrpc: export window [%d,%d)", lo, hi)
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	var reqs []wireReq
+	for a := lo; a < hi; a += exportChunk {
+		b := a + exportChunk
+		if b > hi {
+			b = hi
+		}
+		body := appendUvarint(nil, uint64(uint32(a)))
+		body = appendUvarint(body, uint64(uint32(b)))
+		reqs = append(reqs, wireReq{op: opExportODs, body: body})
+	}
+	bodies, err := c.exchange(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*od.OD, 0, hi-lo)
+	for _, body := range bodies {
+		r := &bodyReader{buf: body}
+		ods, err := r.shadowODs()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		out = append(out, ods...)
+	}
+	if int32(len(out)) != hi-lo {
+		return nil, badFrame("export window of %d slots answered with %d", hi-lo, len(out))
 	}
 	return out, nil
 }

@@ -205,6 +205,91 @@ func TestLoopbackMutations(t *testing.T) {
 	}
 }
 
+// TestExportODsWire pins the v3 segment-streaming op rebalance and
+// replica hydration ride on: a window wider than one export chunk
+// ships as pipelined frames and reassembles bit-identically, removed
+// slots cross the wire as nil, and malformed windows are rejected on
+// whichever side can see the fault.
+func TestExportODsWire(t *testing.T) {
+	ods := cdODs(300, 2026) // span > exportChunk: the window pipelines
+	const theta = 0.15
+	holes := []int32{0, 7, 255, 256, 299}
+
+	client := NewLoopback(od.NewMemStore())
+	defer client.Close()
+	for lo := 0; lo < len(ods); lo += 64 {
+		hi := lo + 64
+		if hi > len(ods) {
+			hi = len(ods)
+		}
+		if err := client.AddODs(copyODs(ods[lo:hi])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := client.Finalize(theta); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Remove(holes); err != nil {
+		t.Fatal(err)
+	}
+
+	ref := od.NewMemStore()
+	for _, o := range copyODs(ods) {
+		ref.Add(o)
+	}
+	ref.Finalize(theta)
+	if err := ref.Remove(holes); err != nil {
+		t.Fatal(err)
+	}
+
+	span := int32(len(ods))
+	for _, w := range [][2]int32{{0, span}, {100, 270}, {255, 257}, {42, 42}} {
+		got, err := client.ExportODs(w[0], w[1])
+		if err != nil {
+			t.Fatalf("ExportODs%v: %v", w, err)
+		}
+		want, err := (od.LocalPartition{S: ref}).ExportODs(w[0], w[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ExportODs%v: %d slots, want %d", w, len(got), len(want))
+		}
+		for i := range got {
+			if (got[i] == nil) != (want[i] == nil) {
+				t.Fatalf("ExportODs%v slot %d: presence diverges", w, i)
+			}
+			if got[i] == nil {
+				continue
+			}
+			// Shadows cross the wire without IDs — the importer re-IDs.
+			cp := *want[i]
+			cp.ID = 0
+			if !reflect.DeepEqual(*got[i], cp) {
+				t.Fatalf("ExportODs%v slot %d diverges:\nwire: %+v\nref:  %+v", w, i, *got[i], cp)
+			}
+		}
+	}
+
+	// Client-side window validation: no frame ever leaves.
+	if _, err := client.ExportODs(-1, 4); err == nil {
+		t.Fatal("negative lo accepted")
+	}
+	if _, err := client.ExportODs(5, 3); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	// Server-side: the window must fit the store's span, and the error
+	// leaves the connection serving.
+	_, err := client.ExportODs(0, span+1)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("out-of-span export err = %v, want RemoteError", err)
+	}
+	if got, err := client.ExportODs(298, span); err != nil || len(got) != 2 {
+		t.Fatalf("connection unusable after rejected export: %v %v", got, err)
+	}
+}
+
 func copyODs(ods []*od.OD) []*od.OD {
 	out := make([]*od.OD, len(ods))
 	for i, o := range ods {

@@ -24,6 +24,11 @@ type Server struct {
 	store od.Store
 }
 
+// maxExportWindow caps one opExportODs request's ID window so a
+// hostile or buggy client cannot make the server materialize an
+// unbounded shadow batch in one frame.
+const maxExportWindow = 1 << 17
+
 // NewServer returns a server over the given store. The store may be in
 // any lifecycle phase: a build-phase store accepts AddODs/Finalize, a
 // finalized one the query set, a MutableStore the mutation batches.
@@ -203,6 +208,31 @@ func (s *Server) handle(op byte, body []byte) (resp []byte, err error) {
 			return nil, err
 		}
 		return appendStats(nil, s.store.Stats()), nil
+	case opExportODs:
+		loV, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		hiV, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		span := int32(s.store.Size())
+		if ms, ok := s.store.(od.MutableStore); ok {
+			span = ms.IDSpan()
+		}
+		if hiV > uint64(uint32(span)) || loV > hiV || hiV-loV > maxExportWindow {
+			return nil, fmt.Errorf("export window [%d,%d) invalid for span %d (max %d per request)", loV, hiV, span, maxExportWindow)
+		}
+		lo, hi := int32(loV), int32(hiV)
+		out := make([]*od.OD, 0, hi-lo)
+		for id := lo; id < hi; id++ {
+			out = append(out, s.store.OD(id))
+		}
+		return appendShadowODs(nil, out), nil
 	case opAddAfter:
 		ods, err := r.ods()
 		if err != nil {

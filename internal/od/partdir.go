@@ -1,0 +1,124 @@
+package od
+
+import (
+	"fmt"
+
+	"repro/internal/od/odcodec"
+)
+
+// odDirectory is the coordinator's full-object directory behind
+// PartitionedStore: ODs by ID, nil at removed slots. Two shapes exist —
+// memDirectory keeps every object on the heap (fresh builds, default at
+// open), diskDirectory serves them from the coordinator snapshot's own
+// segments through a bounded LRU (OpenOptions.SpillODs), so coordinator
+// heap stays bounded by the cache instead of growing with the corpus.
+// Mutation calls (append, remove) are serialized by the MutableStore
+// contract; od and span must be safe for concurrent readers.
+type odDirectory interface {
+	// od returns the object at id, nil when removed. id must be in
+	// [0, span).
+	od(id int32) *OD
+	// append adds the next object; its ID must equal span() at the call.
+	append(o *OD)
+	// remove marks id's slot nil.
+	remove(id int32)
+	// span is the exclusive upper ID bound.
+	span() int32
+	// all materializes the full directory in ID order, nil at removed
+	// slots. On a spilled directory this decodes every record — callers
+	// that need a few objects should use od.
+	all() []*OD
+}
+
+// memDirectory is the heap-resident directory: a plain slice, exactly
+// the `ods []*OD` the coordinator held before spilling existed.
+type memDirectory struct {
+	ods []*OD
+}
+
+func (d *memDirectory) od(id int32) *OD { return d.ods[id] }
+func (d *memDirectory) append(o *OD)    { d.ods = append(d.ods, o) }
+func (d *memDirectory) remove(id int32) { d.ods[id] = nil }
+func (d *memDirectory) span() int32     { return int32(len(d.ods)) }
+func (d *memDirectory) all() []*OD      { return d.ods }
+
+// diskDirectory serves the coordinator directory from the coordinator
+// snapshot's segment reader: base records decode on demand through a
+// fixed-capacity cache (DiskStore's OD-cache size), post-open additions
+// and removals overlay in memory. The overlay stays small between
+// snapshots — it is exactly the mutation delta — so coordinator heap is
+// bounded by cache + delta instead of the corpus.
+type diskDirectory struct {
+	r     *odcodec.Reader
+	baseN int32
+	cache *shardedLRU[int32, *OD]
+
+	// Overlay: written only inside mutation calls (serialized against
+	// queries by the MutableStore contract), read lock-free by queries —
+	// the same discipline DiskStore's overlay uses.
+	added   map[int32]*OD
+	removed map[int32]bool
+	spanN   int32
+}
+
+func newDiskDirectory(r *odcodec.Reader, baseN int32) *diskDirectory {
+	return &diskDirectory{
+		r:     r,
+		baseN: baseN,
+		cache: newShardedLRU[int32, *OD](diskODCacheSize, hashID),
+		spanN: baseN,
+	}
+}
+
+func (d *diskDirectory) od(id int32) *OD {
+	if d.removed[id] {
+		return nil
+	}
+	if id >= d.baseN {
+		return d.added[id]
+	}
+	if o, ok := d.cache.get(id); ok {
+		return o
+	}
+	obj, src, tuples, err := d.r.OD(id)
+	if err != nil {
+		panic(fmt.Sprintf("od: coordinator directory: %v", err))
+	}
+	o := &OD{ID: id, Object: obj, Source: int(src), Tuples: make([]Tuple, len(tuples))}
+	for i, t := range tuples {
+		o.Tuples[i] = Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
+	}
+	d.cache.put(id, o)
+	return o
+}
+
+func (d *diskDirectory) append(o *OD) {
+	if d.added == nil {
+		d.added = make(map[int32]*OD)
+	}
+	d.added[d.spanN] = o
+	d.spanN++
+}
+
+func (d *diskDirectory) remove(id int32) {
+	if d.removed == nil {
+		d.removed = make(map[int32]bool)
+	}
+	d.removed[id] = true
+	delete(d.added, id)
+}
+
+func (d *diskDirectory) span() int32 { return d.spanN }
+
+// all materializes the whole directory; not cached, so repeated calls
+// re-decode — the pipeline reads od(id), and the callers that want the
+// full set (diagnostics, SavePartitioned) want it once.
+func (d *diskDirectory) all() []*OD {
+	out := make([]*OD, d.spanN)
+	for id := int32(0); id < d.spanN; id++ {
+		out[id] = d.od(id)
+	}
+	return out
+}
+
+func (d *diskDirectory) close() error { return d.r.Close() }

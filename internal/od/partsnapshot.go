@@ -65,6 +65,18 @@ func SavePartitioned(dir string, s *PartitionedStore, meta SnapshotMeta) error {
 		PartFingerprints: make([]string, len(s.parts)),
 		RoutingFilters:   make([][]odcodec.RoutingFilter, len(s.parts)),
 	}
+	if s.replicas != nil {
+		fed.Replicas = make([]int, len(s.parts))
+		for i := range s.replicas {
+			fed.Replicas[i] = len(s.replicas[i])
+		}
+	}
+	if s.rebalanced != nil {
+		fed.Rebalanced = &odcodec.RebalanceProvenance{
+			FromPartitions: s.rebalanced.FromPartitions,
+			FromSeed:       s.rebalanced.FromSeed,
+		}
+	}
 	for i, p := range s.parts {
 		backing := p.(BackingStore).BackingStore()
 		partDir := filepath.Join(dir, odcodec.PartitionDir(i))
@@ -96,7 +108,7 @@ func SavePartitioned(dir string, s *PartitionedStore, meta SnapshotMeta) error {
 		return err
 	}
 	defer w.Abort()
-	if err := writeODs(w, s.ods); err != nil {
+	if err := writeODs(w, s.dir.all()); err != nil {
 		return err
 	}
 	staleSeq, err := odcodec.MaxDeltaSeq(dir)
@@ -130,6 +142,21 @@ func SavePartitioned(dir string, s *PartitionedStore, meta SnapshotMeta) error {
 // are in-process DiskStores (wrap them behind odrpc servers to serve
 // them to remote coordinators).
 func OpenPartitioned(dir string) (*PartitionedStore, error) {
+	return OpenPartitionedWith(dir, OpenOptions{})
+}
+
+// OpenOptions tunes how OpenPartitioned assembles the federation.
+type OpenOptions struct {
+	// SpillODs keeps the coordinator's object directory on disk: the
+	// coordinator snapshot's segment reader stays open and objects
+	// decode on demand through a bounded LRU instead of materializing
+	// the whole directory on the heap. Coordinator memory then stays
+	// bounded by cache + mutation delta regardless of corpus size.
+	SpillODs bool
+}
+
+// OpenPartitionedWith is OpenPartitioned with options.
+func OpenPartitionedWith(dir string, opts OpenOptions) (*PartitionedStore, error) {
 	fed, err := odcodec.ReadFederation(dir)
 	if err != nil {
 		return nil, err
@@ -140,21 +167,33 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 	}
 	meta := r.Meta()
 	n := meta.NumODs
-	ods := make([]*OD, n)
-	for id := int32(0); id < int32(n); id++ {
-		obj, src, tuples, err := r.OD(id)
-		if err != nil {
-			r.Close()
-			return nil, err
+	var coord odDirectory
+	if opts.SpillODs {
+		coord = newDiskDirectory(r, int32(n))
+	} else {
+		ods := make([]*OD, n)
+		for id := int32(0); id < int32(n); id++ {
+			obj, src, tuples, err := r.OD(id)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+			o := &OD{ID: id, Object: obj, Source: int(src), Tuples: make([]Tuple, len(tuples))}
+			for i, t := range tuples {
+				o.Tuples[i] = Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
+			}
+			ods[id] = o
 		}
-		o := &OD{ID: id, Object: obj, Source: int(src), Tuples: make([]Tuple, len(tuples))}
-		for i, t := range tuples {
-			o.Tuples[i] = Tuple{Value: t.Value, Name: t.Name, Type: t.Type}
-		}
-		ods[id] = o
+		r.Close()
+		coord = &memDirectory{ods: ods}
 	}
-	r.Close()
+	closeCoord := func() {
+		if opts.SpillODs {
+			r.Close()
+		}
+	}
 	if fed.Theta != meta.Theta {
+		closeCoord()
 		return nil, fmt.Errorf("od: federation manifest θ=%v, coordinator snapshot θ=%v", fed.Theta, meta.Theta)
 	}
 
@@ -163,6 +202,7 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 		for _, p := range parts {
 			p.Close()
 		}
+		closeCoord()
 	}
 	for i := 0; i < fed.Partitions; i++ {
 		ds, err := OpenDiskStore(filepath.Join(dir, odcodec.PartitionDir(i)))
@@ -192,11 +232,18 @@ func OpenPartitioned(dir string) (*PartitionedStore, error) {
 	}
 
 	s := NewPartitionedStore(parts, fed.HashSeed)
-	s.ods = ods
+	s.dir = coord
 	s.live = n
 	s.theta = fed.Theta
 	s.finalized = true
 	s.snapDir = dir
+	s.fingerprint = meta.Fingerprint
+	if fed.Rebalanced != nil {
+		s.rebalanced = &RebalanceInfo{
+			FromPartitions: fed.Rebalanced.FromPartitions,
+			FromSeed:       fed.Rebalanced.FromSeed,
+		}
+	}
 	if fed.RoutingFilters != nil {
 		// The manifest carries the filters SavePartitioned computed from
 		// these exact member snapshots (the fingerprints checked above pin

@@ -1,0 +1,359 @@
+package od
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// killablePartition wraps a Partition; once killed, every operation
+// fails, simulating a member process dying mid-workload.
+type killablePartition struct {
+	Partition
+	dead atomic.Bool
+}
+
+func (k *killablePartition) kill() { k.dead.Store(true) }
+
+func (k *killablePartition) check() error {
+	if k.dead.Load() {
+		return errInjected
+	}
+	return nil
+}
+
+func (k *killablePartition) AddODs(ods []*OD) error {
+	if err := k.check(); err != nil {
+		return err
+	}
+	return k.Partition.AddODs(ods)
+}
+
+func (k *killablePartition) Finalize(theta float64) error {
+	if err := k.check(); err != nil {
+		return err
+	}
+	return k.Partition.Finalize(theta)
+}
+
+func (k *killablePartition) ObjectsWithExact(t Tuple) ([]int32, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.ObjectsWithExact(t)
+}
+
+func (k *killablePartition) SimilarValues(t Tuple) ([]ValueMatch, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.SimilarValues(t)
+}
+
+func (k *killablePartition) SimilarValuesBatch(ts []Tuple) ([][]ValueMatch, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.SimilarValuesBatch(ts)
+}
+
+func (k *killablePartition) RoutingFilters() ([]VariantFilter, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.RoutingFilters()
+}
+
+func (k *killablePartition) Stats() ([]TypeStats, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.Stats()
+}
+
+func (k *killablePartition) AddAfterFinalize(ods []*OD) error {
+	if err := k.check(); err != nil {
+		return err
+	}
+	return k.Partition.AddAfterFinalize(ods)
+}
+
+func (k *killablePartition) Remove(ids []int32) error {
+	if err := k.check(); err != nil {
+		return err
+	}
+	return k.Partition.Remove(ids)
+}
+
+func (k *killablePartition) ExportODs(lo, hi int32) ([]*OD, error) {
+	if err := k.check(); err != nil {
+		return nil, err
+	}
+	return k.Partition.ExportODs(lo, hi)
+}
+
+func (k *killablePartition) Info() (PartitionInfo, error) {
+	if err := k.check(); err != nil {
+		return PartitionInfo{}, err
+	}
+	return k.Partition.Info()
+}
+
+// replicatedFederation builds a federation whose primaries are
+// killable MemStore members with nReplicas killable MemStore replicas
+// each (attached before Finalize, so they ride the build fan-out).
+func replicatedFederation(t *testing.T, ods []*OD, theta float64, nParts, nReplicas int) (*PartitionedStore, []*killablePartition, [][]*killablePartition) {
+	t.Helper()
+	parts := make([]Partition, nParts)
+	primaries := make([]*killablePartition, nParts)
+	for i := range parts {
+		primaries[i] = &killablePartition{Partition: LocalPartition{S: NewMemStore()}}
+		parts[i] = primaries[i]
+	}
+	fed := NewPartitionedStore(parts, 0)
+	groups := make([][]Partition, nParts)
+	replicas := make([][]*killablePartition, nParts)
+	for i := range groups {
+		for r := 0; r < nReplicas; r++ {
+			k := &killablePartition{Partition: LocalPartition{S: NewMemStore()}}
+			groups[i] = append(groups[i], k)
+			replicas[i] = append(replicas[i], k)
+		}
+	}
+	if err := fed.AttachReplicas(groups); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ods {
+		cp := *o
+		fed.Add(&cp)
+	}
+	fed.Finalize(theta)
+	return fed, primaries, replicas
+}
+
+// TestReplicaFailoverReads pins the tentpole read contract: with one
+// replica per partition, killing a primary mid-workload keeps every
+// read bit-identical to MemStore — the fan-out retries on the replica
+// instead of poisoning — while the dead member surfaces in the health
+// introspection and writes turn fail-stop without poisoning the
+// federation.
+func TestReplicaFailoverReads(t *testing.T) {
+	ods := cdODs(80, 41)
+	const theta = 0.15
+	mem := freshOver(ods, theta)
+	fed, primaries, _ := replicatedFederation(t, ods, theta, 3, 1)
+	defer fed.Close()
+	if got := fed.NumReplicas(); got != 1 {
+		t.Fatalf("NumReplicas = %d, want 1 per partition", got)
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		for _, o := range mem.ODs() {
+			for _, tup := range o.NonEmptyTuples() {
+				if !equalMatches(fed.SimilarValues(tup), mem.SimilarValues(tup)) {
+					t.Fatalf("%s: SimilarValues(%v) diverge", stage, tup)
+				}
+				if !equalIDs(fed.ObjectsWithExact(tup), mem.ObjectsWithExact(tup)) {
+					t.Fatalf("%s: ObjectsWithExact(%v) diverge", stage, tup)
+				}
+			}
+		}
+	}
+	check("healthy")
+
+	primaries[1].kill()
+	fed.clearCaches() // force fan-outs to actually reach the dead member
+	check("primary 1 dead")
+
+	if got := fed.DownMembers(); got != 1 {
+		t.Fatalf("DownMembers = %d after killing one primary, want 1", got)
+	}
+	health := fed.ReplicaHealth()
+	if len(health) != 3 || len(health[1].Down) != 1 || health[1].Down[0] != 0 {
+		t.Fatalf("ReplicaHealth = %+v, want partition 1 member 0 down", health)
+	}
+	if len(health[1].Errors) != 1 || !strings.Contains(health[1].Errors[0], "injected") {
+		t.Fatalf("ReplicaHealth errors = %v, want the injected outage", health[1].Errors)
+	}
+
+	// Writes are fail-stop while any group member is down: the typed
+	// error surfaces up front, before any member state changes, and the
+	// federation keeps serving reads — not poisoned.
+	err := fed.AddAfterFinalize(copyODs(cdODs(2, 42)))
+	var pe *PartitionUnavailableError
+	if !errors.As(err, &pe) || pe.Partition != 1 {
+		t.Fatalf("degraded AddAfterFinalize error = %v, want typed error for partition 1", err)
+	}
+	if err := fed.Remove([]int32{0}); err == nil {
+		t.Fatal("degraded federation accepted a removal")
+	}
+	check("after rejected writes")
+	if fed.Size() != mem.Size() {
+		t.Fatalf("rejected writes changed Size to %d", fed.Size())
+	}
+}
+
+// TestReplicaFailoverRace races reader goroutines against a primary
+// dying mid-fan-out: every read must answer bit-identically to
+// MemStore throughout — before, during and after the death — with no
+// poisoning. Run under -race this also pins the health bookkeeping's
+// concurrency safety.
+func TestReplicaFailoverRace(t *testing.T) {
+	ods := cdODs(60, 43)
+	const theta = 0.15
+	mem := freshOver(ods, theta)
+	fed, primaries, _ := replicatedFederation(t, ods, theta, 3, 1)
+	defer fed.Close()
+
+	var tuples []Tuple
+	for _, o := range mem.ODs() {
+		tuples = append(tuples, o.NonEmptyTuples()...)
+	}
+	want := make([][]ValueMatch, len(tuples))
+	for i, tup := range tuples {
+		want[i] = mem.SimilarValues(tup)
+	}
+
+	var wg sync.WaitGroup
+	var divergence atomic.Value
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for round := 0; round < 4; round++ {
+				for i, tup := range tuples {
+					if !equalMatches(fed.SimilarValues(tup), want[i]) {
+						divergence.Store(tup)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		primaries[0].kill()
+		primaries[2].kill()
+	}()
+	close(start)
+	wg.Wait()
+	if tup := divergence.Load(); tup != nil {
+		t.Fatalf("SimilarValues(%v) diverged while primaries died", tup)
+	}
+	if got := fed.DownMembers(); got > 2 {
+		t.Fatalf("DownMembers = %d, want at most the 2 killed primaries", got)
+	}
+}
+
+// TestReplicaAllMembersDownPoisons pins the exhaustion contract: when
+// every member of a group is dead, reads surface the typed partition
+// error (the usual poisoned semantics — reads cannot be served at all).
+func TestReplicaAllMembersDownPoisons(t *testing.T) {
+	ods := cdODs(40, 44)
+	fed, primaries, replicas := replicatedFederation(t, ods, 0.15, 2, 1)
+	defer fed.Close()
+	primaries[0].kill()
+	replicas[0][0].kill()
+	fed.clearCaches()
+
+	var pe *PartitionUnavailableError
+	for _, o := range freshOver(ods, 0.15).ODs() {
+		for _, tup := range o.NonEmptyTuples() {
+			if pe = recoverPartitionError(func() { fed.SimilarValues(tup) }); pe != nil {
+				break
+			}
+		}
+		if pe != nil {
+			break
+		}
+	}
+	if pe == nil {
+		t.Fatal("reads kept answering with a whole group dead")
+	}
+	if pe.Partition != 0 || !errors.Is(pe, errInjected) {
+		t.Fatalf("error = %v, want partition 0 wrapping the injected outage", pe)
+	}
+}
+
+// TestReplicaWriteMidFailurePoisons pins that the write fan-out stays
+// fail-stop through replicas: a replica dying inside AddAfterFinalize
+// (after the up-front health check passed) poisons the federation —
+// the group may have forked, so nothing can be served.
+func TestReplicaWriteMidFailurePoisons(t *testing.T) {
+	ods := cdODs(30, 45)
+	fed, _, replicas := replicatedFederation(t, ods, 0.15, 2, 1)
+	defer fed.Close()
+
+	replicas[1][0].kill() // not yet observed: the health check passes
+	err := fed.AddAfterFinalize(copyODs(cdODs(2, 46)))
+	var pe *PartitionUnavailableError
+	if !errors.As(err, &pe) || pe.Partition != 1 {
+		t.Fatalf("mid-write failure = %v, want typed error for partition 1", err)
+	}
+	if got := recoverPartitionError(func() { fed.SimilarValues(Tuple{Value: "x", Type: "ARTIST"}) }); got == nil {
+		t.Fatal("queries still answered after a write batch failed mid-fan-out")
+	}
+}
+
+// TestAttachReplicasHydrates pins post-Finalize attachment on a
+// mutated federation: the replica hydrates from the group's shadow
+// stream (holes included), after which the primaries can all die and
+// every query still matches the fresh reference.
+func TestAttachReplicasHydrates(t *testing.T) {
+	initial, batch2, batch3, remove, liveOf := mutableFixture()
+	const theta = 0.15
+	parts := make([]Partition, 3)
+	primaries := make([]*killablePartition, 3)
+	for i, b := range mixedBackends(t, 3) {
+		primaries[i] = &killablePartition{Partition: LocalPartition{S: b}}
+		parts[i] = primaries[i]
+	}
+	fed := NewPartitionedStore(parts, 0)
+	for _, o := range initial {
+		cp := *o
+		fed.Add(&cp)
+	}
+	fed.Finalize(theta)
+	defer fed.Close()
+	mutationScript(t, fed, batch2, batch3, remove)
+	fresh := freshOver(liveOf(fed), theta)
+
+	groups := make([][]Partition, 3)
+	for i := range groups {
+		groups[i] = []Partition{LocalPartition{S: NewMemStore()}}
+	}
+	if err := fed.AttachReplicas(groups); err != nil {
+		t.Fatalf("AttachReplicas on a mutated federation: %v", err)
+	}
+	if err := fed.AttachReplicas(groups); err == nil {
+		t.Fatal("double AttachReplicas succeeded")
+	}
+	for _, p := range primaries {
+		p.kill()
+	}
+	fed.clearCaches()
+	assertStoreMatchesFresh(t, "replica-served", fed, fresh)
+	if got := fed.DownMembers(); got != 3 {
+		t.Fatalf("DownMembers = %d with all primaries dead, want 3", got)
+	}
+}
+
+// TestAttachReplicasValidates pins the attachment error contract.
+func TestAttachReplicasValidates(t *testing.T) {
+	ods := cdODs(20, 47)
+	fed := buildFederation(t, ods, 0.15, NewMemStore(), NewMemStore())
+	defer fed.Close()
+	if err := fed.AttachReplicas([][]Partition{{LocalPartition{S: NewMemStore()}}}); err == nil {
+		t.Fatal("mismatched group count accepted")
+	}
+	if err := fed.AttachReplicas(make([][]Partition, 2)); err != nil {
+		t.Fatalf("all-empty groups rejected: %v", err)
+	}
+}

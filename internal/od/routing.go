@@ -255,6 +255,34 @@ func (m *memberRouting) noteAdded(typ, val string) {
 	f.addValue(val)
 }
 
+// adoptFresh folds a freshly refetched filter set into the
+// coordinator's copy after a mutation batch. Covered entries replace
+// the local ones wholesale — this is the only path by which removed
+// values ever leave a filter's bloom, because the member rebuilt the
+// type's index when its delta compaction threshold tripped. Uncovered
+// entries keep the local grow-only filter (noteAdded already extended
+// it with the batch; the member's uncovered report carries no more
+// information). Types missing from the fresh set are deleted: the
+// filter list is complete, so absence proves the member holds no live
+// values of the type, and the nil entry is itself the strongest skip.
+func (m *memberRouting) adoptFresh(filters []VariantFilter) {
+	fresh := make(map[string]bool, len(filters))
+	for i := range filters {
+		f := filters[i]
+		fresh[f.Type] = true
+		if f.Covered {
+			m.types[f.Type] = &f
+		} else if m.types[f.Type] == nil {
+			m.types[f.Type] = &f
+		}
+	}
+	for typ := range m.types {
+		if !fresh[typ] {
+			delete(m.types, typ)
+		}
+	}
+}
+
 // RoutingStats counts the coordinator's filter decisions, one
 // monotonically growing snapshot per federation.
 type RoutingStats struct {

@@ -266,6 +266,132 @@ func TestPrefetchSimilar(t *testing.T) {
 	}
 }
 
+// TestRoutingFilterStalenessRecovery pins the staleness fix: a removed
+// value (or an emptied type) must eventually leave the coordinator's
+// routing filters. noteAdded only ever grows a filter, so recovery
+// rides refreshRouting — once a member's churn trips its delta
+// compaction, the refetched covered filter replaces the grown local
+// copy (adoptFresh) and absence proofs skip members again, at exactly
+// the rate a fresh federation over the same live set skips.
+func TestRoutingFilterStalenessRecovery(t *testing.T) {
+	old := compactMin
+	compactMin = 4
+	defer func() { compactMin = old }()
+
+	ods := cdODs(60, 38)
+	const theta = 0.15
+	backends := []Store{NewMemStore(), NewMemStore(), NewMemStore()}
+	fed, counters := countingFederation(t, ods, theta, backends...)
+	defer fed.Close()
+
+	memberExact := func() (n int64) {
+		for _, c := range counters {
+			n += c.exact.Load()
+		}
+		return n
+	}
+	probeExact := func(tup Tuple) ([]int32, int64) {
+		before := memberExact()
+		ids := fed.ObjectsWithExact(tup)
+		return ids, memberExact() - before
+	}
+
+	// Phase 1: a type that exists only post-Finalize. Its two
+	// add/remove pairs are exactly four mutations — the lowered
+	// compaction threshold trips on the final Remove, the owning member
+	// then reports no JUNK filter at all, and adoptFresh must delete the
+	// coordinator's grow-only uncovered entry, or the type-absent skip
+	// would never fire again.
+	ghost := Tuple{Value: "ghost-value", Name: "junk", Type: "JUNK"}
+	if ids, calls := probeExact(ghost); ids != nil || calls != 0 {
+		t.Fatalf("unseen type probed members: ids=%v calls=%d", ids, calls)
+	}
+	for pair := 0; pair < 2; pair++ {
+		o := &OD{Object: "/junk/ghost", Tuples: []Tuple{ghost}}
+		if err := fed.AddAfterFinalize([]*OD{o}); err != nil {
+			t.Fatal(err)
+		}
+		if pair == 0 {
+			if ids, _ := probeExact(ghost); len(ids) != 1 || ids[0] != o.ID {
+				t.Fatalf("added ghost value not found: %v", ids)
+			}
+		}
+		if err := fed.Remove([]int32{o.ID}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids, calls := probeExact(ghost); ids != nil || calls != 0 {
+		t.Fatalf("emptied type still reaches members after compaction: ids=%v calls=%d", ids, calls)
+	}
+
+	// Phase 2: a junk value of an existing, variant-indexed type.
+	// Churning the same value keeps the muts on one member; once its
+	// rebuilt YEAR index proves the value absent, the coordinator's
+	// adopted filter must skip every member on the probe.
+	year := Tuple{Value: "99991", Name: "year", Type: "YEAR"}
+	recovered := func() bool {
+		for _, b := range backends {
+			ok := false
+			for _, f := range RoutingFilters(b) {
+				if f.Type == year.Type {
+					ok = f.canSkipExact(year.Value)
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if !recovered() {
+		t.Fatal("fixture collision: junk YEAR value already hits a build-time bloom")
+	}
+	for i := 0; ; i++ {
+		if i == 32 {
+			t.Fatal("32 churn pairs never tripped YEAR compaction on the owner")
+		}
+		o := &OD{Object: "/junk/year", Tuples: []Tuple{year}}
+		if err := fed.AddAfterFinalize([]*OD{o}); err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.Remove([]int32{o.ID}); err != nil {
+			t.Fatal(err)
+		}
+		if recovered() {
+			break
+		}
+	}
+	if ids, calls := probeExact(year); ids != nil || calls != 0 {
+		t.Fatalf("removed YEAR value still reaches members: ids=%v calls=%d", ids, calls)
+	}
+
+	// The recovered skip rate is pinned to a fresh federation's: the
+	// adopted filters are bit-identical to ones built over the live
+	// set, so a full query sweep skips exactly as often — and answers
+	// identically.
+	freshFed, _ := countingFederation(t, ods, theta, NewMemStore(), NewMemStore(), NewMemStore())
+	defer freshFed.Close()
+	before := fed.RoutingStats()
+	for _, o := range ods {
+		for _, tup := range o.NonEmptyTuples() {
+			if !equalMatches(fed.SimilarValues(tup), freshFed.SimilarValues(tup)) {
+				t.Fatalf("SimilarValues(%v) diverge after churn", tup)
+			}
+			if !equalIDs(fed.ObjectsWithExact(tup), freshFed.ObjectsWithExact(tup)) {
+				t.Fatalf("ObjectsWithExact(%v) diverge after churn", tup)
+			}
+		}
+	}
+	after := fed.RoutingStats()
+	frs := freshFed.RoutingStats()
+	if got, want := after.MemberSkips-before.MemberSkips, frs.MemberSkips; got != want {
+		t.Fatalf("recovered skip rate: churned federation skipped %d member calls over the sweep, fresh skipped %d", got, want)
+	}
+	if got, want := after.MemberQueries-before.MemberQueries, frs.MemberQueries; got != want {
+		t.Fatalf("churned federation issued %d member calls over the sweep, fresh issued %d", got, want)
+	}
+}
+
 // batchFaultPartition fails every SimilarValuesBatch, simulating a
 // member dying inside the prefetch fan-out.
 type batchFaultPartition struct {
